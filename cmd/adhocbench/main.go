@@ -1,0 +1,93 @@
+// Command adhocbench regenerates the paper's evaluation figures:
+//
+//	adhocbench -fig 2               # lock primitive latencies
+//	adhocbench -fig 3 -dur 2s       # coordination-granularity throughput
+//	adhocbench -fig 4               # rollback-method latencies
+//	adhocbench                      # all three
+//
+// Absolute numbers depend on the simulated latency profile (see
+// EXPERIMENTS.md); the shapes are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adhoctx/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to run (2, 3, or 4; 0 = all)")
+	dur := flag.Duration("dur", time.Second, "measurement window per Figure 3 cell")
+	clients := flag.Int("clients", 8, "closed-loop clients for Figure 3")
+	iters := flag.Int("iters", 200, "lock/unlock pairs per primitive for Figure 2")
+	noHTTP := flag.Bool("nohttp", false, "bypass the HTTP layer in Figure 3")
+	ablate := flag.Bool("ablate", false, "run the design-choice ablations instead of the figures")
+	flag.Parse()
+
+	if *ablate {
+		rtt := 150 * time.Microsecond
+		var rows []experiments.Ablation
+		for _, run := range []func() ([]experiments.Ablation, error){
+			func() ([]experiments.Ablation, error) { return experiments.AblationGranularity(*dur, *clients, rtt) },
+			func() ([]experiments.Ablation, error) { return experiments.AblationLockPrimitive(*dur, *clients, rtt) },
+		} {
+			part, err := run()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rows = append(rows, part...)
+		}
+		fmt.Print(experiments.RenderAblations(rows))
+		return
+	}
+
+	run := func(n int) error {
+		switch n {
+		case 2:
+			cfg := experiments.DefaultFigure2Config()
+			cfg.Iters = *iters
+			rows, err := experiments.Figure2(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFigure2(rows))
+		case 3:
+			cfg := experiments.DefaultFigure3Config()
+			cfg.Duration = *dur
+			cfg.Clients = *clients
+			cfg.UseHTTP = !*noHTTP
+			rows, err := experiments.Figure3(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFigure3(rows))
+			fmt.Printf("geometric mean improvement under contention: %.1f%%\n",
+				experiments.GeometricMeanImprovement(rows)*100)
+		case 4:
+			rows, err := experiments.Figure4(experiments.DefaultFigure4Config())
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFigure4(rows))
+		default:
+			return fmt.Errorf("adhocbench: no figure %d (have 2, 3, 4)", n)
+		}
+		return nil
+	}
+
+	figs := []int{2, 3, 4}
+	if *fig != 0 {
+		figs = []int{*fig}
+	}
+	for _, n := range figs {
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,83 @@
+// Command adhocreport regenerates the paper's study tables from the case
+// catalog:
+//
+//	adhocreport            # everything
+//	adhocreport -table 4   # one table (2, 3, 4, 5, 7)
+//	adhocreport -findings  # the Findings 1–8 aggregates
+//	adhocreport -cases     # the full 91-case listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adhoctx/internal/catalog"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print one table (1-7)")
+	findings := flag.Bool("findings", false, "print the findings summary")
+	cases := flag.Bool("cases", false, "print the full case listing")
+	flag.Parse()
+
+	switch {
+	case *table != 0:
+		out, err := renderTable(*table)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	case *findings:
+		fmt.Print(catalog.RenderFindings())
+	case *cases:
+		fmt.Print(renderCases())
+	default:
+		for _, n := range []int{1, 2, 3, 4, 5, 6, 7} {
+			out, _ := renderTable(n)
+			fmt.Println(out)
+		}
+		fmt.Println(catalog.RenderFindings())
+	}
+}
+
+func renderTable(n int) (string, error) {
+	switch n {
+	case 1:
+		return catalog.RenderTable1(), nil
+	case 2:
+		return catalog.RenderTable2(), nil
+	case 3:
+		return catalog.RenderTable3(), nil
+	case 4:
+		return catalog.RenderTable4(), nil
+	case 5:
+		return catalog.RenderTable5(), nil
+	case 6:
+		return catalog.RenderTable6(), nil
+	case 7:
+		return catalog.RenderTable7(), nil
+	default:
+		return "", fmt.Errorf("adhocreport: no table %d (have 1-7)", n)
+	}
+}
+
+func renderCases() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-22s %-10s %-9s %-8s %s\n", "case", "api", "cc", "impl", "critical", "issues")
+	for _, c := range catalog.Cases() {
+		impl := c.LockImpl
+		if c.CC == catalog.Validation {
+			impl = c.ValidImpl.String()
+		}
+		issues := make([]string, 0, len(c.Issues))
+		for _, i := range c.Issues {
+			issues = append(issues, i.String())
+		}
+		fmt.Fprintf(&b, "%-14s %-22s %-10s %-9s %-8v %s\n",
+			c.ID, c.API, c.CC, impl, c.Critical, strings.Join(issues, "; "))
+	}
+	return b.String()
+}

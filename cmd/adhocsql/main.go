@@ -1,0 +1,88 @@
+// Command adhocsql is an interactive SQL shell over the engine — handy for
+// poking at the dialect semantics the study leans on (locking reads,
+// isolation levels, version-guarded updates).
+//
+//	adhocsql                 # PostgreSQL-like dialect (default)
+//	adhocsql -dialect mysql  # MySQL-like dialect
+//
+// Statements end at end of line. The usual suspects work:
+//
+//	CREATE TABLE polls (tallies STRING, ver INT)
+//	INSERT INTO polls (tallies, ver) VALUES ('{}', 1)
+//	BEGIN ISOLATION LEVEL SERIALIZABLE
+//	SELECT * FROM polls WHERE id = 1 FOR UPDATE
+//	UPDATE polls SET ver = ver + 1 WHERE id = 1 AND ver = 1
+//	COMMIT
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/sqlmini"
+	"adhoctx/internal/storage"
+)
+
+func main() {
+	dialect := engine.Postgres
+	if len(os.Args) >= 3 && os.Args[1] == "-dialect" && os.Args[2] == "mysql" {
+		dialect = engine.MySQL
+	}
+	eng := engine.New(engine.Config{Dialect: dialect, LockTimeout: 10 * time.Second})
+	sess := sqlmini.NewSession(eng)
+
+	fmt.Printf("adhocsql (%s dialect; default isolation %v). Type SQL, or \\q to quit.\n",
+		dialect, dialect.DefaultIsolation())
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		prompt := "sql> "
+		if sess.InTxn() {
+			prompt = "txn> "
+		}
+		fmt.Print(prompt)
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		}
+		res, err := sess.Exec(line)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		printResult(res)
+	}
+}
+
+func printResult(res *sqlmini.Result) {
+	if res.Cols == nil {
+		switch {
+		case res.LastInsertID != 0:
+			fmt.Printf("ok, 1 row inserted (id %d)\n", res.LastInsertID)
+		case res.Affected > 0:
+			fmt.Printf("ok, %d row(s) affected\n", res.Affected)
+		default:
+			fmt.Println("ok")
+		}
+		return
+	}
+	fmt.Println(strings.Join(res.Cols, " | "))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = storage.FormatValue(v)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d row(s))\n", len(res.Rows))
+}

@@ -1,0 +1,13 @@
+// Package adhoctx is a from-scratch Go reproduction of "Ad Hoc Transactions
+// in Web Applications: The Good, the Bad, and the Ugly" (SIGMOD 2022): a
+// framework for application-level concurrency control (internal/core,
+// internal/adhoc/...), the transactional substrate it runs on
+// (internal/engine with MySQL- and PostgreSQL-like dialects, internal/kv,
+// internal/orm), mini versions of the eight studied applications
+// (internal/apps/...), the machine-checked study catalog (internal/catalog),
+// analysis tooling (internal/analyzer), and the evaluation harness
+// (internal/experiments).
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package adhoctx

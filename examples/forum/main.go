@@ -1,0 +1,139 @@
+// Forum example: the multi-request edit-post flow of §3.1.2, shown twice —
+// hand-wired through the Discourse mini-app, and through the occkit
+// continuation API the paper's discussion proposes (§6). A background
+// shrink-image job with transaction repair runs against live edit traffic.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"adhoctx/internal/adhoc/locks"
+	"adhoctx/internal/apps/discourse"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/occkit"
+	"adhoctx/internal/orm"
+	"adhoctx/internal/sim"
+)
+
+func main() {
+	editConflict()
+	continuations()
+	shrinkWithRepair()
+}
+
+// editConflict: two users edit the same post; the ad hoc transaction
+// rejects the stale save instead of silently losing the first edit.
+func editConflict() {
+	eng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 5 * time.Second})
+	forum := discourse.New(eng, locks.NewMemLocker())
+	topic, err := forum.CreateTopic()
+	must(err)
+	post, err := forum.CreatePost(topic, "the original take", 0)
+	must(err)
+
+	alice, err := forum.LoadPostForEdit(post)
+	must(err)
+	bob, err := forum.LoadPostForEdit(post)
+	must(err)
+
+	must(forum.SubmitEdit(post, alice.Content, "alice's sharper take"))
+	err = forum.SubmitEdit(post, bob.Content, "bob's rewrite")
+	fmt.Printf("alice saved; bob's stale edit rejected: %v\n", errors.Is(err, discourse.ErrEditConflict))
+
+	content, _, views, _, err := forum.Post(post)
+	must(err)
+	fmt.Printf("post content: %q (views from both editors survive: %d)\n", content, views)
+}
+
+// continuations: the same interaction through the §6 OCC proposal — the ORM
+// tracks the read set, parks the transaction between requests, and
+// validates at commit. No hand-rolled versions, no guard locks.
+func continuations() {
+	eng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 5 * time.Second})
+	reg := orm.NewRegistry(eng, sim.RealClock{})
+	type Article struct {
+		ID   int64  `db:"id"`
+		Body string `db:"body"`
+	}
+	reg.Register("articles", &Article{})
+	art := &Article{Body: "draft"}
+	must(reg.Session().Save(art))
+
+	store := occkit.NewContinuationStore()
+
+	// Request 1: load for editing, park the transaction, hand a token to
+	// the client.
+	txn := occkit.Begin(reg)
+	var editing Article
+	_, err := txn.Find(&editing, art.ID)
+	must(err)
+	tid := store.Save(txn)
+
+	// Meanwhile another user edits and commits.
+	var other Article
+	_, err = reg.Session().Find(&other, art.ID)
+	must(err)
+	other.Body = "their published version"
+	must(reg.Session().Save(&other))
+
+	// Request 2: restore and try to commit the parked edit.
+	restored, _ := store.Restore(tid)
+	editing.Body = "my version"
+	restored.Save(&editing)
+	err = restored.Commit()
+	fmt.Printf("continuation detected the interleaved edit: %v\n", errors.Is(err, core.ErrConflict))
+}
+
+// shrinkWithRepair: the Figure 4 background job, REPAIR strategy, against
+// a live editor.
+func shrinkWithRepair() {
+	eng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 10 * time.Second})
+	forum := discourse.New(eng, locks.NewMemLocker())
+	forum.ImageProcessing = 20 * time.Millisecond
+
+	orig, err := forum.CreateUpload(4096)
+	must(err)
+	small, err := forum.CreateUpload(512)
+	must(err)
+	topic, err := forum.CreateTopic()
+	must(err)
+	var posts []int64
+	for i := 0; i < 8; i++ {
+		pk, err := forum.CreatePost(topic, fmt.Sprintf("post %d with img:%d", i, orig), orig)
+		must(err)
+		posts = append(posts, pk)
+	}
+
+	stop := make(chan struct{})
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v, err := forum.LoadPostForEdit(posts[i%len(posts)])
+			if err != nil {
+				return
+			}
+			_ = forum.SubmitEdit(v.ID, v.Content, v.Content+".")
+		}
+	}()
+
+	res, err := forum.ShrinkImage(orig, small, discourse.Repair, true)
+	close(stop)
+	must(err)
+	violations, err := forum.CheckImageRefs()
+	must(err)
+	fmt.Printf("shrink-image: %d posts rewritten, %d per-post repairs, %d restarts, dangling refs: %d\n",
+		res.PostsUpdated, res.PostRepairs, res.Restarts, len(violations))
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

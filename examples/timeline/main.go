@@ -1,0 +1,74 @@
+// Timeline example: Mastodon's cross-store coordination (§3.1.3). Post
+// contents live in the RDBMS, timeline entries in a Redis-like KV store; a
+// single post lock keeps the two consistent — something no database
+// transaction can do, because the transaction cannot span both systems.
+// The second half replays the TTL-lease bug (§4.1.1) with a fake clock and
+// lets the fsck-style checker find the damage.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"adhoctx/internal/adhoc/locks"
+	"adhoctx/internal/apps/mastodon"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/kv"
+	"adhoctx/internal/sim"
+)
+
+func main() {
+	healthy()
+	leaseExpiryBug()
+}
+
+func healthy() {
+	eng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 5 * time.Second})
+	store := kv.NewStore(nil, sim.Latency{})
+	locker := &locks.SetNXLocker{Store: store, Token: "worker-1"}
+	app := mastodon.New(eng, store, locker)
+
+	followers := []int64{1, 2, 3}
+	must(app.CreatePost(100, "hello fediverse", followers))
+	fmt.Printf("timeline of follower 1 after post: %v\n", app.Timeline(1))
+	must(app.DeletePost(100, followers))
+	fmt.Printf("timeline of follower 1 after delete: %v\n", app.Timeline(1))
+
+	violations, err := app.CheckTimelineRefs(followers)
+	must(err)
+	fmt.Printf("consistency checker: %d violations\n", len(violations))
+}
+
+func leaseExpiryBug() {
+	clock := sim.NewFakeClock(time.Unix(0, 0))
+	eng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 5 * time.Second})
+	store := kv.NewStore(clock, sim.Latency{})
+	locker := &locks.SetNXLocker{Store: store, Token: "worker-1", TTL: 2 * time.Second, Clock: clock}
+	app := mastodon.New(eng, store, locker)
+
+	followers := []int64{7}
+	must(app.CreatePost(42, "soon deleted", followers))
+
+	// The delete stalls past its lease; a boost job re-adds the timeline
+	// entry under the expired lock.
+	app.SlowSection = func() {
+		clock.Advance(3 * time.Second)
+		app.SlowSection = nil
+		conn := store.Conn()
+		conn.SetNXPX("post:42", "boost-job", 2*time.Second)
+		conn.SAdd("timeline:7", "42")
+		conn.Del("post:42")
+	}
+	must(app.DeletePost(42, followers))
+
+	violations, err := app.CheckTimelineRefs(followers)
+	must(err)
+	fmt.Printf("after the lease expired mid-delete, the checker finds: %v\n", violations)
+	fmt.Println("(this is Mastodon issue 15645: deleted posts shown in timelines)")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

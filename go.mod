@@ -1,0 +1,3 @@
+module adhoctx
+
+go 1.22

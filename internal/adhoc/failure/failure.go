@@ -1,0 +1,126 @@
+// Package failure implements the failure-handling strategies of §3.4:
+// manual compensation (undo logs), transaction repair (roll-forward
+// retries), and fsck-style consistency checkers for the applications that
+// tolerate intermediate states instead of rolling back.
+package failure
+
+import (
+	"errors"
+	"fmt"
+
+	"adhoctx/internal/core"
+)
+
+// UndoLog collects compensation actions for manual rollback (§3.4.1 "2 cases
+// are equipped with manually written rollback procedures"). Register an undo
+// step after each persisted side effect; Rollback runs them newest-first;
+// Commit discards them.
+type UndoLog struct {
+	steps []undoStep
+}
+
+type undoStep struct {
+	name string
+	fn   func() error
+}
+
+// Register appends a compensation step undoing the side effect just applied.
+func (u *UndoLog) Register(name string, fn func() error) {
+	u.steps = append(u.steps, undoStep{name: name, fn: fn})
+}
+
+// Rollback executes the registered compensations in reverse order,
+// continuing past failures and joining their errors. The log is emptied.
+func (u *UndoLog) Rollback() error {
+	var errs []error
+	for i := len(u.steps) - 1; i >= 0; i-- {
+		if err := u.steps[i].fn(); err != nil {
+			errs = append(errs, fmt.Errorf("undo %q: %w", u.steps[i].name, err))
+		}
+	}
+	u.steps = nil
+	return errors.Join(errs...)
+}
+
+// Commit discards the registered compensations.
+func (u *UndoLog) Commit() { u.steps = nil }
+
+// Len returns the number of pending compensation steps.
+func (u *UndoLog) Len() int { return len(u.steps) }
+
+// Repair runs one roll-forward unit of work (§3.4.1): body attempts the
+// item's update and returns core.ErrConflict if the item changed underneath
+// it, in which case refresh is invoked to re-derive the work from current
+// state and body retries — preserving work done for unaffected items instead
+// of aborting everything, exactly the Discourse shrink-image strategy.
+func Repair(attempts int, refresh func() error, body func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		err = body()
+		if err == nil || !errors.Is(err, core.ErrConflict) {
+			return err
+		}
+		if refresh != nil {
+			if rerr := refresh(); rerr != nil {
+				return rerr
+			}
+		}
+	}
+	return err
+}
+
+// Violation is one inconsistency found by a checker.
+type Violation struct {
+	// Checker names the check that found it.
+	Checker string
+	// Entity locates the inconsistent object ("posts id=4").
+	Entity string
+	// Detail explains the violation.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", v.Checker, v.Entity, v.Detail)
+}
+
+// Checker is one fsck-style database consistency check (§3.4.2: Discourse
+// "checks and fixes inconsistent references" every twelve hours). Check
+// finds violations; Fix, if non-nil, repairs one.
+type Checker struct {
+	Name  string
+	Check func() ([]Violation, error)
+	Fix   func(Violation) error
+}
+
+// Runner runs a set of checkers, mimicking the periodic background job.
+type Runner struct {
+	Checkers []Checker
+}
+
+// Run executes every checker and returns all violations found. When fix is
+// true, each violation with a Fix handler is repaired after being reported.
+func (r *Runner) Run(fix bool) ([]Violation, error) {
+	var all []Violation
+	for _, c := range r.Checkers {
+		vs, err := c.Check()
+		if err != nil {
+			return all, fmt.Errorf("checker %s: %w", c.Name, err)
+		}
+		for i := range vs {
+			vs[i].Checker = c.Name
+		}
+		all = append(all, vs...)
+		if fix && c.Fix != nil {
+			for _, v := range vs {
+				if err := c.Fix(v); err != nil {
+					return all, fmt.Errorf("fixing %s: %w", v, err)
+				}
+			}
+		}
+	}
+	return all, nil
+}

@@ -1,0 +1,162 @@
+package failure
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"adhoctx/internal/core"
+)
+
+func TestUndoLogRollsBackInReverse(t *testing.T) {
+	var u UndoLog
+	var order []string
+	u.Register("first", func() error { order = append(order, "first"); return nil })
+	u.Register("second", func() error { order = append(order, "second"); return nil })
+	if u.Len() != 2 {
+		t.Fatalf("Len = %d", u.Len())
+	}
+	if err := u.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[second first]" {
+		t.Fatalf("order = %v", order)
+	}
+	if u.Len() != 0 {
+		t.Fatal("log not emptied")
+	}
+}
+
+func TestUndoLogContinuesPastFailures(t *testing.T) {
+	var u UndoLog
+	ran := false
+	boom := errors.New("boom")
+	u.Register("a", func() error { ran = true; return nil })
+	u.Register("b", func() error { return boom })
+	err := u.Rollback()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if !ran {
+		t.Fatal("later undo skipped after earlier failure")
+	}
+}
+
+func TestUndoLogCommitDiscards(t *testing.T) {
+	var u UndoLog
+	u.Register("a", func() error { t.Fatal("undo ran after commit"); return nil })
+	u.Commit()
+	if err := u.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairRetriesOnConflict(t *testing.T) {
+	refreshes, bodies := 0, 0
+	err := Repair(5,
+		func() error { refreshes++; return nil },
+		func() error {
+			bodies++
+			if bodies < 3 {
+				return core.ErrConflict
+			}
+			return nil
+		})
+	if err != nil || bodies != 3 || refreshes != 2 {
+		t.Fatalf("err=%v bodies=%d refreshes=%d", err, bodies, refreshes)
+	}
+}
+
+func TestRepairStopsOnHardError(t *testing.T) {
+	hard := errors.New("hard")
+	bodies := 0
+	err := Repair(5, nil, func() error { bodies++; return hard })
+	if !errors.Is(err, hard) || bodies != 1 {
+		t.Fatalf("err=%v bodies=%d", err, bodies)
+	}
+}
+
+func TestRepairRefreshErrorSurfaces(t *testing.T) {
+	rerr := errors.New("refresh failed")
+	err := Repair(5, func() error { return rerr }, func() error { return core.ErrConflict })
+	if !errors.Is(err, rerr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRepairExhaustsAttempts(t *testing.T) {
+	bodies := 0
+	err := Repair(3, nil, func() error { bodies++; return core.ErrConflict })
+	if !errors.Is(err, core.ErrConflict) || bodies != 3 {
+		t.Fatalf("err=%v bodies=%d", err, bodies)
+	}
+}
+
+func TestRunnerReportsAndFixes(t *testing.T) {
+	broken := map[string]bool{"posts id=4": true, "posts id=9": true}
+	checker := Checker{
+		Name: "dangling-image-refs",
+		Check: func() ([]Violation, error) {
+			var vs []Violation
+			for e := range broken {
+				vs = append(vs, Violation{Entity: e, Detail: "image missing"})
+			}
+			return vs, nil
+		},
+		Fix: func(v Violation) error {
+			delete(broken, v.Entity)
+			return nil
+		},
+	}
+	r := Runner{Checkers: []Checker{checker}}
+
+	vs, err := r.Run(false)
+	if err != nil || len(vs) != 2 {
+		t.Fatalf("report-only: %v, %v", vs, err)
+	}
+	if len(broken) != 2 {
+		t.Fatal("report-only run fixed something")
+	}
+	for _, v := range vs {
+		if v.Checker != "dangling-image-refs" {
+			t.Fatalf("checker name not stamped: %+v", v)
+		}
+		if v.String() == "" {
+			t.Fatal("empty violation string")
+		}
+	}
+
+	if _, err := r.Run(true); err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 0 {
+		t.Fatalf("fix run left %d broken", len(broken))
+	}
+	vs, err = r.Run(true)
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("clean run: %v, %v", vs, err)
+	}
+}
+
+func TestRunnerCheckError(t *testing.T) {
+	boom := errors.New("db down")
+	r := Runner{Checkers: []Checker{{
+		Name:  "x",
+		Check: func() ([]Violation, error) { return nil, boom },
+	}}}
+	if _, err := r.Run(false); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunnerFixError(t *testing.T) {
+	boom := errors.New("cannot fix")
+	r := Runner{Checkers: []Checker{{
+		Name:  "x",
+		Check: func() ([]Violation, error) { return []Violation{{Entity: "e"}}, nil },
+		Fix:   func(Violation) error { return boom },
+	}}}
+	if _, err := r.Run(true); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package granularity implements the coordination granularities the study
+// catalogued (§3.3): lock-key construction for row-, column- and
+// association-level coordination, an equality-predicate lock table, and —
+// as the paper's §3.3.2 discussion anticipates — an interval lock table for
+// range predicates.
+//
+// All of these are *naming and bookkeeping* disciplines layered over any
+// core.Locker: the power of ad hoc granularity customisation is that the
+// developer knows exactly which accesses must conflict, so a plain string
+// key space suffices.
+package granularity
+
+import (
+	"fmt"
+	"sync"
+
+	"adhoctx/internal/core"
+	"adhoctx/internal/storage"
+)
+
+// RowKey names a whole-row lock: the default granularity, matching the
+// database's own row locks.
+func RowKey(table string, id int64) string {
+	return fmt.Sprintf("%s:%d", table, id)
+}
+
+// ColumnKey names a column-level lock (§3.3.2 "columns-based vs row-based"):
+// Discourse's create-post and toggle-answer coordinate disjoint columns of
+// the same Topics row under different keys, so they never falsely conflict.
+func ColumnKey(table, column string, id int64) string {
+	return fmt.Sprintf("%s.%s:%d", table, column, id)
+}
+
+// NamespaceKey names a lock namespace per API, the literal shape of the
+// Discourse example ("create_post"+topic_id, "toggle_answer"+topic_id).
+func NamespaceKey(namespace string, id int64) string {
+	return fmt.Sprintf("%s:%d", namespace, id)
+}
+
+// GroupKey names the single lock that coordinates a group of associatively
+// accessed rows (§3.3.1): the cart lock covering Carts and Items rows.
+// root is the owning entity's table (or concept) name.
+func GroupKey(root string, id int64) string {
+	return fmt.Sprintf("group/%s:%d", root, id)
+}
+
+// EqPredKey names an equality-predicate lock (§3.3.2 "gap vs predicate"):
+// precise mutual exclusion on WHERE col = value without gap-lock false
+// conflicts. Implemented, as the paper suggests, as "a concurrent hash table
+// tracking locked values" — the hash table is whatever core.Locker backs it.
+func EqPredKey(table, col string, val storage.Value) string {
+	return fmt.Sprintf("%s(%s=%s)", table, col, storage.FormatValue(val))
+}
+
+// IntervalLockTable is the range-predicate extension the paper's discussion
+// sketches ("to support range predicates, an intuitive method is to store
+// all active ranges in an interval tree"). Two holders conflict iff their
+// intervals overlap within a space. It is a standalone blocking lock table,
+// not keyed strings: interval overlap is not expressible as key equality.
+type IntervalLockTable struct {
+	mu     sync.Mutex
+	held   map[string][]*heldInterval
+	waiter map[*waiter]struct{}
+}
+
+type heldInterval struct {
+	lo, hi int64
+	owner  *heldInterval // self-pointer used as identity
+}
+
+type waiter struct {
+	space  string
+	lo, hi int64
+	ch     chan struct{}
+}
+
+// NewIntervalLockTable returns an empty table.
+func NewIntervalLockTable() *IntervalLockTable {
+	return &IntervalLockTable{
+		held:   make(map[string][]*heldInterval),
+		waiter: make(map[*waiter]struct{}),
+	}
+}
+
+// Acquire blocks until [lo, hi] can be held without overlapping any other
+// held interval in space, then holds it. Returns the release function.
+func (t *IntervalLockTable) Acquire(space string, lo, hi int64) core.Release {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for {
+		t.mu.Lock()
+		if !t.overlaps(space, lo, hi) {
+			h := &heldInterval{lo: lo, hi: hi}
+			h.owner = h
+			t.held[space] = append(t.held[space], h)
+			t.mu.Unlock()
+			return func() error {
+				t.release(space, h)
+				return nil
+			}
+		}
+		w := &waiter{space: space, lo: lo, hi: hi, ch: make(chan struct{})}
+		t.waiter[w] = struct{}{}
+		t.mu.Unlock()
+		<-w.ch
+	}
+}
+
+// TryAcquire is the non-blocking variant.
+func (t *IntervalLockTable) TryAcquire(space string, lo, hi int64) (core.Release, bool) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.overlaps(space, lo, hi) {
+		return nil, false
+	}
+	h := &heldInterval{lo: lo, hi: hi}
+	h.owner = h
+	t.held[space] = append(t.held[space], h)
+	return func() error {
+		t.release(space, h)
+		return nil
+	}, true
+}
+
+// overlaps reports whether [lo, hi] intersects a held interval. Caller
+// holds t.mu.
+func (t *IntervalLockTable) overlaps(space string, lo, hi int64) bool {
+	for _, h := range t.held[space] {
+		if lo <= h.hi && h.lo <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *IntervalLockTable) release(space string, h *heldInterval) {
+	t.mu.Lock()
+	list := t.held[space]
+	for i, x := range list {
+		if x == h {
+			t.held[space] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(t.held[space]) == 0 {
+		delete(t.held, space)
+	}
+	// Wake every waiter; they re-check and re-park as needed. Contended
+	// interval tables are small in practice (active ranges per space), so
+	// thundering herd is acceptable here.
+	for w := range t.waiter {
+		delete(t.waiter, w)
+		close(w.ch)
+	}
+	t.mu.Unlock()
+}
+
+// HeldCount returns the number of intervals held in space (diagnostics).
+func (t *IntervalLockTable) HeldCount(space string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.held[space])
+}

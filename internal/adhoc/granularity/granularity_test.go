@@ -1,0 +1,152 @@
+package granularity
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/adhoc/locks"
+)
+
+func TestKeyBuilders(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{RowKey("topics", 7), "topics:7"},
+		{ColumnKey("topics", "max_post", 7), "topics.max_post:7"},
+		{NamespaceKey("create_post", 7), "create_post:7"},
+		{GroupKey("cart", 3), "group/cart:3"},
+		{EqPredKey("payments", "order_id", int64(10)), "payments(order_id=10)"},
+		{EqPredKey("users", "name", "bo"), `users(name="bo")`},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("key = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+// TestColumnKeysDoNotFalselyConflict encodes the §3.3.2 Discourse story:
+// create-post and toggle-answer touch disjoint columns of the same row, and
+// column-level keys let them run in parallel while same-column access still
+// blocks.
+func TestColumnKeysDoNotFalselyConflict(t *testing.T) {
+	l := locks.NewMemLocker()
+	relA, err := l.Acquire(ColumnKey("topics", "max_post", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different column, same row: no conflict.
+	relB, err := l.TryAcquire(ColumnKey("topics", "answer", 7))
+	if err != nil {
+		t.Fatalf("column keys falsely conflict: %v", err)
+	}
+	// Same column: conflict.
+	if _, err := l.TryAcquire(ColumnKey("topics", "max_post", 7)); err == nil {
+		t.Fatal("same-column key did not conflict")
+	}
+	_ = relA()
+	_ = relB()
+}
+
+func TestEqPredKeysPreciseConflicts(t *testing.T) {
+	l := locks.NewMemLocker()
+	relA, err := l.Acquire(EqPredKey("payments", "order_id", int64(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// order_id=11 never conflicts with order_id=10 — the gap-lock false
+	// conflict the predicate scheme removes.
+	relB, err := l.TryAcquire(EqPredKey("payments", "order_id", int64(11)))
+	if err != nil {
+		t.Fatalf("adjacent predicate keys conflict: %v", err)
+	}
+	if _, err := l.TryAcquire(EqPredKey("payments", "order_id", int64(10))); err == nil {
+		t.Fatal("same predicate did not conflict")
+	}
+	_ = relA()
+	_ = relB()
+}
+
+func TestIntervalLockTableOverlap(t *testing.T) {
+	tbl := NewIntervalLockTable()
+	rel1 := tbl.Acquire("orders.id", 10, 20)
+	if _, ok := tbl.TryAcquire("orders.id", 15, 25); ok {
+		t.Fatal("overlapping interval granted")
+	}
+	if _, ok := tbl.TryAcquire("orders.id", 20, 30); ok {
+		t.Fatal("touching interval granted (inclusive bounds)")
+	}
+	rel2, ok := tbl.TryAcquire("orders.id", 21, 30)
+	if !ok {
+		t.Fatal("disjoint interval denied")
+	}
+	// Different space never conflicts.
+	rel3, ok := tbl.TryAcquire("payments.id", 10, 20)
+	if !ok {
+		t.Fatal("different space conflicts")
+	}
+	_ = rel1()
+	_ = rel2()
+	_ = rel3()
+	if tbl.HeldCount("orders.id") != 0 {
+		t.Fatal("intervals leaked")
+	}
+}
+
+func TestIntervalLockTableBlocksAndWakes(t *testing.T) {
+	tbl := NewIntervalLockTable()
+	rel := tbl.Acquire("s", 0, 100)
+	got := make(chan struct{})
+	go func() {
+		r := tbl.Acquire("s", 50, 60)
+		close(got)
+		_ = r()
+	}()
+	select {
+	case <-got:
+		t.Fatal("overlapping acquire did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	_ = rel()
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woken")
+	}
+}
+
+func TestIntervalLockTableNormalisesBounds(t *testing.T) {
+	tbl := NewIntervalLockTable()
+	rel := tbl.Acquire("s", 20, 10) // reversed
+	if _, ok := tbl.TryAcquire("s", 15, 15); ok {
+		t.Fatal("reversed bounds not normalised")
+	}
+	_ = rel()
+}
+
+// TestIntervalLockTableStress: concurrent disjoint slots must conserve a
+// per-slot critical-section invariant.
+func TestIntervalLockTableStress(t *testing.T) {
+	tbl := NewIntervalLockTable()
+	var mu sync.Mutex
+	in := map[int64]int{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				slot := int64((w + i) % 4)
+				rel := tbl.Acquire("s", slot*10, slot*10+9)
+				mu.Lock()
+				in[slot]++
+				if in[slot] != 1 {
+					t.Errorf("slot %d: %d holders", slot, in[slot])
+				}
+				in[slot]--
+				mu.Unlock()
+				_ = rel()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

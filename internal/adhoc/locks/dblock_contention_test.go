@@ -1,0 +1,67 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+// TestDBLockerContendedHandoff is a regression test for the insert-race
+// verification: the loser's self-delete used to be rolled back together
+// with the errLockHeld verdict, leaking an ownerless lock row that wedged
+// every later acquisition. Six clients hammer one key with realistic
+// network/fsync latencies; every acquisition must eventually succeed and
+// the lock table must end empty.
+func TestDBLockerContendedHandoff(t *testing.T) {
+	lockEng := engine.New(engine.Config{
+		Dialect: engine.MySQL, Net: sim.Latency{RTT: 150 * time.Microsecond},
+		WALFsync: sim.Latency{Fsync: 2 * time.Millisecond}, LockTimeout: 30 * time.Second,
+	})
+	SetupDBLockTable(lockEng)
+	l := &DBLocker{Eng: lockEng, BootID: "b", Owner: "w", Timeout: 20 * time.Second}
+
+	const clients, iters = 6, 10
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rel, err := l.Acquire("sku:1")
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+				if err := rel(); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+				count.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if count.Load() != clients*iters {
+		t.Fatalf("%d acquisitions, want %d", count.Load(), clients*iters)
+	}
+	err := lockEng.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		rows, err := tx.Select(DBLockTable, storage.All{})
+		if err != nil {
+			return err
+		}
+		if len(rows) != 0 {
+			t.Fatalf("leaked lock rows: %v", rows)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

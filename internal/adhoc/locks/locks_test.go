@@ -1,0 +1,551 @@
+package locks
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/kv"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+// exerciseMutualExclusion hammers one key and checks the critical-section
+// invariant.
+func exerciseMutualExclusion(t *testing.T, l core.Locker, workers, iters int) {
+	t.Helper()
+	var mu sync.Mutex
+	inCS, maxCS := 0, 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rel, err := l.Acquire("hot")
+				if err != nil {
+					t.Errorf("%s acquire: %v", l.Name(), err)
+					return
+				}
+				mu.Lock()
+				inCS++
+				if inCS > maxCS {
+					maxCS = inCS
+				}
+				mu.Unlock()
+				mu.Lock()
+				inCS--
+				mu.Unlock()
+				if err := rel(); err != nil {
+					t.Errorf("%s release: %v", l.Name(), err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if maxCS > 1 {
+		t.Fatalf("%s: %d holders in the critical section", l.Name(), maxCS)
+	}
+}
+
+func TestMutualExclusionAcrossImplementations(t *testing.T) {
+	eng := engine.New(engine.Config{Dialect: engine.MySQL, LockTimeout: 10 * time.Second})
+	SetupDBLockTable(eng)
+	sfuEng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 10 * time.Second})
+	sfu := &SFULocker{Eng: sfuEng, Table: "orders"}
+	sfuEng.CreateTable(newSchema("orders"))
+	if err := sfu.EnsureRow(1); err != nil {
+		t.Fatal(err)
+	}
+
+	store := kv.NewStore(nil, sim.Latency{})
+	impls := []core.Locker{
+		NewSyncLocker(),
+		NewMemLocker(),
+		NewLRULocker(1024, false),
+		&SetNXLocker{Store: store, Token: "t1", RetryInterval: 50 * time.Microsecond},
+		&MultiLocker{Store: store, Token: "t2", RetryInterval: 50 * time.Microsecond},
+		&DBLocker{Eng: eng, BootID: "boot-1", Owner: "w", RetryInterval: 50 * time.Microsecond},
+	}
+	for _, impl := range impls {
+		impl := impl
+		t.Run(impl.Name(), func(t *testing.T) {
+			exerciseMutualExclusion(t, impl, 6, 15)
+		})
+	}
+	t.Run("SFU", func(t *testing.T) {
+		// SFU keys are row ids; use the prepared row.
+		sfuAdapter := lockerFunc{
+			name: "SFU",
+			acquire: func(string) (core.Release, error) {
+				return sfu.Acquire("1")
+			},
+		}
+		exerciseMutualExclusion(t, sfuAdapter, 4, 10)
+	})
+}
+
+type lockerFunc struct {
+	name    string
+	acquire func(string) (core.Release, error)
+}
+
+func (l lockerFunc) Name() string                           { return l.name }
+func (l lockerFunc) Acquire(k string) (core.Release, error) { return l.acquire(k) }
+
+// newSchema builds a minimal lockable-row schema for SFU tests.
+func newSchema(table string) *storage.Schema { return storage.NewSchema(table) }
+
+func TestMemLockerEntriesReclaimed(t *testing.T) {
+	l := NewMemLocker()
+	for i := 0; i < 100; i++ {
+		rel, err := l.Acquire(string(rune('a' + i%26)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rel(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Size(); got != 0 {
+		t.Fatalf("entries leaked: %d", got)
+	}
+}
+
+func TestMemLockerTryAcquire(t *testing.T) {
+	l := NewMemLocker()
+	rel, err := l.TryAcquire("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.TryAcquire("k"); !errors.Is(err, core.ErrLockUnavailable) {
+		t.Fatalf("second TryAcquire = %v", err)
+	}
+	if err := rel(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Size(); got != 0 {
+		t.Fatalf("entries leaked after failed try: %d", got)
+	}
+	rel2, err := l.TryAcquire("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rel2()
+}
+
+// TestLRULockerBuggyEvictionBreaksExclusion reproduces the Broadleaf defect
+// (§4.1.1): filling the table past capacity evicts a held lock, and a second
+// acquirer of the same key succeeds while the first still holds it.
+func TestLRULockerBuggyEvictionBreaksExclusion(t *testing.T) {
+	l := NewLRULocker(2, true)
+	relHeld, err := l.Acquire("order:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flood the table so order:1 falls off the LRU tail.
+	for _, k := range []string{"a", "b", "c"} {
+		rel, err := l.Acquire(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = rel()
+	}
+	_, evictedHeld := l.Stats()
+	if evictedHeld == 0 {
+		t.Fatal("held lock was not evicted")
+	}
+
+	// Mutual exclusion is broken: a second Acquire of order:1 succeeds.
+	done := make(chan core.Release, 1)
+	go func() {
+		rel, err := l.Acquire("order:1")
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rel
+	}()
+	select {
+	case rel := <-done:
+		_ = rel()
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("second acquire blocked; eviction bug not reproduced")
+	}
+	_ = relHeld()
+}
+
+// TestLRULockerFixedKeepsHeldLocks: the fixed variant exceeds capacity
+// rather than evicting a held lock.
+func TestLRULockerFixedKeepsHeldLocks(t *testing.T) {
+	l := NewLRULocker(2, false)
+	relHeld, err := l.Acquire("order:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		rel, err := l.Acquire(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = rel()
+	}
+	_, evictedHeld := l.Stats()
+	if evictedHeld != 0 {
+		t.Fatalf("fixed variant evicted %d held locks", evictedHeld)
+	}
+
+	blocked := make(chan struct{})
+	go func() {
+		rel, err := l.Acquire("order:1")
+		if err == nil {
+			close(blocked)
+			_ = rel()
+		}
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("second acquire succeeded while lock held")
+	case <-time.After(100 * time.Millisecond):
+	}
+	_ = relHeld()
+	select {
+	case <-blocked:
+	case <-time.After(time.Second):
+		t.Fatal("waiter never granted after release")
+	}
+}
+
+func TestBuggySyncLockerProvidesNoExclusion(t *testing.T) {
+	l := BuggySyncLocker{}
+	rel1, err := l.Acquire("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		rel2, err := l.Acquire("k")
+		if err != nil {
+			t.Error(err)
+		}
+		_ = rel2()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(200 * time.Millisecond):
+		t.Fatal("buggy sync locker blocked — it should never block")
+	}
+	_ = rel1()
+}
+
+// TestSetNXLeaseExpiryBug reproduces Mastodon issue 15645 (§4.1.1): the TTL
+// expires mid-critical-section and a second worker acquires the same lock.
+func TestSetNXLeaseExpiryBug(t *testing.T) {
+	clock := sim.NewFakeClock(time.Unix(0, 0))
+	store := kv.NewStore(clock, sim.Latency{})
+	w1 := &SetNXLocker{Store: store, Token: "w1", TTL: 5 * time.Second, Clock: clock}
+	w2 := &SetNXLocker{Store: store, Token: "w2", TTL: 5 * time.Second, Clock: clock}
+
+	rel1, err := w1.Acquire("post:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Expired("post:9") {
+		t.Fatal("fresh lease reported expired")
+	}
+	// The critical section dawdles past the TTL.
+	clock.Advance(6 * time.Second)
+	if !w1.Expired("post:9") {
+		t.Fatal("lease should have expired")
+	}
+	rel2, err := w2.TryAcquire("post:9")
+	if err != nil {
+		t.Fatalf("second worker should acquire the expired lease: %v", err)
+	}
+	// w1 releases "its" lock — production code deletes unconditionally,
+	// silently releasing w2's lock too.
+	if err := rel1(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Conn().Get("post:9"); ok {
+		t.Fatal("unconditional delete should have removed w2's lock")
+	}
+	_ = rel2()
+}
+
+// TestSetNXCheckedReleaseKeepsOthersLock: the fixed variant refuses to
+// delete a lock it no longer owns.
+func TestSetNXCheckedReleaseKeepsOthersLock(t *testing.T) {
+	clock := sim.NewFakeClock(time.Unix(0, 0))
+	store := kv.NewStore(clock, sim.Latency{})
+	w1 := &SetNXLocker{Store: store, Token: "w1", TTL: time.Second, Clock: clock, CheckTokenOnRelease: true}
+	w2 := &SetNXLocker{Store: store, Token: "w2", TTL: time.Minute, Clock: clock}
+
+	rel1, err := w1.Acquire("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Second) // w1's lease expires
+	rel2, err := w2.TryAcquire("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel1(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := store.Conn().Get("k"); !ok || v != "w2" {
+		t.Fatalf("w2's lock disturbed: %q, %v", v, ok)
+	}
+	_ = rel2()
+}
+
+func TestSetNXReentrant(t *testing.T) {
+	store := kv.NewStore(nil, sim.Latency{})
+	l := &SetNXLocker{Store: store, Token: "me", Reentrant: true, RetryInterval: 10 * time.Microsecond}
+	rel1, err := l.Acquire("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := l.Acquire("k") // nested acquisition must not deadlock
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel2(); err != nil {
+		t.Fatal(err)
+	}
+	// Still held after inner release.
+	other := &SetNXLocker{Store: store, Token: "other"}
+	if _, err := other.TryAcquire("k"); !errors.Is(err, core.ErrLockUnavailable) {
+		t.Fatalf("lock free after inner release: %v", err)
+	}
+	if err := rel1(); err != nil {
+		t.Fatal(err)
+	}
+	relO, err := other.TryAcquire("k")
+	if err != nil {
+		t.Fatalf("lock not free after outer release: %v", err)
+	}
+	_ = relO()
+}
+
+func TestSetNXTimeout(t *testing.T) {
+	store := kv.NewStore(nil, sim.Latency{})
+	a := &SetNXLocker{Store: store, Token: "a"}
+	b := &SetNXLocker{Store: store, Token: "b", Timeout: 20 * time.Millisecond, RetryInterval: 2 * time.Millisecond}
+	rel, err := a.Acquire("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Acquire("k"); !errors.Is(err, core.ErrLockUnavailable) {
+		t.Fatalf("timed-out acquire = %v", err)
+	}
+	_ = rel()
+}
+
+// TestRoundTripCounts verifies the Figure 2 cost model: SETNX acquire+release
+// is 2 commands; MULTI acquire is 7 plus 1 to release.
+func TestRoundTripCounts(t *testing.T) {
+	store := kv.NewStore(nil, sim.Latency{})
+	setnx := &SetNXLocker{Store: store, Token: "s"}
+	start := store.Commands()
+	rel, err := setnx.Acquire("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Commands() - start; got != 1 {
+		t.Fatalf("SETNX acquire = %d commands, want 1", got)
+	}
+	if err := rel(); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Commands() - start; got != 2 {
+		t.Fatalf("SETNX acquire+release = %d commands, want 2", got)
+	}
+
+	multi := &MultiLocker{Store: store, Token: "m"}
+	start = store.Commands()
+	rel, err = multi.Acquire("k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Commands() - start; got != 7 {
+		t.Fatalf("MULTI acquire = %d commands, want 7", got)
+	}
+	if err := rel(); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Commands() - start; got != 8 {
+		t.Fatalf("MULTI acquire+release = %d commands, want 8", got)
+	}
+}
+
+func TestMultiLockerContention(t *testing.T) {
+	store := kv.NewStore(nil, sim.Latency{})
+	a := &MultiLocker{Store: store, Token: "a", RetryInterval: 20 * time.Microsecond}
+	b := &MultiLocker{Store: store, Token: "b", RetryInterval: 20 * time.Microsecond}
+	relA, err := a.Acquire("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan core.Release, 1)
+	go func() {
+		rel, err := b.Acquire("k")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got <- rel
+	}()
+	select {
+	case <-got:
+		t.Fatal("b acquired while a held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	_ = relA()
+	select {
+	case rel := <-got:
+		_ = rel()
+	case <-time.After(2 * time.Second):
+		t.Fatal("b never acquired after release")
+	}
+}
+
+// TestSFUBuggyOutsideTxnReleasesImmediately reproduces Spree issue 10697
+// (§4.1.1): the locking read auto-commits, so the lock is gone before the
+// critical section runs.
+func TestSFUBuggyOutsideTxnReleasesImmediately(t *testing.T) {
+	eng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: time.Second})
+	eng.CreateTable(newSchema("orders"))
+	buggy := &SFULocker{Eng: eng, Table: "orders", OutsideTxn: true}
+	correct := &SFULocker{Eng: eng, Table: "orders"}
+	if err := buggy.EnsureRow(5); err != nil {
+		t.Fatal(err)
+	}
+
+	relBuggy, err := buggy.Acquire("5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A correct locker can immediately take the same lock: no protection.
+	relC, err := correct.Acquire("5")
+	if err != nil {
+		t.Fatalf("lock still held after buggy acquire: %v", err)
+	}
+	if err := relC(); err != nil {
+		t.Fatal(err)
+	}
+	_ = relBuggy()
+}
+
+func TestSFUCorrectHoldsUntilRelease(t *testing.T) {
+	eng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 5 * time.Second})
+	eng.CreateTable(newSchema("orders"))
+	l := &SFULocker{Eng: eng, Table: "orders"}
+	if err := l.EnsureRow(7); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := l.Acquire("7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{})
+	go func() {
+		rel2, err := l.Acquire("7")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		close(got)
+		_ = rel2()
+	}()
+	select {
+	case <-got:
+		t.Fatal("second acquire succeeded while held")
+	case <-time.After(60 * time.Millisecond):
+	}
+	if err := rel(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never granted")
+	}
+}
+
+func TestSFURejectsNonNumericKey(t *testing.T) {
+	eng := engine.New(engine.Config{Dialect: engine.Postgres})
+	eng.CreateTable(newSchema("orders"))
+	l := &SFULocker{Eng: eng, Table: "orders"}
+	if _, err := l.Acquire("cart-7"); err == nil {
+		t.Fatal("non-numeric key accepted")
+	}
+}
+
+// TestDBLockerBootRecovery reproduces §3.4.2: locks persisted before a crash
+// are reclaimed after reboot by comparing boot IDs.
+func TestDBLockerBootRecovery(t *testing.T) {
+	eng := engine.New(engine.Config{Dialect: engine.MySQL, LockTimeout: time.Second})
+	SetupDBLockTable(eng)
+
+	boot1 := &DBLocker{Eng: eng, BootID: "boot-1", Owner: "w1"}
+	if _, err := boot1.Acquire("checkout"); err != nil {
+		t.Fatal(err)
+	}
+	// The server crashes without releasing; the lock row persists. After
+	// reboot a locker with a new boot ID takes the stale lock over
+	// instead of deadlocking forever.
+	boot2 := &DBLocker{Eng: eng, BootID: "boot-2", Owner: "w1", Timeout: time.Second, RetryInterval: time.Millisecond}
+	rel, err := boot2.Acquire("checkout")
+	if err != nil {
+		t.Fatalf("stale lock not reclaimed: %v", err)
+	}
+	if err := rel(); err != nil {
+		t.Fatal(err)
+	}
+	// And it is genuinely free afterwards.
+	rel, err = boot2.Acquire("checkout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rel()
+}
+
+func TestDBLockerSameBootBlocks(t *testing.T) {
+	eng := engine.New(engine.Config{Dialect: engine.MySQL, LockTimeout: time.Second})
+	SetupDBLockTable(eng)
+	a := &DBLocker{Eng: eng, BootID: "boot-1", Owner: "a", Timeout: 30 * time.Millisecond, RetryInterval: 2 * time.Millisecond}
+	b := &DBLocker{Eng: eng, BootID: "boot-1", Owner: "b", Timeout: 30 * time.Millisecond, RetryInterval: 2 * time.Millisecond}
+	rel, err := a.Acquire("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Acquire("k"); !errors.Is(err, core.ErrLockUnavailable) {
+		t.Fatalf("same-boot second acquire = %v", err)
+	}
+	if err := rel(); err != nil {
+		t.Fatal(err)
+	}
+	rel, err = b.Acquire("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rel()
+}
+
+func TestNewBootIDDistinct(t *testing.T) {
+	c := sim.NewFakeClock(time.Unix(1, 0))
+	a := NewBootID(c)
+	c.Advance(time.Nanosecond)
+	b := NewBootID(c)
+	if a == b {
+		t.Fatal("boot ids collide")
+	}
+	if NewBootID(nil) == "" {
+		t.Fatal("empty boot id")
+	}
+}

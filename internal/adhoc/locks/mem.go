@@ -1,0 +1,98 @@
+// Package locks provides the seven ad hoc lock implementations the study
+// found in the wild (§3.2.1, Figure 2):
+//
+//	SYNC     — the language's built-in mutex (Java synchronized)
+//	MEM      — an in-process concurrent lock map (Broadleaf)
+//	MEM-LRU  — a lock map with LRU eviction (Broadleaf; eviction of held
+//	           locks is the §4.1.1 lease bug)
+//	KV-SETNX — a remote KV lease via one SETNX round trip (Mastodon, Saleor)
+//	KV-MULTI — a remote KV lock via WATCH/GET/MULTI/SET/EXEC (Discourse)
+//	SFU      — SELECT FOR UPDATE row locks (Spree, Saleor, Redmine)
+//	DB       — a lock table in the RDBMS with boot-UUID recovery (Broadleaf)
+//
+// Each implements core.Locker. Known bugs from §4 are reproducible behind
+// explicit Buggy* options, off by default.
+package locks
+
+import (
+	"sync"
+
+	"adhoctx/internal/core"
+)
+
+// MemLocker is the in-process concurrent lock map (Broadleaf's
+// ConcurrentHashMap of locks). Entries are reference-counted and removed
+// when the last interested goroutine releases, so the map does not grow with
+// the key space.
+type MemLocker struct {
+	mu      sync.Mutex
+	entries map[string]*memEntry
+}
+
+type memEntry struct {
+	refs int
+	sem  chan struct{} // capacity 1: full = locked
+}
+
+// NewMemLocker returns an empty lock map.
+func NewMemLocker() *MemLocker {
+	return &MemLocker{entries: make(map[string]*memEntry)}
+}
+
+// Name implements core.Locker.
+func (l *MemLocker) Name() string { return "MEM" }
+
+// Acquire implements core.Locker.
+func (l *MemLocker) Acquire(key string) (core.Release, error) {
+	e := l.enter(key)
+	e.sem <- struct{}{} // blocks while held
+	return func() error {
+		<-e.sem
+		l.leave(key, e)
+		return nil
+	}, nil
+}
+
+// TryAcquire implements core.TryLocker.
+func (l *MemLocker) TryAcquire(key string) (core.Release, error) {
+	e := l.enter(key)
+	select {
+	case e.sem <- struct{}{}:
+		return func() error {
+			<-e.sem
+			l.leave(key, e)
+			return nil
+		}, nil
+	default:
+		l.leave(key, e)
+		return nil, core.ErrLockUnavailable
+	}
+}
+
+func (l *MemLocker) enter(key string) *memEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[key]
+	if !ok {
+		e = &memEntry{sem: make(chan struct{}, 1)}
+		l.entries[key] = e
+	}
+	e.refs++
+	return e
+}
+
+func (l *MemLocker) leave(key string, e *memEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.refs--
+	if e.refs == 0 && l.entries[key] == e {
+		delete(l.entries, key)
+	}
+}
+
+// Size returns the number of live entries (diagnostics).
+func (l *MemLocker) Size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

@@ -1,0 +1,145 @@
+package locks
+
+import (
+	"container/list"
+	"sync"
+
+	"adhoctx/internal/core"
+)
+
+// LRULocker is Broadleaf's customised lock map: a ConcurrentHashMap with an
+// LRU eviction policy bolted on to bound its size (§3.2.1). The production
+// implementation evicts entries without checking whether the lock is held —
+// evicting a held lock silently hands out a second, independent lock for
+// the same key, breaking mutual exclusion (§4.1.1, issue 2555). That
+// behaviour is reproduced when Buggy is true; the fixed variant refuses to
+// evict held entries.
+type LRULocker struct {
+	// Capacity bounds the entry count; at least 1.
+	Capacity int
+	// Buggy evicts least-recently-used entries even while held.
+	Buggy bool
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	evictions   int
+	evictedHeld int
+}
+
+type lruEntry struct {
+	key  string
+	refs int
+	held bool
+	sem  chan struct{}
+}
+
+// NewLRULocker returns a lock map bounded to capacity entries.
+func NewLRULocker(capacity int, buggy bool) *LRULocker {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRULocker{
+		Capacity: capacity,
+		Buggy:    buggy,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Name implements core.Locker.
+func (l *LRULocker) Name() string { return "MEM-LRU" }
+
+// Acquire implements core.Locker.
+func (l *LRULocker) Acquire(key string) (core.Release, error) {
+	e := l.enter(key)
+	e.sem <- struct{}{} // block while held
+
+	l.mu.Lock()
+	// The entry may have been evicted while we waited (buggy mode). If the
+	// map now holds a different entry for this key, our lock means nothing
+	// — in the real bug the application never notices, and neither do we:
+	// the caller proceeds with a dead lock. That is precisely the
+	// reproduced defect.
+	e.held = true
+	l.mu.Unlock()
+
+	release := func() error {
+		l.mu.Lock()
+		e.held = false
+		e.refs--
+		l.mu.Unlock()
+		<-e.sem
+		return nil
+	}
+	return release, nil
+}
+
+// enter registers interest in key, creating and LRU-promoting its entry and
+// evicting beyond capacity.
+func (l *LRULocker) enter(key string) *lruEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.entries[key]
+	if ok {
+		l.order.MoveToFront(el)
+		e := el.Value.(*lruEntry)
+		e.refs++
+		return e
+	}
+	e := &lruEntry{key: key, sem: make(chan struct{}, 1), refs: 1}
+	l.entries[key] = l.order.PushFront(e)
+	l.evictOverflow()
+	return e
+}
+
+// evictOverflow removes LRU-tail entries beyond capacity. Caller holds l.mu.
+func (l *LRULocker) evictOverflow() {
+	for len(l.entries) > l.Capacity {
+		el := l.order.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*lruEntry)
+		if !l.Buggy && (e.held || e.refs > 0) {
+			// Fixed variant: never evict an entry somebody cares about.
+			// Scan forward for an idle victim instead.
+			victim := l.idleVictim()
+			if victim == nil {
+				return // everything is in use; exceed capacity
+			}
+			el, e = victim, victim.Value.(*lruEntry)
+		}
+		if e.held || e.refs > 0 {
+			l.evictedHeld++
+		}
+		l.evictions++
+		l.order.Remove(el)
+		delete(l.entries, e.key)
+	}
+}
+
+func (l *LRULocker) idleVictim() *list.Element {
+	for el := l.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*lruEntry)
+		if !e.held && e.refs == 0 {
+			return el
+		}
+	}
+	return nil
+}
+
+// Stats returns (evictions, evictions of held/in-use locks).
+func (l *LRULocker) Stats() (evictions, evictedHeld int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evictions, l.evictedHeld
+}
+
+// Size returns the live entry count.
+func (l *LRULocker) Size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

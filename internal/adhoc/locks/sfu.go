@@ -1,0 +1,90 @@
+package locks
+
+import (
+	"fmt"
+	"strconv"
+
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+// SFULocker reuses the database's own row locks through SELECT ... FOR
+// UPDATE, the primitive Spree, Saleor and Redmine build their pessimistic ad
+// hoc transactions on (§3.2.1). The lock is the X lock on a designated row,
+// held for as long as the enclosing database transaction stays open: Acquire
+// opens a transaction and locks the row; Release commits it.
+//
+// Spree's misuse (§4.1.1, issue 10697) is reproduced by OutsideTxn: the
+// SELECT FOR UPDATE auto-commits, so the row lock is released the moment the
+// statement returns and the "critical section" runs unprotected.
+type SFULocker struct {
+	// Eng is the database.
+	Eng *engine.Engine
+	// Table holds the lockable rows; keys are row primary keys rendered
+	// as decimal strings.
+	Table string
+	// Iso is the isolation level of the lock-holding transaction
+	// (default: the dialect default — the paper notes a weak level
+	// suffices because only the lock matters).
+	Iso engine.Isolation
+	// OutsideTxn reproduces the Spree bug: the locking statement runs in
+	// its own auto-committed transaction.
+	OutsideTxn bool
+}
+
+// Name implements core.Locker.
+func (l *SFULocker) Name() string { return "SFU" }
+
+// EnsureRow makes sure the lockable row for pk exists. Applications lock
+// real entity rows; benches and tests use this to set up.
+func (l *SFULocker) EnsureRow(pk int64) error {
+	err := l.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		row, err := t.SelectOne(l.Table, storage.ByPK(pk))
+		if err != nil || row != nil {
+			return err
+		}
+		_, err = t.Insert(l.Table, map[string]storage.Value{"id": pk})
+		return err
+	})
+	return err
+}
+
+// Acquire implements core.Locker. key must be a decimal row id.
+func (l *SFULocker) Acquire(key string) (core.Release, error) {
+	pk, err := strconv.ParseInt(key, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("sfu lock: key %q is not a row id: %v", key, err)
+	}
+
+	if l.OutsideTxn {
+		// The buggy shape: the locking read auto-commits, releasing the
+		// row lock immediately. Release is a no-op on a lock that is
+		// already gone.
+		err := l.Eng.Run(l.Iso, func(t *engine.Txn) error {
+			_, err := t.SelectOne(l.Table, storage.ByPK(pk), engine.ForUpdate)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return func() error { return nil }, nil
+	}
+
+	txn := l.Eng.Begin(l.Iso)
+	if _, err := txn.SelectOne(l.Table, storage.ByPK(pk), engine.ForUpdate); err != nil {
+		if !txn.Done() {
+			_ = txn.Rollback()
+		}
+		return nil, err
+	}
+	return func() error { return txn.Commit() }, nil
+}
+
+// LockTxn acquires the row lock inside an existing transaction — the correct
+// usage pattern where the critical operations share the locking transaction
+// (Saleor's stock allocation, §3.2.1).
+func (l *SFULocker) LockTxn(t *engine.Txn, pk int64) error {
+	_, err := t.SelectOne(l.Table, storage.ByPK(pk), engine.ForUpdate)
+	return err
+}

@@ -1,0 +1,66 @@
+package locks
+
+import (
+	"sync"
+
+	"adhoctx/internal/core"
+)
+
+// SyncLocker models coordination via the language's built-in mutual
+// exclusion — SCM Suite's use of the Java synchronized keyword (§3.2.1).
+// Each key maps to one long-lived mutex, like synchronizing on a static
+// singleton object. Mutexes are created on first use and never reclaimed.
+type SyncLocker struct {
+	mu      sync.Mutex
+	mutexes map[string]*sync.Mutex
+}
+
+// NewSyncLocker returns an empty locker.
+func NewSyncLocker() *SyncLocker {
+	return &SyncLocker{mutexes: make(map[string]*sync.Mutex)}
+}
+
+// Name implements core.Locker.
+func (l *SyncLocker) Name() string { return "SYNC" }
+
+// Acquire implements core.Locker.
+func (l *SyncLocker) Acquire(key string) (core.Release, error) {
+	m := l.mutexFor(key)
+	m.Lock()
+	return func() error {
+		m.Unlock()
+		return nil
+	}, nil
+}
+
+func (l *SyncLocker) mutexFor(key string) *sync.Mutex {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m, ok := l.mutexes[key]
+	if !ok {
+		m = &sync.Mutex{}
+		l.mutexes[key] = m
+	}
+	return m
+}
+
+// BuggySyncLocker reproduces the SCM Suite defect (§4.1.1, issue 17): the
+// code synchronizes on thread-local ORM-mapped objects, so every thread
+// locks a different object and nothing ever blocks. Here every Acquire
+// locks a freshly created mutex — always immediately successful, providing
+// no mutual exclusion whatsoever.
+type BuggySyncLocker struct{}
+
+// Name implements core.Locker.
+func (BuggySyncLocker) Name() string { return "SYNC(buggy)" }
+
+// Acquire implements core.Locker. It always succeeds instantly: the "lock"
+// is a brand-new object nobody else can ever contend on.
+func (BuggySyncLocker) Acquire(string) (core.Release, error) {
+	m := &sync.Mutex{} // the thread-local object
+	m.Lock()
+	return func() error {
+		m.Unlock()
+		return nil
+	}, nil
+}

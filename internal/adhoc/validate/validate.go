@@ -1,0 +1,131 @@
+// Package validate provides the validation procedures of optimistic ad hoc
+// transactions (§3.2.2): the check that detects conflicting concurrent
+// changes before updates are written back.
+//
+// The study found two families: ORM-assisted validation (Active Record's
+// lock_version — atomic by construction, see internal/orm) and hand-crafted
+// validation. Hand-crafted procedures must guarantee validate-and-commit
+// atomicity themselves; 11 of the 26 optimistic cases fail to (§4.1.2). The
+// helpers here offer the correct compiled-to-one-statement shape, the
+// lock-guarded shape, and — explicitly labelled — the non-atomic buggy shape
+// (Discourse's MiniSql escape).
+package validate
+
+import (
+	"fmt"
+
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+// Checker validates and commits one row update.
+type Checker struct {
+	// Eng is the database.
+	Eng *engine.Engine
+	// Table is the validated table.
+	Table string
+}
+
+// VersionGuard returns the guard predicate for a version column — validate
+// that the row still carries the version the transaction read (Figure 1c).
+func VersionGuard(col string, version int64) storage.Pred {
+	return storage.Eq{Col: col, Val: version}
+}
+
+// ValueGuard returns the guard predicate for column-value validation — the
+// edit-post shape of §3.3.2: validate that the *content* is unchanged,
+// tolerating concurrent updates to other columns.
+func ValueGuard(col string, expected storage.Value) storage.Pred {
+	return storage.Eq{Col: col, Val: expected}
+}
+
+// CheckAndSet validates guard and applies set to row pk in one atomic
+// statement (UPDATE ... WHERE id=pk AND guard), in its own transaction.
+// It returns core.ErrConflict when validation fails. This is the correct
+// hand-crafted implementation: the RDBMS provides the atomicity.
+func (c Checker) CheckAndSet(pk int64, guard storage.Pred, set map[string]storage.Value) error {
+	var ok bool
+	err := c.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		ok, err = t.UpdateIf(c.Table, pk, guard, set)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%s id=%d guard %s: %w", c.Table, pk, guard, core.ErrConflict)
+	}
+	return nil
+}
+
+// CheckAndSetIn is CheckAndSet inside an existing transaction (the caller
+// owns commit).
+func (c Checker) CheckAndSetIn(t *engine.Txn, pk int64, guard storage.Pred, set map[string]storage.Value) error {
+	ok, err := t.UpdateIf(c.Table, pk, guard, set)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%s id=%d guard %s: %w", c.Table, pk, guard, core.ErrConflict)
+	}
+	return nil
+}
+
+// LockedCheckAndSet guards a multi-statement validate-then-commit with an ad
+// hoc lock: lock, re-read, validate, update, unlock — the §3.1.2 edit-post
+// pattern where the validation needs the full row or non-database state.
+// The body callback receives the freshly read row and returns the updates to
+// apply, or core.ErrConflict to fail validation.
+func (c Checker) LockedCheckAndSet(l core.Locker, key string, pk int64,
+	body func(row storage.Row) (map[string]storage.Value, error)) error {
+	return core.WithLock(l, key, func() error {
+		return c.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			row, err := t.SelectOne(c.Table, storage.ByPK(pk))
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				return fmt.Errorf("%s id=%d vanished: %w", c.Table, pk, core.ErrConflict)
+			}
+			set, err := body(row)
+			if err != nil {
+				return err
+			}
+			_, err = t.Update(c.Table, storage.ByPK(pk), set)
+			return err
+		})
+	})
+}
+
+// NonAtomicCheckThenSet reproduces the §4.1.2 Discourse defect (MiniSql
+// escaping the Active Record transaction): the validation query runs in one
+// transaction and the commit in another, leaving a window where a concurrent
+// writer invalidates the already-passed check. Interleave, when non-nil, is
+// called inside the window (tests use it to force the race
+// deterministically).
+func (c Checker) NonAtomicCheckThenSet(pk int64, guard storage.Pred, set map[string]storage.Value,
+	interleave func()) error {
+	var row storage.Row
+	err := c.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		row, err = t.SelectOne(c.Table, storage.ByPK(pk))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	schema := c.Eng.Schema(c.Table)
+	if row == nil || !guard.Match(schema, row) {
+		return fmt.Errorf("%s id=%d guard %s: %w", c.Table, pk, guard, core.ErrConflict)
+	}
+	if interleave != nil {
+		interleave() // the unprotected window
+	}
+	return c.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		// The update is unconditional: validation already "passed".
+		_, err := t.Update(c.Table, storage.ByPK(pk), set)
+		return err
+	})
+}

@@ -1,0 +1,254 @@
+package validate
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/adhoc/locks"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+func newPostsEngine(t *testing.T) (*engine.Engine, int64) {
+	t.Helper()
+	e := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 5 * time.Second})
+	e.CreateTable(storage.NewSchema("posts",
+		storage.Column{Name: "content", Type: storage.TString},
+		storage.Column{Name: "ver", Type: storage.TInt},
+		storage.Column{Name: "view_cnt", Type: storage.TInt},
+	))
+	var pk int64
+	err := e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		var err error
+		pk, err = tx.Insert("posts", map[string]storage.Value{
+			"content": "original", "ver": int64(1), "view_cnt": int64(0),
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, pk
+}
+
+func content(t *testing.T, e *engine.Engine, pk int64) string {
+	t.Helper()
+	var s string
+	err := e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		row, err := tx.SelectOne("posts", storage.ByPK(pk))
+		if err != nil {
+			return err
+		}
+		s = row.Get(e.Schema("posts"), "content").(string)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCheckAndSetVersionGuard(t *testing.T) {
+	e, pk := newPostsEngine(t)
+	c := Checker{Eng: e, Table: "posts"}
+
+	err := c.CheckAndSet(pk, VersionGuard("ver", 1), map[string]storage.Value{
+		"content": "edited", "ver": int64(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale version: conflict.
+	err = c.CheckAndSet(pk, VersionGuard("ver", 1), map[string]storage.Value{
+		"content": "stale edit", "ver": int64(2),
+	})
+	if !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("stale guard = %v", err)
+	}
+	if got := content(t, e, pk); got != "edited" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestCheckAndSetValueGuard(t *testing.T) {
+	e, pk := newPostsEngine(t)
+	c := Checker{Eng: e, Table: "posts"}
+	// Column-value validation (§3.3.2): concurrent view_cnt churn must not
+	// interfere with a content guard.
+	if err := e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		_, err := tx.Update("posts", storage.ByPK(pk), map[string]storage.Value{"view_cnt": int64(99)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.CheckAndSet(pk, ValueGuard("content", "original"), map[string]storage.Value{
+		"content": "edited",
+	})
+	if err != nil {
+		t.Fatalf("content guard should tolerate view_cnt update: %v", err)
+	}
+}
+
+func TestCheckAndSetIn(t *testing.T) {
+	e, pk := newPostsEngine(t)
+	c := Checker{Eng: e, Table: "posts"}
+	err := e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		return c.CheckAndSetIn(tx, pk, VersionGuard("ver", 1), map[string]storage.Value{"ver": int64(2)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		return c.CheckAndSetIn(tx, pk, VersionGuard("ver", 1), map[string]storage.Value{"ver": int64(3)})
+	})
+	if !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("stale in-txn guard = %v", err)
+	}
+}
+
+// TestCheckAndSetConcurrentCounter: N workers increment via version
+// validation with retry; no update is lost.
+func TestCheckAndSetConcurrentCounter(t *testing.T) {
+	e, pk := newPostsEngine(t)
+	c := Checker{Eng: e, Table: "posts"}
+	schema := e.Schema("posts")
+
+	const workers, iters = 8, 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := core.RetryOptimistic(1000, func() error {
+					var ver, views int64
+					if err := e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+						row, err := tx.SelectOne("posts", storage.ByPK(pk))
+						if err != nil {
+							return err
+						}
+						ver = row.Get(schema, "ver").(int64)
+						views = row.Get(schema, "view_cnt").(int64)
+						return nil
+					}); err != nil {
+						return err
+					}
+					return c.CheckAndSet(pk, VersionGuard("ver", ver), map[string]storage.Value{
+						"ver": ver + 1, "view_cnt": views + 1,
+					})
+				})
+				if err != nil {
+					t.Errorf("increment: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var views int64
+	if err := e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		row, err := tx.SelectOne("posts", storage.ByPK(pk))
+		if err != nil {
+			return err
+		}
+		views = row.Get(schema, "view_cnt").(int64)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if views != workers*iters {
+		t.Fatalf("view_cnt = %d, want %d", views, workers*iters)
+	}
+}
+
+func TestLockedCheckAndSet(t *testing.T) {
+	e, pk := newPostsEngine(t)
+	c := Checker{Eng: e, Table: "posts"}
+	l := locks.NewMemLocker()
+	schema := e.Schema("posts")
+
+	err := c.LockedCheckAndSet(l, "post:1", pk, func(row storage.Row) (map[string]storage.Value, error) {
+		if row.Get(schema, "content") != "original" {
+			return nil, core.ErrConflict
+		}
+		return map[string]storage.Value{"content": "locked edit"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := content(t, e, pk); got != "locked edit" {
+		t.Fatalf("content = %q", got)
+	}
+	// Now the stale branch.
+	err = c.LockedCheckAndSet(l, "post:1", pk, func(row storage.Row) (map[string]storage.Value, error) {
+		if row.Get(schema, "content") != "original" {
+			return nil, core.ErrConflict
+		}
+		return map[string]storage.Value{"content": "x"}, nil
+	})
+	if !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("stale locked edit = %v", err)
+	}
+}
+
+func TestLockedCheckAndSetMissingRow(t *testing.T) {
+	e, _ := newPostsEngine(t)
+	c := Checker{Eng: e, Table: "posts"}
+	l := locks.NewMemLocker()
+	err := c.LockedCheckAndSet(l, "post:404", 404, func(storage.Row) (map[string]storage.Value, error) {
+		t.Fatal("body ran for missing row")
+		return nil, nil
+	})
+	if !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("missing row = %v", err)
+	}
+}
+
+// TestNonAtomicCheckThenSetLosesUpdate demonstrates the §4.1.2 defect: a
+// write in the window between validation and commit is silently overwritten.
+func TestNonAtomicCheckThenSetLosesUpdate(t *testing.T) {
+	e, pk := newPostsEngine(t)
+	c := Checker{Eng: e, Table: "posts"}
+
+	err := c.NonAtomicCheckThenSet(pk, VersionGuard("ver", 1),
+		map[string]storage.Value{"content": "admin A", "ver": int64(2)},
+		func() {
+			// A concurrent admin's conflicting update lands in the window;
+			// it bumps the version, which *should* doom our update.
+			err := e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+				_, err := tx.Update("posts", storage.ByPK(pk), map[string]storage.Value{
+					"content": "admin B", "ver": int64(2),
+				})
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	if err != nil {
+		t.Fatalf("non-atomic variant does not detect the race: %v", err)
+	}
+	// Admin B's change is gone — the lost update the atomic variant
+	// (TestCheckAndSetVersionGuard) prevents.
+	if got := content(t, e, pk); got != "admin A" {
+		t.Fatalf("content = %q; expected the buggy overwrite", got)
+	}
+}
+
+func TestNonAtomicCheckThenSetGuardStillChecks(t *testing.T) {
+	e, pk := newPostsEngine(t)
+	c := Checker{Eng: e, Table: "posts"}
+	err := c.NonAtomicCheckThenSet(pk, VersionGuard("ver", 99),
+		map[string]storage.Value{"content": "x"}, nil)
+	if !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("failed guard = %v", err)
+	}
+	err = c.NonAtomicCheckThenSet(12345, VersionGuard("ver", 1),
+		map[string]storage.Value{"content": "x"}, nil)
+	if !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("missing row = %v", err)
+	}
+}

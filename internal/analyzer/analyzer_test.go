@@ -1,0 +1,336 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"adhoctx/internal/adhoc/locks"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+// --- history construction helpers ---
+
+func read(unit, table string, pk int64, cols ...string) Item {
+	return Item{Unit: unit, Kind: OpRead, Table: table, PK: pk, Cols: colsOrNil(cols)}
+}
+
+func write(unit, table string, pk int64, cols ...string) Item {
+	return Item{Unit: unit, Kind: OpWrite, Table: table, PK: pk, Cols: colsOrNil(cols)}
+}
+
+func lockAcq(unit, key string) Item { return Item{Unit: unit, Kind: OpLockAcquire, Key: key} }
+func lockRel(unit, key string) Item { return Item{Unit: unit, Kind: OpLockRelease, Key: key} }
+
+func colsOrNil(cols []string) []string {
+	if len(cols) == 0 {
+		return nil
+	}
+	return cols
+}
+
+func seqd(items []Item) []Item {
+	for i := range items {
+		items[i].Seq = i
+	}
+	return items
+}
+
+// --- serializability ---
+
+func TestSerializableHistoryAcyclic(t *testing.T) {
+	// u1 fully precedes u2 on the same row: serial, fine.
+	items := seqd([]Item{
+		read("u1", "skus", 1), write("u1", "skus", 1),
+		read("u2", "skus", 1), write("u2", "skus", 1),
+	})
+	g := BuildConflictGraph(items)
+	if cycle := g.FindCycle(); cycle != nil {
+		t.Fatalf("serial history reported cycle %v\n%s", cycle, g.Describe())
+	}
+	if !Serializable(items) {
+		t.Fatal("Serializable() = false")
+	}
+}
+
+func TestLostUpdateCycleDetected(t *testing.T) {
+	// Classic lost update: r1 r2 w1 w2 — edges u1→u2 (r1 before w2) and
+	// u2→u1 (r2 before w1): cycle.
+	items := seqd([]Item{
+		read("u1", "skus", 1),
+		read("u2", "skus", 1),
+		write("u1", "skus", 1),
+		write("u2", "skus", 1),
+	})
+	cycle := BuildConflictGraph(items).FindCycle()
+	if cycle == nil {
+		t.Fatal("lost-update interleaving not detected")
+	}
+	if len(cycle) < 2 {
+		t.Fatalf("cycle = %v", cycle)
+	}
+}
+
+// TestColumnAwareConflicts encodes the §3.3.2 CBC insight: interleaved
+// writes to disjoint columns of one row commute and must not create a cycle;
+// the same interleaving on one column must.
+func TestColumnAwareConflicts(t *testing.T) {
+	disjoint := seqd([]Item{
+		read("create-post", "topics", 7, "max_post"),
+		read("toggle-answer", "topics", 7, "answer"),
+		write("create-post", "topics", 7, "max_post"),
+		write("toggle-answer", "topics", 7, "answer"),
+	})
+	if !Serializable(disjoint) {
+		t.Fatal("disjoint-column interleaving flagged non-serializable")
+	}
+	sameCol := seqd([]Item{
+		read("a", "topics", 7, "max_post"),
+		read("b", "topics", 7, "max_post"),
+		write("a", "topics", 7, "max_post"),
+		write("b", "topics", 7, "max_post"),
+	})
+	if Serializable(sameCol) {
+		t.Fatal("same-column lost update not flagged")
+	}
+	// nil column set means all columns: conflicts with everything.
+	mixed := seqd([]Item{
+		read("a", "topics", 7),
+		read("b", "topics", 7, "answer"),
+		write("a", "topics", 7),
+		write("b", "topics", 7, "answer"),
+	})
+	if Serializable(mixed) {
+		t.Fatal("nil-cols write should conflict with column write")
+	}
+}
+
+func TestReadsDoNotConflict(t *testing.T) {
+	items := seqd([]Item{
+		read("a", "t", 1), read("b", "t", 1), read("a", "t", 1),
+	})
+	g := BuildConflictGraph(items)
+	if len(g.Edges) != 0 {
+		t.Fatalf("read-only history has edges: %s", g.Describe())
+	}
+}
+
+func TestUntaggedItemsGroupByTxn(t *testing.T) {
+	items := seqd([]Item{
+		{Kind: OpRead, Table: "t", PK: 1, TxnID: 11},
+		{Kind: OpRead, Table: "t", PK: 1, TxnID: 12},
+		{Kind: OpWrite, Table: "t", PK: 1, TxnID: 11},
+		{Kind: OpWrite, Table: "t", PK: 1, TxnID: 12},
+	})
+	if Serializable(items) {
+		t.Fatal("txn-grouped lost update not detected")
+	}
+}
+
+func TestDescribeMentionsEdges(t *testing.T) {
+	items := seqd([]Item{
+		read("a", "t", 1), write("b", "t", 1),
+	})
+	desc := BuildConflictGraph(items).Describe()
+	if !strings.Contains(desc, "a -> b") {
+		t.Fatalf("Describe() = %q", desc)
+	}
+}
+
+// --- lint detectors ---
+
+func TestDetectUncoordinatedAccess(t *testing.T) {
+	// html-handler coordinates order 5 under a lock; json-handler writes it
+	// bare — the Spree §4.2 case.
+	items := seqd([]Item{
+		lockAcq("html-handler", "order:5"),
+		read("html-handler", "orders", 5),
+		write("html-handler", "orders", 5),
+		lockRel("html-handler", "order:5"),
+		write("json-handler", "orders", 5),
+	})
+	fs := DetectUncoordinatedAccess(items)
+	if len(fs) != 1 || fs[0].Unit != "json-handler" {
+		t.Fatalf("findings = %v", fs)
+	}
+	if fs[0].String() == "" {
+		t.Fatal("empty finding string")
+	}
+}
+
+func TestUncoordinatedAccessIgnoresUnlockedRows(t *testing.T) {
+	// Nobody locks the row: not an ad hoc transaction row, no finding.
+	items := seqd([]Item{
+		write("a", "logs", 1),
+		write("b", "logs", 1),
+	})
+	if fs := DetectUncoordinatedAccess(items); len(fs) != 0 {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestDetectReadBeforeLock(t *testing.T) {
+	// The Discourse edit-post bug: read, then lock, then write.
+	items := seqd([]Item{
+		read("edit-post", "posts", 9),
+		lockAcq("edit-post", "post:9"),
+		write("edit-post", "posts", 9),
+		lockRel("edit-post", "post:9"),
+	})
+	fs := DetectReadBeforeLock(items)
+	if len(fs) != 1 || fs[0].Rule != "read-before-lock" {
+		t.Fatalf("findings = %v", fs)
+	}
+	// The fixed shape — lock, re-read, write — is clean.
+	fixed := seqd([]Item{
+		lockAcq("edit-post", "post:9"),
+		read("edit-post", "posts", 9),
+		write("edit-post", "posts", 9),
+		lockRel("edit-post", "post:9"),
+	})
+	if fs := DetectReadBeforeLock(fixed); len(fs) != 0 {
+		t.Fatalf("fixed shape flagged: %v", fs)
+	}
+}
+
+func TestDetectNonAtomicValidate(t *testing.T) {
+	// Validation in txn 1, write in txn 2, no lock across: the MiniSql bug.
+	items := seqd([]Item{
+		{Unit: "u", Kind: OpValidate, Table: "reviewables", PK: 3, TxnID: 1, OK: true},
+		{Unit: "u", Kind: OpWrite, Table: "reviewables", PK: 3, TxnID: 2},
+	})
+	fs := DetectNonAtomicValidate(items)
+	if len(fs) != 1 || fs[0].Rule != "non-atomic-validate" {
+		t.Fatalf("findings = %v", fs)
+	}
+
+	// Same txn: atomic, clean.
+	sameTxn := seqd([]Item{
+		{Unit: "u", Kind: OpValidate, Table: "r", PK: 3, TxnID: 5, OK: true},
+		{Unit: "u", Kind: OpWrite, Table: "r", PK: 3, TxnID: 5},
+	})
+	if fs := DetectNonAtomicValidate(sameTxn); len(fs) != 0 {
+		t.Fatalf("same-txn flagged: %v", fs)
+	}
+
+	// Lock held across both: atomic, clean.
+	locked := seqd([]Item{
+		lockAcq("u", "k"),
+		{Unit: "u", Kind: OpValidate, Table: "r", PK: 3, TxnID: 1, OK: true},
+		{Unit: "u", Kind: OpWrite, Table: "r", PK: 3, TxnID: 2},
+		lockRel("u", "k"),
+	})
+	if fs := DetectNonAtomicValidate(locked); len(fs) != 0 {
+		t.Fatalf("locked flagged: %v", fs)
+	}
+
+	// Failed validation followed by no write: clean.
+	failed := seqd([]Item{
+		{Unit: "u", Kind: OpValidate, Table: "r", PK: 3, TxnID: 1, OK: false},
+	})
+	if fs := DetectNonAtomicValidate(failed); len(fs) != 0 {
+		t.Fatalf("failed-validation flagged: %v", fs)
+	}
+}
+
+func TestLintAggregates(t *testing.T) {
+	items := seqd([]Item{
+		read("edit", "posts", 9),
+		lockAcq("edit", "post:9"),
+		write("edit", "posts", 9),
+		lockRel("edit", "post:9"),
+		write("rogue", "posts", 9),
+	})
+	fs := Lint(items)
+	rules := map[string]bool{}
+	for _, f := range fs {
+		rules[f.Rule] = true
+	}
+	if !rules["read-before-lock"] || !rules["uncoordinated-access"] {
+		t.Fatalf("Lint missed rules: %v", fs)
+	}
+}
+
+// --- end-to-end: engine tracer + tapped locker feed the history ---
+
+func TestHistoryFromEngineAndLocker(t *testing.T) {
+	e := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 2 * time.Second})
+	e.CreateTable(storage.NewSchema("invites", storage.Column{Name: "redeems", Type: storage.TInt}))
+	h := NewHistory()
+	e.SetTracer(h)
+	defer e.SetTracer(nil)
+
+	var pk int64
+	if err := e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		tx.SetTag("seed")
+		var err error
+		pk, err = tx.Insert("invites", map[string]storage.Value{"redeems": int64(0)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	l := h.TapLocker(locks.NewMemLocker(), "redeem#1")
+	err := core.WithLock(l, "invite:1", func() error {
+		return e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+			tx.SetTag("redeem#1")
+			row, err := tx.SelectOne("invites", storage.ByPK(pk))
+			if err != nil {
+				return err
+			}
+			n := row.Get(e.Schema("invites"), "redeems").(int64)
+			_, err = tx.Update("invites", storage.ByPK(pk), map[string]storage.Value{"redeems": n + 1})
+			return err
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	items := h.Items()
+	var haveLock, haveRead, haveWrite bool
+	for _, it := range items {
+		if it.Kind == OpLockAcquire && it.Unit == "redeem#1" {
+			haveLock = true
+		}
+		if it.Kind == OpRead && it.Unit == "redeem#1" && it.Table == "invites" {
+			haveRead = true
+		}
+		if it.Kind == OpWrite && it.Unit == "redeem#1" {
+			haveWrite = true
+		}
+	}
+	if !haveLock || !haveRead || !haveWrite {
+		t.Fatalf("history incomplete: lock=%v read=%v write=%v\n%v", haveLock, haveRead, haveWrite, items)
+	}
+	// The well-formed RMW (lock before read) yields no findings.
+	for _, f := range Lint(items) {
+		if f.Unit == "redeem#1" {
+			t.Fatalf("clean unit flagged: %v", f)
+		}
+	}
+
+	h.Reset()
+	if len(h.Items()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestItemAndKindStrings(t *testing.T) {
+	for _, it := range []Item{
+		read("u", "t", 1), write("u", "t", 1), lockAcq("u", "k"), lockRel("u", "k"),
+		{Unit: "u", Kind: OpValidate, Table: "t", PK: 1, OK: true},
+		{Unit: "u", Kind: OpBegin, TxnID: 4},
+	} {
+		if it.String() == "" {
+			t.Fatalf("empty String for %v", it.Kind)
+		}
+	}
+	for k := OpRead; k <= OpRollback; k++ {
+		if k.String() == "" || k.String() == "op(?)" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package analyzer implements the development-support tooling the paper's
+// discussion calls for (§6): recording execution histories of ad hoc
+// transactions, checking them for serializability with a column-aware
+// conflict graph, and linting them for the §4 issue classes (reads escaping
+// the lock scope, non-atomic validate-and-commit, uncoordinated conflicting
+// accesses).
+//
+// A history is a sequence of Items grouped into units of work. A unit is one
+// ad hoc transaction execution — typically one API invocation — which may
+// span several database transactions (that is what makes ad hoc transactions
+// invisible to SQL-log tools like ACIDRain, §2.2). Engine events are routed
+// to units via transaction tags; lock and validation events are recorded
+// explicitly.
+package analyzer
+
+import (
+	"fmt"
+	"sync"
+
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+)
+
+// ItemKind classifies history items.
+type ItemKind int
+
+// History item kinds.
+const (
+	OpRead ItemKind = iota
+	OpWrite
+	OpInsert
+	OpDelete
+	OpLockAcquire
+	OpLockRelease
+	OpValidate
+	OpBegin
+	OpCommit
+	OpRollback
+)
+
+// String implements fmt.Stringer.
+func (k ItemKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpLockAcquire:
+		return "lock"
+	case OpLockRelease:
+		return "unlock"
+	case OpValidate:
+		return "validate"
+	case OpBegin:
+		return "begin"
+	case OpCommit:
+		return "commit"
+	case OpRollback:
+		return "rollback"
+	default:
+		return "op(?)"
+	}
+}
+
+// Item is one recorded action.
+type Item struct {
+	// Seq is the item's position in the global recorded order.
+	Seq int
+	// Unit identifies the ad hoc transaction execution (empty items are
+	// attributed to their database transaction at analysis time).
+	Unit string
+	// TxnID is the database transaction, when applicable.
+	TxnID uint64
+	// Kind is the action.
+	Kind ItemKind
+	// Table/PK locate a row for data ops.
+	Table string
+	PK    int64
+	// Cols are the touched columns (nil = all).
+	Cols []string
+	// Key is the lock key for lock ops.
+	Key string
+	// OK is the validation outcome for OpValidate.
+	OK bool
+}
+
+// String implements fmt.Stringer.
+func (it Item) String() string {
+	switch it.Kind {
+	case OpLockAcquire, OpLockRelease:
+		return fmt.Sprintf("%s %s %q", it.Unit, it.Kind, it.Key)
+	case OpValidate:
+		return fmt.Sprintf("%s validate %s:%d ok=%v", it.Unit, it.Table, it.PK, it.OK)
+	case OpBegin, OpCommit, OpRollback:
+		return fmt.Sprintf("%s %s txn=%d", it.Unit, it.Kind, it.TxnID)
+	default:
+		return fmt.Sprintf("%s %s %s:%d %v", it.Unit, it.Kind, it.Table, it.PK, it.Cols)
+	}
+}
+
+// History records items. It is safe for concurrent use and implements
+// engine.Tracer, so installing it via Engine.SetTracer captures every
+// database operation; transactions tagged with SetTag land in that unit.
+type History struct {
+	mu    sync.Mutex
+	items []Item
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{} }
+
+// Trace implements engine.Tracer.
+func (h *History) Trace(ev engine.Event) {
+	kind, ok := eventKind(ev.Kind)
+	if !ok {
+		return
+	}
+	h.add(Item{
+		Unit:  ev.Tag,
+		TxnID: ev.TxnID,
+		Kind:  kind,
+		Table: ev.Table,
+		PK:    ev.PK,
+		Cols:  ev.Cols,
+	})
+}
+
+func eventKind(k engine.EventKind) (ItemKind, bool) {
+	switch k {
+	case engine.EvRead:
+		return OpRead, true
+	case engine.EvWrite:
+		return OpWrite, true
+	case engine.EvInsert:
+		return OpInsert, true
+	case engine.EvDelete:
+		return OpDelete, true
+	case engine.EvBegin:
+		return OpBegin, true
+	case engine.EvCommit:
+		return OpCommit, true
+	case engine.EvRollback:
+		return OpRollback, true
+	default:
+		return 0, false
+	}
+}
+
+// Lock records an explicit ad hoc lock acquisition or release for a unit.
+func (h *History) Lock(unit, key string, acquired bool) {
+	kind := OpLockAcquire
+	if !acquired {
+		kind = OpLockRelease
+	}
+	h.add(Item{Unit: unit, Kind: kind, Key: key})
+}
+
+// Validate records a validation outcome for a unit.
+func (h *History) Validate(unit string, txnID uint64, table string, pk int64, ok bool) {
+	h.add(Item{Unit: unit, TxnID: txnID, Kind: OpValidate, Table: table, PK: pk, OK: ok})
+}
+
+func (h *History) add(it Item) {
+	h.mu.Lock()
+	it.Seq = len(h.items)
+	h.items = append(h.items, it)
+	h.mu.Unlock()
+}
+
+// Items returns a snapshot of the recorded history.
+func (h *History) Items() []Item {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Item, len(h.items))
+	copy(out, h.items)
+	return out
+}
+
+// Reset clears the history.
+func (h *History) Reset() {
+	h.mu.Lock()
+	h.items = nil
+	h.mu.Unlock()
+}
+
+// TapLocker wraps a core.Locker so its acquisitions and releases are
+// recorded against a unit.
+func (h *History) TapLocker(l core.Locker, unit string) core.Locker {
+	return &tappedLocker{l: l, h: h, unit: unit}
+}
+
+type tappedLocker struct {
+	l    core.Locker
+	h    *History
+	unit string
+}
+
+// Name implements core.Locker.
+func (t *tappedLocker) Name() string { return t.l.Name() }
+
+// Acquire implements core.Locker.
+func (t *tappedLocker) Acquire(key string) (core.Release, error) {
+	rel, err := t.l.Acquire(key)
+	if err != nil {
+		return nil, err
+	}
+	t.h.Lock(t.unit, key, true)
+	return func() error {
+		t.h.Lock(t.unit, key, false)
+		return rel()
+	}, nil
+}
+
+// unitOf returns the analysis unit for an item: its declared unit, or its
+// database transaction when untagged.
+func unitOf(it Item) string {
+	if it.Unit != "" {
+		return it.Unit
+	}
+	if it.TxnID != 0 {
+		return fmt.Sprintf("txn-%d", it.TxnID)
+	}
+	return "?"
+}

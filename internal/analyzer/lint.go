@@ -1,0 +1,207 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Finding is one detector hit.
+type Finding struct {
+	// Rule names the detector.
+	Rule string
+	// Unit is the offending unit of work.
+	Unit string
+	// Detail explains the problem.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (f Finding) String() string { return fmt.Sprintf("[%s] %s: %s", f.Rule, f.Unit, f.Detail) }
+
+// Lint runs every detector over the history.
+func Lint(items []Item) []Finding {
+	var out []Finding
+	out = append(out, DetectUncoordinatedAccess(items)...)
+	out = append(out, DetectReadBeforeLock(items)...)
+	out = append(out, DetectNonAtomicValidate(items)...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Unit < out[j].Unit
+	})
+	return out
+}
+
+// heldSets replays the history and returns, for each item index, the set of
+// lock keys its unit held at that moment.
+func heldSets(items []Item) []map[string]bool {
+	held := map[string]map[string]bool{} // unit -> keys
+	out := make([]map[string]bool, len(items))
+	for i, it := range items {
+		u := unitOf(it)
+		switch it.Kind {
+		case OpLockAcquire:
+			if held[u] == nil {
+				held[u] = map[string]bool{}
+			}
+			held[u][it.Key] = true
+		case OpLockRelease:
+			delete(held[u], it.Key)
+		}
+		snap := make(map[string]bool, len(held[u]))
+		for k := range held[u] {
+			snap[k] = true
+		}
+		out[i] = snap
+	}
+	return out
+}
+
+// DetectUncoordinatedAccess finds rows that some unit accesses under an ad
+// hoc lock while another unit writes the same row (intersecting columns)
+// holding no lock at all — the "forgetting ad hoc transactions" and
+// "omitting critical operations" classes of §4.2 (Spree's JSON handlers,
+// Broadleaf's SKU operations).
+func DetectUncoordinatedAccess(items []Item) []Finding {
+	held := heldSets(items)
+	type rowInfo struct {
+		lockedBy  map[string]bool // units that accessed under a lock
+		nakedIdx  []int           // item indexes of unlocked writes
+		nakedUnit []string
+	}
+	rows := map[rowID]*rowInfo{}
+	for i, it := range items {
+		switch it.Kind {
+		case OpRead, OpWrite, OpInsert, OpDelete:
+		default:
+			continue
+		}
+		r := rowID{it.Table, it.PK}
+		info := rows[r]
+		if info == nil {
+			info = &rowInfo{lockedBy: map[string]bool{}}
+			rows[r] = info
+		}
+		u := unitOf(it)
+		if len(held[i]) > 0 {
+			info.lockedBy[u] = true
+		} else if it.Kind != OpRead {
+			info.nakedIdx = append(info.nakedIdx, i)
+			info.nakedUnit = append(info.nakedUnit, u)
+		}
+	}
+	var out []Finding
+	seen := map[string]bool{}
+	for r, info := range rows {
+		if len(info.lockedBy) == 0 {
+			continue // nobody coordinates this row; not an ad hoc txn row
+		}
+		for k, idx := range info.nakedIdx {
+			u := info.nakedUnit[k]
+			if info.lockedBy[u] {
+				// The unit locks the row elsewhere but wrote it outside
+				// the lock scope — still report (omitted operation).
+				_ = idx
+			}
+			key := "uncoordinated-access|" + u + "|" + r.table
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Finding{
+				Rule: "uncoordinated-access",
+				Unit: u,
+				Detail: fmt.Sprintf("writes %s:%d without holding any ad hoc lock, while other units coordinate that row with locks",
+					r.table, r.pk),
+			})
+		}
+	}
+	return out
+}
+
+// DetectReadBeforeLock finds the §4.1.1 RMW misuse: a unit reads a row, then
+// acquires a lock, then writes the same row under the lock — so the initial
+// read escaped the critical section and the read–modify–write is not atomic
+// (Discourse's post-edit bug: "the post is locked after being read").
+func DetectReadBeforeLock(items []Item) []Finding {
+	held := heldSets(items)
+	type unitRow struct {
+		unit string
+		row  rowID
+	}
+	readUnlocked := map[unitRow]bool{}
+	var out []Finding
+	seen := map[unitRow]bool{}
+	for i, it := range items {
+		u := unitOf(it)
+		switch it.Kind {
+		case OpRead:
+			if len(held[i]) == 0 {
+				readUnlocked[unitRow{u, rowID{it.Table, it.PK}}] = true
+			}
+		case OpWrite, OpDelete:
+			ur := unitRow{u, rowID{it.Table, it.PK}}
+			if len(held[i]) > 0 && readUnlocked[ur] && !seen[ur] {
+				seen[ur] = true
+				out = append(out, Finding{
+					Rule: "read-before-lock",
+					Unit: u,
+					Detail: fmt.Sprintf("reads %s:%d before acquiring the lock it later writes under — the RMW is not atomic; re-read after locking",
+						it.Table, it.PK),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// DetectNonAtomicValidate finds the §4.1.2 class: a unit validates a row in
+// one database transaction and writes it in another, with no ad hoc lock
+// held across both — so the validate-and-commit pair is not atomic
+// (Discourse's MiniSql escape).
+func DetectNonAtomicValidate(items []Item) []Finding {
+	held := heldSets(items)
+	type pending struct {
+		txnID  uint64
+		locked bool
+		idx    int
+	}
+	lastValidate := map[string]map[rowID]pending{} // unit -> row -> validation
+	var out []Finding
+	seen := map[string]bool{}
+	for i, it := range items {
+		u := unitOf(it)
+		switch it.Kind {
+		case OpValidate:
+			if !it.OK {
+				continue
+			}
+			if lastValidate[u] == nil {
+				lastValidate[u] = map[rowID]pending{}
+			}
+			lastValidate[u][rowID{it.Table, it.PK}] = pending{
+				txnID:  it.TxnID,
+				locked: len(held[i]) > 0,
+				idx:    i,
+			}
+		case OpWrite, OpDelete:
+			p, ok := lastValidate[u][rowID{it.Table, it.PK}]
+			if !ok {
+				continue
+			}
+			sameTxn := it.TxnID != 0 && it.TxnID == p.txnID
+			lockedAcross := p.locked && len(held[i]) > 0
+			if !sameTxn && !lockedAcross && !seen[u] {
+				seen[u] = true
+				out = append(out, Finding{
+					Rule: "non-atomic-validate",
+					Unit: u,
+					Detail: fmt.Sprintf("validates %s:%d in txn %d but writes it in txn %d with no lock held across — validate-and-commit is not atomic",
+						it.Table, it.PK, p.txnID, it.TxnID),
+				})
+			}
+		}
+	}
+	return out
+}

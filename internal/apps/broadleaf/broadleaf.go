@@ -1,0 +1,310 @@
+// Package broadleaf models the Broadleaf e-commerce application's ad hoc
+// transactions: the cart-total lock of Figure 1a (one in-memory lock
+// coordinating Carts and Items — the associated-access pattern), the
+// check-out read–modify–write on SKUs used by Figure 3's RMW experiment,
+// and the §4.1.1 LRU lock-table bug.
+//
+// Broadleaf runs on the MySQL dialect in the paper's RMW evaluation
+// (Table 6); the DBT variant therefore uses Serializable transactions,
+// whose shared locking reads deadlock on concurrent RMWs.
+package broadleaf
+
+import (
+	"errors"
+	"fmt"
+
+	"adhoctx/internal/adhoc/granularity"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+// Mode selects the coordination implementation of an API.
+type Mode int
+
+// Coordination modes.
+const (
+	// AHT uses the original ad hoc transaction.
+	AHT Mode = iota
+	// DBT replaces it with a database transaction at the weakest
+	// sufficient isolation (Serializable for the RMW APIs, §5.2).
+	DBT
+)
+
+// ErrInsufficientStock rejects purchases beyond the SKU quantity.
+var ErrInsufficientStock = errors.New("broadleaf: insufficient stock")
+
+// App is the mini-application. Construct with New.
+type App struct {
+	Eng *engine.Engine
+	// Locks is the cart/SKU lock table: MEM in the fixed configuration,
+	// MEM-LRU (buggy) to reproduce the eviction defect.
+	Locks core.Locker
+	// Mode selects AHT or DBT for the evaluation APIs.
+	Mode Mode
+	// RetryAttempts bounds DBT retry loops.
+	RetryAttempts int
+}
+
+// New creates the application schema on eng and returns the app.
+func New(eng *engine.Engine, locks core.Locker) *App {
+	eng.CreateTable(storage.NewSchema("skus",
+		storage.Column{Name: "quantity", Type: storage.TInt},
+		storage.Column{Name: "sold", Type: storage.TInt},
+	))
+	eng.CreateTable(storage.NewSchema("carts",
+		storage.Column{Name: "total", Type: storage.TFloat},
+	))
+	eng.CreateTable(storage.NewSchema("cart_items",
+		storage.Column{Name: "cart_id", Type: storage.TInt},
+		storage.Column{Name: "sku_id", Type: storage.TInt},
+		storage.Column{Name: "qty", Type: storage.TInt},
+		storage.Column{Name: "price", Type: storage.TFloat},
+	), "cart_id")
+	eng.CreateTable(storage.NewSchema("promotions",
+		storage.Column{Name: "uses", Type: storage.TInt},
+		storage.Column{Name: "max_uses", Type: storage.TInt},
+	))
+	return &App{Eng: eng, Locks: locks, RetryAttempts: 200}
+}
+
+// CreateSKU seeds a SKU with stock.
+func (a *App) CreateSKU(quantity int64) (int64, error) {
+	var id int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		id, err = t.Insert("skus", map[string]storage.Value{"quantity": quantity, "sold": int64(0)})
+		return err
+	})
+	return id, err
+}
+
+// CreateCart seeds an empty cart.
+func (a *App) CreateCart() (int64, error) {
+	var id int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		id, err = t.Insert("carts", map[string]storage.Value{"total": 0.0})
+		return err
+	})
+	return id, err
+}
+
+// CreatePromotion seeds a promotion with a usage cap.
+func (a *App) CreatePromotion(maxUses int64) (int64, error) {
+	var id int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		id, err = t.Insert("promotions", map[string]storage.Value{"uses": int64(0), "max_uses": maxUses})
+		return err
+	})
+	return id, err
+}
+
+// AddToCart is Figure 1a: one cart lock coordinates the Carts row and its
+// Items rows (associated accesses), recomputing the denormalised total.
+func (a *App) AddToCart(cartID, skuID, qty int64, price float64) error {
+	return core.WithLock(a.Locks, granularity.GroupKey("cart", cartID), func() error {
+		return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			cart, err := t.SelectOne("carts", storage.ByPK(cartID))
+			if err != nil {
+				return err
+			}
+			if cart == nil {
+				return fmt.Errorf("broadleaf: no cart %d", cartID)
+			}
+			if _, err := t.Insert("cart_items", map[string]storage.Value{
+				"cart_id": cartID, "sku_id": skuID, "qty": qty, "price": price,
+			}); err != nil {
+				return err
+			}
+			items, err := t.Select("cart_items", storage.Eq{Col: "cart_id", Val: cartID})
+			if err != nil {
+				return err
+			}
+			schema := a.Eng.Schema("cart_items")
+			total := 0.0
+			for _, it := range items {
+				total += float64(it.Get(schema, "qty").(int64)) * it.Get(schema, "price").(float64)
+			}
+			_, err = t.Update("carts", storage.ByPK(cartID), map[string]storage.Value{"total": total})
+			return err
+		})
+	})
+}
+
+// CartTotal returns the cart's persisted total and the total recomputed from
+// its items (they must agree when coordination is correct).
+func (a *App) CartTotal(cartID int64) (persisted, recomputed float64, err error) {
+	err = a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		cart, err := t.SelectOne("carts", storage.ByPK(cartID))
+		if err != nil {
+			return err
+		}
+		persisted = cart.Get(a.Eng.Schema("carts"), "total").(float64)
+		items, err := t.Select("cart_items", storage.Eq{Col: "cart_id", Val: cartID})
+		if err != nil {
+			return err
+		}
+		schema := a.Eng.Schema("cart_items")
+		for _, it := range items {
+			recomputed += float64(it.Get(schema, "qty").(int64)) * it.Get(schema, "price").(float64)
+		}
+		return nil
+	})
+	return persisted, recomputed, err
+}
+
+// Checkout purchases qty units of one SKU. The API has two parts, like the
+// real check-out: a non-critical browse/summary phase (reading the SKU and
+// the customer's cart items), and the critical RMW of §3.1.1/§5.2 (read the
+// quantity, check sufficiency, decrement, increment sold).
+//
+// AHT: only the RMW runs under the exclusive ad hoc SKU lock; the browse
+// phase runs before it, uncoordinated, at the dialect default — the partial
+// coordination of §3.1.1. Non-critical phases of concurrent requests
+// pipeline with the one active critical section (§5.2).
+// DBT: the whole API is one Serializable transaction; under MySQL semantics
+// every SELECT takes shared locks, so concurrent checkouts deadlock on the
+// S→X upgrade and the retry loop re-runs the entire API.
+func (a *App) Checkout(skuID, qty int64) error {
+	switch a.Mode {
+	case AHT:
+		if err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			return a.browsePhase(t, skuID)
+		}); err != nil {
+			return err
+		}
+		return core.WithLock(a.Locks, granularity.RowKey("sku", skuID), func() error {
+			return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+				return a.checkoutBody(t, skuID, qty)
+			})
+		})
+	default:
+		return a.Eng.RunWithRetry(engine.Serializable, a.RetryAttempts, func(t *engine.Txn) error {
+			if err := a.browsePhase(t, skuID); err != nil {
+				return err
+			}
+			return a.checkoutBody(t, skuID, qty)
+		})
+	}
+}
+
+// browsePhase models the order-summary reads preceding the purchase: the
+// SKU details and the customer's cart lines. None of it needs coordination.
+func (a *App) browsePhase(t *engine.Txn, skuID int64) error {
+	if _, err := t.SelectOne("skus", storage.ByPK(skuID)); err != nil {
+		return err
+	}
+	_, err := t.Select("cart_items", storage.Eq{Col: "sku_id", Val: skuID})
+	return err
+}
+
+func (a *App) checkoutBody(t *engine.Txn, skuID, qty int64) error {
+	sku, err := t.SelectOne("skus", storage.ByPK(skuID))
+	if err != nil {
+		return err
+	}
+	if sku == nil {
+		return fmt.Errorf("broadleaf: no sku %d", skuID)
+	}
+	schema := a.Eng.Schema("skus")
+	have := sku.Get(schema, "quantity").(int64)
+	sold := sku.Get(schema, "sold").(int64)
+	if have < qty {
+		return ErrInsufficientStock
+	}
+	_, err = t.Update("skus", storage.ByPK(skuID), map[string]storage.Value{
+		"quantity": have - qty, "sold": sold + qty,
+	})
+	return err
+}
+
+// SKUState returns (quantity, sold).
+func (a *App) SKUState(skuID int64) (quantity, sold int64, err error) {
+	err = a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		sku, err := t.SelectOne("skus", storage.ByPK(skuID))
+		if err != nil {
+			return err
+		}
+		schema := a.Eng.Schema("skus")
+		quantity = sku.Get(schema, "quantity").(int64)
+		sold = sku.Get(schema, "sold").(int64)
+		return nil
+	})
+	return quantity, sold, err
+}
+
+// RedeemPromotion consumes one promotion use under the promotion lock. The
+// buggy shape (§4.2, promotion overuse) omits the uses check from the
+// coordinated scope when checkOutside is true: the check runs before the
+// lock, so concurrent redeemers all pass it.
+func (a *App) RedeemPromotion(promoID int64, checkOutsideLock bool) error {
+	schema := a.Eng.Schema("promotions")
+	readState := func() (uses, max int64, err error) {
+		err = a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			row, err := t.SelectOne("promotions", storage.ByPK(promoID))
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				return fmt.Errorf("broadleaf: no promotion %d", promoID)
+			}
+			uses = row.Get(schema, "uses").(int64)
+			max = row.Get(schema, "max_uses").(int64)
+			return nil
+		})
+		return uses, max, err
+	}
+
+	if checkOutsideLock {
+		uses, max, err := readState()
+		if err != nil {
+			return err
+		}
+		if uses >= max {
+			return fmt.Errorf("broadleaf: promotion %d exhausted", promoID)
+		}
+		// The increment is locked, but the check above was not: omitted
+		// critical operation.
+		return core.WithLock(a.Locks, granularity.RowKey("promotion", promoID), func() error {
+			return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+				row, err := t.SelectOne("promotions", storage.ByPK(promoID))
+				if err != nil {
+					return err
+				}
+				u := row.Get(schema, "uses").(int64)
+				_, err = t.Update("promotions", storage.ByPK(promoID), map[string]storage.Value{"uses": u + 1})
+				return err
+			})
+		})
+	}
+
+	return core.WithLock(a.Locks, granularity.RowKey("promotion", promoID), func() error {
+		uses, max, err := readState()
+		if err != nil {
+			return err
+		}
+		if uses >= max {
+			return fmt.Errorf("broadleaf: promotion %d exhausted", promoID)
+		}
+		return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			_, err := t.Update("promotions", storage.ByPK(promoID), map[string]storage.Value{"uses": uses + 1})
+			return err
+		})
+	})
+}
+
+// PromotionUses returns the promotion's use count.
+func (a *App) PromotionUses(promoID int64) (int64, error) {
+	var uses int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		row, err := t.SelectOne("promotions", storage.ByPK(promoID))
+		if err != nil {
+			return err
+		}
+		uses = row.Get(a.Eng.Schema("promotions"), "uses").(int64)
+		return nil
+	})
+	return uses, err
+}

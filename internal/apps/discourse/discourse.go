@@ -1,0 +1,419 @@
+// Package discourse models the Discourse forum application's ad hoc
+// transactions — the paper's richest source of examples:
+//
+//   - create-post and toggle-answer with column-based coordination (§3.3.2,
+//     Figure 3's CBC experiment),
+//   - like-post with one topic lock over associated accesses (Figure 3's AA
+//     experiment),
+//   - edit-post spanning two requests with value validation (§3.1.2,
+//     §3.3.2), including the read-before-lock misuse (§4.1.1),
+//   - shrink-image with the four rollback strategies of Figure 4 (§3.4.1),
+//     including the incomplete-repair defect (§4.3),
+//   - the fsck-style consistency checker for dangling image references
+//     (§3.4.2).
+//
+// Discourse runs on PostgreSQL; the DBT variants use the isolation levels
+// of Table 6 (Serializable for like-post, Repeatable Read for the CBC pair).
+package discourse
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"adhoctx/internal/adhoc/granularity"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+// Mode selects the coordination implementation of an API.
+type Mode int
+
+// Coordination modes.
+const (
+	// AHT uses the original ad hoc transaction.
+	AHT Mode = iota
+	// DBT replaces it with a database transaction at the weakest
+	// sufficient isolation (Table 6).
+	DBT
+)
+
+// RollbackMode selects the shrink-image failure-handling strategy
+// (Figure 4).
+type RollbackMode int
+
+// Rollback strategies of §5.3.
+const (
+	// Repair rolls forward: only the conflicted post is re-processed.
+	Repair RollbackMode = iota
+	// Manual undoes prior post updates with compensation statements and
+	// restarts the API.
+	Manual
+	// DBTWeak wraps the updates in one Read Committed transaction and
+	// aborts it on conflict, restarting the API.
+	DBTWeak
+	// DBTSerializable replaces the ad hoc transaction with one
+	// Serializable transaction.
+	DBTSerializable
+)
+
+// String implements fmt.Stringer.
+func (m RollbackMode) String() string {
+	switch m {
+	case Repair:
+		return "REPAIR"
+	case Manual:
+		return "MANUAL"
+	case DBTWeak:
+		return "DBT-W"
+	case DBTSerializable:
+		return "DBT-S"
+	default:
+		return "RollbackMode(?)"
+	}
+}
+
+// ErrEditConflict is returned to the user when an edit lost the race
+// (§3.1.2: "the current request handler will not update the content").
+var ErrEditConflict = errors.New("discourse: edit conflict, post changed since you loaded it")
+
+// App is the mini-application.
+type App struct {
+	Eng *engine.Engine
+	// Locks is the ad hoc lock table (Discourse uses the KV-MULTI Redis
+	// lock; any core.Locker works here).
+	Locks core.Locker
+	// Mode selects AHT or DBT for the evaluation APIs.
+	Mode Mode
+	// RetryAttempts bounds DBT and OCC retry loops.
+	RetryAttempts int
+	// BuggyReadBeforeLock reproduces the §4.1.1 misuse: the edit handler
+	// reads the post before acquiring the lock and skips the re-read.
+	BuggyReadBeforeLock bool
+	// CoarseRowLocks degrades the CBC pair to one shared row-level lock
+	// key per topic (instead of per-column namespaces) — the ablation that
+	// quantifies what column-based coordination buys (§3.3.2).
+	CoarseRowLocks bool
+	// ImageProcessing simulates per-invocation image shrinking cost in
+	// Figure 4's experiment.
+	ImageProcessing time.Duration
+	// EditProcessing simulates the post-cooking cost edit-post pays inside
+	// its critical section; it is what DBT-W and MANUAL block on in §5.3.
+	EditProcessing time.Duration
+	// Clock drives the simulated processing costs.
+	Clock sim.Clock
+	// TestHookAfterList, when set, runs right after shrink-image lists the
+	// qualifying posts — the deterministic injection point for the §4.3
+	// incomplete-repair reproduction.
+	TestHookAfterList func()
+}
+
+// New creates the application schema on eng.
+func New(eng *engine.Engine, locker core.Locker) *App {
+	eng.CreateTable(storage.NewSchema("topics",
+		storage.Column{Name: "max_post", Type: storage.TInt},
+		storage.Column{Name: "answer", Type: storage.TInt},
+		storage.Column{Name: "like_total", Type: storage.TInt},
+	))
+	eng.CreateTable(storage.NewSchema("posts",
+		storage.Column{Name: "topic_id", Type: storage.TInt},
+		storage.Column{Name: "number", Type: storage.TInt},
+		storage.Column{Name: "content", Type: storage.TString},
+		storage.Column{Name: "ver", Type: storage.TInt},
+		storage.Column{Name: "views", Type: storage.TInt},
+		storage.Column{Name: "likes", Type: storage.TInt},
+		storage.Column{Name: "img_id", Type: storage.TInt},
+	), "topic_id", "img_id")
+	eng.CreateTable(storage.NewSchema("uploads",
+		storage.Column{Name: "bytes", Type: storage.TInt},
+	))
+	return &App{Eng: eng, Locks: locker, RetryAttempts: 500, Clock: sim.RealClock{}}
+}
+
+// CreateTopic seeds a topic.
+func (a *App) CreateTopic() (int64, error) {
+	var id int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		id, err = t.Insert("topics", map[string]storage.Value{
+			"max_post": int64(0), "answer": int64(0), "like_total": int64(0),
+		})
+		return err
+	})
+	return id, err
+}
+
+// CreateUpload seeds an upload (image).
+func (a *App) CreateUpload(bytes int64) (int64, error) {
+	var id int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		id, err = t.Insert("uploads", map[string]storage.Value{"bytes": bytes})
+		return err
+	})
+	return id, err
+}
+
+// CreatePost appends a post to a topic — the §3.3.2 column-based case: the
+// ad hoc lock namespace "create_post" covers only the max_post column, so
+// it never falsely conflicts with toggle-answer on the same Topics row.
+func (a *App) CreatePost(topicID int64, content string, imgID int64) (int64, error) {
+	var postID int64
+	body := func(t *engine.Txn) error {
+		topic, err := t.SelectOne("topics", storage.ByPK(topicID))
+		if err != nil {
+			return err
+		}
+		if topic == nil {
+			return fmt.Errorf("discourse: no topic %d", topicID)
+		}
+		next := topic.Get(a.Eng.Schema("topics"), "max_post").(int64) + 1
+		postID, err = t.Insert("posts", map[string]storage.Value{
+			"topic_id": topicID, "number": next, "content": content,
+			"ver": int64(1), "views": int64(0), "likes": int64(0), "img_id": imgID,
+		})
+		if err != nil {
+			return err
+		}
+		_, err = t.Update("topics", storage.ByPK(topicID), map[string]storage.Value{"max_post": next})
+		return err
+	}
+	if a.Mode == AHT {
+		key := granularity.NamespaceKey("create_post", topicID)
+		if a.CoarseRowLocks {
+			key = granularity.RowKey("topics", topicID)
+		}
+		err := core.WithLock(a.Locks, key, func() error {
+			return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error { return body(t) })
+		})
+		return postID, err
+	}
+	// Table 6: the CBC DBT variant runs at Repeatable Read.
+	err := a.Eng.RunWithRetry(engine.RepeatableRead, a.RetryAttempts, body)
+	return postID, err
+}
+
+// ToggleAnswer marks a post as the topic's answer — the other half of the
+// CBC pair, coordinating only the answer column.
+func (a *App) ToggleAnswer(topicID, postID int64) error {
+	body := func(t *engine.Txn) error {
+		if _, err := t.Update("posts", storage.ByPK(postID), map[string]storage.Value{"ver": int64(1)}); err != nil {
+			return err
+		}
+		_, err := t.Update("topics", storage.ByPK(topicID), map[string]storage.Value{"answer": postID})
+		return err
+	}
+	if a.Mode == AHT {
+		key := granularity.NamespaceKey("toggle_answer", topicID)
+		if a.CoarseRowLocks {
+			key = granularity.RowKey("topics", topicID)
+		}
+		return core.WithLock(a.Locks, key, func() error {
+			return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error { return body(t) })
+		})
+	}
+	return a.Eng.RunWithRetry(engine.RepeatableRead, a.RetryAttempts, body)
+}
+
+// LikePost increments a post's like count and its topic's total — the AA
+// experiment: one topic lock covers both associated rows. The API first
+// renders the post and topic (auth, counters, serialisation — non-critical
+// reads), then applies the two increments.
+//
+// AHT: the render reads run uncoordinated; only the two blind increments
+// (UPDATE ... SET likes = likes + 1) sit inside the topic lock, so
+// conflicting requests pipeline their non-critical work with the one active
+// critical section (§5.2).
+// DBT: the whole API is one Serializable transaction (Table 6) — the render
+// reads cannot be excluded from its scope (§3.1.1) — and concurrent likes
+// within a topic abort and retry it end to end.
+func (a *App) LikePost(topicID, postID int64) error {
+	render := func(t *engine.Txn) error {
+		post, err := t.SelectOne("posts", storage.ByPK(postID))
+		if err != nil {
+			return err
+		}
+		if post == nil {
+			return fmt.Errorf("discourse: no post %d", postID)
+		}
+		_, err = t.SelectOne("topics", storage.ByPK(topicID))
+		return err
+	}
+	increments := func(t *engine.Txn) error {
+		if _, err := t.Update("posts", storage.ByPK(postID), map[string]storage.Value{
+			"likes": storage.Inc(1),
+		}); err != nil {
+			return err
+		}
+		_, err := t.Update("topics", storage.ByPK(topicID), map[string]storage.Value{
+			"like_total": storage.Inc(1),
+		})
+		return err
+	}
+	if a.Mode == AHT {
+		if err := a.Eng.Run(engine.IsolationDefault, render); err != nil {
+			return err
+		}
+		return core.WithLock(a.Locks, granularity.GroupKey("topic", topicID), func() error {
+			return a.Eng.Run(engine.IsolationDefault, increments)
+		})
+	}
+	return a.Eng.RunWithRetry(engine.Serializable, a.RetryAttempts, func(t *engine.Txn) error {
+		if err := render(t); err != nil {
+			return err
+		}
+		return increments(t)
+	})
+}
+
+// PostView is what the edit screen loads in request 1 of §3.1.2.
+type PostView struct {
+	ID      int64
+	Content string
+	Ver     int64
+}
+
+// LoadPostForEdit is request 1: it bumps the view count and returns the
+// content and version the client will edit against.
+func (a *App) LoadPostForEdit(postID int64) (PostView, error) {
+	var pv PostView
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		post, err := t.SelectOne("posts", storage.ByPK(postID))
+		if err != nil {
+			return err
+		}
+		if post == nil {
+			return fmt.Errorf("discourse: no post %d", postID)
+		}
+		schema := a.Eng.Schema("posts")
+		if _, err := t.Update("posts", storage.ByPK(postID), map[string]storage.Value{
+			"views": post.Get(schema, "views").(int64) + 1,
+		}); err != nil {
+			return err
+		}
+		pv = PostView{
+			ID:      postID,
+			Content: post.Get(schema, "content").(string),
+			Ver:     post.Get(schema, "ver").(int64),
+		}
+		return nil
+	})
+	return pv, err
+}
+
+// SubmitEdit is request 2: under the post lock it validates that the content
+// is still what the user loaded (column-value validation, §3.3.2) and
+// applies the new content. The buggy variant validates against a read taken
+// *before* the lock (§4.1.1): edits racing on the lock boundary overwrite
+// each other.
+func (a *App) SubmitEdit(postID int64, oldContent, newContent string) error {
+	schema := a.Eng.Schema("posts")
+
+	if a.BuggyReadBeforeLock {
+		// Read outside the lock (the state the handler already had).
+		var current string
+		err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			post, err := t.SelectOne("posts", storage.ByPK(postID))
+			if err != nil {
+				return err
+			}
+			current = post.Get(schema, "content").(string)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return core.WithLock(a.Locks, granularity.RowKey("post", postID), func() error {
+			if current != oldContent {
+				return ErrEditConflict
+			}
+			// No re-read after locking: the write-back can overwrite an
+			// edit that committed while we waited for the lock.
+			return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+				_, err := t.Update("posts", storage.ByPK(postID), map[string]storage.Value{
+					"content": newContent, "ver": int64(0), // ver bumped below
+				})
+				if err != nil {
+					return err
+				}
+				return a.bumpVer(t, postID)
+			})
+		})
+	}
+
+	return core.WithLock(a.Locks, granularity.RowKey("post", postID), func() error {
+		a.Clock.Sleep(a.EditProcessing) // cooking the post, inside the lock
+		return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			post, err := t.SelectOne("posts", storage.ByPK(postID))
+			if err != nil {
+				return err
+			}
+			if post == nil {
+				return fmt.Errorf("discourse: no post %d", postID)
+			}
+			if post.Get(schema, "content").(string) != oldContent {
+				return ErrEditConflict
+			}
+			_, err = t.Update("posts", storage.ByPK(postID), map[string]storage.Value{
+				"content": newContent, "ver": post.Get(schema, "ver").(int64) + 1,
+			})
+			return err
+		})
+	})
+}
+
+func (a *App) bumpVer(t *engine.Txn, postID int64) error {
+	post, err := t.SelectOne("posts", storage.ByPK(postID))
+	if err != nil {
+		return err
+	}
+	_, err = t.Update("posts", storage.ByPK(postID), map[string]storage.Value{
+		"ver": post.Get(a.Eng.Schema("posts"), "ver").(int64) + 1,
+	})
+	return err
+}
+
+// Post returns a post's (content, ver, views, likes).
+func (a *App) Post(postID int64) (content string, ver, views, likes int64, err error) {
+	err = a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		post, err := t.SelectOne("posts", storage.ByPK(postID))
+		if err != nil {
+			return err
+		}
+		if post == nil {
+			return fmt.Errorf("discourse: no post %d", postID)
+		}
+		schema := a.Eng.Schema("posts")
+		content = post.Get(schema, "content").(string)
+		ver = post.Get(schema, "ver").(int64)
+		views = post.Get(schema, "views").(int64)
+		likes = post.Get(schema, "likes").(int64)
+		return nil
+	})
+	return content, ver, views, likes, err
+}
+
+// Topic returns a topic's (max_post, answer, like_total).
+func (a *App) Topic(topicID int64) (maxPost, answer, likeTotal int64, err error) {
+	err = a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		topic, err := t.SelectOne("topics", storage.ByPK(topicID))
+		if err != nil {
+			return err
+		}
+		schema := a.Eng.Schema("topics")
+		maxPost = topic.Get(schema, "max_post").(int64)
+		answer = topic.Get(schema, "answer").(int64)
+		likeTotal = topic.Get(schema, "like_total").(int64)
+		return nil
+	})
+	return maxPost, answer, likeTotal, err
+}
+
+// ReplaceImageRefs rewrites content to reference the shrunken image.
+func ReplaceImageRefs(content string, oldID, newID int64) string {
+	return strings.ReplaceAll(content,
+		fmt.Sprintf("img:%d", oldID), fmt.Sprintf("img:%d", newID))
+}

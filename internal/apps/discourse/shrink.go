@@ -1,0 +1,354 @@
+package discourse
+
+import (
+	"errors"
+	"fmt"
+
+	"adhoctx/internal/adhoc/failure"
+	"adhoctx/internal/adhoc/granularity"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+// ShrinkResult summarises one shrink-image invocation.
+type ShrinkResult struct {
+	// PostsUpdated is the number of post rewrites performed.
+	PostsUpdated int
+	// Restarts counts whole-API restarts (each re-pays image processing).
+	Restarts int
+	// PostRepairs counts per-post roll-forward retries (REPAIR only).
+	PostRepairs int
+}
+
+// postVer is one listed post with the version observed at listing time.
+// Conflicts with concurrent edit-posts are detected by comparing against
+// this version (§3.4.1, Figure 1c's discipline applied per post).
+type postVer struct {
+	pk  int64
+	ver int64
+}
+
+// ShrinkImage is the Figure 4 API (§3.4.1): find every post referencing the
+// original image, pay the image-processing cost, and rewrite each post to
+// the shrunken image, bumping its version. Concurrent edit-post calls bump
+// versions too, conflicting with the rewrite; mode selects the
+// failure-handling strategy:
+//
+//	Repair  — conflicted posts are re-read and only their rewrite redone.
+//	Manual  — conflicts compensate every rewrite done so far (hand-written
+//	          undo statements) and restart the whole API.
+//	DBTWeak — all rewrites in one Read Committed transaction; a conflict
+//	          aborts it (one statement) and restarts the API.
+//	DBTSerializable — one Serializable transaction, no ad hoc locks;
+//	          conflicts surface as serialization failures and restart.
+//
+// Manual and DBTWeak guard their version checks with the edit-post lock, so
+// they also block behind in-flight edits (the §5.3 latency tax).
+//
+// When fixNewPosts is false the §4.3 incomplete-repair defect is active:
+// only the initially listed posts are processed, so posts created mid-flight
+// keep referencing the retired upload.
+func (a *App) ShrinkImage(origID, shrunkenID int64, mode RollbackMode, fixNewPosts bool) (ShrinkResult, error) {
+	var res ShrinkResult
+	paidProcessing := false
+	for attempt := 0; attempt < a.RetryAttempts; attempt++ {
+		// The expensive part first: shrinking the image does not depend
+		// on the post list. REPAIR pays it once; the restarting
+		// strategies pay it on every attempt.
+		if !paidProcessing || mode != Repair {
+			a.Clock.Sleep(a.ImageProcessing)
+			paidProcessing = true
+		}
+
+		listed, err := a.postsUsingImage(origID)
+		if err != nil {
+			return res, err
+		}
+		if a.TestHookAfterList != nil {
+			a.TestHookAfterList()
+		}
+		if len(listed) == 0 {
+			break
+		}
+
+		var rerr error
+		switch mode {
+		case Repair:
+			rerr = a.shrinkRepair(listed, origID, shrunkenID, &res)
+		case Manual:
+			rerr = a.shrinkManual(listed, origID, shrunkenID, &res)
+		case DBTWeak:
+			rerr = a.shrinkDBT(listed, origID, shrunkenID, engine.ReadCommitted, true, &res)
+		case DBTSerializable:
+			rerr = a.shrinkDBT(listed, origID, shrunkenID, engine.Serializable, false, &res)
+		default:
+			return res, fmt.Errorf("discourse: unknown rollback mode %v", mode)
+		}
+		if rerr != nil {
+			if errors.Is(rerr, core.ErrConflict) || engine.IsRetryable(rerr) {
+				res.Restarts++
+				continue
+			}
+			return res, rerr
+		}
+		if !fixNewPosts {
+			break // the §4.3 bug: one pass over the initial list only
+		}
+	}
+	return res, a.retireUpload(origID)
+}
+
+// postsUsingImage lists (pk, ver) of posts referencing the image.
+func (a *App) postsUsingImage(imgID int64) ([]postVer, error) {
+	schema := a.Eng.Schema("posts")
+	var out []postVer
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		rows, err := t.Select("posts", storage.Eq{Col: "img_id", Val: imgID})
+		if err != nil {
+			return err
+		}
+		out = out[:0]
+		for _, r := range rows {
+			out = append(out, postVer{pk: r.PK(), ver: r.Get(schema, "ver").(int64)})
+		}
+		return nil
+	})
+	return out, err
+}
+
+// rewriteSet computes the post's updated columns for the rewrite.
+func (a *App) rewriteSet(content string, origID, shrunkenID, newVer int64) map[string]storage.Value {
+	return map[string]storage.Value{
+		"content": ReplaceImageRefs(content, origID, shrunkenID),
+		"img_id":  shrunkenID,
+		"ver":     newVer,
+	}
+}
+
+// shrinkRepair is the roll-forward strategy of §3.4.1: each post's rewrite
+// is guarded on the version observed at listing time; a conflicted post is
+// re-read and only its rewrite is redone. Work done for other posts is
+// preserved, and the image processing is never repeated.
+func (a *App) shrinkRepair(listed []postVer, origID, shrunkenID int64, res *ShrinkResult) error {
+	schema := a.Eng.Schema("posts")
+	for _, pv := range listed {
+		expected := pv.ver
+		gone := false
+		err := failure.Repair(a.RetryAttempts,
+			func() error { // refresh: re-read just this post
+				return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+					row, err := t.SelectOne("posts", storage.ByPK(pv.pk))
+					if err != nil {
+						return err
+					}
+					if row == nil || row.Get(schema, "img_id").(int64) != origID {
+						gone = true
+						return nil
+					}
+					expected = row.Get(schema, "ver").(int64)
+					return nil
+				})
+			},
+			func() error { // body: guarded rewrite
+				if gone {
+					return nil
+				}
+				return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+					row, err := t.SelectOne("posts", storage.ByPK(pv.pk))
+					if err != nil {
+						return err
+					}
+					if row == nil || row.Get(schema, "img_id").(int64) != origID {
+						gone = true
+						return nil
+					}
+					ok, err := t.UpdateIf("posts", pv.pk, storage.Eq{Col: "ver", Val: expected},
+						a.rewriteSet(row.Get(schema, "content").(string), origID, shrunkenID, expected+1))
+					if err != nil {
+						return err
+					}
+					if !ok {
+						res.PostRepairs++
+						return core.ErrConflict
+					}
+					return nil
+				})
+			})
+		if err != nil {
+			return err
+		}
+		if !gone {
+			res.PostsUpdated++
+		}
+	}
+	return nil
+}
+
+// shrinkManual guards each version check with the edit-post lock; a version
+// moved since listing means a conflict: compensate every rewrite already
+// applied in this attempt (hand-written undo updates) and restart.
+func (a *App) shrinkManual(listed []postVer, origID, shrunkenID int64, res *ShrinkResult) error {
+	schema := a.Eng.Schema("posts")
+	var undo failure.UndoLog
+	applied := 0
+	for _, pv := range listed {
+		conflicted := false
+		err := core.WithLock(a.Locks, granularity.RowKey("post", pv.pk), func() error {
+			return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+				row, err := t.SelectOne("posts", storage.ByPK(pv.pk))
+				if err != nil {
+					return err
+				}
+				if row == nil {
+					return nil
+				}
+				oldContent := row.Get(schema, "content").(string)
+				oldVer := row.Get(schema, "ver").(int64)
+				if oldVer != pv.ver {
+					conflicted = true
+					return nil
+				}
+				if _, err := t.Update("posts", storage.ByPK(pv.pk),
+					a.rewriteSet(oldContent, origID, shrunkenID, oldVer+1)); err != nil {
+					return err
+				}
+				pk := pv.pk
+				undo.Register(fmt.Sprintf("restore post %d", pk), func() error {
+					return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+						_, err := t.Update("posts", storage.ByPK(pk), map[string]storage.Value{
+							"content": oldContent, "img_id": origID, "ver": oldVer + 2,
+						})
+						return err
+					})
+				})
+				return nil
+			})
+		})
+		if err != nil {
+			_ = undo.Rollback()
+			return err
+		}
+		if conflicted {
+			if err := undo.Rollback(); err != nil {
+				return err
+			}
+			return core.ErrConflict
+		}
+		applied++
+	}
+	undo.Commit()
+	res.PostsUpdated += applied
+	return nil
+}
+
+// shrinkDBT performs all rewrites in one database transaction. With
+// useLocks (DBT-W) the edit-post ad hoc lock guards each version check and
+// a conflict aborts the transaction with a single statement; without
+// (DBT-S) the Serializable transaction is the only coordination and
+// conflicts surface as serialization failures from the engine.
+func (a *App) shrinkDBT(listed []postVer, origID, shrunkenID int64, iso engine.Isolation, useLocks bool, res *ShrinkResult) (err error) {
+	schema := a.Eng.Schema("posts")
+	var releases []core.Release
+	defer func() {
+		for i := len(releases) - 1; i >= 0; i-- {
+			_ = releases[i]()
+		}
+	}()
+
+	applied := 0
+	err = a.Eng.Run(iso, func(t *engine.Txn) error {
+		for _, pv := range listed {
+			if useLocks {
+				rel, lerr := a.Locks.Acquire(granularity.RowKey("post", pv.pk))
+				if lerr != nil {
+					return lerr
+				}
+				releases = append(releases, rel)
+			}
+			row, err := t.SelectOne("posts", storage.ByPK(pv.pk))
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				continue
+			}
+			if row.Get(schema, "ver").(int64) != pv.ver {
+				return core.ErrConflict // Transaction Abort undoes the pass
+			}
+			if _, err := t.Update("posts", storage.ByPK(pv.pk),
+				a.rewriteSet(row.Get(schema, "content").(string), origID, shrunkenID, pv.ver+1)); err != nil {
+				return err
+			}
+			applied++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	res.PostsUpdated += applied
+	return nil
+}
+
+// retireUpload deletes the original upload row once references moved.
+func (a *App) retireUpload(origID int64) error {
+	return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		_, err := t.Delete("uploads", storage.ByPK(origID))
+		return err
+	})
+}
+
+// EditPostSerializable is the edit-post used alongside DBT-S: the ad hoc
+// lock and value validation are replaced by one Serializable transaction.
+func (a *App) EditPostSerializable(postID int64, oldContent, newContent string) error {
+	err := a.Eng.RunWithRetry(engine.Serializable, a.RetryAttempts, func(t *engine.Txn) error {
+		post, err := t.SelectOne("posts", storage.ByPK(postID))
+		if err != nil {
+			return err
+		}
+		if post == nil {
+			return fmt.Errorf("discourse: no post %d", postID)
+		}
+		schema := a.Eng.Schema("posts")
+		if post.Get(schema, "content").(string) != oldContent {
+			return ErrEditConflict
+		}
+		_, err = t.Update("posts", storage.ByPK(postID), map[string]storage.Value{
+			"content": newContent, "ver": post.Get(schema, "ver").(int64) + 1,
+		})
+		return err
+	})
+	return err
+}
+
+// CheckImageRefs is the fsck-style consistency checker (§3.4.2): posts must
+// reference live uploads.
+func (a *App) CheckImageRefs() ([]failure.Violation, error) {
+	var out []failure.Violation
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		posts, err := t.Select("posts", storage.All{})
+		if err != nil {
+			return err
+		}
+		schema := a.Eng.Schema("posts")
+		for _, p := range posts {
+			img := p.Get(schema, "img_id").(int64)
+			if img == 0 {
+				continue
+			}
+			upload, err := t.SelectOne("uploads", storage.ByPK(img))
+			if err != nil {
+				return err
+			}
+			if upload == nil {
+				out = append(out, failure.Violation{
+					Entity: fmt.Sprintf("posts id=%d", p.PK()),
+					Detail: fmt.Sprintf("references deleted upload %d (broken image link)", img),
+				})
+			}
+		}
+		return nil
+	})
+	return out, err
+}

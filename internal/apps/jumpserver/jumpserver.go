@@ -1,0 +1,126 @@
+// Package jumpserver models the JumpServer access-control application — the
+// study's only application with no buggy ad hoc transactions (Table 4): all
+// five cases use Redis SETNX locks correctly.
+package jumpserver
+
+import (
+	"fmt"
+
+	"adhoctx/internal/adhoc/granularity"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+// App is the mini-application.
+type App struct {
+	Eng   *engine.Engine
+	Locks core.Locker
+}
+
+// New creates the application schema.
+func New(eng *engine.Engine, locker core.Locker) *App {
+	eng.CreateTable(storage.NewSchema("users",
+		storage.Column{Name: "name", Type: storage.TString},
+	))
+	eng.CreateTable(storage.NewSchema("assets",
+		storage.Column{Name: "address", Type: storage.TString},
+		storage.Column{Name: "version", Type: storage.TInt},
+	))
+	eng.CreateTable(storage.NewSchema("grants",
+		storage.Column{Name: "user_id", Type: storage.TInt},
+		storage.Column{Name: "asset_id", Type: storage.TInt},
+	), "user_id")
+	return &App{Eng: eng, Locks: locker}
+}
+
+// CreateUser seeds a user.
+func (a *App) CreateUser(name string) (int64, error) {
+	var id int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		id, err = t.Insert("users", map[string]storage.Value{"name": name})
+		return err
+	})
+	return id, err
+}
+
+// CreateAsset seeds an asset.
+func (a *App) CreateAsset(address string) (int64, error) {
+	var id int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		id, err = t.Insert("assets", map[string]storage.Value{"address": address, "version": int64(1)})
+		return err
+	})
+	return id, err
+}
+
+// GrantPrivilege grants the user access to the asset, exactly once, under
+// the user's grant lock (check-then-insert RMW).
+func (a *App) GrantPrivilege(userID, assetID int64) error {
+	return core.WithLock(a.Locks, granularity.NamespaceKey("grant", userID), func() error {
+		return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			existing, err := t.Select("grants", storage.Eq{Col: "user_id", Val: userID})
+			if err != nil {
+				return err
+			}
+			schema := a.Eng.Schema("grants")
+			for _, g := range existing {
+				if g.Get(schema, "asset_id") == assetID {
+					return nil // already granted
+				}
+			}
+			_, err = t.Insert("grants", map[string]storage.Value{
+				"user_id": userID, "asset_id": assetID,
+			})
+			return err
+		})
+	})
+}
+
+// GrantCount returns the number of grants the user holds.
+func (a *App) GrantCount(userID int64) (int, error) {
+	var n int
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		rows, err := t.Select("grants", storage.Eq{Col: "user_id", Val: userID})
+		n = len(rows)
+		return err
+	})
+	return n, err
+}
+
+// UpdateAsset bumps the asset's address and version under the asset lock.
+func (a *App) UpdateAsset(assetID int64, address string) error {
+	return core.WithLock(a.Locks, granularity.RowKey("asset", assetID), func() error {
+		schema := a.Eng.Schema("assets")
+		return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			row, err := t.SelectOne("assets", storage.ByPK(assetID))
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				return fmt.Errorf("jumpserver: no asset %d", assetID)
+			}
+			_, err = t.Update("assets", storage.ByPK(assetID), map[string]storage.Value{
+				"address": address,
+				"version": row.Get(schema, "version").(int64) + 1,
+			})
+			return err
+		})
+	})
+}
+
+// AssetVersion returns the asset's version counter.
+func (a *App) AssetVersion(assetID int64) (int64, error) {
+	var v int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		row, err := t.SelectOne("assets", storage.ByPK(assetID))
+		if err != nil {
+			return err
+		}
+		v = row.Get(a.Eng.Schema("assets"), "version").(int64)
+		return nil
+	})
+	return v, err
+}

@@ -1,0 +1,195 @@
+// Package mastodon models the Mastodon social-network application's ad hoc
+// transactions: the timeline feature coordinating the RDBMS and the Redis
+// KV store with one post lock (§3.1.3), invite redemption (Figure 1b), and
+// the TTL-lease lock whose silent expiry is the application's signature bug
+// (§4.1.1, issue 15645 — "deleted posts appearing in followers' timelines").
+package mastodon
+
+import (
+	"fmt"
+
+	"adhoctx/internal/adhoc/failure"
+	"adhoctx/internal/adhoc/granularity"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/kv"
+	"adhoctx/internal/storage"
+)
+
+// ErrInviteExhausted rejects redemption of a used-up invitation.
+var ErrInviteExhausted = fmt.Errorf("mastodon: invitation exhausted")
+
+// App is the mini-application.
+type App struct {
+	Eng *engine.Engine
+	KV  *kv.Store
+	// Locks is the Redis SETNX lease lock; configure its TTL to reproduce
+	// the expiry bug.
+	Locks core.Locker
+	// SlowSection, when non-zero, stretches critical sections past the
+	// lock TTL (the bug trigger).
+	SlowSection func()
+}
+
+// New creates the application schema.
+func New(eng *engine.Engine, store *kv.Store, locker core.Locker) *App {
+	eng.CreateTable(storage.NewSchema("posts",
+		storage.Column{Name: "content", Type: storage.TString},
+	))
+	eng.CreateTable(storage.NewSchema("invites",
+		storage.Column{Name: "redeems", Type: storage.TInt},
+		storage.Column{Name: "max", Type: storage.TInt},
+	))
+	return &App{Eng: eng, KV: store, Locks: locker}
+}
+
+func timelineKey(followerID int64) string {
+	return fmt.Sprintf("timeline:%d", followerID)
+}
+
+// CreatePost inserts the post row and fans its id out to follower timelines
+// in Redis — under one post lock, because only the post row and set entries
+// for this post can conflict (the timeline set operations commute).
+func (a *App) CreatePost(postID int64, content string, followerIDs []int64) error {
+	return core.WithLock(a.Locks, granularity.RowKey("post", postID), func() error {
+		err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			_, err := t.Insert("posts", map[string]storage.Value{
+				"id": postID, "content": content,
+			})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if a.SlowSection != nil {
+			a.SlowSection()
+		}
+		conn := a.KV.Conn()
+		for _, f := range followerIDs {
+			conn.SAdd(timelineKey(f), fmt.Sprint(postID))
+		}
+		return nil
+	})
+}
+
+// DeletePost removes the timeline references and then the post row —
+// mirroring the paper's ordering so that timelines never reference a
+// missing post... provided the lock actually holds.
+func (a *App) DeletePost(postID int64, followerIDs []int64) error {
+	return core.WithLock(a.Locks, granularity.RowKey("post", postID), func() error {
+		conn := a.KV.Conn()
+		for _, f := range followerIDs {
+			conn.SRem(timelineKey(f), fmt.Sprint(postID))
+		}
+		if a.SlowSection != nil {
+			a.SlowSection()
+		}
+		return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			_, err := t.Delete("posts", storage.ByPK(postID))
+			return err
+		})
+	})
+}
+
+// Timeline returns the post ids on a follower's timeline.
+func (a *App) Timeline(followerID int64) []string {
+	return a.KV.Conn().SMembers(timelineKey(followerID))
+}
+
+// PostExists reports whether the post row is live.
+func (a *App) PostExists(postID int64) (bool, error) {
+	var ok bool
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		row, err := t.SelectOne("posts", storage.ByPK(postID))
+		ok = row != nil
+		return err
+	})
+	return ok, err
+}
+
+// CreateInvite seeds an invitation with a redemption cap.
+func (a *App) CreateInvite(max int64) (int64, error) {
+	var id int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		id, err = t.Insert("invites", map[string]storage.Value{"redeems": int64(0), "max": max})
+		return err
+	})
+	return id, err
+}
+
+// RedeemInvite is Figure 1b: under the Redis lock, read the invite, check
+// the cap, and increment.
+func (a *App) RedeemInvite(inviteID int64) error {
+	return core.WithLock(a.Locks, fmt.Sprintf("redeem%d", inviteID), func() error {
+		schema := a.Eng.Schema("invites")
+		var redeems, max int64
+		err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			row, err := t.SelectOne("invites", storage.ByPK(inviteID))
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				return fmt.Errorf("mastodon: no invite %d", inviteID)
+			}
+			redeems = row.Get(schema, "redeems").(int64)
+			max = row.Get(schema, "max").(int64)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if a.SlowSection != nil {
+			a.SlowSection()
+		}
+		if redeems >= max {
+			return ErrInviteExhausted
+		}
+		return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			_, err := t.Update("invites", storage.ByPK(inviteID), map[string]storage.Value{
+				"redeems": redeems + 1,
+			})
+			return err
+		})
+	})
+}
+
+// InviteRedeems returns the invite's redemption count.
+func (a *App) InviteRedeems(inviteID int64) (int64, error) {
+	var redeems int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		row, err := t.SelectOne("invites", storage.ByPK(inviteID))
+		if err != nil {
+			return err
+		}
+		redeems = row.Get(a.Eng.Schema("invites"), "redeems").(int64)
+		return nil
+	})
+	return redeems, err
+}
+
+// CheckTimelineRefs is the cross-store consistency checker: every timeline
+// entry must reference a live post (§3.1.3's invariant).
+func (a *App) CheckTimelineRefs(followerIDs []int64) ([]failure.Violation, error) {
+	var out []failure.Violation
+	conn := a.KV.Conn()
+	for _, f := range followerIDs {
+		for _, idStr := range conn.SMembers(timelineKey(f)) {
+			var postID int64
+			if _, err := fmt.Sscan(idStr, &postID); err != nil {
+				continue
+			}
+			ok, err := a.PostExists(postID)
+			if err != nil {
+				return out, err
+			}
+			if !ok {
+				out = append(out, failure.Violation{
+					Entity: fmt.Sprintf("timeline:%d", f),
+					Detail: fmt.Sprintf("references deleted post %d", postID),
+				})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+package mastodon
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/adhoc/locks"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/kv"
+	"adhoctx/internal/sim"
+)
+
+func newApp(t *testing.T, ttl time.Duration, clock sim.Clock) (*App, *kv.Store) {
+	t.Helper()
+	eng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 10 * time.Second})
+	store := kv.NewStore(clock, sim.Latency{})
+	locker := &locks.SetNXLocker{Store: store, Token: "worker-1", TTL: ttl,
+		Clock: clock, RetryInterval: 50 * time.Microsecond}
+	return New(eng, store, locker), store
+}
+
+func TestTimelineCreateDeleteConsistent(t *testing.T) {
+	a, _ := newApp(t, 0, nil)
+	followers := []int64{1, 2, 3}
+	if err := a.CreatePost(100, "hello fediverse", followers); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range followers {
+		if tl := a.Timeline(f); len(tl) != 1 || tl[0] != "100" {
+			t.Fatalf("timeline %d = %v", f, tl)
+		}
+	}
+	if err := a.DeletePost(100, followers); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range followers {
+		if tl := a.Timeline(f); len(tl) != 0 {
+			t.Fatalf("timeline %d = %v after delete", f, tl)
+		}
+	}
+	vs, err := a.CheckTimelineRefs(followers)
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("checker: %v, %v", vs, err)
+	}
+}
+
+// TestTimelineConcurrentConsistency: with a correct (non-expiring) lock,
+// racing create/delete of many posts never leaves dangling timeline refs.
+func TestTimelineConcurrentConsistency(t *testing.T) {
+	a, _ := newApp(t, 0, nil)
+	followers := []int64{1, 2}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				postID := int64(w*100 + i)
+				if err := a.CreatePost(postID, "p", followers); err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+				if i%2 == 0 {
+					if err := a.DeletePost(postID, followers); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	vs, err := a.CheckTimelineRefs(followers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("dangling timeline refs: %v", vs)
+	}
+}
+
+// TestTTLExpiryShowsDeletedPosts reproduces the §4.1.1 Mastodon bug
+// deterministically with a fake clock: the delete's lease expires
+// mid-section, a concurrent create-post re-adds the timeline entry it
+// already removed, and the follower sees a deleted post.
+func TestTTLExpiryShowsDeletedPosts(t *testing.T) {
+	clock := sim.NewFakeClock(time.Unix(0, 0))
+	a, _ := newApp(t, 2*time.Second, clock)
+	followers := []int64{7}
+
+	if err := a.CreatePost(42, "original", followers); err != nil {
+		t.Fatal(err)
+	}
+
+	// The delete stalls past its lease inside the critical section; a
+	// concurrent "boost" job re-fans-out the post to the same timeline.
+	a.SlowSection = func() {
+		clock.Advance(3 * time.Second) // lease expires here
+		a.SlowSection = nil            // only stall once
+		conn := a.KV.Conn()
+		// The boost path acquires the now-free lock and re-adds the
+		// timeline entry, then releases (deleting the lease key — which
+		// now belongs to nobody).
+		if !conn.SetNXPX("post:42", "boost-job", 2*time.Second) {
+			t.Error("boost could not take the expired lease")
+		}
+		conn.SAdd("timeline:7", "42")
+		conn.Del("post:42")
+	}
+	if err := a.DeletePost(42, followers); err != nil {
+		t.Fatal(err)
+	}
+
+	// The post row is gone but the timeline still shows it.
+	vs, err := a.CheckTimelineRefs(followers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("expected a dangling timeline reference (the §4.1.1 anomaly)")
+	}
+	t.Logf("reproduced: %v", vs)
+}
+
+// TestInviteRedemptionCapped is Figure 1b under concurrency: the cap holds
+// exactly with a correct lock.
+func TestInviteRedemptionCapped(t *testing.T) {
+	a, _ := newApp(t, 0, nil)
+	invite, err := a.CreateInvite(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok, exhausted int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := a.RedeemInvite(invite)
+			mu.Lock()
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, ErrInviteExhausted):
+				exhausted++
+			default:
+				t.Errorf("redeem: %v", err)
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	redeems, err := a.InviteRedeems(invite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redeems != 5 || ok != 5 || exhausted != 7 {
+		t.Fatalf("redeems=%d ok=%d exhausted=%d, want 5/5/7", redeems, ok, exhausted)
+	}
+}
+
+// TestInviteOverRedemptionWithExpiredLease: when the lease expires inside
+// the redeem critical section, a second redeemer slips in and the invite is
+// over-used — excessive invitation usage, Figure 1b's caption inverted.
+func TestInviteOverRedemptionWithExpiredLease(t *testing.T) {
+	clock := sim.NewFakeClock(time.Unix(0, 0))
+	a, _ := newApp(t, time.Second, clock)
+	invite, err := a.CreateInvite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First redeemer reads redeems=0 and stalls past its lease; a second
+	// redeemer acquires the expired lease, also reads 0, and joins. Both
+	// calls succeed against a cap of 1 — two accounts created from a
+	// single-use invitation — and on top of it the racing increments
+	// collapse to one (a lost update), so the counter cannot even tell.
+	secondJoined := false
+	a.SlowSection = func() {
+		clock.Advance(2 * time.Second)
+		a.SlowSection = nil
+		if err := a.RedeemInvite(invite); err != nil {
+			t.Errorf("interleaved redeem: %v", err)
+			return
+		}
+		secondJoined = true
+	}
+	if err := a.RedeemInvite(invite); err != nil {
+		t.Fatalf("first redeem should (incorrectly) succeed: %v", err)
+	}
+	if !secondJoined {
+		t.Fatal("second redeemer did not get in")
+	}
+	redeems, err := a.InviteRedeems(invite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redeems > 1 {
+		t.Logf("over-redemption also visible in the counter: %d", redeems)
+	} else {
+		t.Logf("two joins against cap 1; counter shows %d (lost update hides the abuse)", redeems)
+	}
+}

@@ -1,0 +1,110 @@
+package redmine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/sim"
+)
+
+func newApp(t *testing.T) *App {
+	t.Helper()
+	eng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 10 * time.Second})
+	return New(eng, sim.RealClock{})
+}
+
+func TestIssueLifecycle(t *testing.T) {
+	a := newApp(t)
+	id, err := a.CreateIssue("crash on save")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UpdateStatusLocked(id, "in-progress"); err != nil {
+		t.Fatal(err)
+	}
+	is, err := a.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if is.Status != "in-progress" {
+		t.Fatalf("status = %q", is.Status)
+	}
+	if err := a.UpdateStatusLocked(404, "x"); err == nil {
+		t.Fatal("missing issue accepted")
+	}
+}
+
+// TestConcurrentEditsConserveDoneRatio: lock_version optimistic edits retry
+// and never lose an increment.
+func TestConcurrentEditsConserveDoneRatio(t *testing.T) {
+	a := newApp(t)
+	id, err := a.CreateIssue("ratio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, iters = 6, 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := a.EditIssue(id, func(is *Issue) { is.DoneRatio++ }); err != nil {
+					t.Errorf("edit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	is, err := a.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if is.DoneRatio != workers*iters {
+		t.Fatalf("done_ratio = %d, want %d", is.DoneRatio, workers*iters)
+	}
+	if is.LockVersion != workers*iters {
+		t.Fatalf("lock_version = %d, want %d", is.LockVersion, workers*iters)
+	}
+}
+
+// TestPessimisticAndOptimisticCoexist: status updates via SFU and ratio
+// edits via lock_version interleave without losing either.
+func TestPessimisticAndOptimisticCoexist(t *testing.T) {
+	a := newApp(t)
+	id, err := a.CreateIssue("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := a.UpdateStatusLocked(id, "s"); err != nil {
+				t.Errorf("status: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := a.EditIssue(id, func(is *Issue) { is.DoneRatio++ }); err != nil {
+				t.Errorf("edit: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	is, err := a.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if is.DoneRatio != 10 {
+		t.Fatalf("done_ratio = %d, want 10", is.DoneRatio)
+	}
+}

@@ -1,0 +1,191 @@
+// Package saleor models the Saleor e-commerce application's ad hoc
+// transactions: the §3.2.1 stock allocation built on SELECT FOR UPDATE
+// inside a Read Committed transaction, and the §4.2 omitted-operation
+// overcharging defect in payment capture.
+package saleor
+
+import (
+	"errors"
+	"fmt"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+// Errors surfaced to users.
+var (
+	// ErrInsufficientStock aborts allocations beyond the stock quantity.
+	ErrInsufficientStock = errors.New("saleor: insufficient stock")
+	// ErrOvercapture rejects capturing more than the order total.
+	ErrOvercapture = errors.New("saleor: capture exceeds order total")
+)
+
+// App is the mini-application.
+type App struct {
+	Eng *engine.Engine
+	// BuggyOmitTotalCheck reproduces the §4.2 overcharging defect: the
+	// capture path omits coordination of the captured-total check.
+	BuggyOmitTotalCheck bool
+}
+
+// New creates the application schema.
+func New(eng *engine.Engine) *App {
+	eng.CreateTable(storage.NewSchema("stocks",
+		storage.Column{Name: "qty", Type: storage.TInt},
+	))
+	eng.CreateTable(storage.NewSchema("allocations",
+		storage.Column{Name: "stock_id", Type: storage.TInt},
+		storage.Column{Name: "item_id", Type: storage.TInt},
+		storage.Column{Name: "qty", Type: storage.TInt},
+	), "item_id")
+	eng.CreateTable(storage.NewSchema("orders",
+		storage.Column{Name: "total", Type: storage.TFloat},
+		storage.Column{Name: "captured", Type: storage.TFloat},
+	))
+	return &App{Eng: eng}
+}
+
+// Seed creates a stock with quantity and an allocation of allocQty for item.
+func (a *App) Seed(stockQty, allocQty, itemID int64) (stockID, allocID int64, err error) {
+	err = a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		stockID, err = t.Insert("stocks", map[string]storage.Value{"qty": stockQty})
+		if err != nil {
+			return err
+		}
+		allocID, err = t.Insert("allocations", map[string]storage.Value{
+			"stock_id": stockID, "item_id": itemID, "qty": allocQty,
+		})
+		return err
+	})
+	return stockID, allocID, err
+}
+
+// FulfillAllocation is the §3.2.1 example verbatim: inside one Read
+// Committed transaction, SELECT ... FOR UPDATE the allocation and the
+// stock, check sufficiency, zero the allocation and decrement the stock.
+// The row locks ARE the ad hoc transaction; the enclosing transaction
+// exists to scope them.
+func (a *App) FulfillAllocation(itemID int64) error {
+	return a.Eng.Run(engine.ReadCommitted, func(t *engine.Txn) error {
+		alloc, err := t.SelectOne("allocations", storage.Eq{Col: "item_id", Val: itemID}, engine.ForUpdate)
+		if err != nil {
+			return err
+		}
+		if alloc == nil {
+			return fmt.Errorf("saleor: no allocation for item %d", itemID)
+		}
+		aSchema := a.Eng.Schema("allocations")
+		stockID := alloc.Get(aSchema, "stock_id").(int64)
+		allocQty := alloc.Get(aSchema, "qty").(int64)
+
+		stock, err := t.SelectOne("stocks", storage.ByPK(stockID), engine.ForUpdate)
+		if err != nil {
+			return err
+		}
+		sSchema := a.Eng.Schema("stocks")
+		stockQty := stock.Get(sSchema, "qty").(int64)
+		if allocQty > stockQty {
+			return ErrInsufficientStock // aborts the transaction
+		}
+		if _, err := t.Update("allocations", storage.ByPK(alloc.PK()),
+			map[string]storage.Value{"qty": int64(0)}); err != nil {
+			return err
+		}
+		_, err = t.Update("stocks", storage.ByPK(stockID),
+			map[string]storage.Value{"qty": stockQty - allocQty})
+		return err
+	})
+}
+
+// StockQty returns a stock's quantity.
+func (a *App) StockQty(stockID int64) (int64, error) {
+	var qty int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		row, err := t.SelectOne("stocks", storage.ByPK(stockID))
+		if err != nil {
+			return err
+		}
+		qty = row.Get(a.Eng.Schema("stocks"), "qty").(int64)
+		return nil
+	})
+	return qty, err
+}
+
+// CreateOrder seeds an order with a total.
+func (a *App) CreateOrder(total float64) (int64, error) {
+	var id int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		id, err = t.Insert("orders", map[string]storage.Value{"total": total, "captured": 0.0})
+		return err
+	})
+	return id, err
+}
+
+// CapturePayment captures amount against the order. The correct variant
+// locks the order row and checks captured+amount ≤ total atomically; the
+// buggy variant (§4.2, "overcharging") checks outside the coordinated scope
+// and increments unconditionally.
+func (a *App) CapturePayment(orderID int64, amount float64) error {
+	schema := a.Eng.Schema("orders")
+	if a.BuggyOmitTotalCheck {
+		// Uncoordinated check.
+		var captured, total float64
+		err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			row, err := t.SelectOne("orders", storage.ByPK(orderID))
+			if err != nil {
+				return err
+			}
+			captured = row.Get(schema, "captured").(float64)
+			total = row.Get(schema, "total").(float64)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if captured+amount > total {
+			return ErrOvercapture
+		}
+		// Separate transaction applies the increment on whatever the
+		// current value is — the omitted coordination.
+		return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			row, err := t.SelectOne("orders", storage.ByPK(orderID))
+			if err != nil {
+				return err
+			}
+			cur := row.Get(schema, "captured").(float64)
+			_, err = t.Update("orders", storage.ByPK(orderID),
+				map[string]storage.Value{"captured": cur + amount})
+			return err
+		})
+	}
+	return a.Eng.Run(engine.ReadCommitted, func(t *engine.Txn) error {
+		row, err := t.SelectOne("orders", storage.ByPK(orderID), engine.ForUpdate)
+		if err != nil {
+			return err
+		}
+		captured := row.Get(schema, "captured").(float64)
+		total := row.Get(schema, "total").(float64)
+		if captured+amount > total {
+			return ErrOvercapture
+		}
+		_, err = t.Update("orders", storage.ByPK(orderID),
+			map[string]storage.Value{"captured": captured + amount})
+		return err
+	})
+}
+
+// Captured returns the order's captured amount.
+func (a *App) Captured(orderID int64) (float64, error) {
+	var captured float64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		row, err := t.SelectOne("orders", storage.ByPK(orderID))
+		if err != nil {
+			return err
+		}
+		captured = row.Get(a.Eng.Schema("orders"), "captured").(float64)
+		return nil
+	})
+	return captured, err
+}

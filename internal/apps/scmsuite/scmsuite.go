@@ -1,0 +1,86 @@
+// Package scmsuite models the SCM Suite supply-chain application: its ad
+// hoc transactions coordinate with the Java synchronized keyword — on
+// thread-local ORM-mapped objects, which is why none of them actually
+// exclude anything (§4.1.1, issue 17 — the study author's own report).
+package scmsuite
+
+import (
+	"fmt"
+
+	"adhoctx/internal/adhoc/granularity"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+// App is the mini-application.
+type App struct {
+	Eng *engine.Engine
+	// Locks is the synchronisation primitive: locks.NewSyncLocker() for
+	// the fixed static-object variant, locks.BuggySyncLocker{} for the
+	// production thread-local-object misuse.
+	Locks core.Locker
+}
+
+// New creates the application schema.
+func New(eng *engine.Engine, locker core.Locker) *App {
+	eng.CreateTable(storage.NewSchema("accounts",
+		storage.Column{Name: "balance", Type: storage.TInt},
+		storage.Column{Name: "level", Type: storage.TString},
+	))
+	return &App{Eng: eng, Locks: locker}
+}
+
+// CreateAccount seeds an account.
+func (a *App) CreateAccount(balance int64) (int64, error) {
+	var id int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		id, err = t.Insert("accounts", map[string]storage.Value{"balance": balance, "level": "bronze"})
+		return err
+	})
+	return id, err
+}
+
+// Deposit adds amount to the account balance under the synchronized
+// section — an RMW whose correctness depends entirely on the lock actually
+// being shared between threads.
+func (a *App) Deposit(accountID, amount int64) error {
+	return core.WithLock(a.Locks, granularity.RowKey("account", accountID), func() error {
+		schema := a.Eng.Schema("accounts")
+		var balance int64
+		err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			row, err := t.SelectOne("accounts", storage.ByPK(accountID))
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				return fmt.Errorf("scmsuite: no account %d", accountID)
+			}
+			balance = row.Get(schema, "balance").(int64)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			_, err := t.Update("accounts", storage.ByPK(accountID),
+				map[string]storage.Value{"balance": balance + amount})
+			return err
+		})
+	})
+}
+
+// Balance returns the account balance.
+func (a *App) Balance(accountID int64) (int64, error) {
+	var balance int64
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		row, err := t.SelectOne("accounts", storage.ByPK(accountID))
+		if err != nil {
+			return err
+		}
+		balance = row.Get(a.Eng.Schema("accounts"), "balance").(int64)
+		return nil
+	})
+	return balance, err
+}

@@ -1,0 +1,80 @@
+package scmsuite
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/adhoc/locks"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/sim"
+)
+
+func runDeposits(t *testing.T, a *App, accountID int64, workers, iters int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := a.Deposit(accountID, 1); err != nil {
+					t.Errorf("deposit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSynchronizedOnSharedObjectIsCorrect: with a proper static lock the
+// RMW deposits conserve the balance.
+func TestSynchronizedOnSharedObjectIsCorrect(t *testing.T) {
+	eng := engine.New(engine.Config{Dialect: engine.MySQL, LockTimeout: 10 * time.Second})
+	a := New(eng, locks.NewSyncLocker())
+	acc, err := a.CreateAccount(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDeposits(t, a, acc, 8, 15)
+	balance, err := a.Balance(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balance != 8*15 {
+		t.Fatalf("balance = %d, want %d", balance, 8*15)
+	}
+}
+
+// TestSynchronizedOnThreadLocalObjectLosesUpdates reproduces §4.1.1 (issue
+// 17): synchronizing on thread-local ORM objects provides no exclusion, so
+// concurrent deposits lose updates.
+func TestSynchronizedOnThreadLocalObjectLosesUpdates(t *testing.T) {
+	eng := engine.New(engine.Config{
+		Dialect: engine.MySQL, LockTimeout: 10 * time.Second,
+		Net: sim.Latency{RTT: 100 * time.Microsecond},
+	})
+	a := New(eng, locks.BuggySyncLocker{})
+	acc, err := a.CreateAccount(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDeposits(t, a, acc, 8, 15)
+	balance, err := a.Balance(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balance == 8*15 {
+		t.Skipf("race not triggered this run (balance=%d)", balance)
+	}
+	t.Logf("lost updates reproduced: balance %d of %d deposits", balance, 8*15)
+}
+
+func TestDepositMissingAccount(t *testing.T) {
+	eng := engine.New(engine.Config{Dialect: engine.MySQL})
+	a := New(eng, locks.NewSyncLocker())
+	if err := a.Deposit(404, 1); err == nil {
+		t.Fatal("missing account accepted")
+	}
+}

@@ -1,0 +1,387 @@
+// Package spree models the Spree e-commerce application's ad hoc
+// transactions:
+//
+//   - add-payment with predicate-based coordination — Figure 3's PBC
+//     experiment (§3.3.2): the ad hoc lock keys off the exact order_id
+//     equality predicate, where the database's coordination falsely
+//     conflicts between adjacent new orders,
+//   - the §3.1.1 check-out SKU decrement whose ORM.save drags
+//     auto-generated product/category timestamp updates into the
+//     transaction scope,
+//   - the §4.1.1 SELECT FOR UPDATE misuse (lock released at statement end),
+//   - the §4.2 forgotten-coordination JSON handler, and
+//   - the §4.3 crash during payment processing that wedges check-out.
+//
+// Spree's evaluation configuration is PostgreSQL with Serializable DBT
+// (Table 6).
+package spree
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"adhoctx/internal/adhoc/granularity"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/orm"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+// Mode selects the coordination implementation of an API.
+type Mode int
+
+// Coordination modes.
+const (
+	// AHT uses the original ad hoc transaction.
+	AHT Mode = iota
+	// DBT uses a Serializable database transaction (Table 6).
+	DBT
+)
+
+// Errors surfaced to users.
+var (
+	// ErrInsufficientStock rejects orders beyond the SKU quantity.
+	ErrInsufficientStock = errors.New("spree: insufficient stock")
+	// ErrPaymentPending blocks new payment operations while one is
+	// "processing" — the state the §4.3 crash wedges permanently.
+	ErrPaymentPending = errors.New("spree: a payment is already processing")
+)
+
+// Models.
+type (
+	// Product is the parent of SKUs; ORM saves of SKUs touch it.
+	Product struct {
+		ID        int64     `db:"id"`
+		Name      string    `db:"name"`
+		UpdatedAt time.Time `db:"updated_at"`
+	}
+	// SKU is a stock-keeping unit.
+	SKU struct {
+		ID        int64 `db:"id"`
+		ProductID int64 `db:"product_id"`
+		Quantity  int64 `db:"quantity"`
+	}
+	// Category groups products; the §3.1.1 ORM cascade touches them too.
+	Category struct {
+		ID        int64     `db:"id"`
+		UpdatedAt time.Time `db:"updated_at"`
+	}
+	// ProductCategory is the many-to-many join.
+	ProductCategory struct {
+		ID         int64 `db:"id"`
+		ProductID  int64 `db:"product_id"`
+		CategoryID int64 `db:"category_id"`
+	}
+	// Order is a customer order.
+	Order struct {
+		ID    int64   `db:"id"`
+		State string  `db:"state"`
+		Total float64 `db:"total"`
+	}
+	// Payment belongs to an order; order_id is deliberately non-unique
+	// (mixed payment methods), which is what creates the gap-lock story.
+	Payment struct {
+		ID      int64   `db:"id"`
+		OrderID int64   `db:"order_id"`
+		Amount  float64 `db:"amount"`
+		State   string  `db:"state"`
+	}
+)
+
+// App is the mini-application.
+type App struct {
+	Eng *engine.Engine
+	Reg *orm.Registry
+	// Locks backs the ad hoc predicate locks (Spree's production locks are
+	// SELECT FOR UPDATE; the predicate lock table is in-memory).
+	Locks core.Locker
+	// Mode selects AHT or DBT for add-payment.
+	Mode Mode
+	// RetryAttempts bounds DBT retry loops.
+	RetryAttempts int
+	// BuggySFUOutsideTxn reproduces §4.1.1: the order lock's SELECT FOR
+	// UPDATE auto-commits, releasing the lock immediately.
+	BuggySFUOutsideTxn bool
+	// Crash injects application-server crash points (§4.3).
+	Crash *sim.CrashPlan
+}
+
+// New creates the application schema and ORM mappings.
+func New(eng *engine.Engine, clock sim.Clock, locker core.Locker) *App {
+	reg := orm.NewRegistry(eng, clock)
+	reg.Register("products", &Product{})
+	reg.Register("categories", &Category{})
+	reg.Register("product_categories", &ProductCategory{}, orm.WithIndex("product_id"))
+	reg.Register("skus", &SKU{},
+		orm.WithIndex("product_id"),
+		orm.WithValidation(orm.Min{Col: "quantity", Min: 0}),
+		orm.WithTouch(orm.TouchSpec{
+			ParentTable: "products",
+			FKColumn:    "product_id",
+			// The §3.1.1 cascade: saving a SKU also refreshes the
+			// updated_at of every category of its product, via the
+			// join table — all auto-generated, all inside the save
+			// transaction, impossible to exclude from its scope.
+			Hook: func(t *engine.Txn, _ int64, productID int64) error {
+				joins, err := t.Select("product_categories", storage.Eq{Col: "product_id", Val: productID})
+				if err != nil {
+					return err
+				}
+				schema := eng.Schema("product_categories")
+				for _, j := range joins {
+					catID := j.Get(schema, "category_id").(int64)
+					if _, err := t.Update("categories", storage.ByPK(catID),
+						map[string]storage.Value{"updated_at": clock.Now()}); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}),
+	)
+	reg.Register("orders", &Order{})
+	reg.Register("payments", &Payment{}, orm.WithIndex("order_id"))
+	return &App{Eng: eng, Reg: reg, Locks: locker, RetryAttempts: 500}
+}
+
+// SeedCatalog creates a product in nCategories categories with one SKU.
+func (a *App) SeedCatalog(stock int64, nCategories int) (skuID int64, err error) {
+	s := a.Reg.Session()
+	p := &Product{Name: "widget"}
+	if err := s.Save(p); err != nil {
+		return 0, err
+	}
+	for i := 0; i < nCategories; i++ {
+		c := &Category{}
+		if err := s.Save(c); err != nil {
+			return 0, err
+		}
+		if err := s.Save(&ProductCategory{ProductID: p.ID, CategoryID: c.ID}); err != nil {
+			return 0, err
+		}
+	}
+	sku := &SKU{ProductID: p.ID, Quantity: stock}
+	if err := s.Save(sku); err != nil {
+		return 0, err
+	}
+	return sku.ID, nil
+}
+
+// CreateOrder seeds an order in the cart state.
+func (a *App) CreateOrder(total float64) (int64, error) {
+	o := &Order{State: "cart", Total: total}
+	err := a.Reg.Session().Save(o)
+	return o.ID, err
+}
+
+// orderLock acquires the ad hoc order lock. The correct shape holds a
+// SELECT FOR UPDATE transaction open (via the injected locker); the buggy
+// shape (§4.1.1) lets the locking statement auto-commit so the returned
+// release is meaningless and the critical section runs unprotected.
+func (a *App) orderLock(skuID int64) (core.Release, error) {
+	key := granularity.RowKey("sku", skuID)
+	if a.BuggySFUOutsideTxn {
+		// Acquire and immediately release: the lock "statement" ran in
+		// its own transaction.
+		rel, err := a.Locks.Acquire(key)
+		if err != nil {
+			return nil, err
+		}
+		if err := rel(); err != nil {
+			return nil, err
+		}
+		return func() error { return nil }, nil
+	}
+	return a.Locks.Acquire(key)
+}
+
+// CheckoutDecrement is the §3.1.1 example: under the SKU lock, check and
+// decrement the stock via ORM.save — which silently also updates the
+// product and category timestamps inside the same database transaction.
+func (a *App) CheckoutDecrement(skuID, requested int64) error {
+	rel, err := a.orderLock(skuID)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = rel() }()
+
+	s := a.Reg.Session()
+	var sku SKU
+	ok, err := s.Find(&sku, skuID)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("spree: no sku %d", skuID)
+	}
+	if sku.Quantity < requested {
+		return ErrInsufficientStock
+	}
+	sku.Quantity -= requested
+	return s.Save(&sku)
+}
+
+// SKUQuantity returns the SKU's stock level.
+func (a *App) SKUQuantity(skuID int64) (int64, error) {
+	var sku SKU
+	ok, err := a.Reg.Session().Find(&sku, skuID)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("spree: no sku %d", skuID)
+	}
+	return sku.Quantity, nil
+}
+
+// AddPayment is Figure 3's PBC API (§3.3.2): if the order has no payment
+// yet, create one.
+//
+// AHT: the ad hoc lock keys off the exact equality predicate
+// payments(order_id=N) — adjacent orders never conflict — and the database
+// operations run at Read Committed.
+// DBT: one Serializable transaction; the empty-result predicate read
+// conflicts with concurrent inserts on neighbouring index pages
+// (PostgreSQL SSI page granularity), so adjacent new orders abort and
+// retry — the false conflicts the paper measures.
+func (a *App) AddPayment(orderID int64, amount float64) error {
+	body := func(t *engine.Txn) error {
+		pays, err := t.Select("payments", storage.Eq{Col: "order_id", Val: orderID})
+		if err != nil {
+			return err
+		}
+		if len(pays) > 0 {
+			return nil // already has a payment
+		}
+		_, err = t.Insert("payments", map[string]storage.Value{
+			"order_id": orderID, "amount": amount, "state": "checkout",
+		})
+		return err
+	}
+	if a.Mode == AHT {
+		return core.WithLock(a.Locks, granularity.EqPredKey("payments", "order_id", orderID), func() error {
+			return a.Eng.Run(engine.ReadCommitted, body)
+		})
+	}
+	return a.Eng.RunWithRetry(engine.Serializable, a.RetryAttempts, body)
+}
+
+// PaymentCount returns the number of payments for the order.
+func (a *App) PaymentCount(orderID int64) (int, error) {
+	return a.Reg.Session().Count(&Payment{}, storage.Eq{Col: "order_id", Val: orderID})
+}
+
+// ProcessPayment captures the order's payment: state goes checkout →
+// processing → completed. The §4.3 crash point "spree/after-processing"
+// sits between the processing write and the capture; a crash there leaves
+// the payment wedged, and because nothing rolls it back after reboot,
+// check-out can never finish (ErrPaymentPending forever).
+func (a *App) ProcessPayment(orderID int64) (err error) {
+	defer func() { err = sim.RecoverCrash(recover(), err) }()
+
+	schema := a.Eng.Schema("payments")
+	var payID int64
+	err = a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		pays, err := t.Select("payments", storage.Eq{Col: "order_id", Val: orderID})
+		if err != nil {
+			return err
+		}
+		if len(pays) == 0 {
+			return fmt.Errorf("spree: order %d has no payment", orderID)
+		}
+		for _, p := range pays {
+			if p.Get(schema, "state") == "processing" {
+				return ErrPaymentPending
+			}
+		}
+		payID = pays[0].PK()
+		_, err = t.Update("payments", storage.ByPK(payID), map[string]storage.Value{"state": "processing"})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	// The application server can die right here (§4.3).
+	a.Crash.Check("spree/after-processing")
+
+	return a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		if _, err := t.Update("payments", storage.ByPK(payID), map[string]storage.Value{"state": "completed"}); err != nil {
+			return err
+		}
+		_, err := t.Update("orders", storage.ByPK(orderID), map[string]storage.Value{"state": "paid"})
+		return err
+	})
+}
+
+// RecoverStuckPayments is the missing rollback handler: after a reboot it
+// returns "processing" payments to the checkout state so check-out can
+// resume. Spree does not have it (that is the bug); the fixed deployment
+// runs it at boot.
+func (a *App) RecoverStuckPayments() (int, error) {
+	var n int
+	err := a.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		n, err = t.Update("payments", storage.Eq{Col: "state", Val: "processing"},
+			map[string]storage.Value{"state": "checkout"})
+		return err
+	})
+	return n, err
+}
+
+// UpdateOrderTotalHTML is the coordinated order-total handler (the HTML
+// content type in §4.2): it recomputes the total under the order lock.
+func (a *App) UpdateOrderTotalHTML(orderID int64, delta float64) error {
+	return core.WithLock(a.Locks, granularity.RowKey("order", orderID), func() error {
+		return a.addToOrderTotal(orderID, delta)
+	})
+}
+
+// UpdateOrderTotalJSON is the §4.2 forgotten ad hoc transaction: the JSON
+// API handler performs the same read–modify–write with no lock at all,
+// freely interleaving with the HTML handler.
+func (a *App) UpdateOrderTotalJSON(orderID int64, delta float64) error {
+	return a.addToOrderTotal(orderID, delta)
+}
+
+func (a *App) addToOrderTotal(orderID int64, delta float64) error {
+	s := a.Reg.Session()
+	var o Order
+	ok, err := s.Find(&o, orderID)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("spree: no order %d", orderID)
+	}
+	o.Total += delta
+	return s.Save(&o)
+}
+
+// OrderTotal returns the order's running total.
+func (a *App) OrderTotal(orderID int64) (float64, error) {
+	var o Order
+	ok, err := a.Reg.Session().Find(&o, orderID)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("spree: no order %d", orderID)
+	}
+	return o.Total, nil
+}
+
+// PaymentStates returns the states of the order's payments.
+func (a *App) PaymentStates(orderID int64) ([]string, error) {
+	var pays []Payment
+	if err := a.Reg.Session().Where(&pays, storage.Eq{Col: "order_id", Val: orderID}); err != nil {
+		return nil, err
+	}
+	out := make([]string, len(pays))
+	for i, p := range pays {
+		out[i] = p.State
+	}
+	return out, nil
+}

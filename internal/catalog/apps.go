@@ -1,0 +1,62 @@
+package catalog
+
+// Apps is the study corpus, Table 2 (stars and contributor counts as of the
+// study's snapshot, late 2021).
+var Apps = []App{
+	{
+		Name: "Discourse", Category: "Forum", Language: "Ruby", ORM: "Active Record",
+		RDBMS: []string{"PostgreSQL"}, StarsK: 33.8, Contributors: 776,
+		CoreAPIs: "Posting, image upload, notification.",
+	},
+	{
+		Name: "Mastodon", Category: "Social network", Language: "Ruby", ORM: "Active Record",
+		RDBMS: []string{"PostgreSQL"}, StarsK: 24.6, Contributors: 644,
+		CoreAPIs: "Posting, polls, messaging, viewing.",
+	},
+	{
+		Name: "Spree", Category: "E-commerce", Language: "Ruby", ORM: "Active Record",
+		RDBMS: []string{"PostgreSQL", "MySQL"}, StarsK: 11.4, Contributors: 855,
+		CoreAPIs: "Check-out, cart modification.",
+	},
+	{
+		Name: "Redmine", Category: "Project mgmt.", Language: "Ruby", ORM: "Active Record",
+		RDBMS: []string{"PostgreSQL", "MySQL", "others"}, StarsK: 4.2, Contributors: 8,
+		CoreAPIs: "Issue tracking, metadata mgmt., attachments.",
+	},
+	{
+		Name: "Broadleaf", Category: "E-commerce", Language: "Java", ORM: "Hibernate",
+		RDBMS: []string{"PostgreSQL", "MySQL", "others"}, StarsK: 1.5, Contributors: 73,
+		CoreAPIs: "Check-out, cart modification.",
+	},
+	{
+		Name: "SCM Suite", Category: "Supply chain", Language: "Java", ORM: "Hibernate",
+		RDBMS: []string{"PostgreSQL", "MySQL"}, StarsK: 1.5, Contributors: 2,
+		CoreAPIs: "Account mgmt., merchandise info. tracking.",
+	},
+	{
+		Name: "JumpServer", Category: "Access control", Language: "Python", ORM: "Django",
+		RDBMS: []string{"PostgreSQL", "MySQL", "others"}, StarsK: 16.8, Contributors: 88,
+		CoreAPIs: "Granting privileges, asset updates.",
+	},
+	{
+		Name: "Saleor", Category: "E-commerce", Language: "Python", ORM: "Django",
+		RDBMS: []string{"PostgreSQL", "MySQL", "others"}, StarsK: 13.9, Contributors: 181,
+		CoreAPIs: "Check-out, payment, refund, stock mgmt.",
+	},
+}
+
+// AppByName returns the App with the given name, or nil.
+func AppByName(name string) *App {
+	for i := range Apps {
+		if Apps[i].Name == name {
+			return &Apps[i]
+		}
+	}
+	return nil
+}
+
+// AppOrder lists application names in the paper's table order.
+var AppOrder = []string{
+	"Discourse", "Mastodon", "Spree", "Redmine",
+	"Broadleaf", "SCM Suite", "JumpServer", "Saleor",
+}

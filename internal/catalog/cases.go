@@ -1,0 +1,449 @@
+package catalog
+
+// This file encodes the 91 studied ad hoc transactions. Aggregate counts are
+// taken from the paper; per-case attributes are reconstructed from the
+// paper's per-app tables, named examples, and constraints (see DESIGN.md).
+// Every aggregate the paper prints is asserted in catalog_test.go, so any
+// edit that breaks a paper number fails the build.
+
+// Cases returns the full 91-case catalog, ordered by application (Table 2
+// order) and case ID.
+func Cases() []Case {
+	var out []Case
+	out = append(out, discourseCases()...)
+	out = append(out, mastodonCases()...)
+	out = append(out, spreeCases()...)
+	out = append(out, redmineCases()...)
+	out = append(out, broadleafCases()...)
+	out = append(out, scmCases()...)
+	out = append(out, jumpserverCases()...)
+	out = append(out, saleorCases()...)
+	return out
+}
+
+// CaseByID returns the case with the given ID, or nil.
+func CaseByID(id string) *Case {
+	cases := Cases()
+	for i := range cases {
+		if cases[i].ID == id {
+			return &cases[i]
+		}
+	}
+	return nil
+}
+
+// Discourse: 13 cases (10 lock / 3 validation), 8 critical, all 13 buggy.
+// Locks are the WATCH/GET/MULTI/SET Redis lock (KV-MULTI); validation is
+// hand-crafted (§3.2). Named examples: create-post & toggle-answer
+// (column-based coordination, §3.3.2), edit-post across requests (§3.1.2),
+// shrink-image transaction repair (§3.4.1), the MiniSql non-atomic
+// validation (§4.1.2), and the downsize-upload incomplete repair (§4.3).
+func discourseCases() []Case {
+	lp := []IssueType{IssueLockPrimitive}
+	cs := []Case{
+		{ID: "discourse-01", API: "create-post", Critical: true, CC: Lock, LockImpl: "KV-MULTI",
+			CoarseGrained: true, FineGrained: true, ColumnBased: true, AssociatedAccess: true, RMW: true,
+			SingleLock: true, Issues: []IssueType{IssueLockPrimitive, IssueOmittedOps},
+			Severe: true, SevereConsequence: "page rendering failure"},
+		{ID: "discourse-02", API: "edit-post-window", Critical: true, CC: Lock, LockImpl: "KV-MULTI",
+			MultiRequest: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: lp, Severe: true, SevereConsequence: "overwritten post contents"},
+		{ID: "discourse-03", API: "toggle-answer", Critical: true, CC: Lock, LockImpl: "KV-MULTI",
+			FineGrained: true, ColumnBased: true, PredicateBased: true, OrderedLocks: true,
+			Issues: lp},
+		{ID: "discourse-04", API: "like-post", Critical: true, CC: Lock, LockImpl: "KV-MULTI",
+			PartialCoordination: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: lp},
+		{ID: "discourse-05", API: "image-upload", Critical: true, CC: Lock, LockImpl: "KV-MULTI",
+			NonDBOps: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: lp, Severe: true, SevereConsequence: "page rendering failure"},
+		{ID: "discourse-06", API: "notification-fanout", CC: Lock, LockImpl: "KV-MULTI",
+			NonDBOps: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: lp, Severe: true, SevereConsequence: "excessive notifications"},
+		{ID: "discourse-07", API: "topic-merge", CC: Lock, LockImpl: "KV-MULTI",
+			PartialCoordination: true, CoarseGrained: true, AssociatedAccess: true, SingleLock: true,
+			Issues: lp},
+		{ID: "discourse-08", API: "badge-grant", CC: Lock, LockImpl: "KV-MULTI",
+			CoarseGrained: true, RMW: true, SingleLock: true, Issues: lp},
+		{ID: "discourse-09", API: "user-rename", CC: Lock, LockImpl: "KV-MULTI",
+			OrderedLocks: true, Issues: lp},
+		{ID: "discourse-10", API: "draft-save", CC: Lock, LockImpl: "KV-MULTI",
+			CoarseGrained: true, RMW: true, SingleLock: true, Issues: lp},
+		{ID: "discourse-11", API: "edit-post", Critical: true, CC: Validation, ValidImpl: HandValidation,
+			LockImpl: "KV-MULTI", OptFailure: ReturnError, MultiRequest: true, PartialCoordination: true,
+			FineGrained: true, ColumnBased: true,
+			Issues: []IssueType{IssueNonAtomicValidate},
+			Severe: true, SevereConsequence: "overwritten post contents"},
+		{ID: "discourse-12", API: "rebake-post", Critical: true, CC: Validation, ValidImpl: HandValidation,
+			OptFailure: RepairForward, CoarseGrained: true, RMW: true,
+			Issues: []IssueType{IssueNonAtomicValidate}},
+		{ID: "discourse-13", API: "shrink-image", Critical: true, CC: Validation, ValidImpl: HandValidation,
+			OptFailure: RepairForward,
+			Issues:     []IssueType{IssueNonAtomicValidate, IssueIncompleteRepair, IssueOmittedOps},
+			Severe:     true, SevereConsequence: "page rendering failure (dangling image references)"},
+	}
+	stamp(cs, "Discourse")
+	markReported(cs, map[string]bool{
+		// Acknowledged: the lock-behaviour report (6 cases) and the
+		// MiniSql report (1 case).
+		"discourse-01": true, "discourse-02": true, "discourse-03": true,
+		"discourse-04": true, "discourse-05": true, "discourse-06": true,
+		"discourse-11": true,
+		// Reported, not acknowledged.
+		"discourse-07": false, "discourse-08": false, "discourse-09": false,
+		"discourse-10": false, "discourse-12": false, "discourse-13": false,
+	})
+	return cs
+}
+
+// Mastodon: 16 cases (11 lock / 5 validation), 10 critical, 11 buggy. Locks
+// are Redis SETNX leases whose TTL expiry nobody checks — every lock case
+// carries the §4.1.1 primitive bug. Named examples: timeline create/delete
+// post coordinating Redis and the RDBMS (§3.1.3), invite redemption
+// (Figure 1b), poll tallies via lock_version (Figure 1c).
+func mastodonCases() []Case {
+	lp := []IssueType{IssueLockPrimitive}
+	cs := []Case{
+		{ID: "mastodon-01", API: "delete-post-timeline", Critical: true, CC: Lock, LockImpl: "KV-SETNX",
+			NonDBOps: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: []IssueType{IssueLockPrimitive, IssueForgotten},
+			Severe: true, SevereConsequence: "showing deleted posts"},
+		{ID: "mastodon-02", API: "create-post-timeline", Critical: true, CC: Lock, LockImpl: "KV-SETNX",
+			NonDBOps: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: lp, Severe: true, SevereConsequence: "showing deleted posts"},
+		{ID: "mastodon-03", API: "invite-redeem", Critical: true, CC: Lock, LockImpl: "KV-SETNX",
+			CoarseGrained: true, RMW: true, SingleLock: true,
+			Issues: lp, Severe: true, SevereConsequence: "excessive invitation usage"},
+		{ID: "mastodon-04", API: "account-migration", Critical: true, CC: Lock, LockImpl: "KV-SETNX",
+			NonDBOps: true, PartialCoordination: true, CoarseGrained: true, AssociatedAccess: true, RMW: true,
+			SingleLock: true, Issues: lp,
+			Severe: true, SevereConsequence: "corrupted account info."},
+		{ID: "mastodon-05", API: "follow-request", Critical: true, CC: Lock, LockImpl: "KV-SETNX",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true, Issues: lp},
+		{ID: "mastodon-06", API: "media-attach", Critical: true, CC: Lock, LockImpl: "KV-SETNX",
+			NonDBOps: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: lp},
+		{ID: "mastodon-07", API: "conversation-read", CC: Lock, LockImpl: "KV-SETNX",
+			PartialCoordination: true, CoarseGrained: true, AssociatedAccess: true, RMW: true,
+			SingleLock: true, Issues: lp},
+		{ID: "mastodon-08", API: "notification-dedupe", CC: Lock, LockImpl: "KV-SETNX",
+			CoarseGrained: true, FineGrained: true, PredicateBased: true, RMW: true, SingleLock: true,
+			Issues: lp},
+		{ID: "mastodon-09", API: "custom-emoji-update", CC: Lock, LockImpl: "KV-SETNX",
+			CoarseGrained: true, RMW: true, SingleLock: true, Issues: lp},
+		{ID: "mastodon-10", API: "relay-toggle", CC: Lock, LockImpl: "KV-SETNX",
+			OrderedLocks: true, Issues: lp},
+		{ID: "mastodon-11", API: "domain-block", CC: Lock, LockImpl: "KV-SETNX",
+			OrderedLocks: true, Issues: lp},
+		{ID: "mastodon-12", API: "poll-vote", Critical: true, CC: Validation, ValidImpl: ORMValidation,
+			OptFailure: ReturnError, CoarseGrained: true, RMW: true},
+		{ID: "mastodon-13", API: "poll-refresh", Critical: true, CC: Validation, ValidImpl: ORMValidation,
+			OptFailure: ReturnError},
+		{ID: "mastodon-14", API: "direct-message", Critical: true, CC: Validation, ValidImpl: HandValidation,
+			LockImpl: "KV-SETNX", OptFailure: ReturnError, MultiRequest: true},
+		{ID: "mastodon-15", API: "profile-edit", Critical: true, CC: Validation, ValidImpl: HandValidation,
+			LockImpl: "KV-SETNX", OptFailure: ReturnError, MultiRequest: true, PartialCoordination: true},
+		{ID: "mastodon-16", API: "filter-update", CC: Validation, ValidImpl: HandValidation,
+			LockImpl: "KV-SETNX", OptFailure: ReturnError},
+	}
+	stamp(cs, "Mastodon")
+	ack := map[string]bool{}
+	for i := 1; i <= 11; i++ {
+		ack[csID("mastodon", i)] = true // the TTL report covers all 11 lock cases
+	}
+	markReported(cs, ack)
+	return cs
+}
+
+// Spree: 10 cases (4 lock / 6 validation), all critical, all buggy. Locks
+// are SELECT FOR UPDATE outside any transaction — the §4.1.1 misuse. Named
+// examples: the SKU decrement with ORM-generated timestamp statements
+// (§3.1.1), add-payment predicate locking (§3.3.2), the JSON-handler
+// forgotten coordination (§4.2), the stuck "processing" payments after
+// crashes (§4.3).
+func spreeCases() []Case {
+	cs := []Case{
+		{ID: "spree-01", API: "checkout-sku-decrement", Critical: true, CC: Lock, LockImpl: "SFU",
+			PartialCoordination: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: []IssueType{IssueLockPrimitive, IssueForgotten},
+			Severe: true, SevereConsequence: "inconsistent stock level"},
+		{ID: "spree-02", API: "add-payment", Critical: true, CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, FineGrained: true, PredicateBased: true,
+			AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: []IssueType{IssueLockPrimitive, IssueForgotten},
+			Severe: true, SevereConsequence: "overcharging"},
+		{ID: "spree-03", API: "cart-merge", Critical: true, CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, FineGrained: true, PredicateBased: true, AssociatedAccess: true, RMW: true,
+			SingleLock: true, Issues: []IssueType{IssueLockPrimitive},
+			Severe: true, SevereConsequence: "inconsistent order status"},
+		{ID: "spree-04", API: "shipment-split", Critical: true, CC: Lock, LockImpl: "SFU",
+			OrderedLocks: true, Issues: []IssueType{IssueLockPrimitive},
+			Severe: true, SevereConsequence: "inconsistent order status"},
+		{ID: "spree-05", API: "payment-capture", Critical: true, CC: Validation, ValidImpl: ORMValidation,
+			OptFailure: ReturnError, PartialCoordination: true,
+			Issues: []IssueType{IssueOmittedOps, IssueNoCrashRollback},
+			Severe: true, SevereConsequence: "overcharging; checkout wedged by stuck processing payments"},
+		{ID: "spree-06", API: "payment-void", Critical: true, CC: Validation, ValidImpl: ORMValidation,
+			OptFailure: ReturnError,
+			Issues:     []IssueType{IssueOmittedOps, IssueNoCrashRollback},
+			Severe:     true, SevereConsequence: "overcharging; checkout wedged by stuck processing payments"},
+		{ID: "spree-07", API: "order-state-advance", Critical: true, CC: Validation, ValidImpl: ORMValidation,
+			OptFailure: ReturnError, PartialCoordination: true,
+			Issues: []IssueType{IssueOmittedOps},
+			Severe: true, SevereConsequence: "inconsistent order status"},
+		{ID: "spree-08", API: "stock-restock", Critical: true, CC: Validation, ValidImpl: ORMValidation,
+			OptFailure: ReturnError, CoarseGrained: true, RMW: true,
+			Issues: []IssueType{IssueOmittedOps},
+			Severe: true, SevereConsequence: "inconsistent stock level"},
+		{ID: "spree-09", API: "product-discontinue", Critical: true, CC: Validation, ValidImpl: HandValidation,
+			LockImpl: "SFU", OptFailure: ManualRollback,
+			Issues: []IssueType{IssueForgotten},
+			Severe: true, SevereConsequence: "selling discontinued products"},
+		{ID: "spree-10", API: "promotion-apply", Critical: true, CC: Validation, ValidImpl: HandValidation,
+			LockImpl: "SFU", OptFailure: DBTRollback, MultiRequest: true,
+			Issues: []IssueType{IssueNoCrashRollback}},
+	}
+	stamp(cs, "Spree")
+	markReported(cs, map[string]bool{
+		// Acknowledged: the order-lock report (01–04 + 07) and the
+		// crash-payments report (05, 06, 10).
+		"spree-01": true, "spree-02": true, "spree-03": true, "spree-04": true,
+		"spree-07": true, "spree-05": true, "spree-06": true, "spree-10": true,
+		// Reported, not acknowledged.
+		"spree-08": false, "spree-09": false,
+	})
+	return cs
+}
+
+// Redmine: 9 cases (6 lock / 3 validation), 6 critical, 1 buggy. Locks are
+// SELECT FOR UPDATE; validation is lock_version. Redmine is the study's
+// quiet citizen: one SFU misuse, never reported.
+func redmineCases() []Case {
+	cs := []Case{
+		{ID: "redmine-01", API: "issue-update", Critical: true, CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: []IssueType{IssueLockPrimitive}},
+		{ID: "redmine-02", API: "issue-move", Critical: true, CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true},
+		{ID: "redmine-03", API: "attachment-add", Critical: true, CC: Lock, LockImpl: "SFU",
+			PartialCoordination: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true},
+		{ID: "redmine-04", API: "wiki-rename", CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true},
+		{ID: "redmine-05", API: "time-entry-log", CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, RMW: true, SingleLock: true},
+		{ID: "redmine-06", API: "version-close", Critical: true, CC: Lock, LockImpl: "SFU",
+			OrderedLocks: true, FineGrained: true, PredicateBased: true},
+		{ID: "redmine-07", API: "issue-edit", Critical: true, CC: Validation, ValidImpl: ORMValidation,
+			OptFailure: ReturnError, MultiRequest: true},
+		{ID: "redmine-08", API: "wiki-edit", Critical: true, CC: Validation, ValidImpl: ORMValidation,
+			OptFailure: ReturnError, PartialCoordination: true},
+		{ID: "redmine-09", API: "settings-save", CC: Validation, ValidImpl: ORMValidation,
+			OptFailure: ReturnError, CoarseGrained: true, RMW: true},
+	}
+	stamp(cs, "Redmine")
+	markReported(cs, map[string]bool{}) // the Redmine case was not reported
+	return cs
+}
+
+// Broadleaf: 11 cases (5 lock / 6 validation), 6 critical, 7 buggy. The only
+// application mixing primitives (Finding 3): a DB lock table, two in-memory
+// lock maps (one with the LRU-eviction bug), and Java synchronized; one
+// ORM-assisted validation among five hand-crafted ones. Named examples: the
+// cart-total lock (Figure 1a), the lock-table boot UUID (§3.4.2), the
+// session-order-lock eviction (§4.1.1), the checkout SKU omission (§4.2).
+func broadleafCases() []Case {
+	cs := []Case{
+		{ID: "broadleaf-01", API: "checkout", Critical: true, CC: Lock, LockImpl: "MEM-LRU",
+			PartialCoordination: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: []IssueType{IssueLockPrimitive, IssueOmittedOps, IssueForgotten},
+			Severe: true, SevereConsequence: "overselling; users not paying for concurrently added items"},
+		{ID: "broadleaf-02", API: "add-to-cart", Critical: true, CC: Lock, LockImpl: "DB",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: []IssueType{IssueLockPrimitive},
+			Severe: true, SevereConsequence: "inconsistent order status"},
+		{ID: "broadleaf-03", API: "merge-anonymous-cart", Critical: true, CC: Lock, LockImpl: "MEM",
+			NonDBOps: true, CoarseGrained: true, AssociatedAccess: true, SingleLock: true},
+		{ID: "broadleaf-04", API: "inventory-sync", CC: Lock, LockImpl: "SYNC",
+			OrderedLocks: true, FineGrained: true, ColumnBased: true},
+		{ID: "broadleaf-05", API: "price-list-rebuild", CC: Lock, LockImpl: "DB",
+			PartialCoordination: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true},
+		{ID: "broadleaf-06", API: "promotion-redeem", Critical: true, CC: Validation, ValidImpl: HandValidation,
+			LockImpl: "MEM", OptFailure: ReturnError, PartialCoordination: true,
+			Issues: []IssueType{IssueLockPrimitive, IssueNonAtomicValidate, IssueOmittedOps},
+			Severe: true, SevereConsequence: "promotion overuse"},
+		{ID: "broadleaf-07", API: "offer-apply", Critical: true, CC: Validation, ValidImpl: HandValidation,
+			LockImpl: "MEM", OptFailure: ReturnError,
+			Issues: []IssueType{IssueLockPrimitive, IssueNonAtomicValidate},
+			Severe: true, SevereConsequence: "promotion overuse"},
+		{ID: "broadleaf-08", API: "sku-availability", Critical: true, CC: Validation, ValidImpl: HandValidation,
+			LockImpl: "MEM", OptFailure: ReturnError, MultiRequest: true,
+			Issues: []IssueType{IssueLockPrimitive, IssueNonAtomicValidate},
+			Severe: true, SevereConsequence: "overselling"},
+		{ID: "broadleaf-09", API: "order-adjustment", CC: Validation, ValidImpl: HandValidation,
+			OptFailure: ManualRollback, MultiRequest: true,
+			Issues: []IssueType{IssueNonAtomicValidate},
+			Severe: true, SevereConsequence: "inconsistent order status"},
+		{ID: "broadleaf-10", API: "fulfillment-update", CC: Validation, ValidImpl: HandValidation,
+			OptFailure: RepairForward,
+			Issues:     []IssueType{IssueNonAtomicValidate}},
+		{ID: "broadleaf-11", API: "catalog-reindex", CC: Validation, ValidImpl: ORMValidation,
+			OptFailure: ReturnError, CoarseGrained: true, RMW: true, AssociatedAccess: true},
+	}
+	stamp(cs, "Broadleaf")
+	markReported(cs, map[string]bool{
+		// Acknowledged: the lock-behaviour report (01, 02, 06, 07).
+		"broadleaf-01": true, "broadleaf-02": true, "broadleaf-06": true, "broadleaf-07": true,
+		// Reported, not acknowledged.
+		"broadleaf-08": false, "broadleaf-09": false,
+		// broadleaf-10 buggy but unreported.
+	})
+	return cs
+}
+
+// SCM Suite: 11 template cases (8 lock / 3 validation), all critical, 8
+// buggy. Locks are Java synchronized — on thread-local ORM objects, so five
+// of them never exclude anything (§4.1.1, issue 17); validation is
+// hand-crafted and non-atomic. (The generated demo contains 167 instances
+// of these templates; the catalog counts templates, as the paper does.)
+func scmCases() []Case {
+	lp := []IssueType{IssueLockPrimitive}
+	na := []IssueType{IssueNonAtomicValidate}
+	cs := []Case{
+		{ID: "scm-01", API: "account-create", Critical: true, CC: Lock, LockImpl: "SYNC",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true, Issues: lp},
+		{ID: "scm-02", API: "account-update", Critical: true, CC: Lock, LockImpl: "SYNC",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true, Issues: lp},
+		{ID: "scm-03", API: "merchandise-track", Critical: true, CC: Lock, LockImpl: "SYNC",
+			PartialCoordination: true, CoarseGrained: true, AssociatedAccess: true, RMW: true,
+			SingleLock: true, Issues: lp},
+		{ID: "scm-04", API: "goods-receipt", Critical: true, CC: Lock, LockImpl: "SYNC",
+			CoarseGrained: true, RMW: true, SingleLock: true, Issues: lp},
+		{ID: "scm-05", API: "shipment-dispatch", Critical: true, CC: Lock, LockImpl: "SYNC",
+			CoarseGrained: true, RMW: true, SingleLock: true, Issues: lp},
+		{ID: "scm-06", API: "warehouse-transfer", Critical: true, CC: Lock, LockImpl: "SYNC",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true},
+		{ID: "scm-07", API: "supplier-onboard", Critical: true, CC: Lock, LockImpl: "SYNC",
+			OrderedLocks: true, FineGrained: true, ColumnBased: true},
+		{ID: "scm-08", API: "sku-batch-import", Critical: true, CC: Lock, LockImpl: "SYNC",
+			OrderedLocks: true, PartialCoordination: true},
+		{ID: "scm-09", API: "level-rewrite", Critical: true, CC: Validation, ValidImpl: HandValidation,
+			LockImpl: "SYNC", OptFailure: ReturnError, Issues: na},
+		{ID: "scm-10", API: "quota-adjust", Critical: true, CC: Validation, ValidImpl: HandValidation,
+			LockImpl: "SYNC", OptFailure: ReturnError, MultiRequest: true, Issues: na},
+		{ID: "scm-11", API: "price-approve", Critical: true, CC: Validation, ValidImpl: HandValidation,
+			LockImpl: "SYNC", OptFailure: RepairForward, CoarseGrained: true, RMW: true, Issues: na},
+	}
+	stamp(cs, "SCM Suite")
+	markReported(cs, map[string]bool{
+		// Acknowledged: the synchronized-misuse report (01–03).
+		"scm-01": true, "scm-02": true, "scm-03": true,
+		// Reported, not acknowledged.
+		"scm-04": false, "scm-09": false,
+		// scm-05, scm-10, scm-11 buggy but unreported.
+	})
+	return cs
+}
+
+// JumpServer: 5 cases, all pessimistic Redis SETNX locks, all critical,
+// none buggy — the study's only clean application.
+func jumpserverCases() []Case {
+	cs := []Case{
+		{ID: "jumpserver-01", API: "grant-privilege", Critical: true, CC: Lock, LockImpl: "KV-SETNX",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true},
+		{ID: "jumpserver-02", API: "asset-update", Critical: true, CC: Lock, LockImpl: "KV-SETNX",
+			PartialCoordination: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true},
+		{ID: "jumpserver-03", API: "session-audit-flush", Critical: true, CC: Lock, LockImpl: "KV-SETNX",
+			NonDBOps: true, CoarseGrained: true, RMW: true, SingleLock: true},
+		{ID: "jumpserver-04", API: "node-tree-rebuild", Critical: true, CC: Lock, LockImpl: "KV-SETNX",
+			PartialCoordination: true, CoarseGrained: true, FineGrained: true, PredicateBased: true,
+			RMW: true, SingleLock: true},
+		{ID: "jumpserver-05", API: "permission-refresh", Critical: true, CC: Lock, LockImpl: "KV-SETNX",
+			OrderedLocks: true},
+	}
+	stamp(cs, "JumpServer")
+	markReported(cs, map[string]bool{})
+	return cs
+}
+
+// Saleor: 16 cases, all pessimistic (14 SELECT FOR UPDATE, 2 re-entrant
+// SETNX leases), 15 critical, 3 buggy (all omitted-operations overcharging
+// cases). Named example: the stock-allocation SFU transaction (§3.2.1).
+func saleorCases() []Case {
+	om := []IssueType{IssueOmittedOps}
+	cs := []Case{
+		{ID: "saleor-01", API: "checkout-complete", Critical: true, CC: Lock, LockImpl: "SFU",
+			PartialCoordination: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: om, Severe: true, SevereConsequence: "overcharging"},
+		{ID: "saleor-02", API: "payment-capture", Critical: true, CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: om, Severe: true, SevereConsequence: "overcharging"},
+		{ID: "saleor-03", API: "payment-refund", Critical: true, CC: Lock, LockImpl: "SFU",
+			PartialCoordination: true, CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true,
+			Issues: om, Severe: true, SevereConsequence: "overcharging"},
+		{ID: "saleor-04", API: "stock-allocate", Critical: true, CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true},
+		{ID: "saleor-05", API: "stock-deallocate", Critical: true, CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true},
+		{ID: "saleor-06", API: "stock-decrease", Critical: true, CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true},
+		{ID: "saleor-07", API: "checkout-add-line", Critical: true, CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, AssociatedAccess: true, RMW: true, SingleLock: true},
+		{ID: "saleor-08", API: "voucher-use", Critical: true, CC: Lock, LockImpl: "SFU",
+			PartialCoordination: true, CoarseGrained: true, FineGrained: true, PredicateBased: true,
+			RMW: true, SingleLock: true},
+		{ID: "saleor-09", API: "gift-card-redeem", Critical: true, CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, FineGrained: true, PredicateBased: true, RMW: true, SingleLock: true},
+		{ID: "saleor-10", API: "order-line-update", Critical: true, CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, FineGrained: true, PredicateBased: true, RMW: true, SingleLock: true},
+		{ID: "saleor-11", API: "fulfillment-create", Critical: true, CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, FineGrained: true, PredicateBased: true, RMW: true, SingleLock: true},
+		{ID: "saleor-12", API: "digital-content-grant", Critical: true, CC: Lock, LockImpl: "SFU",
+			PartialCoordination: true, CoarseGrained: true, RMW: true, SingleLock: true},
+		{ID: "saleor-13", API: "draft-order-finalize", Critical: true, CC: Lock, LockImpl: "SFU",
+			CoarseGrained: true, RMW: true, SingleLock: true},
+		{ID: "saleor-14", API: "warehouse-rebalance", CC: Lock, LockImpl: "SFU",
+			OrderedLocks: true},
+		{ID: "saleor-15", API: "checkout-lines-sync", Critical: true, CC: Lock, LockImpl: "KV-SETNX",
+			MultiRequest: true, OrderedLocks: true},
+		{ID: "saleor-16", API: "plugin-config-update", Critical: true, CC: Lock, LockImpl: "KV-SETNX",
+			OrderedLocks: true},
+	}
+	stamp(cs, "Saleor")
+	markReported(cs, map[string]bool{
+		// The overcharging report was submitted, not acknowledged; the
+		// paper counts 13 single-case unacknowledged reports, one of
+		// which is saleor-01. The other two buggy cases went unreported.
+		"saleor-01": false,
+	})
+	return cs
+}
+
+// stamp fills the App field.
+func stamp(cs []Case, app string) {
+	for i := range cs {
+		cs[i].App = app
+	}
+}
+
+// markReported sets Reported/Acknowledged from a map of caseID→acknowledged.
+func markReported(cs []Case, status map[string]bool) {
+	for i := range cs {
+		ack, ok := status[cs[i].ID]
+		if !ok {
+			continue
+		}
+		cs[i].Reported = true
+		cs[i].Acknowledged = ack
+	}
+}
+
+func csID(app string, n int) string {
+	return caseIDf(app, n)
+}
+
+func caseIDf(app string, n int) string {
+	if n < 10 {
+		return app + "-0" + string(rune('0'+n))
+	}
+	return app + "-1" + string(rune('0'+n-10))
+}

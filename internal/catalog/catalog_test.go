@@ -1,0 +1,399 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperAggregates asserts every number the paper prints about the case
+// corpus. Any catalog edit that breaks a paper statistic fails here.
+func TestPaperAggregates(t *testing.T) {
+	f := ComputeFindings()
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"total cases", f.TotalCases, 91},
+		{"critical cases (F1)", f.CriticalCases, 71},
+		{"partial coordination (F2)", f.PartialCoordination, 22},
+		{"multi-request (F2)", f.MultiRequest, 10},
+		{"non-DB operations (F2)", f.NonDBOps, 8},
+		{"lock implementations (F3)", f.LockImpls, 7},
+		{"validation implementations (F3)", f.ValidImpls, 2},
+		{"pessimistic cases", f.Pessimistic, 65},
+		{"optimistic cases", f.Optimistic, 26},
+		{"fine-grained (F4)", f.FineGrained, 14},
+		{"coarse-grained (F4)", f.CoarseGrained, 58},
+		{"fine and coarse (F4)", f.FineAndCoarse, 9},
+		{"column-based (F4)", f.ColumnBased, 5},
+		{"predicate-based (F4)", f.PredicateBased, 10},
+		{"column and predicate (F4)", f.ColumnAndPred, 1},
+		{"associated access (F4)", f.AssociatedAccess, 37},
+		{"RMW (F4)", f.RMW, 56},
+		{"AA and RMW (F4)", f.AAandRMW, 35},
+		{"single lock (F5)", f.SingleLock, 52},
+		{"ordered locks (F5)", f.OrderedLocks, 13},
+		{"optimistic return-error (F5)", f.OptReturnError, 19},
+		{"optimistic DBT rollback (§3.4.1)", f.OptDBTRollback, 1},
+		{"optimistic manual rollback (§3.4.1)", f.OptManual, 2},
+		{"optimistic repair (§3.4.1)", f.OptRepair, 4},
+		{"hand-crafted validation (§4.1.2)", f.HandValidation, 16},
+		{"ORM-assisted validation (§4.1.2)", f.ORMValidation, 10},
+		{"buggy cases", f.BuggyCases, 53},
+		{"issue assignments (Table 5a sum)", f.IssueCount, 67},
+		{"multi-issue cases", f.MultiIssueCases, 11},
+		{"severe cases", f.SevereCases, 28},
+		{"reports", f.Reports, 20},
+		{"reported cases", f.ReportedCases, 46},
+		{"acknowledged reports", f.AckReports, 7},
+		{"acknowledged cases", f.AcknowledgedCases, 33},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestTable3PerApp asserts Table 3's per-app criticality fractions.
+func TestTable3PerApp(t *testing.T) {
+	want := map[string][2]int{ // app -> {critical, total}
+		"Discourse": {8, 13}, "Mastodon": {10, 16}, "Spree": {10, 10},
+		"Redmine": {6, 9}, "Broadleaf": {6, 11}, "SCM Suite": {11, 11},
+		"JumpServer": {5, 5}, "Saleor": {15, 16},
+	}
+	for _, r := range Table3() {
+		w := want[r.App]
+		if r.Critical != w[0] || r.Total != w[1] {
+			t.Errorf("%s: %d/%d, want %d/%d", r.App, r.Critical, r.Total, w[0], w[1])
+		}
+		if r.CoreAPIs == "" {
+			t.Errorf("%s: empty core APIs", r.App)
+		}
+	}
+}
+
+// TestTable4PerApp asserts Table 4's per-app statistics.
+func TestTable4PerApp(t *testing.T) {
+	want := map[string][4]int{ // app -> {total, buggy, lock, valid}
+		"Discourse": {13, 13, 10, 3}, "Mastodon": {16, 11, 11, 5},
+		"Spree": {10, 10, 4, 6}, "Redmine": {9, 1, 6, 3},
+		"Broadleaf": {11, 7, 5, 6}, "SCM Suite": {11, 8, 8, 3},
+		"JumpServer": {5, 0, 5, 0}, "Saleor": {16, 3, 16, 0},
+	}
+	rows, total := Table4()
+	for _, r := range rows {
+		w := want[r.App]
+		if r.Total != w[0] || r.Buggy != w[1] || r.Lock != w[2] || r.Valid != w[3] {
+			t.Errorf("%s: {%d %d %d %d}, want %v", r.App, r.Total, r.Buggy, r.Lock, r.Valid, w)
+		}
+	}
+	if total.Total != 91 || total.Buggy != 53 || total.Lock != 65 || total.Valid != 26 {
+		t.Errorf("totals = %+v", total)
+	}
+}
+
+// TestTable5a asserts the issue categorisation.
+func TestTable5a(t *testing.T) {
+	want := map[IssueType][2]int{ // issue -> {apps, cases}
+		IssueLockPrimitive:     {6, 36},
+		IssueNonAtomicValidate: {3, 11},
+		IssueOmittedOps:        {4, 11},
+		IssueForgotten:         {3, 5},
+		IssueIncompleteRepair:  {1, 1},
+		IssueNoCrashRollback:   {1, 3},
+	}
+	for _, r := range Table5a() {
+		w := want[r.Issue]
+		if r.Apps != w[0] || r.Cases != w[1] {
+			t.Errorf("%v: apps=%d cases=%d, want %v", r.Issue, r.Apps, r.Cases, w)
+		}
+	}
+}
+
+// TestTable5b asserts the severe-consequence counts per app.
+func TestTable5b(t *testing.T) {
+	want := map[string]int{
+		"Discourse": 6, "Mastodon": 4, "Spree": 9, "Broadleaf": 6, "Saleor": 3,
+	}
+	rows := Table5b()
+	if len(rows) != len(want) {
+		t.Fatalf("Table5b has %d rows, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		if r.Cases != want[r.App] {
+			t.Errorf("%s: %d severe cases, want %d", r.App, r.Cases, want[r.App])
+		}
+		if len(r.Consequences) == 0 {
+			t.Errorf("%s: no consequences listed", r.App)
+		}
+	}
+}
+
+// TestCatalogInternalConsistency checks structural invariants of the data.
+func TestCatalogInternalConsistency(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Cases() {
+		if seen[c.ID] {
+			t.Errorf("duplicate case id %s", c.ID)
+		}
+		seen[c.ID] = true
+		if AppByName(c.App) == nil {
+			t.Errorf("%s: unknown app %q", c.ID, c.App)
+		}
+		if c.API == "" {
+			t.Errorf("%s: empty API", c.ID)
+		}
+		if c.CC == Lock {
+			if c.ValidImpl != NoValidation || c.OptFailure != NotOptimistic {
+				t.Errorf("%s: pessimistic case with validation attributes", c.ID)
+			}
+			if c.LockImpl == "" {
+				t.Errorf("%s: pessimistic case without lock impl", c.ID)
+			}
+			if c.SingleLock == c.OrderedLocks {
+				t.Errorf("%s: pessimistic case must be single-lock xor ordered", c.ID)
+			}
+		} else {
+			if c.ValidImpl == NoValidation || c.OptFailure == NotOptimistic {
+				t.Errorf("%s: optimistic case missing validation attributes", c.ID)
+			}
+			if c.SingleLock || c.OrderedLocks {
+				t.Errorf("%s: optimistic case with pessimistic lock-count flags", c.ID)
+			}
+		}
+		if c.ColumnBased || c.PredicateBased {
+			if !c.FineGrained {
+				t.Errorf("%s: column/predicate case not marked fine-grained", c.ID)
+			}
+		} else if c.FineGrained {
+			t.Errorf("%s: fine-grained case with no mechanism", c.ID)
+		}
+		if (c.AssociatedAccess || c.RMW) != c.CoarseGrained {
+			t.Errorf("%s: coarse-grained flag inconsistent with access patterns", c.ID)
+		}
+		if c.Severe && !c.Buggy() {
+			t.Errorf("%s: severe but not buggy", c.ID)
+		}
+		if c.Severe && c.SevereConsequence == "" {
+			t.Errorf("%s: severe without consequence", c.ID)
+		}
+		if c.Acknowledged && !c.Reported {
+			t.Errorf("%s: acknowledged but not reported", c.ID)
+		}
+		if c.Reported && !c.Buggy() {
+			t.Errorf("%s: reported but not buggy", c.ID)
+		}
+		issueSeen := map[IssueType]bool{}
+		for _, i := range c.Issues {
+			if issueSeen[i] {
+				t.Errorf("%s: duplicate issue %v", c.ID, i)
+			}
+			issueSeen[i] = true
+			if i == IssueNonAtomicValidate && c.CC != Validation {
+				t.Errorf("%s: non-atomic-validate issue on a pessimistic case", c.ID)
+			}
+			if i == IssueLockPrimitive && c.LockImpl == "" {
+				t.Errorf("%s: lock-primitive issue without a lock", c.ID)
+			}
+		}
+	}
+	if len(seen) != 91 {
+		t.Fatalf("%d cases, want 91", len(seen))
+	}
+}
+
+// TestReportsConsistency cross-checks reports against cases.
+func TestReportsConsistency(t *testing.T) {
+	covered := map[string]string{}
+	for _, r := range Reports() {
+		if len(r.CaseIDs) == 0 {
+			t.Errorf("%s: empty report", r.ID)
+		}
+		for _, id := range r.CaseIDs {
+			c := CaseByID(id)
+			if c == nil {
+				t.Errorf("%s: unknown case %s", r.ID, id)
+				continue
+			}
+			if prev, dup := covered[id]; dup {
+				t.Errorf("case %s covered by both %s and %s", id, prev, r.ID)
+			}
+			covered[id] = r.ID
+			if c.App != r.App {
+				t.Errorf("%s: case %s belongs to %s, report is against %s", r.ID, id, c.App, r.App)
+			}
+			if !c.Reported {
+				t.Errorf("case %s in report %s but not marked Reported", id, r.ID)
+			}
+			if c.Acknowledged != r.Acknowledged {
+				t.Errorf("case %s ack flag %v mismatches report %s (%v)", id, c.Acknowledged, r.ID, r.Acknowledged)
+			}
+		}
+	}
+	// Every reported case appears in exactly one report.
+	for _, c := range Cases() {
+		if c.Reported && covered[c.ID] == "" {
+			t.Errorf("case %s marked Reported but in no report", c.ID)
+		}
+	}
+}
+
+// TestLockImplConsistencyPerApp encodes Finding 3's "except for Broadleaf,
+// developers consistently use the same lock implementation": Broadleaf uses
+// four, Saleor's SFU locks are accompanied by two SETNX leases, everyone
+// else uses exactly one.
+func TestLockImplConsistencyPerApp(t *testing.T) {
+	impls := map[string]map[string]bool{}
+	for _, c := range Cases() {
+		if c.CC != Lock {
+			continue
+		}
+		if impls[c.App] == nil {
+			impls[c.App] = map[string]bool{}
+		}
+		impls[c.App][c.LockImpl] = true
+	}
+	for app, set := range impls {
+		switch app {
+		case "Broadleaf":
+			if len(set) != 4 {
+				t.Errorf("Broadleaf uses %d lock impls, want 4 (three home-grown + synchronized)", len(set))
+			}
+		case "Saleor":
+			if len(set) != 2 {
+				t.Errorf("Saleor uses %d lock impls, want 2 (SFU + re-entrant SETNX)", len(set))
+			}
+		default:
+			if len(set) != 1 {
+				t.Errorf("%s uses %d lock impls, want 1 (Finding 3)", app, len(set))
+			}
+		}
+	}
+	// All seven Figure 2 implementations appear.
+	all := map[string]bool{}
+	for _, set := range impls {
+		for impl := range set {
+			all[impl] = true
+		}
+	}
+	for _, want := range []string{"SYNC", "MEM", "MEM-LRU", "KV-SETNX", "KV-MULTI", "SFU", "DB"} {
+		if !all[want] {
+			t.Errorf("lock impl %s missing from catalog", want)
+		}
+	}
+}
+
+// TestMultiIssueBreakdown checks the 8×2 + 3×3 structure implied by 53
+// distinct buggy cases carrying 67 issue assignments with 11 multi-issue
+// cases.
+func TestMultiIssueBreakdown(t *testing.T) {
+	doubles, triples := 0, 0
+	for _, c := range Cases() {
+		switch len(c.Issues) {
+		case 2:
+			doubles++
+		case 3:
+			triples++
+		default:
+			if len(c.Issues) > 3 {
+				t.Errorf("%s carries %d issues", c.ID, len(c.Issues))
+			}
+		}
+	}
+	if doubles != 8 || triples != 3 {
+		t.Errorf("doubles=%d triples=%d, want 8 and 3", doubles, triples)
+	}
+}
+
+func TestCaseByID(t *testing.T) {
+	if c := CaseByID("mastodon-03"); c == nil || c.API != "invite-redeem" {
+		t.Fatalf("CaseByID(mastodon-03) = %+v", c)
+	}
+	if CaseByID("nope-01") != nil {
+		t.Fatal("CaseByID(nope) should be nil")
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	for name, render := range map[string]func() string{
+		"table1": RenderTable1, "table2": RenderTable2, "table3": RenderTable3,
+		"table4": RenderTable4, "table5": RenderTable5, "table6": RenderTable6,
+		"table7": RenderTable7, "findings": RenderFindings,
+	} {
+		out := render()
+		if len(out) < 100 {
+			t.Errorf("%s output suspiciously short:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(strings.Join(strings.Fields(RenderTable4()), " "), "Total 91 53 65 26") {
+		t.Errorf("Table 4 totals row malformed:\n%s", RenderTable4())
+	}
+	if !strings.Contains(RenderTable7(), "advisory locks") &&
+		!strings.Contains(RenderTable7(), "yes*") {
+		t.Errorf("Table 7a missing support notes:\n%s", RenderTable7())
+	}
+}
+
+// TestTable6MatchesExperimentConfiguration cross-checks the evaluation
+// setups against what internal/experiments actually builds: every
+// granularity present, the right application, RDBMS dialect, and DBT
+// isolation level (the experiment code mirrors these; a drift here means
+// the harness no longer measures what Table 6 describes).
+func TestTable6MatchesExperimentConfiguration(t *testing.T) {
+	want := map[string][3]string{ // gran -> {app, rdbms, iso}
+		"RMW": {"Broadleaf", "MySQL", "Serializable"},
+		"AA":  {"Discourse", "PostgreSQL", "Serializable"},
+		"CBC": {"Discourse", "PostgreSQL", "Repeatable Read"},
+		"PBC": {"Spree", "PostgreSQL", "Serializable"},
+	}
+	rows := Table6()
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		w, ok := want[r.Granularity]
+		if !ok {
+			t.Fatalf("unexpected granularity %q", r.Granularity)
+		}
+		if r.App != w[0] || r.RDBMS != w[1] || r.DBTIso != w[2] {
+			t.Errorf("%s: {%s %s %s}, want %v", r.Granularity, r.App, r.RDBMS, r.DBTIso, w)
+		}
+		if r.Workload == "" || r.API == "" {
+			t.Errorf("%s: empty workload/API", r.Granularity)
+		}
+	}
+}
+
+func TestTable1Structure(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 {
+		t.Fatalf("%d works", len(rows))
+	}
+	this := rows[2]
+	if this.Target != "ad hoc transactions" || len(this.Aspects) != 3 || len(this.IssueTypes) != 3 {
+		t.Fatalf("this-work row = %+v", this)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for _, it := range AllIssueTypes {
+		if strings.Contains(it.String(), "?") {
+			t.Errorf("issue %d has placeholder string", it)
+		}
+	}
+	if Lock.String() != "lock" || Validation.String() != "validation" {
+		t.Error("CCAlg strings wrong")
+	}
+	for _, v := range []ValidationImpl{NoValidation, ORMValidation, HandValidation} {
+		if v.String() == "" {
+			t.Error("empty ValidationImpl string")
+		}
+	}
+	for _, f := range []OptFailure{NotOptimistic, ReturnError, DBTRollback, ManualRollback, RepairForward} {
+		if f.String() == "" {
+			t.Error("empty OptFailure string")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1Row is one column of the related-work comparison (Table 1).
+type Table1Row struct {
+	Work       string
+	Target     string
+	Aspects    []string
+	IssueTypes []string
+}
+
+// Table1 regenerates the comparison with Feral CC and ACIDRain.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{
+			Work:       "Feral CC (Bailis et al.)",
+			Target:     "ORMs' invariant validation APIs",
+			Aspects:    []string{"characteristics", "correctness"},
+			IssueTypes: []string{"insufficient isolation"},
+		},
+		{
+			Work:       "ACIDRain (Warszawski and Bailis)",
+			Target:     "database transactions",
+			Aspects:    []string{"correctness"},
+			IssueTypes: []string{"insufficient isolation", "incorrect transaction scope"},
+		},
+		{
+			Work:       "This work",
+			Target:     "ad hoc transactions",
+			Aspects:    []string{"characteristics", "correctness", "performance"},
+			IssueTypes: []string{"incorrect sync. primitives", "incorrect ad hoc transaction scope", "incorrect failure handling"},
+		},
+	}
+}
+
+// Table6Row is one evaluation setup of Table 6.
+type Table6Row struct {
+	Granularity string // RMW, AA, CBC, PBC
+	Section     string
+	API         string
+	App         string
+	Workload    string
+	RDBMS       string
+	DBTIso      string
+}
+
+// Table6 regenerates the coordination-granularity evaluation setups.
+func Table6() []Table6Row {
+	return []Table6Row{
+		{Granularity: "RMW", Section: "§3.3.1", API: "check-out", App: "Broadleaf",
+			Workload: "customers purchase the same SKU", RDBMS: "MySQL", DBTIso: "Serializable"},
+		{Granularity: "AA", Section: "§3.3.1", API: "like-post", App: "Discourse",
+			Workload: "users like different posts of seven contended topics", RDBMS: "PostgreSQL", DBTIso: "Serializable"},
+		{Granularity: "CBC", Section: "§3.3.2", API: "create-post & toggle-answer", App: "Discourse",
+			Workload: "topic pairs: one user creates posts, one accepts answers", RDBMS: "PostgreSQL", DBTIso: "Repeatable Read"},
+		{Granularity: "PBC", Section: "§3.3.2", API: "add-payment", App: "Spree",
+			Workload: "customers submit payment options for new orders", RDBMS: "PostgreSQL", DBTIso: "Serializable"},
+	}
+}
+
+// RenderTable1 prints the related-work comparison.
+func RenderTable1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Comparison with Feral CC and ACIDRain\n")
+	for _, r := range Table1() {
+		fmt.Fprintf(&b, "%-33s target: %s\n", r.Work, r.Target)
+		fmt.Fprintf(&b, "%-33s aspects: %s\n", "", strings.Join(r.Aspects, ", "))
+		fmt.Fprintf(&b, "%-33s issue types: %s\n", "", strings.Join(r.IssueTypes, "; "))
+	}
+	return b.String()
+}
+
+// RenderTable6 prints the evaluation setups.
+func RenderTable6() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 6: APIs and setups for evaluating coordination granularities\n")
+	fmt.Fprintf(&b, "%-5s %-8s %-28s %-10s %-12s %-15s\n", "Gran.", "Section", "API(s)", "App", "RDBMS", "DBT isolation")
+	for _, r := range Table6() {
+		fmt.Fprintf(&b, "%-5s %-8s %-28s %-10s %-12s %-15s\n",
+			r.Granularity, r.Section, r.API, r.App, r.RDBMS, r.DBTIso)
+		fmt.Fprintf(&b, "      workload: %s\n", r.Workload)
+	}
+	b.WriteString("No-contention variants switch users to different SKUs/topics or existing orders.\n")
+	return b.String()
+}

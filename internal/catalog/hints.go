@@ -1,0 +1,127 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HintSupport describes one database system's support for one coordination
+// hint (Table 7a).
+type HintSupport struct {
+	// Supported marks native support.
+	Supported bool
+	// Note carries restrictions or the vendor-specific variant.
+	Note string
+}
+
+// HintRow is one coordination hint across the surveyed systems.
+type HintRow struct {
+	Hint    string
+	Support map[string]HintSupport
+}
+
+// HintSystems lists the surveyed systems in Table 7a's column order.
+var HintSystems = []string{"Oracle", "MySQL/MariaDB", "SQL Server/Azure SQL", "PostgreSQL", "IBM Db2"}
+
+// Table7a regenerates the coordination-hint support matrix.
+func Table7a() []HintRow {
+	yes := func(note string) HintSupport { return HintSupport{Supported: true, Note: note} }
+	no := func(note string) HintSupport { return HintSupport{Note: note} }
+	all := func(note string) map[string]HintSupport {
+		m := make(map[string]HintSupport, len(HintSystems))
+		for _, s := range HintSystems {
+			m[s] = yes(note)
+		}
+		return m
+	}
+	return []HintRow{
+		{Hint: "Explicit table locks", Support: all("restrictions and behaviours differ (syntax, lock modes, conflict handling)")},
+		{Hint: "Explicit row locks", Support: all("restrictions and behaviours differ (syntax, lock modes, conflict handling)")},
+		{Hint: "Explicit user locks", Support: map[string]HintSupport{
+			"Oracle":               yes("DBMS_LOCK"),
+			"MySQL/MariaDB":        no(""),
+			"SQL Server/Azure SQL": yes("sp_getapplock"),
+			"PostgreSQL":           yes("advisory locks"),
+			"IBM Db2":              no(""),
+		}},
+		{Hint: "Other lock hints", Support: map[string]HintSupport{
+			"Oracle":               yes("instance lock"),
+			"MySQL/MariaDB":        yes("priority in deadlock handling"),
+			"SQL Server/Azure SQL": yes("set default granularity"),
+			"PostgreSQL":           no(""),
+			"IBM Db2":              no(""),
+		}},
+		{Hint: "Per-op isolation", Support: map[string]HintSupport{
+			"Oracle":               no(""),
+			"MySQL/MariaDB":        yes(""),
+			"SQL Server/Azure SQL": yes("table hints such as HOLDLOCK"),
+			"PostgreSQL":           no(""),
+			"IBM Db2":              no(""),
+		}},
+		{Hint: "Savepoints", Support: all("differ in syntax and duplicate-name handling")},
+		{Hint: "Other transaction hints", Support: map[string]HintSupport{
+			"Oracle":               yes("autonomous transactions"),
+			"MySQL/MariaDB":        no(""),
+			"SQL Server/Azure SQL": yes("nested transactions"),
+			"PostgreSQL":           no(""),
+			"IBM Db2":              no(""),
+		}},
+	}
+}
+
+// HintRelation is one row of Table 7b: what a hint can support and avoid.
+type HintRelation struct {
+	Hint       string
+	CanSupport string
+	CanAvoid   string
+	WithDBTxn  bool // works in conjunction with database transactions
+}
+
+// Table7b regenerates the hint/ad-hoc-transaction relationship table.
+func Table7b() []HintRelation {
+	return []HintRelation{
+		{Hint: "Explicit table locks", CanSupport: "coarse-grained coordination (§3.3.1)",
+			CanAvoid: "incorrect lock impl. and ORM-related misuses (§4.1.1); incorrect failure handling (§4.3)"},
+		{Hint: "Explicit row locks", CanSupport: "coarse-grained coordination (§3.3.1) and partial coordination (§3.1.1)",
+			CanAvoid: "incorrect lock impl. and ORM-related misuses (§4.1.1); incorrect failure handling (§4.3)", WithDBTxn: true},
+		{Hint: "Per-op isolation", CanSupport: "coarse-grained coordination (§3.3.1) and partial coordination (§3.1.1)",
+			CanAvoid: "incorrect lock impl. and ORM-related misuses (§4.1.1); incorrect failure handling (§4.3)", WithDBTxn: true},
+		{Hint: "Explicit user locks", CanSupport: "fine-grained coordination (§3.3.2) and non-DB operations (§3.1.3)",
+			CanAvoid: "incorrect lock impl. and transaction-related misuses (§4.1.1)"},
+	}
+}
+
+// RenderTable7 prints both Table 7 halves.
+func RenderTable7() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 7a: Coordination hints supported by the top-ranking RDBMSs\n")
+	fmt.Fprintf(&b, "%-26s", "Hint")
+	for _, s := range HintSystems {
+		fmt.Fprintf(&b, " %-21s", s)
+	}
+	b.WriteString("\n")
+	for _, row := range Table7a() {
+		fmt.Fprintf(&b, "%-26s", row.Hint)
+		for _, s := range HintSystems {
+			sup := row.Support[s]
+			mark := "-"
+			if sup.Supported {
+				mark = "yes"
+				if sup.Note != "" {
+					mark = "yes*"
+				}
+			}
+			fmt.Fprintf(&b, " %-21s", mark)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\nTable 7b: Relationship between coordination hints and ad hoc transactions\n")
+	for _, r := range Table7b() {
+		dagger := ""
+		if r.WithDBTxn {
+			dagger = " [with database transactions]"
+		}
+		fmt.Fprintf(&b, "- %s%s\n    supports: %s\n    avoids:   %s\n", r.Hint, dagger, r.CanSupport, r.CanAvoid)
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package catalog
+
+// Reports returns the 20 issue reports the study submitted to developer
+// communities. 7 were acknowledged, covering 33 cases; the remaining 13
+// single-case reports were not (or not yet) acknowledged. Together they
+// cover 46 of the 53 buggy cases.
+func Reports() []Report {
+	return []Report{
+		// Acknowledged (7 reports, 33 cases).
+		{ID: "rep-01", App: "Mastodon", Title: "Redis lock's TTL may lead to potential bugs",
+			Acknowledged: true, CaseIDs: idRange("mastodon", 1, 11)},
+		{ID: "rep-02", App: "Discourse", Title: "Lock scope and re-read issues in post APIs",
+			Acknowledged: true, CaseIDs: idRange("discourse", 1, 6)},
+		{ID: "rep-03", App: "Spree", Title: "Implementation issue in order lock",
+			Acknowledged: true, CaseIDs: []string{"spree-01", "spree-02", "spree-03", "spree-04", "spree-07"}},
+		{ID: "rep-04", App: "Spree", Title: "Crash while processing payments leads to unexpected behavior",
+			Acknowledged: true, CaseIDs: []string{"spree-05", "spree-06", "spree-10"}},
+		{ID: "rep-05", App: "Broadleaf", Title: "Session order lock may be discarded unexpectedly",
+			Acknowledged: true, CaseIDs: []string{"broadleaf-01", "broadleaf-02", "broadleaf-06", "broadleaf-07"}},
+		{ID: "rep-06", App: "SCM Suite", Title: "The synchronized used to prevent concurrency doesn't work as expected",
+			Acknowledged: true, CaseIDs: []string{"scm-01", "scm-02", "scm-03"}},
+		{ID: "rep-07", App: "Discourse", Title: "Mixing Active Record & mini_sql leads to unexpected behavior",
+			Acknowledged: true, CaseIDs: []string{"discourse-11"}},
+		// Submitted, unacknowledged (13 reports, 13 cases).
+		{ID: "rep-08", App: "Discourse", Title: "Race in topic-merge coordination", CaseIDs: []string{"discourse-07"}},
+		{ID: "rep-09", App: "Discourse", Title: "Badge grant lock scope", CaseIDs: []string{"discourse-08"}},
+		{ID: "rep-10", App: "Discourse", Title: "User rename lock ordering", CaseIDs: []string{"discourse-09"}},
+		{ID: "rep-11", App: "Discourse", Title: "Draft save lock misuse", CaseIDs: []string{"discourse-10"}},
+		{ID: "rep-12", App: "Discourse", Title: "Rebake validation is not atomic", CaseIDs: []string{"discourse-12"}},
+		{ID: "rep-13", App: "Discourse", Title: "Race condition in downsize_upload script", CaseIDs: []string{"discourse-13"}},
+		{ID: "rep-14", App: "Spree", Title: "Restock omits order status coordination", CaseIDs: []string{"spree-08"}},
+		{ID: "rep-15", App: "Spree", Title: "API controller did not implement order version check", CaseIDs: []string{"spree-09"}},
+		{ID: "rep-16", App: "Broadleaf", Title: "SKU availability validation race", CaseIDs: []string{"broadleaf-08"}},
+		{ID: "rep-17", App: "Broadleaf", Title: "Order adjustment rollback incomplete", CaseIDs: []string{"broadleaf-09"}},
+		{ID: "rep-18", App: "SCM Suite", Title: "Goods receipt lock ineffective", CaseIDs: []string{"scm-04"}},
+		{ID: "rep-19", App: "SCM Suite", Title: "Level rewrite validation race", CaseIDs: []string{"scm-09"}},
+		{ID: "rep-20", App: "Saleor", Title: "Sku inconsistent caused by concurrent checkout", CaseIDs: []string{"saleor-01"}},
+	}
+}
+
+func idRange(app string, from, to int) []string {
+	out := make([]string, 0, to-from+1)
+	for i := from; i <= to; i++ {
+		out = append(out, caseIDf(app, i))
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table3Row is one row of Table 3 (criticality per application).
+type Table3Row struct {
+	App      string
+	CoreAPIs string
+	Critical int
+	Total    int
+}
+
+// Table3 regenerates Table 3.
+func Table3() []Table3Row {
+	byApp := casesByApp()
+	out := make([]Table3Row, 0, len(AppOrder))
+	for _, app := range AppOrder {
+		row := Table3Row{App: app, CoreAPIs: AppByName(app).CoreAPIs}
+		for _, c := range byApp[app] {
+			row.Total++
+			if c.Critical {
+				row.Critical++
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Table4Row is one row of Table 4 (case statistics per application).
+type Table4Row struct {
+	App   string
+	Total int
+	Buggy int
+	Lock  int
+	Valid int
+}
+
+// Table4 regenerates Table 4 plus the totals row.
+func Table4() (rows []Table4Row, total Table4Row) {
+	byApp := casesByApp()
+	total = Table4Row{App: "Total"}
+	for _, app := range AppOrder {
+		row := Table4Row{App: app}
+		for _, c := range byApp[app] {
+			row.Total++
+			if c.Buggy() {
+				row.Buggy++
+			}
+			if c.CC == Lock {
+				row.Lock++
+			} else {
+				row.Valid++
+			}
+		}
+		total.Total += row.Total
+		total.Buggy += row.Buggy
+		total.Lock += row.Lock
+		total.Valid += row.Valid
+		rows = append(rows, row)
+	}
+	return rows, total
+}
+
+// Table5aRow is one row of Table 5a (issue categorisation).
+type Table5aRow struct {
+	Issue IssueType
+	Apps  int
+	Cases int
+}
+
+// Table5a regenerates Table 5a.
+func Table5a() []Table5aRow {
+	out := make([]Table5aRow, 0, len(AllIssueTypes))
+	for _, it := range AllIssueTypes {
+		apps := map[string]bool{}
+		cases := 0
+		for _, c := range Cases() {
+			if c.HasIssue(it) {
+				cases++
+				apps[c.App] = true
+			}
+		}
+		out = append(out, Table5aRow{Issue: it, Apps: len(apps), Cases: cases})
+	}
+	return out
+}
+
+// Table5bRow is one row of Table 5b (severe consequences per application).
+type Table5bRow struct {
+	App          string
+	Consequences []string
+	Cases        int
+}
+
+// Table5b regenerates Table 5b.
+func Table5b() []Table5bRow {
+	byApp := casesByApp()
+	var out []Table5bRow
+	for _, app := range AppOrder {
+		row := Table5bRow{App: app}
+		seen := map[string]bool{}
+		for _, c := range byApp[app] {
+			if !c.Severe {
+				continue
+			}
+			row.Cases++
+			for _, part := range strings.Split(c.SevereConsequence, ";") {
+				part = strings.TrimSpace(part)
+				if part != "" && !seen[part] {
+					seen[part] = true
+					row.Consequences = append(row.Consequences, part)
+				}
+			}
+		}
+		if row.Cases > 0 {
+			sort.Strings(row.Consequences)
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Findings aggregates every Finding 1–8 statistic the paper prints.
+type Findings struct {
+	TotalCases    int // 91
+	CriticalCases int // 71 (Finding 1)
+
+	PartialCoordination int // 22 (Finding 2)
+	MultiRequest        int // 10
+	NonDBOps            int // 8
+
+	LockImpls  int // 7 distinct lock implementations (Finding 3)
+	ValidImpls int // 2 distinct validation implementations
+
+	Pessimistic int // 65
+	Optimistic  int // 26
+
+	FineGrained      int // 14 (Finding 4)
+	CoarseGrained    int // 58
+	FineAndCoarse    int // 9
+	ColumnBased      int // 5
+	PredicateBased   int // 10
+	ColumnAndPred    int // 1
+	AssociatedAccess int // 37
+	RMW              int // 56
+	AAandRMW         int // 35
+
+	SingleLock      int // 52 (Finding 5)
+	OrderedLocks    int // 13
+	OptReturnError  int // 19
+	OptDBTRollback  int // 1
+	OptManual       int // 2
+	OptRepair       int // 4
+	HandValidation  int // 16 (§4.1.2)
+	ORMValidation   int // 10
+	BuggyCases      int // 53 (Finding 6–8)
+	IssueCount      int // 67 issue assignments (Table 5a sum)
+	MultiIssueCases int // 11 cases with more than one issue
+	SevereCases     int // 28
+
+	ReportedCases     int // 46 across 20 reports
+	AcknowledgedCases int // 33 across 7 reports
+	Reports           int // 20
+	AckReports        int // 7
+}
+
+// ComputeFindings aggregates the catalog.
+func ComputeFindings() Findings {
+	var f Findings
+	lockImpls := map[string]bool{}
+	validImpls := map[ValidationImpl]bool{}
+	for _, c := range Cases() {
+		f.TotalCases++
+		if c.Critical {
+			f.CriticalCases++
+		}
+		if c.PartialCoordination {
+			f.PartialCoordination++
+		}
+		if c.MultiRequest {
+			f.MultiRequest++
+		}
+		if c.NonDBOps {
+			f.NonDBOps++
+		}
+		if c.LockImpl != "" {
+			lockImpls[c.LockImpl] = true
+		}
+		if c.CC == Lock {
+			f.Pessimistic++
+			if c.SingleLock {
+				f.SingleLock++
+			}
+			if c.OrderedLocks {
+				f.OrderedLocks++
+			}
+		} else {
+			f.Optimistic++
+			validImpls[c.ValidImpl] = true
+			switch c.OptFailure {
+			case ReturnError:
+				f.OptReturnError++
+			case DBTRollback:
+				f.OptDBTRollback++
+			case ManualRollback:
+				f.OptManual++
+			case RepairForward:
+				f.OptRepair++
+			}
+			switch c.ValidImpl {
+			case HandValidation:
+				f.HandValidation++
+			case ORMValidation:
+				f.ORMValidation++
+			}
+		}
+		if c.FineGrained {
+			f.FineGrained++
+		}
+		if c.CoarseGrained {
+			f.CoarseGrained++
+		}
+		if c.FineGrained && c.CoarseGrained {
+			f.FineAndCoarse++
+		}
+		if c.ColumnBased {
+			f.ColumnBased++
+		}
+		if c.PredicateBased {
+			f.PredicateBased++
+		}
+		if c.ColumnBased && c.PredicateBased {
+			f.ColumnAndPred++
+		}
+		if c.AssociatedAccess {
+			f.AssociatedAccess++
+		}
+		if c.RMW {
+			f.RMW++
+		}
+		if c.AssociatedAccess && c.RMW {
+			f.AAandRMW++
+		}
+		if c.Buggy() {
+			f.BuggyCases++
+		}
+		f.IssueCount += len(c.Issues)
+		if len(c.Issues) > 1 {
+			f.MultiIssueCases++
+		}
+		if c.Severe {
+			f.SevereCases++
+		}
+		if c.Reported {
+			f.ReportedCases++
+		}
+		if c.Acknowledged {
+			f.AcknowledgedCases++
+		}
+	}
+	f.LockImpls = len(lockImpls)
+	f.ValidImpls = len(validImpls)
+	for _, r := range Reports() {
+		f.Reports++
+		if r.Acknowledged {
+			f.AckReports++
+		}
+	}
+	return f
+}
+
+func casesByApp() map[string][]Case {
+	out := map[string][]Case{}
+	for _, c := range Cases() {
+		out[c.App] = append(out[c.App], c)
+	}
+	return out
+}
+
+// ---- rendering ----
+
+// RenderTable2 prints the application corpus.
+func RenderTable2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: The applications corpus\n")
+	fmt.Fprintf(&b, "%-11s %-15s %-20s %-22s %7s %13s\n", "Application", "Category", "Language/ORM", "RDBMS", "Stars", "Contributors")
+	for _, a := range Apps {
+		fmt.Fprintf(&b, "%-11s %-15s %-20s %-22s %6.1fk %13d\n",
+			a.Name, a.Category, a.Language+"/"+a.ORM, strings.Join(a.RDBMS, ", "), a.StarsK, a.Contributors)
+	}
+	return b.String()
+}
+
+// RenderTable3 prints criticality per application.
+func RenderTable3() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Ad hoc transactions are mainly used in core APIs\n")
+	fmt.Fprintf(&b, "%-11s %-55s %s\n", "App.", "Core APIs using ad hoc transactions", "Cases")
+	for _, r := range Table3() {
+		fmt.Fprintf(&b, "%-11s %-55s %d/%d\n", r.App, r.CoreAPIs, r.Critical, r.Total)
+	}
+	return b.String()
+}
+
+// RenderTable4 prints the case statistics.
+func RenderTable4() string {
+	rows, total := Table4()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: Statistics of identified ad hoc transactions\n")
+	fmt.Fprintf(&b, "%-11s %6s %6s %6s %7s\n", "App.", "Total", "Buggy", "Lock", "Valid.")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %6d %6d %6d %7d\n", r.App, r.Total, r.Buggy, r.Lock, r.Valid)
+	}
+	fmt.Fprintf(&b, "%-11s %6d %6d %6d %7d\n", total.App, total.Total, total.Buggy, total.Lock, total.Valid)
+	return b.String()
+}
+
+// RenderTable5 prints the issue categorisation and severe consequences.
+func RenderTable5() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5a: Categorization of incorrect ad hoc transactions\n")
+	fmt.Fprintf(&b, "%-45s %5s %6s\n", "Description", "Apps", "Cases")
+	for _, r := range Table5a() {
+		fmt.Fprintf(&b, "%-45s %5d %6d\n", r.Issue, r.Apps, r.Cases)
+	}
+	fmt.Fprintf(&b, "\nTable 5b: Known severe consequences\n")
+	fmt.Fprintf(&b, "%-11s %-75s %s\n", "App.", "Known severe consequences", "Cases")
+	for _, r := range Table5b() {
+		fmt.Fprintf(&b, "%-11s %-75s %d\n", r.App, strings.Join(r.Consequences, ", "), r.Cases)
+	}
+	return b.String()
+}
+
+// RenderFindings prints the Findings 1–8 aggregates.
+func RenderFindings() string {
+	f := ComputeFindings()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Findings summary (paper §1–§4)\n")
+	fmt.Fprintf(&b, "F1: %d ad hoc transactions, %d critical, every app affected\n", f.TotalCases, f.CriticalCases)
+	fmt.Fprintf(&b, "F2: %d partial coordination, %d multi-request, %d with non-DB operations\n",
+		f.PartialCoordination, f.MultiRequest, f.NonDBOps)
+	fmt.Fprintf(&b, "F3: %d lock implementations, %d validation implementations\n", f.LockImpls, f.ValidImpls)
+	fmt.Fprintf(&b, "F4: %d fine-grained, %d coarse-grained, %d both; column %d, predicate %d, both %d; AA %d, RMW %d, both %d\n",
+		f.FineGrained, f.CoarseGrained, f.FineAndCoarse, f.ColumnBased, f.PredicateBased, f.ColumnAndPred,
+		f.AssociatedAccess, f.RMW, f.AAandRMW)
+	fmt.Fprintf(&b, "F5: %d single-lock, %d ordered-locks pessimistic; optimistic failure handling: %d error, %d DBT, %d manual, %d repair\n",
+		f.SingleLock, f.OrderedLocks, f.OptReturnError, f.OptDBTRollback, f.OptManual, f.OptRepair)
+	fmt.Fprintf(&b, "F6–8: %d buggy cases carrying %d issues (%d multi-issue), %d with severe consequences\n",
+		f.BuggyCases, f.IssueCount, f.MultiIssueCases, f.SevereCases)
+	fmt.Fprintf(&b, "Reports: %d submitted covering %d cases; %d acknowledged covering %d cases\n",
+		f.Reports, f.ReportedCases, f.AckReports, f.AcknowledgedCases)
+	fmt.Fprintf(&b, "Note: the paper's §4 prose says 69 issues; its Table 5a sums to 67. The catalog encodes Table 5a (see EXPERIMENTS.md).\n")
+	return b.String()
+}

@@ -1,0 +1,226 @@
+// Package catalog encodes the paper's study corpus as data: the 8
+// applications (Table 2), all 91 ad hoc transaction cases with their
+// characteristics (Findings 1–5), correctness issues (Table 5, Findings
+// 6–8), issue reports, and the coordination-hint matrix (Table 7).
+// Aggregation functions regenerate every table; the package tests assert
+// each aggregate against the numbers printed in the paper.
+//
+// One known internal inconsistency of the paper is handled explicitly: §4
+// says "69 correctness issues are found in 53 cases" while Table 5a's
+// categories sum to 67. The catalog encodes Table 5a's per-category counts
+// as ground truth (67 issue assignments across 53 distinct cases, 11 of
+// which carry more than one issue); EXPERIMENTS.md records the discrepancy.
+package catalog
+
+// CCAlg classifies a case's concurrency-control algorithm (Table 4).
+type CCAlg int
+
+// Concurrency-control algorithm kinds.
+const (
+	// Lock marks pessimistic, lock-based cases (65/91).
+	Lock CCAlg = iota
+	// Validation marks optimistic, validation-based cases (26/91).
+	Validation
+)
+
+// String implements fmt.Stringer.
+func (a CCAlg) String() string {
+	if a == Lock {
+		return "lock"
+	}
+	return "validation"
+}
+
+// ValidationImpl classifies how an optimistic case validates (§3.2.2).
+type ValidationImpl int
+
+// Validation implementations.
+const (
+	// NoValidation is used by pessimistic cases.
+	NoValidation ValidationImpl = iota
+	// ORMValidation is framework-provided (Active Record lock_version).
+	ORMValidation
+	// HandValidation is manually implemented by the developers.
+	HandValidation
+)
+
+// String implements fmt.Stringer.
+func (v ValidationImpl) String() string {
+	switch v {
+	case ORMValidation:
+		return "ORM-assisted"
+	case HandValidation:
+		return "hand-crafted"
+	default:
+		return "none"
+	}
+}
+
+// OptFailure classifies how an optimistic case handles validation failure
+// (Finding 5, §3.4.1).
+type OptFailure int
+
+// Optimistic failure-handling strategies.
+const (
+	// NotOptimistic is used by pessimistic cases.
+	NotOptimistic OptFailure = iota
+	// ReturnError returns an error to the user without persisting (19/26).
+	ReturnError
+	// DBTRollback encloses update+validation in a database transaction
+	// and aborts it (1/26).
+	DBTRollback
+	// ManualRollback runs hand-written compensation (2/26).
+	ManualRollback
+	// RepairForward re-executes affected operations and commits (4/26).
+	RepairForward
+)
+
+// String implements fmt.Stringer.
+func (f OptFailure) String() string {
+	switch f {
+	case ReturnError:
+		return "return error"
+	case DBTRollback:
+		return "DBT rollback"
+	case ManualRollback:
+		return "manual rollback"
+	case RepairForward:
+		return "transaction repair"
+	default:
+		return "n/a"
+	}
+}
+
+// IssueType classifies correctness issues (Table 5a).
+type IssueType int
+
+// Issue categories of Table 5a.
+const (
+	// IssueLockPrimitive: locking primitive implementation/usage issues.
+	IssueLockPrimitive IssueType = iota
+	// IssueNonAtomicValidate: non-atomic validate-and-commit.
+	IssueNonAtomicValidate
+	// IssueOmittedOps: omitting critical operations from the scope.
+	IssueOmittedOps
+	// IssueForgotten: forgetting ad hoc transactions for conflicting code.
+	IssueForgotten
+	// IssueIncompleteRepair: incomplete transaction repair.
+	IssueIncompleteRepair
+	// IssueNoCrashRollback: not rolling back after crashes.
+	IssueNoCrashRollback
+)
+
+// String implements fmt.Stringer.
+func (i IssueType) String() string {
+	switch i {
+	case IssueLockPrimitive:
+		return "incorrect locking primitive impl./usage"
+	case IssueNonAtomicValidate:
+		return "non-atomic validate-and-commit"
+	case IssueOmittedOps:
+		return "omitting critical operations"
+	case IssueForgotten:
+		return "forgetting ad hoc transactions"
+	case IssueIncompleteRepair:
+		return "incomplete transaction repair"
+	case IssueNoCrashRollback:
+		return "not rolling back after crashes"
+	default:
+		return "issue(?)"
+	}
+}
+
+// AllIssueTypes lists the Table 5a categories in order.
+var AllIssueTypes = []IssueType{
+	IssueLockPrimitive, IssueNonAtomicValidate, IssueOmittedOps,
+	IssueForgotten, IssueIncompleteRepair, IssueNoCrashRollback,
+}
+
+// App describes one studied application (Table 2).
+type App struct {
+	Name         string
+	Category     string
+	Language     string
+	ORM          string
+	RDBMS        []string
+	StarsK       float64 // GitHub stars in thousands at study time
+	Contributors int
+	CoreAPIs     string // Table 3 "core APIs using ad hoc transactions"
+}
+
+// Case is one ad hoc transaction from the study.
+type Case struct {
+	// ID is a stable identifier, e.g. "mastodon-03".
+	ID string
+	// App is the application name (matches App.Name).
+	App string
+	// API names the business operation the case coordinates.
+	API string
+	// Critical marks cases residing in the application's core APIs
+	// (Finding 1, Table 3).
+	Critical bool
+
+	// CC is the concurrency-control family (Table 4).
+	CC CCAlg
+	// LockImpl names the lock implementation for pessimistic cases and
+	// guard locks ("SYNC", "MEM", "MEM-LRU", "KV-SETNX", "KV-MULTI",
+	// "SFU", "DB"); empty for pure validation cases.
+	LockImpl string
+	// ValidImpl is the validation implementation for optimistic cases.
+	ValidImpl ValidationImpl
+	// OptFailure is the optimistic failure-handling strategy.
+	OptFailure OptFailure
+
+	// Finding 2 characteristics (§3.1).
+	PartialCoordination bool // coordinates only a portion of operations
+	MultiRequest        bool // coordinates across multiple HTTP requests
+	NonDBOps            bool // coordinates non-database operations too
+
+	// Finding 4 characteristics (§3.3).
+	CoarseGrained    bool // one lock coordinating multiple accesses
+	FineGrained      bool // column- or predicate-level coordination
+	ColumnBased      bool // column-based coordination (5 cases)
+	PredicateBased   bool // predicate-based coordination (10 cases)
+	AssociatedAccess bool // leverages the associated access pattern
+	RMW              bool // leverages the read–modify–write pattern
+
+	// Finding 5 characteristics (§3.4), pessimistic cases only.
+	SingleLock   bool // uses exactly one lock (52/65)
+	OrderedLocks bool // acquires multiple locks in a consistent order (13/65)
+
+	// Correctness (§4).
+	Issues            []IssueType
+	Severe            bool   // has severe real-world consequences (28 cases)
+	SevereConsequence string // Table 5b description
+
+	// Reporting status.
+	Reported     bool // covered by one of the 20 submitted reports
+	Acknowledged bool // covered by one of the 7 acknowledged reports
+}
+
+// Buggy reports whether the case has at least one correctness issue.
+func (c *Case) Buggy() bool { return len(c.Issues) > 0 }
+
+// HasIssue reports whether the case carries the given issue type.
+func (c *Case) HasIssue(t IssueType) bool {
+	for _, i := range c.Issues {
+		if i == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Report is one issue report submitted to a developer community.
+type Report struct {
+	// ID is a stable identifier.
+	ID string
+	// App is the application reported against.
+	App string
+	// Title summarises the report.
+	Title string
+	// CaseIDs are the catalog cases the report covers.
+	CaseIDs []string
+	// Acknowledged marks reports the developers acknowledged.
+	Acknowledged bool
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// fakeLocker records acquisition order and can fail on demand.
+type fakeLocker struct {
+	acquired []string
+	released []string
+	failOn   string
+	relErr   error
+}
+
+func (f *fakeLocker) Name() string { return "fake" }
+
+func (f *fakeLocker) Acquire(key string) (Release, error) {
+	if key == f.failOn {
+		return nil, errors.New("boom")
+	}
+	f.acquired = append(f.acquired, key)
+	return func() error {
+		f.released = append(f.released, key)
+		return f.relErr
+	}, nil
+}
+
+func TestWithLock(t *testing.T) {
+	f := &fakeLocker{}
+	ran := false
+	err := WithLock(f, "cart:1", func() error { ran = true; return nil })
+	if err != nil || !ran {
+		t.Fatalf("err=%v ran=%v", err, ran)
+	}
+	if len(f.acquired) != 1 || len(f.released) != 1 {
+		t.Fatalf("acquired=%v released=%v", f.acquired, f.released)
+	}
+}
+
+func TestWithLockBodyErrorStillReleases(t *testing.T) {
+	f := &fakeLocker{}
+	sentinel := errors.New("body failed")
+	err := WithLock(f, "k", func() error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(f.released) != 1 {
+		t.Fatal("lock leaked after body error")
+	}
+}
+
+func TestWithLockAcquireError(t *testing.T) {
+	f := &fakeLocker{failOn: "k"}
+	err := WithLock(f, "k", func() error { t.Fatal("body ran"); return nil })
+	if err == nil {
+		t.Fatal("acquire error swallowed")
+	}
+}
+
+func TestWithLockReleaseErrorSurfaced(t *testing.T) {
+	f := &fakeLocker{relErr: errors.New("release failed")}
+	err := WithLock(f, "k", func() error { return nil })
+	if err == nil {
+		t.Fatal("release error swallowed")
+	}
+}
+
+func TestWithLocksSortsAndReleasesInReverse(t *testing.T) {
+	f := &fakeLocker{}
+	err := WithLocks(f, []string{"b", "a", "c"}, func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(f.acquired) != "[a b c]" {
+		t.Fatalf("acquire order = %v, want sorted", f.acquired)
+	}
+	if fmt.Sprint(f.released) != "[c b a]" {
+		t.Fatalf("release order = %v, want reverse", f.released)
+	}
+}
+
+func TestWithLocksPartialAcquireRollsBack(t *testing.T) {
+	f := &fakeLocker{failOn: "b"}
+	err := WithLocks(f, []string{"c", "a", "b"}, func() error { t.Fatal("body ran"); return nil })
+	if err == nil {
+		t.Fatal("acquire error swallowed")
+	}
+	if fmt.Sprint(f.acquired) != "[a]" || fmt.Sprint(f.released) != "[a]" {
+		t.Fatalf("acquired=%v released=%v", f.acquired, f.released)
+	}
+}
+
+func TestWithLocksDoesNotMutateInput(t *testing.T) {
+	f := &fakeLocker{}
+	keys := []string{"z", "a"}
+	if err := WithLocks(f, keys, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if keys[0] != "z" {
+		t.Fatal("input slice reordered")
+	}
+}
+
+func TestRetryOptimistic(t *testing.T) {
+	n := 0
+	err := RetryOptimistic(5, func() error {
+		n++
+		if n < 3 {
+			return fmt.Errorf("tally moved: %w", ErrConflict)
+		}
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
+
+func TestRetryOptimisticExhaustsAttempts(t *testing.T) {
+	n := 0
+	err := RetryOptimistic(4, func() error { n++; return ErrConflict })
+	if !errors.Is(err, ErrConflict) || n != 4 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
+
+func TestRetryOptimisticStopsOnHardError(t *testing.T) {
+	hard := errors.New("db down")
+	n := 0
+	err := RetryOptimistic(5, func() error { n++; return hard })
+	if !errors.Is(err, hard) || n != 1 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
+
+func TestRetryOptimisticMinimumOneAttempt(t *testing.T) {
+	n := 0
+	_ = RetryOptimistic(0, func() error { n++; return nil })
+	if n != 1 {
+		t.Fatalf("n=%d", n)
+	}
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"time"
+
+	"adhoctx/internal/sim"
+)
+
+// Isolation is a transaction isolation level.
+type Isolation int
+
+// Isolation levels. IsolationDefault resolves to the dialect's default —
+// the paper notes most web applications run at the default (§2.1): MySQL
+// defaults to Repeatable Read, PostgreSQL to Read Committed.
+const (
+	IsolationDefault Isolation = iota
+	ReadCommitted
+	RepeatableRead
+	Serializable
+)
+
+// String implements fmt.Stringer.
+func (i Isolation) String() string {
+	switch i {
+	case IsolationDefault:
+		return "DEFAULT"
+	case ReadCommitted:
+		return "READ COMMITTED"
+	case RepeatableRead:
+		return "REPEATABLE READ"
+	case Serializable:
+		return "SERIALIZABLE"
+	default:
+		return "Isolation(?)"
+	}
+}
+
+// DialectKind selects which real system's concurrency-control behaviour the
+// engine mimics.
+type DialectKind int
+
+// Supported dialects.
+const (
+	// MySQL: single-master 2PL writes over MVCC consistent reads.
+	// Repeatable Read default; plain SELECT is a snapshot read (no locks)
+	// below Serializable, a shared locking read at Serializable; locking
+	// reads and writes on secondary-index predicates take gap locks at
+	// Repeatable Read and above; deadlocks abort the requester.
+	MySQL DialectKind = iota
+	// Postgres: MVCC snapshots. Read Committed default (statement
+	// snapshots); Repeatable Read is Snapshot Isolation with
+	// first-committer-wins aborts; Serializable adds SSI-style predicate
+	// read tracking at index-page granularity (false sharing included —
+	// that's the point of §3.3.2).
+	Postgres
+)
+
+// String implements fmt.Stringer.
+func (d DialectKind) String() string {
+	if d == MySQL {
+		return "mysql"
+	}
+	return "postgres"
+}
+
+// DefaultIsolation returns the dialect's default isolation level.
+func (d DialectKind) DefaultIsolation() Isolation {
+	if d == MySQL {
+		return RepeatableRead
+	}
+	return ReadCommitted
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Dialect selects MySQL- or PostgreSQL-like behaviour.
+	Dialect DialectKind
+	// Net is charged one round trip per statement (client/server hop).
+	Net sim.Latency
+	// WALFsync is the latency profile charged per durable commit.
+	WALFsync sim.Latency
+	// LockTimeout bounds lock waits (0 = wait forever).
+	LockTimeout time.Duration
+	// SSIPageSize groups index keys into pages for Serializable predicate
+	// read tracking under the Postgres dialect. Real SSI tracks SIREAD
+	// locks at page granularity, which manufactures false conflicts
+	// between adjacent keys; 0 means 8 keys per page.
+	SSIPageSize int64
+}
+
+func (c Config) ssiPageSize() int64 {
+	if c.SSIPageSize > 0 {
+		return c.SSIPageSize
+	}
+	return 8
+}

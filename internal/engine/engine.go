@@ -1,0 +1,320 @@
+// Package engine implements the single-node transactional storage engine the
+// study's applications run on. One codebase provides two behavioural
+// dialects — MySQL-like (2PL writes, gap locks, deadlock detection, consistent
+// reads, Repeatable Read default) and PostgreSQL-like (snapshot isolation,
+// first-committer-wins, SSI-style predicate-page conflicts at Serializable,
+// Read Committed default) — because every MySQL/PostgreSQL-specific behaviour
+// the paper leans on is a concurrency-control policy, not a storage format.
+//
+// See DESIGN.md §4 for the behavioural contract of each dialect.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"adhoctx/internal/lockmgr"
+	"adhoctx/internal/mvcc"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+	"adhoctx/internal/wal"
+)
+
+// table is one table's volatile state. The engine's store mutex guards all
+// fields; chains are only traversed under it.
+type table struct {
+	schema  *storage.Schema
+	indexes map[string]*storage.Index // secondary, by column
+	rows    map[int64]*mvcc.Chain
+	autoInc int64
+}
+
+// commitFootprint remembers which SSI pages a committed transaction wrote,
+// for Serializable conflict checks by concurrent transactions.
+type commitFootprint struct {
+	csn        uint64
+	txnID      uint64
+	writePages map[pageKey]struct{}
+}
+
+// Engine is the database. Safe for concurrent use.
+type Engine struct {
+	cfg Config
+
+	mu     sync.Mutex // the store latch: tables, chains, indexes, commit log
+	tables map[string]*table
+
+	lm  *lockmgr.Manager
+	log *wal.Log
+
+	nextTxn atomic.Uint64
+	// csn is the last issued commit sequence number; snapshots read it
+	// under mu.
+	csn uint64
+	// recent commit footprints with csn > oldest active snapshot (pruned
+	// lazily); used by Postgres Serializable.
+	recent []commitFootprint
+
+	// crashed poisons every live transaction until Recover.
+	crashed atomic.Bool
+
+	stats    Stats
+	tracer   atomic.Pointer[Tracer]
+	eventSeq atomic.Uint64
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	return &Engine{
+		cfg:    cfg,
+		tables: make(map[string]*table),
+		lm:     lockmgr.New(cfg.LockTimeout),
+		// The engine charges fsync itself after the commit critical
+		// section, so the log runs with a free latency profile.
+		log: wal.New(sim.Latency{}),
+	}
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats exposes the engine's counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// SetTracer installs (or clears, with nil) the event tracer.
+func (e *Engine) SetTracer(t Tracer) {
+	if t == nil {
+		e.tracer.Store(nil)
+		return
+	}
+	e.tracer.Store(&t)
+}
+
+// LockManager exposes the engine's lock manager. Ad hoc primitives that sit
+// beside the engine (the MEM lock table analogue of Java locks does not, but
+// SELECT FOR UPDATE does) share it so deadlock detection spans both.
+func (e *Engine) LockManager() *lockmgr.Manager { return e.lm }
+
+// CreateTable registers a schema plus secondary indexes on the named
+// columns. DDL is not transactional and panics on misuse: schemas are fixed
+// at application boot in every studied application.
+func (e *Engine) CreateTable(schema *storage.Schema, indexCols ...string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.tables[schema.Table]; dup {
+		panic(fmt.Sprintf("engine: table %q already exists", schema.Table))
+	}
+	t := &table{
+		schema:  schema,
+		indexes: make(map[string]*storage.Index),
+		rows:    make(map[int64]*mvcc.Chain),
+	}
+	for _, col := range indexCols {
+		schema.MustCol(col) // panics on unknown column
+		t.indexes[col] = storage.NewIndex(col)
+	}
+	e.tables[schema.Table] = t
+}
+
+// Schema returns the schema of the named table, or nil.
+func (e *Engine) Schema(name string) *storage.Schema {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t, ok := e.tables[name]; ok {
+		return t.schema
+	}
+	return nil
+}
+
+func (e *Engine) table(name string) (*table, error) {
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// currentCSN reads the commit clock under mu.
+func (e *Engine) currentCSN() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.csn
+}
+
+// Begin starts a transaction at the given isolation level
+// (IsolationDefault resolves per dialect). It charges one network round
+// trip, like the BEGIN statement it models.
+func (e *Engine) Begin(iso Isolation) *Txn {
+	if iso == IsolationDefault {
+		iso = e.cfg.Dialect.DefaultIsolation()
+	}
+	e.cfg.Net.ChargeRTT(1)
+	id := e.nextTxn.Add(1)
+	t := &Txn{
+		e:     e,
+		id:    id,
+		iso:   iso,
+		owner: e.lm.NewOwner("txn"),
+	}
+	e.stats.Begins.Add(1)
+	e.emit(t, EvBegin, "", 0, nil)
+	return t
+}
+
+// ---- crash and recovery (§3.4.2, §4.3) ----
+
+// Crash simulates a database-server crash: all volatile state vanishes, all
+// locks evaporate, and every live transaction starts failing with
+// ErrConnLost. The WAL survives.
+func (e *Engine) Crash() {
+	e.crashed.Store(true)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, t := range e.tables {
+		t.rows = make(map[int64]*mvcc.Chain)
+		t.indexes = freshIndexes(t.indexes)
+		t.autoInc = 0
+	}
+	e.recent = nil
+	// Blocked sessions must observe the crash, not wait forever on locks
+	// that died with it. Shutdown wipes all lock state and wakes waiters
+	// with a connection error; the manager itself is reused (swapping the
+	// pointer would race with in-flight statements).
+	e.lm.Shutdown()
+}
+
+func freshIndexes(old map[string]*storage.Index) map[string]*storage.Index {
+	out := make(map[string]*storage.Index, len(old))
+	for col := range old {
+		out[col] = storage.NewIndex(col)
+	}
+	return out
+}
+
+// Recover replays the WAL, restoring every committed transaction, and
+// reopens the engine for new transactions.
+func (e *Engine) Recover() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	err := wal.Replay(e.log.Bytes(), func(rec wal.Record) error {
+		for _, op := range rec.Ops {
+			t, ok := e.tables[op.Table]
+			if !ok {
+				return fmt.Errorf("engine: recovery references unknown table %q", op.Table)
+			}
+			switch op.Kind {
+			case wal.OpInsert, wal.OpUpdate:
+				e.applyRedoWrite(t, op.PK, op.Row, rec.TxnID, rec.LSN)
+			case wal.OpDelete:
+				if ch, ok := t.rows[op.PK]; ok {
+					old := ch.Head()
+					if old != nil && old.Row != nil {
+						e.dropIndexEntries(t, old.Row, op.PK)
+					}
+				}
+				delete(t.rows, op.PK)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Restore commit clock past every replayed LSN so new snapshots see
+	// recovered data.
+	recs, _ := wal.Records(e.log.Bytes())
+	for _, r := range recs {
+		if r.LSN > e.csn {
+			e.csn = r.LSN
+		}
+	}
+	e.crashed.Store(false)
+	return nil
+}
+
+func (e *Engine) applyRedoWrite(t *table, pk int64, row storage.Row, txnID, lsn uint64) {
+	if ch, ok := t.rows[pk]; ok {
+		old := ch.Head()
+		if old != nil && old.Row != nil {
+			e.dropIndexEntries(t, old.Row, pk)
+		}
+	}
+	t.rows[pk] = mvcc.NewChain(row.Clone(), txnID, lsn)
+	e.addIndexEntries(t, row, pk)
+	if pk > t.autoInc {
+		t.autoInc = pk
+	}
+}
+
+func (e *Engine) addIndexEntries(t *table, row storage.Row, pk int64) {
+	for col, ix := range t.indexes {
+		ix.Add(row.Get(t.schema, col), pk)
+	}
+}
+
+func (e *Engine) dropIndexEntries(t *table, row storage.Row, pk int64) {
+	for col, ix := range t.indexes {
+		ix.Remove(row.Get(t.schema, col), pk)
+	}
+}
+
+// WALBytes exposes the raw log (diagnostics and tests).
+func (e *Engine) WALBytes() []byte { return e.log.Bytes() }
+
+// ---- SSI bookkeeping (Postgres Serializable) ----
+
+// pageKey identifies one SSI tracking unit: a page of an index (or of the
+// primary key space) of one table.
+type pageKey struct {
+	table string
+	col   string
+	page  int64
+}
+
+// pageOf buckets a key value into a page. Integer keys cluster by value —
+// adjacent IDs share pages, which is exactly the false-sharing behaviour
+// §3.3.2 exploits; other types hash.
+func (e *Engine) pageOf(v storage.Value) int64 {
+	size := e.cfg.ssiPageSize()
+	switch x := v.(type) {
+	case int64:
+		if x < 0 {
+			return (x - size + 1) / size
+		}
+		return x / size
+	case string:
+		var h int64
+		for i := 0; i < len(x); i++ {
+			h = h*131 + int64(x[i])
+		}
+		return h % 1024
+	case bool:
+		if x {
+			return 1
+		}
+		return 0
+	case float64:
+		return int64(x) / size
+	default:
+		return 0
+	}
+}
+
+// maxRecentFootprints bounds the SSI conflict window. Transactions are
+// short-lived in every studied application; a fixed ring is ample, and a
+// transaction old enough to fall off the ring would long since have hit a
+// first-committer-wins conflict on any contended row.
+const maxRecentFootprints = 2048
+
+// noteCommitFootprint records a committed transaction's write pages for
+// later SSI checks. Caller holds e.mu.
+func (e *Engine) noteCommitFootprint(f commitFootprint, _ uint64) {
+	if len(f.writePages) == 0 {
+		return
+	}
+	e.recent = append(e.recent, f)
+	if len(e.recent) > maxRecentFootprints {
+		e.recent = append(e.recent[:0], e.recent[len(e.recent)-maxRecentFootprints/2:]...)
+	}
+}

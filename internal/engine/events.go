@@ -1,0 +1,98 @@
+package engine
+
+import "adhoctx/internal/storage"
+
+// EventKind enumerates trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EvBegin EventKind = iota
+	EvRead
+	EvWrite
+	EvInsert
+	EvDelete
+	EvCommit
+	EvRollback
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvBegin:
+		return "begin"
+	case EvRead:
+		return "read"
+	case EvWrite:
+		return "write"
+	case EvInsert:
+		return "insert"
+	case EvDelete:
+		return "delete"
+	case EvCommit:
+		return "commit"
+	case EvRollback:
+		return "rollback"
+	default:
+		return "event(?)"
+	}
+}
+
+// Event is one traced database action. The analyzer (internal/analyzer)
+// consumes these to build execution histories: conflict-graph
+// serializability checking needs exactly (txn, kind, table, pk, columns) in
+// program order.
+type Event struct {
+	// Seq is a global, strictly increasing sequence number assigned when
+	// the event was recorded.
+	Seq uint64
+	// TxnID identifies the transaction.
+	TxnID uint64
+	// Kind is the action.
+	Kind EventKind
+	// Table and PK locate the touched row (zero for begin/commit/rollback).
+	Table string
+	PK    int64
+	// Cols are the touched columns (reads: projected columns — always all,
+	// writes: updated columns). Column-level conflict analysis (§3.3.2)
+	// keys off this.
+	Cols []string
+	// Tag carries the application-assigned label for the enclosing unit
+	// of work (API name), set via Txn.SetTag.
+	Tag string
+}
+
+// Tracer receives events. Implementations must be safe for concurrent use.
+type Tracer interface {
+	Trace(Event)
+}
+
+// emit records an event if a tracer is installed.
+func (e *Engine) emit(t *Txn, kind EventKind, table string, pk int64, cols []string) {
+	tr := e.tracer.Load()
+	if tr == nil {
+		return
+	}
+	seq := e.eventSeq.Add(1)
+	var tag string
+	if t != nil {
+		tag = t.tag
+	}
+	var id uint64
+	if t != nil {
+		id = t.id
+	}
+	(*tr).Trace(Event{Seq: seq, TxnID: id, Kind: kind, Table: table, PK: pk, Cols: cols, Tag: tag})
+}
+
+// colsOf returns the column names of a set map, or nil.
+func colsOf(set map[string]storage.Value) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	return out
+}

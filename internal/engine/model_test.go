@@ -1,0 +1,271 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adhoctx/internal/storage"
+)
+
+// TestEngineMatchesModelProperty drives the engine with random sequential
+// operations (auto-committed and transactional, with rollbacks) and compares
+// every observable state against a naive map model.
+func TestEngineMatchesModelProperty(t *testing.T) {
+	type modelRow struct {
+		group int64
+		n     int64
+	}
+	f := func(seed int64, opsRaw []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, d := range []DialectKind{MySQL, Postgres} {
+			e := New(Config{Dialect: d})
+			e.CreateTable(storage.NewSchema("t",
+				storage.Column{Name: "grp", Type: storage.TInt},
+				storage.Column{Name: "n", Type: storage.TInt},
+			), "grp")
+
+			model := map[int64]modelRow{}
+			shadow := map[int64]modelRow{} // staged changes of the open txn
+			var txn *Txn
+			inTxn := false
+			snapshot := func() map[int64]modelRow {
+				out := make(map[int64]modelRow, len(model))
+				for k, v := range model {
+					out[k] = v
+				}
+				return out
+			}
+			current := func() map[int64]modelRow {
+				if inTxn {
+					return shadow
+				}
+				return model
+			}
+			run := func(fn func(*Txn) error) error {
+				if inTxn {
+					return fn(txn)
+				}
+				return e.Run(IsolationDefault, fn)
+			}
+
+			for _, b := range opsRaw {
+				op := b % 6
+				grp := int64(rng.Intn(3))
+				switch op {
+				case 0: // insert
+					var pk int64
+					err := run(func(tx *Txn) error {
+						var err error
+						pk, err = tx.Insert("t", map[string]storage.Value{"grp": grp, "n": int64(0)})
+						return err
+					})
+					if err != nil {
+						t.Logf("insert: %v", err)
+						return false
+					}
+					current()[pk] = modelRow{group: grp}
+				case 1: // delta update by group
+					var n int
+					err := run(func(tx *Txn) error {
+						var err error
+						n, err = tx.Update("t", storage.Eq{Col: "grp", Val: grp},
+							map[string]storage.Value{"n": storage.Inc(1)})
+						return err
+					})
+					if err != nil {
+						return false
+					}
+					cnt := 0
+					for pk, r := range current() {
+						if r.group == grp {
+							r.n++
+							current()[pk] = r
+							cnt++
+						}
+					}
+					if n != cnt {
+						t.Logf("update touched %d, model %d", n, cnt)
+						return false
+					}
+				case 2: // delete by group
+					var n int
+					err := run(func(tx *Txn) error {
+						var err error
+						n, err = tx.Delete("t", storage.Eq{Col: "grp", Val: grp})
+						return err
+					})
+					if err != nil {
+						return false
+					}
+					cnt := 0
+					for pk, r := range current() {
+						if r.group == grp {
+							delete(current(), pk)
+							cnt++
+						}
+					}
+					if n != cnt {
+						t.Logf("delete touched %d, model %d", n, cnt)
+						return false
+					}
+				case 3: // begin
+					if !inTxn {
+						txn = e.Begin(IsolationDefault)
+						inTxn = true
+						shadow = snapshot()
+					}
+				case 4: // commit
+					if inTxn {
+						if err := txn.Commit(); err != nil {
+							return false
+						}
+						model = shadow
+						inTxn = false
+					}
+				case 5: // rollback
+					if inTxn {
+						if err := txn.Rollback(); err != nil {
+							return false
+						}
+						inTxn = false // shadow discarded
+					}
+				}
+				// Verify what the current context reads.
+				var rows []storage.Row
+				err := run(func(tx *Txn) error {
+					var err error
+					rows, err = tx.Select("t", storage.All{})
+					return err
+				})
+				if err != nil {
+					return false
+				}
+				if len(rows) != len(current()) {
+					t.Logf("%v: engine has %d rows, model %d", d, len(rows), len(current()))
+					return false
+				}
+				schema := e.Schema("t")
+				for _, row := range rows {
+					m, ok := current()[row.PK()]
+					if !ok {
+						t.Logf("%v: unexpected row %d", d, row.PK())
+						return false
+					}
+					if row.Get(schema, "grp") != m.group || row.Get(schema, "n") != m.n {
+						t.Logf("%v: row %d = (%v,%v), model (%d,%d)", d, row.PK(),
+							row.Get(schema, "grp"), row.Get(schema, "n"), m.group, m.n)
+						return false
+					}
+				}
+				// Index lookups agree with full-scan filtering.
+				var byIdx []storage.Row
+				err = run(func(tx *Txn) error {
+					var err error
+					byIdx, err = tx.Select("t", storage.Eq{Col: "grp", Val: grp})
+					return err
+				})
+				if err != nil {
+					return false
+				}
+				want := 0
+				for _, r := range current() {
+					if r.group == grp {
+						want++
+					}
+				}
+				if len(byIdx) != want {
+					t.Logf("%v: index scan %d rows, model %d", d, len(byIdx), want)
+					return false
+				}
+			}
+			if inTxn {
+				_ = txn.Rollback()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWALReplayEquivalenceProperty: after any committed workload, crash +
+// recover must reproduce the exact committed state.
+func TestWALReplayEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New(Config{Dialect: MySQL})
+		e.CreateTable(storage.NewSchema("t",
+			storage.Column{Name: "v", Type: storage.TString},
+		), "v")
+		var pks []int64
+		for i := 0; i < int(nOps%40)+5; i++ {
+			err := e.Run(IsolationDefault, func(tx *Txn) error {
+				switch rng.Intn(3) {
+				case 0:
+					pk, err := tx.Insert("t", map[string]storage.Value{"v": fmt.Sprint(rng.Intn(5))})
+					pks = append(pks, pk)
+					return err
+				case 1:
+					if len(pks) == 0 {
+						return nil
+					}
+					_, err := tx.Update("t", storage.ByPK(pks[rng.Intn(len(pks))]),
+						map[string]storage.Value{"v": fmt.Sprint(rng.Intn(5))})
+					return err
+				default:
+					if len(pks) == 0 {
+						return nil
+					}
+					_, err := tx.Delete("t", storage.ByPK(pks[rng.Intn(len(pks))]))
+					return err
+				}
+			})
+			if err != nil {
+				return false
+			}
+		}
+		before := dumpTable(t, e)
+		e.Crash()
+		if err := e.Recover(); err != nil {
+			t.Logf("recover: %v", err)
+			return false
+		}
+		after := dumpTable(t, e)
+		if len(before) != len(after) {
+			t.Logf("rows %d != %d after recovery", len(before), len(after))
+			return false
+		}
+		for pk, v := range before {
+			if after[pk] != v {
+				t.Logf("row %d: %q != %q", pk, v, after[pk])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dumpTable(t *testing.T, e *Engine) map[int64]string {
+	t.Helper()
+	out := map[int64]string{}
+	err := e.Run(IsolationDefault, func(tx *Txn) error {
+		rows, err := tx.Select("t", storage.All{})
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			out[r.PK()] = r.Get(e.Schema("t"), "v").(string)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package engine
+
+import "sync/atomic"
+
+// Stats counts engine-level events. All fields are read with atomic loads
+// via Snapshot; benches report them next to throughput numbers so the
+// "why" behind Figure 3 (deadlocks, serialization failures) is visible.
+type Stats struct {
+	Begins           atomic.Int64
+	Commits          atomic.Int64
+	Rollbacks        atomic.Int64
+	Deadlocks        atomic.Int64
+	SerializationErr atomic.Int64
+	LockTimeouts     atomic.Int64
+	Statements       atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Begins           int64
+	Commits          int64
+	Rollbacks        int64
+	Deadlocks        int64
+	SerializationErr int64
+	LockTimeouts     int64
+	Statements       int64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Begins:           s.Begins.Load(),
+		Commits:          s.Commits.Load(),
+		Rollbacks:        s.Rollbacks.Load(),
+		Deadlocks:        s.Deadlocks.Load(),
+		SerializationErr: s.SerializationErr.Load(),
+		LockTimeouts:     s.LockTimeouts.Load(),
+		Statements:       s.Statements.Load(),
+	}
+}
+
+// Sub returns s - o, counter by counter.
+func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Begins:           s.Begins - o.Begins,
+		Commits:          s.Commits - o.Commits,
+		Rollbacks:        s.Rollbacks - o.Rollbacks,
+		Deadlocks:        s.Deadlocks - o.Deadlocks,
+		SerializationErr: s.SerializationErr - o.SerializationErr,
+		LockTimeouts:     s.LockTimeouts - o.LockTimeouts,
+		Statements:       s.Statements - o.Statements,
+	}
+}

@@ -1,0 +1,556 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"adhoctx/internal/lockmgr"
+	"adhoctx/internal/mvcc"
+	"adhoctx/internal/storage"
+	"adhoctx/internal/wal"
+)
+
+// SelectOpt modifies SELECT locking behaviour.
+type SelectOpt int
+
+// Select options.
+const (
+	// ForUpdate takes exclusive row locks (SELECT ... FOR UPDATE).
+	ForUpdate SelectOpt = iota + 1
+	// ForShare takes shared row locks (SELECT ... FOR SHARE / LOCK IN
+	// SHARE MODE).
+	ForShare
+)
+
+// Select returns the rows of table matching pred, sorted by primary key.
+// Plain selects are snapshot reads; ForUpdate/ForShare are locking current
+// reads. Under the MySQL dialect at Serializable, plain selects silently
+// become shared locking reads — the behaviour the paper's RMW deadlock
+// analysis depends on (§3.3.1).
+func (t *Txn) Select(tableName string, pred storage.Pred, opts ...SelectOpt) ([]storage.Row, error) {
+	if err := t.startStatement(); err != nil {
+		return nil, err
+	}
+	mode, locking := selectLockMode(opts)
+	if !locking && t.e.cfg.Dialect == MySQL && t.iso == Serializable {
+		mode, locking = lockmgr.Shared, true
+	}
+
+	if locking {
+		rows, err := t.lockingRead(tableName, pred, mode, true)
+		if err != nil {
+			return nil, err
+		}
+		return rows, nil
+	}
+	return t.snapshotRead(tableName, pred)
+}
+
+func selectLockMode(opts []SelectOpt) (lockmgr.Mode, bool) {
+	for _, o := range opts {
+		switch o {
+		case ForUpdate:
+			return lockmgr.Exclusive, true
+		case ForShare:
+			return lockmgr.Shared, true
+		}
+	}
+	return lockmgr.Shared, false
+}
+
+// SelectOne returns the single row matching pred, or nil when none match.
+func (t *Txn) SelectOne(tableName string, pred storage.Pred, opts ...SelectOpt) (storage.Row, error) {
+	rows, err := t.Select(tableName, pred, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	return rows[0], nil
+}
+
+// snapshotRead is a non-locking MVCC read.
+func (t *Txn) snapshotRead(tableName string, pred storage.Pred) ([]storage.Row, error) {
+	snap := t.snapshot()
+	e := t.e
+	e.mu.Lock()
+	tb, err := e.table(tableName)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	pks, probe := t.candidates(tb, pred)
+	t.trackPredicateRead(tb, pred, probe)
+	var out []storage.Row
+	for _, pk := range pks {
+		ch, ok := tb.rows[pk]
+		if !ok {
+			continue
+		}
+		row := ch.Visible(snap)
+		if row == nil || !pred.Match(tb.schema, row) {
+			continue
+		}
+		out = append(out, row.Clone())
+		t.trackRowRead(tb, pk)
+		e.emit(t, EvRead, tableName, pk, nil)
+	}
+	e.mu.Unlock()
+	return out, nil
+}
+
+// lockingRead locks matching rows and reads their latest committed versions
+// (a "current read"). At PostgreSQL Repeatable Read and above, locking a row
+// whose head moved past the snapshot raises ErrSerialization. wantRows
+// selects whether row data is returned (Select) or just locked (Update's
+// qualification pass reuses this).
+func (t *Txn) lockingRead(tableName string, pred storage.Pred, mode lockmgr.Mode, wantRows bool) ([]storage.Row, error) {
+	snap := t.snapshot() // establish snapshot time for FCW checks
+	e := t.e
+	e.mu.Lock()
+	tb, err := e.table(tableName)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	pks, probe := t.candidates(tb, pred)
+	t.trackPredicateRead(tb, pred, probe)
+	if t.usesGapLocks() {
+		t.acquireGapLocks(tb, pred, probe)
+	}
+	e.mu.Unlock()
+
+	var out []storage.Row
+	for _, pk := range pks {
+		if err := t.lockRow(tableName, pk, mode); err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		ch, ok := tb.rows[pk]
+		if !ok {
+			e.mu.Unlock()
+			continue
+		}
+		cv := t.currentVersion(ch)
+		if cv == nil || cv.Deleted {
+			e.mu.Unlock()
+			continue
+		}
+		if t.usesFCW() && ch.ConflictsWith(snap) {
+			e.mu.Unlock()
+			e.stats.SerializationErr.Add(1)
+			t.abort()
+			return nil, ErrSerialization
+		}
+		if !pred.Match(tb.schema, cv.Row) {
+			e.mu.Unlock()
+			continue
+		}
+		if wantRows {
+			out = append(out, cv.Row.Clone())
+		}
+		t.trackRowRead(tb, pk)
+		e.emit(t, EvRead, tableName, pk, nil)
+		e.mu.Unlock()
+	}
+	return out, nil
+}
+
+// currentVersion resolves the version a current read sees: the transaction's
+// own uncommitted head, or the latest committed version.
+func (t *Txn) currentVersion(ch *mvcc.Chain) *mvcc.Version {
+	if h := ch.Head(); h != nil && h.CSN == 0 && h.TxnID == t.id {
+		return h
+	}
+	return ch.LatestCommitted()
+}
+
+// lockRow blocks until the row lock is granted, translating deadlocks and
+// timeouts. Deadlock victims are rolled back (MySQL semantics).
+func (t *Txn) lockRow(tableName string, pk int64, mode lockmgr.Mode) error {
+	err := mapLockErr(t.e.lm.Acquire(t.owner, rowKey{tableName, pk}, mode))
+	switch err {
+	case nil:
+		return nil
+	case ErrDeadlock:
+		t.e.stats.Deadlocks.Add(1)
+		t.abort()
+		return err
+	case ErrLockTimeout:
+		t.e.stats.LockTimeouts.Add(1)
+		return err
+	default:
+		return err
+	}
+}
+
+// candidates resolves the access path for pred: primary key point lookup,
+// secondary index probe, index range scan, or full scan. It returns the
+// candidate primary keys (sorted) and, if an index probe was used, the
+// probed column and value. Caller holds e.mu.
+func (t *Txn) candidates(tb *table, pred storage.Pred) (pks []int64, probe *indexProbe) {
+	if v, ok := storage.EqCond(pred, storage.PKColumn); ok {
+		if pk, isInt := v.(int64); isInt {
+			return []int64{pk}, nil
+		}
+		return nil, nil
+	}
+	for col, ix := range tb.indexes {
+		if v, ok := storage.EqCond(pred, col); ok {
+			return ix.Lookup(v), &indexProbe{col: col, eq: v}
+		}
+	}
+	if r, ok := pred.(storage.Range); ok {
+		if ix, has := tb.indexes[r.Col]; has {
+			return ix.ScanRange(r.Lo, r.Hi, r.IncLo, r.IncHi), &indexProbe{col: r.Col, lo: r.Lo, hi: r.Hi}
+		}
+	}
+	pks = make([]int64, 0, len(tb.rows))
+	for pk := range tb.rows {
+		pks = append(pks, pk)
+	}
+	sort.Slice(pks, func(i, j int) bool { return pks[i] < pks[j] })
+	return pks, nil
+}
+
+// indexProbe describes the index access used by a statement.
+type indexProbe struct {
+	col    string
+	eq     storage.Value // equality probe value (nil for range)
+	lo, hi storage.Value
+}
+
+// acquireGapLocks takes the InnoDB-style gap locks a locking scan needs:
+// the open interval bracketing the probed key (or range). Never blocks —
+// gap locks are mutually compatible. Caller holds e.mu.
+func (t *Txn) acquireGapLocks(tb *table, pred storage.Pred, probe *indexProbe) {
+	if probe == nil {
+		return
+	}
+	ix := tb.indexes[probe.col]
+	space := lockmgr.GapSpace{Table: tb.schema.Table, Col: probe.col}
+	if probe.eq != nil {
+		below, above := ix.Neighbors(probe.eq)
+		t.e.lm.AcquireGap(t.owner, space, below, above)
+		return
+	}
+	var below, above storage.Value
+	if probe.lo != nil {
+		below, _ = ix.Neighbors(probe.lo)
+	}
+	if probe.hi != nil {
+		_, above = ix.Neighbors(probe.hi)
+	}
+	t.e.lm.AcquireGap(t.owner, space, below, above)
+}
+
+// trackPredicateRead records SSI read pages for the probed predicate —
+// including the empty-result case, which is what makes "check there is no
+// payment yet, then insert one" conflict under Serializable (§3.3.2).
+// Caller holds e.mu.
+func (t *Txn) trackPredicateRead(tb *table, pred storage.Pred, probe *indexProbe) {
+	if !t.usesSSI() {
+		return
+	}
+	if v, ok := storage.EqCond(pred, storage.PKColumn); ok {
+		if pk, isInt := v.(int64); isInt {
+			t.noteReadPage(pageKey{tb.schema.Table, storage.PKColumn, t.e.pageOf(pk)})
+			return
+		}
+	}
+	if probe != nil {
+		if probe.eq != nil {
+			t.noteReadPage(pageKey{tb.schema.Table, probe.col, t.e.pageOf(probe.eq)})
+			return
+		}
+		lo, hi := int64(0), int64(0)
+		if probe.lo != nil {
+			lo = t.e.pageOf(probe.lo)
+		}
+		if probe.hi != nil {
+			hi = t.e.pageOf(probe.hi)
+		} else {
+			hi = lo + 4 // open ranges track a few pages past the bound
+		}
+		for p := lo; p <= hi; p++ {
+			t.noteReadPage(pageKey{tb.schema.Table, probe.col, p})
+		}
+		return
+	}
+	// Full scan: relation-granularity SIREAD.
+	t.noteReadPage(pageKey{tb.schema.Table, "*", 0})
+}
+
+// trackRowRead records the SSI page of one row actually read.
+func (t *Txn) trackRowRead(tb *table, pk int64) {
+	if !t.usesSSI() {
+		return
+	}
+	t.noteReadPage(pageKey{tb.schema.Table, storage.PKColumn, t.e.pageOf(pk)})
+}
+
+// trackRowWrite records SSI write pages for a written row (pk page plus
+// affected secondary-index value pages).
+func (t *Txn) trackRowWrite(tb *table, pk int64, oldRow, newRow storage.Row) {
+	if t.e.cfg.Dialect != Postgres {
+		return
+	}
+	t.noteWritePage(pageKey{tb.schema.Table, storage.PKColumn, t.e.pageOf(pk)})
+	t.noteWritePage(pageKey{tb.schema.Table, "*", 0})
+	for col := range tb.indexes {
+		if oldRow != nil {
+			t.noteWritePage(pageKey{tb.schema.Table, col, t.e.pageOf(oldRow.Get(tb.schema, col))})
+		}
+		if newRow != nil {
+			t.noteWritePage(pageKey{tb.schema.Table, col, t.e.pageOf(newRow.Get(tb.schema, col))})
+		}
+	}
+}
+
+// Insert adds a row. vals maps column names to values; "id" may be supplied
+// explicitly (recovery, fixtures) or is auto-assigned. Returns the primary
+// key. Under the MySQL dialect at Repeatable Read and above, the insert
+// first waits out conflicting gap locks (insert intention).
+func (t *Txn) Insert(tableName string, vals map[string]storage.Value) (int64, error) {
+	if err := t.startStatement(); err != nil {
+		return 0, err
+	}
+	t.snapshot() // pin the snapshot before first write
+	e := t.e
+
+	e.mu.Lock()
+	tb, err := e.table(tableName)
+	if err != nil {
+		e.mu.Unlock()
+		return 0, err
+	}
+	schema := tb.schema
+	// Validate columns before any waiting.
+	for col := range vals {
+		if !schema.HasColumn(col) {
+			e.mu.Unlock()
+			return 0, fmt.Errorf("engine: table %q has no column %q", tableName, col)
+		}
+	}
+	type gapCheck struct {
+		space lockmgr.GapSpace
+		key   storage.Value
+	}
+	var checks []gapCheck
+	if t.usesGapLocks() {
+		for col := range tb.indexes {
+			if v, ok := vals[col]; ok {
+				checks = append(checks, gapCheck{lockmgr.GapSpace{Table: tableName, Col: col}, v})
+			}
+		}
+	}
+	e.mu.Unlock()
+
+	// Insert-intention waits happen outside the store latch.
+	for _, c := range checks {
+		if err := mapLockErr(e.lm.InsertIntent(t.owner, c.space, c.key)); err != nil {
+			if err == ErrDeadlock {
+				e.stats.Deadlocks.Add(1)
+				t.abort()
+			}
+			if err == ErrLockTimeout {
+				e.stats.LockTimeouts.Add(1)
+			}
+			return 0, err
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var pk int64
+	if v, given := vals[storage.PKColumn]; given {
+		p, isInt := v.(int64)
+		if !isInt {
+			return 0, fmt.Errorf("engine: explicit id must be int64, got %T", v)
+		}
+		if ch, exists := tb.rows[p]; exists {
+			if cv := t.currentVersion(ch); cv != nil && !cv.Deleted {
+				return 0, fmt.Errorf("%w: %s id=%d", ErrDuplicateKey, tableName, p)
+			}
+		}
+		pk = p
+		if pk > tb.autoInc {
+			tb.autoInc = pk
+		}
+	} else {
+		tb.autoInc++
+		pk = tb.autoInc
+	}
+
+	row := make(storage.Row, len(schema.Columns))
+	row[0] = pk
+	for i := 1; i < len(schema.Columns); i++ {
+		if v, ok := vals[schema.Columns[i].Name]; ok {
+			row[i] = v
+		}
+	}
+	if err := schema.CheckRow(row); err != nil {
+		return 0, err
+	}
+
+	// Take the row lock before publishing: the key is fresh, so this never
+	// blocks, and it keeps concurrent current reads from seeing the row
+	// vanish on rollback.
+	if !e.lm.TryAcquire(t.owner, rowKey{tableName, pk}, lockmgr.Exclusive) {
+		// Only possible for explicit-pk races; fall back to a wait.
+		e.mu.Unlock()
+		err := t.lockRow(tableName, pk, lockmgr.Exclusive)
+		e.mu.Lock()
+		if err != nil {
+			return 0, err
+		}
+		if ch, exists := tb.rows[pk]; exists {
+			if cv := t.currentVersion(ch); cv != nil && !cv.Deleted {
+				return 0, fmt.Errorf("%w: %s id=%d", ErrDuplicateKey, tableName, pk)
+			}
+		}
+	}
+
+	ch, existed := tb.rows[pk]
+	if !existed {
+		ch = &mvcc.Chain{}
+		tb.rows[pk] = ch
+	}
+	ch.Prepend(row.Clone(), false, t.id)
+	u := undoEntry{t: tb, pk: pk, chain: ch, inserted: !existed}
+	for col, ix := range tb.indexes {
+		key := row.Get(schema, col)
+		ix.Add(key, pk)
+		u.addedIdx = append(u.addedIdx, idxEntry{col: col, key: key})
+	}
+	t.undo = append(t.undo, u)
+	t.writes = append(t.writes, wal.Op{Kind: wal.OpInsert, Table: tableName, PK: pk, Row: row.Clone()})
+	t.trackRowWrite(tb, pk, nil, row)
+	e.emit(t, EvInsert, tableName, pk, colsOf(vals))
+	return pk, nil
+}
+
+// Update applies set to every row matching pred and returns the number of
+// rows changed. Updates are current reads: they lock target rows and apply
+// against the latest committed version. Under PostgreSQL Repeatable Read
+// and above, updating a row committed after the snapshot raises
+// ErrSerialization (first-committer-wins).
+func (t *Txn) Update(tableName string, pred storage.Pred, set map[string]storage.Value) (int, error) {
+	return t.writeRows(tableName, pred, set, false)
+}
+
+// Delete removes every row matching pred and returns the count.
+func (t *Txn) Delete(tableName string, pred storage.Pred) (int, error) {
+	return t.writeRows(tableName, pred, nil, true)
+}
+
+func (t *Txn) writeRows(tableName string, pred storage.Pred, set map[string]storage.Value, del bool) (int, error) {
+	if err := t.startStatement(); err != nil {
+		return 0, err
+	}
+	snap := t.snapshot()
+	e := t.e
+
+	e.mu.Lock()
+	tb, err := e.table(tableName)
+	if err != nil {
+		e.mu.Unlock()
+		return 0, err
+	}
+	schema := tb.schema
+	for col := range set {
+		if !schema.HasColumn(col) {
+			e.mu.Unlock()
+			return 0, fmt.Errorf("engine: table %q has no column %q", tableName, col)
+		}
+	}
+	pks, probe := t.candidates(tb, pred)
+	if t.usesGapLocks() {
+		t.acquireGapLocks(tb, pred, probe)
+	}
+	e.mu.Unlock()
+
+	changed := 0
+	for _, pk := range pks {
+		if err := t.lockRow(tableName, pk, lockmgr.Exclusive); err != nil {
+			return changed, err
+		}
+		e.mu.Lock()
+		ch, ok := tb.rows[pk]
+		if !ok {
+			e.mu.Unlock()
+			continue
+		}
+		cv := t.currentVersion(ch)
+		if cv == nil || cv.Deleted {
+			e.mu.Unlock()
+			continue
+		}
+		if t.usesFCW() && ch.ConflictsWith(snap) {
+			e.mu.Unlock()
+			e.stats.SerializationErr.Add(1)
+			t.abort()
+			return changed, ErrSerialization
+		}
+		if !pred.Match(schema, cv.Row) {
+			e.mu.Unlock()
+			continue
+		}
+
+		if del {
+			ch.Prepend(nil, true, t.id)
+			t.undo = append(t.undo, undoEntry{t: tb, pk: pk, chain: ch, delRow: cv.Row})
+			t.writes = append(t.writes, wal.Op{Kind: wal.OpDelete, Table: tableName, PK: pk})
+			t.trackRowWrite(tb, pk, cv.Row, nil)
+			e.emit(t, EvDelete, tableName, pk, nil)
+			changed++
+			e.mu.Unlock()
+			continue
+		}
+
+		newRow := cv.Row.Clone()
+		for col, v := range set {
+			if d, isDelta := v.(storage.Delta); isDelta {
+				cur, isInt := newRow.Get(schema, col).(int64)
+				if !isInt {
+					e.mu.Unlock()
+					return changed, fmt.Errorf("engine: delta update on non-integer column %s.%s", tableName, col)
+				}
+				newRow.Set(schema, col, cur+d.N)
+				continue
+			}
+			newRow.Set(schema, col, v)
+		}
+		if err := schema.CheckRow(newRow); err != nil {
+			e.mu.Unlock()
+			return changed, err
+		}
+		ch.Prepend(newRow, false, t.id)
+		u := undoEntry{t: tb, pk: pk, chain: ch}
+		for col, ix := range tb.indexes {
+			oldV, newV := cv.Row.Get(schema, col), newRow.Get(schema, col)
+			if !storage.Equal(oldV, newV) {
+				ix.Add(newV, pk)
+				u.addedIdx = append(u.addedIdx, idxEntry{col: col, key: newV})
+			}
+		}
+		t.undo = append(t.undo, u)
+		t.writes = append(t.writes, wal.Op{Kind: wal.OpUpdate, Table: tableName, PK: pk, Row: newRow.Clone()})
+		t.trackRowWrite(tb, pk, cv.Row, newRow)
+		e.emit(t, EvWrite, tableName, pk, colsOf(set))
+		changed++
+		e.mu.Unlock()
+	}
+	return changed, nil
+}
+
+// UpdateIf is the conditional single-row update every optimistic ad hoc
+// transaction compiles to: UPDATE ... SET set WHERE id=pk AND guard. It
+// returns true when exactly that row matched and was updated — the
+// atomic validate-and-commit primitive (§3.2.2, Figure 1c).
+func (t *Txn) UpdateIf(tableName string, pk int64, guard storage.Pred, set map[string]storage.Value) (bool, error) {
+	pred := storage.And{storage.ByPK(pk), guard}
+	n, err := t.Update(tableName, pred, set)
+	return n > 0, err
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adhoctx/internal/adhoc/locks"
+	"adhoctx/internal/apps/broadleaf"
+	"adhoctx/internal/apps/discourse"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/kv"
+	"adhoctx/internal/sim"
+)
+
+// Ablation quantifies one design choice DESIGN.md calls out: the measured
+// variants differ in exactly one knob.
+type Ablation struct {
+	// Experiment names the ablated choice.
+	Experiment string
+	// Variant names the configuration.
+	Variant string
+	// ReqPerSec is the contended throughput.
+	ReqPerSec float64
+}
+
+// AblationGranularity isolates the value of column-based lock keys
+// (§3.3.2): the contended CBC workload with per-column lock namespaces
+// versus one coarse per-row key.
+func AblationGranularity(duration time.Duration, clients int, rtt time.Duration) ([]Ablation, error) {
+	var out []Ablation
+	for _, coarse := range []bool{false, true} {
+		eng := engine.New(engine.Config{
+			Dialect: engine.Postgres, Net: sim.Latency{RTT: rtt}, LockTimeout: 30 * time.Second,
+		})
+		app := discourse.New(eng, locks.NewMemLocker())
+		app.CoarseRowLocks = coarse
+
+		nTopics := (clients + 1) / 2
+		topics := make([]int64, nTopics)
+		seedPosts := make([]int64, nTopics)
+		for i := range topics {
+			topic, err := app.CreateTopic()
+			if err != nil {
+				return nil, err
+			}
+			topics[i] = topic
+			pk, err := app.CreatePost(topic, "seed", 0)
+			if err != nil {
+				return nil, err
+			}
+			seedPosts[i] = pk
+		}
+		op := func(client, _ int) error {
+			ti := (client / 2) % nTopics
+			if client%2 == 0 {
+				_, err := app.CreatePost(topics[ti], "body", 0)
+				return err
+			}
+			return app.ToggleAnswer(topics[ti], seedPosts[ti])
+		}
+		rps, err := drive(op, clients, duration)
+		if err != nil {
+			return nil, err
+		}
+		variant := "column-namespace keys"
+		if coarse {
+			variant = "coarse row key"
+		}
+		out = append(out, Ablation{Experiment: "CBC lock granularity", Variant: variant, ReqPerSec: rps})
+	}
+	return out, nil
+}
+
+// AblationLockPrimitive isolates the cost of the lock primitive itself on
+// the contended RMW API: the same Broadleaf checkout coordinated by an
+// in-memory map, a remote SETNX lease, and the durable DB lock table —
+// Figure 2's latency differences surfacing as API throughput.
+func AblationLockPrimitive(duration time.Duration, clients int, rtt time.Duration) ([]Ablation, error) {
+	type variant struct {
+		name  string
+		build func(kvStore *kv.Store, dbEng *engine.Engine) core.Locker
+	}
+	variants := []variant{
+		{"MEM", func(*kv.Store, *engine.Engine) core.Locker { return locks.NewMemLocker() }},
+		{"KV-SETNX", func(s *kv.Store, _ *engine.Engine) core.Locker {
+			return &locks.SetNXLocker{Store: s, Token: "ablate", TTL: time.Minute}
+		}},
+		{"DB", func(_ *kv.Store, dbEng *engine.Engine) core.Locker {
+			return &locks.DBLocker{Eng: dbEng, BootID: "ablate", Owner: "w"}
+		}},
+	}
+	var out []Ablation
+	for _, v := range variants {
+		appEng := engine.New(engine.Config{
+			Dialect: engine.MySQL, Net: sim.Latency{RTT: rtt}, LockTimeout: 30 * time.Second,
+		})
+		kvStore := kv.NewStore(nil, sim.Latency{RTT: rtt})
+		lockEng := engine.New(engine.Config{
+			Dialect: engine.MySQL, Net: sim.Latency{RTT: rtt},
+			WALFsync: sim.Latency{Fsync: 2 * time.Millisecond}, LockTimeout: 30 * time.Second,
+		})
+		locks.SetupDBLockTable(lockEng)
+
+		app := broadleaf.New(appEng, v.build(kvStore, lockEng))
+		sku, err := app.CreateSKU(1 << 40)
+		if err != nil {
+			return nil, err
+		}
+		op := func(int, int) error { return app.Checkout(sku, 1) }
+		rps, err := drive(op, clients, duration)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Ablation{Experiment: "RMW lock primitive", Variant: v.name, ReqPerSec: rps})
+	}
+	return out, nil
+}
+
+// drive runs op closed-loop from the given number of clients for the window.
+func drive(op func(client, iter int) error, clients int, duration time.Duration) (float64, error) {
+	var requests atomic.Int64
+	var firstErr atomic.Pointer[error]
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				if err := op(c, i); err != nil {
+					if engine.IsRetryable(err) {
+						continue
+					}
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				requests.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return 0, *p
+	}
+	return float64(requests.Load()) / duration.Seconds(), nil
+}
+
+// RenderAblations prints ablation rows.
+func RenderAblations(rows []Ablation) string {
+	s := "Ablations (contended throughput, req/s)\n"
+	for _, r := range rows {
+		s += fmt.Sprintf("  %-24s %-24s %10.1f\n", r.Experiment, r.Variant, r.ReqPerSec)
+	}
+	return s
+}

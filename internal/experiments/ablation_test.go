@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAblationGranularity: column-namespace keys must outperform the coarse
+// row key on the contended CBC pair — the §3.3.2 claim in isolation.
+func TestAblationGranularity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled experiment; skipped in -short")
+	}
+	rows, err := AblationGranularity(300*time.Millisecond, 6, 150*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := map[string]float64{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r.ReqPerSec
+	}
+	fine, coarse := byVariant["column-namespace keys"], byVariant["coarse row key"]
+	if fine <= coarse {
+		t.Errorf("column keys %.0f req/s not above coarse row key %.0f req/s", fine, coarse)
+	}
+	if out := RenderAblations(rows); !strings.Contains(out, "column-namespace") {
+		t.Error("render missing variants")
+	}
+}
+
+// TestAblationLockPrimitive: on the contended RMW API, the in-memory lock
+// must beat the 1-round-trip KV lease, which must beat the durable DB lock —
+// Figure 2's latency ordering carried through to API throughput.
+func TestAblationLockPrimitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled experiment; skipped in -short")
+	}
+	rows, err := AblationLockPrimitive(300*time.Millisecond, 6, 150*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := map[string]float64{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r.ReqPerSec
+	}
+	if byVariant["MEM"] <= byVariant["KV-SETNX"] {
+		t.Errorf("MEM %.0f not above KV-SETNX %.0f", byVariant["MEM"], byVariant["KV-SETNX"])
+	}
+	if byVariant["KV-SETNX"] <= byVariant["DB"] {
+		t.Errorf("KV-SETNX %.0f not above DB %.0f", byVariant["KV-SETNX"], byVariant["DB"])
+	}
+}

@@ -1,0 +1,119 @@
+// Package experiments implements the paper's evaluation (§5): Figure 2's
+// lock-primitive latencies, Figure 3's coordination-granularity API
+// throughput, and Figure 4's rollback-method latencies. The same code backs
+// cmd/adhocbench and the repository-level benchmarks; EXPERIMENTS.md records
+// the measured numbers against the paper's.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"adhoctx/internal/adhoc/locks"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/kv"
+	"adhoctx/internal/sim"
+)
+
+// LockLatency is one Figure 2 measurement.
+type LockLatency struct {
+	// Name is the Figure 2 label.
+	Name string
+	// Lock and Unlock are the mean per-operation latencies.
+	Lock, Unlock time.Duration
+}
+
+// Figure2Config tunes the latency model. The defaults (zero value replaced
+// by DefaultFigure2Config) follow EXPERIMENTS.md's calibration: a LAN round
+// trip of 100µs and a 2ms log flush.
+type Figure2Config struct {
+	// Iters is the number of lock/unlock pairs per primitive.
+	Iters int
+	// RTT is the application↔store network round trip.
+	RTT time.Duration
+	// Fsync is the durable-commit cost (drives the DB primitive).
+	Fsync time.Duration
+}
+
+// DefaultFigure2Config returns the calibration used in EXPERIMENTS.md.
+func DefaultFigure2Config() Figure2Config {
+	return Figure2Config{Iters: 200, RTT: 100 * time.Microsecond, Fsync: 5 * time.Millisecond}
+}
+
+// Figure2 measures every lock primitive with a single uncontended client in
+// a tight lock/unlock loop — the paper's microbenchmark. Results come back
+// in the figure's order.
+func Figure2(cfg Figure2Config) ([]LockLatency, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 100
+	}
+	lat := sim.Latency{RTT: cfg.RTT}
+
+	kvStore := kv.NewStore(nil, lat)
+
+	sfuEng := engine.New(engine.Config{
+		Dialect: engine.Postgres, Net: lat, LockTimeout: 30 * time.Second,
+	})
+	sfuEng.CreateTable(lockRowSchema("lock_rows"))
+	sfu := &locks.SFULocker{Eng: sfuEng, Table: "lock_rows"}
+	if err := sfu.EnsureRow(1); err != nil {
+		return nil, err
+	}
+
+	dbEng := engine.New(engine.Config{
+		Dialect: engine.MySQL, Net: lat,
+		WALFsync:    sim.Latency{Fsync: cfg.Fsync},
+		LockTimeout: 30 * time.Second,
+	})
+	locks.SetupDBLockTable(dbEng)
+
+	cases := []struct {
+		name   string
+		locker core.Locker
+		key    string
+	}{
+		{"SYNC", locks.NewSyncLocker(), "k"},
+		{"MEM", locks.NewMemLocker(), "k"},
+		{"MEM-LRU", locks.NewLRULocker(1024, false), "k"},
+		{"KV-SETNX", &locks.SetNXLocker{Store: kvStore, Token: "bench", TTL: time.Minute}, "k"},
+		{"KV-MULTI", &locks.MultiLocker{Store: kvStore, Token: "bench", TTL: time.Minute}, "k"},
+		{"SFU", sfu, "1"},
+		{"DB", &locks.DBLocker{Eng: dbEng, BootID: "bench-boot", Owner: "bench"}, "k"},
+	}
+
+	out := make([]LockLatency, 0, len(cases))
+	for _, c := range cases {
+		lockTotal, unlockTotal := time.Duration(0), time.Duration(0)
+		for i := 0; i < cfg.Iters; i++ {
+			start := time.Now()
+			rel, err := c.locker.Acquire(c.key)
+			mid := time.Now()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", c.name, err)
+			}
+			if err := rel(); err != nil {
+				return nil, fmt.Errorf("%s release: %w", c.name, err)
+			}
+			end := time.Now()
+			lockTotal += mid.Sub(start)
+			unlockTotal += end.Sub(mid)
+		}
+		out = append(out, LockLatency{
+			Name:   c.name,
+			Lock:   lockTotal / time.Duration(cfg.Iters),
+			Unlock: unlockTotal / time.Duration(cfg.Iters),
+		})
+	}
+	return out, nil
+}
+
+// RenderFigure2 prints the measurements in the figure's layout.
+func RenderFigure2(rows []LockLatency) string {
+	s := "Figure 2: Latencies of different lock implementations\n"
+	s += fmt.Sprintf("%-10s %14s %14s\n", "impl", "lock()", "unlock()")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-10s %14s %14s\n", r.Name, r.Lock, r.Unlock)
+	}
+	return s
+}

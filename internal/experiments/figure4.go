@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"adhoctx/internal/adhoc/locks"
+	"adhoctx/internal/apps/discourse"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/sim"
+)
+
+// RollbackLatency is one Figure 4 bar.
+type RollbackLatency struct {
+	Mode      discourse.RollbackMode
+	Contended bool
+	// AvgLatency is the mean shrink-image API latency.
+	AvgLatency time.Duration
+	// Restarts and PostRepairs explain the latency: whole-API restarts
+	// re-pay the image processing; per-post repairs do not.
+	Restarts    int
+	PostRepairs int
+}
+
+// Figure4Config tunes the rollback experiment.
+type Figure4Config struct {
+	// Invocations is the number of shrink-image calls per cell.
+	Invocations int
+	// PostsPerImage matches the paper's workload (8).
+	PostsPerImage int
+	// Editors is the number of concurrent edit-post threads (paper: 2).
+	Editors int
+	// ImageProcessing and EditProcessing are the simulated work costs.
+	ImageProcessing time.Duration
+	EditProcessing  time.Duration
+	// EditorThink is each editor's pause between requests (real edit
+	// traffic arrives over the network with gaps; zero think time turns
+	// the restarting strategies into unbounded retry storms).
+	EditorThink time.Duration
+	// RTT is the application↔database round trip.
+	RTT time.Duration
+}
+
+// DefaultFigure4Config returns the calibration used in EXPERIMENTS.md: the
+// paper's 8 posts per image and 2 conflicting editors, with processing
+// costs scaled down from seconds to tens of milliseconds.
+func DefaultFigure4Config() Figure4Config {
+	return Figure4Config{
+		Invocations:     3,
+		PostsPerImage:   8,
+		Editors:         2,
+		ImageProcessing: 40 * time.Millisecond,
+		EditProcessing:  4 * time.Millisecond,
+		EditorThink:     15 * time.Millisecond,
+		RTT:             100 * time.Microsecond,
+	}
+}
+
+// Figure4 measures shrink-image latency for every rollback strategy, with
+// and without conflicting edit-post traffic.
+func Figure4(cfg Figure4Config) ([]RollbackLatency, error) {
+	if cfg.Invocations <= 0 {
+		cfg.Invocations = 1
+	}
+	modes := []discourse.RollbackMode{
+		discourse.DBTSerializable, discourse.DBTWeak, discourse.Manual, discourse.Repair,
+	}
+	var out []RollbackLatency
+	for _, contended := range []bool{true, false} {
+		for _, mode := range modes {
+			row, err := runFigure4Cell(mode, contended, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%v contended=%v: %w", mode, contended, err)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// Figure4Cell runs one (mode, contention) cell; the repository benchmarks
+// use it to time individual strategies.
+func Figure4Cell(mode discourse.RollbackMode, contended bool, cfg Figure4Config) (RollbackLatency, error) {
+	return runFigure4Cell(mode, contended, cfg)
+}
+
+func runFigure4Cell(mode discourse.RollbackMode, contended bool, cfg Figure4Config) (RollbackLatency, error) {
+	eng := engine.New(engine.Config{
+		Dialect: engine.Postgres, Net: sim.Latency{RTT: cfg.RTT}, LockTimeout: 30 * time.Second,
+	})
+	app := discourse.New(eng, locks.NewMemLocker())
+	app.ImageProcessing = cfg.ImageProcessing
+	app.EditProcessing = cfg.EditProcessing
+
+	total := time.Duration(0)
+	restarts, repairs := 0, 0
+	for inv := 0; inv < cfg.Invocations; inv++ {
+		orig, err := app.CreateUpload(5000)
+		if err != nil {
+			return RollbackLatency{}, err
+		}
+		shrunken, err := app.CreateUpload(500)
+		if err != nil {
+			return RollbackLatency{}, err
+		}
+		topic, err := app.CreateTopic()
+		if err != nil {
+			return RollbackLatency{}, err
+		}
+		var posts []int64
+		for i := 0; i < cfg.PostsPerImage; i++ {
+			pk, err := app.CreatePost(topic, fmt.Sprintf("body %d img:%d", i, orig), orig)
+			if err != nil {
+				return RollbackLatency{}, err
+			}
+			posts = append(posts, pk)
+		}
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if contended {
+			for e := 0; e < cfg.Editors; e++ {
+				wg.Add(1)
+				go func(e int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						pk := posts[(e+i)%len(posts)]
+						v, err := app.LoadPostForEdit(pk)
+						if err != nil {
+							return
+						}
+						edit := func() error {
+							if mode == discourse.DBTSerializable {
+								return app.EditPostSerializable(pk, v.Content, v.Content+" +e")
+							}
+							return app.SubmitEdit(pk, v.Content, v.Content+" +e")
+						}
+						if err := edit(); err != nil && !errors.Is(err, discourse.ErrEditConflict) {
+							return
+						}
+						if cfg.EditorThink > 0 {
+							time.Sleep(cfg.EditorThink)
+						}
+					}
+				}(e)
+			}
+		}
+
+		start := time.Now()
+		res, err := app.ShrinkImage(orig, shrunken, mode, true)
+		elapsed := time.Since(start)
+		close(stop)
+		wg.Wait()
+		if err != nil {
+			return RollbackLatency{}, err
+		}
+		total += elapsed
+		restarts += res.Restarts
+		repairs += res.PostRepairs
+	}
+	return RollbackLatency{
+		Mode: mode, Contended: contended,
+		AvgLatency:  total / time.Duration(cfg.Invocations),
+		Restarts:    restarts,
+		PostRepairs: repairs,
+	}, nil
+}
+
+// RenderFigure4 prints the cells in the figure's layout.
+func RenderFigure4(rows []RollbackLatency) string {
+	s := "Figure 4: shrink-image API latencies using different rollback methods\n"
+	for _, contended := range []bool{true, false} {
+		label := "(a) with contention"
+		if !contended {
+			label = "(b) without contention"
+		}
+		s += label + "\n"
+		s += fmt.Sprintf("  %-8s %14s %10s %8s\n", "method", "latency", "restarts", "repairs")
+		for _, r := range rows {
+			if r.Contended != contended {
+				continue
+			}
+			s += fmt.Sprintf("  %-8s %14s %10d %8d\n", r.Mode, r.AvgLatency, r.Restarts, r.PostRepairs)
+		}
+	}
+	return s
+}

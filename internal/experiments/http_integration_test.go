@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFigure3OverHTTP drives one contended cell through the real loopback
+// HTTP layer — the configuration cmd/adhocbench uses and the paper's "test
+// clients stress APIs with valid HTTP requests" setup.
+func TestFigure3OverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network integration; skipped in -short")
+	}
+	cfg := Figure3Config{
+		Duration: 250 * time.Millisecond,
+		Clients:  4,
+		RTT:      100 * time.Microsecond,
+		UseHTTP:  true,
+		APIs:     []string{"RMW"},
+	}
+	rows, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // RMW × {AHT, DBT} × {contended, uncontended}
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Requests == 0 {
+			t.Errorf("%s/%s contended=%v served no requests over HTTP", r.API, r.Mode, r.Contended)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package experiments
+
+import "adhoctx/internal/storage"
+
+// lockRowSchema builds the minimal schema SFU lock rows live in.
+func lockRowSchema(table string) *storage.Schema {
+	return storage.NewSchema(table)
+}

@@ -1,0 +1,369 @@
+// Package kv implements the Redis-workalike key–value store three of the
+// studied applications build their ad hoc locks on (§3.2.1) and Mastodon
+// keeps its timelines in (§3.1.3): strings with TTL expiry, SETNX, sets, and
+// the WATCH/MULTI/EXEC optimistic transaction protocol.
+//
+// Every command charges one simulated network round trip — the decisive cost
+// in Figure 2's KV-SETNX (1 trip) vs KV-MULTI (7 trips) comparison — and the
+// clock is injectable so lease-expiry bugs (§4.1.1) are testable without
+// real sleeps.
+package kv
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adhoctx/internal/sim"
+)
+
+// entry is one key's value: either a string or a set, with optional expiry.
+type entry struct {
+	str      string
+	set      map[string]struct{}
+	isSet    bool
+	expireAt time.Time // zero = no expiry
+	ver      uint64    // bumped on every modification; WATCH compares it
+}
+
+// Store is the server. Safe for concurrent use by many Conns.
+type Store struct {
+	mu    sync.Mutex
+	data  map[string]*entry
+	clock sim.Clock
+	lat   sim.Latency
+	ver   uint64
+
+	commands atomic.Int64
+}
+
+// NewStore creates a store. clock may be nil (wall clock). lat is charged
+// once per command.
+func NewStore(clock sim.Clock, lat sim.Latency) *Store {
+	if clock == nil {
+		clock = sim.RealClock{}
+	}
+	lat.Clock = clock
+	return &Store{data: make(map[string]*entry), clock: clock, lat: lat}
+}
+
+// Commands returns the total number of commands served (round trips).
+func (s *Store) Commands() int64 { return s.commands.Load() }
+
+// Conn returns a new client connection with its own WATCH/MULTI state.
+func (s *Store) Conn() *Conn {
+	return &Conn{s: s}
+}
+
+// charge accounts one round trip. Called once per client command.
+func (s *Store) charge() {
+	s.commands.Add(1)
+	s.lat.ChargeRTT(1)
+}
+
+// live returns the entry for key after lazy expiry, or nil. Caller holds mu.
+func (s *Store) live(key string) *entry {
+	e, ok := s.data[key]
+	if !ok {
+		return nil
+	}
+	if !e.expireAt.IsZero() && !s.clock.Now().Before(e.expireAt) {
+		delete(s.data, key)
+		return nil
+	}
+	return e
+}
+
+// bump allocates a new version number. Caller holds mu.
+func (s *Store) bump() uint64 {
+	s.ver++
+	return s.ver
+}
+
+// versionOf returns the live version of key (0 when absent). Caller holds mu.
+func (s *Store) versionOf(key string) uint64 {
+	if e := s.live(key); e != nil {
+		return e.ver
+	}
+	return 0
+}
+
+// Conn is one client connection. Not safe for concurrent use, like a real
+// Redis connection.
+type Conn struct {
+	s       *Store
+	watch   map[string]uint64
+	inMulti bool
+	queue   []queued
+}
+
+type queued struct {
+	apply func()
+}
+
+// Get returns the string value of key.
+func (c *Conn) Get(key string) (string, bool) {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	e := c.s.live(key)
+	if e == nil || e.isSet {
+		return "", false
+	}
+	return e.str, true
+}
+
+// Exists reports whether key is live.
+func (c *Conn) Exists(key string) bool {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.s.live(key) != nil
+}
+
+// Set stores a string value with no expiry. Inside MULTI the write is
+// queued until Exec.
+func (c *Conn) Set(key, val string) {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.inMulti {
+		c.queue = append(c.queue, queued{apply: func() { c.s.setLocked(key, val, 0) }})
+		return
+	}
+	c.s.setLocked(key, val, 0)
+}
+
+// SetPX stores a string value that expires after ttl.
+func (c *Conn) SetPX(key, val string, ttl time.Duration) {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.inMulti {
+		c.queue = append(c.queue, queued{apply: func() { c.s.setLocked(key, val, ttl) }})
+		return
+	}
+	c.s.setLocked(key, val, ttl)
+}
+
+// setLocked writes key. Caller holds mu.
+func (s *Store) setLocked(key, val string, ttl time.Duration) {
+	e := &entry{str: val, ver: s.bump()}
+	if ttl > 0 {
+		e.expireAt = s.clock.Now().Add(ttl)
+	}
+	s.data[key] = e
+}
+
+// SetNX sets key only if absent (SET key val NX) and reports success.
+func (c *Conn) SetNX(key, val string) bool {
+	return c.setNX(key, val, 0)
+}
+
+// SetNXPX is SET key val NX PX ttl — the single-round-trip lease acquisition
+// Mastodon's and Saleor's locks use.
+func (c *Conn) SetNXPX(key, val string, ttl time.Duration) bool {
+	return c.setNX(key, val, ttl)
+}
+
+func (c *Conn) setNX(key, val string, ttl time.Duration) bool {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.s.live(key) != nil {
+		return false
+	}
+	c.s.setLocked(key, val, ttl)
+	return true
+}
+
+// Del removes key and reports whether it existed. Inside MULTI the delete is
+// queued (and reports true).
+func (c *Conn) Del(key string) bool {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.inMulti {
+		c.queue = append(c.queue, queued{apply: func() { c.s.delLocked(key) }})
+		return true
+	}
+	return c.s.delLocked(key)
+}
+
+func (s *Store) delLocked(key string) bool {
+	if s.live(key) == nil {
+		return false
+	}
+	s.bump() // deleting is a modification watchers must observe
+	delete(s.data, key)
+	return true
+}
+
+// Expire sets key's TTL and reports whether the key exists. Inside MULTI
+// the command is queued (and optimistically reports true).
+func (c *Conn) Expire(key string, ttl time.Duration) bool {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.inMulti {
+		c.queue = append(c.queue, queued{apply: func() { c.s.expireLocked(key, ttl) }})
+		return true
+	}
+	return c.s.expireLocked(key, ttl)
+}
+
+func (s *Store) expireLocked(key string, ttl time.Duration) bool {
+	e := s.live(key)
+	if e == nil {
+		return false
+	}
+	e.expireAt = s.clock.Now().Add(ttl)
+	return true
+}
+
+// TTL returns the remaining lifetime of key; ok is false when the key is
+// absent or has no expiry.
+func (c *Conn) TTL(key string) (time.Duration, bool) {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	e := c.s.live(key)
+	if e == nil || e.expireAt.IsZero() {
+		return 0, false
+	}
+	return e.expireAt.Sub(c.s.clock.Now()), true
+}
+
+// SAdd adds a member to the set at key. Inside MULTI the write is queued.
+func (c *Conn) SAdd(key, member string) {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.inMulti {
+		c.queue = append(c.queue, queued{apply: func() { c.s.saddLocked(key, member) }})
+		return
+	}
+	c.s.saddLocked(key, member)
+}
+
+func (s *Store) saddLocked(key, member string) {
+	e := s.live(key)
+	if e == nil || !e.isSet {
+		e = &entry{isSet: true, set: make(map[string]struct{})}
+		s.data[key] = e
+	}
+	e.set[member] = struct{}{}
+	e.ver = s.bump()
+}
+
+// SRem removes a member from the set at key. Inside MULTI the write is
+// queued.
+func (c *Conn) SRem(key, member string) {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.inMulti {
+		c.queue = append(c.queue, queued{apply: func() { c.s.sremLocked(key, member) }})
+		return
+	}
+	c.s.sremLocked(key, member)
+}
+
+func (s *Store) sremLocked(key, member string) {
+	e := s.live(key)
+	if e == nil || !e.isSet {
+		return
+	}
+	delete(e.set, member)
+	e.ver = s.bump()
+}
+
+// SIsMember reports set membership.
+func (c *Conn) SIsMember(key, member string) bool {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	e := c.s.live(key)
+	if e == nil || !e.isSet {
+		return false
+	}
+	_, ok := e.set[member]
+	return ok
+}
+
+// SMembers returns the members of the set at key.
+func (c *Conn) SMembers(key string) []string {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	e := c.s.live(key)
+	if e == nil || !e.isSet {
+		return nil
+	}
+	out := make([]string, 0, len(e.set))
+	for m := range e.set {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Watch adds keys to the connection's watch set (recording their current
+// versions — a key that does not exist yet is watched too, as the paper
+// notes for Discourse's lock).
+func (c *Conn) Watch(keys ...string) {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.watch == nil {
+		c.watch = make(map[string]uint64)
+	}
+	for _, k := range keys {
+		c.watch[k] = c.s.versionOf(k)
+	}
+}
+
+// Unwatch clears the watch set.
+func (c *Conn) Unwatch() {
+	c.s.charge()
+	c.watch = nil
+}
+
+// Multi begins queueing commands.
+func (c *Conn) Multi() {
+	c.s.charge()
+	c.inMulti = true
+	c.queue = nil
+}
+
+// Discard drops the queue and watch set.
+func (c *Conn) Discard() {
+	c.s.charge()
+	c.inMulti = false
+	c.queue = nil
+	c.watch = nil
+}
+
+// Exec atomically applies the queued commands if no watched key changed
+// since Watch, reporting whether the transaction committed. The watch set
+// and queue are cleared either way (Redis semantics).
+func (c *Conn) Exec() bool {
+	c.s.charge()
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	ok := true
+	for k, ver := range c.watch {
+		if c.s.versionOf(k) != ver {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		for _, q := range c.queue {
+			q.apply()
+		}
+	}
+	c.inMulti = false
+	c.queue = nil
+	c.watch = nil
+	return ok
+}

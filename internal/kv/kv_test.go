@@ -1,0 +1,303 @@
+package kv
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/sim"
+)
+
+func newTestStore() (*Store, *sim.FakeClock) {
+	clock := sim.NewFakeClock(time.Unix(1000, 0))
+	return NewStore(clock, sim.Latency{}), clock
+}
+
+func TestGetSetDel(t *testing.T) {
+	s, _ := newTestStore()
+	c := s.Conn()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("missing key found")
+	}
+	c.Set("k", "v")
+	if v, ok := c.Get("k"); !ok || v != "v" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if !c.Exists("k") {
+		t.Fatal("Exists false")
+	}
+	if !c.Del("k") {
+		t.Fatal("Del reported missing")
+	}
+	if c.Del("k") {
+		t.Fatal("second Del reported existing")
+	}
+	if c.Exists("k") {
+		t.Fatal("key survived Del")
+	}
+}
+
+func TestSetNX(t *testing.T) {
+	s, _ := newTestStore()
+	c := s.Conn()
+	if !c.SetNX("lock", "a") {
+		t.Fatal("first SetNX failed")
+	}
+	if c.SetNX("lock", "b") {
+		t.Fatal("second SetNX succeeded")
+	}
+	if v, _ := c.Get("lock"); v != "a" {
+		t.Fatalf("value overwritten: %q", v)
+	}
+	c.Del("lock")
+	if !c.SetNX("lock", "b") {
+		t.Fatal("SetNX after Del failed")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	s, clock := newTestStore()
+	c := s.Conn()
+	if !c.SetNXPX("lease", "owner1", 5*time.Second) {
+		t.Fatal("SetNXPX failed")
+	}
+	if ttl, ok := c.TTL("lease"); !ok || ttl != 5*time.Second {
+		t.Fatalf("TTL = %v, %v", ttl, ok)
+	}
+	clock.Advance(4 * time.Second)
+	if !c.Exists("lease") {
+		t.Fatal("lease expired early")
+	}
+	clock.Advance(time.Second)
+	if c.Exists("lease") {
+		t.Fatal("lease did not expire")
+	}
+	// The Mastodon bug (§4.1.1): after expiry, a second client can grab
+	// the lock while the first still thinks it holds it.
+	if !c.SetNXPX("lease", "owner2", 5*time.Second) {
+		t.Fatal("SetNX after expiry failed")
+	}
+}
+
+func TestExpireCommand(t *testing.T) {
+	s, clock := newTestStore()
+	c := s.Conn()
+	if c.Expire("nope", time.Second) {
+		t.Fatal("Expire on missing key succeeded")
+	}
+	c.Set("k", "v")
+	if _, ok := c.TTL("k"); ok {
+		t.Fatal("TTL on persistent key reported expiry")
+	}
+	if !c.Expire("k", 2*time.Second) {
+		t.Fatal("Expire failed")
+	}
+	clock.Advance(3 * time.Second)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("key survived expiry")
+	}
+}
+
+func TestSets(t *testing.T) {
+	s, _ := newTestStore()
+	c := s.Conn()
+	c.SAdd("timeline:7", "post:1")
+	c.SAdd("timeline:7", "post:2")
+	c.SAdd("timeline:7", "post:1") // idempotent
+	if !c.SIsMember("timeline:7", "post:1") {
+		t.Fatal("member missing")
+	}
+	if got := c.SMembers("timeline:7"); len(got) != 2 {
+		t.Fatalf("SMembers = %v", got)
+	}
+	c.SRem("timeline:7", "post:1")
+	if c.SIsMember("timeline:7", "post:1") {
+		t.Fatal("member survived SRem")
+	}
+	c.SRem("timeline:7", "ghost") // no-op
+	c.SRem("nokey", "x")          // no-op
+	if c.SIsMember("nokey", "x") {
+		t.Fatal("membership in missing set")
+	}
+}
+
+// TestWatchMultiExec exercises the Discourse lock protocol (§3.2.1): WATCH,
+// GET, MULTI, SET, EXEC — failing when a concurrent writer touched the key.
+func TestWatchMultiExec(t *testing.T) {
+	s, _ := newTestStore()
+	c1, c2 := s.Conn(), s.Conn()
+
+	// Uncontended: commit succeeds.
+	c1.Watch("lock")
+	if _, ok := c1.Get("lock"); ok {
+		t.Fatal("lock should not exist")
+	}
+	c1.Multi()
+	c1.Set("lock", "me")
+	if !c1.Exec() {
+		t.Fatal("uncontended Exec failed")
+	}
+	if v, _ := c1.Get("lock"); v != "me" {
+		t.Fatalf("lock = %q", v)
+	}
+	c1.Del("lock")
+
+	// Contended: a concurrent SET between WATCH and EXEC aborts the MULTI.
+	c1.Watch("lock")
+	if _, ok := c1.Get("lock"); ok {
+		t.Fatal("lock should not exist")
+	}
+	c2.Set("lock", "them")
+	c1.Multi()
+	c1.Set("lock", "me")
+	if c1.Exec() {
+		t.Fatal("Exec should fail after concurrent write")
+	}
+	if v, _ := c1.Get("lock"); v != "them" {
+		t.Fatalf("lock = %q, want the concurrent writer's value", v)
+	}
+}
+
+func TestWatchSeesDeletion(t *testing.T) {
+	s, _ := newTestStore()
+	c1, c2 := s.Conn(), s.Conn()
+	c1.Set("k", "v")
+	c1.Watch("k")
+	c2.Del("k")
+	c1.Multi()
+	c1.Set("k", "mine")
+	if c1.Exec() {
+		t.Fatal("Exec should observe deletion of watched key")
+	}
+}
+
+func TestWatchMissingKeyThenCreated(t *testing.T) {
+	s, _ := newTestStore()
+	c1, c2 := s.Conn(), s.Conn()
+	c1.Watch("k") // key does not exist yet — still watchable
+	c2.Set("k", "their")
+	c1.Multi()
+	c1.Set("k", "mine")
+	if c1.Exec() {
+		t.Fatal("Exec should fail: watched missing key was created")
+	}
+}
+
+func TestDiscardClearsState(t *testing.T) {
+	s, _ := newTestStore()
+	c := s.Conn()
+	c.Watch("k")
+	c.Multi()
+	c.Set("k", "x")
+	c.Discard()
+	if c.Exists("k") {
+		t.Fatal("discarded write applied")
+	}
+	// After Discard, Exec with empty state commits trivially.
+	c.Multi()
+	if !c.Exec() {
+		t.Fatal("empty Exec failed")
+	}
+}
+
+func TestUnwatch(t *testing.T) {
+	s, _ := newTestStore()
+	c1, c2 := s.Conn(), s.Conn()
+	c1.Watch("k")
+	c2.Set("k", "x")
+	c1.Unwatch()
+	c1.Multi()
+	c1.Set("k", "mine")
+	if !c1.Exec() {
+		t.Fatal("Exec after Unwatch should succeed")
+	}
+}
+
+func TestQueuedDeletesAndSets(t *testing.T) {
+	s, _ := newTestStore()
+	c := s.Conn()
+	c.Set("a", "1")
+	c.Multi()
+	c.Del("a")
+	c.SetPX("b", "2", time.Minute)
+	c.SAdd("s", "m")
+	c.SRem("s", "m")
+	if c.Exists("a") != true {
+		t.Fatal("queued del applied before Exec")
+	}
+	if !c.Exec() {
+		t.Fatal("Exec failed")
+	}
+	if c.Exists("a") {
+		t.Fatal("queued Del not applied")
+	}
+	if v, ok := c.Get("b"); !ok || v != "2" {
+		t.Fatal("queued SetPX not applied")
+	}
+	if c.SIsMember("s", "m") {
+		t.Fatal("queued SRem not applied after SAdd")
+	}
+}
+
+func TestCommandCountsRoundTrips(t *testing.T) {
+	clock := sim.NewFakeClock(time.Unix(0, 0))
+	s := NewStore(clock, sim.Latency{Clock: clock, RTT: time.Millisecond})
+	c := s.Conn()
+	start := s.Commands()
+	c.SetNX("k", "v") // 1 trip
+	c.Del("k")        // 1 trip
+	if got := s.Commands() - start; got != 2 {
+		t.Fatalf("commands = %d, want 2", got)
+	}
+	if got := clock.Now().Sub(time.Unix(0, 0)); got != 2*time.Millisecond {
+		t.Fatalf("charged %v, want 2ms", got)
+	}
+}
+
+func TestConcurrentSetNXSingleWinner(t *testing.T) {
+	s, _ := newTestStore()
+	const n = 32
+	var wins atomic32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if s.Conn().SetNX("lock", "me") {
+				wins.inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.get() != 1 {
+		t.Fatalf("%d winners, want exactly 1", wins.get())
+	}
+}
+
+type atomic32 struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *atomic32) inc() { a.mu.Lock(); a.n++; a.mu.Unlock() }
+func (a *atomic32) get() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+func TestSetOverwritesTypeAndExpiry(t *testing.T) {
+	s, clock := newTestStore()
+	c := s.Conn()
+	c.SetPX("k", "v", time.Second)
+	c.Set("k", "w") // persistent overwrite drops the TTL
+	clock.Advance(2 * time.Second)
+	if v, ok := c.Get("k"); !ok || v != "w" {
+		t.Fatalf("Get = %q, %v; overwrite should clear TTL", v, ok)
+	}
+	// A set key shadows a string key and Get stops returning it.
+	c.SAdd("k", "m")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("Get on set-typed key succeeded")
+	}
+}

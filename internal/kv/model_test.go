@@ -1,0 +1,133 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"adhoctx/internal/sim"
+)
+
+// TestStoreMatchesModelProperty drives the store with random commands
+// (including TTLs and clock advances) and compares against a naive model.
+func TestStoreMatchesModelProperty(t *testing.T) {
+	type modelEntry struct {
+		str      string
+		set      map[string]bool
+		isSet    bool
+		expireAt time.Time
+	}
+	f := func(seed int64, opsRaw []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clock := sim.NewFakeClock(time.Unix(0, 0))
+		store := NewStore(clock, sim.Latency{})
+		conn := store.Conn()
+		model := map[string]*modelEntry{}
+
+		live := func(k string) *modelEntry {
+			e, ok := model[k]
+			if !ok {
+				return nil
+			}
+			if !e.expireAt.IsZero() && !clock.Now().Before(e.expireAt) {
+				delete(model, k)
+				return nil
+			}
+			return e
+		}
+		keys := []string{"a", "b", "c"}
+		for _, b := range opsRaw {
+			k := keys[rng.Intn(len(keys))]
+			switch b % 8 {
+			case 0: // SET
+				v := fmt.Sprint(rng.Intn(5))
+				conn.Set(k, v)
+				model[k] = &modelEntry{str: v}
+			case 1: // SETNX PX
+				v := fmt.Sprint(rng.Intn(5))
+				ttl := time.Duration(rng.Intn(5)+1) * time.Second
+				got := conn.SetNXPX(k, v, ttl)
+				want := live(k) == nil
+				if got != want {
+					t.Logf("SetNXPX(%s) = %v, model %v", k, got, want)
+					return false
+				}
+				if want {
+					model[k] = &modelEntry{str: v, expireAt: clock.Now().Add(ttl)}
+				}
+			case 2: // DEL
+				got := conn.Del(k)
+				want := live(k) != nil
+				if got != want {
+					t.Logf("Del(%s) = %v, model %v", k, got, want)
+					return false
+				}
+				delete(model, k)
+			case 3: // GET
+				got, ok := conn.Get(k)
+				e := live(k)
+				wantOK := e != nil && !e.isSet
+				if ok != wantOK || (ok && got != e.str) {
+					t.Logf("Get(%s) = %q,%v; model %+v", k, got, ok, e)
+					return false
+				}
+			case 4: // SADD
+				m := fmt.Sprint(rng.Intn(3))
+				conn.SAdd(k, m)
+				e := live(k)
+				if e == nil || !e.isSet {
+					e = &modelEntry{isSet: true, set: map[string]bool{}}
+					model[k] = e
+				}
+				e.set[m] = true
+			case 5: // SREM
+				m := fmt.Sprint(rng.Intn(3))
+				conn.SRem(k, m)
+				if e := live(k); e != nil && e.isSet {
+					delete(e.set, m)
+				}
+			case 6: // advance clock
+				clock.Advance(time.Duration(rng.Intn(3)) * time.Second)
+			case 7: // EXPIRE
+				ttl := time.Duration(rng.Intn(4)+1) * time.Second
+				got := conn.Expire(k, ttl)
+				e := live(k)
+				if got != (e != nil) {
+					t.Logf("Expire(%s) = %v, model %v", k, got, e != nil)
+					return false
+				}
+				if e != nil {
+					e.expireAt = clock.Now().Add(ttl)
+				}
+			}
+			// Invariant: SMEMBERS agrees for every key.
+			for _, kk := range keys {
+				got := conn.SMembers(kk)
+				sort.Strings(got)
+				var want []string
+				if e := live(kk); e != nil && e.isSet {
+					for m := range e.set {
+						want = append(want, m)
+					}
+					sort.Strings(want)
+				}
+				if len(got) != len(want) {
+					t.Logf("SMembers(%s) = %v, model %v", kk, got, want)
+					return false
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

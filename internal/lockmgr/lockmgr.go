@@ -1,0 +1,551 @@
+// Package lockmgr implements the two-phase-locking substrate used by the
+// engine's dialects: shared/exclusive locks with upgrades and FIFO queueing,
+// InnoDB-style gap locks with insert-intention checks, advisory (user) locks,
+// and wait-for-graph deadlock detection with requester-aborts resolution.
+//
+// Everything runs under one manager mutex: the goal is faithful semantics at
+// web-application scale, not multicore lock-manager throughput. Waiters park
+// on buffered channels outside the mutex.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"adhoctx/internal/storage"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// Errors returned from lock waits.
+var (
+	// ErrDeadlock aborts the requester whose wait would close a cycle in
+	// the wait-for graph. The paper leans on this behaviour: concurrent
+	// RMWs under MySQL Serializable deadlock on the S→X upgrade (§3.3.1).
+	ErrDeadlock = errors.New("lockmgr: deadlock detected")
+	// ErrTimeout reports that a wait exceeded the manager's WaitTimeout.
+	ErrTimeout = errors.New("lockmgr: lock wait timeout")
+	// ErrShutdown aborts waiters when the manager is torn down (the
+	// database crashed under the blocked sessions).
+	ErrShutdown = errors.New("lockmgr: manager shut down")
+)
+
+// Owner identifies a lock holder (a transaction or an ad hoc session).
+type Owner struct {
+	ID   uint64
+	Name string
+}
+
+// String implements fmt.Stringer.
+func (o *Owner) String() string {
+	if o.Name != "" {
+		return fmt.Sprintf("%s#%d", o.Name, o.ID)
+	}
+	return fmt.Sprintf("owner#%d", o.ID)
+}
+
+// GapSpace names an index whose key gaps can be locked.
+type GapSpace struct {
+	Table string
+	Col   string
+}
+
+// waiter is one parked lock request.
+type waiter struct {
+	owner   *Owner
+	mode    Mode
+	upgrade bool
+	ch      chan error
+}
+
+// lockState is the runtime state of one lockable key.
+type lockState struct {
+	holders map[*Owner]Mode
+	queue   []*waiter
+}
+
+// gapLock is one held gap: the open interval (Lo, Hi) on a GapSpace. A nil
+// bound is infinite. Gap locks are mutually compatible (as in InnoDB); they
+// conflict only with insert intentions falling inside the interval.
+type gapLock struct {
+	owner  *Owner
+	lo, hi storage.Value
+}
+
+// gapWaiter is a parked insert intention.
+type gapWaiter struct {
+	owner *Owner
+	space GapSpace
+	key   storage.Value
+	ch    chan error
+}
+
+// Manager is the lock manager. The zero value is not usable; call New.
+type Manager struct {
+	// WaitTimeout bounds every lock wait. Zero means wait forever.
+	WaitTimeout time.Duration
+
+	mu         sync.Mutex
+	locks      map[any]*lockState
+	gaps       map[GapSpace][]*gapLock
+	gapWaiters []*gapWaiter
+	held       map[*Owner]map[any]Mode
+	nextOwner  uint64
+}
+
+// New returns an empty manager with the given wait timeout (0 = no timeout).
+func New(timeout time.Duration) *Manager {
+	return &Manager{
+		WaitTimeout: timeout,
+		locks:       make(map[any]*lockState),
+		gaps:        make(map[GapSpace][]*gapLock),
+		held:        make(map[*Owner]map[any]Mode),
+	}
+}
+
+// NewOwner mints a fresh owner.
+func (m *Manager) NewOwner(name string) *Owner {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextOwner++
+	return &Owner{ID: m.nextOwner, Name: name}
+}
+
+// Acquire blocks until o holds key in at least the requested mode, a
+// deadlock aborts the request, or the wait times out. Re-acquiring an
+// already-held key in the same or weaker mode is a no-op; requesting
+// Exclusive while holding Shared performs an upgrade.
+func (m *Manager) Acquire(o *Owner, key any, mode Mode) error {
+	m.mu.Lock()
+	ls := m.lockFor(key)
+	if cur, ok := ls.holders[o]; ok {
+		if cur == Exclusive || mode == Shared {
+			m.mu.Unlock()
+			return nil // already sufficient
+		}
+		// Upgrade S→X.
+		if len(ls.holders) == 1 {
+			ls.holders[o] = Exclusive
+			m.held[o][key] = Exclusive
+			m.mu.Unlock()
+			return nil
+		}
+		w := &waiter{owner: o, mode: Exclusive, upgrade: true, ch: make(chan error, 1)}
+		// Upgrades queue ahead of ordinary waiters.
+		ls.queue = append([]*waiter{w}, ls.queue...)
+		return m.park(o, key, ls, w)
+	}
+	if m.grantable(ls, o, mode) {
+		ls.holders[o] = mode
+		m.noteHeld(o, key, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	w := &waiter{owner: o, mode: mode, ch: make(chan error, 1)}
+	ls.queue = append(ls.queue, w)
+	return m.park(o, key, ls, w)
+}
+
+// TryAcquire attempts a non-blocking acquire and reports whether it was
+// granted. Used by SETNX-style primitives and NOWAIT statements.
+func (m *Manager) TryAcquire(o *Owner, key any, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.lockFor(key)
+	if cur, ok := ls.holders[o]; ok {
+		if cur == Exclusive || mode == Shared {
+			return true
+		}
+		if len(ls.holders) == 1 {
+			ls.holders[o] = Exclusive
+			m.held[o][key] = Exclusive
+			return true
+		}
+		return false
+	}
+	if len(ls.queue) == 0 && m.grantable(ls, o, mode) {
+		ls.holders[o] = mode
+		m.noteHeld(o, key, mode)
+		return true
+	}
+	return false
+}
+
+// park finishes a blocking acquire: it runs deadlock detection, releases the
+// manager mutex, and waits on the waiter's channel. Called with m.mu held;
+// returns with it released.
+func (m *Manager) park(o *Owner, key any, ls *lockState, w *waiter) error {
+	if m.wouldDeadlock(o) {
+		m.removeWaiter(ls, w)
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	timeout := m.WaitTimeout
+	m.mu.Unlock()
+
+	if timeout <= 0 {
+		return <-w.ch
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-w.ch:
+		return err
+	case <-timer.C:
+		m.mu.Lock()
+		// The grant may have raced the timer.
+		select {
+		case err := <-w.ch:
+			m.mu.Unlock()
+			return err
+		default:
+		}
+		m.removeWaiter(ls, w)
+		m.mu.Unlock()
+		return ErrTimeout
+	}
+}
+
+// lockFor returns (creating if needed) the state for key. Caller holds m.mu.
+func (m *Manager) lockFor(key any) *lockState {
+	ls, ok := m.locks[key]
+	if !ok {
+		ls = &lockState{holders: make(map[*Owner]Mode)}
+		m.locks[key] = ls
+	}
+	return ls
+}
+
+func (m *Manager) noteHeld(o *Owner, key any, mode Mode) {
+	hm := m.held[o]
+	if hm == nil {
+		hm = make(map[any]Mode)
+		m.held[o] = hm
+	}
+	hm[key] = mode
+}
+
+// grantable reports whether o could hold key in mode alongside the current
+// holders, ignoring the queue. Caller holds m.mu.
+func (m *Manager) grantable(ls *lockState, o *Owner, mode Mode) bool {
+	for h, hm := range ls.holders {
+		if h == o {
+			continue
+		}
+		if mode == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) removeWaiter(ls *lockState, w *waiter) {
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Release drops o's lock on key (if held) and grants what it can. Early
+// release breaks two-phase locking — which is exactly what the buggy
+// Select-For-Update usage in Spree does (§4.1.1), so the primitive exists.
+func (m *Manager) Release(o *Owner, key any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(o, key)
+}
+
+func (m *Manager) releaseLocked(o *Owner, key any) {
+	ls, ok := m.locks[key]
+	if !ok {
+		return
+	}
+	if _, held := ls.holders[o]; !held {
+		return
+	}
+	delete(ls.holders, o)
+	if hm := m.held[o]; hm != nil {
+		delete(hm, key)
+	}
+	m.grantFrom(key, ls)
+}
+
+// grantFrom admits queued waiters in FIFO order (upgrades live at the head)
+// until an incompatible waiter is reached. Caller holds m.mu.
+func (m *Manager) grantFrom(key any, ls *lockState) {
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		if w.upgrade {
+			if len(ls.holders) == 1 {
+				if _, stillHolds := ls.holders[w.owner]; stillHolds {
+					ls.holders[w.owner] = Exclusive
+					m.noteHeld(w.owner, key, Exclusive)
+					ls.queue = ls.queue[1:]
+					w.ch <- nil
+					continue
+				}
+			}
+			// Upgrader still blocked by other holders.
+			return
+		}
+		if !m.grantable(ls, w.owner, w.mode) {
+			return
+		}
+		ls.holders[w.owner] = w.mode
+		m.noteHeld(w.owner, key, w.mode)
+		ls.queue = ls.queue[1:]
+		w.ch <- nil
+	}
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, key)
+	}
+}
+
+// AcquireGap records a gap lock over the open interval (lo, hi) of space.
+// Gap locks never block (they are mutually compatible); they block later
+// insert intentions inside the interval.
+func (m *Manager) AcquireGap(o *Owner, space GapSpace, lo, hi storage.Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gaps[space] = append(m.gaps[space], &gapLock{owner: o, lo: lo, hi: hi})
+}
+
+// InsertIntent blocks until no other owner holds a gap lock covering key in
+// space. It participates in deadlock detection.
+func (m *Manager) InsertIntent(o *Owner, space GapSpace, key storage.Value) error {
+	m.mu.Lock()
+	if !m.gapConflict(o, space, key) {
+		m.mu.Unlock()
+		return nil
+	}
+	gw := &gapWaiter{owner: o, space: space, key: key, ch: make(chan error, 1)}
+	m.gapWaiters = append(m.gapWaiters, gw)
+	if m.wouldDeadlock(o) {
+		m.removeGapWaiter(gw)
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	timeout := m.WaitTimeout
+	m.mu.Unlock()
+
+	if timeout <= 0 {
+		return <-gw.ch
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-gw.ch:
+		return err
+	case <-timer.C:
+		m.mu.Lock()
+		select {
+		case err := <-gw.ch:
+			m.mu.Unlock()
+			return err
+		default:
+		}
+		m.removeGapWaiter(gw)
+		m.mu.Unlock()
+		return ErrTimeout
+	}
+}
+
+// gapConflict reports whether another owner's gap lock covers key. Caller
+// holds m.mu.
+func (m *Manager) gapConflict(o *Owner, space GapSpace, key storage.Value) bool {
+	for _, g := range m.gaps[space] {
+		if g.owner == o {
+			continue
+		}
+		if inOpenInterval(key, g.lo, g.hi) {
+			return true
+		}
+	}
+	return false
+}
+
+func inOpenInterval(key, lo, hi storage.Value) bool {
+	if lo != nil && storage.Compare(key, lo) <= 0 {
+		return false
+	}
+	if hi != nil && storage.Compare(key, hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+func (m *Manager) removeGapWaiter(gw *gapWaiter) {
+	for i, w := range m.gapWaiters {
+		if w == gw {
+			m.gapWaiters = append(m.gapWaiters[:i], m.gapWaiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReleaseAll drops every lock and gap lock o holds (transaction end) and
+// wakes whatever becomes grantable.
+func (m *Manager) ReleaseAll(o *Owner) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hm := m.held[o]; hm != nil {
+		keys := make([]any, 0, len(hm))
+		for k := range hm {
+			keys = append(keys, k)
+		}
+		for _, k := range keys {
+			m.releaseLocked(o, k)
+		}
+		delete(m.held, o)
+	}
+	for space, gs := range m.gaps {
+		kept := gs[:0]
+		for _, g := range gs {
+			if g.owner != o {
+				kept = append(kept, g)
+			}
+		}
+		if len(kept) == 0 {
+			delete(m.gaps, space)
+		} else {
+			m.gaps[space] = kept
+		}
+	}
+	// Re-evaluate parked insert intentions.
+	still := m.gapWaiters[:0]
+	for _, gw := range m.gapWaiters {
+		if m.gapConflict(gw.owner, gw.space, gw.key) {
+			still = append(still, gw)
+			continue
+		}
+		gw.ch <- nil
+	}
+	m.gapWaiters = still
+}
+
+// Shutdown wakes every parked waiter with ErrShutdown and clears all lock
+// state. The engine calls it when the database crashes: blocked sessions
+// must see a connection error, not hang on locks nobody will ever release.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key, ls := range m.locks {
+		for _, w := range ls.queue {
+			w.ch <- ErrShutdown
+		}
+		ls.queue = nil
+		delete(m.locks, key)
+	}
+	for _, gw := range m.gapWaiters {
+		gw.ch <- ErrShutdown
+	}
+	m.gapWaiters = nil
+	m.gaps = make(map[GapSpace][]*gapLock)
+	m.held = make(map[*Owner]map[any]Mode)
+}
+
+// Held returns the modes of all keys o currently holds (diagnostics, tests,
+// and the analyzer's lock-scope detector).
+func (m *Manager) Held(o *Owner) map[any]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[any]Mode, len(m.held[o]))
+	for k, v := range m.held[o] {
+		out[k] = v
+	}
+	return out
+}
+
+// ---- deadlock detection ----
+
+// wouldDeadlock runs a DFS over the wait-for graph from o, returning true if
+// o can reach itself. Caller holds m.mu. The requester is always the victim:
+// deterministic and sufficient for the study's scenarios.
+func (m *Manager) wouldDeadlock(start *Owner) bool {
+	visited := make(map[*Owner]bool)
+	var dfs func(o *Owner) bool
+	dfs = func(o *Owner) bool {
+		if visited[o] {
+			return false
+		}
+		visited[o] = true
+		for _, next := range m.waitsFor(o) {
+			if next == start {
+				return true
+			}
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// waitsFor returns the owners o is currently blocked on. Caller holds m.mu.
+func (m *Manager) waitsFor(o *Owner) []*Owner {
+	var out []*Owner
+	add := func(other *Owner) {
+		if other == o {
+			return
+		}
+		for _, x := range out {
+			if x == other {
+				return
+			}
+		}
+		out = append(out, other)
+	}
+	for _, ls := range m.locks {
+		for i, w := range ls.queue {
+			if w.owner != o {
+				continue
+			}
+			// Blocked on incompatible holders...
+			for h, hm := range ls.holders {
+				if h == o {
+					continue
+				}
+				if w.mode == Exclusive || hm == Exclusive {
+					add(h)
+				}
+			}
+			// ...and on earlier incompatible waiters (FIFO).
+			for _, e := range ls.queue[:i] {
+				if e.owner != o && (w.mode == Exclusive || e.mode == Exclusive) {
+					add(e.owner)
+				}
+			}
+		}
+	}
+	for _, gw := range m.gapWaiters {
+		if gw.owner != o {
+			continue
+		}
+		for _, g := range m.gaps[gw.space] {
+			if g.owner != o && inOpenInterval(gw.key, g.lo, g.hi) {
+				add(g.owner)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,451 @@
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/storage"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := New(time.Second)
+	a, b := m.NewOwner("a"), m.NewOwner("b")
+	if err := m.Acquire(a, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(b, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Held(a)["k"]; got != Shared {
+		t.Fatalf("a holds %v", got)
+	}
+}
+
+func TestExclusiveBlocksAndFIFO(t *testing.T) {
+	m := New(5 * time.Second)
+	a, b, c := m.NewOwner("a"), m.NewOwner("b"), m.NewOwner("c")
+	if err := m.Acquire(a, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := m.Acquire(b, "k", Exclusive); err != nil {
+			t.Error(err)
+			return
+		}
+		order <- "b"
+		m.ReleaseAll(b)
+	}()
+	time.Sleep(20 * time.Millisecond) // let b queue first
+	go func() {
+		defer wg.Done()
+		if err := m.Acquire(c, "k", Exclusive); err != nil {
+			t.Error(err)
+			return
+		}
+		order <- "c"
+		m.ReleaseAll(c)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(a)
+	wg.Wait()
+	if first, second := <-order, <-order; first != "b" || second != "c" {
+		t.Fatalf("grant order = %s, %s; want b, c", first, second)
+	}
+}
+
+func TestReentrantAndWeakerAcquire(t *testing.T) {
+	m := New(time.Second)
+	a := m.NewOwner("a")
+	if err := m.Acquire(a, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(a, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(a, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Held(a)["k"]; got != Exclusive {
+		t.Fatalf("mode = %v, want X", got)
+	}
+}
+
+func TestSoleHolderUpgrades(t *testing.T) {
+	m := New(time.Second)
+	a := m.NewOwner("a")
+	if err := m.Acquire(a, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(a, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Held(a)["k"]; got != Exclusive {
+		t.Fatalf("mode = %v, want X", got)
+	}
+}
+
+// TestUpgradeDeadlock reproduces the paper's §3.3.1 scenario: two
+// transactions read the same row under Serializable (both take S), then both
+// try to write (upgrade to X). One must abort with a deadlock error.
+func TestUpgradeDeadlock(t *testing.T) {
+	m := New(5 * time.Second)
+	a, b := m.NewOwner("a"), m.NewOwner("b")
+	if err := m.Acquire(a, "sku:1", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(b, "sku:1", Shared); err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, 2)
+	go func() { errs <- m.Acquire(a, "sku:1", Exclusive) }()
+	time.Sleep(30 * time.Millisecond)
+	go func() { errs <- m.Acquire(b, "sku:1", Exclusive) }()
+
+	first := <-errs
+	if !errors.Is(first, ErrDeadlock) {
+		t.Fatalf("first completed wait = %v, want deadlock for the second requester", first)
+	}
+	// The victim releases; the survivor's upgrade must now be granted.
+	m.ReleaseAll(b)
+	select {
+	case err := <-errs:
+		if err != nil {
+			t.Fatalf("survivor upgrade failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("survivor upgrade never granted")
+	}
+	if got := m.Held(a)["sku:1"]; got != Exclusive {
+		t.Fatalf("survivor holds %v", got)
+	}
+}
+
+func TestTwoKeyDeadlock(t *testing.T) {
+	m := New(5 * time.Second)
+	a, b := m.NewOwner("a"), m.NewOwner("b")
+	if err := m.Acquire(a, "k1", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(b, "k2", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(a, "k2", Exclusive) }()
+	time.Sleep(30 * time.Millisecond)
+	err := m.Acquire(b, "k1", Exclusive) // closes the cycle
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("b's acquire = %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll(b)
+	if err := <-done; err != nil {
+		t.Fatalf("a's acquire after victim released: %v", err)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	m := New(time.Second)
+	a, b := m.NewOwner("a"), m.NewOwner("b")
+	if !m.TryAcquire(a, "k", Exclusive) {
+		t.Fatal("first TryAcquire failed")
+	}
+	if m.TryAcquire(b, "k", Shared) {
+		t.Fatal("TryAcquire granted against X holder")
+	}
+	if !m.TryAcquire(a, "k", Exclusive) {
+		t.Fatal("re-entrant TryAcquire failed")
+	}
+	m.ReleaseAll(a)
+	if !m.TryAcquire(b, "k", Shared) {
+		t.Fatal("TryAcquire after release failed")
+	}
+	if !m.TryAcquire(b, "k", Exclusive) {
+		t.Fatal("sole-holder TryAcquire upgrade failed")
+	}
+}
+
+func TestEarlyReleaseBreaksMutualExclusionWindow(t *testing.T) {
+	// This is the primitive misuse in §4.1.1 (Spree's SFU outside a
+	// transaction): releasing before the write-back lets another owner in.
+	m := New(time.Second)
+	a, b := m.NewOwner("a"), m.NewOwner("b")
+	if err := m.Acquire(a, "row", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(a, "row")
+	if err := m.Acquire(b, "row", Exclusive); err != nil {
+		t.Fatalf("b should acquire after early release: %v", err)
+	}
+	if len(m.Held(a)) != 0 {
+		t.Fatalf("a still holds %v", m.Held(a))
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	m := New(50 * time.Millisecond)
+	a, b := m.NewOwner("a"), m.NewOwner("b")
+	if err := m.Acquire(a, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Acquire(b, "k", Exclusive)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// The timed-out waiter must have left the queue: release grants nothing
+	// stale and a fresh acquire succeeds.
+	m.ReleaseAll(a)
+	if err := m.Acquire(b, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGapLockBlocksInsertIntent reproduces the §3.3.2 Payments example: an
+// equality probe for order_id=10 over keys {9,12} gap-locks (9,12); an
+// insert of order_id=11 by another transaction must block, and an insert of
+// 13 must not.
+func TestGapLockBlocksInsertIntent(t *testing.T) {
+	m := New(5 * time.Second)
+	reader, ins1, ins2 := m.NewOwner("rd"), m.NewOwner("in1"), m.NewOwner("in2")
+	space := GapSpace{Table: "payments", Col: "order_id"}
+	m.AcquireGap(reader, space, int64(9), int64(12))
+
+	if err := m.InsertIntent(ins2, space, int64(13)); err != nil {
+		t.Fatalf("insert outside gap blocked: %v", err)
+	}
+
+	blocked := make(chan error, 1)
+	go func() { blocked <- m.InsertIntent(ins1, space, int64(11)) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("insert inside gap returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(reader)
+	if err := <-blocked; err != nil {
+		t.Fatalf("insert after gap release: %v", err)
+	}
+}
+
+func TestGapLocksAreMutuallyCompatible(t *testing.T) {
+	m := New(time.Second)
+	a, b := m.NewOwner("a"), m.NewOwner("b")
+	space := GapSpace{Table: "t", Col: "k"}
+	m.AcquireGap(a, space, int64(0), int64(10))
+	m.AcquireGap(b, space, int64(5), int64(15)) // overlaps; must not block
+	// Own gap does not block own insert.
+	if err := m.InsertIntent(a, space, int64(3)); err != nil {
+		t.Fatalf("own-gap insert blocked: %v", err)
+	}
+	// But b's overlapping gap does block a's insert at 7.
+	done := make(chan error, 1)
+	go func() { done <- m.InsertIntent(a, space, int64(7)) }()
+	select {
+	case err := <-done:
+		t.Fatalf("insert under foreign gap returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(b)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapInfiniteBounds(t *testing.T) {
+	m := New(time.Second)
+	a, b := m.NewOwner("a"), m.NewOwner("b")
+	space := GapSpace{Table: "t", Col: "k"}
+	m.AcquireGap(a, space, int64(100), nil) // (100, +inf): the "latest orders" hot gap
+	done := make(chan error, 1)
+	go func() { done <- m.InsertIntent(b, space, int64(1000)) }()
+	select {
+	case err := <-done:
+		t.Fatalf("insert under open gap returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := m.InsertIntent(b, space, int64(50)); err != nil {
+		t.Fatalf("insert below gap blocked: %v", err)
+	}
+	m.ReleaseAll(a)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGapInsertDeadlock: two transactions gap-lock the same interval then
+// both try to insert into it — the classic InnoDB insert deadlock.
+func TestGapInsertDeadlock(t *testing.T) {
+	m := New(5 * time.Second)
+	a, b := m.NewOwner("a"), m.NewOwner("b")
+	space := GapSpace{Table: "t", Col: "k"}
+	m.AcquireGap(a, space, int64(0), int64(10))
+	m.AcquireGap(b, space, int64(0), int64(10))
+
+	done := make(chan error, 1)
+	go func() { done <- m.InsertIntent(a, space, int64(5)) }()
+	time.Sleep(30 * time.Millisecond)
+	err := m.InsertIntent(b, space, int64(6))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("second insert = %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll(b)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseAllWakesSharedBatch(t *testing.T) {
+	m := New(5 * time.Second)
+	w := m.NewOwner("writer")
+	if err := m.Acquire(w, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	const readers = 4
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := m.NewOwner("r")
+			if err := m.Acquire(o, "k", Shared); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	m.ReleaseAll(w)
+	waitDone(t, &wg, 2*time.Second, "shared batch grant")
+}
+
+func waitDone(t *testing.T, wg *sync.WaitGroup, d time.Duration, what string) {
+	t.Helper()
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	select {
+	case <-ch:
+	case <-time.After(d):
+		t.Fatalf("timeout waiting for %s", what)
+	}
+}
+
+// TestNoTwoExclusiveHoldersStress hammers one key from many goroutines and
+// asserts the core 2PL invariant with a critical-section counter.
+func TestNoTwoExclusiveHoldersStress(t *testing.T) {
+	m := New(10 * time.Second)
+	var inCS int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := m.NewOwner("w")
+			for j := 0; j < 40; j++ {
+				if err := m.Acquire(o, "hot", Exclusive); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				mu.Lock()
+				inCS++
+				if inCS != 1 {
+					t.Errorf("mutual exclusion violated: %d in critical section", inCS)
+				}
+				inCS--
+				mu.Unlock()
+				m.ReleaseAll(o)
+			}
+		}()
+	}
+	waitDone(t, &wg, 30*time.Second, "stress")
+}
+
+// TestShutdownWakesWaiters: blocked acquirers and insert intents get
+// ErrShutdown immediately when the manager is torn down.
+func TestShutdownWakesWaiters(t *testing.T) {
+	m := New(30 * time.Second)
+	holder := m.NewOwner("holder")
+	if err := m.Acquire(holder, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	space := GapSpace{Table: "t", Col: "c"}
+	m.AcquireGap(holder, space, int64(0), int64(10))
+
+	errs := make(chan error, 2)
+	go func() { errs <- m.Acquire(m.NewOwner("w"), "k", Exclusive) }()
+	go func() { errs <- m.InsertIntent(m.NewOwner("i"), space, int64(5)) }()
+	time.Sleep(30 * time.Millisecond)
+
+	m.Shutdown()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrShutdown) {
+				t.Fatalf("waiter err = %v, want ErrShutdown", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("waiter not woken by Shutdown")
+		}
+	}
+	// The manager is reusable afterwards (the engine swaps in a fresh one,
+	// but the old one must at least not wedge).
+	o := m.NewOwner("fresh")
+	if err := m.Acquire(o, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeldSnapshotIsCopy(t *testing.T) {
+	m := New(time.Second)
+	a := m.NewOwner("a")
+	if err := m.Acquire(a, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Held(a)
+	delete(snap, "k")
+	if got := m.Held(a); len(got) != 1 {
+		t.Fatal("Held returned internal map")
+	}
+}
+
+func TestOwnerString(t *testing.T) {
+	m := New(0)
+	a := m.NewOwner("txn")
+	if a.String() == "" {
+		t.Fatal("empty owner string")
+	}
+	anon := &Owner{ID: 7}
+	if anon.String() == "" {
+		t.Fatal("empty anon owner string")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestInOpenInterval(t *testing.T) {
+	cases := []struct {
+		key, lo, hi storage.Value
+		want        bool
+	}{
+		{int64(5), int64(0), int64(10), true},
+		{int64(0), int64(0), int64(10), false},
+		{int64(10), int64(0), int64(10), false},
+		{int64(5), nil, int64(10), true},
+		{int64(5), int64(0), nil, true},
+		{int64(5), nil, nil, true},
+	}
+	for _, c := range cases {
+		if got := inOpenInterval(c.key, c.lo, c.hi); got != c.want {
+			t.Errorf("inOpenInterval(%v, %v, %v) = %v, want %v", c.key, c.lo, c.hi, got, c.want)
+		}
+	}
+}

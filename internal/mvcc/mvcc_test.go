@@ -1,0 +1,182 @@
+package mvcc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adhoctx/internal/storage"
+)
+
+func row(vals ...storage.Value) storage.Row { return storage.Row(vals) }
+
+func TestVisibilityBasics(t *testing.T) {
+	c := NewChain(row(int64(1), "v1"), 10, 5)
+
+	// Older snapshot (before csn 5) sees nothing.
+	if got := c.Visible(Snapshot{AsOf: 4, Self: 99}); got != nil {
+		t.Fatalf("pre-commit snapshot saw %v", got)
+	}
+	// At or after csn 5 sees v1.
+	if got := c.Visible(Snapshot{AsOf: 5, Self: 99}); got == nil || got[1] != "v1" {
+		t.Fatalf("snapshot at 5 saw %v", got)
+	}
+}
+
+func TestOwnWritesVisibleUncommitted(t *testing.T) {
+	c := NewChain(row(int64(1), "v1"), 10, 5)
+	c.Prepend(row(int64(1), "v2"), false, 42)
+
+	// Writer sees its own uncommitted version.
+	if got := c.Visible(Snapshot{AsOf: 5, Self: 42}); got == nil || got[1] != "v2" {
+		t.Fatalf("writer saw %v", got)
+	}
+	// Others still see v1.
+	if got := c.Visible(Snapshot{AsOf: 5, Self: 7}); got == nil || got[1] != "v1" {
+		t.Fatalf("reader saw %v", got)
+	}
+}
+
+func TestCommitStampsVersions(t *testing.T) {
+	c := NewChain(row(int64(1), "v1"), 10, 5)
+	c.Prepend(row(int64(1), "v2"), false, 42)
+	c.Commit(42, 9)
+
+	if got := c.Visible(Snapshot{AsOf: 9, Self: 7}); got == nil || got[1] != "v2" {
+		t.Fatalf("post-commit reader saw %v", got)
+	}
+	if got := c.Visible(Snapshot{AsOf: 8, Self: 7}); got == nil || got[1] != "v1" {
+		t.Fatalf("older snapshot saw %v", got)
+	}
+}
+
+func TestRollbackRestoresPriorVersion(t *testing.T) {
+	c := NewChain(row(int64(1), "v1"), 10, 5)
+	c.Prepend(row(int64(1), "v2"), false, 42)
+	if empty := c.Rollback(42); empty {
+		t.Fatal("rollback reported empty chain")
+	}
+	if got := c.Visible(Snapshot{AsOf: 100, Self: 42}); got == nil || got[1] != "v1" {
+		t.Fatalf("after rollback saw %v", got)
+	}
+}
+
+func TestRollbackOnePopsSingleVersion(t *testing.T) {
+	c := NewChain(row(int64(1), "v1"), 10, 5)
+	c.Prepend(row(int64(1), "v2"), false, 42)
+	c.Prepend(row(int64(1), "v3"), false, 42)
+	if empty := c.RollbackOne(42); empty {
+		t.Fatal("chain reported empty")
+	}
+	// Only v3 is gone; the writer still sees its v2.
+	if got := c.Visible(Snapshot{AsOf: 5, Self: 42}); got == nil || got[1] != "v2" {
+		t.Fatalf("after RollbackOne saw %v", got)
+	}
+	// RollbackOne on a committed head is a no-op.
+	c.Commit(42, 9)
+	if empty := c.RollbackOne(42); empty {
+		t.Fatal("committed chain reported empty")
+	}
+	if got := c.Visible(Snapshot{AsOf: 9, Self: 7}); got == nil || got[1] != "v2" {
+		t.Fatalf("committed head disturbed: %v", got)
+	}
+}
+
+func TestRollbackFreshInsertEmptiesChain(t *testing.T) {
+	c := &Chain{}
+	c.Prepend(row(int64(1), "v1"), false, 42)
+	if empty := c.Rollback(42); !empty {
+		t.Fatal("rollback of sole uncommitted insert should empty the chain")
+	}
+	if c.Head() != nil {
+		t.Fatal("head not nil after emptying rollback")
+	}
+}
+
+func TestTombstoneVisibility(t *testing.T) {
+	c := NewChain(row(int64(1), "v1"), 10, 5)
+	c.Prepend(nil, true, 42)
+	c.Commit(42, 9)
+
+	if got := c.Visible(Snapshot{AsOf: 9, Self: 7}); got != nil {
+		t.Fatalf("deleted row visible: %v", got)
+	}
+	if got := c.Visible(Snapshot{AsOf: 8, Self: 7}); got == nil {
+		t.Fatal("old snapshot should still see the row")
+	}
+	v := c.VisibleVersion(Snapshot{AsOf: 9, Self: 7})
+	if v == nil || !v.Deleted {
+		t.Fatalf("VisibleVersion should surface the tombstone, got %+v", v)
+	}
+}
+
+func TestFirstCommitterWinsConflict(t *testing.T) {
+	c := NewChain(row(int64(1), "v1"), 10, 5)
+
+	snap := Snapshot{AsOf: 5, Self: 100} // taken before the concurrent commit
+	c.Prepend(row(int64(1), "v2"), false, 200)
+	c.Commit(200, 8)
+
+	if !c.ConflictsWith(snap) {
+		t.Fatal("concurrent committed write should conflict with the old snapshot")
+	}
+	if c.ConflictsWith(Snapshot{AsOf: 8, Self: 100}) {
+		t.Fatal("snapshot taken after the commit should not conflict")
+	}
+	// A transaction never conflicts with its own committed write.
+	if c.ConflictsWith(Snapshot{AsOf: 5, Self: 200}) {
+		t.Fatal("writer conflicts with itself")
+	}
+}
+
+func TestPrependPanicsOnWriteWriteRace(t *testing.T) {
+	c := NewChain(row(int64(1), "v1"), 10, 5)
+	c.Prepend(row(int64(1), "v2"), false, 42)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second uncommitted writer did not panic")
+		}
+	}()
+	c.Prepend(row(int64(1), "v3"), false, 43)
+}
+
+func TestLatestCommittedSkipsUncommitted(t *testing.T) {
+	c := NewChain(row(int64(1), "v1"), 10, 5)
+	c.Prepend(row(int64(1), "v2"), false, 42)
+	lc := c.LatestCommitted()
+	if lc == nil || lc.Row[1] != "v1" {
+		t.Fatalf("LatestCommitted = %+v", lc)
+	}
+	if c.Depth() != 2 {
+		t.Fatalf("Depth = %d", c.Depth())
+	}
+}
+
+// TestVisibilityMonotoneProperty: raising AsOf never makes a previously
+// visible row invisible (until a tombstone commits), and the visible version
+// is always the newest one with CSN ≤ AsOf.
+func TestVisibilityMonotoneProperty(t *testing.T) {
+	f := func(nWrites uint8) bool {
+		n := int(nWrites%10) + 1
+		c := NewChain(row(int64(0)), 1, 1)
+		// Commit n sequential updates at CSNs 2..n+1.
+		for i := 0; i < n; i++ {
+			txn := uint64(100 + i)
+			c.Prepend(row(int64(i+1)), false, txn)
+			c.Commit(txn, uint64(i+2))
+		}
+		for asOf := uint64(1); asOf <= uint64(n+1); asOf++ {
+			got := c.Visible(Snapshot{AsOf: asOf, Self: 9999})
+			if got == nil {
+				return false
+			}
+			want := int64(asOf - 1)
+			if got[0] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,341 @@
+package occkit
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/orm"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+type Post struct {
+	ID      int64  `db:"id"`
+	Content string `db:"content"`
+	Views   int64  `db:"views"`
+}
+
+func newReg(t *testing.T) *orm.Registry {
+	t.Helper()
+	eng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 5 * time.Second})
+	reg := orm.NewRegistry(eng, sim.NewFakeClock(time.Unix(0, 0)))
+	reg.Register("posts", &Post{})
+	return reg
+}
+
+func seedPost(t *testing.T, reg *orm.Registry, content string) *Post {
+	t.Helper()
+	p := &Post{Content: content}
+	if err := reg.Session().Save(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOptTxnCommitApplies(t *testing.T) {
+	reg := newReg(t)
+	p := seedPost(t, reg, "v1")
+
+	o := Begin(reg)
+	var got Post
+	ok, err := o.Find(&got, p.ID)
+	if err != nil || !ok {
+		t.Fatalf("Find: %v %v", ok, err)
+	}
+	got.Content = "v2"
+	o.Save(&got)
+	if err := o.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var check Post
+	if _, err := reg.Session().Find(&check, p.ID); err != nil {
+		t.Fatal(err)
+	}
+	if check.Content != "v2" {
+		t.Fatalf("content = %q", check.Content)
+	}
+}
+
+func TestOptTxnConflictOnChangedRead(t *testing.T) {
+	reg := newReg(t)
+	p := seedPost(t, reg, "v1")
+
+	o := Begin(reg)
+	var mine Post
+	if _, err := o.Find(&mine, p.ID); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent writer commits between read and commit.
+	var theirs Post
+	if _, err := reg.Session().Find(&theirs, p.ID); err != nil {
+		t.Fatal(err)
+	}
+	theirs.Content = "theirs"
+	if err := reg.Session().Save(&theirs); err != nil {
+		t.Fatal(err)
+	}
+
+	mine.Content = "mine"
+	o.Save(&mine)
+	err := o.Commit()
+	if !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("commit = %v, want conflict", err)
+	}
+	// Their write survives.
+	var check Post
+	if _, err := reg.Session().Find(&check, p.ID); err != nil {
+		t.Fatal(err)
+	}
+	if check.Content != "theirs" {
+		t.Fatalf("content = %q", check.Content)
+	}
+}
+
+func TestOptTxnValidatesAbsence(t *testing.T) {
+	reg := newReg(t)
+	o := Begin(reg)
+	var missing Post
+	ok, err := o.Find(&missing, 77)
+	if err != nil || ok {
+		t.Fatalf("Find(missing) = %v %v", ok, err)
+	}
+	// A concurrent insert at id 77 invalidates the absence read.
+	if err := reg.Engine().Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		_, err := tx.Insert("posts", map[string]any{"id": int64(77), "content": "sniped", "views": int64(0)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	o.Save(&Post{Content: "new"})
+	if err := o.Commit(); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("commit = %v, want conflict on changed absence", err)
+	}
+}
+
+func TestOptTxnDelete(t *testing.T) {
+	reg := newReg(t)
+	p := seedPost(t, reg, "bye")
+	o := Begin(reg)
+	var got Post
+	if _, err := o.Find(&got, p.ID); err != nil {
+		t.Fatal(err)
+	}
+	o.Delete(&got)
+	if err := o.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var check Post
+	ok, err := reg.Session().Find(&check, p.ID)
+	if err != nil || ok {
+		t.Fatalf("deleted row: %v %v", ok, err)
+	}
+}
+
+func TestOptTxnSingleUse(t *testing.T) {
+	reg := newReg(t)
+	o := Begin(reg)
+	if err := o.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Commit(); err == nil {
+		t.Fatal("double commit accepted")
+	}
+	var p Post
+	if _, err := o.Find(&p, 1); err == nil {
+		t.Fatal("Find after commit accepted")
+	}
+	o2 := Begin(reg)
+	o2.Abort()
+	if err := o2.Commit(); err == nil {
+		t.Fatal("commit after abort accepted")
+	}
+}
+
+// TestOptTxnConcurrentIncrements: the declared-OCC retry loop conserves all
+// updates under contention.
+func TestOptTxnConcurrentIncrements(t *testing.T) {
+	reg := newReg(t)
+	p := seedPost(t, reg, "ctr")
+
+	const workers, iters = 6, 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := core.RetryOptimistic(1000, func() error {
+					o := Begin(reg)
+					var post Post
+					if _, err := o.Find(&post, p.ID); err != nil {
+						return err
+					}
+					post.Views++
+					o.Save(&post)
+					return o.Commit()
+				})
+				if err != nil {
+					t.Errorf("increment: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var final Post
+	if _, err := reg.Session().Find(&final, p.ID); err != nil {
+		t.Fatal(err)
+	}
+	if final.Views != workers*iters {
+		t.Fatalf("views = %d, want %d", final.Views, workers*iters)
+	}
+}
+
+// TestFindWherePhantomDetection: predicate reads validate the whole result
+// set, so a row appearing under the predicate after the read dooms the
+// commit — the add-payment "is there a payment yet?" pattern without gap
+// locks or hand-rolled predicate locks.
+func TestFindWherePhantomDetection(t *testing.T) {
+	reg := newReg(t)
+	seedPost(t, reg, "a")
+	seedPost(t, reg, "b")
+
+	o := Begin(reg)
+	var posts []Post
+	if err := o.FindWhere(&posts, storage.Eq{Col: "views", Val: int64(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 2 {
+		t.Fatalf("query returned %d posts", len(posts))
+	}
+	// A phantom appears under the predicate.
+	seedPost(t, reg, "c")
+
+	o.Save(&Post{Content: "dependent decision"})
+	if err := o.Commit(); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("commit = %v, want conflict on phantom", err)
+	}
+
+	// Without interference, the same flow commits.
+	o2 := Begin(reg)
+	var again []Post
+	if err := o2.FindWhere(&again, storage.Eq{Col: "views", Val: int64(0)}); err != nil {
+		t.Fatal(err)
+	}
+	o2.Save(&Post{Content: "ok"})
+	if err := o2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFindWhereEmptyResultTracked: reading an empty result set is a read
+// too — exactly the Spree add-payment absence check.
+func TestFindWhereEmptyResultTracked(t *testing.T) {
+	reg := newReg(t)
+	o := Begin(reg)
+	var posts []Post
+	if err := o.FindWhere(&posts, storage.Eq{Col: "content", Val: "nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 0 {
+		t.Fatalf("%d posts", len(posts))
+	}
+	seedPostContent(t, reg, "nope")
+	o.Save(&Post{Content: "decided on absence"})
+	if err := o.Commit(); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("commit = %v, want conflict on appeared row", err)
+	}
+}
+
+func seedPostContent(t *testing.T, reg *orm.Registry, content string) {
+	t.Helper()
+	p := &Post{Content: content}
+	if err := reg.Session().Save(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindWhereBadDest(t *testing.T) {
+	reg := newReg(t)
+	o := Begin(reg)
+	var notSlice Post
+	if err := o.FindWhere(&notSlice, storage.All{}); err == nil {
+		t.Fatal("non-slice dest accepted")
+	}
+	o.Abort()
+	var posts []Post
+	if err := o.FindWhere(&posts, storage.All{}); err == nil {
+		t.Fatal("FindWhere after abort accepted")
+	}
+}
+
+// TestContinuationAcrossRequests models §3.1.2: request 1 reads and parks
+// the transaction; request 2 restores, edits, and commits — detecting
+// interleaved edits.
+func TestContinuationAcrossRequests(t *testing.T) {
+	reg := newReg(t)
+	p := seedPost(t, reg, "draft")
+	cs := NewContinuationStore()
+
+	// Request 1: read for editing, park.
+	o := Begin(reg)
+	var editing Post
+	if _, err := o.Find(&editing, p.ID); err != nil {
+		t.Fatal(err)
+	}
+	tid := cs.Save(o)
+	if cs.Len() != 1 {
+		t.Fatalf("store len = %d", cs.Len())
+	}
+
+	// Request 2: restore and commit the edit.
+	restored, ok := cs.Restore(tid)
+	if !ok {
+		t.Fatal("continuation lost")
+	}
+	editing.Content = "edited"
+	restored.Save(&editing)
+	if err := restored.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tokens are single-use.
+	if _, ok := cs.Restore(tid); ok {
+		t.Fatal("token reusable")
+	}
+}
+
+func TestContinuationDetectsInterleavedEdit(t *testing.T) {
+	reg := newReg(t)
+	p := seedPost(t, reg, "draft")
+	cs := NewContinuationStore()
+
+	o := Begin(reg)
+	var editing Post
+	if _, err := o.Find(&editing, p.ID); err != nil {
+		t.Fatal(err)
+	}
+	tid := cs.Save(o)
+
+	// Another user edits while the first user's edit session is parked.
+	var other Post
+	if _, err := reg.Session().Find(&other, p.ID); err != nil {
+		t.Fatal(err)
+	}
+	other.Content = "their edit"
+	if err := reg.Session().Save(&other); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, _ := cs.Restore(tid)
+	editing.Content = "my edit"
+	restored.Save(&editing)
+	if err := restored.Commit(); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("parked edit over changed post = %v, want conflict", err)
+	}
+}

@@ -1,0 +1,302 @@
+// Package orm implements the object-relational mapping layer the studied
+// applications issue their database operations through: struct↔row mapping,
+// Find/Where/Save/Delete, ORM-generated side statements (cascading
+// updated_at touches — the hidden statements of §3.1.1), invariant
+// validations (the "feral concurrency control" of Bailis et al.), and
+// Active Record–style lock_version optimistic locking (§3.2.2).
+package orm
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"time"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+// Errors reported by the ORM.
+var (
+	// ErrStaleObject is Active Record's StaleObjectError: the row's
+	// lock_version moved underneath an optimistic save.
+	ErrStaleObject = errors.New("orm: stale object (lock_version conflict)")
+	// ErrValidation reports a failed invariant validation.
+	ErrValidation = errors.New("orm: validation failed")
+	// ErrNotRegistered reports use of an unregistered model type.
+	ErrNotRegistered = errors.New("orm: model type not registered")
+	// ErrNotFound is returned by MustFind-style helpers.
+	ErrNotFound = errors.New("orm: record not found")
+)
+
+// Registry maps Go struct types to tables. Create with NewRegistry, register
+// every model at boot, then open Sessions.
+type Registry struct {
+	eng    *engine.Engine
+	clock  sim.Clock
+	models map[reflect.Type]*Meta
+}
+
+// NewRegistry creates a registry bound to an engine. clock stamps
+// created_at/updated_at columns; nil means wall clock.
+func NewRegistry(eng *engine.Engine, clock sim.Clock) *Registry {
+	if clock == nil {
+		clock = sim.RealClock{}
+	}
+	return &Registry{eng: eng, clock: clock, models: make(map[reflect.Type]*Meta)}
+}
+
+// Engine returns the backing engine.
+func (r *Registry) Engine() *engine.Engine { return r.eng }
+
+// fieldMeta maps one struct field to a column.
+type fieldMeta struct {
+	idx      int
+	col      string
+	typ      storage.ColType
+	nullable bool // pointer-typed struct field
+}
+
+// Meta describes one registered model.
+type Meta struct {
+	Table  string
+	Type   reflect.Type
+	Schema *storage.Schema
+
+	fields     []fieldMeta // excludes id
+	idIdx      int
+	lockVerCol string // "" when the model has no lock_version column
+	lockVerIdx int
+	createdIdx int // -1 when absent
+	updatedIdx int
+
+	validations []Validation
+	touches     []TouchSpec
+	indexes     []string
+}
+
+// TouchSpec declares an ORM-generated parent touch: saving the child updates
+// the parent row's updated_at. Hook, when set, runs extra generated
+// statements inside the same save transaction (e.g. Spree's
+// product→categories join-table cascade).
+type TouchSpec struct {
+	ParentTable string
+	FKColumn    string
+	Hook        func(txn *engine.Txn, childID int64, parentID int64) error
+}
+
+// Option configures model registration.
+type Option func(*Meta)
+
+// WithValidation appends an invariant validation.
+func WithValidation(v Validation) Option {
+	return func(m *Meta) { m.validations = append(m.validations, v) }
+}
+
+// WithTouch appends a parent touch cascade.
+func WithTouch(t TouchSpec) Option {
+	return func(m *Meta) { m.touches = append(m.touches, t) }
+}
+
+// WithIndex adds a secondary index on the named column.
+func WithIndex(col string) Option {
+	return func(m *Meta) { m.indexes = append(m.indexes, col) }
+}
+
+// Register maps a struct type (passed as a pointer to its zero value) to a
+// table and creates the table on the engine. Field mapping uses `db:"col"`
+// tags; untagged exported fields are skipped. A field tagged db:"id" (or
+// named ID of type int64) is the primary key. A column named lock_version
+// enables optimistic locking; created_at/updated_at are auto-stamped.
+func (r *Registry) Register(table string, proto any, opts ...Option) *Meta {
+	t := reflect.TypeOf(proto)
+	if t.Kind() != reflect.Ptr || t.Elem().Kind() != reflect.Struct {
+		panic("orm: Register needs a pointer to struct")
+	}
+	st := t.Elem()
+	m := &Meta{Table: table, Type: st, idIdx: -1, createdIdx: -1, updatedIdx: -1, lockVerIdx: -1}
+
+	var cols []storage.Column
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		col := f.Tag.Get("db")
+		if col == "" {
+			if f.Name == "ID" && f.Type.Kind() == reflect.Int64 {
+				col = "id"
+			} else {
+				continue
+			}
+		}
+		if col == "id" {
+			if f.Type.Kind() != reflect.Int64 {
+				panic(fmt.Sprintf("orm: %s.%s: id must be int64", st.Name(), f.Name))
+			}
+			m.idIdx = i
+			continue
+		}
+		ft := f.Type
+		nullable := false
+		if ft.Kind() == reflect.Ptr {
+			ft = ft.Elem()
+			nullable = true
+		}
+		ct, ok := goTypeToCol(ft)
+		if !ok {
+			panic(fmt.Sprintf("orm: %s.%s: unsupported field type %v", st.Name(), f.Name, f.Type))
+		}
+		m.fields = append(m.fields, fieldMeta{idx: i, col: col, typ: ct, nullable: nullable})
+		cols = append(cols, storage.Column{Name: col, Type: ct, Nullable: nullable})
+		switch col {
+		case "lock_version":
+			m.lockVerCol = col
+			m.lockVerIdx = i
+		case "created_at":
+			m.createdIdx = i
+		case "updated_at":
+			m.updatedIdx = i
+		}
+	}
+	if m.idIdx < 0 {
+		panic(fmt.Sprintf("orm: %s has no id field", st.Name()))
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	m.Schema = storage.NewSchema(table, cols...)
+	r.eng.CreateTable(m.Schema, m.indexes...)
+	r.models[st] = m
+	return m
+}
+
+func goTypeToCol(t reflect.Type) (storage.ColType, bool) {
+	switch t.Kind() {
+	case reflect.Int64:
+		return storage.TInt, true
+	case reflect.Float64:
+		return storage.TFloat, true
+	case reflect.String:
+		return storage.TString, true
+	case reflect.Bool:
+		return storage.TBool, true
+	case reflect.Struct:
+		if t == reflect.TypeOf(time.Time{}) {
+			return storage.TTime, true
+		}
+	}
+	return 0, false
+}
+
+// metaOf resolves the Meta for a model pointer.
+func (r *Registry) metaOf(obj any) (*Meta, reflect.Value, error) {
+	v := reflect.ValueOf(obj)
+	if v.Kind() != reflect.Ptr || v.Elem().Kind() != reflect.Struct {
+		return nil, reflect.Value{}, fmt.Errorf("orm: need pointer to struct, got %T", obj)
+	}
+	m, ok := r.models[v.Elem().Type()]
+	if !ok {
+		return nil, reflect.Value{}, fmt.Errorf("%w: %T", ErrNotRegistered, obj)
+	}
+	return m, v.Elem(), nil
+}
+
+// toValues converts a struct value to column values (excluding id).
+func (m *Meta) toValues(sv reflect.Value) map[string]storage.Value {
+	out := make(map[string]storage.Value, len(m.fields))
+	for _, f := range m.fields {
+		fv := sv.Field(f.idx)
+		if f.nullable {
+			if fv.IsNil() {
+				out[f.col] = nil
+				continue
+			}
+			fv = fv.Elem()
+		}
+		out[f.col] = reflectToValue(fv, f.typ)
+	}
+	return out
+}
+
+func reflectToValue(fv reflect.Value, t storage.ColType) storage.Value {
+	switch t {
+	case storage.TInt:
+		return fv.Int()
+	case storage.TFloat:
+		return fv.Float()
+	case storage.TString:
+		return fv.String()
+	case storage.TBool:
+		return fv.Bool()
+	case storage.TTime:
+		return fv.Interface().(time.Time)
+	default:
+		panic("orm: unhandled column type")
+	}
+}
+
+// fromRow populates a struct value from a row.
+func (m *Meta) fromRow(row storage.Row, sv reflect.Value) {
+	sv.Field(m.idIdx).SetInt(row.PK())
+	for _, f := range m.fields {
+		raw := row.Get(m.Schema, f.col)
+		fv := sv.Field(f.idx)
+		if f.nullable {
+			if raw == nil {
+				fv.Set(reflect.Zero(fv.Type()))
+				continue
+			}
+			p := reflect.New(fv.Type().Elem())
+			setScalar(p.Elem(), raw, f.typ)
+			fv.Set(p)
+			continue
+		}
+		setScalar(fv, raw, f.typ)
+	}
+}
+
+func setScalar(fv reflect.Value, raw storage.Value, t storage.ColType) {
+	switch t {
+	case storage.TInt:
+		fv.SetInt(raw.(int64))
+	case storage.TFloat:
+		fv.SetFloat(raw.(float64))
+	case storage.TString:
+		fv.SetString(raw.(string))
+	case storage.TBool:
+		fv.SetBool(raw.(bool))
+	case storage.TTime:
+		fv.Set(reflect.ValueOf(raw.(time.Time)))
+	}
+}
+
+// id reads the primary key of a model value.
+func (m *Meta) id(sv reflect.Value) int64 { return sv.Field(m.idIdx).Int() }
+
+// MetaFor returns the Meta of a registered model pointer. Layered tooling
+// (internal/occkit's declared optimistic transactions) uses it to reach the
+// table mapping without going through a Session.
+func (r *Registry) MetaFor(obj any) (*Meta, error) {
+	m, _, err := r.metaOf(obj)
+	return m, err
+}
+
+// Load populates a registered model pointer from a raw row.
+func (m *Meta) Load(row storage.Row, dest any) {
+	m.fromRow(row, reflect.ValueOf(dest).Elem())
+}
+
+// LoadSlice populates dest (a pointer to a slice of the model type) from
+// raw rows.
+func (m *Meta) LoadSlice(rows []storage.Row, dest any) {
+	dv := reflect.ValueOf(dest).Elem()
+	out := reflect.MakeSlice(dv.Type(), len(rows), len(rows))
+	for i, row := range rows {
+		m.fromRow(row, out.Index(i))
+	}
+	dv.Set(out)
+}
+
+// IDOf returns the primary key of a registered model pointer.
+func (m *Meta) IDOf(obj any) int64 {
+	return m.id(reflect.ValueOf(obj).Elem())
+}

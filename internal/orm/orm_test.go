@@ -1,0 +1,502 @@
+package orm
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+// Test models mirroring the Spree example of §3.1.1.
+
+type Product struct {
+	ID        int64     `db:"id"`
+	Name      string    `db:"name"`
+	UpdatedAt time.Time `db:"updated_at"`
+}
+
+type SKU struct {
+	ID        int64 `db:"id"`
+	ProductID int64 `db:"product_id"`
+	Quantity  int64 `db:"quantity"`
+	UpdatedAt time.Time
+	Note      *string `db:"note"`
+}
+
+type Poll struct {
+	ID          int64  `db:"id"`
+	Tallies     string `db:"tallies"`
+	LockVersion int64  `db:"lock_version"`
+}
+
+type Account struct {
+	ID    int64  `db:"id"`
+	Email string `db:"email"`
+}
+
+func newTestRegistry(t *testing.T) (*Registry, *sim.FakeClock) {
+	t.Helper()
+	clock := sim.NewFakeClock(time.Date(2022, 6, 12, 0, 0, 0, 0, time.UTC))
+	eng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 5 * time.Second})
+	reg := NewRegistry(eng, clock)
+	reg.Register("products", &Product{})
+	reg.Register("skus", &SKU{},
+		WithIndex("product_id"),
+		WithTouch(TouchSpec{ParentTable: "products", FKColumn: "product_id"}),
+		WithValidation(Min{Col: "quantity", Min: 0}),
+	)
+	reg.Register("polls", &Poll{})
+	reg.Register("accounts", &Account{}, WithIndex("email"), WithValidation(Unique{Col: "email"}), WithValidation(Presence{Col: "email"}))
+	return reg, clock
+}
+
+func TestSaveInsertAndFind(t *testing.T) {
+	reg, _ := newTestRegistry(t)
+	s := reg.Session()
+
+	p := &Product{Name: "widget"}
+	if err := s.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.ID == 0 {
+		t.Fatal("insert did not assign id")
+	}
+
+	var got Product
+	ok, err := s.Find(&got, p.ID)
+	if err != nil || !ok {
+		t.Fatalf("Find: %v, %v", ok, err)
+	}
+	if got.Name != "widget" {
+		t.Fatalf("Name = %q", got.Name)
+	}
+
+	ok, err = s.Find(&got, 999)
+	if err != nil || ok {
+		t.Fatalf("Find(missing) = %v, %v", ok, err)
+	}
+}
+
+func TestSaveUpdate(t *testing.T) {
+	reg, _ := newTestRegistry(t)
+	s := reg.Session()
+	p := &Product{Name: "widget"}
+	if err := s.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	p.Name = "gadget"
+	if err := s.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	var got Product
+	if _, err := s.Find(&got, p.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "gadget" {
+		t.Fatalf("Name = %q", got.Name)
+	}
+}
+
+func TestNullableFields(t *testing.T) {
+	reg, _ := newTestRegistry(t)
+	s := reg.Session()
+	p := &Product{Name: "p"}
+	if err := s.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	sku := &SKU{ProductID: p.ID, Quantity: 5}
+	if err := s.Save(sku); err != nil {
+		t.Fatal(err)
+	}
+	var got SKU
+	if _, err := s.Find(&got, sku.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != nil {
+		t.Fatalf("Note = %v, want nil", got.Note)
+	}
+	note := "fragile"
+	got.Note = &note
+	if err := s.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	var again SKU
+	if _, err := s.Find(&again, sku.ID); err != nil {
+		t.Fatal(err)
+	}
+	if again.Note == nil || *again.Note != "fragile" {
+		t.Fatalf("Note round trip = %v", again.Note)
+	}
+}
+
+// TestSaveTouchesParent verifies the §3.1.1 behaviour: ORM.save(sku)
+// generates a Products updated_at refresh inside the same transaction.
+func TestSaveTouchesParent(t *testing.T) {
+	reg, clock := newTestRegistry(t)
+	s := reg.Session()
+	p := &Product{Name: "p"}
+	if err := s.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	before := p.UpdatedAt
+
+	clock.Advance(time.Hour)
+	sku := &SKU{ProductID: p.ID, Quantity: 3}
+	if err := s.Save(sku); err != nil {
+		t.Fatal(err)
+	}
+	var got Product
+	if _, err := s.Find(&got, p.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !got.UpdatedAt.After(before) {
+		t.Fatalf("parent not touched: %v vs %v", got.UpdatedAt, before)
+	}
+}
+
+func TestTouchHookRuns(t *testing.T) {
+	clock := sim.NewFakeClock(time.Unix(0, 0))
+	eng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: time.Second})
+	reg := NewRegistry(eng, clock)
+	reg.Register("products", &Product{})
+	hookCalls := 0
+	reg.Register("skus", &SKU{}, WithTouch(TouchSpec{
+		ParentTable: "products",
+		FKColumn:    "product_id",
+		Hook: func(txn *engine.Txn, childID, parentID int64) error {
+			hookCalls++
+			return nil
+		},
+	}))
+	s := reg.Session()
+	p := &Product{Name: "p"}
+	if err := s.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(&SKU{ProductID: p.ID, Quantity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if hookCalls != 1 {
+		t.Fatalf("hook ran %d times", hookCalls)
+	}
+}
+
+func TestWhereAndCount(t *testing.T) {
+	reg, _ := newTestRegistry(t)
+	s := reg.Session()
+	p := &Product{Name: "p"}
+	if err := s.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Save(&SKU{ProductID: p.ID, Quantity: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var skus []SKU
+	if err := s.Where(&skus, storage.Eq{Col: "product_id", Val: p.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if len(skus) != 3 {
+		t.Fatalf("Where returned %d", len(skus))
+	}
+	n, err := s.Count(&SKU{}, storage.Eq{Col: "product_id", Val: p.ID})
+	if err != nil || n != 3 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+func TestDeleteAndReload(t *testing.T) {
+	reg, _ := newTestRegistry(t)
+	s := reg.Session()
+	p := &Product{Name: "p"}
+	if err := s.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(p); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Reload after delete = %v", err)
+	}
+}
+
+// TestOptimisticLocking reproduces Figure 1c / §3.2.2: lock_version models
+// get ORM-assisted atomic validate-and-commit, and a stale in-memory object
+// fails with ErrStaleObject.
+func TestOptimisticLocking(t *testing.T) {
+	reg, _ := newTestRegistry(t)
+	s := reg.Session()
+	poll := &Poll{Tallies: "{}"}
+	if err := s.Save(poll); err != nil {
+		t.Fatal(err)
+	}
+
+	var copy1, copy2 Poll
+	if _, err := s.Find(&copy1, poll.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Find(&copy2, poll.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	copy1.Tallies = `{"1":11}`
+	if err := s.Save(&copy1); err != nil {
+		t.Fatal(err)
+	}
+	copy2.Tallies = `{"2":13}`
+	err := s.Save(&copy2)
+	if !errors.Is(err, ErrStaleObject) {
+		t.Fatalf("stale save = %v, want ErrStaleObject", err)
+	}
+
+	// The OCC retry loop of Figure 1c: reload and reapply.
+	if err := s.Reload(&copy2); err != nil {
+		t.Fatal(err)
+	}
+	copy2.Tallies = `{"1":11,"2":13}`
+	if err := s.Save(&copy2); err != nil {
+		t.Fatalf("retry after reload: %v", err)
+	}
+	var final Poll
+	if _, err := s.Find(&final, poll.ID); err != nil {
+		t.Fatal(err)
+	}
+	if final.LockVersion != 2 {
+		t.Fatalf("lock_version = %d, want 2", final.LockVersion)
+	}
+	if final.Tallies != `{"1":11,"2":13}` {
+		t.Fatalf("tallies = %s", final.Tallies)
+	}
+}
+
+// TestOptimisticLockingConcurrent: under concurrency exactly the retries
+// that lost the race fail, and no update is lost.
+func TestOptimisticLockingConcurrent(t *testing.T) {
+	reg, _ := newTestRegistry(t)
+	s := reg.Session()
+	poll := &Poll{Tallies: "0"}
+	if err := s.Save(poll); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, iters = 8, 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := reg.Session()
+			for i := 0; i < iters; i++ {
+				for {
+					var p Poll
+					if _, err := sess.Find(&p, poll.ID); err != nil {
+						t.Error(err)
+						return
+					}
+					n := mustAtoi(t, p.Tallies)
+					p.Tallies = itoa(n + 1)
+					err := sess.Save(&p)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrStaleObject) {
+						t.Errorf("save: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var final Poll
+	if _, err := s.Find(&final, poll.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustAtoi(t, final.Tallies); got != workers*iters {
+		t.Fatalf("count = %d, want %d (no lost updates)", got, workers*iters)
+	}
+	if final.LockVersion != workers*iters {
+		t.Fatalf("lock_version = %d, want %d", final.LockVersion, workers*iters)
+	}
+}
+
+func mustAtoi(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("bad int %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestValidationMin(t *testing.T) {
+	reg, _ := newTestRegistry(t)
+	s := reg.Session()
+	p := &Product{Name: "p"}
+	if err := s.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Save(&SKU{ProductID: p.ID, Quantity: -1})
+	if !errors.Is(err, ErrValidation) {
+		t.Fatalf("negative quantity = %v, want ErrValidation", err)
+	}
+	if n, _ := s.Count(&SKU{}, storage.All{}); n != 0 {
+		t.Fatal("failed validation persisted the row")
+	}
+}
+
+func TestValidationPresenceAndUnique(t *testing.T) {
+	reg, _ := newTestRegistry(t)
+	s := reg.Session()
+	if err := s.Save(&Account{Email: ""}); !errors.Is(err, ErrValidation) {
+		t.Fatalf("empty email = %v", err)
+	}
+	a := &Account{Email: "x@example.com"}
+	if err := s.Save(a); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Save(&Account{Email: "x@example.com"})
+	if !errors.Is(err, ErrValidation) || !strings.Contains(err.Error(), "taken") {
+		t.Fatalf("dup email = %v", err)
+	}
+	// Updating the same record does not trip its own uniqueness.
+	a.Email = "x@example.com"
+	if err := s.Save(a); err != nil {
+		t.Fatalf("self-update: %v", err)
+	}
+}
+
+// TestFeralUniquenessValidationIsRacy demonstrates the §2.1 contrast the
+// paper draws (after Bailis et al.): ORM uniqueness validation examines
+// database state instead of isolating writes, so concurrent saves of the
+// same email can both pass the check and insert duplicates. This is why
+// invariant validation is not a substitute for coordination.
+func TestFeralUniquenessValidationIsRacy(t *testing.T) {
+	for attempt := 0; attempt < 25; attempt++ {
+		eng := engine.New(engine.Config{
+			Dialect: engine.Postgres, LockTimeout: 5 * time.Second,
+			Net: sim.Latency{RTT: 100 * time.Microsecond},
+		})
+		reg := NewRegistry(eng, sim.RealClock{})
+		reg.Register("accounts", &Account{}, WithIndex("email"), WithValidation(Unique{Col: "email"}))
+
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = reg.Session().Save(&Account{Email: "dup@example.com"})
+			}()
+		}
+		wg.Wait()
+		n, err := reg.Session().Count(&Account{}, storage.Eq{Col: "email", Val: "dup@example.com"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 1 {
+			t.Logf("feral validation raced: %d rows share the 'unique' email (attempt %d)", n, attempt+1)
+			return
+		}
+	}
+	t.Skip("the validation race did not strike in 25 attempts")
+}
+
+func TestSessionWithTxnJoins(t *testing.T) {
+	reg, _ := newTestRegistry(t)
+	eng := reg.Engine()
+
+	txn := eng.Begin(engine.IsolationDefault)
+	s := reg.WithTxn(txn)
+	p := &Product{Name: "draft"}
+	if err := s.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	// Not visible outside before commit.
+	var probe Product
+	if ok, _ := reg.Session().Find(&probe, p.ID); ok {
+		t.Fatal("uncommitted save visible to other session")
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := reg.Session().Find(&probe, p.ID); ok {
+		t.Fatal("rolled-back save visible")
+	}
+}
+
+func TestRegisterRejectsBadTypes(t *testing.T) {
+	reg, _ := newTestRegistry(t)
+	assertPanics(t, func() { reg.Register("bad", Product{}) }, "non-pointer")
+	type NoID struct {
+		Name string `db:"name"`
+	}
+	assertPanics(t, func() { reg.Register("noid", &NoID{}) }, "missing id")
+	type BadField struct {
+		ID int64 `db:"id"`
+		M  map[string]int
+		C  complex128 `db:"c"`
+	}
+	assertPanics(t, func() { reg.Register("badfield", &BadField{}) }, "unsupported field")
+}
+
+func assertPanics(t *testing.T, fn func(), what string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestMetaOfErrors(t *testing.T) {
+	reg, _ := newTestRegistry(t)
+	s := reg.Session()
+	type Unregistered struct {
+		ID int64 `db:"id"`
+	}
+	if _, err := s.Find(&Unregistered{}, 1); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("unregistered = %v", err)
+	}
+	if err := s.Save(42); err == nil {
+		t.Fatal("Save(42) accepted")
+	}
+	var dest []Product
+	if err := s.Where(dest, storage.All{}); err == nil { // not a pointer
+		t.Fatal("Where(non-pointer) accepted")
+	}
+}
+
+func TestUntaggedFieldsSkipped(t *testing.T) {
+	reg, _ := newTestRegistry(t)
+	// SKU.UpdatedAt has no db tag; the schema must not contain it.
+	if reg.Engine().Schema("skus").HasColumn("updated_at") {
+		t.Fatal("untagged field mapped")
+	}
+}

@@ -1,0 +1,251 @@
+package orm
+
+import (
+	"fmt"
+	"reflect"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+// Session issues ORM operations. A session either wraps an explicit
+// transaction (see Registry.WithTxn) or auto-commits each Save/Delete in its
+// own database transaction — which is what the studied applications do by
+// default, and why their ad hoc transactions exist at all.
+type Session struct {
+	reg *Registry
+	txn *engine.Txn // nil = autocommit
+	iso engine.Isolation
+}
+
+// Session opens an auto-committing session at the dialect's default
+// isolation.
+func (r *Registry) Session() *Session {
+	return &Session{reg: r, iso: engine.IsolationDefault}
+}
+
+// WithTxn opens a session bound to an existing transaction: every operation
+// joins it and nothing commits until the caller commits.
+func (r *Registry) WithTxn(txn *engine.Txn) *Session {
+	return &Session{reg: r, txn: txn}
+}
+
+// run executes fn in the bound transaction or an auto-commit one.
+func (s *Session) run(fn func(*engine.Txn) error) error {
+	if s.txn != nil {
+		return fn(s.txn)
+	}
+	return s.reg.eng.Run(s.iso, fn)
+}
+
+// Find loads the record with the given id into dest (a registered model
+// pointer), reporting whether it exists.
+func (s *Session) Find(dest any, id int64) (bool, error) {
+	m, sv, err := s.reg.metaOf(dest)
+	if err != nil {
+		return false, err
+	}
+	var row storage.Row
+	err = s.run(func(t *engine.Txn) error {
+		var err error
+		row, err = t.SelectOne(m.Table, storage.ByPK(id))
+		return err
+	})
+	if err != nil || row == nil {
+		return false, err
+	}
+	m.fromRow(row, sv)
+	return true, nil
+}
+
+// FindForUpdate is Find with SELECT ... FOR UPDATE row locking — the
+// primitive Spree/Saleor/Redmine-style pessimistic ad hoc transactions
+// reuse (§3.2.1). It only makes sense on a transaction-bound session.
+func (s *Session) FindForUpdate(dest any, id int64) (bool, error) {
+	m, sv, err := s.reg.metaOf(dest)
+	if err != nil {
+		return false, err
+	}
+	var row storage.Row
+	err = s.run(func(t *engine.Txn) error {
+		var err error
+		row, err = t.SelectOne(m.Table, storage.ByPK(id), engine.ForUpdate)
+		return err
+	})
+	if err != nil || row == nil {
+		return false, err
+	}
+	m.fromRow(row, sv)
+	return true, nil
+}
+
+// Where loads every record matching pred into dest, a pointer to a slice of
+// a registered model type.
+func (s *Session) Where(dest any, pred storage.Pred) error {
+	dv := reflect.ValueOf(dest)
+	if dv.Kind() != reflect.Ptr || dv.Elem().Kind() != reflect.Slice {
+		return fmt.Errorf("orm: Where needs pointer to slice, got %T", dest)
+	}
+	elemType := dv.Elem().Type().Elem()
+	m, ok := s.reg.models[elemType]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotRegistered, elemType)
+	}
+	var rows []storage.Row
+	err := s.run(func(t *engine.Txn) error {
+		var err error
+		rows, err = t.Select(m.Table, pred)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	out := reflect.MakeSlice(dv.Elem().Type(), len(rows), len(rows))
+	for i, row := range rows {
+		m.fromRow(row, out.Index(i))
+	}
+	dv.Elem().Set(out)
+	return nil
+}
+
+// Count returns the number of rows matching pred for the model type of
+// proto.
+func (s *Session) Count(proto any, pred storage.Pred) (int, error) {
+	m, _, err := s.reg.metaOf(proto)
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	err = s.run(func(t *engine.Txn) error {
+		rows, err := t.Select(m.Table, pred)
+		n = len(rows)
+		return err
+	})
+	return n, err
+}
+
+// Save persists obj. New records (id == 0) are inserted; existing records
+// are updated. The whole save — validations, the row write, the ORM-generated
+// touch cascade — runs in one database transaction, exactly like
+// ActiveRecord's save (§3.1.1): the application cannot exclude the generated
+// statements from the transaction scope.
+//
+// Models with a lock_version column get optimistic locking: the update is
+// guarded on the in-memory version and ErrStaleObject is returned when the
+// row moved (§3.2.2).
+func (s *Session) Save(obj any) error {
+	m, sv, err := s.reg.metaOf(obj)
+	if err != nil {
+		return err
+	}
+	return s.run(func(t *engine.Txn) error {
+		if err := m.runValidations(t, s.reg, sv); err != nil {
+			return err
+		}
+		now := s.reg.clock.Now()
+		if m.updatedIdx >= 0 {
+			sv.Field(m.updatedIdx).Set(reflect.ValueOf(now))
+		}
+		id := m.id(sv)
+		if id == 0 {
+			if m.createdIdx >= 0 {
+				sv.Field(m.createdIdx).Set(reflect.ValueOf(now))
+			}
+			vals := m.toValues(sv)
+			pk, err := t.Insert(m.Table, vals)
+			if err != nil {
+				return err
+			}
+			sv.Field(m.idIdx).SetInt(pk)
+			return m.runTouches(t, s.reg, pk, sv)
+		}
+
+		vals := m.toValues(sv)
+		if m.lockVerIdx >= 0 {
+			// UPDATE ... SET lock_version = v+1 WHERE id = ? AND
+			// lock_version = v — the ORM-assisted atomic
+			// validate-and-commit.
+			oldVer := sv.Field(m.lockVerIdx).Int()
+			vals["lock_version"] = oldVer + 1
+			ok, err := t.UpdateIf(m.Table, id, storage.Eq{Col: "lock_version", Val: oldVer}, vals)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return ErrStaleObject
+			}
+			sv.Field(m.lockVerIdx).SetInt(oldVer + 1)
+		} else {
+			n, err := t.Update(m.Table, storage.ByPK(id), vals)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				return fmt.Errorf("%w: %s id=%d", ErrNotFound, m.Table, id)
+			}
+		}
+		return m.runTouches(t, s.reg, id, sv)
+	})
+}
+
+// Delete removes obj's row.
+func (s *Session) Delete(obj any) error {
+	m, sv, err := s.reg.metaOf(obj)
+	if err != nil {
+		return err
+	}
+	id := m.id(sv)
+	return s.run(func(t *engine.Txn) error {
+		_, err := t.Delete(m.Table, storage.ByPK(id))
+		return err
+	})
+}
+
+// Reload refreshes obj from the database.
+func (s *Session) Reload(obj any) error {
+	m, sv, err := s.reg.metaOf(obj)
+	if err != nil {
+		return err
+	}
+	ok, err := s.Find(obj, m.id(sv))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s id=%d", ErrNotFound, m.Table, m.id(sv))
+	}
+	return nil
+}
+
+// runTouches issues the ORM-generated parent updates.
+func (m *Meta) runTouches(t *engine.Txn, reg *Registry, childID int64, sv reflect.Value) error {
+	for _, touch := range m.touches {
+		fkIdx := -1
+		for _, f := range m.fields {
+			if f.col == touch.FKColumn {
+				fkIdx = f.idx
+				break
+			}
+		}
+		if fkIdx < 0 {
+			return fmt.Errorf("orm: touch: %s has no column %s", m.Table, touch.FKColumn)
+		}
+		parentID := sv.Field(fkIdx).Int()
+		if parentID == 0 {
+			continue
+		}
+		parentSchema := reg.eng.Schema(touch.ParentTable)
+		if parentSchema != nil && parentSchema.HasColumn("updated_at") {
+			if _, err := t.Update(touch.ParentTable, storage.ByPK(parentID),
+				map[string]storage.Value{"updated_at": reg.clock.Now()}); err != nil {
+				return err
+			}
+		}
+		if touch.Hook != nil {
+			if err := touch.Hook(t, childID, parentID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package orm
+
+import (
+	"fmt"
+	"reflect"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+// Validation is one declared invariant, checked on every Save before the
+// write — Active Record's validates keyword. Validations examine database
+// state and the to-be-persisted object; they do not isolate concurrent
+// operations (§2.1), which is why they are not a substitute for ad hoc
+// transactions.
+type Validation interface {
+	// Check returns nil when the invariant holds for the object about to
+	// be saved.
+	Check(t *engine.Txn, m *Meta, sv reflect.Value) error
+}
+
+// runValidations runs every declared validation.
+func (m *Meta) runValidations(t *engine.Txn, _ *Registry, sv reflect.Value) error {
+	for _, v := range m.validations {
+		if err := v.Check(t, m, sv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fieldByCol locates the struct field backing col.
+func (m *Meta) fieldByCol(col string) (fieldMeta, bool) {
+	for _, f := range m.fields {
+		if f.col == col {
+			return f, true
+		}
+	}
+	return fieldMeta{}, false
+}
+
+// colValue extracts the column's value from the struct.
+func (m *Meta) colValue(sv reflect.Value, col string) (storage.Value, error) {
+	f, ok := m.fieldByCol(col)
+	if !ok {
+		return nil, fmt.Errorf("orm: validation references unknown column %q on %s", col, m.Table)
+	}
+	fv := sv.Field(f.idx)
+	if f.nullable {
+		if fv.IsNil() {
+			return nil, nil
+		}
+		fv = fv.Elem()
+	}
+	return reflectToValue(fv, f.typ), nil
+}
+
+// Presence validates that a column is non-NULL and, for strings, non-empty
+// (validates ... presence: true).
+type Presence struct {
+	Col string
+}
+
+// Check implements Validation.
+func (p Presence) Check(_ *engine.Txn, m *Meta, sv reflect.Value) error {
+	v, err := m.colValue(sv, p.Col)
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		return fmt.Errorf("%w: %s.%s must be present", ErrValidation, m.Table, p.Col)
+	}
+	if s, isStr := v.(string); isStr && s == "" {
+		return fmt.Errorf("%w: %s.%s must be present", ErrValidation, m.Table, p.Col)
+	}
+	return nil
+}
+
+// Min validates that an integer column is at least Min (validates ...
+// numericality: {greater_than_or_equal_to: n}). The non-negative stock
+// invariant of the e-commerce applications is Min{Col: "quantity", Min: 0}.
+type Min struct {
+	Col string
+	Min int64
+}
+
+// Check implements Validation.
+func (mn Min) Check(_ *engine.Txn, m *Meta, sv reflect.Value) error {
+	v, err := m.colValue(sv, mn.Col)
+	if err != nil {
+		return err
+	}
+	iv, ok := v.(int64)
+	if !ok {
+		return fmt.Errorf("%w: %s.%s is not an integer", ErrValidation, m.Table, mn.Col)
+	}
+	if iv < mn.Min {
+		return fmt.Errorf("%w: %s.%s = %d below minimum %d", ErrValidation, m.Table, mn.Col, iv, mn.Min)
+	}
+	return nil
+}
+
+// Unique validates column uniqueness by querying for another row with the
+// same value (validates ... uniqueness: true). This check is famously racy
+// under concurrency — it reads database state rather than isolating the
+// write — which is precisely the "feral CC" weakness the paper contrasts ad
+// hoc transactions against (§2.1).
+type Unique struct {
+	Col string
+}
+
+// Check implements Validation.
+func (u Unique) Check(t *engine.Txn, m *Meta, sv reflect.Value) error {
+	v, err := m.colValue(sv, u.Col)
+	if err != nil {
+		return err
+	}
+	rows, err := t.Select(m.Table, storage.Eq{Col: u.Col, Val: v})
+	if err != nil {
+		return err
+	}
+	self := m.id(sv)
+	for _, row := range rows {
+		if row.PK() != self {
+			return fmt.Errorf("%w: %s.%s = %s already taken", ErrValidation, m.Table, u.Col, storage.FormatValue(v))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package proxy implements the application-level proxy module the paper's
+// discussion proposes (§6): one coordination-hint interface over whatever
+// database is in use, with capability detection per dialect and graceful
+// fallbacks — "the module should provide a database table–based lock
+// implementation as the fallback of explicit user locks".
+package proxy
+
+import (
+	"fmt"
+	"strconv"
+
+	"adhoctx/internal/adhoc/locks"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+// Capability names a coordination hint from Table 7a.
+type Capability string
+
+// Capabilities the proxy understands.
+const (
+	CapUserLocks    Capability = "explicit user locks"
+	CapRowLocks     Capability = "explicit row locks"
+	CapSavepoints   Capability = "savepoints"
+	CapPerOpIsoRead Capability = "per-op isolation"
+)
+
+// Coordinator is the proxy module: construct once per engine at boot.
+type Coordinator struct {
+	eng      *engine.Engine
+	caps     map[Capability]bool
+	fallback *locks.DBLocker
+}
+
+// New builds a coordinator over eng, detecting the dialect's capabilities
+// (Table 7a: PostgreSQL exposes explicit user locks; MySQL does not) and
+// provisioning the DB-table fallback when needed. setupFallbackTable
+// controls whether the fallback lock table is created (pass false if
+// locks.SetupDBLockTable already ran).
+func New(eng *engine.Engine, bootID string, setupFallbackTable bool) *Coordinator {
+	c := &Coordinator{
+		eng: eng,
+		caps: map[Capability]bool{
+			CapRowLocks:     true, // SELECT FOR UPDATE everywhere
+			CapSavepoints:   true, // both dialects
+			CapUserLocks:    eng.Config().Dialect == engine.Postgres,
+			CapPerOpIsoRead: eng.Config().Dialect == engine.MySQL, // InnoDB per-statement locking hints
+		},
+	}
+	if !c.caps[CapUserLocks] {
+		if setupFallbackTable {
+			locks.SetupDBLockTable(eng)
+		}
+		c.fallback = &locks.DBLocker{Eng: eng, BootID: bootID, Owner: "proxy"}
+	}
+	return c
+}
+
+// Supports reports whether the underlying database offers the hint natively
+// (false means the proxy emulates it).
+func (c *Coordinator) Supports(cap Capability) bool { return c.caps[cap] }
+
+// UserLock acquires user lock key for the duration of txn. On databases with
+// native user locks (PostgreSQL advisory locks) it is transaction-scoped and
+// the returned release is a no-op; otherwise the DB-table fallback is used
+// and the release must be called (WithUserLock does this for you).
+func (c *Coordinator) UserLock(txn *engine.Txn, key int64) (core.Release, error) {
+	if c.caps[CapUserLocks] {
+		if err := txn.AdvisoryLock(key); err != nil {
+			return nil, err
+		}
+		return func() error { return nil }, nil // released at txn end
+	}
+	return c.fallback.Acquire(strconv.FormatInt(key, 10))
+}
+
+// WithUserLock runs body under user lock key inside a fresh transaction,
+// handling the release discipline of both implementations.
+func (c *Coordinator) WithUserLock(key int64, iso engine.Isolation, body func(*engine.Txn) error) error {
+	return c.eng.Run(iso, func(t *engine.Txn) error {
+		rel, err := c.UserLock(t, key)
+		if err != nil {
+			return err
+		}
+		bodyErr := body(t)
+		relErr := rel()
+		if bodyErr != nil {
+			return bodyErr
+		}
+		return relErr
+	})
+}
+
+// RowLock explicitly locks one row (SELECT ... FOR UPDATE) in txn and
+// returns the current row image.
+func (c *Coordinator) RowLock(txn *engine.Txn, table string, pk int64) (storage.Row, error) {
+	row, err := txn.SelectOne(table, storage.ByPK(pk), engine.ForUpdate)
+	if err != nil {
+		return nil, err
+	}
+	if row == nil {
+		return nil, fmt.Errorf("proxy: %s id=%d does not exist", table, pk)
+	}
+	return row, nil
+}
+
+// Savepoint sets a savepoint; RollbackToSavepoint partially rolls back.
+// Thin passthroughs so applications depend only on the proxy interface.
+func (c *Coordinator) Savepoint(txn *engine.Txn, name string) error { return txn.Savepoint(name) }
+
+// RollbackToSavepoint rolls txn back to the named savepoint.
+func (c *Coordinator) RollbackToSavepoint(txn *engine.Txn, name string) error {
+	return txn.RollbackTo(name)
+}
+
+// Engine returns the wrapped engine.
+func (c *Coordinator) Engine() *engine.Engine { return c.eng }

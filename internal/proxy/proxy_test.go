@@ -1,0 +1,151 @@
+package proxy
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+func newEngine(d engine.DialectKind) *engine.Engine {
+	e := engine.New(engine.Config{Dialect: d, LockTimeout: 5 * time.Second})
+	e.CreateTable(storage.NewSchema("items", storage.Column{Name: "qty", Type: storage.TInt}))
+	return e
+}
+
+func TestCapabilityDetection(t *testing.T) {
+	pg := New(newEngine(engine.Postgres), "boot-1", true)
+	if !pg.Supports(CapUserLocks) {
+		t.Fatal("postgres should support user locks natively")
+	}
+	my := New(newEngine(engine.MySQL), "boot-1", true)
+	if my.Supports(CapUserLocks) {
+		t.Fatal("mysql should not support user locks (Table 7a)")
+	}
+	for _, c := range []*Coordinator{pg, my} {
+		if !c.Supports(CapRowLocks) || !c.Supports(CapSavepoints) {
+			t.Fatal("row locks and savepoints should be universal")
+		}
+	}
+}
+
+// TestUserLockMutualExclusionBothDialects: the same proxy call provides
+// exclusion on PostgreSQL (advisory locks) and MySQL (DB-table fallback).
+func TestUserLockMutualExclusionBothDialects(t *testing.T) {
+	for _, d := range []engine.DialectKind{engine.Postgres, engine.MySQL} {
+		t.Run(d.String(), func(t *testing.T) {
+			c := New(newEngine(d), "boot-1", true)
+			var mu sync.Mutex
+			in, max := 0, 0
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 8; i++ {
+						err := c.WithUserLock(42, engine.IsolationDefault, func(*engine.Txn) error {
+							mu.Lock()
+							in++
+							if in > max {
+								max = in
+							}
+							mu.Unlock()
+							mu.Lock()
+							in--
+							mu.Unlock()
+							return nil
+						})
+						if err != nil {
+							t.Errorf("WithUserLock: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if max > 1 {
+				t.Fatalf("%d holders under user lock", max)
+			}
+		})
+	}
+}
+
+func TestRowLockReturnsRow(t *testing.T) {
+	e := newEngine(engine.Postgres)
+	c := New(e, "b", true)
+	var pk int64
+	if err := e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		var err error
+		pk, err = tx.Insert("items", map[string]storage.Value{"qty": int64(5)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		row, err := c.RowLock(tx, "items", pk)
+		if err != nil {
+			return err
+		}
+		if row.Get(e.Schema("items"), "qty") != int64(5) {
+			t.Fatalf("row = %v", row)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		_, err := c.RowLock(tx, "items", 999)
+		return err
+	})
+	if err == nil {
+		t.Fatal("RowLock on missing row succeeded")
+	}
+}
+
+func TestSavepointPassthrough(t *testing.T) {
+	e := newEngine(engine.MySQL)
+	c := New(e, "b", true)
+	var pk int64
+	if err := e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		var err error
+		pk, err = tx.Insert("items", map[string]storage.Value{"qty": int64(1)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		if err := c.Savepoint(tx, "sp"); err != nil {
+			return err
+		}
+		if _, err := tx.Update("items", storage.ByPK(pk), map[string]storage.Value{"qty": int64(99)}); err != nil {
+			return err
+		}
+		return c.RollbackToSavepoint(tx, "sp")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		row, err := tx.SelectOne("items", storage.ByPK(pk))
+		if err != nil {
+			return err
+		}
+		if row.Get(e.Schema("items"), "qty") != int64(1) {
+			t.Fatalf("qty = %v, want rolled-back 1", row.Get(e.Schema("items"), "qty"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineAccessor(t *testing.T) {
+	e := newEngine(engine.Postgres)
+	if New(e, "b", true).Engine() != e {
+		t.Fatal("Engine() mismatch")
+	}
+}

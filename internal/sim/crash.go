@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CrashError is returned by code that hit an armed crash point. It models an
+// application-server crash (§3.4.2): the goroutine abandons its work without
+// running any release/rollback code, exactly like a process that died.
+type CrashError struct {
+	Point string
+}
+
+// Error implements error.
+func (e *CrashError) Error() string { return fmt.Sprintf("sim: crashed at %q", e.Point) }
+
+// IsCrash reports whether err is a CrashError.
+func IsCrash(err error) bool {
+	_, ok := err.(*CrashError)
+	return ok
+}
+
+// CrashPlan arms named crash points. Application code calls Check(point) at
+// the places a real server could die (between a write and its rollback
+// handler, between two storage systems, ...). When a point is armed, Check
+// panics with a *CrashError which the request boundary converts into an
+// abandoned request.
+//
+// The zero value has no armed points and Check is cheap.
+type CrashPlan struct {
+	mu     sync.Mutex
+	armed  map[string]int // point -> remaining hits before firing
+	events []string
+}
+
+// Arm schedules the named point to fire on its nth visit (1 = next visit).
+func (p *CrashPlan) Arm(point string, nth int) {
+	if nth < 1 {
+		nth = 1
+	}
+	p.mu.Lock()
+	if p.armed == nil {
+		p.armed = make(map[string]int)
+	}
+	p.armed[point] = nth
+	p.mu.Unlock()
+}
+
+// Disarm clears the named point.
+func (p *CrashPlan) Disarm(point string) {
+	p.mu.Lock()
+	delete(p.armed, point)
+	p.mu.Unlock()
+}
+
+// Check fires an armed crash point by panicking with *CrashError.
+func (p *CrashPlan) Check(point string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	n, ok := p.armed[point]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	n--
+	if n > 0 {
+		p.armed[point] = n
+		p.mu.Unlock()
+		return
+	}
+	delete(p.armed, point)
+	p.events = append(p.events, point)
+	p.mu.Unlock()
+	panic(&CrashError{Point: point})
+}
+
+// Fired returns the points that have fired, in order.
+func (p *CrashPlan) Fired() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// Recover converts a *CrashError panic into an error and re-panics on
+// anything else. Use as:
+//
+//	defer func() { err = sim.RecoverCrash(recover(), err) }()
+func RecoverCrash(rec any, err error) error {
+	if rec == nil {
+		return err
+	}
+	if ce, ok := rec.(*CrashError); ok {
+		return ce
+	}
+	panic(rec)
+}

@@ -1,0 +1,49 @@
+package sim
+
+import "time"
+
+// Latency models the fixed costs the paper identifies as decisive for lock
+// primitive performance (§5.1): network round trips to a remote store and
+// disk flushes for durability.
+//
+// A zero Latency makes every cost free, which is what unit tests use. The
+// benchmark harness installs a profile calibrated in EXPERIMENTS.md.
+type Latency struct {
+	// Clock used to charge costs. Nil means RealClock.
+	Clock Clock
+	// RTT is one network round trip between the application server and a
+	// remote store (RDBMS or KV). The paper's testbed used a 1 Gbit/s LAN.
+	RTT time.Duration
+	// Fsync is the cost of flushing the write-ahead log for durability.
+	// It dominates the DB-table lock in Figure 2.
+	Fsync time.Duration
+}
+
+// clock returns the configured clock or the real one.
+func (l Latency) clock() Clock {
+	if l.Clock != nil {
+		return l.Clock
+	}
+	return RealClock{}
+}
+
+// ChargeRTT blocks for n network round trips.
+func (l Latency) ChargeRTT(n int) {
+	if l.RTT > 0 && n > 0 {
+		l.clock().Sleep(time.Duration(n) * l.RTT)
+	}
+}
+
+// ChargeFsync blocks for one log flush.
+func (l Latency) ChargeFsync() {
+	if l.Fsync > 0 {
+		l.clock().Sleep(l.Fsync)
+	}
+}
+
+// LAN returns a profile resembling the paper's testbed: a 1 Gbit/s network
+// with ~0.1 ms round trips and a commodity disk with ~2 ms flushes. Absolute
+// values are not the point; the ratios are (see EXPERIMENTS.md).
+func LAN() Latency {
+	return Latency{RTT: 100 * time.Microsecond, Fsync: 2 * time.Millisecond}
+}

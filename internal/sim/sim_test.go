@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFakeClockAdvance(t *testing.T) {
+	start := time.Date(2022, 6, 12, 0, 0, 0, 0, time.UTC)
+	c := NewFakeClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), start)
+	}
+	c.Advance(3 * time.Second)
+	if got := c.Now().Sub(start); got != 3*time.Second {
+		t.Fatalf("after Advance, elapsed = %v, want 3s", got)
+	}
+	c.Sleep(2 * time.Second)
+	if got := c.Now().Sub(start); got != 5*time.Second {
+		t.Fatalf("after Sleep, elapsed = %v, want 5s", got)
+	}
+	c.Set(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Set did not reset clock")
+	}
+}
+
+func TestFakeClockNegativeSleepIgnored(t *testing.T) {
+	c := NewFakeClock(time.Unix(0, 0))
+	c.Sleep(-time.Second)
+	if !c.Now().Equal(time.Unix(0, 0)) {
+		t.Fatalf("negative sleep moved the clock")
+	}
+}
+
+func TestLatencyChargesFakeClock(t *testing.T) {
+	c := NewFakeClock(time.Unix(0, 0))
+	l := Latency{Clock: c, RTT: time.Millisecond, Fsync: 5 * time.Millisecond}
+	l.ChargeRTT(3)
+	l.ChargeFsync()
+	if got := c.Now().Sub(time.Unix(0, 0)); got != 8*time.Millisecond {
+		t.Fatalf("charged %v, want 8ms", got)
+	}
+}
+
+func TestZeroLatencyIsFree(t *testing.T) {
+	var l Latency
+	done := make(chan struct{})
+	go func() {
+		l.ChargeRTT(1000)
+		l.ChargeFsync()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("zero latency blocked")
+	}
+}
+
+func TestLANProfileRatios(t *testing.T) {
+	l := LAN()
+	if l.RTT <= 0 || l.Fsync <= 0 {
+		t.Fatalf("LAN profile has non-positive costs: %+v", l)
+	}
+	if l.Fsync < 10*l.RTT {
+		t.Fatalf("fsync (%v) should dominate RTT (%v) by an order of magnitude", l.Fsync, l.RTT)
+	}
+}
+
+func TestCrashPlanFiresOnNthVisit(t *testing.T) {
+	var p CrashPlan
+	p.Arm("after-payment-write", 2)
+
+	visit := func() (err error) {
+		defer func() { err = RecoverCrash(recover(), err) }()
+		p.Check("after-payment-write")
+		return nil
+	}
+
+	if err := visit(); err != nil {
+		t.Fatalf("first visit crashed early: %v", err)
+	}
+	err := visit()
+	if err == nil || !IsCrash(err) {
+		t.Fatalf("second visit err = %v, want crash", err)
+	}
+	var ce *CrashError
+	if !errors.As(err, &ce) || ce.Point != "after-payment-write" {
+		t.Fatalf("crash error = %#v", err)
+	}
+	if err := visit(); err != nil {
+		t.Fatalf("crash point should disarm after firing, got %v", err)
+	}
+	if got := p.Fired(); len(got) != 1 || got[0] != "after-payment-write" {
+		t.Fatalf("Fired() = %v", got)
+	}
+}
+
+func TestCrashPlanDisarm(t *testing.T) {
+	var p CrashPlan
+	p.Arm("x", 1)
+	p.Disarm("x")
+	p.Check("x") // must not panic
+}
+
+func TestNilCrashPlanCheck(t *testing.T) {
+	var p *CrashPlan
+	p.Check("anything") // must not panic
+}
+
+func TestRecoverCrashRepanicsOnForeignPanic(t *testing.T) {
+	defer func() {
+		if rec := recover(); rec != "boom" {
+			t.Fatalf("recovered %v, want original panic", rec)
+		}
+	}()
+	func() {
+		defer func() { _ = RecoverCrash(recover(), nil) }()
+		panic("boom")
+	}()
+}
+
+func TestFakeClockConcurrentUse(t *testing.T) {
+	c := NewFakeClock(time.Unix(0, 0))
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				c.Advance(time.Millisecond)
+				_ = c.Now()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := c.Now().Sub(time.Unix(0, 0)); got != 800*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 800ms", got)
+	}
+}

@@ -1,0 +1,136 @@
+package sqlmini
+
+import (
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+// Stmt is a parsed statement.
+type Stmt interface{ isStmt() }
+
+// SelectStmt is SELECT * FROM table [WHERE ...] [FOR UPDATE | FOR SHARE].
+// Only the star projection is supported: the studied pseudocode never
+// projects, and rows travel as whole tuples through the engine anyway.
+type SelectStmt struct {
+	Table string
+	Where []Cond
+	Lock  engine.SelectOpt // 0 = plain read
+}
+
+// InsertStmt is INSERT INTO table (cols...) VALUES (vals...).
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Vals  []storage.Value
+}
+
+// UpdateStmt is UPDATE table SET assignments [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where []Cond
+}
+
+// DeleteStmt is DELETE FROM table [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where []Cond
+}
+
+// BeginStmt is BEGIN / START TRANSACTION [ISOLATION LEVEL ...].
+type BeginStmt struct {
+	Iso engine.Isolation
+}
+
+// CommitStmt commits the open transaction.
+type CommitStmt struct{}
+
+// RollbackStmt rolls it back; with To set, rolls back to a savepoint.
+type RollbackStmt struct {
+	To string
+}
+
+// SavepointStmt sets a savepoint.
+type SavepointStmt struct {
+	Name string
+}
+
+// CreateTableStmt is CREATE TABLE name (col TYPE [NULL], ...) [INDEX (cols)].
+type CreateTableStmt struct {
+	Table   string
+	Columns []storage.Column
+	Indexes []string
+}
+
+func (SelectStmt) isStmt()      {}
+func (InsertStmt) isStmt()      {}
+func (UpdateStmt) isStmt()      {}
+func (DeleteStmt) isStmt()      {}
+func (BeginStmt) isStmt()       {}
+func (CommitStmt) isStmt()      {}
+func (RollbackStmt) isStmt()    {}
+func (SavepointStmt) isStmt()   {}
+func (CreateTableStmt) isStmt() {}
+
+// SetClause is one assignment: col = value, or col = col ± n (Delta nonzero
+// semantics via IsDelta).
+type SetClause struct {
+	Col     string
+	Val     storage.Value
+	IsDelta bool
+	Delta   int64
+}
+
+// Cond is one WHERE conjunct: col op value.
+type Cond struct {
+	Col string
+	Op  string // =, !=, <, <=, >, >=
+	Val storage.Value
+}
+
+// pred compiles a conjunction of Conds to a storage predicate.
+func pred(conds []Cond) (storage.Pred, error) {
+	if len(conds) == 0 {
+		return storage.All{}, nil
+	}
+	var parts storage.And
+	for _, c := range conds {
+		switch c.Op {
+		case "=":
+			parts = append(parts, storage.Eq{Col: c.Col, Val: c.Val})
+		case "<":
+			parts = append(parts, storage.Range{Col: c.Col, Hi: c.Val})
+		case "<=":
+			parts = append(parts, storage.Range{Col: c.Col, Hi: c.Val, IncHi: true})
+		case ">":
+			parts = append(parts, storage.Range{Col: c.Col, Lo: c.Val})
+		case ">=":
+			parts = append(parts, storage.Range{Col: c.Col, Lo: c.Val, IncLo: true})
+		case "!=":
+			parts = append(parts, notEq{col: c.Col, val: c.Val})
+		default:
+			return nil, errf("unsupported operator %q", c.Op)
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return parts, nil
+}
+
+// notEq is the <> predicate (absent from storage because no studied access
+// path needs it; scans re-check it here).
+type notEq struct {
+	col string
+	val storage.Value
+}
+
+// Match implements storage.Pred.
+func (p notEq) Match(s *storage.Schema, row storage.Row) bool {
+	return !storage.Equal(row.Get(s, p.col), p.val)
+}
+
+// String implements storage.Pred.
+func (p notEq) String() string {
+	return p.col + "!=" + storage.FormatValue(p.val)
+}

@@ -1,0 +1,166 @@
+package sqlmini
+
+import (
+	"errors"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+// Result is the outcome of one executed statement.
+type Result struct {
+	// Cols and Rows carry SELECT output (schema order).
+	Cols []string
+	Rows []storage.Row
+	// Affected is the row count of INSERT/UPDATE/DELETE.
+	Affected int
+	// LastInsertID is the primary key assigned by an INSERT.
+	LastInsertID int64
+}
+
+// ErrNoTxn reports COMMIT/ROLLBACK/SAVEPOINT with no open transaction.
+var ErrNoTxn = errors.New("sqlmini: no transaction in progress")
+
+// Session executes statements against an engine, managing one optional open
+// transaction like a database connection: statements outside BEGIN…COMMIT
+// auto-commit.
+type Session struct {
+	eng *engine.Engine
+	txn *engine.Txn
+}
+
+// NewSession opens a session on eng.
+func NewSession(eng *engine.Engine) *Session {
+	return &Session{eng: eng}
+}
+
+// InTxn reports whether a transaction is open.
+func (s *Session) InTxn() bool { return s.txn != nil && !s.txn.Done() }
+
+// Txn exposes the open transaction (nil when auto-committing), so SQL-driven
+// code can mix in engine-level calls (advisory locks, tags).
+func (s *Session) Txn() *engine.Txn { return s.txn }
+
+// Exec parses and executes one statement.
+func (s *Session) Exec(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt)
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(stmt Stmt) (*Result, error) {
+	switch st := stmt.(type) {
+	case BeginStmt:
+		if s.InTxn() {
+			return nil, errf("transaction already in progress")
+		}
+		s.txn = s.eng.Begin(st.Iso)
+		return &Result{}, nil
+	case CommitStmt:
+		if !s.InTxn() {
+			return nil, ErrNoTxn
+		}
+		t := s.txn
+		s.txn = nil
+		return &Result{}, t.Commit()
+	case RollbackStmt:
+		if !s.InTxn() {
+			return nil, ErrNoTxn
+		}
+		if st.To != "" {
+			return &Result{}, s.txn.RollbackTo(st.To)
+		}
+		t := s.txn
+		s.txn = nil
+		return &Result{}, t.Rollback()
+	case SavepointStmt:
+		if !s.InTxn() {
+			return nil, ErrNoTxn
+		}
+		return &Result{}, s.txn.Savepoint(st.Name)
+	case CreateTableStmt:
+		if s.eng.Schema(st.Table) != nil {
+			return nil, errf("table %q already exists", st.Table)
+		}
+		s.eng.CreateTable(storage.NewSchema(st.Table, st.Columns...), st.Indexes...)
+		return &Result{}, nil
+	}
+
+	// Data statements: run in the open transaction or auto-commit.
+	if s.InTxn() {
+		return s.data(s.txn, stmt)
+	}
+	var res *Result
+	err := s.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		res, err = s.data(t, stmt)
+		return err
+	})
+	return res, err
+}
+
+func (s *Session) data(t *engine.Txn, stmt Stmt) (*Result, error) {
+	switch st := stmt.(type) {
+	case SelectStmt:
+		where, err := pred(st.Where)
+		if err != nil {
+			return nil, err
+		}
+		var rows []storage.Row
+		if st.Lock != 0 {
+			rows, err = t.Select(st.Table, where, st.Lock)
+		} else {
+			rows, err = t.Select(st.Table, where)
+		}
+		if err != nil {
+			return nil, err
+		}
+		schema := s.eng.Schema(st.Table)
+		return &Result{Cols: schema.ColumnNames(), Rows: rows}, nil
+
+	case InsertStmt:
+		vals := make(map[string]storage.Value, len(st.Cols))
+		for i, c := range st.Cols {
+			vals[c] = st.Vals[i]
+		}
+		pk, err := t.Insert(st.Table, vals)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: 1, LastInsertID: pk}, nil
+
+	case UpdateStmt:
+		where, err := pred(st.Where)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[string]storage.Value, len(st.Sets))
+		for _, sc := range st.Sets {
+			if sc.IsDelta {
+				set[sc.Col] = storage.Inc(sc.Delta)
+			} else {
+				set[sc.Col] = sc.Val
+			}
+		}
+		n, err := t.Update(st.Table, where, set)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: n}, nil
+
+	case DeleteStmt:
+		where, err := pred(st.Where)
+		if err != nil {
+			return nil, err
+		}
+		n, err := t.Delete(st.Table, where)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: n}, nil
+	}
+	return nil, errf("unhandled statement %T", stmt)
+}

@@ -1,0 +1,111 @@
+// Package sqlmini implements the small SQL dialect the paper's pseudocode
+// is written in: single-table SELECT/INSERT/UPDATE/DELETE with equality and
+// range predicates, FOR UPDATE/FOR SHARE locking reads, relative updates
+// (SET ver = ver + 1), transaction control with isolation levels,
+// savepoints, and CREATE TABLE — compiled onto the engine's statement API.
+//
+// It exists so the paper's listings (Figure 1c, the §3.1.1 Spree
+// transaction, the §3.3.2 examples) can be executed near-verbatim, and so
+// cmd/adhocsql can offer an interactive shell over the engine.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkPunct // single/double char operators and punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers are lowercased; strings are unquoted
+	pos  int
+}
+
+// lex splits sql into tokens. Keywords are returned as tkIdent; the parser
+// matches them case-insensitively via the lowercased text.
+func lex(sql string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(sql) {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(sql) && sql[i+1] == '-': // comment to EOL
+			for i < len(sql) && sql[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(sql) && isIdentPart(sql[j]) {
+				j++
+			}
+			out = append(out, token{kind: tkIdent, text: strings.ToLower(sql[i:j]), pos: i})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i + 1
+			for j < len(sql) && (sql[j] >= '0' && sql[j] <= '9' || sql[j] == '.') {
+				j++
+			}
+			out = append(out, token{kind: tkNumber, text: sql[i:j], pos: i})
+			i = j
+		case c == '\'':
+			j := i + 1
+			var b strings.Builder
+			for {
+				if j >= len(sql) {
+					return nil, fmt.Errorf("sqlmini: unterminated string at %d", i)
+				}
+				if sql[j] == '\'' {
+					if j+1 < len(sql) && sql[j+1] == '\'' { // escaped quote
+						b.WriteByte('\'')
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				b.WriteByte(sql[j])
+				j++
+			}
+			out = append(out, token{kind: tkString, text: b.String(), pos: i})
+			i = j
+		case c == '<' || c == '>':
+			if i+1 < len(sql) && sql[i+1] == '=' {
+				out = append(out, token{kind: tkPunct, text: sql[i : i+2], pos: i})
+				i += 2
+			} else {
+				out = append(out, token{kind: tkPunct, text: string(c), pos: i})
+				i++
+			}
+		case c == '!' && i+1 < len(sql) && sql[i+1] == '=':
+			out = append(out, token{kind: tkPunct, text: "!=", pos: i})
+			i += 2
+		case strings.IndexByte("(),=*+-;", c) >= 0:
+			out = append(out, token{kind: tkPunct, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlmini: unexpected character %q at %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tkEOF, pos: len(sql)})
+	return out, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,491 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("sqlmini: "+format, args...)
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one statement (a trailing semicolon is tolerated).
+func Parse(sql string) (Stmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptPunct(";")
+	if !p.atEOF() {
+		return nil, errf("unexpected input after statement: %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tkEOF }
+
+// acceptKw consumes the keyword if present.
+func (p *parser) acceptKw(kw string) bool {
+	if p.peek().kind == tkIdent && p.peek().text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return errf("expected %s, got %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.peek().kind == tkPunct && p.peek().text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return errf("expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tkIdent {
+		return "", errf("expected identifier, got %q", t.text)
+	}
+	p.i++
+	return t.text, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tkIdent {
+		return nil, errf("expected statement, got %q", t.text)
+	}
+	switch t.text {
+	case "select":
+		return p.selectStmt()
+	case "insert":
+		return p.insertStmt()
+	case "update":
+		return p.updateStmt()
+	case "delete":
+		return p.deleteStmt()
+	case "begin":
+		p.i++
+		return p.beginTail()
+	case "start":
+		p.i++
+		if err := p.expectKw("transaction"); err != nil {
+			return nil, err
+		}
+		return p.beginTail()
+	case "commit":
+		p.i++
+		return CommitStmt{}, nil
+	case "rollback", "abort":
+		p.i++
+		if p.acceptKw("to") {
+			p.acceptKw("savepoint")
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return RollbackStmt{To: name}, nil
+		}
+		return RollbackStmt{}, nil
+	case "savepoint":
+		p.i++
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return SavepointStmt{Name: name}, nil
+	case "create":
+		return p.createTableStmt()
+	default:
+		return nil, errf("unsupported statement %q", t.text)
+	}
+}
+
+func (p *parser) beginTail() (Stmt, error) {
+	stmt := BeginStmt{Iso: engine.IsolationDefault}
+	if p.acceptKw("isolation") {
+		if err := p.expectKw("level"); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.acceptKw("read"):
+			if err := p.expectKw("committed"); err != nil {
+				return nil, err
+			}
+			stmt.Iso = engine.ReadCommitted
+		case p.acceptKw("repeatable"):
+			if err := p.expectKw("read"); err != nil {
+				return nil, err
+			}
+			stmt.Iso = engine.RepeatableRead
+		case p.acceptKw("serializable"):
+			stmt.Iso = engine.Serializable
+		default:
+			return nil, errf("unknown isolation level %q", p.peek().text)
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) selectStmt() (Stmt, error) {
+	p.i++ // select
+	if !p.acceptPunct("*") {
+		return nil, errf("only SELECT * is supported")
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := SelectStmt{Table: table}
+	if stmt.Where, err = p.optionalWhere(); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("for") {
+		switch {
+		case p.acceptKw("update"):
+			stmt.Lock = engine.ForUpdate
+		case p.acceptKw("share"):
+			stmt.Lock = engine.ForShare
+		default:
+			return nil, errf("expected UPDATE or SHARE after FOR")
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) insertStmt() (Stmt, error) {
+	p.i++ // insert
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := InsertStmt{Table: table}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Cols = append(stmt.Cols, col)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if !p.acceptKw("values") && !p.acceptKw("value") {
+		return nil, errf("expected VALUES")
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Vals = append(stmt.Vals, v)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if len(stmt.Cols) != len(stmt.Vals) {
+		return nil, errf("%d columns but %d values", len(stmt.Cols), len(stmt.Vals))
+	}
+	return stmt, nil
+}
+
+func (p *parser) updateStmt() (Stmt, error) {
+	p.i++ // update
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := UpdateStmt{Table: table}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		sc, err := p.setExpr(col)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Sets = append(stmt.Sets, sc)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if stmt.Where, err = p.optionalWhere(); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// setExpr parses the right-hand side of an assignment: a literal, or the
+// relative form col ± n (the left column itself, as in ver = ver + 1).
+func (p *parser) setExpr(col string) (SetClause, error) {
+	if p.peek().kind == tkIdent && !isLiteralKw(p.peek().text) {
+		ref, err := p.ident()
+		if err != nil {
+			return SetClause{}, err
+		}
+		if ref != col {
+			return SetClause{}, errf("relative update must reference its own column (%s = %s ...)", col, ref)
+		}
+		sign := int64(1)
+		switch {
+		case p.acceptPunct("+"):
+		case p.acceptPunct("-"):
+			sign = -1
+		default:
+			return SetClause{}, errf("expected + or - after %s = %s", col, ref)
+		}
+		t := p.peek()
+		if t.kind != tkNumber || strings.Contains(t.text, ".") {
+			return SetClause{}, errf("relative update needs an integer, got %q", t.text)
+		}
+		p.i++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return SetClause{}, errf("bad integer %q", t.text)
+		}
+		return SetClause{Col: col, IsDelta: true, Delta: sign * n}, nil
+	}
+	v, err := p.value()
+	if err != nil {
+		return SetClause{}, err
+	}
+	return SetClause{Col: col, Val: v}, nil
+}
+
+func (p *parser) deleteStmt() (Stmt, error) {
+	p.i++ // delete
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := DeleteStmt{Table: table}
+	if stmt.Where, err = p.optionalWhere(); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *parser) optionalWhere() ([]Cond, error) {
+	if !p.acceptKw("where") {
+		return nil, nil
+	}
+	var out []Cond
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		op := p.peek()
+		if op.kind != tkPunct || !isCmpOp(op.text) {
+			return nil, errf("expected comparison operator, got %q", op.text)
+		}
+		p.i++
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Cond{Col: col, Op: op.text, Val: v})
+		if !p.acceptKw("and") {
+			break
+		}
+	}
+	return out, nil
+}
+
+func isCmpOp(s string) bool {
+	switch s {
+	case "=", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func isLiteralKw(s string) bool {
+	switch s {
+	case "true", "false", "null":
+		return true
+	}
+	return false
+}
+
+// value parses a literal.
+func (p *parser) value() (storage.Value, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkString:
+		p.i++
+		return t.text, nil
+	case tkNumber:
+		p.i++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, errf("bad number %q", t.text)
+			}
+			return f, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errf("bad integer %q", t.text)
+		}
+		return n, nil
+	case tkPunct:
+		if t.text == "-" {
+			p.i++
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			switch x := v.(type) {
+			case int64:
+				return -x, nil
+			case float64:
+				return -x, nil
+			default:
+				return nil, errf("cannot negate %T", v)
+			}
+		}
+	case tkIdent:
+		switch t.text {
+		case "true":
+			p.i++
+			return true, nil
+		case "false":
+			p.i++
+			return false, nil
+		case "null":
+			p.i++
+			return nil, nil
+		}
+	}
+	return nil, errf("expected literal, got %q", t.text)
+}
+
+func (p *parser) createTableStmt() (Stmt, error) {
+	p.i++ // create
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := CreateTableStmt{Table: table}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var ct storage.ColType
+		switch typName {
+		case "int", "integer", "bigint":
+			ct = storage.TInt
+		case "float", "double", "real":
+			ct = storage.TFloat
+		case "string", "text", "varchar":
+			ct = storage.TString
+		case "bool", "boolean":
+			ct = storage.TBool
+		case "time", "timestamp", "datetime":
+			ct = storage.TTime
+		default:
+			return nil, errf("unknown type %q", typName)
+		}
+		c := storage.Column{Name: col, Type: ct}
+		if p.acceptKw("null") {
+			c.Nullable = true
+		}
+		stmt.Columns = append(stmt.Columns, c)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("index") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Indexes = append(stmt.Indexes, col)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}

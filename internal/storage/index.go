@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"sort"
+)
+
+// Index is an ordered, non-unique secondary index mapping one column's value
+// to the set of primary keys carrying it. Order matters: gap/next-key locking
+// (§3.3.2) is defined over the intervals between adjacent index keys, so the
+// index exposes neighbour queries in addition to point lookups.
+//
+// Index is not safe for concurrent use; the engine serialises access under
+// its table latches.
+type Index struct {
+	Col     string
+	entries []indexEntry // sorted by key
+}
+
+type indexEntry struct {
+	key Value
+	pks map[int64]struct{}
+}
+
+// NewIndex returns an empty index over the named column.
+func NewIndex(col string) *Index { return &Index{Col: col} }
+
+// search returns the position of key (found=true) or its insertion point.
+func (ix *Index) search(key Value) (int, bool) {
+	i := sort.Search(len(ix.entries), func(i int) bool {
+		return Compare(ix.entries[i].key, key) >= 0
+	})
+	if i < len(ix.entries) && Compare(ix.entries[i].key, key) == 0 {
+		return i, true
+	}
+	return i, false
+}
+
+// Add records that the row with primary key pk currently carries key.
+func (ix *Index) Add(key Value, pk int64) {
+	i, found := ix.search(key)
+	if found {
+		ix.entries[i].pks[pk] = struct{}{}
+		return
+	}
+	e := indexEntry{key: key, pks: map[int64]struct{}{pk: {}}}
+	ix.entries = append(ix.entries, indexEntry{})
+	copy(ix.entries[i+1:], ix.entries[i:])
+	ix.entries[i] = e
+}
+
+// Remove deletes the (key, pk) association. Removing an absent entry is a
+// no-op: the engine calls Remove during rollbacks that may not have applied.
+func (ix *Index) Remove(key Value, pk int64) {
+	i, found := ix.search(key)
+	if !found {
+		return
+	}
+	delete(ix.entries[i].pks, pk)
+	if len(ix.entries[i].pks) == 0 {
+		ix.entries = append(ix.entries[:i], ix.entries[i+1:]...)
+	}
+}
+
+// Lookup returns the primary keys associated with key, in ascending order.
+func (ix *Index) Lookup(key Value) []int64 {
+	i, found := ix.search(key)
+	if !found {
+		return nil
+	}
+	return sortedPKs(ix.entries[i].pks)
+}
+
+// Contains reports whether any row carries key.
+func (ix *Index) Contains(key Value) bool {
+	_, found := ix.search(key)
+	return found
+}
+
+// Len returns the number of distinct keys.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// Neighbors returns the greatest existing key strictly below key and the
+// smallest existing key strictly above key. Either may be nil when key is at
+// an edge. This defines the gap an equality probe on a non-unique index
+// locks: (below, above) in the paper's Payments example (§3.3.2), the probe
+// for order_id=10 over existing keys {9, 12} locks the interval (9, 12).
+func (ix *Index) Neighbors(key Value) (below, above Value) {
+	i, found := ix.search(key)
+	if i > 0 {
+		below = ix.entries[i-1].key
+	}
+	j := i
+	if found {
+		j = i + 1
+	}
+	if j < len(ix.entries) {
+		above = ix.entries[j].key
+	}
+	return below, above
+}
+
+// Keys returns all distinct keys in ascending order.
+func (ix *Index) Keys() []Value {
+	out := make([]Value, len(ix.entries))
+	for i, e := range ix.entries {
+		out[i] = e.key
+	}
+	return out
+}
+
+// ScanRange returns the primary keys of entries whose key lies within the
+// given bounds (nil bound = open), in ascending key order.
+func (ix *Index) ScanRange(lo, hi Value, incLo, incHi bool) []int64 {
+	var out []int64
+	for _, e := range ix.entries {
+		if lo != nil {
+			c := Compare(e.key, lo)
+			if c < 0 || (c == 0 && !incLo) {
+				continue
+			}
+		}
+		if hi != nil {
+			c := Compare(e.key, hi)
+			if c > 0 || (c == 0 && !incHi) {
+				break
+			}
+		}
+		out = append(out, sortedPKs(e.pks)...)
+	}
+	return out
+}
+
+func sortedPKs(set map[int64]struct{}) []int64 {
+	out := make([]int64, 0, len(set))
+	for pk := range set {
+		out = append(out, pk)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,210 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexAddLookupRemove(t *testing.T) {
+	ix := NewIndex("order_id")
+	ix.Add(int64(9), 1)
+	ix.Add(int64(12), 2)
+	ix.Add(int64(9), 3)
+
+	if got := ix.Lookup(int64(9)); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Lookup(9) = %v", got)
+	}
+	if !ix.Contains(int64(12)) || ix.Contains(int64(10)) {
+		t.Fatal("Contains wrong")
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2 distinct keys", ix.Len())
+	}
+
+	ix.Remove(int64(9), 1)
+	if got := ix.Lookup(int64(9)); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("after Remove, Lookup(9) = %v", got)
+	}
+	ix.Remove(int64(9), 3)
+	if ix.Contains(int64(9)) {
+		t.Fatal("key should vanish when its last pk is removed")
+	}
+	ix.Remove(int64(99), 1) // absent: no-op
+}
+
+// TestIndexNeighborsPaperExample reproduces §3.3.2: a probe for order_id=10
+// over existing keys {9, 12} identifies the gap (9, 12).
+func TestIndexNeighborsPaperExample(t *testing.T) {
+	ix := NewIndex("order_id")
+	ix.Add(int64(9), 1)
+	ix.Add(int64(12), 2)
+	below, above := ix.Neighbors(int64(10))
+	if below != int64(9) || above != int64(12) {
+		t.Fatalf("Neighbors(10) = (%v, %v), want (9, 12)", below, above)
+	}
+}
+
+func TestIndexNeighborsEdges(t *testing.T) {
+	ix := NewIndex("k")
+	below, above := ix.Neighbors(int64(5))
+	if below != nil || above != nil {
+		t.Fatalf("empty index Neighbors = (%v, %v)", below, above)
+	}
+	ix.Add(int64(5), 1)
+	ix.Add(int64(8), 2)
+
+	if b, a := ix.Neighbors(int64(5)); b != nil || a != int64(8) {
+		t.Fatalf("Neighbors(existing 5) = (%v, %v), want (nil, 8)", b, a)
+	}
+	if b, a := ix.Neighbors(int64(3)); b != nil || a != int64(5) {
+		t.Fatalf("Neighbors(3) = (%v, %v), want (nil, 5)", b, a)
+	}
+	if b, a := ix.Neighbors(int64(9)); b != int64(8) || a != nil {
+		t.Fatalf("Neighbors(9) = (%v, %v), want (8, nil)", b, a)
+	}
+	if b, a := ix.Neighbors(int64(8)); b != int64(5) || a != nil {
+		t.Fatalf("Neighbors(existing 8) = (%v, %v), want (5, nil)", b, a)
+	}
+}
+
+func TestIndexScanRange(t *testing.T) {
+	ix := NewIndex("k")
+	for i := int64(1); i <= 5; i++ {
+		ix.Add(i*10, i)
+	}
+	got := ix.ScanRange(int64(20), int64(40), true, false)
+	want := []int64{2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ScanRange = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScanRange = %v, want %v", got, want)
+		}
+	}
+	all := ix.ScanRange(nil, nil, false, false)
+	if len(all) != 5 {
+		t.Fatalf("open ScanRange returned %v", all)
+	}
+}
+
+func TestIndexKeysSorted(t *testing.T) {
+	ix := NewIndex("k")
+	for _, k := range []int64{5, 1, 9, 3, 7} {
+		ix.Add(k, k)
+	}
+	keys := ix.Keys()
+	for i := 1; i < len(keys); i++ {
+		if Compare(keys[i-1], keys[i]) >= 0 {
+			t.Fatalf("Keys() not strictly sorted: %v", keys)
+		}
+	}
+}
+
+func TestIndexStringKeys(t *testing.T) {
+	ix := NewIndex("name")
+	ix.Add("banana", 2)
+	ix.Add("apple", 1)
+	ix.Add("cherry", 3)
+	if b, a := ix.Neighbors("b"); b != "apple" || a != "banana" {
+		t.Fatalf("Neighbors(\"b\") = (%v, %v)", b, a)
+	}
+	if got := ix.Lookup("apple"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Lookup(apple) = %v", got)
+	}
+}
+
+// TestIndexMatchesModelProperty drives the index with random operations and
+// compares against a naive map-based model.
+func TestIndexMatchesModelProperty(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := NewIndex("k")
+		model := map[int64]map[int64]bool{}
+		for _, b := range opsRaw {
+			key := int64(rng.Intn(8))
+			pk := int64(rng.Intn(8))
+			if b%2 == 0 {
+				ix.Add(key, pk)
+				if model[key] == nil {
+					model[key] = map[int64]bool{}
+				}
+				model[key][pk] = true
+			} else {
+				ix.Remove(key, pk)
+				if m := model[key]; m != nil {
+					delete(m, pk)
+					if len(m) == 0 {
+						delete(model, key)
+					}
+				}
+			}
+		}
+		// Every key in the model must match the index exactly.
+		for key, pks := range model {
+			got := ix.Lookup(key)
+			want := make([]int64, 0, len(pks))
+			for pk := range pks {
+				want = append(want, pk)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		// And the index must not contain keys missing from the model.
+		if ix.Len() != len(model) {
+			return false
+		}
+		// Keys stay sorted.
+		keys := ix.Keys()
+		for i := 1; i < len(keys); i++ {
+			if Compare(keys[i-1], keys[i]) >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIndexNeighborsProperty checks that Neighbors always brackets the probe.
+func TestIndexNeighborsProperty(t *testing.T) {
+	f := func(keys []int16, probe int16) bool {
+		ix := NewIndex("k")
+		for i, k := range keys {
+			ix.Add(int64(k), int64(i))
+		}
+		below, above := ix.Neighbors(int64(probe))
+		if below != nil && Compare(below, int64(probe)) >= 0 {
+			return false
+		}
+		if above != nil && Compare(above, int64(probe)) <= 0 {
+			return false
+		}
+		// below/above must be adjacent: no existing key strictly between
+		// below and probe, nor between probe and above.
+		for _, k := range ix.Keys() {
+			kv := k.(int64)
+			if below != nil && kv > below.(int64) && kv < int64(probe) {
+				return false
+			}
+			if above != nil && kv < above.(int64) && kv > int64(probe) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pred is a row predicate. Predicates drive scans, updates, deletes, and —
+// central to this study — predicate-based coordination (§3.3.2): the ad hoc
+// lock tables key their entries off equality predicates.
+type Pred interface {
+	// Match reports whether the row satisfies the predicate.
+	Match(s *Schema, row Row) bool
+	// String renders the predicate in WHERE-clause style.
+	String() string
+}
+
+// All matches every row.
+type All struct{}
+
+// Match implements Pred.
+func (All) Match(*Schema, Row) bool { return true }
+
+// String implements Pred.
+func (All) String() string { return "TRUE" }
+
+// Eq matches rows whose column equals the value.
+type Eq struct {
+	Col string
+	Val Value
+}
+
+// Match implements Pred.
+func (p Eq) Match(s *Schema, row Row) bool { return Equal(row.Get(s, p.Col), p.Val) }
+
+// String implements Pred.
+func (p Eq) String() string { return fmt.Sprintf("%s=%s", p.Col, FormatValue(p.Val)) }
+
+// ByPK matches the row with the given primary key.
+func ByPK(id int64) Eq { return Eq{Col: PKColumn, Val: id} }
+
+// Range matches rows whose column falls in [Lo, Hi] (inclusive ends are
+// controlled by IncLo/IncHi). A nil bound is open.
+type Range struct {
+	Col          string
+	Lo, Hi       Value
+	IncLo, IncHi bool
+}
+
+// Match implements Pred.
+func (p Range) Match(s *Schema, row Row) bool {
+	v := row.Get(s, p.Col)
+	if v == nil {
+		return false
+	}
+	if p.Lo != nil {
+		c := Compare(v, p.Lo)
+		if c < 0 || (c == 0 && !p.IncLo) {
+			return false
+		}
+	}
+	if p.Hi != nil {
+		c := Compare(v, p.Hi)
+		if c > 0 || (c == 0 && !p.IncHi) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Pred.
+func (p Range) String() string {
+	var parts []string
+	if p.Lo != nil {
+		op := ">"
+		if p.IncLo {
+			op = ">="
+		}
+		parts = append(parts, fmt.Sprintf("%s%s%s", p.Col, op, FormatValue(p.Lo)))
+	}
+	if p.Hi != nil {
+		op := "<"
+		if p.IncHi {
+			op = "<="
+		}
+		parts = append(parts, fmt.Sprintf("%s%s%s", p.Col, op, FormatValue(p.Hi)))
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("%s IS NOT NULL", p.Col)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// And matches rows satisfying every child predicate.
+type And []Pred
+
+// Match implements Pred.
+func (ps And) Match(s *Schema, row Row) bool {
+	for _, p := range ps {
+		if !p.Match(s, row) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Pred.
+func (ps And) String() string {
+	if len(ps) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// EqCond extracts the (column, value) pair if p is a simple equality or an
+// And containing exactly one equality on the given column. The engine uses
+// this for index selection, and the gap-lock logic uses it to decide which
+// index interval a query touches.
+func EqCond(p Pred, col string) (Value, bool) {
+	switch q := p.(type) {
+	case Eq:
+		if q.Col == col {
+			return q.Val, true
+		}
+	case And:
+		for _, child := range q {
+			if v, ok := EqCond(child, col); ok {
+				return v, true
+			}
+		}
+	}
+	return nil, false
+}

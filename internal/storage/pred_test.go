@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"testing"
+)
+
+func predRow(id, orderID int64, status string) Row {
+	return Row{id, orderID, status}
+}
+
+func paySchema() *Schema {
+	return NewSchema("payments",
+		Column{Name: "order_id", Type: TInt},
+		Column{Name: "status", Type: TString},
+	)
+}
+
+func TestEqPred(t *testing.T) {
+	s := paySchema()
+	p := Eq{Col: "order_id", Val: int64(10)}
+	if !p.Match(s, predRow(1, 10, "new")) {
+		t.Fatal("Eq should match")
+	}
+	if p.Match(s, predRow(2, 11, "new")) {
+		t.Fatal("Eq should not match other value")
+	}
+	if got := p.String(); got != "order_id=10" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestByPK(t *testing.T) {
+	s := paySchema()
+	if !ByPK(3).Match(s, predRow(3, 1, "x")) {
+		t.Fatal("ByPK should match")
+	}
+	if ByPK(3).Match(s, predRow(4, 1, "x")) {
+		t.Fatal("ByPK matched wrong row")
+	}
+}
+
+func TestRangePred(t *testing.T) {
+	s := paySchema()
+	p := Range{Col: "order_id", Lo: int64(5), Hi: int64(10), IncLo: true, IncHi: false}
+	cases := []struct {
+		v    int64
+		want bool
+	}{{4, false}, {5, true}, {7, true}, {10, false}, {11, false}}
+	for _, c := range cases {
+		if got := p.Match(s, predRow(1, c.v, "s")); got != c.want {
+			t.Errorf("Range.Match(order_id=%d) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	open := Range{Col: "order_id", Lo: int64(5)}
+	if open.Match(s, predRow(1, 5, "s")) {
+		t.Error("exclusive lower bound should reject 5")
+	}
+	if !open.Match(s, predRow(1, 6, "s")) {
+		t.Error("open upper bound should accept 6")
+	}
+}
+
+func TestRangePredNullRejected(t *testing.T) {
+	s := NewSchema("t", Column{Name: "v", Type: TInt, Nullable: true})
+	p := Range{Col: "v", Lo: int64(0), IncLo: true}
+	if p.Match(s, Row{int64(1), nil}) {
+		t.Fatal("NULL should not satisfy a range predicate")
+	}
+}
+
+func TestAndPred(t *testing.T) {
+	s := paySchema()
+	p := And{Eq{Col: "order_id", Val: int64(10)}, Eq{Col: "status", Val: "new"}}
+	if !p.Match(s, predRow(1, 10, "new")) {
+		t.Fatal("And should match")
+	}
+	if p.Match(s, predRow(1, 10, "paid")) {
+		t.Fatal("And should fail on second conjunct")
+	}
+	if got := p.String(); got != `order_id=10 AND status="new"` {
+		t.Fatalf("String() = %q", got)
+	}
+	if (And{}).String() != "TRUE" {
+		t.Fatal("empty And should print TRUE")
+	}
+	if !(And{}).Match(s, predRow(1, 1, "x")) {
+		t.Fatal("empty And should match")
+	}
+}
+
+func TestAllPred(t *testing.T) {
+	s := paySchema()
+	if !(All{}).Match(s, predRow(1, 1, "x")) {
+		t.Fatal("All should match")
+	}
+	if (All{}).String() != "TRUE" {
+		t.Fatal("All should print TRUE")
+	}
+}
+
+func TestEqCond(t *testing.T) {
+	if v, ok := EqCond(Eq{Col: "order_id", Val: int64(7)}, "order_id"); !ok || v != int64(7) {
+		t.Fatalf("EqCond(Eq) = %v, %v", v, ok)
+	}
+	if _, ok := EqCond(Eq{Col: "status", Val: "x"}, "order_id"); ok {
+		t.Fatal("EqCond matched wrong column")
+	}
+	nested := And{Eq{Col: "status", Val: "new"}, Eq{Col: "order_id", Val: int64(3)}}
+	if v, ok := EqCond(nested, "order_id"); !ok || v != int64(3) {
+		t.Fatalf("EqCond(And) = %v, %v", v, ok)
+	}
+	if _, ok := EqCond(Range{Col: "order_id"}, "order_id"); ok {
+		t.Fatal("EqCond should not match Range")
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	cases := []struct {
+		p    Range
+		want string
+	}{
+		{Range{Col: "v", Lo: int64(1), IncLo: true}, "v>=1"},
+		{Range{Col: "v", Hi: int64(9)}, "v<9"},
+		{Range{Col: "v", Lo: int64(1), Hi: int64(9), IncHi: true}, "v>1 AND v<=9"},
+		{Range{Col: "v"}, "v IS NOT NULL"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PKColumn is the primary-key column present in every table. All studied web
+// applications use ORM conventions with a synthetic integer "id" primary key;
+// the engine assigns it from a per-table auto-increment counter.
+const PKColumn = "id"
+
+// Column describes one table column.
+type Column struct {
+	Name     string
+	Type     ColType
+	Nullable bool
+}
+
+// Schema describes a table: its name and ordered columns. Column 0 is always
+// the "id" primary key. Construct with NewSchema.
+type Schema struct {
+	Table   string
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema with the implicit "id" primary key prepended.
+// It panics on duplicate or empty column names — schemas are program
+// constants, so misuse is a programming error, not a runtime condition.
+func NewSchema(table string, cols ...Column) *Schema {
+	s := &Schema{
+		Table:   table,
+		Columns: make([]Column, 0, len(cols)+1),
+		byName:  make(map[string]int, len(cols)+1),
+	}
+	s.addColumn(Column{Name: PKColumn, Type: TInt})
+	for _, c := range cols {
+		s.addColumn(c)
+	}
+	return s
+}
+
+func (s *Schema) addColumn(c Column) {
+	if c.Name == "" {
+		panic(fmt.Sprintf("storage: empty column name in table %q", s.Table))
+	}
+	if _, dup := s.byName[c.Name]; dup {
+		panic(fmt.Sprintf("storage: duplicate column %q in table %q", c.Name, s.Table))
+	}
+	s.byName[c.Name] = len(s.Columns)
+	s.Columns = append(s.Columns, c)
+}
+
+// Col returns the index of the named column, or -1 if absent.
+func (s *Schema) Col(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustCol is Col but panics on unknown names.
+func (s *Schema) MustCol(name string) int {
+	i := s.Col(name)
+	if i < 0 {
+		panic(fmt.Sprintf("storage: table %q has no column %q", s.Table, name))
+	}
+	return i
+}
+
+// HasColumn reports whether the schema contains the named column.
+func (s *Schema) HasColumn(name string) bool { return s.Col(name) >= 0 }
+
+// ColumnNames returns the column names in schema order.
+func (s *Schema) ColumnNames() []string {
+	names := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// CheckRow validates a full row against the schema: arity, types, and
+// nullability.
+func (s *Schema) CheckRow(row Row) error {
+	if len(row) != len(s.Columns) {
+		return fmt.Errorf("storage: table %q row has %d values, want %d", s.Table, len(row), len(s.Columns))
+	}
+	for i, v := range row {
+		if err := s.checkValue(i, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Schema) checkValue(col int, v Value) error {
+	c := s.Columns[col]
+	if v == nil {
+		if c.Name == PKColumn || !c.Nullable {
+			return fmt.Errorf("storage: table %q column %q is not nullable", s.Table, c.Name)
+		}
+		return nil
+	}
+	t, ok := TypeOf(v)
+	if !ok {
+		return fmt.Errorf("storage: table %q column %q: unsupported value type %T", s.Table, c.Name, v)
+	}
+	if t != c.Type {
+		return fmt.Errorf("storage: table %q column %q: value %s has type %v, want %v",
+			s.Table, c.Name, FormatValue(v), t, c.Type)
+	}
+	return nil
+}
+
+// String renders the schema as a CREATE TABLE-ish line, for diagnostics.
+func (s *Schema) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE %s(", s.Table)
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %v", c.Name, c.Type)
+		if c.Nullable {
+			b.WriteString(" NULL")
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Row is one tuple, aligned with the schema's columns.
+type Row []Value
+
+// Clone returns a copy of the row. Values are immutable (Go value types), so
+// a shallow copy suffices.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// PK returns the row's primary key.
+func (r Row) PK() int64 { return r[0].(int64) }
+
+// Get returns the value at the named column per the schema.
+func (r Row) Get(s *Schema, col string) Value { return r[s.MustCol(col)] }
+
+// Set assigns the value at the named column per the schema.
+func (r Row) Set(s *Schema, col string, v Value) { r[s.MustCol(col)] = v }

@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+func skuSchema() *Schema {
+	return NewSchema("skus",
+		Column{Name: "product_id", Type: TInt},
+		Column{Name: "quantity", Type: TInt},
+		Column{Name: "note", Type: TString, Nullable: true},
+	)
+}
+
+func TestNewSchemaPrependsPK(t *testing.T) {
+	s := skuSchema()
+	if s.Columns[0].Name != PKColumn || s.Columns[0].Type != TInt {
+		t.Fatalf("column 0 = %+v, want id INT", s.Columns[0])
+	}
+	if got := s.Col("quantity"); got != 2 {
+		t.Fatalf("Col(quantity) = %d, want 2", got)
+	}
+	if s.Col("missing") != -1 {
+		t.Fatal("Col(missing) should be -1")
+	}
+	if !s.HasColumn("note") || s.HasColumn("nope") {
+		t.Fatal("HasColumn wrong")
+	}
+	want := []string{"id", "product_id", "quantity", "note"}
+	got := s.ColumnNames()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ColumnNames() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewSchemaRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate column did not panic")
+		}
+	}()
+	NewSchema("t", Column{Name: "a", Type: TInt}, Column{Name: "a", Type: TInt})
+}
+
+func TestNewSchemaRejectsExplicitID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("explicit id column did not panic")
+		}
+	}()
+	NewSchema("t", Column{Name: "id", Type: TInt})
+}
+
+func TestMustColPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCol on missing column did not panic")
+		}
+	}()
+	skuSchema().MustCol("ghost")
+}
+
+func TestCheckRow(t *testing.T) {
+	s := skuSchema()
+	good := Row{int64(1), int64(7), int64(10), "fine"}
+	if err := s.CheckRow(good); err != nil {
+		t.Fatalf("valid row rejected: %v", err)
+	}
+	withNull := Row{int64(1), int64(7), int64(10), nil}
+	if err := s.CheckRow(withNull); err != nil {
+		t.Fatalf("nullable NULL rejected: %v", err)
+	}
+
+	bad := []struct {
+		name string
+		row  Row
+		frag string
+	}{
+		{"short", Row{int64(1)}, "values"},
+		{"wrong type", Row{int64(1), "x", int64(10), nil}, "type"},
+		{"null pk", Row{nil, int64(7), int64(10), nil}, "not nullable"},
+		{"null non-nullable", Row{int64(1), nil, int64(10), nil}, "not nullable"},
+		{"unsupported type", Row{int64(1), int64(7), uint8(3), nil}, "unsupported"},
+	}
+	for _, c := range bad {
+		err := s.CheckRow(c.row)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestRowHelpers(t *testing.T) {
+	s := skuSchema()
+	r := Row{int64(9), int64(1), int64(5), nil}
+	if r.PK() != 9 {
+		t.Fatalf("PK() = %d", r.PK())
+	}
+	if got := r.Get(s, "quantity"); got != int64(5) {
+		t.Fatalf("Get(quantity) = %v", got)
+	}
+	cl := r.Clone()
+	cl.Set(s, "quantity", int64(1))
+	if r.Get(s, "quantity") != int64(5) {
+		t.Fatal("Clone is not independent")
+	}
+	if cl.Get(s, "quantity") != int64(1) {
+		t.Fatal("Set on clone failed")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	got := skuSchema().String()
+	for _, frag := range []string{"TABLE skus", "id INT", "note STRING NULL"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("String() = %q missing %q", got, frag)
+		}
+	}
+}

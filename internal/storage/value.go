@@ -1,0 +1,174 @@
+// Package storage provides the relational storage primitives the engine is
+// built on: typed column values, table schemas, row containers, predicates,
+// and ordered secondary indexes.
+//
+// The engine (internal/engine) owns version chains and transactional state;
+// this package is deliberately non-transactional and reusable.
+package storage
+
+import (
+	"fmt"
+	"time"
+)
+
+// Value is a column value. Supported dynamic types are int64, float64,
+// string, bool, time.Time, and nil. It is an alias, not a defined type, so
+// map[string]any literals flow into the API unconverted; TypeOf and
+// Schema.CheckRow police the supported set at the engine boundary.
+type Value = any
+
+// ColType enumerates supported column types.
+type ColType int
+
+// Supported column types.
+const (
+	TInt ColType = iota
+	TFloat
+	TString
+	TBool
+	TTime
+)
+
+// String implements fmt.Stringer.
+func (t ColType) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "STRING"
+	case TBool:
+		return "BOOL"
+	case TTime:
+		return "TIME"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// TypeOf reports the ColType of v and whether v belongs to the supported set.
+// nil is accepted by every column type, so TypeOf(nil) reports ok with an
+// unspecified type; use v == nil to test for NULL.
+func TypeOf(v Value) (ColType, bool) {
+	switch v.(type) {
+	case nil:
+		return TInt, true
+	case int64:
+		return TInt, true
+	case float64:
+		return TFloat, true
+	case string:
+		return TString, true
+	case bool:
+		return TBool, true
+	case time.Time:
+		return TTime, true
+	default:
+		return 0, false
+	}
+}
+
+// Compare orders two values of the same dynamic type. NULL sorts before
+// everything. It panics on unsupported or mismatched types: the engine
+// validates values against the schema before they reach ordered structures.
+func Compare(a, b Value) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch av := a.(type) {
+	case int64:
+		bv := b.(int64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+		return 0
+	case float64:
+		bv := b.(float64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+		return 0
+	case string:
+		bv := b.(string)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+		return 0
+	case bool:
+		bv := b.(bool)
+		switch {
+		case !av && bv:
+			return -1
+		case av && !bv:
+			return 1
+		}
+		return 0
+	case time.Time:
+		bv := b.(time.Time)
+		switch {
+		case av.Before(bv):
+			return -1
+		case av.After(bv):
+			return 1
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("storage: Compare on unsupported type %T", a))
+	}
+}
+
+// Equal reports whether two values compare equal. Unlike Compare it is safe
+// on mismatched types (they are simply unequal).
+func Equal(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	ta, oka := TypeOf(a)
+	tb, okb := TypeOf(b)
+	if !oka || !okb || ta != tb {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Delta is a relative update value: passing Delta{N} for a column in an
+// UPDATE's set map compiles to SET col = col + N, the blind-increment shape
+// the paper's ad hoc transactions lean on ("Set max_post=max_post+1",
+// "Set ver=ver+1"). Valid only for TInt columns.
+type Delta struct {
+	N int64
+}
+
+// Inc returns a Delta adding n.
+func Inc(n int64) Delta { return Delta{N: n} }
+
+// FormatValue renders a value the way the report tooling prints it.
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		return fmt.Sprintf("%q", x)
+	case time.Time:
+		return x.UTC().Format(time.RFC3339)
+	default:
+		return fmt.Sprint(x)
+	}
+}

@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTypeOf(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want ColType
+		ok   bool
+	}{
+		{int64(1), TInt, true},
+		{3.14, TFloat, true},
+		{"s", TString, true},
+		{true, TBool, true},
+		{time.Unix(0, 0), TTime, true},
+		{nil, TInt, true},
+		{int32(1), 0, false},
+		{[]byte("x"), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := TypeOf(c.v)
+		if ok != c.ok {
+			t.Errorf("TypeOf(%T) ok = %v, want %v", c.v, ok, c.ok)
+			continue
+		}
+		if ok && c.v != nil && got != c.want {
+			t.Errorf("TypeOf(%T) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{int64(1), int64(2), -1},
+		{int64(2), int64(2), 0},
+		{int64(3), int64(2), 1},
+		{1.5, 2.5, -1},
+		{"a", "b", -1},
+		{"b", "b", 0},
+		{false, true, -1},
+		{true, true, 0},
+		{time.Unix(1, 0), time.Unix(2, 0), -1},
+		{nil, int64(0), -1},
+		{int64(0), nil, 1},
+		{nil, nil, 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareIsTransitiveOnInts(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 {
+			return Compare(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComparePanicsOnMixedTypes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compare(int64, string) did not panic")
+		}
+	}()
+	Compare(int64(1), "x")
+}
+
+func TestEqualToleratesMixedTypes(t *testing.T) {
+	if Equal(int64(1), "1") {
+		t.Error("int64(1) should not equal \"1\"")
+	}
+	if Equal(int64(1), 1.0) {
+		t.Error("int64(1) should not equal float64(1)")
+	}
+	if !Equal(nil, nil) {
+		t.Error("nil should equal nil")
+	}
+	if Equal(nil, int64(0)) {
+		t.Error("nil should not equal 0")
+	}
+	if !Equal("x", "x") {
+		t.Error("identical strings unequal")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{nil, "NULL"},
+		{int64(42), "42"},
+		{"hi", `"hi"`},
+		{true, "true"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v); got != c.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package wal
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+func sampleOps() []Op {
+	return []Op{
+		{Kind: OpInsert, Table: "posts", PK: 1, Row: storage.Row{int64(1), "hello", int64(0)}},
+		{Kind: OpUpdate, Table: "posts", PK: 1, Row: storage.Row{int64(1), "edited", int64(1)}},
+		{Kind: OpDelete, Table: "drafts", PK: 9},
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	log := New(sim.Latency{})
+	lsn1, err := log.Append(100, sampleOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn2, err := log.Append(101, []Op{{Kind: OpInsert, Table: "t", PK: 2, Row: storage.Row{int64(2), 3.5, true, nil, time.Unix(7, 42).UTC()}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn1 != 1 || lsn2 != 2 {
+		t.Fatalf("lsns = %d, %d", lsn1, lsn2)
+	}
+
+	recs, err := Records(log.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records", len(recs))
+	}
+	if recs[0].TxnID != 100 || recs[1].TxnID != 101 {
+		t.Fatalf("txn ids = %d, %d", recs[0].TxnID, recs[1].TxnID)
+	}
+	if !reflect.DeepEqual(recs[0].Ops, sampleOps()) {
+		t.Fatalf("ops round trip mismatch:\n got %#v\nwant %#v", recs[0].Ops, sampleOps())
+	}
+	if !reflect.DeepEqual(recs[1].Ops[0].Row, storage.Row{int64(2), 3.5, true, nil, time.Unix(7, 42).UTC()}) {
+		t.Fatalf("value round trip mismatch: %#v", recs[1].Ops[0].Row)
+	}
+}
+
+func TestReplayToleratesTornTail(t *testing.T) {
+	log := New(sim.Latency{})
+	if _, err := log.Append(1, sampleOps()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(2, sampleOps()); err != nil {
+		t.Fatal(err)
+	}
+	raw := log.Bytes()
+	for cut := 1; cut < 20; cut++ {
+		torn := raw[:len(raw)-cut]
+		recs, err := Records(torn)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("cut %d: replayed %d records, want 1", cut, len(recs))
+		}
+	}
+}
+
+func TestReplayDetectsCorruption(t *testing.T) {
+	log := New(sim.Latency{})
+	if _, err := log.Append(1, sampleOps()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(2, sampleOps()); err != nil {
+		t.Fatal(err)
+	}
+	raw := log.Bytes()
+	raw[10] ^= 0xff // flip a payload byte of the first record
+	_, err := Records(raw)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	log := New(sim.Latency{})
+	if _, err := log.Append(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop")
+	err := Replay(log.Bytes(), func(Record) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAppendChargesFsync(t *testing.T) {
+	clock := sim.NewFakeClock(time.Unix(0, 0))
+	log := New(sim.Latency{Clock: clock, Fsync: 3 * time.Millisecond})
+	if _, err := log.Append(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Now().Sub(time.Unix(0, 0)); got != 3*time.Millisecond {
+		t.Fatalf("fsync charged %v", got)
+	}
+}
+
+func TestAppendRejectsUnsupportedValue(t *testing.T) {
+	log := New(sim.Latency{})
+	_, err := log.Append(1, []Op{{Kind: OpInsert, Table: "t", PK: 1, Row: storage.Row{struct{}{}}}})
+	if err == nil {
+		t.Fatal("unsupported value accepted")
+	}
+}
+
+func TestConcurrentAppendsKeepDistinctLSNs(t *testing.T) {
+	log := New(sim.Latency{})
+	const n = 50
+	var wg sync.WaitGroup
+	lsns := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, err := log.Append(uint64(i), sampleOps())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			lsns[i] = lsn
+		}(i)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for _, l := range lsns {
+		if seen[l] {
+			t.Fatalf("duplicate lsn %d", l)
+		}
+		seen[l] = true
+	}
+	recs, err := Records(log.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LSN <= recs[i-1].LSN {
+			t.Fatalf("lsns out of order in log: %d then %d", recs[i-1].LSN, recs[i].LSN)
+		}
+	}
+}
+
+// TestValueRoundTripProperty round-trips random rows through the codec.
+func TestValueRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		row := make(storage.Row, int(n%12))
+		for i := range row {
+			switch rng.Intn(6) {
+			case 0:
+				row[i] = rng.Int63()
+			case 1:
+				row[i] = rng.NormFloat64()
+			case 2:
+				row[i] = randString(rng)
+			case 3:
+				row[i] = rng.Intn(2) == 0
+			case 4:
+				row[i] = time.Unix(rng.Int63n(1<<32), int64(rng.Intn(1e9))).UTC()
+			case 5:
+				row[i] = nil
+			}
+		}
+		log := New(sim.Latency{})
+		if _, err := log.Append(1, []Op{{Kind: OpUpdate, Table: "t", PK: 1, Row: row}}); err != nil {
+			return false
+		}
+		recs, err := Records(log.Bytes())
+		if err != nil || len(recs) != 1 {
+			return false
+		}
+		got := recs[0].Ops[0].Row
+		if len(got) != len(row) {
+			return false
+		}
+		for i := range row {
+			if !storage.Equal(got[i], row[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randString(rng *rand.Rand) string {
+	b := make([]byte, rng.Intn(20))
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return string(b)
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpInsert.String() != "INSERT" || OpUpdate.String() != "UPDATE" || OpDelete.String() != "DELETE" {
+		t.Fatal("OpKind strings wrong")
+	}
+	if OpKind(99).String() == "" {
+		t.Fatal("unknown kind should still print")
+	}
+}

@@ -1,0 +1,145 @@
+// Package webstack is the minimal HTTP layer the benchmark harness drives
+// application APIs through, mirroring the paper's setup ("we developed test
+// clients to stress chosen application APIs with valid HTTP requests",
+// §5). Handlers take URL parameters and return an error; responses are
+// small JSON documents over a loopback listener.
+package webstack
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// HandlerFunc processes one API call.
+type HandlerFunc func(params url.Values) error
+
+// Server hosts application APIs on a loopback listener.
+type Server struct {
+	mux      *http.ServeMux
+	listener net.Listener
+	httpSrv  *http.Server
+	baseURL  string
+}
+
+// NewServer creates an unstarted server.
+func NewServer() *Server {
+	return &Server{mux: http.NewServeMux()}
+}
+
+// Handle registers an API under the given path (e.g. "/checkout").
+func (s *Server) Handle(path string, h HandlerFunc) {
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		if err := r.ParseForm(); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if err := h(r.Form); err != nil {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// Start begins serving on an ephemeral loopback port.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	s.listener = ln
+	s.baseURL = "http://" + ln.Addr().String()
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Close()
+}
+
+// BaseURL returns the server's address (valid after Start).
+func (s *Server) BaseURL() string { return s.baseURL }
+
+// Client issues API calls against a Server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server.
+func (s *Server) NewClient() *Client {
+	return &Client{
+		base: s.baseURL,
+		http: &http.Client{Timeout: 30 * time.Second, Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+		}},
+	}
+}
+
+// ErrAPIConflict is returned when the API reported a coordination conflict
+// (HTTP 409).
+var ErrAPIConflict = errors.New("webstack: api conflict")
+
+// Call invokes the API at path with the given parameters.
+func (c *Client) Call(path string, params url.Values) error {
+	resp, err := c.http.PostForm(c.base+path, params)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		var body struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return fmt.Errorf("%w: %s", ErrAPIConflict, body.Error)
+	default:
+		return fmt.Errorf("webstack: %s returned %d", path, resp.StatusCode)
+	}
+}
+
+// Int64 parses an int64 parameter.
+func Int64(params url.Values, key string) (int64, error) {
+	v := params.Get(key)
+	if v == "" {
+		return 0, fmt.Errorf("webstack: missing parameter %q", key)
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("webstack: parameter %q: %v", key, err)
+	}
+	return n, nil
+}
+
+// Params builds url.Values from alternating key/value pairs.
+func Params(kv ...string) url.Values {
+	out := url.Values{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		out.Set(kv[i], kv[i+1])
+	}
+	return out
+}

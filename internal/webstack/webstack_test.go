@@ -1,0 +1,103 @@
+package webstack
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"sync"
+	"testing"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s := NewServer()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	s := NewServer()
+	var got int64
+	s.Handle("/checkout", func(params url.Values) error {
+		n, err := Int64(params, "sku")
+		if err != nil {
+			return err
+		}
+		got = n
+		return nil
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+
+	c := s.NewClient()
+	if err := c.Call("/checkout", Params("sku", "42")); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("handler saw sku=%d", got)
+	}
+}
+
+func TestConflictPropagates(t *testing.T) {
+	s := startServer(t)
+	s.Handle("/pay", func(url.Values) error { return fmt.Errorf("insufficient stock") })
+	err := s.NewClient().Call("/pay", nil)
+	if !errors.Is(err, ErrAPIConflict) {
+		t.Fatalf("err = %v, want ErrAPIConflict", err)
+	}
+}
+
+func TestMissingAndBadParams(t *testing.T) {
+	if _, err := Int64(url.Values{}, "x"); err == nil {
+		t.Fatal("missing param accepted")
+	}
+	if _, err := Int64(url.Values{"x": {"abc"}}, "x"); err == nil {
+		t.Fatal("bad param accepted")
+	}
+	p := Params("a", "1", "b", "2")
+	if p.Get("a") != "1" || p.Get("b") != "2" {
+		t.Fatalf("Params = %v", p)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := startServer(t)
+	var mu sync.Mutex
+	count := 0
+	s.Handle("/inc", func(url.Values) error {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := s.NewClient()
+			for j := 0; j < 10; j++ {
+				if err := c.Call("/inc", nil); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 80 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestUnknownPath(t *testing.T) {
+	s := startServer(t)
+	if err := s.NewClient().Call("/nope", nil); err == nil {
+		t.Fatal("unknown path accepted")
+	}
+}
