@@ -15,7 +15,9 @@ import (
 	"os"
 	"time"
 
+	"adhoctx/internal/core"
 	"adhoctx/internal/experiments"
+	"adhoctx/internal/obs"
 )
 
 func main() {
@@ -25,7 +27,27 @@ func main() {
 	iters := flag.Int("iters", 200, "lock/unlock pairs per primitive for Figure 2")
 	noHTTP := flag.Bool("nohttp", false, "bypass the HTTP layer in Figure 3")
 	ablate := flag.Bool("ablate", false, "run the design-choice ablations instead of the figures")
+	metrics := flag.Bool("metrics", false, "print the obs registry snapshot after each figure")
 	flag.Parse()
+
+	// newRegistry returns a fresh registry per figure when -metrics is set
+	// (so each snapshot covers only that figure), or nil to keep the
+	// instrumented paths on their single-atomic-load fast path.
+	newRegistry := func() *obs.Registry {
+		if !*metrics {
+			return nil
+		}
+		reg := obs.NewRegistry()
+		core.WireObs(reg)
+		return reg
+	}
+	printRegistry := func(reg *obs.Registry) {
+		if reg == nil {
+			return
+		}
+		fmt.Println("--- metrics ---")
+		fmt.Print(reg.Text())
+	}
 
 	if *ablate {
 		rtt := 150 * time.Microsecond
@@ -46,10 +68,12 @@ func main() {
 	}
 
 	run := func(n int) error {
+		reg := newRegistry()
 		switch n {
 		case 2:
 			cfg := experiments.DefaultFigure2Config()
 			cfg.Iters = *iters
+			cfg.Obs = reg
 			rows, err := experiments.Figure2(cfg)
 			if err != nil {
 				return err
@@ -60,6 +84,7 @@ func main() {
 			cfg.Duration = *dur
 			cfg.Clients = *clients
 			cfg.UseHTTP = !*noHTTP
+			cfg.Obs = reg
 			rows, err := experiments.Figure3(cfg)
 			if err != nil {
 				return err
@@ -68,7 +93,9 @@ func main() {
 			fmt.Printf("geometric mean improvement under contention: %.1f%%\n",
 				experiments.GeometricMeanImprovement(rows)*100)
 		case 4:
-			rows, err := experiments.Figure4(experiments.DefaultFigure4Config())
+			cfg := experiments.DefaultFigure4Config()
+			cfg.Obs = reg
+			rows, err := experiments.Figure4(cfg)
 			if err != nil {
 				return err
 			}
@@ -76,6 +103,7 @@ func main() {
 		default:
 			return fmt.Errorf("adhocbench: no figure %d (have 2, 3, 4)", n)
 		}
+		printRegistry(reg)
 		return nil
 	}
 

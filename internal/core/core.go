@@ -16,7 +16,46 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"time"
+
+	"adhoctx/internal/obs"
 )
+
+// coreMetrics is the framework's resolved instrument set (see WireObs).
+// Metrics are package-global because ad hoc primitives are plain values
+// passed around by the applications, with no central coordinator object.
+type coreMetrics struct {
+	lockAcquires   *obs.Counter
+	lockFailures   *obs.Counter
+	attempts       *obs.Counter
+	retries        *obs.Counter
+	validationFail *obs.Counter
+	backoffTotal   *obs.Counter // nanoseconds; exposed as seconds
+	holdSeconds    *obs.Histogram
+}
+
+var om atomic.Pointer[coreMetrics]
+
+// WireObs attaches the ad hoc transaction framework to reg: lock
+// acquisitions and hold times for the pessimistic shapes, attempt/retry/
+// validation-failure counts and backoff time for the optimistic loop. Wiring
+// is process-global; pass nil to detach.
+func WireObs(reg *obs.Registry) {
+	if reg == nil {
+		om.Store(nil)
+		return
+	}
+	om.Store(&coreMetrics{
+		lockAcquires:   reg.Counter("adhoc_lock_acquires_total"),
+		lockFailures:   reg.Counter("adhoc_lock_failures_total"),
+		attempts:       reg.Counter("adhoc_attempts_total"),
+		retries:        reg.Counter("adhoc_retries_total"),
+		validationFail: reg.Counter("adhoc_validation_failures_total"),
+		backoffTotal:   reg.Counter("adhoc_backoff_seconds_total"),
+		holdSeconds:    reg.Histogram("adhoc_lock_hold_seconds"),
+	})
+}
 
 // ErrConflict is the canonical optimistic-validation failure. Optimistic ad
 // hoc transactions return it (possibly wrapped) when the validate step
@@ -55,12 +94,24 @@ type TryLocker interface {
 // Figures 1a and 1b: lock, business logic, unlock. The release error is
 // surfaced only when body succeeded.
 func WithLock(l Locker, key string, body func() error) error {
+	m := om.Load()
 	rel, err := l.Acquire(key)
 	if err != nil {
+		if m != nil {
+			m.lockFailures.Inc()
+		}
 		return fmt.Errorf("ad hoc lock %q: %w", key, err)
+	}
+	var held time.Time
+	if m != nil {
+		m.lockAcquires.Inc()
+		held = time.Now()
 	}
 	bodyErr := body()
 	relErr := rel()
+	if m != nil {
+		m.holdSeconds.Since(held)
+	}
 	if bodyErr != nil {
 		return bodyErr
 	}
@@ -76,6 +127,7 @@ func WithLocks(l Locker, keys []string, body func() error) error {
 	copy(ordered, keys)
 	sort.Strings(ordered)
 
+	m := om.Load()
 	releases := make([]Release, 0, len(ordered))
 	releaseAll := func() error {
 		var first error
@@ -89,13 +141,26 @@ func WithLocks(l Locker, keys []string, body func() error) error {
 	for _, k := range ordered {
 		rel, err := l.Acquire(k)
 		if err != nil {
+			if m != nil {
+				m.lockFailures.Inc()
+			}
 			_ = releaseAll()
 			return fmt.Errorf("ad hoc lock %q: %w", k, err)
 		}
+		if m != nil {
+			m.lockAcquires.Inc()
+		}
 		releases = append(releases, rel)
+	}
+	var held time.Time
+	if m != nil {
+		held = time.Now()
 	}
 	bodyErr := body()
 	relErr := releaseAll()
+	if m != nil {
+		m.holdSeconds.Since(held)
+	}
 	if bodyErr != nil {
 		return bodyErr
 	}
@@ -106,14 +171,42 @@ func WithLocks(l Locker, keys []string, body func() error) error {
 // attempts tries. It is the while-true loop of Figure 1c. Any non-conflict
 // error aborts immediately; exhausting attempts returns the last conflict.
 func RetryOptimistic(attempts int, body func() error) error {
+	return RetryOptimisticBackoff(attempts, 0, body)
+}
+
+// RetryOptimisticBackoff is RetryOptimistic with a linearly growing pause
+// between conflicting attempts (backoff, 2*backoff, ...), the shape several
+// studied retry loops use to avoid conflict storms under contention. A zero
+// backoff retries immediately.
+func RetryOptimisticBackoff(attempts int, backoff time.Duration, body func() error) error {
 	if attempts < 1 {
 		attempts = 1
 	}
+	m := om.Load()
 	var err error
 	for i := 0; i < attempts; i++ {
+		if m != nil {
+			m.attempts.Inc()
+		}
 		err = body()
 		if err == nil || !errors.Is(err, ErrConflict) {
 			return err
+		}
+		if m != nil {
+			m.validationFail.Inc()
+		}
+		if i == attempts-1 {
+			break
+		}
+		if m != nil {
+			m.retries.Inc()
+		}
+		if backoff > 0 {
+			pause := time.Duration(i+1) * backoff
+			if m != nil {
+				m.backoffTotal.Add(int64(pause))
+			}
+			time.Sleep(pause)
 		}
 	}
 	return err

@@ -62,6 +62,7 @@ type Engine struct {
 	stats    Stats
 	tracer   atomic.Pointer[Tracer]
 	eventSeq atomic.Uint64
+	metrics  atomic.Pointer[engineMetrics]
 }
 
 // New creates an engine.
@@ -158,6 +159,9 @@ func (e *Engine) Begin(iso Isolation) *Txn {
 		owner: e.lm.NewOwner("txn"),
 	}
 	e.stats.Begins.Add(1)
+	if m := e.obsM(); m != nil {
+		m.begins.Inc()
+	}
 	e.emit(t, EvBegin, "", 0, nil)
 	return t
 }

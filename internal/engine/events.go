@@ -1,6 +1,10 @@
 package engine
 
-import "adhoctx/internal/storage"
+import (
+	"fmt"
+
+	"adhoctx/internal/storage"
+)
 
 // EventKind enumerates trace events.
 type EventKind int
@@ -14,6 +18,10 @@ const (
 	EvDelete
 	EvCommit
 	EvRollback
+
+	// evKindCount sentinels the enum; it must stay last so the String
+	// exhaustiveness test can iterate every kind.
+	evKindCount
 )
 
 // String implements fmt.Stringer.
@@ -34,7 +42,7 @@ func (k EventKind) String() string {
 	case EvRollback:
 		return "rollback"
 	default:
-		return "event(?)"
+		return fmt.Sprintf("event(%d)", int(k))
 	}
 }
 

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestEventKindStringExhaustive fails when a newly added EventKind lacks a
+// String case: every kind below the evKindCount sentinel must render a real
+// name, not the numeric fallback.
+func TestEventKindStringExhaustive(t *testing.T) {
+	seen := make(map[string]EventKind)
+	for k := EventKind(0); k < evKindCount; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "event(") {
+			t.Errorf("EventKind %d has no String case (got %q) — add it to the switch", int(k), s)
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("EventKind %d and %d both render %q", int(prev), int(k), s)
+		}
+		seen[s] = k
+	}
+}
+
+// TestEventKindStringFallback pins the out-of-range rendering to include the
+// integer value, so unknown kinds in traces stay diagnosable.
+func TestEventKindStringFallback(t *testing.T) {
+	for _, k := range []EventKind{evKindCount, 42, -1} {
+		want := fmt.Sprintf("event(%d)", int(k))
+		if got := k.String(); got != want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

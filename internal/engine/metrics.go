@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"time"
+
+	"adhoctx/internal/obs"
+)
+
+// engineMetrics is the engine's resolved instrument set. Handles are
+// resolved once at wiring time; statement hot paths pay one atomic pointer
+// load when observability is disabled.
+type engineMetrics struct {
+	begins           *obs.Counter
+	commits          *obs.Counter
+	rollbacks        *obs.Counter
+	deadlocks        *obs.Counter
+	serializationErr *obs.Counter
+	lockTimeouts     *obs.Counter
+	statements       *obs.Counter
+	walFsyncs        *obs.Counter
+	retries          *obs.Counter
+	retryBackoff     *obs.Counter // nanoseconds; exposed as seconds
+
+	stmtSeconds   *obs.Histogram
+	commitSeconds *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		begins:           reg.Counter("engine_begins_total"),
+		commits:          reg.Counter("engine_commits_total"),
+		rollbacks:        reg.Counter("engine_rollbacks_total"),
+		deadlocks:        reg.Counter("engine_deadlocks_total"),
+		serializationErr: reg.Counter("engine_serialization_failures_total"),
+		lockTimeouts:     reg.Counter("engine_lock_timeouts_total"),
+		statements:       reg.Counter("engine_statements_total"),
+		walFsyncs:        reg.Counter("engine_wal_fsyncs_total"),
+		retries:          reg.Counter("engine_txn_retries_total"),
+		retryBackoff:     reg.Counter("engine_retry_backoff_seconds_total"),
+		stmtSeconds:      reg.Histogram("engine_statement_seconds"),
+		commitSeconds:    reg.Histogram("engine_commit_seconds"),
+	}
+}
+
+// obsTracer adapts the registry's span tracker to the Tracer interface,
+// chaining to any previously installed tracer so WireObs composes with
+// analyzer tracing.
+type obsTracer struct {
+	spans *obs.SpanTracker
+	next  Tracer
+}
+
+func (o *obsTracer) Trace(ev Event) {
+	te := obs.TxnEvent{TxnID: ev.TxnID, Kind: ev.Kind.String(), Table: ev.Table, Tag: ev.Tag}
+	switch ev.Kind {
+	case EvBegin:
+		te.Begin = true
+	case EvCommit:
+		te.End, te.Outcome = true, "commit"
+	case EvRollback:
+		te.End, te.Outcome = true, "rollback"
+	}
+	o.spans.Observe(te)
+	if o.next != nil {
+		o.next.Trace(ev)
+	}
+}
+
+// WireObs attaches the engine (and its lock manager) to reg: counters
+// mirror Stats, statement and commit latencies feed histograms, and a
+// span-tracking tracer is chained in front of any tracer already installed.
+// A nil registry is a no-op, so callers can wire unconditionally.
+func (e *Engine) WireObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	e.metrics.Store(newEngineMetrics(reg))
+	e.lm.WireObs(reg)
+	var next Tracer
+	if cur := e.tracer.Load(); cur != nil {
+		next = *cur
+	}
+	e.SetTracer(&obsTracer{spans: reg.Spans(), next: next})
+}
+
+// obsM returns the wired metrics, or nil when observability is off. The
+// single atomic load here is the entire disabled-path cost.
+func (e *Engine) obsM() *engineMetrics { return e.metrics.Load() }
+
+// obsNow returns a statement start time, or the zero time when metrics are
+// disabled so the matching obsStmtDone is free.
+func (e *Engine) obsNow() time.Time {
+	if e.metrics.Load() == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// obsStmtDone records one statement latency sample started at obsNow.
+func (e *Engine) obsStmtDone(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	if m := e.metrics.Load(); m != nil {
+		m.stmtSeconds.Since(start)
+	}
+}

@@ -57,7 +57,12 @@ func (e *Engine) RunWithRetry(iso Isolation, attempts int, fn func(*Txn) error) 
 		if step > 8 {
 			step = 8
 		}
-		time.Sleep(time.Duration(rand.Intn(step*100)+50) * time.Microsecond)
+		backoff := time.Duration(rand.Intn(step*100)+50) * time.Microsecond
+		if m := e.obsM(); m != nil {
+			m.retries.Inc()
+			m.retryBackoff.Add(int64(backoff))
+		}
+		time.Sleep(backoff)
 	}
 	return err
 }

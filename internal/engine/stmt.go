@@ -31,6 +31,7 @@ func (t *Txn) Select(tableName string, pred storage.Pred, opts ...SelectOpt) ([]
 	if err := t.startStatement(); err != nil {
 		return nil, err
 	}
+	defer t.e.obsStmtDone(t.e.obsNow())
 	mode, locking := selectLockMode(opts)
 	if !locking && t.e.cfg.Dialect == MySQL && t.iso == Serializable {
 		mode, locking = lockmgr.Shared, true
@@ -140,6 +141,9 @@ func (t *Txn) lockingRead(tableName string, pred storage.Pred, mode lockmgr.Mode
 		if t.usesFCW() && ch.ConflictsWith(snap) {
 			e.mu.Unlock()
 			e.stats.SerializationErr.Add(1)
+			if m := e.obsM(); m != nil {
+				m.serializationErr.Inc()
+			}
 			t.abort()
 			return nil, ErrSerialization
 		}
@@ -175,10 +179,16 @@ func (t *Txn) lockRow(tableName string, pk int64, mode lockmgr.Mode) error {
 		return nil
 	case ErrDeadlock:
 		t.e.stats.Deadlocks.Add(1)
+		if m := t.e.obsM(); m != nil {
+			m.deadlocks.Inc()
+		}
 		t.abort()
 		return err
 	case ErrLockTimeout:
 		t.e.stats.LockTimeouts.Add(1)
+		if m := t.e.obsM(); m != nil {
+			m.lockTimeouts.Inc()
+		}
 		return err
 	default:
 		return err
@@ -316,6 +326,7 @@ func (t *Txn) Insert(tableName string, vals map[string]storage.Value) (int64, er
 	if err := t.startStatement(); err != nil {
 		return 0, err
 	}
+	defer t.e.obsStmtDone(t.e.obsNow())
 	t.snapshot() // pin the snapshot before first write
 	e := t.e
 
@@ -352,10 +363,16 @@ func (t *Txn) Insert(tableName string, vals map[string]storage.Value) (int64, er
 		if err := mapLockErr(e.lm.InsertIntent(t.owner, c.space, c.key)); err != nil {
 			if err == ErrDeadlock {
 				e.stats.Deadlocks.Add(1)
+				if m := e.obsM(); m != nil {
+					m.deadlocks.Inc()
+				}
 				t.abort()
 			}
 			if err == ErrLockTimeout {
 				e.stats.LockTimeouts.Add(1)
+				if m := e.obsM(); m != nil {
+					m.lockTimeouts.Inc()
+				}
 			}
 			return 0, err
 		}
@@ -449,6 +466,7 @@ func (t *Txn) writeRows(tableName string, pred storage.Pred, set map[string]stor
 	if err := t.startStatement(); err != nil {
 		return 0, err
 	}
+	defer t.e.obsStmtDone(t.e.obsNow())
 	snap := t.snapshot()
 	e := t.e
 
@@ -490,6 +508,9 @@ func (t *Txn) writeRows(tableName string, pred storage.Pred, set map[string]stor
 		if t.usesFCW() && ch.ConflictsWith(snap) {
 			e.mu.Unlock()
 			e.stats.SerializationErr.Add(1)
+			if m := e.obsM(); m != nil {
+				m.serializationErr.Inc()
+			}
 			t.abort()
 			return changed, ErrSerialization
 		}

@@ -89,11 +89,17 @@ func (t *Txn) startStatement() error {
 		return ErrTxnDone
 	}
 	if t.e.crashed.Load() {
-		t.done = true
+		// The crash flag can be observed after this transaction already
+		// acquired locks in the (wiped-and-reused) lock manager; roll back
+		// so they are released rather than leaked until lock timeout.
+		t.rollbackState()
 		return ErrConnLost
 	}
 	t.e.cfg.Net.ChargeRTT(1)
 	t.e.stats.Statements.Add(1)
+	if m := t.e.obsM(); m != nil {
+		m.statements.Inc()
+	}
 	return nil
 }
 
@@ -157,17 +163,21 @@ func (t *Txn) Commit() error {
 		return ErrTxnDone
 	}
 	if t.e.crashed.Load() {
-		t.done = true
+		t.rollbackState()
 		return ErrConnLost
 	}
 	e := t.e
 	e.cfg.Net.ChargeRTT(1)
+	commitStart := e.obsNow()
 
 	e.mu.Lock()
 	if t.usesSSI() {
 		if conflict := e.ssiConflict(t); conflict {
 			e.mu.Unlock()
 			e.stats.SerializationErr.Add(1)
+			if m := e.obsM(); m != nil {
+				m.serializationErr.Inc()
+			}
 			t.rollbackState()
 			return ErrSerialization
 		}
@@ -204,11 +214,20 @@ func (t *Txn) Commit() error {
 			panic(fmt.Sprintf("engine: WAL append failed: %v", err))
 		}
 		e.cfg.WALFsync.ChargeFsync()
+		if m := e.obsM(); m != nil {
+			m.walFsyncs.Inc()
+		}
 	}
 
 	e.lm.ReleaseAll(t.owner)
 	t.done = true
 	e.stats.Commits.Add(1)
+	if m := e.obsM(); m != nil {
+		m.commits.Inc()
+		if !commitStart.IsZero() {
+			m.commitSeconds.Since(commitStart)
+		}
+	}
 	e.emit(t, EvCommit, "", 0, nil)
 	return nil
 }
@@ -241,7 +260,7 @@ func (t *Txn) Rollback() error {
 		return ErrTxnDone
 	}
 	if t.e.crashed.Load() {
-		t.done = true
+		t.rollbackState()
 		return ErrConnLost
 	}
 	t.e.cfg.Net.ChargeRTT(1)
@@ -259,6 +278,9 @@ func (t *Txn) rollbackState() {
 	e.lm.ReleaseAll(t.owner)
 	t.done = true
 	e.stats.Rollbacks.Add(1)
+	if m := e.obsM(); m != nil {
+		m.rollbacks.Inc()
+	}
 	e.emit(t, EvRollback, "", 0, nil)
 }
 
@@ -324,6 +346,9 @@ func (t *Txn) AdvisoryLock(key int64) error {
 	err := mapLockErr(t.e.lm.Acquire(t.owner, advisoryKey{key}, lockmgr.Exclusive))
 	if err == ErrDeadlock {
 		t.e.stats.Deadlocks.Add(1)
+		if m := t.e.obsM(); m != nil {
+			m.deadlocks.Inc()
+		}
 		t.abort()
 	}
 	return err

@@ -13,6 +13,7 @@ import (
 	"adhoctx/internal/core"
 	"adhoctx/internal/engine"
 	"adhoctx/internal/kv"
+	"adhoctx/internal/obs"
 	"adhoctx/internal/sim"
 )
 
@@ -34,6 +35,9 @@ type Figure2Config struct {
 	RTT time.Duration
 	// Fsync is the durable-commit cost (drives the DB primitive).
 	Fsync time.Duration
+	// Obs, when non-nil, receives metrics from the KV store and both
+	// engines backing the primitives.
+	Obs *obs.Registry
 }
 
 // DefaultFigure2Config returns the calibration used in EXPERIMENTS.md.
@@ -51,10 +55,12 @@ func Figure2(cfg Figure2Config) ([]LockLatency, error) {
 	lat := sim.Latency{RTT: cfg.RTT}
 
 	kvStore := kv.NewStore(nil, lat)
+	kvStore.WireObs(cfg.Obs)
 
 	sfuEng := engine.New(engine.Config{
 		Dialect: engine.Postgres, Net: lat, LockTimeout: 30 * time.Second,
 	})
+	sfuEng.WireObs(cfg.Obs)
 	sfuEng.CreateTable(lockRowSchema("lock_rows"))
 	sfu := &locks.SFULocker{Eng: sfuEng, Table: "lock_rows"}
 	if err := sfu.EnsureRow(1); err != nil {
@@ -66,6 +72,7 @@ func Figure2(cfg Figure2Config) ([]LockLatency, error) {
 		WALFsync:    sim.Latency{Fsync: cfg.Fsync},
 		LockTimeout: 30 * time.Second,
 	})
+	dbEng.WireObs(cfg.Obs)
 	locks.SetupDBLockTable(dbEng)
 
 	cases := []struct {

@@ -15,6 +15,7 @@ import (
 	"adhoctx/internal/apps/discourse"
 	"adhoctx/internal/apps/spree"
 	"adhoctx/internal/engine"
+	"adhoctx/internal/obs"
 	"adhoctx/internal/sim"
 	"adhoctx/internal/storage"
 	"adhoctx/internal/webstack"
@@ -46,6 +47,9 @@ type Figure3Config struct {
 	UseHTTP bool
 	// APIs restricts the experiment (nil = all four).
 	APIs []string
+	// Obs, when non-nil, receives metrics from every cell's engine and (in
+	// HTTP mode) the webstack server's per-route series.
+	Obs *obs.Registry
 }
 
 // DefaultFigure3Config returns the calibration used in EXPERIMENTS.md.
@@ -117,18 +121,25 @@ func Figure3(cfg Figure3Config) ([]Throughput, error) {
 }
 
 func buildWorkload(api, mode string, contended bool, cfg Figure3Config) (*workload, error) {
+	var w *workload
+	var err error
 	switch api {
 	case "RMW":
-		return buildRMW(mode, contended, cfg)
+		w, err = buildRMW(mode, contended, cfg)
 	case "AA":
-		return buildAA(mode, contended, cfg)
+		w, err = buildAA(mode, contended, cfg)
 	case "CBC":
-		return buildCBC(mode, contended, cfg)
+		w, err = buildCBC(mode, contended, cfg)
 	case "PBC":
-		return buildPBC(mode, contended, cfg)
+		w, err = buildPBC(mode, contended, cfg)
 	default:
 		return nil, fmt.Errorf("unknown API %q", api)
 	}
+	if err != nil {
+		return nil, err
+	}
+	w.eng.WireObs(cfg.Obs)
+	return w, nil
 }
 
 // buildRMW: Broadleaf check-out, MySQL, Serializable DBT (Table 6).
@@ -319,6 +330,7 @@ func runWorkload(api, mode string, contended bool, w *workload, cfg Figure3Confi
 	invoke := w.op
 	if cfg.UseHTTP {
 		srv := webstack.NewServer()
+		srv.WireObs(cfg.Obs)
 		srv.Handle("/"+api, func(params url.Values) error {
 			c, err := webstack.Int64(params, "client")
 			if err != nil {

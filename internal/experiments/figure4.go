@@ -9,6 +9,7 @@ import (
 	"adhoctx/internal/adhoc/locks"
 	"adhoctx/internal/apps/discourse"
 	"adhoctx/internal/engine"
+	"adhoctx/internal/obs"
 	"adhoctx/internal/sim"
 )
 
@@ -41,6 +42,8 @@ type Figure4Config struct {
 	EditorThink time.Duration
 	// RTT is the application↔database round trip.
 	RTT time.Duration
+	// Obs, when non-nil, receives metrics from every cell's engine.
+	Obs *obs.Registry
 }
 
 // DefaultFigure4Config returns the calibration used in EXPERIMENTS.md: the
@@ -90,6 +93,7 @@ func runFigure4Cell(mode discourse.RollbackMode, contended bool, cfg Figure4Conf
 	eng := engine.New(engine.Config{
 		Dialect: engine.Postgres, Net: sim.Latency{RTT: cfg.RTT}, LockTimeout: 30 * time.Second,
 	})
+	eng.WireObs(cfg.Obs)
 	app := discourse.New(eng, locks.NewMemLocker())
 	app.ImageProcessing = cfg.ImageProcessing
 	app.EditProcessing = cfg.EditProcessing

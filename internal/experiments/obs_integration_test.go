@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/adhoc/locks"
+	"adhoctx/internal/apps/broadleaf"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/obs"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/webstack"
+)
+
+// TestObservabilityEndToEnd exercises the ISSUE's acceptance scenario: a
+// webstack server fronting an internal/apps API under concurrent contended
+// load, with an obs registry wired through every layer, then asserts that
+// GET /metrics reports non-zero lock-wait histogram buckets, commit/abort
+// counters, and per-route latency series, and that GET /debug/txns answers
+// with well-formed JSON.
+func TestObservabilityEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network integration; skipped in -short")
+	}
+
+	reg := obs.NewRegistry()
+
+	// Broadleaf check-out in DBT mode on MySQL runs SELECT...FOR UPDATE
+	// read-modify-writes; every client hammering ONE SKU forces lock waits.
+	eng := engine.New(engine.Config{
+		Dialect: engine.MySQL, Net: sim.Latency{RTT: 50 * time.Microsecond},
+		LockTimeout: 30 * time.Second,
+	})
+	eng.WireObs(reg)
+	app := broadleaf.New(eng, locks.NewMemLocker())
+	app.Mode = broadleaf.DBT
+	sku, err := app.CreateSKU(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := webstack.NewServer()
+	srv.WireObs(reg)
+	srv.Handle("/checkout", func(params url.Values) error {
+		id, err := webstack.Int64(params, "sku")
+		if err != nil {
+			return err
+		}
+		return app.Checkout(id, 1)
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	const clients, itersEach = 8, 40
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := srv.NewClient()
+			params := webstack.Params("sku", strconv.FormatInt(sku, 10))
+			for i := 0; i < itersEach; i++ {
+				err := cl.Call("/checkout", params)
+				// Conflicts and retry exhaustion are expected under
+				// contention; only transport failures are test failures.
+				if err != nil && !errors.Is(err, webstack.ErrAPIConflict) {
+					t.Errorf("checkout: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	resp, err := http.Get(srv.BaseURL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+
+	commits := metricValue(t, text, "engine_commits_total")
+	if commits <= 0 {
+		t.Errorf("engine_commits_total = %v, want > 0", commits)
+	}
+	if begins := metricValue(t, text, "engine_begins_total"); begins < commits {
+		t.Errorf("engine_begins_total = %v < commits %v", begins, commits)
+	}
+	if waits := metricValue(t, text, "lock_wait_seconds_count"); waits <= 0 {
+		t.Errorf("lock_wait_seconds_count = %v, want > 0 (contended FOR UPDATE must queue)", waits)
+	}
+	if !regexp.MustCompile(`lock_wait_seconds_bucket\{le="[^"]+"\} [1-9]`).MatchString(text) {
+		t.Errorf("no non-zero lock_wait_seconds bucket in:\n%s", text)
+	}
+	if n := metricValue(t, text, `http_request_seconds_count{route="/checkout"}`); n != clients*itersEach {
+		t.Errorf("http_request_seconds_count = %v, want %d", n, clients*itersEach)
+	}
+	if !strings.Contains(text, `txn_completed_total{tag=`) {
+		t.Errorf("no txn_completed_total series in exposition")
+	}
+
+	resp, err = http.Get(srv.BaseURL() + "/debug/txns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/txns status %d", resp.StatusCode)
+	}
+	var dump struct {
+		Inflight int               `json:"inflight"`
+		Txns     []json.RawMessage `json:"txns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("/debug/txns is not JSON: %v", err)
+	}
+	if dump.Inflight != len(dump.Txns) {
+		t.Errorf("inflight = %d but %d txns listed", dump.Inflight, len(dump.Txns))
+	}
+}
+
+// metricValue extracts one sample's value from Prometheus text exposition.
+// series may include its label set; the match is against the full line prefix.
+func metricValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("series %q: bad value %q", series, rest)
+		}
+		return v
+	}
+	t.Fatalf("series %q not found in exposition:\n%s", series, text)
+	return 0
+}

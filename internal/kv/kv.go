@@ -10,10 +10,12 @@
 package kv
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"adhoctx/internal/obs"
 	"adhoctx/internal/sim"
 )
 
@@ -26,6 +28,21 @@ type entry struct {
 	ver      uint64    // bumped on every modification; WATCH compares it
 }
 
+// kvCommands is the command vocabulary, fixed so per-command counters can be
+// resolved once at wiring time and the charge path stays map-read-only.
+var kvCommands = []string{
+	"get", "exists", "set", "setpx", "setnx", "del", "expire", "ttl",
+	"sadd", "srem", "sismember", "smembers",
+	"watch", "unwatch", "multi", "discard", "exec",
+}
+
+// kvMetrics is the store's resolved instrument set (see WireObs).
+type kvMetrics struct {
+	perCmd   map[string]*obs.Counter
+	commands *obs.Counter
+	rttTotal *obs.Counter // nanoseconds of simulated round trips
+}
+
 // Store is the server. Safe for concurrent use by many Conns.
 type Store struct {
 	mu    sync.Mutex
@@ -35,6 +52,26 @@ type Store struct {
 	ver   uint64
 
 	commands atomic.Int64
+	om       atomic.Pointer[kvMetrics]
+}
+
+// WireObs attaches the store to reg: one counter per command
+// (kv_commands_total{cmd=...}) plus the total simulated round-trip time
+// (kv_rtt_seconds_total). A nil registry is a no-op; the disabled charge
+// path costs one atomic pointer load.
+func (s *Store) WireObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &kvMetrics{
+		perCmd:   make(map[string]*obs.Counter, len(kvCommands)),
+		commands: reg.Counter("kv_commands_total"),
+		rttTotal: reg.Counter("kv_rtt_seconds_total"),
+	}
+	for _, cmd := range kvCommands {
+		m.perCmd[cmd] = reg.Counter(fmt.Sprintf("kv_command_total{cmd=%q}", cmd))
+	}
+	s.om.Store(m)
 }
 
 // NewStore creates a store. clock may be nil (wall clock). lat is charged
@@ -56,8 +93,13 @@ func (s *Store) Conn() *Conn {
 }
 
 // charge accounts one round trip. Called once per client command.
-func (s *Store) charge() {
+func (s *Store) charge(cmd string) {
 	s.commands.Add(1)
+	if m := s.om.Load(); m != nil {
+		m.commands.Inc()
+		m.perCmd[cmd].Inc() // nil (unknown cmd) is a safe no-op
+		m.rttTotal.Add(int64(s.lat.RTT))
+	}
 	s.lat.ChargeRTT(1)
 }
 
@@ -103,7 +145,7 @@ type queued struct {
 
 // Get returns the string value of key.
 func (c *Conn) Get(key string) (string, bool) {
-	c.s.charge()
+	c.s.charge("get")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	e := c.s.live(key)
@@ -115,7 +157,7 @@ func (c *Conn) Get(key string) (string, bool) {
 
 // Exists reports whether key is live.
 func (c *Conn) Exists(key string) bool {
-	c.s.charge()
+	c.s.charge("exists")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	return c.s.live(key) != nil
@@ -124,7 +166,7 @@ func (c *Conn) Exists(key string) bool {
 // Set stores a string value with no expiry. Inside MULTI the write is
 // queued until Exec.
 func (c *Conn) Set(key, val string) {
-	c.s.charge()
+	c.s.charge("set")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.inMulti {
@@ -136,7 +178,7 @@ func (c *Conn) Set(key, val string) {
 
 // SetPX stores a string value that expires after ttl.
 func (c *Conn) SetPX(key, val string, ttl time.Duration) {
-	c.s.charge()
+	c.s.charge("setpx")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.inMulti {
@@ -167,7 +209,7 @@ func (c *Conn) SetNXPX(key, val string, ttl time.Duration) bool {
 }
 
 func (c *Conn) setNX(key, val string, ttl time.Duration) bool {
-	c.s.charge()
+	c.s.charge("setnx")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.s.live(key) != nil {
@@ -180,7 +222,7 @@ func (c *Conn) setNX(key, val string, ttl time.Duration) bool {
 // Del removes key and reports whether it existed. Inside MULTI the delete is
 // queued (and reports true).
 func (c *Conn) Del(key string) bool {
-	c.s.charge()
+	c.s.charge("del")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.inMulti {
@@ -202,7 +244,7 @@ func (s *Store) delLocked(key string) bool {
 // Expire sets key's TTL and reports whether the key exists. Inside MULTI
 // the command is queued (and optimistically reports true).
 func (c *Conn) Expire(key string, ttl time.Duration) bool {
-	c.s.charge()
+	c.s.charge("expire")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.inMulti {
@@ -224,7 +266,7 @@ func (s *Store) expireLocked(key string, ttl time.Duration) bool {
 // TTL returns the remaining lifetime of key; ok is false when the key is
 // absent or has no expiry.
 func (c *Conn) TTL(key string) (time.Duration, bool) {
-	c.s.charge()
+	c.s.charge("ttl")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	e := c.s.live(key)
@@ -236,7 +278,7 @@ func (c *Conn) TTL(key string) (time.Duration, bool) {
 
 // SAdd adds a member to the set at key. Inside MULTI the write is queued.
 func (c *Conn) SAdd(key, member string) {
-	c.s.charge()
+	c.s.charge("sadd")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.inMulti {
@@ -259,7 +301,7 @@ func (s *Store) saddLocked(key, member string) {
 // SRem removes a member from the set at key. Inside MULTI the write is
 // queued.
 func (c *Conn) SRem(key, member string) {
-	c.s.charge()
+	c.s.charge("srem")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.inMulti {
@@ -280,7 +322,7 @@ func (s *Store) sremLocked(key, member string) {
 
 // SIsMember reports set membership.
 func (c *Conn) SIsMember(key, member string) bool {
-	c.s.charge()
+	c.s.charge("sismember")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	e := c.s.live(key)
@@ -293,7 +335,7 @@ func (c *Conn) SIsMember(key, member string) bool {
 
 // SMembers returns the members of the set at key.
 func (c *Conn) SMembers(key string) []string {
-	c.s.charge()
+	c.s.charge("smembers")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	e := c.s.live(key)
@@ -311,7 +353,7 @@ func (c *Conn) SMembers(key string) []string {
 // versions — a key that does not exist yet is watched too, as the paper
 // notes for Discourse's lock).
 func (c *Conn) Watch(keys ...string) {
-	c.s.charge()
+	c.s.charge("watch")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.watch == nil {
@@ -324,20 +366,20 @@ func (c *Conn) Watch(keys ...string) {
 
 // Unwatch clears the watch set.
 func (c *Conn) Unwatch() {
-	c.s.charge()
+	c.s.charge("unwatch")
 	c.watch = nil
 }
 
 // Multi begins queueing commands.
 func (c *Conn) Multi() {
-	c.s.charge()
+	c.s.charge("multi")
 	c.inMulti = true
 	c.queue = nil
 }
 
 // Discard drops the queue and watch set.
 func (c *Conn) Discard() {
-	c.s.charge()
+	c.s.charge("discard")
 	c.inMulti = false
 	c.queue = nil
 	c.watch = nil
@@ -347,7 +389,7 @@ func (c *Conn) Discard() {
 // since Watch, reporting whether the transaction committed. The watch set
 // and queue are cleared either way (Redis semantics).
 func (c *Conn) Exec() bool {
-	c.s.charge()
+	c.s.charge("exec")
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	ok := true

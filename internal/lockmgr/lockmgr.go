@@ -12,8 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"adhoctx/internal/obs"
 	"adhoctx/internal/storage"
 )
 
@@ -97,6 +99,18 @@ type gapWaiter struct {
 	ch    chan error
 }
 
+// lmMetrics is the manager's resolved instrument set (see WireObs).
+type lmMetrics struct {
+	acquires    *obs.Counter
+	tryAcquires *obs.Counter
+	waits       *obs.Counter
+	upgrades    *obs.Counter
+	deadlocks   *obs.Counter
+	timeouts    *obs.Counter
+	gapWaits    *obs.Counter
+	waitSeconds *obs.Histogram
+}
+
 // Manager is the lock manager. The zero value is not usable; call New.
 type Manager struct {
 	// WaitTimeout bounds every lock wait. Zero means wait forever.
@@ -108,6 +122,27 @@ type Manager struct {
 	gapWaiters []*gapWaiter
 	held       map[*Owner]map[any]Mode
 	nextOwner  uint64
+
+	om atomic.Pointer[lmMetrics]
+}
+
+// WireObs attaches the manager to reg: acquire/wait/upgrade counts, parked
+// wait durations, deadlock victims, and timeouts. A nil registry is a no-op;
+// the disabled hot path costs one atomic pointer load.
+func (m *Manager) WireObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.om.Store(&lmMetrics{
+		acquires:    reg.Counter("lock_acquires_total"),
+		tryAcquires: reg.Counter("lock_try_acquires_total"),
+		waits:       reg.Counter("lock_waits_total"),
+		upgrades:    reg.Counter("lock_upgrades_total"),
+		deadlocks:   reg.Counter("lock_deadlocks_total"),
+		timeouts:    reg.Counter("lock_timeouts_total"),
+		gapWaits:    reg.Counter("lock_gap_waits_total"),
+		waitSeconds: reg.Histogram("lock_wait_seconds"),
+	})
 }
 
 // New returns an empty manager with the given wait timeout (0 = no timeout).
@@ -133,6 +168,9 @@ func (m *Manager) NewOwner(name string) *Owner {
 // already-held key in the same or weaker mode is a no-op; requesting
 // Exclusive while holding Shared performs an upgrade.
 func (m *Manager) Acquire(o *Owner, key any, mode Mode) error {
+	if om := m.om.Load(); om != nil {
+		om.acquires.Inc()
+	}
 	m.mu.Lock()
 	ls := m.lockFor(key)
 	if cur, ok := ls.holders[o]; ok {
@@ -141,6 +179,9 @@ func (m *Manager) Acquire(o *Owner, key any, mode Mode) error {
 			return nil // already sufficient
 		}
 		// Upgrade S→X.
+		if om := m.om.Load(); om != nil {
+			om.upgrades.Inc()
+		}
 		if len(ls.holders) == 1 {
 			ls.holders[o] = Exclusive
 			m.held[o][key] = Exclusive
@@ -166,6 +207,9 @@ func (m *Manager) Acquire(o *Owner, key any, mode Mode) error {
 // TryAcquire attempts a non-blocking acquire and reports whether it was
 // granted. Used by SETNX-style primitives and NOWAIT statements.
 func (m *Manager) TryAcquire(o *Owner, key any, mode Mode) bool {
+	if om := m.om.Load(); om != nil {
+		om.tryAcquires.Inc()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ls := m.lockFor(key)
@@ -195,11 +239,33 @@ func (m *Manager) park(o *Owner, key any, ls *lockState, w *waiter) error {
 	if m.wouldDeadlock(o) {
 		m.removeWaiter(ls, w)
 		m.mu.Unlock()
+		if om := m.om.Load(); om != nil {
+			om.deadlocks.Inc()
+		}
 		return ErrDeadlock
 	}
 	timeout := m.WaitTimeout
 	m.mu.Unlock()
 
+	om := m.om.Load()
+	var start time.Time
+	if om != nil {
+		om.waits.Inc()
+		start = time.Now()
+	}
+	err := m.awaitGrant(w, ls, timeout)
+	if om != nil {
+		om.waitSeconds.Since(start)
+		if err == ErrTimeout {
+			om.timeouts.Inc()
+		}
+	}
+	return err
+}
+
+// awaitGrant blocks on the waiter's channel, honouring the manager timeout.
+// Called without m.mu held.
+func (m *Manager) awaitGrant(w *waiter, ls *lockState, timeout time.Duration) error {
 	if timeout <= 0 {
 		return <-w.ch
 	}
@@ -342,11 +408,33 @@ func (m *Manager) InsertIntent(o *Owner, space GapSpace, key storage.Value) erro
 	if m.wouldDeadlock(o) {
 		m.removeGapWaiter(gw)
 		m.mu.Unlock()
+		if om := m.om.Load(); om != nil {
+			om.deadlocks.Inc()
+		}
 		return ErrDeadlock
 	}
 	timeout := m.WaitTimeout
 	m.mu.Unlock()
 
+	om := m.om.Load()
+	var start time.Time
+	if om != nil {
+		om.gapWaits.Inc()
+		start = time.Now()
+	}
+	err := m.awaitGapGrant(gw, timeout)
+	if om != nil {
+		om.waitSeconds.Since(start)
+		if err == ErrTimeout {
+			om.timeouts.Inc()
+		}
+	}
+	return err
+}
+
+// awaitGapGrant blocks on a parked insert intention, honouring the manager
+// timeout. Called without m.mu held.
+func (m *Manager) awaitGapGrant(gw *gapWaiter, timeout time.Duration) error {
 	if timeout <= 0 {
 		return <-gw.ch
 	}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// splitName separates a metric name from its inline label set:
+// `foo{bar="x"}` -> ("foo", `bar="x"`). Names without labels return an empty
+// label string.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	base = name[:i]
+	labels = strings.TrimSuffix(name[i+1:], "}")
+	return base, labels
+}
+
+// secondsCounter reports whether a counter accumulates nanoseconds and
+// should be exposed as float seconds.
+func secondsCounter(base string) bool { return strings.HasSuffix(base, "_seconds_total") }
+
+// secondsHist reports whether a histogram records nanoseconds and should be
+// exposed as float seconds.
+func secondsHist(base string) bool { return strings.HasSuffix(base, "_seconds") }
+
+// WriteText renders the registry in Prometheus text exposition format
+// (counters, gauges, then histograms, each sorted by name). Histograms named
+// *_seconds and counters named *_seconds_total are converted from recorded
+// nanoseconds to seconds.
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	typed := make(map[string]bool)
+	emitType := func(base, kind string) {
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+
+	for _, name := range sortedKeys(counters) {
+		base, _ := splitName(name)
+		emitType(base, "counter")
+		if secondsCounter(base) {
+			fmt.Fprintf(w, "%s %g\n", name, float64(counters[name].Value())/1e9)
+		} else {
+			fmt.Fprintf(w, "%s %d\n", name, counters[name].Value())
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		base, _ := splitName(name)
+		emitType(base, "gauge")
+		fmt.Fprintf(w, "%s %d\n", name, gauges[name].Value())
+	}
+	for _, name := range sortedKeys(hists) {
+		base, labels := splitName(name)
+		snap := hists[name].Snapshot()
+		emitType(base, "histogram")
+		inSeconds := secondsHist(base)
+		scale := func(v int64) float64 {
+			if inSeconds {
+				return float64(v) / 1e9
+			}
+			return float64(v)
+		}
+		withLE := func(le string) string {
+			if labels == "" {
+				return fmt.Sprintf(`%s_bucket{le="%s"}`, base, le)
+			}
+			return fmt.Sprintf(`%s_bucket{%s,le="%s"}`, base, labels, le)
+		}
+		suffixed := func(suffix string) string {
+			if labels == "" {
+				return base + suffix
+			}
+			return fmt.Sprintf("%s%s{%s}", base, suffix, labels)
+		}
+		// Emit buckets up to the highest populated one; everything above is
+		// redundant with +Inf.
+		top := 0
+		for i, n := range snap.Buckets {
+			if n > 0 {
+				top = i
+			}
+		}
+		var cum int64
+		for i := 0; i <= top; i++ {
+			cum += snap.Buckets[i]
+			fmt.Fprintf(w, "%s %d\n", withLE(fmt.Sprintf("%g", scale(BucketUpper(i)))), cum)
+		}
+		fmt.Fprintf(w, "%s %d\n", withLE("+Inf"), snap.Count)
+		fmt.Fprintf(w, "%s %g\n", suffixed("_sum"), scale(snap.Sum))
+		fmt.Fprintf(w, "%s %d\n", suffixed("_count"), snap.Count)
+	}
+}
+
+// Text renders WriteText into a string.
+func (r *Registry) Text() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}

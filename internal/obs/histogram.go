@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram geometry: power-of-two buckets over int64 nanoseconds. Bucket i
+// holds values in [2^i, 2^(i+1)) (bucket 0 also absorbs zero and negatives).
+// 40 buckets cover 1ns to ~18 minutes, ample for lock waits and request
+// latencies; larger values clamp into the last bucket (their exact maximum
+// is still tracked).
+const (
+	histBuckets = 40
+	histShards  = 8 // power of two; see shard selection in Observe
+)
+
+// histShard is one independently updated copy of the bucket array. Shards
+// spread concurrent observers across cache lines so a contended histogram
+// does not serialize on a single count/sum pair.
+type histShard struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+	// pad keeps adjacent shards out of the same cache line.
+	_ [64]byte
+}
+
+// Histogram is a concurrent log-scale histogram of int64 values
+// (conventionally durations in nanoseconds). The nil Histogram is a valid
+// no-op instrument. Construct with NewHistogram or Registry.Histogram.
+type Histogram struct {
+	shards [histShards]histShard
+	max    atomic.Int64
+	seq    atomic.Uint64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) - 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i in nanoseconds.
+func BucketUpper(i int) int64 {
+	if i >= 62 {
+		return int64(1) << 62
+	}
+	return int64(1) << uint(i+1)
+}
+
+// Observe records a duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(int64(d)) }
+
+// Since records the elapsed time from start (a convenience for
+// `defer h.Since(time.Now())`).
+func (h *Histogram) Since(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.ObserveValue(int64(time.Since(start)))
+}
+
+// ObserveValue records a raw int64 sample.
+func (h *Histogram) ObserveValue(v int64) {
+	if h == nil {
+		return
+	}
+	// Round-robin shard selection: one contended atomic instead of four
+	// (count, sum, bucket, max) all landing on the same lines.
+	s := &h.shards[h.seq.Add(1)&(histShards-1)]
+	s.count.Add(1)
+	s.sum.Add(v)
+	s.buckets[bucketOf(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time aggregate of a histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [histBuckets]int64
+}
+
+// Snapshot aggregates the shards. A nil histogram snapshots to zero.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var out HistogramSnapshot
+	if h == nil {
+		return out
+	}
+	for i := range h.shards {
+		s := &h.shards[i]
+		out.Count += s.count.Load()
+		out.Sum += s.sum.Load()
+		for b := range s.buckets {
+			out.Buckets[b] += s.buckets[b].Load()
+		}
+	}
+	out.Max = h.max.Load()
+	return out
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) in the histogram's raw
+// unit by walking the cumulative bucket counts and reporting the bucket's
+// upper bound, capped at the recorded maximum. Estimates are monotone in q
+// by construction: p50 <= p95 <= p99 <= Max.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			ub := BucketUpper(i)
+			if ub > s.Max {
+				return s.Max
+			}
+			return ub
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the mean sample value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

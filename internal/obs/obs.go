@@ -1,0 +1,188 @@
+// Package obs is the repository's low-overhead observability subsystem:
+// atomic counters and gauges, sharded log-scale latency histograms, and
+// per-transaction spans, all behind a Registry that renders Prometheus-style
+// text exposition.
+//
+// The design goal is that instrumented hot paths stay cheap when
+// observability is off. Every component holds an instrument handle (or a
+// registry pointer) that may be nil; all instrument methods are nil-safe, so
+// a disabled path costs one pointer (or atomic) load and a branch. Enabled
+// counters are single atomic adds; histograms shard their buckets to keep
+// concurrent observers off the same cache lines.
+//
+// Conventions: histograms record durations in nanoseconds and are exposed in
+// seconds (name them *_seconds); counters accumulating time also store
+// nanoseconds and should be named *_seconds_total so the exposition layer
+// converts them. Metric names may carry inline Prometheus labels, e.g.
+// `http_request_seconds{route="/checkout"}`.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil Counter is a
+// valid no-op instrument.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The nil Gauge is a valid no-op
+// instrument.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (negative to decrement).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry holds named instruments. The nil Registry is valid: every lookup
+// returns a nil instrument, whose methods are no-ops, so components can be
+// wired unconditionally. Lookups take a read lock on the fast path; hot
+// paths should resolve handles once and keep them.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	spans *SpanTracker
+}
+
+// NewRegistry creates an empty registry with an attached span tracker.
+func NewRegistry() *Registry {
+	r := &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+	r.spans = &SpanTracker{r: r}
+	return r
+}
+
+// Spans returns the registry's transaction span tracker (nil for a nil
+// registry).
+func (r *Registry) Spans() *SpanTracker {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Counter returns (creating if needed) the named counter, or nil for a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge, or nil for a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram, or nil for a
+// nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = NewHistogram()
+	r.hists[name] = h
+	return h
+}
+
+// sortedKeys returns the sorted keys of a map (stable exposition order).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

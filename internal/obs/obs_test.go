@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilInstrumentsSafe exercises every instrument method through nil
+// handles and a nil registry: disabled observability must be a no-op, not a
+// panic.
+func TestNilInstrumentsSafe(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	h.ObserveValue(42)
+	h.Since(time.Now())
+	if s := h.Snapshot(); s.Count != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram has samples")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil || r.Spans() != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+	r.Spans().Observe(TxnEvent{TxnID: 1, Begin: true})
+	if r.Spans().Inflight() != nil {
+		t.Fatal("nil tracker tracked a span")
+	}
+	if r.Text() != "" {
+		t.Fatal("nil registry rendered text")
+	}
+}
+
+// TestConcurrentCountersAndHistograms hammers one counter, one gauge, and
+// one histogram from 8 goroutines (run under -race in CI) and asserts exact
+// totals plus monotone quantiles.
+func TestConcurrentCountersAndHistograms(t *testing.T) {
+	const goroutines = 8
+	const perG = 10_000
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Resolve through the registry concurrently too: lookup races
+			// must hand every goroutine the same instrument.
+			c := r.Counter("hits_total")
+			h := r.Histogram("lat_seconds")
+			ga := r.Gauge("depth")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Add(1)
+				// Spread samples over several decades so multiple buckets
+				// populate.
+				h.ObserveValue(int64(1) << uint(i%20))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := r.Counter("hits_total").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("depth").Value(); got != goroutines*perG {
+		t.Fatalf("gauge = %d, want %d", got, goroutines*perG)
+	}
+	s := r.Histogram("lat_seconds").Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", s.Count, goroutines*perG)
+	}
+	p50, p95, p99 := s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99 && p99 <= s.Max) {
+		t.Fatalf("quantiles not monotone: p50=%d p95=%d p99=%d max=%d", p50, p95, p99, s.Max)
+	}
+	if s.Max != 1<<19 {
+		t.Fatalf("max = %d, want %d", s.Max, 1<<19)
+	}
+	var bucketTotal int64
+	for _, n := range s.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestQuantileKnownDistribution(t *testing.T) {
+	h := NewHistogram()
+	// 90 fast samples (~1us), 10 slow (~1ms): p50 must sit in the fast
+	// cluster, p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 > int64(10*time.Microsecond) {
+		t.Fatalf("p50 = %d, want ~1us", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < int64(512*time.Microsecond) {
+		t.Fatalf("p99 = %d, want ~1ms", p99)
+	}
+	if s.Quantile(1) != s.Max {
+		t.Fatalf("p100 = %d, want max %d", s.Quantile(1), s.Max)
+	}
+	if mean := s.Mean(); mean <= 0 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine_commits_total").Add(3)
+	r.Counter(`kv_commands_total{cmd="get"}`).Add(5)
+	r.Counter("core_backoff_seconds_total").Add(int64(2 * time.Second))
+	r.Gauge("inflight").Set(2)
+	r.Histogram(`http_request_seconds{route="/checkout"}`).Observe(3 * time.Millisecond)
+
+	text := r.Text()
+	for _, want := range []string{
+		"# TYPE engine_commits_total counter",
+		"engine_commits_total 3",
+		`kv_commands_total{cmd="get"} 5`,
+		"core_backoff_seconds_total 2\n",
+		"# TYPE inflight gauge",
+		"inflight 2",
+		"# TYPE http_request_seconds histogram",
+		`http_request_seconds_bucket{route="/checkout",le="+Inf"} 1`,
+		`http_request_seconds_count{route="/checkout"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// Cumulative bucket counts: the +Inf bucket equals the count.
+	if !strings.Contains(text, `http_request_seconds_sum{route="/checkout"} 0.003`) {
+		t.Errorf("sum not exposed in seconds:\n%s", text)
+	}
+}
+
+func TestSpanTracker(t *testing.T) {
+	r := NewRegistry()
+	st := r.Spans()
+
+	st.Observe(TxnEvent{TxnID: 1, Kind: "begin", Begin: true})
+	st.Observe(TxnEvent{TxnID: 2, Kind: "begin", Begin: true})
+	st.Observe(TxnEvent{TxnID: 1, Kind: "read", Table: "skus", Tag: "checkout"})
+	st.Observe(TxnEvent{TxnID: 1, Kind: "write", Table: "skus", Tag: "checkout"})
+
+	open := st.Inflight()
+	if len(open) != 2 {
+		t.Fatalf("inflight = %d, want 2", len(open))
+	}
+	var sp1 Span
+	for _, sp := range open {
+		if sp.TxnID == 1 {
+			sp1 = sp
+		}
+	}
+	if sp1.Events != 2 || sp1.Tag != "checkout" || sp1.LastKind != "write" || sp1.LastTable != "skus" {
+		t.Fatalf("span 1 = %+v", sp1)
+	}
+
+	st.Observe(TxnEvent{TxnID: 1, Kind: "commit", Tag: "checkout", End: true, Outcome: "commit"})
+	st.Observe(TxnEvent{TxnID: 2, Kind: "rollback", End: true, Outcome: "rollback"})
+	if n := len(st.Inflight()); n != 0 {
+		t.Fatalf("inflight after end = %d", n)
+	}
+	if got := r.Counter(`txn_completed_total{tag="checkout",outcome="commit"}`).Value(); got != 1 {
+		t.Fatalf("commit counter = %d", got)
+	}
+	if got := r.Counter(`txn_completed_total{tag="untagged",outcome="rollback"}`).Value(); got != 1 {
+		t.Fatalf("rollback counter = %d", got)
+	}
+	if s := r.Histogram(`txn_duration_seconds{tag="checkout"}`).Snapshot(); s.Count != 1 {
+		t.Fatalf("duration histogram count = %d", s.Count)
+	}
+}
+
+// TestSpanTrackerConcurrent drives many goroutines through begin/event/end
+// cycles; meaningful under -race.
+func TestSpanTrackerConcurrent(t *testing.T) {
+	r := NewRegistry()
+	st := r.Spans()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := uint64(g*1000 + i)
+				st.Observe(TxnEvent{TxnID: id, Kind: "begin", Begin: true})
+				st.Observe(TxnEvent{TxnID: id, Kind: "read", Table: "t"})
+				st.Observe(TxnEvent{TxnID: id, Kind: "commit", End: true, Outcome: "commit"})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := len(st.Inflight()); n != 0 {
+		t.Fatalf("inflight = %d", n)
+	}
+	if got := r.Counter(`txn_completed_total{tag="untagged",outcome="commit"}`).Value(); got != 8*500 {
+		t.Fatalf("completed = %d, want %d", got, 8*500)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := &Counter{}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			i++
+			h.ObserveValue(i)
+		}
+	})
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	var h *Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.ObserveValue(1)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TxnEvent is the tracer-agnostic shape of one transaction event. The engine
+// adapts its own trace events into this form (see engine.WireObs); obs stays
+// a leaf package with no knowledge of engine types.
+type TxnEvent struct {
+	// TxnID identifies the transaction.
+	TxnID uint64
+	// Kind is the event name ("begin", "read", "commit", ...).
+	Kind string
+	// Table is the touched table (empty for begin/commit/rollback).
+	Table string
+	// Tag is the application-assigned API label, when set.
+	Tag string
+	// Begin marks the span-opening event.
+	Begin bool
+	// End marks a span-closing event; Outcome says how it closed.
+	End bool
+	// Outcome is "commit" or "rollback" on End events.
+	Outcome string
+}
+
+// Span is one in-flight transaction's trace state.
+type Span struct {
+	TxnID     uint64    `json:"txn_id"`
+	Tag       string    `json:"tag,omitempty"`
+	Start     time.Time `json:"start"`
+	Events    int       `json:"events"`
+	LastKind  string    `json:"last_kind"`
+	LastTable string    `json:"last_table,omitempty"`
+}
+
+// Age returns how long the span has been open as of now.
+func (s Span) Age(now time.Time) time.Duration { return now.Sub(s.Start) }
+
+// SpanTracker maintains per-transaction spans from trace events. Completed
+// spans feed the owning registry's txn_duration_seconds histograms (one
+// series per API tag) and txn_completed_total counters (one per outcome);
+// in-flight spans are dumpable for /debug/txns. The nil tracker is a valid
+// no-op.
+type SpanTracker struct {
+	r *Registry
+
+	mu       sync.Mutex
+	inflight map[uint64]*Span
+	// byTag caches the per-tag completion instruments so the commit path
+	// does not re-render metric names on every transaction.
+	byTag map[string]*tagSeries
+}
+
+// tagSeries is one API tag's completion instruments.
+type tagSeries struct {
+	duration  *Histogram
+	committed *Counter
+	rolledBak *Counter
+}
+
+// series returns tag's cached instruments, resolving them on first use.
+// Caller holds st.mu.
+func (st *SpanTracker) series(tag string) *tagSeries {
+	ts, ok := st.byTag[tag]
+	if !ok {
+		ts = &tagSeries{
+			duration:  st.r.Histogram(fmt.Sprintf("txn_duration_seconds{tag=%q}", tag)),
+			committed: st.r.Counter(fmt.Sprintf("txn_completed_total{tag=%q,outcome=%q}", tag, "commit")),
+			rolledBak: st.r.Counter(fmt.Sprintf("txn_completed_total{tag=%q,outcome=%q}", tag, "rollback")),
+		}
+		if st.byTag == nil {
+			st.byTag = make(map[string]*tagSeries)
+		}
+		st.byTag[tag] = ts
+	}
+	return ts
+}
+
+// Observe feeds one transaction event into the tracker.
+func (st *SpanTracker) Observe(ev TxnEvent) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if st.inflight == nil {
+		st.inflight = make(map[uint64]*Span)
+	}
+	if ev.Begin {
+		st.inflight[ev.TxnID] = &Span{TxnID: ev.TxnID, Tag: ev.Tag, Start: time.Now(), LastKind: ev.Kind}
+		st.mu.Unlock()
+		return
+	}
+	sp, ok := st.inflight[ev.TxnID]
+	if !ok {
+		// Event for a span we never saw begin (tracker wired mid-flight):
+		// synthesize so /debug/txns still shows the transaction.
+		sp = &Span{TxnID: ev.TxnID, Start: time.Now()}
+		st.inflight[ev.TxnID] = sp
+	}
+	sp.Events++
+	sp.LastKind = ev.Kind
+	sp.LastTable = ev.Table
+	if ev.Tag != "" {
+		sp.Tag = ev.Tag
+	}
+	if !ev.End {
+		st.mu.Unlock()
+		return
+	}
+	delete(st.inflight, ev.TxnID)
+	tag := sp.Tag
+	if tag == "" {
+		tag = "untagged"
+	}
+	ts := st.series(tag)
+	st.mu.Unlock()
+
+	ts.duration.Observe(time.Since(sp.Start))
+	if ev.Outcome == "rollback" {
+		ts.rolledBak.Inc()
+	} else {
+		ts.committed.Inc()
+	}
+}
+
+// Inflight returns a snapshot of the open spans, ordered by start time
+// (oldest first).
+func (st *SpanTracker) Inflight() []Span {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	out := make([]Span, 0, len(st.inflight))
+	for _, sp := range st.inflight {
+		out = append(out, *sp)
+	}
+	st.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Start.Before(out[j-1].Start); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

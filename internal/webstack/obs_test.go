@@ -1,0 +1,183 @@
+package webstack
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/obs"
+)
+
+func TestMetricsEndpointRequiresRegistry(t *testing.T) {
+	s := startServer(t)
+	for _, path := range []string{"/metrics", "/debug/txns"} {
+		resp, err := http.Get(s.BaseURL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s without registry: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestMetricsEndpointExposesRouteSeries(t *testing.T) {
+	s := startServer(t)
+	reg := obs.NewRegistry()
+	s.WireObs(reg)
+	s.Handle("/checkout", func(url.Values) error { return nil })
+
+	c := s.NewClient()
+	for i := 0; i < 5; i++ {
+		if err := c.Call("/checkout", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(s.BaseURL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`http_requests_total{route="/checkout",code="200"} 5`,
+		`http_request_seconds_count{route="/checkout"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestMetricsCountsErrorCodes(t *testing.T) {
+	s := startServer(t)
+	reg := obs.NewRegistry()
+	s.WireObs(reg)
+	s.Handle("/pay", func(url.Values) error { return ErrAPIConflict })
+
+	_ = s.NewClient().Call("/pay", nil)
+
+	if got := reg.Counter(`http_requests_total{route="/pay",code="409"}`).Value(); got != 1 {
+		t.Fatalf("409 counter = %d, want 1", got)
+	}
+}
+
+func TestDebugTxnsEndpoint(t *testing.T) {
+	s := startServer(t)
+	reg := obs.NewRegistry()
+	s.WireObs(reg)
+	reg.Spans().Observe(obs.TxnEvent{TxnID: 7, Kind: "begin", Begin: true, Tag: "checkout"})
+
+	resp, err := http.Get(s.BaseURL() + "/debug/txns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/txns status %d", resp.StatusCode)
+	}
+	var out struct {
+		Inflight int `json:"inflight"`
+		Txns     []struct {
+			TxnID uint64  `json:"txn_id"`
+			Tag   string  `json:"tag"`
+			AgeMS float64 `json:"age_ms"`
+		} `json:"txns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Inflight != 1 || len(out.Txns) != 1 {
+		t.Fatalf("inflight = %d, txns = %d", out.Inflight, len(out.Txns))
+	}
+	if out.Txns[0].TxnID != 7 || out.Txns[0].Tag != "checkout" {
+		t.Fatalf("txn dump = %+v", out.Txns[0])
+	}
+	if out.Txns[0].AgeMS < 0 {
+		t.Fatalf("age_ms = %v", out.Txns[0].AgeMS)
+	}
+}
+
+func TestCloseDrainsInflightRequests(t *testing.T) {
+	s := NewServer()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	s.Handle("/slow", func(url.Values) error {
+		once.Do(func() { close(entered) })
+		<-release
+		return nil
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.NewClient().Call("/slow", nil) }()
+	<-entered
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+
+	// Close must wait for the in-flight request, not cut it off.
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a request was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-errCh; err != nil {
+		t.Fatalf("in-flight request failed during shutdown: %v", err)
+	}
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not return after requests drained")
+	}
+}
+
+func TestCloseForcesAfterTimeout(t *testing.T) {
+	s := NewServer()
+	s.ShutdownTimeout = 50 * time.Millisecond
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	s.Handle("/stuck", func(url.Values) error {
+		once.Do(func() { close(entered) })
+		<-block
+		return nil
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer close(block)
+
+	go func() { _ = s.NewClient().Call("/stuck", nil) }()
+	<-entered
+
+	done := make(chan struct{})
+	go func() { _ = s.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung past ShutdownTimeout on a stuck handler")
+	}
+}

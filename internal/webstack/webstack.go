@@ -6,6 +6,7 @@
 package webstack
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,37 +15,96 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
+
+	"adhoctx/internal/obs"
 )
 
 // HandlerFunc processes one API call.
 type HandlerFunc func(params url.Values) error
 
-// Server hosts application APIs on a loopback listener.
+// Server hosts application APIs on a loopback listener. Every server exposes
+// /metrics (Prometheus text exposition of the wired registry) and
+// /debug/txns (in-flight transaction spans); both return 404 until WireObs
+// installs a registry.
 type Server struct {
+	// ShutdownTimeout bounds how long Close waits for in-flight requests to
+	// drain before forcing connections closed (default 5s).
+	ShutdownTimeout time.Duration
+
 	mux      *http.ServeMux
 	listener net.Listener
 	httpSrv  *http.Server
 	baseURL  string
+	reg      atomic.Pointer[obs.Registry]
 }
 
 // NewServer creates an unstarted server.
 func NewServer() *Server {
-	return &Server{mux: http.NewServeMux()}
+	s := &Server{mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.serveMetrics)
+	s.mux.HandleFunc("/debug/txns", s.serveTxns)
+	return s
 }
 
-// Handle registers an API under the given path (e.g. "/checkout").
+// WireObs installs the registry backing /metrics, /debug/txns, and the
+// per-route request middleware. May be called before or after Start; a nil
+// registry detaches.
+func (s *Server) WireObs(reg *obs.Registry) {
+	s.reg.Store(reg)
+}
+
+// serveMetrics renders the wired registry in Prometheus text format.
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.reg.Load()
+	if reg == nil {
+		http.Error(w, "webstack: no obs registry wired", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WriteText(w)
+}
+
+// serveTxns dumps the in-flight transaction spans as JSON.
+func (s *Server) serveTxns(w http.ResponseWriter, r *http.Request) {
+	reg := s.reg.Load()
+	if reg == nil {
+		http.Error(w, "webstack: no obs registry wired", http.StatusNotFound)
+		return
+	}
+	spans := reg.Spans().Inflight()
+	now := time.Now()
+	type txnDump struct {
+		obs.Span
+		AgeMS float64 `json:"age_ms"`
+	}
+	out := make([]txnDump, 0, len(spans))
+	for _, sp := range spans {
+		out = append(out, txnDump{Span: sp, AgeMS: float64(sp.Age(now)) / float64(time.Millisecond)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"inflight": len(out), "txns": out})
+}
+
+// Handle registers an API under the given path (e.g. "/checkout"). Requests
+// feed the wired registry's per-route latency histogram and status counters.
 func (s *Server) Handle(path string, h HandlerFunc) {
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code := http.StatusOK
 		if err := r.ParseForm(); err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-			return
+			code = http.StatusBadRequest
+			writeJSON(w, code, map[string]string{"error": err.Error()})
+		} else if err := h(r.Form); err != nil {
+			code = http.StatusConflict
+			writeJSON(w, code, map[string]string{"error": err.Error()})
+		} else {
+			writeJSON(w, code, map[string]string{"status": "ok"})
 		}
-		if err := h(r.Form); err != nil {
-			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
-			return
+		if reg := s.reg.Load(); reg != nil {
+			reg.Histogram(fmt.Sprintf("http_request_seconds{route=%q}", path)).Since(start)
+			reg.Counter(fmt.Sprintf("http_requests_total{route=%q,code=\"%d\"}", path, code)).Inc()
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 }
 
@@ -54,7 +114,9 @@ func writeJSON(w http.ResponseWriter, code int, body any) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
-// Start begins serving on an ephemeral loopback port.
+// Start begins serving on an ephemeral loopback port. The server carries
+// header-read and idle timeouts so a stalled or silent client cannot pin a
+// connection goroutine forever.
 func (s *Server) Start() error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -62,17 +124,34 @@ func (s *Server) Start() error {
 	}
 	s.listener = ln
 	s.baseURL = "http://" + ln.Addr().String()
-	s.httpSrv = &http.Server{Handler: s.mux}
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	go func() { _ = s.httpSrv.Serve(ln) }()
 	return nil
 }
 
-// Close shuts the server down.
+// Close shuts the server down gracefully: it stops accepting connections and
+// drains in-flight requests for up to ShutdownTimeout before forcing the
+// remaining connections closed.
 func (s *Server) Close() error {
 	if s.httpSrv == nil {
 		return nil
 	}
-	return s.httpSrv.Close()
+	d := s.ShutdownTimeout
+	if d <= 0 {
+		d = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := s.httpSrv.Shutdown(ctx); err != nil {
+		// Drain window expired (or context error): fall back to the abrupt
+		// close so Close never hangs.
+		return s.httpSrv.Close()
+	}
+	return nil
 }
 
 // BaseURL returns the server's address (valid after Start).
