@@ -4,6 +4,8 @@
 //	adhocbench -fig 3 -dur 2s       # coordination-granularity throughput
 //	adhocbench -fig 4               # rollback-method latencies
 //	adhocbench                      # all three
+//	adhocbench -addr host:port      # Figure-2-style workload over TCP
+//	                                # against a live adhocserve
 //
 // Absolute numbers depend on the simulated latency profile (see
 // EXPERIMENTS.md); the shapes are the reproduction target.
@@ -28,7 +30,21 @@ func main() {
 	noHTTP := flag.Bool("nohttp", false, "bypass the HTTP layer in Figure 3")
 	ablate := flag.Bool("ablate", false, "run the design-choice ablations instead of the figures")
 	metrics := flag.Bool("metrics", false, "print the obs registry snapshot after each figure")
+	addr := flag.String("addr", "", "drive a live adhocserve at this address instead of running in-process")
 	flag.Parse()
+
+	if *addr != "" {
+		cfg := experiments.DefaultRemoteConfig(*addr)
+		cfg.Iters = *iters
+		cfg.Clients = *clients
+		res, err := experiments.RemoteFigure2(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderRemote(*addr, res))
+		return
+	}
 
 	// newRegistry returns a fresh registry per figure when -metrics is set
 	// (so each snapshot covers only that figure), or nil to keep the

@@ -212,17 +212,25 @@ func (l *MultiLocker) attempt(conn *kv.Conn, key string) bool {
 	if conn.Exists(key) { // fast-path check
 		return false
 	}
-	conn.Watch(key)
+	if err := conn.Watch(key); err != nil {
+		return false
+	}
 	if _, held := conn.Get(key); held {
 		conn.Unwatch()
 		return false
 	}
-	conn.Multi()
+	if err := conn.Multi(); err != nil {
+		conn.Discard()
+		return false
+	}
 	conn.Set(key, l.Token)
 	ttl := l.TTL
 	if ttl <= 0 {
 		ttl = time.Hour
 	}
 	conn.Expire(key, ttl)
-	return conn.Exec()
+	// The WATCH→MULTI→EXEC sequencing above is correct by construction, so
+	// Exec can only fail the optimistic check, never the protocol.
+	ok, err := conn.Exec()
+	return err == nil && ok
 }

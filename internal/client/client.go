@@ -1,0 +1,603 @@
+// Package client is the pooled wire-protocol client for internal/server —
+// the application side of the client/server split the paper's web stacks
+// live on. It maintains a bounded pool of dialed, handshaken connections
+// with health-checked reuse, per-request timeouts, and an automatic
+// retry-with-backoff loop for the typed error codes the paper's ad hoc
+// transactions retry (deadlock, serialization failure) plus admission
+// rejection.
+//
+// Connection affinity is the load-bearing invariant: a transaction and a KV
+// conversation are both server-session state, so each is pinned to one
+// pooled connection from checkout to release, exactly as a web framework
+// pins a database transaction to one pooled database connection.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+	"adhoctx/internal/wire"
+)
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// Config tunes the client. The zero value (plus Addr) is usable.
+type Config struct {
+	// Addr is the server address, e.g. "127.0.0.1:7070".
+	Addr string
+	// PoolSize bounds pooled idle connections (default 4). Checkouts beyond
+	// the pool dial fresh connections; returns beyond it close them.
+	PoolSize int
+	// DialTimeout bounds one dial plus handshake (default 2s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request/response round trip (default 10s).
+	RequestTimeout time.Duration
+	// HealthCheckAfter is the idle age beyond which a pooled connection is
+	// pinged before reuse instead of trusted blindly (default 15s). Dead
+	// connections are re-dialed transparently.
+	HealthCheckAfter time.Duration
+	// MaxRetries bounds RunTxn attempts on retryable codes (default 5).
+	MaxRetries int
+	// BackoffBase scales the jittered exponential backoff between retries
+	// (default 200µs, mirroring the engine's local retry loop).
+	BackoffBase time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.PoolSize <= 0 {
+		out.PoolSize = 4
+	}
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 2 * time.Second
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = 10 * time.Second
+	}
+	if out.HealthCheckAfter <= 0 {
+		out.HealthCheckAfter = 15 * time.Second
+	}
+	if out.MaxRetries <= 0 {
+		out.MaxRetries = 5
+	}
+	if out.BackoffBase <= 0 {
+		out.BackoffBase = 200 * time.Microsecond
+	}
+	return out
+}
+
+// Client is a pooled wire-protocol client. Safe for concurrent use; the
+// Txn and KVConn handles it hands out are not (one goroutine each, like
+// engine.Txn and kv.Conn).
+type Client struct {
+	cfg     Config
+	pool    chan *conn
+	closed  chan struct{}
+	retries atomic.Int64
+}
+
+// Retries returns the total number of backoff-retries taken so far (BEGIN
+// admission retries plus RunTxn transaction retries) — the wire-level
+// analogue of the engine's retry counter.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// New creates a client. Connections are dialed lazily on first use, so New
+// never blocks on the network.
+func New(cfg Config) *Client {
+	c := cfg.withDefaults()
+	return &Client{
+		cfg:    c,
+		pool:   make(chan *conn, c.PoolSize),
+		closed: make(chan struct{}),
+	}
+}
+
+// Close closes the client and all pooled connections. Handles already
+// checked out keep working until released; their connections are then
+// closed instead of pooled.
+func (c *Client) Close() error {
+	select {
+	case <-c.closed:
+		return nil
+	default:
+	}
+	close(c.closed)
+	for {
+		select {
+		case cn := <-c.pool:
+			cn.close()
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *Client) isClosed() bool {
+	select {
+	case <-c.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// conn is one pooled connection: a dialed, handshaken socket plus its
+// reusable codec buffers. Owned by exactly one goroutine at a time.
+type conn struct {
+	nc       net.Conn
+	cfg      *Config
+	readBuf  []byte
+	writeBuf []byte
+	resp     wire.Response
+	lastUsed time.Time
+}
+
+func (cn *conn) close() { _ = cn.nc.Close() }
+
+// roundTrip sends req and decodes the reply into cn.resp (valid until the
+// next call). A wire-level failure poisons the connection; the caller must
+// discard it.
+func (cn *conn) roundTrip(req *wire.Request) (*wire.Response, error) {
+	out, err := wire.AppendRequest(cn.writeBuf[:0], req)
+	if err != nil {
+		return nil, err
+	}
+	cn.writeBuf = out
+	deadline := time.Now().Add(cn.cfg.RequestTimeout)
+	_ = cn.nc.SetDeadline(deadline)
+	if err := wire.WriteFrame(cn.nc, out); err != nil {
+		return nil, err
+	}
+	payload, err := wire.ReadFrame(cn.nc, cn.readBuf)
+	if err != nil {
+		return nil, err
+	}
+	cn.readBuf = payload[:0]
+	if err := wire.DecodeResponse(payload, &cn.resp); err != nil {
+		return nil, err
+	}
+	cn.lastUsed = time.Now()
+	return &cn.resp, nil
+}
+
+// dial establishes and handshakes a fresh connection.
+func (c *Client) dial() (*conn, error) {
+	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	_ = nc.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	if err := wire.ClientHandshake(nc); err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
+	_ = nc.SetDeadline(time.Time{})
+	return &conn{nc: nc, cfg: &c.cfg, lastUsed: time.Now()}, nil
+}
+
+// get checks a connection out of the pool, health-checking stale ones and
+// dialing when the pool is empty.
+func (c *Client) get() (*conn, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	for {
+		select {
+		case cn := <-c.pool:
+			if time.Since(cn.lastUsed) < c.cfg.HealthCheckAfter {
+				return cn, nil
+			}
+			// Stale: probe before trusting. A dead server answers the ping
+			// with an I/O error and we fall through to a fresh dial.
+			if resp, err := cn.roundTrip(&wire.Request{Op: wire.OpPing}); err == nil && resp.Code == wire.CodeOK {
+				return cn, nil
+			}
+			cn.close()
+		default:
+			return c.dial()
+		}
+	}
+}
+
+// put returns a healthy connection to the pool (closing it if the pool is
+// full or the client closed).
+func (c *Client) put(cn *conn) {
+	if c.isClosed() {
+		cn.close()
+		return
+	}
+	select {
+	case c.pool <- cn:
+	default:
+		cn.close()
+	}
+}
+
+// Ping round-trips an OpPing on a pooled connection.
+func (c *Client) Ping() error {
+	cn, err := c.get()
+	if err != nil {
+		return err
+	}
+	resp, err := cn.roundTrip(&wire.Request{Op: wire.OpPing})
+	if err != nil {
+		cn.close()
+		return err
+	}
+	if err := resp.Err(); err != nil {
+		cn.close()
+		return err
+	}
+	c.put(cn)
+	return nil
+}
+
+// backoff sleeps the jittered exponential delay for retry attempt i,
+// mirroring engine.RunWithRetry; without jitter, concurrent retriers can
+// livelock.
+func (c *Client) backoff(i int) {
+	c.retries.Add(1)
+	step := int64(i + 1)
+	if step > 8 {
+		step = 8
+	}
+	base := c.cfg.BackoffBase
+	// Uniform jitter in [base/2, base/2 + step*base): grows with the attempt.
+	time.Sleep(base/2 + time.Duration(rand.Int63n(step*int64(base))))
+}
+
+// ---- transactions ----
+
+// Txn is a remote transaction pinned to one pooled connection. Single
+// goroutine only. Every Txn must end in Commit or Rollback, which releases
+// the connection; abandoning one leaks it until the server's idle reaper
+// rolls the session back.
+type Txn struct {
+	c    *Client
+	cn   *conn
+	done bool
+}
+
+// Rows is one SELECT result set.
+type Rows struct {
+	Cols []string
+	Rows [][]storage.Value
+}
+
+// Begin opens a remote transaction, retrying admission rejection
+// (CodeSaturated) with backoff up to MaxRetries.
+func (c *Client) Begin(iso engine.Isolation) (*Txn, error) {
+	var lastErr error
+	for i := 0; i < c.cfg.MaxRetries; i++ {
+		cn, err := c.get()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := cn.roundTrip(&wire.Request{Op: wire.OpBegin, Iso: uint8(iso)})
+		if err != nil {
+			// I/O failure: the server may have force-closed a saturated
+			// connection; treat like saturation and retry on a fresh dial.
+			cn.close()
+			lastErr = err
+			c.backoff(i)
+			continue
+		}
+		if rerr := resp.Err(); rerr != nil {
+			cn.close()
+			lastErr = rerr
+			if wire.IsRetryable(rerr) {
+				c.backoff(i)
+				continue
+			}
+			return nil, rerr
+		}
+		return &Txn{c: c, cn: cn}, nil
+	}
+	return nil, fmt.Errorf("client: BEGIN gave up after %d attempts: %w", c.cfg.MaxRetries, lastErr)
+}
+
+// exec round-trips one request on the transaction's connection. A
+// wire-level failure poisons both the transaction and the connection.
+func (t *Txn) exec(req *wire.Request) (*wire.Response, error) {
+	if t.done {
+		return nil, engine.ErrTxnDone
+	}
+	resp, err := t.cn.roundTrip(req)
+	if err != nil {
+		t.done = true
+		t.cn.close()
+		return nil, fmt.Errorf("%w: %v", engine.ErrConnLost, err)
+	}
+	if rerr := resp.Err(); rerr != nil {
+		// Typed engine errors that abort the transaction server-side leave
+		// the session txn-less; finish the handle so the caller's deferred
+		// Rollback doesn't double-fault. The connection itself is healthy.
+		var we *wire.Error
+		if errors.As(rerr, &we) {
+			switch we.Code {
+			case wire.CodeDeadlock, wire.CodeSerialization, wire.CodeLockTimeout, wire.CodeTxnDone:
+				t.done = true
+				t.c.put(t.cn)
+			}
+		}
+		return nil, rerr
+	}
+	return resp, nil
+}
+
+// Select runs a locking or plain SELECT.
+func (t *Txn) Select(table string, pred storage.Pred, lock wire.Lock) (*Rows, error) {
+	resp, err := t.exec(&wire.Request{Op: wire.OpSelect, Table: table, Pred: pred, Lock: lock})
+	if err != nil {
+		return nil, err
+	}
+	out := &Rows{Cols: append([]string(nil), resp.Cols...)}
+	for _, row := range resp.Rows {
+		out.Rows = append(out.Rows, append([]storage.Value(nil), row...))
+	}
+	return out, nil
+}
+
+// Insert inserts one row, returning its primary key.
+func (t *Txn) Insert(table string, vals map[string]storage.Value) (int64, error) {
+	req := &wire.Request{Op: wire.OpInsert, Table: table}
+	for k, v := range vals {
+		req.Cols = append(req.Cols, k)
+		req.Vals = append(req.Vals, v)
+	}
+	resp, err := t.exec(req)
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Update updates matching rows, returning the count.
+func (t *Txn) Update(table string, pred storage.Pred, set map[string]storage.Value) (int, error) {
+	req := &wire.Request{Op: wire.OpUpdate, Table: table, Pred: pred}
+	for k, v := range set {
+		req.Cols = append(req.Cols, k)
+		req.Vals = append(req.Vals, v)
+	}
+	resp, err := t.exec(req)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.N), nil
+}
+
+// Delete deletes matching rows, returning the count.
+func (t *Txn) Delete(table string, pred storage.Pred) (int, error) {
+	resp, err := t.exec(&wire.Request{Op: wire.OpDelete, Table: table, Pred: pred})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.N), nil
+}
+
+// Commit commits and releases the connection back to the pool.
+func (t *Txn) Commit() error { return t.finish(wire.OpCommit) }
+
+// Rollback rolls back and releases the connection. Safe on a finished
+// transaction (returns nil), so `defer txn.Rollback()` is idiomatic.
+func (t *Txn) Rollback() error {
+	if t.done {
+		return nil
+	}
+	return t.finish(wire.OpRollback)
+}
+
+func (t *Txn) finish(op wire.Op) error {
+	if t.done {
+		return engine.ErrTxnDone
+	}
+	t.done = true
+	resp, err := t.cn.roundTrip(&wire.Request{Op: op})
+	if err != nil {
+		t.cn.close()
+		return fmt.Errorf("%w: %v", engine.ErrConnLost, err)
+	}
+	rerr := resp.Err()
+	if rerr != nil {
+		var we *wire.Error
+		if errors.As(rerr, &we) && we.Code != wire.CodeOK && we.Code != wire.CodeDeadlock &&
+			we.Code != wire.CodeSerialization && we.Code != wire.CodeNoTxn && we.Code != wire.CodeTxnDone {
+			// Unexpected protocol state: don't pool a connection we no
+			// longer understand.
+			t.cn.close()
+			return rerr
+		}
+	}
+	t.c.put(t.cn)
+	return rerr
+}
+
+// Done reports whether the transaction has finished.
+func (t *Txn) Done() bool { return t.done }
+
+// RunTxn runs fn inside a remote transaction, committing on success and
+// retrying the whole transaction with backoff on retryable codes — the
+// client-side analogue of engine.RunWithRetry, and the loop every studied
+// application wraps around its database transactions.
+func (c *Client) RunTxn(iso engine.Isolation, fn func(*Txn) error) error {
+	var err error
+	for i := 0; i < c.cfg.MaxRetries; i++ {
+		err = c.runOnce(iso, fn)
+		if err == nil || !retryable(err) {
+			return err
+		}
+		c.backoff(i)
+	}
+	return err
+}
+
+func (c *Client) runOnce(iso engine.Isolation, fn func(*Txn) error) error {
+	t, err := c.Begin(iso)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = t.Rollback() }()
+	if err := fn(t); err != nil {
+		return err
+	}
+	if t.Done() {
+		return engine.ErrTxnDone
+	}
+	return t.Commit()
+}
+
+// retryable widens wire.IsRetryable with the engine sentinels, so local
+// and remote retry loops branch identically.
+func retryable(err error) bool {
+	return wire.IsRetryable(err) || engine.IsRetryable(err) || errors.Is(err, engine.ErrTxnDone)
+}
+
+// ---- KV ----
+
+// KVConn is a remote KV conversation pinned to one pooled connection —
+// WATCH/MULTI state lives in the server session, so the pinning is what
+// makes the optimistic protocol sound. Single goroutine only; Close
+// releases the connection.
+type KVConn struct {
+	c      *Client
+	cn     *conn
+	closed bool
+}
+
+// KV checks out a connection for KV commands.
+func (c *Client) KV() (*KVConn, error) {
+	cn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	return &KVConn{c: c, cn: cn}, nil
+}
+
+// Close releases the connection back to the pool.
+func (k *KVConn) Close() {
+	if k.closed {
+		return
+	}
+	k.closed = true
+	k.c.put(k.cn)
+}
+
+func (k *KVConn) do(req *wire.Request) (*wire.Response, error) {
+	if k.closed {
+		return nil, ErrClosed
+	}
+	resp, err := k.cn.roundTrip(req)
+	if err != nil {
+		k.closed = true
+		k.cn.close()
+		return nil, err
+	}
+	if rerr := resp.Err(); rerr != nil {
+		return nil, rerr
+	}
+	return resp, nil
+}
+
+func (k *KVConn) cmd(c wire.KVCmd, key, sval string, ttl time.Duration) (*wire.Response, error) {
+	return k.do(&wire.Request{Op: wire.OpKV, Cmd: c, Key: key, SVal: sval, TTL: ttl})
+}
+
+// Get returns the string value of key.
+func (k *KVConn) Get(key string) (string, bool, error) {
+	resp, err := k.cmd(wire.KVGet, key, "", 0)
+	if err != nil {
+		return "", false, err
+	}
+	return resp.Str, resp.Bool, nil
+}
+
+// Exists reports whether key is live.
+func (k *KVConn) Exists(key string) (bool, error) {
+	resp, err := k.cmd(wire.KVExists, key, "", 0)
+	if err != nil {
+		return false, err
+	}
+	return resp.Bool, nil
+}
+
+// Set stores val at key.
+func (k *KVConn) Set(key, val string) error {
+	_, err := k.cmd(wire.KVSet, key, val, 0)
+	return err
+}
+
+// SetNX stores val at key if absent, reporting whether it won.
+func (k *KVConn) SetNX(key, val string) (bool, error) {
+	resp, err := k.cmd(wire.KVSetNX, key, val, 0)
+	if err != nil {
+		return false, err
+	}
+	return resp.Bool, nil
+}
+
+// SetNXPX is SetNX with a TTL — the paper's one-round-trip lock acquire.
+func (k *KVConn) SetNXPX(key, val string, ttl time.Duration) (bool, error) {
+	resp, err := k.cmd(wire.KVSetNXPX, key, val, ttl)
+	if err != nil {
+		return false, err
+	}
+	return resp.Bool, nil
+}
+
+// Del removes key, reporting whether it existed.
+func (k *KVConn) Del(key string) (bool, error) {
+	resp, err := k.cmd(wire.KVDel, key, "", 0)
+	if err != nil {
+		return false, err
+	}
+	return resp.Bool, nil
+}
+
+// Expire sets key's TTL.
+func (k *KVConn) Expire(key string, ttl time.Duration) (bool, error) {
+	resp, err := k.cmd(wire.KVExpire, key, "", ttl)
+	if err != nil {
+		return false, err
+	}
+	return resp.Bool, nil
+}
+
+// Watch adds keys to the session's watch set.
+func (k *KVConn) Watch(keys ...string) error {
+	_, err := k.do(&wire.Request{Op: wire.OpKV, Cmd: wire.KVWatch, Keys: keys})
+	return err
+}
+
+// Unwatch clears the watch set.
+func (k *KVConn) Unwatch() error {
+	_, err := k.cmd(wire.KVUnwatch, "", "", 0)
+	return err
+}
+
+// Multi begins queueing commands.
+func (k *KVConn) Multi() error {
+	_, err := k.cmd(wire.KVMulti, "", "", 0)
+	return err
+}
+
+// Discard drops the queue and watch set.
+func (k *KVConn) Discard() error {
+	_, err := k.cmd(wire.KVDiscard, "", "", 0)
+	return err
+}
+
+// Exec applies the queued commands if no watched key changed.
+func (k *KVConn) Exec() (bool, error) {
+	resp, err := k.cmd(wire.KVExec, "", "", 0)
+	if err != nil {
+		return false, err
+	}
+	return resp.Bool, nil
+}

@@ -83,7 +83,10 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	}
 	wg.Wait()
 
-	resp, err := http.Get(srv.BaseURL() + "/metrics")
+	// Build the URL from the bound-address accessor rather than BaseURL, so
+	// the accessor's contract (valid after Start, stable until Close) stays
+	// covered by an integration test.
+	resp, err := http.Get("http://" + srv.Addr().String() + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +117,7 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		t.Errorf("no txn_completed_total series in exposition")
 	}
 
-	resp, err = http.Get(srv.BaseURL() + "/debug/txns")
+	resp, err = http.Get("http://" + srv.Addr().String() + "/debug/txns")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"adhoctx/internal/client"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+	"adhoctx/internal/wire"
+)
+
+// RemoteConfig tunes the networked replay of Figure 2 against a live
+// adhocserve instance. Unlike the in-process figures, latencies here come
+// from the real TCP stack rather than sim.Latency — the point is to measure
+// the same lock primitives through the client/server split the studied
+// applications actually run on.
+type RemoteConfig struct {
+	// Addr is the adhocserve address.
+	Addr string
+	// Iters is the number of lock/unlock pairs per primitive.
+	Iters int
+	// Clients is the number of concurrent workers in the contention phase.
+	Clients int
+	// ContendIters is the per-worker transaction count in the contention
+	// phase (two-row transfers in random lock order, so deadlocks occur and
+	// the typed retry path is exercised over the wire).
+	ContendIters int
+}
+
+// DefaultRemoteConfig mirrors DefaultFigure2Config's scale.
+func DefaultRemoteConfig(addr string) RemoteConfig {
+	return RemoteConfig{Addr: addr, Iters: 200, Clients: 8, ContendIters: 50}
+}
+
+// RemoteResult is the full output of RemoteFigure2.
+type RemoteResult struct {
+	// Latencies are the per-primitive uncontended measurements, in Figure
+	// 2's shape (only the primitives that exist server-side: the in-process
+	// SYNC/MEM rows have no remote analogue).
+	Latencies []LockLatency
+	// ContendedTxns and ContendedErrs count the contention phase outcomes.
+	ContendedTxns, ContendedErrs int
+	// Retries is the number of typed-error retries the clients took —
+	// nonzero when deadlocks crossed the wire and were retried, proving the
+	// sentinel round trip end to end.
+	Retries int64
+	// Elapsed is the contention phase wall time.
+	Elapsed time.Duration
+}
+
+// RemoteFigure2 replays the Figure 2 lock/unlock microbenchmark over TCP,
+// then runs a deliberately deadlock-prone contention phase to exercise the
+// typed-error retry loop. The server must already hold the "lock_rows"
+// table with rows 1..max(2, Clients) (adhocserve seeds it).
+func RemoteFigure2(cfg RemoteConfig) (*RemoteResult, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 100
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.ContendIters <= 0 {
+		cfg.ContendIters = 50
+	}
+	c := client.New(client.Config{Addr: cfg.Addr, PoolSize: cfg.Clients + 1, MaxRetries: 50})
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		return nil, fmt.Errorf("remote: cannot reach %s: %w", cfg.Addr, err)
+	}
+
+	out := &RemoteResult{}
+
+	// Phase 1: uncontended lock/unlock latency per primitive, single client.
+	type primitive struct {
+		name    string
+		acquire func() (func() error, error)
+	}
+	kvConn, err := c.KV()
+	if err != nil {
+		return nil, err
+	}
+	defer kvConn.Close()
+	prims := []primitive{
+		{"KV-SETNX", func() (func() error, error) {
+			won, err := kvConn.SetNXPX("fig2:lock", "bench", time.Minute)
+			if err != nil {
+				return nil, err
+			}
+			if !won {
+				return nil, fmt.Errorf("remote: SETNX lost uncontended")
+			}
+			return func() error { _, err := kvConn.Del("fig2:lock"); return err }, nil
+		}},
+		{"KV-MULTI", func() (func() error, error) {
+			// The Discourse protocol (§3.2.1), each step a real round trip.
+			if err := kvConn.Watch("fig2:mlock"); err != nil {
+				return nil, err
+			}
+			if _, held, err := kvConn.Get("fig2:mlock"); err != nil {
+				return nil, err
+			} else if held {
+				return nil, fmt.Errorf("remote: MULTI lock already held")
+			}
+			if err := kvConn.Multi(); err != nil {
+				return nil, err
+			}
+			if err := kvConn.Set("fig2:mlock", "bench"); err != nil {
+				return nil, err
+			}
+			if _, err := kvConn.Expire("fig2:mlock", time.Minute); err != nil {
+				return nil, err
+			}
+			ok, err := kvConn.Exec()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("remote: uncontended EXEC failed")
+			}
+			return func() error { _, err := kvConn.Del("fig2:mlock"); return err }, nil
+		}},
+		{"SFU", func() (func() error, error) {
+			txn, err := c.Begin(engine.IsolationDefault)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := txn.Select("lock_rows", storage.ByPK(1), wire.LockForUpdate); err != nil {
+				_ = txn.Rollback()
+				return nil, err
+			}
+			return txn.Commit, nil
+		}},
+	}
+	for _, p := range prims {
+		lockTotal, unlockTotal := time.Duration(0), time.Duration(0)
+		for i := 0; i < cfg.Iters; i++ {
+			start := time.Now()
+			rel, err := p.acquire()
+			mid := time.Now()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.name, err)
+			}
+			if err := rel(); err != nil {
+				return nil, fmt.Errorf("%s release: %w", p.name, err)
+			}
+			end := time.Now()
+			lockTotal += mid.Sub(start)
+			unlockTotal += end.Sub(mid)
+		}
+		out.Latencies = append(out.Latencies, LockLatency{
+			Name:   p.name,
+			Lock:   lockTotal / time.Duration(cfg.Iters),
+			Unlock: unlockTotal / time.Duration(cfg.Iters),
+		})
+	}
+
+	// Phase 2: contention. Each worker repeatedly locks rows 1 and 2 in
+	// random order inside one transaction — the classic deadlock recipe —
+	// so the server kills victims with ErrDeadlock, the code crosses the
+	// wire, and the client's RunTxn loop retries. Completion of every
+	// transaction is the proof the retry contract holds end to end.
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Clients)
+	var mu sync.Mutex
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < cfg.ContendIters; i++ {
+				a, b := int64(1), int64(2)
+				if rng.Intn(2) == 0 {
+					a, b = b, a
+				}
+				err := c.RunTxn(engine.IsolationDefault, func(txn *client.Txn) error {
+					if _, err := txn.Select("lock_rows", storage.ByPK(a), wire.LockForUpdate); err != nil {
+						return err
+					}
+					if _, err := txn.Select("lock_rows", storage.ByPK(b), wire.LockForUpdate); err != nil {
+						return err
+					}
+					return nil
+				})
+				mu.Lock()
+				if err != nil {
+					out.ContendedErrs++
+				} else {
+					out.ContendedTxns++
+				}
+				mu.Unlock()
+				if err != nil {
+					errs <- err
+				}
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	out.Elapsed = time.Since(start)
+	out.Retries = c.Retries()
+	select {
+	case err := <-errs:
+		return out, fmt.Errorf("remote contention: %w", err)
+	default:
+	}
+	return out, nil
+}
+
+// RenderRemote prints a RemoteResult in Figure 2's layout plus the
+// contention summary.
+func RenderRemote(addr string, r *RemoteResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Remote Figure 2 (over TCP to %s)\n", addr)
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "primitive", "lock", "unlock")
+	for _, row := range r.Latencies {
+		fmt.Fprintf(&b, "%-10s %12s %12s\n", row.Name, row.Lock, row.Unlock)
+	}
+	fmt.Fprintf(&b, "contention: %d txns in %s (%d failed), %d typed-error retries\n",
+		r.ContendedTxns, r.Elapsed.Round(time.Millisecond), r.ContendedErrs, r.Retries)
+	return b.String()
+}

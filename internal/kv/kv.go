@@ -10,6 +10,7 @@
 package kv
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,19 @@ import (
 
 	"adhoctx/internal/obs"
 	"adhoctx/internal/sim"
+)
+
+// Protocol-misuse errors, mirroring the errors a real Redis returns for the
+// same sequencing mistakes. They are deterministic — misuse always errors,
+// never silently queues or half-applies — because the studied lock
+// implementations branch on EXEC's outcome to decide lock ownership.
+var (
+	// ErrExecWithoutMulti reports Exec called with no transaction open.
+	ErrExecWithoutMulti = errors.New("kv: EXEC without MULTI")
+	// ErrNestedMulti reports Multi called while a transaction is already open.
+	ErrNestedMulti = errors.New("kv: MULTI calls can not be nested")
+	// ErrWatchInMulti reports Watch called inside an open transaction.
+	ErrWatchInMulti = errors.New("kv: WATCH inside MULTI is not allowed")
 )
 
 // entry is one key's value: either a string or a set, with optional expiry.
@@ -351,9 +365,14 @@ func (c *Conn) SMembers(key string) []string {
 
 // Watch adds keys to the connection's watch set (recording their current
 // versions — a key that does not exist yet is watched too, as the paper
-// notes for Discourse's lock).
-func (c *Conn) Watch(keys ...string) {
+// notes for Discourse's lock). Redis forbids WATCH inside MULTI: the queue
+// is already sealed against the versions recorded so far, so a late watch
+// would silently validate against post-MULTI state.
+func (c *Conn) Watch(keys ...string) error {
 	c.s.charge("watch")
+	if c.inMulti {
+		return ErrWatchInMulti
+	}
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.watch == nil {
@@ -362,6 +381,7 @@ func (c *Conn) Watch(keys ...string) {
 	for _, k := range keys {
 		c.watch[k] = c.s.versionOf(k)
 	}
+	return nil
 }
 
 // Unwatch clears the watch set.
@@ -370,11 +390,16 @@ func (c *Conn) Unwatch() {
 	c.watch = nil
 }
 
-// Multi begins queueing commands.
-func (c *Conn) Multi() {
+// Multi begins queueing commands. Nested MULTI is a protocol error, as in
+// Redis ("MULTI calls can not be nested").
+func (c *Conn) Multi() error {
 	c.s.charge("multi")
+	if c.inMulti {
+		return ErrNestedMulti
+	}
 	c.inMulti = true
 	c.queue = nil
+	return nil
 }
 
 // Discard drops the queue and watch set.
@@ -387,9 +412,16 @@ func (c *Conn) Discard() {
 
 // Exec atomically applies the queued commands if no watched key changed
 // since Watch, reporting whether the transaction committed. The watch set
-// and queue are cleared either way (Redis semantics).
-func (c *Conn) Exec() bool {
+// and queue are cleared either way (Redis semantics). EXEC without a prior
+// MULTI is a protocol error ("EXEC without MULTI"): the callers the paper
+// studies treat Exec's boolean as the lock-acquisition verdict, so
+// reporting a sequencing bug through that boolean would masquerade as
+// contention and be retried forever.
+func (c *Conn) Exec() (bool, error) {
 	c.s.charge("exec")
+	if !c.inMulti {
+		return false, ErrExecWithoutMulti
+	}
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	ok := true
@@ -407,5 +439,5 @@ func (c *Conn) Exec() bool {
 	c.inMulti = false
 	c.queue = nil
 	c.watch = nil
-	return ok
+	return ok, nil
 }

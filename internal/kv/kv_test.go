@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +12,17 @@ import (
 func newTestStore() (*Store, *sim.FakeClock) {
 	clock := sim.NewFakeClock(time.Unix(1000, 0))
 	return NewStore(clock, sim.Latency{}), clock
+}
+
+// mustExec runs Exec on a correctly-sequenced connection, failing the test on
+// a protocol error and returning the optimistic-check verdict.
+func mustExec(t *testing.T, c *Conn) bool {
+	t.Helper()
+	ok, err := c.Exec()
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	return ok
 }
 
 func TestGetSetDel(t *testing.T) {
@@ -134,7 +146,7 @@ func TestWatchMultiExec(t *testing.T) {
 	}
 	c1.Multi()
 	c1.Set("lock", "me")
-	if !c1.Exec() {
+	if !mustExec(t, c1) {
 		t.Fatal("uncontended Exec failed")
 	}
 	if v, _ := c1.Get("lock"); v != "me" {
@@ -150,7 +162,7 @@ func TestWatchMultiExec(t *testing.T) {
 	c2.Set("lock", "them")
 	c1.Multi()
 	c1.Set("lock", "me")
-	if c1.Exec() {
+	if mustExec(t, c1) {
 		t.Fatal("Exec should fail after concurrent write")
 	}
 	if v, _ := c1.Get("lock"); v != "them" {
@@ -166,7 +178,7 @@ func TestWatchSeesDeletion(t *testing.T) {
 	c2.Del("k")
 	c1.Multi()
 	c1.Set("k", "mine")
-	if c1.Exec() {
+	if mustExec(t, c1) {
 		t.Fatal("Exec should observe deletion of watched key")
 	}
 }
@@ -178,7 +190,7 @@ func TestWatchMissingKeyThenCreated(t *testing.T) {
 	c2.Set("k", "their")
 	c1.Multi()
 	c1.Set("k", "mine")
-	if c1.Exec() {
+	if mustExec(t, c1) {
 		t.Fatal("Exec should fail: watched missing key was created")
 	}
 }
@@ -195,7 +207,7 @@ func TestDiscardClearsState(t *testing.T) {
 	}
 	// After Discard, Exec with empty state commits trivially.
 	c.Multi()
-	if !c.Exec() {
+	if !mustExec(t, c) {
 		t.Fatal("empty Exec failed")
 	}
 }
@@ -208,7 +220,7 @@ func TestUnwatch(t *testing.T) {
 	c1.Unwatch()
 	c1.Multi()
 	c1.Set("k", "mine")
-	if !c1.Exec() {
+	if !mustExec(t, c1) {
 		t.Fatal("Exec after Unwatch should succeed")
 	}
 }
@@ -225,7 +237,7 @@ func TestQueuedDeletesAndSets(t *testing.T) {
 	if c.Exists("a") != true {
 		t.Fatal("queued del applied before Exec")
 	}
-	if !c.Exec() {
+	if !mustExec(t, c) {
 		t.Fatal("Exec failed")
 	}
 	if c.Exists("a") {
@@ -237,6 +249,74 @@ func TestQueuedDeletesAndSets(t *testing.T) {
 	if c.SIsMember("s", "m") {
 		t.Fatal("queued SRem not applied after SAdd")
 	}
+}
+
+// TestProtocolMisuse pins the deterministic sequencing errors: EXEC without
+// MULTI, nested MULTI, and WATCH inside MULTI must each fail with their
+// sentinel — never silently queue, half-apply, or report "lock contended".
+func TestProtocolMisuse(t *testing.T) {
+	s, _ := newTestStore()
+
+	t.Run("exec without multi", func(t *testing.T) {
+		c := s.Conn()
+		if _, err := c.Exec(); !errors.Is(err, ErrExecWithoutMulti) {
+			t.Fatalf("Exec() err = %v, want ErrExecWithoutMulti", err)
+		}
+		// The connection stays usable and correctly sequenced afterwards.
+		if err := c.Multi(); err != nil {
+			t.Fatalf("Multi after failed Exec: %v", err)
+		}
+		c.Set("k", "v")
+		if !mustExec(t, c) {
+			t.Fatal("Exec after recovery failed")
+		}
+		c.Del("k")
+	})
+
+	t.Run("nested multi", func(t *testing.T) {
+		c := s.Conn()
+		if err := c.Multi(); err != nil {
+			t.Fatal(err)
+		}
+		c.Set("a", "1")
+		if err := c.Multi(); !errors.Is(err, ErrNestedMulti) {
+			t.Fatalf("nested Multi err = %v, want ErrNestedMulti", err)
+		}
+		// The rejected MULTI must not have dropped the open queue.
+		c.Set("b", "2")
+		if !mustExec(t, c) {
+			t.Fatal("Exec failed")
+		}
+		if v, _ := c.Get("a"); v != "1" {
+			t.Fatal("queued write before nested Multi lost")
+		}
+		if v, _ := c.Get("b"); v != "2" {
+			t.Fatal("queued write after nested Multi lost")
+		}
+		c.Del("a")
+		c.Del("b")
+	})
+
+	t.Run("watch inside multi", func(t *testing.T) {
+		c, c2 := s.Conn(), s.Conn()
+		if err := c.Multi(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Watch("k"); !errors.Is(err, ErrWatchInMulti) {
+			t.Fatalf("Watch in Multi err = %v, want ErrWatchInMulti", err)
+		}
+		// The rejected WATCH must not have registered: a concurrent write to
+		// the key cannot abort this transaction.
+		c2.Set("k", "theirs")
+		c.Set("k", "mine")
+		if !mustExec(t, c) {
+			t.Fatal("Exec aborted by a watch that was rejected")
+		}
+		if v, _ := c.Get("k"); v != "mine" {
+			t.Fatalf("k = %q, want %q", v, "mine")
+		}
+		c.Del("k")
+	})
 }
 
 func TestCommandCountsRoundTrips(t *testing.T) {

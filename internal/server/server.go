@@ -1,0 +1,668 @@
+// Package server is the networked serving layer over engine.Engine and
+// kv.Store: a TCP accept loop speaking the internal/wire protocol, with
+// per-connection sessions, admission control, idle-session reaping, and
+// graceful drain.
+//
+// The paper studies ad hoc transactions in client/server web stacks; this
+// package supplies the server half of that substrate. Each connection is one
+// session — the analogue of a database connection — owning at most one open
+// transaction and one KV connection, so connection lifecycle events map
+// one-to-one onto transaction lifecycle events: a client that dies
+// mid-transaction (the §3.4.2 crash points, seen from the server) has its
+// transaction rolled back and its locks released the moment the connection
+// breaks or goes idle past the reap deadline. Locks never outlive their
+// session.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/kv"
+	"adhoctx/internal/obs"
+	"adhoctx/internal/wire"
+)
+
+// Config tunes the serving layer. The zero value serves on an ephemeral
+// loopback port with the defaults below.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// MaxSessions bounds concurrently admitted sessions (default 64).
+	MaxSessions int
+	// MaxQueued bounds dials waiting for a session slot; a dial beyond the
+	// queue is rejected immediately with CodeSaturated (default MaxSessions).
+	MaxQueued int
+	// QueueWait bounds how long a queued dial waits for a slot before the
+	// typed rejection (default 100ms).
+	QueueWait time.Duration
+	// IdleTimeout is the idle-session reap deadline: a session that sends no
+	// request for this long is closed and its open transaction rolled back,
+	// so an abandoned client never leaks locks (default 30s).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one response write (default 10s). Statement
+	// execution itself is bounded by the engine's lock timeout, matching the
+	// databases the paper studies.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds Close's graceful drain before remaining
+	// connections are forced closed (default 5s).
+	DrainTimeout time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Addr == "" {
+		out.Addr = "127.0.0.1:0"
+	}
+	if out.MaxSessions <= 0 {
+		out.MaxSessions = 64
+	}
+	if out.MaxQueued <= 0 {
+		out.MaxQueued = out.MaxSessions
+	}
+	if out.QueueWait <= 0 {
+		out.QueueWait = 100 * time.Millisecond
+	}
+	if out.IdleTimeout <= 0 {
+		out.IdleTimeout = 30 * time.Second
+	}
+	if out.WriteTimeout <= 0 {
+		out.WriteTimeout = 10 * time.Second
+	}
+	if out.DrainTimeout <= 0 {
+		out.DrainTimeout = 5 * time.Second
+	}
+	return out
+}
+
+// serverMetrics is the resolved instrument set (see WireObs).
+type serverMetrics struct {
+	active   *obs.Gauge
+	queued   *obs.Gauge
+	accepted *obs.Counter
+	rejected *obs.Counter
+	reaped   *obs.Counter
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+	perOp    map[wire.Op]*obs.Histogram
+	errors   *obs.Counter
+}
+
+// Server accepts wire-protocol connections over an Engine and a Store.
+// A Server must not be reused after Close.
+type Server struct {
+	cfg   Config
+	eng   *engine.Engine
+	store *kv.Store
+
+	ln       net.Listener
+	slots    chan struct{} // admission semaphore, capacity MaxSessions
+	queued   atomic.Int64
+	draining chan struct{}
+	done     sync.WaitGroup // accept loop + sessions
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	closeOnce sync.Once
+	closeErr  error
+
+	om atomic.Pointer[serverMetrics]
+}
+
+// New creates an unstarted server. store may be nil when only engine
+// commands are served (KV requests then fail with a typed error).
+func New(eng *engine.Engine, store *kv.Store, cfg Config) *Server {
+	c := cfg.withDefaults()
+	return &Server{
+		cfg:      c,
+		eng:      eng,
+		store:    store,
+		slots:    make(chan struct{}, c.MaxSessions),
+		draining: make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// WireObs attaches the server to reg: session admission gauges and counters,
+// per-operation wire latency histograms, and bytes in/out. A nil registry is
+// a no-op; the disabled path costs one atomic pointer load per use.
+func (s *Server) WireObs(reg *obs.Registry) {
+	if reg == nil {
+		s.om.Store(nil)
+		return
+	}
+	m := &serverMetrics{
+		active:   reg.Gauge("server_sessions_active"),
+		queued:   reg.Gauge("server_sessions_queued"),
+		accepted: reg.Counter("server_sessions_accepted_total"),
+		rejected: reg.Counter("server_sessions_rejected_total"),
+		reaped:   reg.Counter("server_sessions_reaped_total"),
+		bytesIn:  reg.Counter("server_bytes_read_total"),
+		bytesOut: reg.Counter("server_bytes_written_total"),
+		perOp:    make(map[wire.Op]*obs.Histogram, len(wire.Ops)),
+		errors:   reg.Counter("server_request_errors_total"),
+	}
+	for _, op := range wire.Ops {
+		m.perOp[op] = reg.Histogram(fmt.Sprintf("wire_request_seconds{op=%q}", op.String()))
+	}
+	s.om.Store(m)
+}
+
+// Start begins listening and accepting sessions.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.done.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close gracefully drains the server: the listener closes immediately (new
+// dials are refused), sessions with an open transaction may finish it, and
+// idle sessions are closed. Connections still alive after DrainTimeout are
+// forced closed. Close returns an error if sessions survive even that (a
+// session can be pinned inside an unbounded engine lock wait). Close is
+// idempotent; later calls return the first call's result.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.drain() })
+	return s.closeErr
+}
+
+func (s *Server) drain() error {
+	close(s.draining)
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	if waitTimeout(&s.done, s.cfg.DrainTimeout) {
+		return nil
+	}
+	// Grace expired: force-close the stragglers. Their session loops roll
+	// back any open transaction on the way out.
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	if waitTimeout(&s.done, s.cfg.DrainTimeout) {
+		return nil
+	}
+	return errors.New("server: sessions still running after drain timeout")
+}
+
+func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	select {
+	case <-ch:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.done.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.done.Add(1)
+		go s.admit(conn)
+	}
+}
+
+// track registers conn for force-close at drain; untrack forgets it.
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// admit runs the handshake and the admission controller for one connection,
+// then hands it to a session. Saturation is reported with a typed error
+// frame rather than a silent close, so clients can back off and retry
+// instead of treating it as a network failure.
+func (s *Server) admit(conn net.Conn) {
+	defer s.done.Done()
+	s.track(conn)
+	defer s.untrack(conn)
+	m := s.om.Load()
+
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := wire.ServerHandshake(conn); err != nil {
+		_ = conn.Close()
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+
+	// Fast path: a free slot.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		// Queue, bounded: beyond MaxQueued dials waiting, reject instantly.
+		if s.queued.Add(1) > int64(s.cfg.MaxQueued) {
+			s.queued.Add(-1)
+			s.reject(conn, m, "admission queue full")
+			return
+		}
+		if m != nil {
+			m.queued.Set(s.queued.Load())
+		}
+		timer := time.NewTimer(s.cfg.QueueWait)
+		select {
+		case s.slots <- struct{}{}:
+			timer.Stop()
+			s.queued.Add(-1)
+			if m != nil {
+				m.queued.Set(s.queued.Load())
+			}
+		case <-timer.C:
+			s.queued.Add(-1)
+			if m != nil {
+				m.queued.Set(s.queued.Load())
+			}
+			s.reject(conn, m, "no session slot within queue wait")
+			return
+		case <-s.draining:
+			timer.Stop()
+			s.queued.Add(-1)
+			if m != nil {
+				m.queued.Set(s.queued.Load())
+			}
+			s.reject(conn, m, "server draining")
+			return
+		}
+	}
+
+	if m != nil {
+		m.accepted.Inc()
+		m.active.Add(1)
+	}
+	sess := &session{srv: s, conn: conn, m: m}
+	sess.run()
+	<-s.slots
+	if m != nil {
+		m.active.Add(-1)
+	}
+}
+
+// reject sends a typed CodeSaturated frame and closes the connection.
+func (s *Server) reject(conn net.Conn, m *serverMetrics, msg string) {
+	if m != nil {
+		m.rejected.Inc()
+	}
+	payload, err := wire.AppendResponse(nil, &wire.Response{Code: wire.CodeSaturated, Msg: msg})
+	if err == nil {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		_ = wire.WriteFrame(conn, payload)
+	}
+	_ = conn.Close()
+}
+
+// session is one admitted connection: the server-side analogue of a database
+// session, owning at most one open transaction and one KV connection. All
+// session state is confined to the session goroutine.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	m    *serverMetrics
+
+	txn *engine.Txn
+	kvc *kv.Conn
+
+	readBuf  []byte
+	writeBuf []byte
+	req      wire.Request
+	resp     wire.Response
+}
+
+// run serves requests until the client goes away, idles out, or the drain
+// completes. The open transaction (if any) is rolled back on every exit
+// path: the whole point of sessions being first-class is that locks cannot
+// leak past them.
+func (s *session) run() {
+	defer s.rollbackOpen(false)
+	for {
+		// Idle reap doubles as dead-client detection: a killed client's FIN
+		// or RST fails the read immediately; a zombie client trips the
+		// deadline. Either way the deferred rollback releases its locks.
+		_ = s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.IdleTimeout))
+		payload, err := wire.ReadFrame(s.countingReader(), s.readBuf)
+		if err != nil {
+			if isTimeout(err) && s.m != nil {
+				s.m.reaped.Inc()
+			}
+			_ = s.conn.Close()
+			return
+		}
+		s.readBuf = payload[:0]
+
+		start := time.Now()
+		op := s.handle(payload)
+		if s.m != nil {
+			if h := s.m.perOp[op]; h != nil {
+				h.Since(start)
+			}
+			if s.resp.Code != wire.CodeOK {
+				s.m.errors.Inc()
+			}
+		}
+
+		out, err := wire.AppendResponse(s.writeBuf[:0], &s.resp)
+		if err != nil {
+			// Response encoding failures are programming errors; drop the
+			// session rather than desync the stream.
+			_ = s.conn.Close()
+			return
+		}
+		s.writeBuf = out
+		_ = s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.WriteTimeout))
+		if err := wire.WriteFrame(s.countingWriter(), out); err != nil {
+			_ = s.conn.Close()
+			return
+		}
+
+		// Drain: once no transaction is open, the session ends. A session
+		// mid-transaction keeps going — its client gets to finish, new work
+		// is refused at BEGIN.
+		select {
+		case <-s.srv.draining:
+			if s.txn == nil {
+				_ = s.conn.Close()
+				return
+			}
+		default:
+		}
+	}
+}
+
+// rollbackOpen rolls back the session's open transaction, if any. reaped is
+// informational only (metrics are counted at the read site).
+func (s *session) rollbackOpen(_ bool) {
+	if s.txn != nil && !s.txn.Done() {
+		_ = s.txn.Rollback()
+	}
+	s.txn = nil
+}
+
+// fail stages a typed error response.
+func (s *session) fail(code wire.Code, msg string) {
+	s.resp.Reset()
+	s.resp.Code = code
+	s.resp.Msg = msg
+}
+
+// failErr stages the typed response for an engine (or other) error.
+func (s *session) failErr(err error) {
+	var we *wire.Error
+	if errors.As(err, &we) {
+		s.fail(we.Code, we.Msg)
+		return
+	}
+	s.fail(wire.CodeOf(err), err.Error())
+}
+
+// handle decodes and executes one request, staging s.resp. It returns the
+// operation for metric labelling (OpInvalid for undecodable frames).
+func (s *session) handle(payload []byte) wire.Op {
+	if err := wire.DecodeRequest(payload, &s.req); err != nil {
+		s.failErr(err)
+		return wire.OpInvalid
+	}
+	r := &s.req
+	s.resp.Reset()
+	switch r.Op {
+	case wire.OpPing:
+		// staged OK response suffices
+	case wire.OpBegin:
+		s.begin(r)
+	case wire.OpCommit:
+		if s.txn == nil {
+			s.fail(wire.CodeNoTxn, "COMMIT with no open transaction")
+			break
+		}
+		err := s.txn.Commit()
+		s.txn = nil
+		if err != nil {
+			s.failErr(err)
+		}
+	case wire.OpRollback:
+		if s.txn == nil {
+			s.fail(wire.CodeNoTxn, "ROLLBACK with no open transaction")
+			break
+		}
+		err := s.txn.Rollback()
+		s.txn = nil
+		if err != nil {
+			s.failErr(err)
+		}
+	case wire.OpSelect:
+		s.selectRows(r)
+	case wire.OpInsert:
+		s.withTxn(r, func(t *engine.Txn) error {
+			vals := colValMap(r)
+			pk, err := t.Insert(r.Table, vals)
+			s.resp.N = pk
+			return err
+		})
+	case wire.OpUpdate:
+		s.withTxn(r, func(t *engine.Txn) error {
+			n, err := t.Update(r.Table, r.Pred, colValMap(r))
+			s.resp.N = int64(n)
+			return err
+		})
+	case wire.OpDelete:
+		s.withTxn(r, func(t *engine.Txn) error {
+			n, err := t.Delete(r.Table, r.Pred)
+			s.resp.N = int64(n)
+			return err
+		})
+	case wire.OpKV:
+		s.kvCommand(r)
+	default:
+		s.fail(wire.CodeBadRequest, "unknown op")
+	}
+	// An aborted transaction (deadlock victim, serialization failure) is
+	// finished engine-side; drop the session's handle so the client's
+	// follow-up ROLLBACK gets a clean CodeNoTxn rather than CodeTxnDone.
+	if s.txn != nil && s.txn.Done() {
+		s.txn = nil
+	}
+	return r.Op
+}
+
+func (s *session) begin(r *wire.Request) {
+	if s.txn != nil {
+		s.fail(wire.CodeTxnOpen, "BEGIN while a transaction is open")
+		return
+	}
+	select {
+	case <-s.srv.draining:
+		s.fail(wire.CodeShutdown, "server draining; no new transactions")
+		return
+	default:
+	}
+	iso := engine.Isolation(r.Iso)
+	if iso < engine.IsolationDefault || iso > engine.Serializable {
+		s.fail(wire.CodeBadRequest, "unknown isolation level")
+		return
+	}
+	s.txn = s.eng().Begin(iso)
+}
+
+func (s *session) eng() *engine.Engine { return s.srv.eng }
+
+// withTxn runs a statement against the open transaction.
+func (s *session) withTxn(_ *wire.Request, fn func(*engine.Txn) error) {
+	if s.txn == nil {
+		s.fail(wire.CodeNoTxn, "statement with no open transaction")
+		return
+	}
+	if err := fn(s.txn); err != nil {
+		s.failErr(err)
+	}
+}
+
+func (s *session) selectRows(r *wire.Request) {
+	s.withTxn(r, func(t *engine.Txn) error {
+		var opts []engine.SelectOpt
+		switch r.Lock {
+		case wire.LockForUpdate:
+			opts = append(opts, engine.ForUpdate)
+		case wire.LockForShare:
+			opts = append(opts, engine.ForShare)
+		case wire.LockNone:
+		default:
+			return &wire.Error{Code: wire.CodeBadRequest, Msg: "unknown lock mode"}
+		}
+		rows, err := t.Select(r.Table, r.Pred, opts...)
+		if err != nil {
+			return err
+		}
+		schema := s.eng().Schema(r.Table)
+		if schema == nil {
+			return fmt.Errorf("%w: %q", engine.ErrNoTable, r.Table)
+		}
+		for _, col := range schema.Columns {
+			s.resp.Cols = append(s.resp.Cols, col.Name)
+		}
+		for _, row := range rows {
+			s.resp.Rows = append(s.resp.Rows, row)
+		}
+		return nil
+	})
+}
+
+func colValMap(r *wire.Request) map[string]any {
+	vals := make(map[string]any, len(r.Cols))
+	for i, c := range r.Cols {
+		vals[c] = r.Vals[i]
+	}
+	return vals
+}
+
+// kvCommand executes one KV sub-command on the session's KV connection.
+func (s *session) kvCommand(r *wire.Request) {
+	if s.srv.store == nil {
+		s.fail(wire.CodeBadRequest, "server has no KV store")
+		return
+	}
+	if s.kvc == nil {
+		s.kvc = s.srv.store.Conn()
+	}
+	c := s.kvc
+	switch r.Cmd {
+	case wire.KVGet:
+		s.resp.Str, s.resp.Bool = c.Get(r.Key)
+	case wire.KVExists:
+		s.resp.Bool = c.Exists(r.Key)
+	case wire.KVSet:
+		c.Set(r.Key, r.SVal)
+	case wire.KVSetPX:
+		c.SetPX(r.Key, r.SVal, r.TTL)
+	case wire.KVSetNX:
+		s.resp.Bool = c.SetNX(r.Key, r.SVal)
+	case wire.KVSetNXPX:
+		s.resp.Bool = c.SetNXPX(r.Key, r.SVal, r.TTL)
+	case wire.KVDel:
+		s.resp.Bool = c.Del(r.Key)
+	case wire.KVExpire:
+		s.resp.Bool = c.Expire(r.Key, r.TTL)
+	case wire.KVTTL:
+		s.resp.TTL, s.resp.Bool = c.TTL(r.Key)
+	case wire.KVSAdd:
+		c.SAdd(r.Key, r.SVal)
+	case wire.KVSRem:
+		c.SRem(r.Key, r.SVal)
+	case wire.KVSIsMember:
+		s.resp.Bool = c.SIsMember(r.Key, r.SVal)
+	case wire.KVSMembers:
+		s.resp.Strs = append(s.resp.Strs, c.SMembers(r.Key)...)
+	case wire.KVWatch:
+		if err := c.Watch(r.Keys...); err != nil {
+			s.fail(wire.CodeBadRequest, err.Error())
+		}
+	case wire.KVUnwatch:
+		c.Unwatch()
+	case wire.KVMulti:
+		if err := c.Multi(); err != nil {
+			s.fail(wire.CodeBadRequest, err.Error())
+		}
+	case wire.KVDiscard:
+		c.Discard()
+	case wire.KVExec:
+		ok, err := c.Exec()
+		if err != nil {
+			s.fail(wire.CodeBadRequest, err.Error())
+			return
+		}
+		s.resp.Bool = ok
+	default:
+		s.fail(wire.CodeBadRequest, "unknown kv command")
+	}
+}
+
+// ---- byte accounting ----
+
+// countingReader/Writer wrap the conn so wire framing feeds the byte
+// counters without a second buffer copy. With obs disabled they return the
+// conn unwrapped.
+func (s *session) countingReader() io.Reader {
+	if s.m == nil {
+		return s.conn
+	}
+	return &countReader{r: s.conn, c: s.m.bytesIn}
+}
+
+func (s *session) countingWriter() io.Writer {
+	if s.m == nil {
+		return s.conn
+	}
+	return &countWriter{w: s.conn, c: s.m.bytesOut}
+}
+
+type countReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(int64(n))
+	return n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(int64(n))
+	return n, err
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

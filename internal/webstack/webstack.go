@@ -28,6 +28,10 @@ type HandlerFunc func(params url.Values) error
 // /metrics (Prometheus text exposition of the wired registry) and
 // /debug/txns (in-flight transaction spans); both return 404 until WireObs
 // installs a registry.
+//
+// A Server is single-use: Start at most once, and never reuse it after
+// Close — the listener and its ephemeral port are gone, so a second Start
+// would bind a different address than BaseURL/Addr ever reported.
 type Server struct {
 	// ShutdownTimeout bounds how long Close waits for in-flight requests to
 	// drain before forcing connections closed (default 5s).
@@ -154,8 +158,12 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// BaseURL returns the server's address (valid after Start).
+// BaseURL returns the server's base URL (valid after Start).
 func (s *Server) BaseURL() string { return s.baseURL }
+
+// Addr returns the bound listen address (valid after Start) — the supported
+// way to learn the ephemeral port, rather than reaching into the listener.
+func (s *Server) Addr() net.Addr { return s.listener.Addr() }
 
 // Client issues API calls against a Server.
 type Client struct {

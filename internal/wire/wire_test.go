@@ -1,0 +1,287 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+)
+
+func mustEncodeReq(t *testing.T, r *Request) []byte {
+	t.Helper()
+	b, err := AppendRequest(nil, r)
+	if err != nil {
+		t.Fatalf("AppendRequest: %v", err)
+	}
+	return b
+}
+
+func roundTripReq(t *testing.T, r *Request) *Request {
+	t.Helper()
+	var out Request
+	if err := DecodeRequest(mustEncodeReq(t, r), &out); err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	return &out
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpBegin, Iso: uint8(engine.Serializable)},
+		{Op: OpCommit},
+		{Op: OpRollback},
+		{Op: OpPing},
+		{Op: OpSelect, Lock: LockForUpdate, Table: "skus", Pred: storage.Eq{Col: "id", Val: int64(7)}},
+		{Op: OpSelect, Table: "orders", Pred: storage.And{
+			storage.Eq{Col: "user", Val: "alice"},
+			storage.Range{Col: "total", Lo: float64(1.5), Hi: float64(9.5), IncLo: true},
+		}},
+		{Op: OpSelect, Table: "all", Pred: storage.All{}},
+		{Op: OpInsert, Table: "skus", Cols: []string{"name", "qty", "active", "when", "note"},
+			Vals: []storage.Value{"widget", int64(3), true, time.Unix(0, 1234567890), nil}},
+		{Op: OpUpdate, Table: "skus", Pred: storage.Eq{Col: "id", Val: int64(1)},
+			Cols: []string{"qty"}, Vals: []storage.Value{storage.Inc(-1)}},
+		{Op: OpDelete, Table: "skus", Pred: storage.Range{Col: "id", Lo: int64(5), IncLo: true}},
+		{Op: OpKV, Cmd: KVSetNXPX, Key: "lock:1", SVal: "token", TTL: time.Minute},
+		{Op: OpKV, Cmd: KVWatch, Keys: []string{"a", "b", "c"}},
+		{Op: OpKV, Cmd: KVExec},
+	}
+	for _, c := range cases {
+		got := roundTripReq(t, &c)
+		if !reflect.DeepEqual(got, &c) {
+			t.Errorf("round trip %s:\n got %+v\nwant %+v", c.Op, got, &c)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{},
+		{N: 42},
+		{Bool: true, Str: "v", TTL: time.Second},
+		{Strs: []string{"m1", "m2"}},
+		{Cols: []string{"id", "qty"}, Rows: [][]storage.Value{
+			{int64(1), int64(10)},
+			{int64(2), nil},
+		}},
+		{Cols: []string{"id"}, Rows: nil},
+		{Code: CodeDeadlock, Msg: "deadlock; transaction rolled back"},
+		{Code: CodeSaturated, Msg: "server at capacity"},
+	}
+	for i, c := range cases {
+		b, err := AppendResponse(nil, &c)
+		if err != nil {
+			t.Fatalf("case %d: AppendResponse: %v", i, err)
+		}
+		var got Response
+		if err := DecodeResponse(b, &got); err != nil {
+			t.Fatalf("case %d: DecodeResponse: %v", i, err)
+		}
+		if !reflect.DeepEqual(&got, &c) {
+			t.Errorf("case %d:\n got %+v\nwant %+v", i, &got, &c)
+		}
+	}
+}
+
+// TestErrorRoundTripsEngineSentinels is the retry contract: an engine error
+// crossing the wire must still satisfy errors.Is against its sentinel.
+func TestErrorRoundTripsEngineSentinels(t *testing.T) {
+	sentinels := []error{
+		engine.ErrDeadlock, engine.ErrSerialization, engine.ErrLockTimeout,
+		engine.ErrTxnDone, engine.ErrConnLost, engine.ErrDuplicateKey, engine.ErrNoTable,
+	}
+	for _, want := range sentinels {
+		code := CodeOf(want)
+		if code == CodeOK || code == CodeInternal {
+			t.Fatalf("CodeOf(%v) = %v", want, code)
+		}
+		resp := Response{Code: code, Msg: want.Error()}
+		b, err := AppendResponse(nil, &resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Response
+		if err := DecodeResponse(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(got.Err(), want) {
+			t.Errorf("code %v does not unwrap to %v", code, want)
+		}
+	}
+	if !IsRetryable(&Error{Code: CodeDeadlock}) || !IsRetryable(&Error{Code: CodeSerialization}) ||
+		!IsRetryable(&Error{Code: CodeSaturated}) {
+		t.Error("deadlock/serialization/saturated must be retryable")
+	}
+	if IsRetryable(&Error{Code: CodeLockTimeout}) || IsRetryable(&Error{Code: CodeDuplicateKey}) {
+		t.Error("lock timeout / duplicate key must not be retryable")
+	}
+}
+
+func TestFraming(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{frameRequest, byte(OpPing)}
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("frame = %x, want %x", got, payload)
+	}
+
+	// Oversized length prefix must be rejected before any allocation.
+	big := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(big), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: err = %v", err)
+	}
+	if err := WriteFrame(&buf, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write: err = %v", err)
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	c, s := net.Pipe()
+	defer c.Close()
+	defer s.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- ServerHandshake(s) }()
+	if err := ClientHandshake(c); err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("server handshake: %v", err)
+	}
+}
+
+func TestHandshakeRejectsVersionSkew(t *testing.T) {
+	c, s := net.Pipe()
+	defer c.Close()
+	defer s.Close()
+	go func() {
+		// A v999 client.
+		_, _ = c.Write([]byte{'A', 'H', 'T', 'X', 0x03, 0xe7})
+		var reply [6]byte
+		_, _ = c.Read(reply[:])
+	}()
+	if err := ServerHandshake(s); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("server accepted v999 client: %v", err)
+	}
+}
+
+func TestHandshakeRejectsBadMagic(t *testing.T) {
+	c, s := net.Pipe()
+	defer c.Close()
+	defer s.Close()
+	go func() {
+		_, _ = c.Write([]byte("GET / »")[:6])
+	}()
+	if err := ServerHandshake(s); err == nil {
+		t.Fatal("server accepted an HTTP-ish client")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},                          // empty
+		{frameResponse},             // response bytes to a request decoder
+		{frameRequest},              // missing op
+		{frameRequest, 0xee},        // unknown op
+		{frameRequest, byte(OpSelect), 0x01},                   // truncated table
+		{frameRequest, byte(OpSelect), 0x01, 0x01, 'x'},        // missing pred
+		{frameRequest, byte(OpSelect), 0x01, 0x01, 'x', 0xff},  // bad pred tag
+		{frameRequest, byte(OpPing), 0x00},                     // trailing bytes
+		{frameRequest, byte(OpInsert), 0x01, 'x', 0xff, 0xff},  // bomb count
+	}
+	var r Request
+	for i, b := range cases {
+		err := DecodeRequest(b, &r)
+		if err == nil {
+			t.Errorf("case %d (%x): decode accepted garbage", i, b)
+			continue
+		}
+		we, ok := AsError(err)
+		if !ok || we.Code != CodeBadRequest {
+			t.Errorf("case %d: err = %v, want CodeBadRequest", i, err)
+		}
+	}
+}
+
+// TestCodecAllocBounds pins the documented allocation contract: zero
+// encode allocations on a warmed buffer, and a small content-bounded number
+// of decode allocations.
+func TestCodecAllocBounds(t *testing.T) {
+	begin := mustEncodeReq(t, &Request{Op: OpBegin, Iso: 2})
+	sel := mustEncodeReq(t, &Request{
+		Op: OpSelect, Lock: LockForUpdate, Table: "lock_rows",
+		Pred: storage.Eq{Col: "id", Val: int64(1)},
+	})
+	var req Request
+	var buf []byte
+
+	selReq := &Request{
+		Op: OpSelect, Lock: LockForUpdate, Table: "lock_rows",
+		Pred: storage.Eq{Col: "id", Val: int64(1)},
+	}
+	encode := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendRequest(buf[:0], selReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if encode > 0 {
+		t.Errorf("select encode: %v allocs/op on a warmed buffer, want 0", encode)
+	}
+
+	if got := testing.AllocsPerRun(200, func() {
+		if err := DecodeRequest(begin, &req); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 2 {
+		t.Errorf("begin decode: %v allocs/op, want <= 2", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if err := DecodeRequest(sel, &req); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 8 {
+		t.Errorf("select decode: %v allocs/op, want <= 8", got)
+	}
+}
+
+// BenchmarkRoundTrip measures one request+response encode/decode cycle — the
+// per-request codec cost a serving hot path pays twice (once per side).
+func BenchmarkRoundTrip(b *testing.B) {
+	req := &Request{
+		Op: OpSelect, Lock: LockForUpdate, Table: "lock_rows",
+		Pred: storage.Eq{Col: "id", Val: int64(1)},
+	}
+	resp := &Response{Cols: []string{"id"}, Rows: [][]storage.Value{{int64(1)}}}
+	var reqBuf, respBuf []byte
+	var dr Request
+	var dp Response
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if reqBuf, err = AppendRequest(reqBuf[:0], req); err != nil {
+			b.Fatal(err)
+		}
+		if err = DecodeRequest(reqBuf, &dr); err != nil {
+			b.Fatal(err)
+		}
+		if respBuf, err = AppendResponse(respBuf[:0], resp); err != nil {
+			b.Fatal(err)
+		}
+		if err = DecodeResponse(respBuf, &dp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
