@@ -319,10 +319,14 @@ func (t *Txn) exec(req *wire.Request) (*wire.Response, error) {
 		// Typed engine errors that abort the transaction server-side leave
 		// the session txn-less; finish the handle so the caller's deferred
 		// Rollback doesn't double-fault. The connection itself is healthy.
+		// A lock timeout is NOT in this set: the engine keeps the
+		// transaction open and usable (MySQL semantics), so the handle
+		// stays live and still owns the connection — the caller may retry
+		// the statement or Rollback.
 		var we *wire.Error
 		if errors.As(rerr, &we) {
 			switch we.Code {
-			case wire.CodeDeadlock, wire.CodeSerialization, wire.CodeLockTimeout, wire.CodeTxnDone:
+			case wire.CodeDeadlock, wire.CodeSerialization, wire.CodeTxnDone:
 				t.done = true
 				t.c.put(t.cn)
 			}
@@ -469,6 +473,11 @@ type KVConn struct {
 	c      *Client
 	cn     *conn
 	closed bool
+	// watched/inMulti mirror the server-session state so Close knows
+	// whether pooling the connection would leak a watch set or MULTI queue
+	// to the next checkout.
+	watched bool
+	inMulti bool
 }
 
 // KV checks out a connection for KV commands.
@@ -480,12 +489,23 @@ func (c *Client) KV() (*KVConn, error) {
 	return &KVConn{c: c, cn: cn}, nil
 }
 
-// Close releases the connection back to the pool.
+// Close releases the connection back to the pool. The server pins KV
+// session state to the connection, so a conversation abandoned mid
+// WATCH/MULTI is discarded first — otherwise the next logical KVConn
+// handed this pooled connection would inherit a stale watch set or a
+// queued MULTI.
 func (k *KVConn) Close() {
 	if k.closed {
 		return
 	}
 	k.closed = true
+	if k.watched || k.inMulti {
+		resp, err := k.cn.roundTrip(&wire.Request{Op: wire.OpKV, Cmd: wire.KVDiscard})
+		if err != nil || resp.Err() != nil {
+			k.cn.close()
+			return
+		}
+	}
 	k.c.put(k.cn)
 }
 
@@ -572,32 +592,46 @@ func (k *KVConn) Expire(key string, ttl time.Duration) (bool, error) {
 // Watch adds keys to the session's watch set.
 func (k *KVConn) Watch(keys ...string) error {
 	_, err := k.do(&wire.Request{Op: wire.OpKV, Cmd: wire.KVWatch, Keys: keys})
+	if err == nil {
+		k.watched = true
+	}
 	return err
 }
 
 // Unwatch clears the watch set.
 func (k *KVConn) Unwatch() error {
 	_, err := k.cmd(wire.KVUnwatch, "", "", 0)
+	if err == nil {
+		k.watched = false
+	}
 	return err
 }
 
 // Multi begins queueing commands.
 func (k *KVConn) Multi() error {
 	_, err := k.cmd(wire.KVMulti, "", "", 0)
+	if err == nil {
+		k.inMulti = true
+	}
 	return err
 }
 
 // Discard drops the queue and watch set.
 func (k *KVConn) Discard() error {
 	_, err := k.cmd(wire.KVDiscard, "", "", 0)
+	if err == nil {
+		k.watched, k.inMulti = false, false
+	}
 	return err
 }
 
-// Exec applies the queued commands if no watched key changed.
+// Exec applies the queued commands if no watched key changed. The watch
+// set and queue are cleared either way (Redis semantics).
 func (k *KVConn) Exec() (bool, error) {
 	resp, err := k.cmd(wire.KVExec, "", "", 0)
 	if err != nil {
 		return false, err
 	}
+	k.watched, k.inMulti = false, false
 	return resp.Bool, nil
 }

@@ -264,8 +264,11 @@ func (s *Server) admit(conn net.Conn) {
 			s.reject(conn, m, "admission queue full")
 			return
 		}
+		// The gauge is driven with Add alongside the atomic counter: a
+		// Load/Set pair here would race with concurrent admits and leave the
+		// gauge stale.
 		if m != nil {
-			m.queued.Set(s.queued.Load())
+			m.queued.Add(1)
 		}
 		timer := time.NewTimer(s.cfg.QueueWait)
 		select {
@@ -273,12 +276,12 @@ func (s *Server) admit(conn net.Conn) {
 			timer.Stop()
 			s.queued.Add(-1)
 			if m != nil {
-				m.queued.Set(s.queued.Load())
+				m.queued.Add(-1)
 			}
 		case <-timer.C:
 			s.queued.Add(-1)
 			if m != nil {
-				m.queued.Set(s.queued.Load())
+				m.queued.Add(-1)
 			}
 			s.reject(conn, m, "no session slot within queue wait")
 			return
@@ -286,7 +289,7 @@ func (s *Server) admit(conn net.Conn) {
 			timer.Stop()
 			s.queued.Add(-1)
 			if m != nil {
-				m.queued.Set(s.queued.Load())
+				m.queued.Add(-1)
 			}
 			s.reject(conn, m, "server draining")
 			return

@@ -19,9 +19,13 @@ import (
 // newTestServer starts a server over a fresh engine (with a seeded "skus"
 // table) and KV store, returning it with its registry. Callers own Close.
 func newTestServer(t *testing.T, cfg Config) (*Server, *obs.Registry) {
+	return newTestServerLockTimeout(t, cfg, 5*time.Second)
+}
+
+func newTestServerLockTimeout(t *testing.T, cfg Config, lockTimeout time.Duration) (*Server, *obs.Registry) {
 	t.Helper()
 	eng := engine.New(engine.Config{
-		Dialect: engine.Postgres, LockTimeout: 5 * time.Second,
+		Dialect: engine.Postgres, LockTimeout: lockTimeout,
 	})
 	eng.CreateTable(storage.NewSchema("skus",
 		storage.Column{Name: "name", Type: storage.TString},
@@ -176,6 +180,105 @@ func TestKVOverTheWire(t *testing.T) {
 	}
 }
 
+// TestLockTimeoutKeepsTxnUsable pins the MySQL-style statement-failure
+// semantics over the wire: a lock wait timeout fails the statement, but the
+// transaction — and the connection it is pinned to — stay live, so the
+// caller can retry the statement or roll back. Regression: the client used
+// to finish the handle and pool the connection while the server session
+// still held an open transaction and its row locks, so the next Begin that
+// checked out that connection got CodeTxnOpen.
+func TestLockTimeoutKeepsTxnUsable(t *testing.T) {
+	srv, _ := newTestServerLockTimeout(t, Config{}, 100*time.Millisecond)
+	c := newTestClient(t, srv, client.Config{PoolSize: 1})
+
+	holder := dialRaw(t, srv)
+	defer holder.Close()
+	rawRoundTrip(t, holder, &wire.Request{Op: wire.OpBegin})
+	rawRoundTrip(t, holder, &wire.Request{
+		Op: wire.OpSelect, Table: "skus", Lock: wire.LockForUpdate,
+		Pred: storage.Eq{Col: "id", Val: int64(1)},
+	})
+
+	txn, err := c.Begin(engine.IsolationDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Select("skus", storage.Eq{Col: "id", Val: int64(1)}, wire.LockForUpdate); !errors.Is(err, engine.ErrLockTimeout) {
+		t.Fatalf("blocked select err = %v, want ErrLockTimeout", err)
+	}
+	if txn.Done() {
+		t.Fatal("lock timeout finished the txn handle; the transaction must stay usable")
+	}
+
+	// Release the blocker: the same transaction retries the statement.
+	rawRoundTrip(t, holder, &wire.Request{Op: wire.OpRollback})
+	if _, err := txn.Select("skus", storage.Eq{Col: "id", Val: int64(1)}, wire.LockForUpdate); err != nil {
+		t.Fatalf("retry on same txn after timeout: %v", err)
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatalf("rollback after timeout: %v", err)
+	}
+
+	// The connection must return to the pool clean: with PoolSize 1 the next
+	// Begin reuses it, and a leaked server-side transaction would surface
+	// here as a non-retryable CodeTxnOpen.
+	txn2, err := c.Begin(engine.IsolationDefault)
+	if err != nil {
+		t.Fatalf("begin on pooled conn after timeout: %v", err)
+	}
+	if err := txn2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKVCloseDiscardsSessionState: a KV conversation abandoned mid
+// WATCH/MULTI (any error path that skips Exec/Discard) must not leak that
+// server-session state to the next KVConn handed the same pooled
+// connection — a stale watch set fails unrelated EXECs, and a leftover
+// MULTI queue turns the next Multi into a nested-MULTI error.
+func TestKVCloseDiscardsSessionState(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	c := newTestClient(t, srv, client.Config{PoolSize: 1})
+
+	k1, err := c.KV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.Watch("w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.Multi(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.Set("x", "stale"); err != nil {
+		t.Fatal(err)
+	}
+	k1.Close() // abandoned mid-conversation
+
+	k2, err := c.KV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k2.Close()
+	// Bump the key k1 watched; a leaked watch set would fail the EXEC below.
+	if err := k2.Set("w", "bumped"); err != nil {
+		t.Fatal(err)
+	}
+	// A leaked MULTI queue would make this a nested-MULTI error.
+	if err := k2.Multi(); err != nil {
+		t.Fatalf("Multi on pooled conn after abandoned conversation: %v", err)
+	}
+	if err := k2.Set("x", "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := k2.Exec(); err != nil || !ok {
+		t.Fatalf("Exec = %v, %v; leaked watch set or queue", ok, err)
+	}
+	if v, _, err := k2.Get("x"); err != nil || v != "fresh" {
+		t.Fatalf("x = %q, %v; want %q", v, err, "fresh")
+	}
+}
+
 // TestAdmissionControl fills the only session slot and verifies the typed
 // CodeSaturated rejection — fast, explicit, and marked retryable, unlike a
 // silent connection drop.
@@ -208,6 +311,9 @@ func TestAdmissionControl(t *testing.T) {
 	}
 	if v := reg.Counter("server_sessions_rejected_total").Value(); v != 1 {
 		t.Errorf("rejected counter = %d, want 1", v)
+	}
+	if v := reg.Gauge("server_sessions_queued").Value(); v != 0 {
+		t.Errorf("queued gauge = %d after rejection, want 0", v)
 	}
 
 	// Releasing the slot lets a new session in: the client's

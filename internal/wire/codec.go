@@ -575,7 +575,10 @@ func DecodeResponse(payload []byte, r *Response) error {
 			r.Cols = append(r.Cols, d.str("column"))
 		}
 		nr := d.count("row count")
-		if d.err == nil && nc > 0 && nr > len(d.b)/nc {
+		// A response cannot have rows without columns, and each claimed row
+		// needs at least nc bytes of payload left — both guards cap the
+		// alloc/CPU amplification a crafted small frame could buy.
+		if d.err == nil && nr > 0 && (nc == 0 || nr > len(d.b)/nc) {
 			d.fail("row count")
 		}
 		for i := 0; i < nr && d.err == nil; i++ {

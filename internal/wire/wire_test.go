@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"net"
 	"reflect"
@@ -189,15 +190,15 @@ func TestHandshakeRejectsBadMagic(t *testing.T) {
 
 func TestDecodeRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
-		{},                          // empty
-		{frameResponse},             // response bytes to a request decoder
-		{frameRequest},              // missing op
-		{frameRequest, 0xee},        // unknown op
-		{frameRequest, byte(OpSelect), 0x01},                   // truncated table
-		{frameRequest, byte(OpSelect), 0x01, 0x01, 'x'},        // missing pred
-		{frameRequest, byte(OpSelect), 0x01, 0x01, 'x', 0xff},  // bad pred tag
-		{frameRequest, byte(OpPing), 0x00},                     // trailing bytes
-		{frameRequest, byte(OpInsert), 0x01, 'x', 0xff, 0xff},  // bomb count
+		{},                                   // empty
+		{frameResponse},                      // response bytes to a request decoder
+		{frameRequest},                       // missing op
+		{frameRequest, 0xee},                 // unknown op
+		{frameRequest, byte(OpSelect), 0x01}, // truncated table
+		{frameRequest, byte(OpSelect), 0x01, 0x01, 'x'},       // missing pred
+		{frameRequest, byte(OpSelect), 0x01, 0x01, 'x', 0xff}, // bad pred tag
+		{frameRequest, byte(OpPing), 0x00},                    // trailing bytes
+		{frameRequest, byte(OpInsert), 0x01, 'x', 0xff, 0xff}, // bomb count
 	}
 	var r Request
 	for i, b := range cases {
@@ -210,6 +211,24 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 		if !ok || we.Code != CodeBadRequest {
 			t.Errorf("case %d: err = %v, want CodeBadRequest", i, err)
 		}
+	}
+}
+
+// TestDecodeResponseRejectsRowsWithoutColumns pins the decode-bomb guard on
+// the client path: a crafted small frame claiming zero columns and a huge
+// row count must be rejected, not expanded into ~1M empty rows.
+func TestDecodeResponseRejectsRowsWithoutColumns(t *testing.T) {
+	b := []byte{frameResponse}
+	b = appendUint16(b, uint16(CodeOK))
+	b = append(b, respHasRows)
+	b = binary.AppendUvarint(b, 0)     // zero columns
+	b = binary.AppendUvarint(b, 1<<20) // a million rows
+	var resp Response
+	if err := DecodeResponse(b, &resp); err == nil {
+		t.Fatal("decode accepted rows-without-columns frame")
+	}
+	if len(resp.Rows) != 0 {
+		t.Fatalf("decoder materialized %d rows from a bomb frame", len(resp.Rows))
 	}
 }
 
