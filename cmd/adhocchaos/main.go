@@ -1,0 +1,77 @@
+// Command adhocchaos runs the oracle-checked chaos suite: N seeds of the
+// contended transfer workload over real TCP, each under a seed-derived
+// network fault schedule and server crash/recovery cycles, each checked for
+// serializability of the committed history, balance conservation, and
+// leaked locks. A failing seed prints its replay command and the process
+// exits nonzero.
+//
+// Usage:
+//
+//	go run ./cmd/adhocchaos                 # 20 seeds, full schedule
+//	go run ./cmd/adhocchaos -seeds 3 -v     # CI smoke
+//	go run ./cmd/adhocchaos -seed 17 -seeds 1   # replay one seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adhoctx/internal/chaos"
+	"adhoctx/internal/faults"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "first seed")
+		seeds    = flag.Int("seeds", 20, "number of consecutive seeds to run")
+		clients  = flag.Int("clients", 8, "concurrent transfer workers per seed")
+		ops      = flag.Int("ops", 40, "transfers per worker")
+		rows     = flag.Int("rows", 8, "accounts")
+		crashes  = flag.Int("crashes", 1, "server crash/recover cycles per seed")
+		noFaults = flag.Bool("nofaults", false, "disable network fault injection (crashes only)")
+		verbose  = flag.Bool("v", false, "print every seed's report, not just failures")
+	)
+	flag.Parse()
+
+	mk := func(s int64) chaos.Config {
+		cfg := chaos.Config{
+			Seed:    s,
+			Clients: *clients,
+			Ops:     *ops,
+			Rows:    *rows,
+			Crashes: *crashes,
+		}
+		if !*noFaults {
+			cfg.Plan = faults.DefaultPlan()
+		}
+		return cfg
+	}
+
+	start := time.Now()
+	var failures int
+	for s := *seed; s < *seed+int64(*seeds); s++ {
+		rep, err := chaos.Run(mk(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed %d: harness failure: %v\n", s, err)
+			os.Exit(2)
+		}
+		if rep.Failed() {
+			failures++
+			fmt.Print(rep.Summary())
+		} else if *verbose {
+			fmt.Print(rep.Summary())
+		} else {
+			fmt.Printf("seed %d: ok (%d transfers, %d committed, faults d/t/wd/rd=%d/%d/%d/%d, crashes=%d)\n",
+				rep.Seed, rep.Transfers, rep.Committed,
+				rep.Faults[faults.Drop], rep.Faults[faults.Truncate],
+				rep.Faults[faults.WriteDelay], rep.Faults[faults.ReadDelay],
+				len(rep.CrashPoints))
+		}
+	}
+	fmt.Printf("%d seeds in %s: %d failed\n", *seeds, time.Since(start).Round(time.Millisecond), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

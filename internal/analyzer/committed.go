@@ -1,0 +1,35 @@
+package analyzer
+
+// CommittedOnly filters a history down to the items of committed database
+// transactions. Operations of aborted or in-flight transactions are dropped;
+// items with no transaction (explicit ad hoc lock and validate records) are
+// kept. This is the projection a chaos oracle needs: under fault injection
+// most anomalies in the raw history belong to transactions the engine rolled
+// back — their effects never became visible, so counting their conflicts
+// would report false serializability violations.
+func CommittedOnly(items []Item) []Item {
+	committed := make(map[uint64]bool)
+	for _, it := range items {
+		if it.Kind == OpCommit && it.TxnID != 0 {
+			committed[it.TxnID] = true
+		}
+	}
+	out := make([]Item, 0, len(items))
+	for _, it := range items {
+		if it.TxnID != 0 && !committed[it.TxnID] {
+			continue
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
+// CheckCommitted builds the column-aware conflict graph over the committed
+// projection of a history and returns one unit cycle if the committed
+// history is not conflict-serializable, or nil. This is the pass/fail oracle
+// the chaos harness runs per seed: a cycle among committed transactions is a
+// real isolation failure (lost update, read-write skew), not an artifact of
+// an aborted attempt.
+func CheckCommitted(items []Item) []string {
+	return BuildConflictGraph(CommittedOnly(items)).FindCycle()
+}

@@ -1,0 +1,71 @@
+package analyzer
+
+import "testing"
+
+// txnItem builds an item attributed to a database transaction (untagged, the
+// way wire-server histories arrive).
+func txnItem(txn uint64, kind ItemKind, table string, pk int64) Item {
+	return Item{TxnID: txn, Kind: kind, Table: table, PK: pk}
+}
+
+func TestCommittedOnlyDropsAbortedTxns(t *testing.T) {
+	items := seqd([]Item{
+		txnItem(1, OpBegin, "", 0),
+		txnItem(1, OpRead, "accounts", 1),
+		txnItem(1, OpWrite, "accounts", 1),
+		txnItem(1, OpCommit, "", 0),
+		txnItem(2, OpBegin, "", 0),
+		txnItem(2, OpRead, "accounts", 1),
+		txnItem(2, OpRollback, "", 0),
+		txnItem(3, OpBegin, "", 0), // in-flight: crashed mid-txn, no end marker
+		txnItem(3, OpWrite, "accounts", 2),
+		// Explicit ad hoc lock records carry no txn and survive the filter.
+		lockAcq("api", "lock:accounts:1"),
+	})
+	got := CommittedOnly(items)
+	for _, it := range got {
+		if it.TxnID == 2 || it.TxnID == 3 {
+			t.Fatalf("uncommitted txn %d survived the filter: %v", it.TxnID, it)
+		}
+	}
+	var kept, locks int
+	for _, it := range got {
+		if it.TxnID == 1 {
+			kept++
+		}
+		if it.Kind == OpLockAcquire {
+			locks++
+		}
+	}
+	if kept != 4 || locks != 1 {
+		t.Fatalf("kept txn-1 items = %d (want 4), lock items = %d (want 1)", kept, locks)
+	}
+}
+
+func TestCheckCommittedIgnoresAbortedAnomaly(t *testing.T) {
+	// Lost-update interleaving r1 r2 w1 w2 — but txn 2 rolled back, so the
+	// committed history is serial and the oracle must stay quiet.
+	aborted := seqd([]Item{
+		txnItem(1, OpRead, "accounts", 1),
+		txnItem(2, OpRead, "accounts", 1),
+		txnItem(1, OpWrite, "accounts", 1),
+		txnItem(1, OpCommit, "", 0),
+		txnItem(2, OpWrite, "accounts", 1),
+		txnItem(2, OpRollback, "", 0),
+	})
+	if cycle := CheckCommitted(aborted); cycle != nil {
+		t.Fatalf("aborted-txn anomaly reported as violation: %v", cycle)
+	}
+	// Same interleaving with both committed is a real lost update.
+	both := seqd([]Item{
+		txnItem(1, OpRead, "accounts", 1),
+		txnItem(2, OpRead, "accounts", 1),
+		txnItem(1, OpWrite, "accounts", 1),
+		txnItem(1, OpCommit, "", 0),
+		txnItem(2, OpWrite, "accounts", 1),
+		txnItem(2, OpCommit, "", 0),
+	})
+	if cycle := CheckCommitted(both); cycle == nil {
+		t.Fatal("committed lost update not detected")
+	}
+}

@@ -1,0 +1,466 @@
+// Package chaos is the oracle-checked fault-injection harness for the
+// networked stack: it runs the paper's Figure-2-style contended transfer
+// workload over real TCP while internal/faults tears connections and
+// internal/sim crash points kill the server mid-COMMIT, then checks the
+// surviving state against three oracles — conflict-serializability of the
+// committed history (internal/analyzer), conservation of the total balance,
+// and zero leaked locks after every client has disconnected.
+//
+// Everything is derived from one seed: the network fault schedule, each
+// worker's transfer sequence, and the crash points' timing. A failing seed
+// is therefore a bug report — Report.Replay holds the command line that
+// reproduces it.
+//
+// The methodology is Jepsen's, scaled down: generate real histories under
+// real faults, and let a checker — not the implementation's own claims —
+// decide whether isolation held (see PAPERS.md on Jepsen and ALICE).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"adhoctx/internal/analyzer"
+	"adhoctx/internal/client"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/faults"
+	"adhoctx/internal/lockmgr"
+	"adhoctx/internal/obs"
+	"adhoctx/internal/server"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+	"adhoctx/internal/wire"
+)
+
+// InitialBalance is each seeded account's starting balance; transfers
+// conserve the total, which is one of the run's oracles.
+const InitialBalance int64 = 100
+
+// Config parameterizes one chaos run. Everything observable is a function
+// of Seed (plus scheduler interleaving — see internal/faults on
+// pseudo-determinism).
+type Config struct {
+	// Seed drives the fault schedule, the workload, and crash timing.
+	Seed int64
+	// Clients is the number of concurrent transfer workers (default 8).
+	Clients int
+	// Ops is the number of transfers each worker attempts (default 40).
+	Ops int
+	// Rows is the number of accounts (default 8; at least 2).
+	Rows int
+	// Crashes is how many server crash/recover cycles to arm at COMMIT
+	// crash points (default 0 = none).
+	Crashes int
+	// Plan is the network fault schedule. The zero Plan injects nothing;
+	// DefaultConfig uses faults.DefaultPlan.
+	Plan faults.Plan
+	// LockTimeout bounds engine lock waits (default 2s).
+	LockTimeout time.Duration
+	// Obs, when non-nil, receives server and fault-injector metrics.
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Ops <= 0 {
+		c.Ops = 40
+	}
+	if c.Rows < 2 {
+		c.Rows = 8
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// DefaultConfig is the full fault schedule at the given seed — what
+// cmd/adhocchaos runs per seed.
+func DefaultConfig(seed int64) Config {
+	c := Config{Seed: seed, Crashes: 1, Plan: faults.DefaultPlan()}
+	return c.withDefaults()
+}
+
+// Report is the outcome of one seed.
+type Report struct {
+	Seed int64
+	// Transfers and TransferErrs count worker-level RunTxn outcomes; an
+	// error here is a worker that exhausted its retries, which under heavy
+	// fault schedules is legitimate (the oracles below are what must hold).
+	Transfers, TransferErrs int
+	// Committed is the number of committed transactions in the server-side
+	// history (includes duplicates from ambiguous-commit retries).
+	Committed int
+	// Retries is the clients' total backoff-retry count.
+	Retries int64
+	// Faults counts injected network faults by kind.
+	Faults map[faults.Kind]int64
+	// CrashPoints are the server crash points that fired, in order.
+	CrashPoints []string
+	// Recoveries is the number of successful WAL recoveries.
+	Recoveries int
+	// FinalSum is the post-run total balance (oracle: Rows*InitialBalance).
+	FinalSum int64
+	// LeakedLocks is the lock-manager count after all clients disconnected
+	// (oracle: 0).
+	LeakedLocks int
+	// Violations lists every oracle violation; empty means the seed passed.
+	Violations []string
+	// Replay is the command line that reproduces this run.
+	Replay string
+	// Elapsed is the wall time of the workload phase.
+	Elapsed time.Duration
+}
+
+// Failed reports whether any oracle was violated.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// Summary renders the report as one line per fact.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d: %d transfers (%d failed), %d committed txns, %d retries, %s\n",
+		r.Seed, r.Transfers, r.TransferErrs, r.Committed, r.Retries, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  faults: drop=%d truncate=%d wdelay=%d rdelay=%d; crashes=%v recoveries=%d\n",
+		r.Faults[faults.Drop], r.Faults[faults.Truncate], r.Faults[faults.WriteDelay],
+		r.Faults[faults.ReadDelay], r.CrashPoints, r.Recoveries)
+	if r.Failed() {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+		}
+		fmt.Fprintf(&b, "  replay: %s\n", r.Replay)
+	} else {
+		fmt.Fprintf(&b, "  oracles: serializable committed history, sum=%d, leaked locks=0\n", r.FinalSum)
+	}
+	return b.String()
+}
+
+// ReplayCommand renders the command line that reruns cfg.
+func ReplayCommand(cfg Config) string {
+	cfg = cfg.withDefaults()
+	return fmt.Sprintf("go run ./cmd/adhocchaos -seed %d -seeds 1 -clients %d -ops %d -rows %d -crashes %d",
+		cfg.Seed, cfg.Clients, cfg.Ops, cfg.Rows, cfg.Crashes)
+}
+
+// supervised is the crash/restart supervisor's shared server handle.
+type supervised struct {
+	mu  sync.Mutex
+	srv *server.Server
+}
+
+func (s *supervised) get() *server.Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.srv
+}
+
+func (s *supervised) set(srv *server.Server) {
+	s.mu.Lock()
+	s.srv = srv
+	s.mu.Unlock()
+}
+
+// Run executes one seed end to end: seed the accounts, serve them over TCP
+// behind the fault injector, hammer them with concurrent transfer workers
+// while the supervisor crash-kills and recovers the server, then run the
+// oracles. The returned error is reserved for harness breakage (failure to
+// listen, recovery failure); oracle violations land in the Report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{Seed: cfg.Seed, Replay: ReplayCommand(cfg), Faults: make(map[faults.Kind]int64)}
+
+	// MySQL dialect: RepeatableRead plus FOR UPDATE locking reads — the
+	// configuration whose committed histories must be serializable for this
+	// workload, so any cycle the analyzer finds is a real bug.
+	eng := engine.New(engine.Config{Dialect: engine.MySQL, LockTimeout: cfg.LockTimeout})
+	eng.CreateTable(storage.NewSchema("accounts",
+		storage.Column{Name: "bal", Type: storage.TInt},
+	))
+	seedTxn := eng.Begin(engine.IsolationDefault)
+	for i := 0; i < cfg.Rows; i++ {
+		if _, err := seedTxn.Insert("accounts", map[string]storage.Value{"bal": InitialBalance}); err != nil {
+			return nil, fmt.Errorf("chaos: seed: %w", err)
+		}
+	}
+	if err := seedTxn.Commit(); err != nil {
+		return nil, fmt.Errorf("chaos: seed commit: %w", err)
+	}
+
+	// Server-side history capture: installed after seeding so the oracle
+	// sees exactly the workload's transactions.
+	hist := analyzer.NewHistory()
+	eng.SetTracer(hist)
+
+	inj := faults.New(cfg.Seed, cfg.Plan)
+	if cfg.Obs != nil {
+		inj.WireObs(cfg.Obs)
+	}
+
+	plan := &sim.CrashPlan{}
+	// The supervisor's private rng: crash timing must not perturb the
+	// workers' transfer sequences.
+	supRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	armNext := func() {
+		point := server.CrashPointCommitBefore
+		if supRng.Intn(2) == 1 {
+			point = server.CrashPointCommitAfter
+		}
+		// Fire within the first handful of commits after arming, so every
+		// configured crash actually happens during the run.
+		plan.Arm(point, 2+supRng.Intn(6))
+	}
+	if cfg.Crashes > 0 {
+		armNext()
+	}
+
+	srvCfg := server.Config{
+		MaxSessions: cfg.Clients + 4,
+		IdleTimeout: 2 * time.Second,
+		WrapConn:    inj.WrapConn,
+		Crash:       plan,
+	}
+	sup := &supervised{}
+	first := server.New(eng, nil, srvCfg)
+	if cfg.Obs != nil {
+		first.WireObs(cfg.Obs)
+	}
+	if err := first.Start(); err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	addr := first.Addr().String()
+	sup.set(first)
+
+	// Supervisor: on crash, reap the dead server's goroutines, recover the
+	// WAL, and restart on the same address — the ops loop the paper's web
+	// stacks rely on, automated.
+	workDone := make(chan struct{})
+	supDone := make(chan struct{})
+	var supErr error
+	go func() {
+		defer close(supDone)
+		crashed := 0
+		for {
+			cur := sup.get()
+			select {
+			case <-workDone:
+				return
+			case <-cur.Crashed():
+				rep.CrashPoints = append(rep.CrashPoints, cur.CrashPoint())
+				_ = cur.Close()
+				if err := eng.Recover(); err != nil {
+					supErr = fmt.Errorf("chaos: recovery: %w", err)
+					return
+				}
+				rep.Recoveries++
+				crashed++
+				if crashed < cfg.Crashes {
+					armNext()
+				}
+				next := server.New(eng, nil, withAddr(srvCfg, addr))
+				if cfg.Obs != nil {
+					next.WireObs(cfg.Obs)
+				}
+				if err := restart(next); err != nil {
+					supErr = fmt.Errorf("chaos: restart: %w", err)
+					return
+				}
+				sup.set(next)
+			}
+		}
+	}()
+
+	// Pooled client shared by all workers, as a web app shares its
+	// connection pool. RetryConnLost is the paper's blind-retry strategy —
+	// safe here exactly because the workload is self-conserving and the
+	// oracle judges the committed history, not the client's beliefs.
+	cli := client.New(client.Config{
+		Addr:           addr,
+		PoolSize:       cfg.Clients,
+		MaxRetries:     40,
+		BackoffBase:    300 * time.Microsecond,
+		DialTimeout:    time.Second,
+		RequestTimeout: 2 * cfg.LockTimeout,
+		RetryConnLost:  true,
+		Dial:           inj.Dial,
+	})
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var statsMu sync.Mutex
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(worker int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + worker))
+			for i := 0; i < cfg.Ops; i++ {
+				a := 1 + rng.Int63n(int64(cfg.Rows))
+				b := 1 + rng.Int63n(int64(cfg.Rows))
+				for b == a {
+					b = 1 + rng.Int63n(int64(cfg.Rows))
+				}
+				amt := 1 + rng.Int63n(5)
+				// Random lock order: the deadlock recipe, on purpose.
+				err := cli.RunTxn(engine.IsolationDefault, func(txn *client.Txn) error {
+					return transfer(txn, a, b, amt)
+				})
+				statsMu.Lock()
+				if err != nil {
+					rep.TransferErrs++
+				} else {
+					rep.Transfers++
+				}
+				statsMu.Unlock()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	close(workDone)
+	<-supDone
+	rep.Retries = cli.Retries()
+	_ = cli.Close()
+	if supErr != nil {
+		return nil, supErr
+	}
+
+	// Every client has disconnected; drain the server so each session's
+	// rollback path runs, then interrogate the wreckage.
+	_ = sup.get().Close()
+	for k, n := range inj.Counts() {
+		rep.Faults[k] = n
+	}
+
+	// Oracle 1: no leaked locks. Locks must never outlive their sessions,
+	// crashed or not — the paper's stuck-lock failure class (§4.3).
+	rep.LeakedLocks = waitForZeroLocks(eng.LockManager(), 2*time.Second)
+	if rep.LeakedLocks != 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("%d locks still held after all clients disconnected", rep.LeakedLocks))
+	}
+
+	// Oracle 2: total balance conserved. The probe transaction takes FOR
+	// UPDATE locks, so it doubles as a leaked-exclusive-lock detector: a
+	// stuck lock turns this into a timeout.
+	sum, err := probeSum(eng)
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("balance probe failed: %v", err))
+	} else {
+		rep.FinalSum = sum
+		if want := int64(cfg.Rows) * InitialBalance; sum != want {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("balance sum %d, want %d (lost or duplicated writes)", sum, want))
+		}
+	}
+
+	// Oracle 3: the committed history is conflict-serializable. Aborted and
+	// in-flight transactions are projected out first — under fault
+	// injection, most of the raw history is failed attempts.
+	items := hist.Items()
+	for _, it := range items {
+		if it.Kind == analyzer.OpCommit {
+			rep.Committed++
+		}
+	}
+	if cycle := analyzer.CheckCommitted(items); cycle != nil {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("committed history not serializable: cycle %v", cycle))
+	}
+	return rep, nil
+}
+
+// transfer moves amt from account a to b under FOR UPDATE locks, reading
+// both rows first — the paper's canonical read-modify-write critical
+// section, with the lock order left to the caller's rng.
+func transfer(txn *client.Txn, a, b, amt int64) error {
+	for _, id := range []int64{a, b} {
+		rows, err := txn.Select("accounts", storage.ByPK(id), wire.LockForUpdate)
+		if err != nil {
+			return err
+		}
+		if len(rows.Rows) != 1 {
+			return fmt.Errorf("chaos: account %d: got %d rows", id, len(rows.Rows))
+		}
+	}
+	if _, err := txn.Update("accounts", storage.ByPK(a),
+		map[string]storage.Value{"bal": storage.Inc(-amt)}); err != nil {
+		return err
+	}
+	_, err := txn.Update("accounts", storage.ByPK(b),
+		map[string]storage.Value{"bal": storage.Inc(amt)})
+	return err
+}
+
+// probeSum sums every balance under FOR UPDATE in a fresh transaction.
+func probeSum(eng *engine.Engine) (int64, error) {
+	txn := eng.Begin(engine.IsolationDefault)
+	defer func() { _ = txn.Rollback() }()
+	rows, err := txn.Select("accounts", storage.All{}, engine.ForUpdate)
+	if err != nil {
+		return 0, err
+	}
+	schema := eng.Schema("accounts")
+	var sum int64
+	for _, row := range rows {
+		bal, _ := row.Get(schema, "bal").(int64)
+		sum += bal
+	}
+	if err := txn.Commit(); err != nil {
+		return 0, err
+	}
+	return sum, nil
+}
+
+// waitForZeroLocks polls the lock manager until it reports no held locks or
+// the deadline passes, returning the final count. Sessions release locks on
+// their way out, so a brief settle window is legitimate; a count that never
+// reaches zero is a leak.
+func waitForZeroLocks(lm *lockmgr.Manager, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := lm.HeldCount()
+		if n == 0 || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func withAddr(cfg server.Config, addr string) server.Config {
+	cfg.Addr = addr
+	return cfg
+}
+
+// restart retries Start briefly: the dead listener's port can take a moment
+// to become bindable again.
+func restart(srv *server.Server) error {
+	var err error
+	for i := 0; i < 50; i++ {
+		if err = srv.Start(); err == nil {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return err
+}
+
+// RunSeeds runs n consecutive seeds starting at first, returning the
+// reports and the first failing report (nil if all passed).
+func RunSeeds(first int64, n int, mk func(seed int64) Config) ([]*Report, *Report, error) {
+	var reports []*Report
+	var failed *Report
+	for s := first; s < first+int64(n); s++ {
+		rep, err := Run(mk(s))
+		if err != nil {
+			return reports, failed, err
+		}
+		reports = append(reports, rep)
+		if failed == nil && rep.Failed() {
+			failed = rep
+		}
+	}
+	return reports, failed, nil
+}

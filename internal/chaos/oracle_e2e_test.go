@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"adhoctx/internal/analyzer"
+	"adhoctx/internal/client"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/server"
+	"adhoctx/internal/storage"
+	"adhoctx/internal/wire"
+)
+
+// oracleStack is one engine with history capture, optionally served over
+// TCP.
+type oracleStack struct {
+	eng  *engine.Engine
+	hist *analyzer.History
+}
+
+func newOracleStack(t *testing.T) *oracleStack {
+	t.Helper()
+	eng := engine.New(engine.Config{Dialect: engine.MySQL, LockTimeout: 2 * time.Second})
+	eng.CreateTable(storage.NewSchema("accounts",
+		storage.Column{Name: "bal", Type: storage.TInt},
+	))
+	txn := eng.Begin(engine.IsolationDefault)
+	if _, err := txn.Insert("accounts", map[string]storage.Value{"bal": int64(100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	hist := analyzer.NewHistory()
+	eng.SetTracer(hist)
+	return &oracleStack{eng: eng, hist: hist}
+}
+
+// anomalySignature reduces a history to its committed conflict-graph edge
+// conflicts, unit names erased — comparable across the wire/in-process
+// divide, where transaction IDs differ but the anomaly structure must not.
+func anomalySignature(items []analyzer.Item) []string {
+	g := analyzer.BuildConflictGraph(analyzer.CommittedOnly(items))
+	var sig []string
+	for _, succs := range g.Edges {
+		for _, c := range succs {
+			sig = append(sig, fmt.Sprintf("%s:%d %v->%v", c.Table, c.PK, c.FirstKind, c.SecondKind))
+		}
+	}
+	sort.Strings(sig)
+	return sig
+}
+
+// stepper abstracts one transaction handle so the same interleaving script
+// drives both the remote and the in-process stacks.
+type stepper interface {
+	read() error
+	write(bal int64) error
+	commit() error
+}
+
+type wireStepper struct{ txn *client.Txn }
+
+func (s *wireStepper) read() error {
+	_, err := s.txn.Select("accounts", storage.ByPK(1), wire.LockNone)
+	return err
+}
+func (s *wireStepper) write(bal int64) error {
+	_, err := s.txn.Update("accounts", storage.ByPK(1), map[string]storage.Value{"bal": bal})
+	return err
+}
+func (s *wireStepper) commit() error { return s.txn.Commit() }
+
+type localStepper struct{ txn *engine.Txn }
+
+func (s *localStepper) read() error {
+	_, err := s.txn.Select("accounts", storage.ByPK(1))
+	return err
+}
+func (s *localStepper) write(bal int64) error {
+	_, err := s.txn.Update("accounts", storage.ByPK(1), map[string]storage.Value{"bal": bal})
+	return err
+}
+func (s *localStepper) commit() error { return s.txn.Commit() }
+
+// lostUpdateScript runs the classic r1 r2 w1 c1 w2 c2 interleaving: both
+// transactions read the stale balance, then write absolute values computed
+// from it. Both commit, and the second write silently erases the first —
+// the paper's lost update, in six steps.
+func lostUpdateScript(t *testing.T, t1, t2 stepper) {
+	t.Helper()
+	steps := []struct {
+		name string
+		run  func() error
+	}{
+		{"r1", t1.read},
+		{"r2", t2.read},
+		{"w1", func() error { return t1.write(110) }},
+		{"c1", t1.commit},
+		{"w2", func() error { return t2.write(120) }},
+		{"c2", t2.commit},
+	}
+	for _, s := range steps {
+		if err := s.run(); err != nil {
+			t.Fatalf("step %s: %v", s.name, err)
+		}
+	}
+}
+
+// serialScript is the corrected protocol: the same two transactions run
+// strictly one after the other (as FOR UPDATE ordering would force), so the
+// committed history is serial.
+func serialScript(t *testing.T, t1, t2 stepper) {
+	t.Helper()
+	for i, s := range []stepper{t1, t2} {
+		if err := s.read(); err != nil {
+			t.Fatalf("txn %d read: %v", i, err)
+		}
+		if err := s.write(int64(110 + 10*i)); err != nil {
+			t.Fatalf("txn %d write: %v", i, err)
+		}
+		if err := s.commit(); err != nil {
+			t.Fatalf("txn %d commit: %v", i, err)
+		}
+	}
+}
+
+// runWire executes script against a served stack over real TCP with two
+// pooled client transactions, returning the server-side history.
+func runWire(t *testing.T, script func(*testing.T, stepper, stepper)) []analyzer.Item {
+	t.Helper()
+	st := newOracleStack(t)
+	srv := server.New(st.eng, nil, server.Config{})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	cli := client.New(client.Config{Addr: srv.Addr().String(), PoolSize: 2})
+	t.Cleanup(func() { _ = cli.Close() })
+
+	t1, err := cli.Begin(engine.RepeatableRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := cli.Begin(engine.RepeatableRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script(t, &wireStepper{t1}, &wireStepper{t2})
+	return st.hist.Items()
+}
+
+// runLocal executes the same script directly on an engine.
+func runLocal(t *testing.T, script func(*testing.T, stepper, stepper)) []analyzer.Item {
+	t.Helper()
+	st := newOracleStack(t)
+	t1 := st.eng.Begin(engine.RepeatableRead)
+	t2 := st.eng.Begin(engine.RepeatableRead)
+	script(t, &localStepper{t1}, &localStepper{t2})
+	return st.hist.Items()
+}
+
+// TestWireOracleMatchesInProcess is the end-to-end oracle contract: for the
+// same interleaving, the analyzer must find the same anomaly set whether
+// the history was produced over real TCP or in-process. The wire may
+// neither hide an anomaly (lost update must survive the round trip) nor
+// add one (a serial run must stay clean).
+func TestWireOracleMatchesInProcess(t *testing.T) {
+	wireBad := runWire(t, lostUpdateScript)
+	localBad := runLocal(t, lostUpdateScript)
+	if cyc := analyzer.CheckCommitted(wireBad); cyc == nil {
+		t.Fatal("lost update over the wire not detected")
+	}
+	if cyc := analyzer.CheckCommitted(localBad); cyc == nil {
+		t.Fatal("lost update in-process not detected")
+	}
+	if w, l := anomalySignature(wireBad), anomalySignature(localBad); !reflect.DeepEqual(w, l) {
+		t.Fatalf("anomaly sets differ:\n  wire:  %v\n  local: %v", w, l)
+	}
+
+	wireOK := runWire(t, serialScript)
+	localOK := runLocal(t, serialScript)
+	if cyc := analyzer.CheckCommitted(wireOK); cyc != nil {
+		t.Fatalf("wire added an anomaly to a serial run: %v", cyc)
+	}
+	if cyc := analyzer.CheckCommitted(localOK); cyc != nil {
+		t.Fatalf("in-process serial run not clean: %v", cyc)
+	}
+	if w, l := anomalySignature(wireOK), anomalySignature(localOK); !reflect.DeepEqual(w, l) {
+		t.Fatalf("serial-run signatures differ:\n  wire:  %v\n  local: %v", w, l)
+	}
+}

@@ -48,6 +48,17 @@ type Config struct {
 	// BackoffBase scales the jittered exponential backoff between retries
 	// (default 200µs, mirroring the engine's local retry loop).
 	BackoffBase time.Duration
+	// Dial replaces the TCP dial when set — the seam fault injectors and
+	// tests use to wrap or substitute the transport. The returned conn must
+	// not be handshaken; the client performs the handshake itself.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// RetryConnLost opts RunTxn and Begin into treating lost connections and
+	// failed dials as retryable, the way the paper's web stacks blindly
+	// re-run a transaction whose database connection died. Off by default
+	// because a conn lost mid-COMMIT is ambiguous — the transaction may have
+	// committed — so only workloads whose effects are safe to double-apply
+	// (or that verify via an oracle) should enable it.
+	RetryConnLost bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -169,7 +180,13 @@ func (cn *conn) roundTrip(req *wire.Request) (*wire.Response, error) {
 
 // dial establishes and handshakes a fresh connection.
 func (c *Client) dial() (*conn, error) {
-	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	dialer := c.cfg.Dial
+	if dialer == nil {
+		dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := dialer(c.cfg.Addr, c.cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -278,6 +295,12 @@ func (c *Client) Begin(iso engine.Isolation) (*Txn, error) {
 	for i := 0; i < c.cfg.MaxRetries; i++ {
 		cn, err := c.get()
 		if err != nil {
+			if c.cfg.RetryConnLost && !errors.Is(err, ErrClosed) {
+				// The server may be mid-restart after a crash; keep dialing.
+				lastErr = err
+				c.backoff(i)
+				continue
+			}
 			return nil, err
 		}
 		resp, err := cn.roundTrip(&wire.Request{Op: wire.OpBegin, Iso: uint8(iso)})
@@ -434,7 +457,7 @@ func (c *Client) RunTxn(iso engine.Isolation, fn func(*Txn) error) error {
 	var err error
 	for i := 0; i < c.cfg.MaxRetries; i++ {
 		err = c.runOnce(iso, fn)
-		if err == nil || !retryable(err) {
+		if err == nil || !c.retryable(err) {
 			return err
 		}
 		c.backoff(i)
@@ -458,9 +481,23 @@ func (c *Client) runOnce(iso engine.Isolation, fn func(*Txn) error) error {
 }
 
 // retryable widens wire.IsRetryable with the engine sentinels, so local
-// and remote retry loops branch identically.
-func retryable(err error) bool {
-	return wire.IsRetryable(err) || engine.IsRetryable(err) || errors.Is(err, engine.ErrTxnDone)
+// and remote retry loops branch identically. With RetryConnLost set it
+// additionally retries lost connections and dial failures — any non-typed
+// error out of runOnce is transport-level by construction.
+func (c *Client) retryable(err error) bool {
+	if wire.IsRetryable(err) || engine.IsRetryable(err) || errors.Is(err, engine.ErrTxnDone) {
+		return true
+	}
+	if !c.cfg.RetryConnLost || errors.Is(err, ErrClosed) {
+		return false
+	}
+	var we *wire.Error
+	if errors.As(err, &we) {
+		// A typed server reply means the transport worked; of those, only
+		// "the database behind the server died" is a connection-loss case.
+		return we.Code == wire.CodeConnLost
+	}
+	return true
 }
 
 // ---- KV ----

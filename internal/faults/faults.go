@@ -1,0 +1,364 @@
+// Package faults is the deterministic, seed-driven fault-injection layer for
+// the networked stack. The paper attributes ad hoc transactions' worst
+// production failures to what happens *around* the database — crashed lock
+// holders, half-finished compensations, clients that retry blindly (§4) — and
+// those failures all begin as network-level events: a connection dies between
+// a COMMIT and its acknowledgement, a frame arrives torn, a round trip stalls
+// long enough to trip a timeout. This package manufactures exactly those
+// events on demand.
+//
+// An Injector wraps net.Conns (server-accepted via server.Config.WrapConn,
+// client-dialed via client.Config.Dial) and injects four fault kinds on the
+// I/O path: connection drops before a write, byte truncation inside a framed
+// message (a prefix of the bytes is written, then the connection dies — the
+// peer's length-prefixed framing detects the tear as io.ErrUnexpectedEOF),
+// and read/write latency spikes.
+//
+// Determinism contract: the injector seed fully determines each connection's
+// fault stream. Connection k draws its decisions from a private RNG derived
+// from (seed, k), one draw per Read/Write call, and every wrapped connection
+// is used by a single goroutine at a time (a server session or a pooled
+// client conn), so the sequence of decisions for a given connection index is
+// a pure function of the seed. What the seed does NOT pin down is goroutine
+// interleaving and which logical dial receives which connection index —
+// the same pseudo-determinism real Jepsen-style harnesses live with. Replays
+// of a failing seed reproduce the same fault *schedule*, which in practice
+// reproduces the same failure class.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adhoctx/internal/obs"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// Drop closes the connection instead of performing a write: the frame
+	// (or handshake) is lost whole, and the peer sees a clean EOF/reset
+	// between frames.
+	Drop Kind = iota
+	// Truncate writes a strict prefix of the bytes, then closes: a torn
+	// frame, which length-prefixed framing surfaces as ErrUnexpectedEOF.
+	Truncate
+	// WriteDelay stalls a write by a seed-determined duration.
+	WriteDelay
+	// ReadDelay stalls a read by a seed-determined duration.
+	ReadDelay
+
+	kindCount = 4
+)
+
+// String implements fmt.Stringer (metric labels, reports).
+func (k Kind) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Truncate:
+		return "truncate"
+	case WriteDelay:
+		return "write_delay"
+	case ReadDelay:
+		return "read_delay"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Kinds lists every fault kind (metric pre-registration, report rendering).
+var Kinds = []Kind{Drop, Truncate, WriteDelay, ReadDelay}
+
+// ErrInjected is wrapped by every error the injector fabricates, so tests
+// and harnesses can tell injected failures from organic ones.
+var ErrInjected = errors.New("faults: injected fault")
+
+// Plan is the shape of a fault schedule: per-ten-thousand probabilities
+// applied to each I/O call, plus the latency-spike ceiling. Probabilities
+// are integers (not floats) so a plan is exactly reproducible from its
+// flag-level representation.
+type Plan struct {
+	// DropPer10k is the chance (out of 10000) that a Write drops the
+	// connection instead of writing.
+	DropPer10k int
+	// TruncatePer10k is the chance that a Write delivers only a prefix of
+	// its bytes before the connection dies.
+	TruncatePer10k int
+	// WriteDelayPer10k is the chance that a Write stalls first.
+	WriteDelayPer10k int
+	// ReadDelayPer10k is the chance that a Read stalls first.
+	ReadDelayPer10k int
+	// MaxDelay caps each latency spike; spikes are uniform in (0, MaxDelay].
+	// Zero disables the delay kinds regardless of their probabilities.
+	MaxDelay time.Duration
+}
+
+// Enabled reports whether the plan can inject anything at all.
+func (p Plan) Enabled() bool {
+	return p.DropPer10k > 0 || p.TruncatePer10k > 0 ||
+		(p.MaxDelay > 0 && (p.WriteDelayPer10k > 0 || p.ReadDelayPer10k > 0))
+}
+
+// DefaultPlan is the chaos suite's standard schedule: roughly 1 in 70 writes
+// dies (half whole, half torn) and 1 in 40 calls stalls up to 2ms — hostile
+// enough that every retry path fires in a short run, mild enough that a
+// bounded-retry client still finishes the workload.
+func DefaultPlan() Plan {
+	return Plan{
+		DropPer10k:       70,
+		TruncatePer10k:   70,
+		WriteDelayPer10k: 250,
+		ReadDelayPer10k:  250,
+		MaxDelay:         2 * time.Millisecond,
+	}
+}
+
+// Event is one injected fault, attributed to a connection and the I/O call
+// it fired on — the client-visible fault schedule tests use to assert which
+// retry path fired.
+type Event struct {
+	// Conn is the injector-assigned connection index, in wrap order.
+	Conn int64
+	// Op is the per-connection I/O call index (reads and writes share the
+	// counter) at which the fault fired.
+	Op int64
+	// Kind is what was injected.
+	Kind Kind
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("conn %d op %d: %s", e.Conn, e.Op, e.Kind)
+}
+
+// injMetrics is the resolved instrument set (see WireObs).
+type injMetrics struct {
+	perKind map[Kind]*obs.Counter
+}
+
+// Injector wraps connections with a deterministic fault schedule. Safe for
+// concurrent use; each wrapped connection owns a private RNG.
+type Injector struct {
+	seed int64
+	plan Plan
+
+	nextConn atomic.Int64
+	counts   [kindCount]atomic.Int64
+
+	mu     sync.Mutex
+	events []Event
+
+	om atomic.Pointer[injMetrics]
+}
+
+// New creates an injector whose schedule is fully determined by seed.
+func New(seed int64, plan Plan) *Injector {
+	return &Injector{seed: seed, plan: plan}
+}
+
+// Seed returns the injector's seed (replay command lines).
+func (in *Injector) Seed() int64 { return in.seed }
+
+// WireObs attaches per-kind injection counters to reg. A nil registry is a
+// no-op; the disabled path costs one atomic pointer load per fault.
+func (in *Injector) WireObs(reg *obs.Registry) {
+	if reg == nil {
+		in.om.Store(nil)
+		return
+	}
+	m := &injMetrics{perKind: make(map[Kind]*obs.Counter, kindCount)}
+	for _, k := range Kinds {
+		m.perKind[k] = reg.Counter(fmt.Sprintf("faults_injected_total{kind=%q}", k))
+	}
+	in.om.Store(m)
+}
+
+// WrapConn wraps nc with the injector's fault schedule, assigning it the
+// next connection index. With a disabled plan the conn is returned unwrapped
+// (zero overhead, and server.Config.WrapConn can be set unconditionally).
+func (in *Injector) WrapConn(nc net.Conn) net.Conn {
+	if !in.plan.Enabled() {
+		return nc
+	}
+	id := in.nextConn.Add(1) - 1
+	return &faultConn{
+		Conn: nc,
+		in:   in,
+		id:   id,
+		rng:  rand.New(rand.NewSource(connSeed(in.seed, id))),
+	}
+}
+
+// Dial dials addr over TCP and wraps the result — drop-in for
+// client.Config.Dial, so the client side of every conversation runs under
+// the same schedule as the server side.
+func (in *Injector) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return in.WrapConn(nc), nil
+}
+
+// connSeed derives connection id's RNG seed with a splitmix64 round, so
+// adjacent ids get uncorrelated streams.
+func connSeed(seed, id int64) int64 {
+	z := uint64(seed) + uint64(id)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Events returns the injected faults so far, in record order.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}
+
+// Count returns how many faults of kind k have been injected.
+func (in *Injector) Count(k Kind) int64 {
+	if k < 0 || int(k) >= kindCount {
+		return 0
+	}
+	return in.counts[k].Load()
+}
+
+// Total returns the total injected fault count.
+func (in *Injector) Total() int64 {
+	var n int64
+	for i := range in.counts {
+		n += in.counts[i].Load()
+	}
+	return n
+}
+
+// Counts returns the per-kind totals (report rendering).
+func (in *Injector) Counts() map[Kind]int64 {
+	out := make(map[Kind]int64, kindCount)
+	for _, k := range Kinds {
+		out[k] = in.Count(k)
+	}
+	return out
+}
+
+func (in *Injector) note(connID, op int64, k Kind) {
+	in.counts[k].Add(1)
+	in.mu.Lock()
+	in.events = append(in.events, Event{Conn: connID, Op: op, Kind: k})
+	in.mu.Unlock()
+	if m := in.om.Load(); m != nil {
+		m.perKind[k].Inc()
+	}
+}
+
+// action is one decided outcome for an I/O call.
+type action int
+
+const (
+	actNone action = iota
+	actDrop
+	actTruncate
+	actDelay
+)
+
+// faultConn is one wrapped connection. The embedded Conn supplies the
+// net.Conn methods the wrapper doesn't intercept (deadlines, addresses,
+// Close). A faultConn is owned by one goroutine at a time, like the raw
+// session/pooled connections it wraps; the mutex only protects the RNG and
+// op counter against the rare overlap of a deadline-interrupted read with
+// the owner's next call.
+type faultConn struct {
+	net.Conn
+	in  *Injector
+	id  int64
+	mu  sync.Mutex
+	rng *rand.Rand
+	ops int64
+}
+
+// decide draws the next scheduled action for one I/O call. Every call
+// consumes exactly one probability draw (plus one duration draw when a delay
+// fires), so a connection's decision stream depends only on its seed and its
+// call sequence.
+func (c *faultConn) decide(write bool) (action, time.Duration, int64) {
+	p := &c.in.plan
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	op := c.ops
+	c.ops++
+	v := c.rng.Intn(10000)
+	if write {
+		switch {
+		case v < p.DropPer10k:
+			return actDrop, 0, op
+		case v < p.DropPer10k+p.TruncatePer10k:
+			return actTruncate, 0, op
+		case p.MaxDelay > 0 && v < p.DropPer10k+p.TruncatePer10k+p.WriteDelayPer10k:
+			return actDelay, c.delay(), op
+		}
+		return actNone, 0, op
+	}
+	if p.MaxDelay > 0 && v < p.ReadDelayPer10k {
+		return actDelay, c.delay(), op
+	}
+	return actNone, 0, op
+}
+
+// delay draws a spike in (0, MaxDelay]. Caller holds c.mu.
+func (c *faultConn) delay() time.Duration {
+	return time.Duration(1 + c.rng.Int63n(int64(c.in.plan.MaxDelay)))
+}
+
+// Read implements net.Conn, injecting read-latency spikes.
+func (c *faultConn) Read(p []byte) (int, error) {
+	act, d, op := c.decide(false)
+	if act == actDelay {
+		c.in.note(c.id, op, ReadDelay)
+		time.Sleep(d)
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn, injecting drops, truncations, and write-latency
+// spikes. Injected failures close the underlying connection, so the peer
+// observes a real connection death, and return an ErrInjected-wrapped error
+// so this side's caller takes its connection-loss path.
+func (c *faultConn) Write(p []byte) (int, error) {
+	act, d, op := c.decide(true)
+	switch act {
+	case actDrop:
+		c.in.note(c.id, op, Drop)
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("%w: dropped conn %d at op %d", ErrInjected, c.id, op)
+	case actTruncate:
+		// A strict prefix needs at least 2 bytes; a 1-byte write tears
+		// into a plain drop.
+		if len(p) < 2 {
+			c.in.note(c.id, op, Drop)
+			_ = c.Conn.Close()
+			return 0, fmt.Errorf("%w: dropped conn %d at op %d", ErrInjected, c.id, op)
+		}
+		c.mu.Lock()
+		cut := 1 + c.rng.Intn(len(p)-1)
+		c.mu.Unlock()
+		c.in.note(c.id, op, Truncate)
+		n, _ := c.Conn.Write(p[:cut])
+		_ = c.Conn.Close()
+		return n, fmt.Errorf("%w: truncated conn %d at op %d (%d/%d bytes)", ErrInjected, c.id, op, n, len(p))
+	case actDelay:
+		c.in.note(c.id, op, WriteDelay)
+		time.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}

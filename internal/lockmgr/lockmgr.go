@@ -563,6 +563,24 @@ func (m *Manager) Held(o *Owner) map[any]Mode {
 	return out
 }
 
+// HeldCount returns the total number of row and gap locks currently held
+// across all owners. The chaos oracle's leak check: after every client has
+// disconnected and every session is reaped, a non-zero count is a lock
+// leaked by a crashed or abandoned transaction — the paper's §4.3 stuck-lock
+// failure made observable.
+func (m *Manager) HeldCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, hm := range m.held {
+		n += len(hm)
+	}
+	for _, gs := range m.gaps {
+		n += len(gs)
+	}
+	return n
+}
+
 // ---- deadlock detection ----
 
 // wouldDeadlock runs a DFS over the wait-for graph from o, returning true if

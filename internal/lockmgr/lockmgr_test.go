@@ -449,3 +449,32 @@ func TestInOpenInterval(t *testing.T) {
 		}
 	}
 }
+
+func TestHeldCountTracksRowAndGapLocks(t *testing.T) {
+	m := New(time.Second)
+	a, b := m.NewOwner("a"), m.NewOwner("b")
+	if got := m.HeldCount(); got != 0 {
+		t.Fatalf("fresh manager HeldCount = %d, want 0", got)
+	}
+	if err := m.Acquire(a, "k1", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(a, "k2", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(b, "k2", Shared); err != nil {
+		t.Fatal(err)
+	}
+	m.AcquireGap(b, GapSpace{Table: "t", Col: "pk"}, int64(1), int64(9))
+	if got := m.HeldCount(); got != 4 {
+		t.Fatalf("HeldCount = %d, want 4 (3 row + 1 gap)", got)
+	}
+	m.ReleaseAll(a)
+	if got := m.HeldCount(); got != 2 {
+		t.Fatalf("after ReleaseAll(a) HeldCount = %d, want 2", got)
+	}
+	m.ReleaseAll(b)
+	if got := m.HeldCount(); got != 0 {
+		t.Fatalf("after ReleaseAll(b) HeldCount = %d, want 0 (leak)", got)
+	}
+}

@@ -15,6 +15,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -26,6 +27,7 @@ import (
 	"adhoctx/internal/engine"
 	"adhoctx/internal/kv"
 	"adhoctx/internal/obs"
+	"adhoctx/internal/sim"
 	"adhoctx/internal/wire"
 )
 
@@ -53,7 +55,32 @@ type Config struct {
 	// DrainTimeout bounds Close's graceful drain before remaining
 	// connections are forced closed (default 5s).
 	DrainTimeout time.Duration
+	// WrapConn, when non-nil, wraps every accepted connection before the
+	// handshake — the seam internal/faults uses to inject connection
+	// drops, torn frames, and latency spikes on the server side.
+	WrapConn func(net.Conn) net.Conn
+	// Crash, when non-nil, arms server-side crash points (§3.4.2). A fired
+	// point models the whole server process dying mid-request: the engine
+	// loses its volatile state (locks evaporate, live transactions start
+	// failing, the WAL survives), every connection and the listener are
+	// cut, and — crucially — no rollback or release code runs for the
+	// session that hit the point. Crashed() signals the death so a
+	// supervisor can Recover() the engine and start a replacement server.
+	Crash *sim.CrashPlan
 }
+
+// Crash point names checked when Config.Crash is armed.
+const (
+	// CrashPointCommitBefore fires after the client's COMMIT frame is
+	// decoded but before the engine commit: the WAL never sees the
+	// transaction, so recovery must lose it.
+	CrashPointCommitBefore = "server/commit:before"
+	// CrashPointCommitAfter fires after the engine commit (WAL appended)
+	// but before the response frame: the client sees a dead connection
+	// with the outcome unknown — the paper's ambiguous-commit window —
+	// while recovery must preserve the transaction.
+	CrashPointCommitAfter = "server/commit:after"
+)
 
 func (c *Config) withDefaults() Config {
 	out := *c
@@ -112,6 +139,10 @@ type Server struct {
 	closeOnce sync.Once
 	closeErr  error
 
+	crashOnce  sync.Once
+	crashedCh  chan struct{}
+	crashPoint atomic.Pointer[string]
+
 	om atomic.Pointer[serverMetrics]
 }
 
@@ -120,13 +151,51 @@ type Server struct {
 func New(eng *engine.Engine, store *kv.Store, cfg Config) *Server {
 	c := cfg.withDefaults()
 	return &Server{
-		cfg:      c,
-		eng:      eng,
-		store:    store,
-		slots:    make(chan struct{}, c.MaxSessions),
-		draining: make(chan struct{}),
-		conns:    make(map[net.Conn]struct{}),
+		cfg:       c,
+		eng:       eng,
+		store:     store,
+		slots:     make(chan struct{}, c.MaxSessions),
+		draining:  make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		crashedCh: make(chan struct{}),
 	}
+}
+
+// Crashed is closed when an armed crash point fired and the server died
+// abruptly. A supervisor should then Close (to reap session goroutines),
+// Recover the engine, and start a replacement server; CrashPoint names the
+// point that fired.
+func (s *Server) Crashed() <-chan struct{} { return s.crashedCh }
+
+// CrashPoint returns the name of the crash point that killed the server, or
+// "" if it has not crashed.
+func (s *Server) CrashPoint() string {
+	if p := s.crashPoint.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// crash kills the server the way a process death would: engine volatile
+// state is wiped (WAL survives), the listener and every connection are cut
+// with no drain and no per-session rollback. Sessions die on their next
+// read/write; the one that hit the point has already dropped its
+// transaction handle without rolling back.
+func (s *Server) crash(ce *sim.CrashError) {
+	s.crashOnce.Do(func() {
+		point := ce.Point
+		s.crashPoint.Store(&point)
+		s.eng.Crash()
+		if s.ln != nil {
+			_ = s.ln.Close()
+		}
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+		close(s.crashedCh)
+	})
 }
 
 // WireObs attaches the server to reg: session admission gauges and counters,
@@ -218,6 +287,9 @@ func (s *Server) acceptLoop() {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if s.cfg.WrapConn != nil {
+			conn = s.cfg.WrapConn(conn)
 		}
 		s.done.Add(1)
 		go s.admit(conn)
@@ -344,20 +416,31 @@ type session struct {
 // leak past them.
 func (s *session) run() {
 	defer s.rollbackOpen(false)
+	// A fired crash point panics with *sim.CrashError. The "process" died:
+	// drop the transaction handle WITHOUT rolling back (the deferred
+	// rollback above must not run release code a dead server couldn't) and
+	// tear the whole server down. Anything else re-panics.
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		ce, ok := rec.(*sim.CrashError)
+		if !ok {
+			panic(rec)
+		}
+		s.txn = nil
+		s.srv.crash(ce)
+	}()
 	for {
-		// Idle reap doubles as dead-client detection: a killed client's FIN
-		// or RST fails the read immediately; a zombie client trips the
-		// deadline. Either way the deferred rollback releases its locks.
-		_ = s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.IdleTimeout))
-		payload, err := wire.ReadFrame(s.countingReader(), s.readBuf)
+		payload, idle, err := s.readFrame()
 		if err != nil {
-			if isTimeout(err) && s.m != nil {
+			if idle && s.m != nil {
 				s.m.reaped.Inc()
 			}
 			_ = s.conn.Close()
 			return
 		}
-		s.readBuf = payload[:0]
 
 		start := time.Now()
 		op := s.handle(payload)
@@ -396,6 +479,43 @@ func (s *session) run() {
 		default:
 		}
 	}
+}
+
+// readFrame reads one request frame in two stages: the wait for the frame's
+// first byte runs under the idle-reap deadline, and once any byte has
+// arrived the rest of the frame runs under the WriteTimeout-scale bound. A
+// request already in flight when the reap deadline passes is therefore
+// served, not reaped — the reaper only ever fires between requests, so it
+// can never roll a transaction back under a statement the client has
+// started sending. idle reports a true idle-reap (first-byte deadline);
+// timeouts mid-frame are a stalled or torn request, not idleness.
+func (s *session) readFrame() (payload []byte, idle bool, err error) {
+	r := s.countingReader()
+	var hdr [4]byte
+	// Idle reap doubles as dead-client detection: a killed client's FIN
+	// or RST fails the read immediately; a zombie client trips the
+	// deadline. Either way the caller's rollback releases its locks.
+	_ = s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.IdleTimeout))
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, isTimeout(err), err
+	}
+	// A frame is in flight: it gets its own (request-scale) deadline.
+	_ = s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.WriteTimeout))
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return nil, false, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > wire.MaxFrame {
+		return nil, false, wire.ErrFrameTooLarge
+	}
+	if cap(s.readBuf) < int(n) {
+		s.readBuf = make([]byte, n)
+	}
+	buf := s.readBuf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
 }
 
 // rollbackOpen rolls back the session's open transaction, if any. reaped is
@@ -443,11 +563,14 @@ func (s *session) handle(payload []byte) wire.Op {
 			s.fail(wire.CodeNoTxn, "COMMIT with no open transaction")
 			break
 		}
+		s.srv.cfg.Crash.Check(CrashPointCommitBefore)
 		err := s.txn.Commit()
 		s.txn = nil
 		if err != nil {
 			s.failErr(err)
+			break
 		}
+		s.srv.cfg.Crash.Check(CrashPointCommitAfter)
 	case wire.OpRollback:
 		if s.txn == nil {
 			s.fail(wire.CodeNoTxn, "ROLLBACK with no open transaction")
