@@ -6,12 +6,17 @@
 //	adhocbench                      # all three
 //	adhocbench -addr host:port      # Figure-2-style workload over TCP
 //	                                # against a live adhocserve
+//	adhocbench -bench -json BENCH_pr4.json
+//	                                # commit-throughput suite, JSON report
+//	adhocbench -bench -baseline BENCH_pr4.json
+//	                                # re-run and fail on >20% regression
 //
 // Absolute numbers depend on the simulated latency profile (see
 // EXPERIMENTS.md); the shapes are the reproduction target.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +36,20 @@ func main() {
 	ablate := flag.Bool("ablate", false, "run the design-choice ablations instead of the figures")
 	metrics := flag.Bool("metrics", false, "print the obs registry snapshot after each figure")
 	addr := flag.String("addr", "", "drive a live adhocserve at this address instead of running in-process")
+	bench := flag.Bool("bench", false, "run the commit-throughput benchmark suite instead of the figures")
+	writers := flag.Int("writers", 32, "concurrent committers for -bench")
+	benchDur := flag.Duration("benchdur", time.Second, "measurement window per -bench workload")
+	jsonPath := flag.String("json", "", "write the -bench report to this file as JSON")
+	baseline := flag.String("baseline", "", "compare the -bench run against this JSON baseline; exit 1 on >20% regression in gated workloads")
 	flag.Parse()
+
+	if *bench {
+		if err := runBench(*writers, *benchDur, *jsonPath, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *addr != "" {
 		cfg := experiments.DefaultRemoteConfig(*addr)
@@ -134,4 +152,41 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runBench runs the PR-4 commit-throughput suite, optionally writing the
+// JSON report and/or failing against a committed baseline.
+func runBench(writers int, dur time.Duration, jsonPath, baselinePath string) error {
+	cfg := experiments.DefaultCommitBenchConfig()
+	cfg.Writers = writers
+	cfg.Duration = dur
+	rep, err := experiments.CommitBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderBench(rep))
+	if jsonPath != "" {
+		out, err := experiments.MarshalBench(rep)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			return err
+		}
+	}
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		var base experiments.BenchReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+		}
+		if err := experiments.CompareBench(base, rep, 0.20); err != nil {
+			return err
+		}
+		fmt.Println("no regressions vs", baselinePath)
+	}
+	return nil
 }

@@ -31,17 +31,23 @@ func main() {
 		rows     = flag.Int("rows", 8, "accounts")
 		crashes  = flag.Int("crashes", 1, "server crash/recover cycles per seed")
 		noFaults = flag.Bool("nofaults", false, "disable network fault injection (crashes only)")
+		group    = flag.Bool("groupcommit", false, "run the engine with WAL group commit (adds the wal flush crash points)")
+		shards   = flag.Int("shards", 0, "lock manager shard count (0 = default)")
+		fsync    = flag.Duration("fsync", 0, "simulated WAL device flush time")
 		verbose  = flag.Bool("v", false, "print every seed's report, not just failures")
 	)
 	flag.Parse()
 
 	mk := func(s int64) chaos.Config {
 		cfg := chaos.Config{
-			Seed:    s,
-			Clients: *clients,
-			Ops:     *ops,
-			Rows:    *rows,
-			Crashes: *crashes,
+			Seed:        s,
+			Clients:     *clients,
+			Ops:         *ops,
+			Rows:        *rows,
+			Crashes:     *crashes,
+			GroupCommit: *group,
+			LockShards:  *shards,
+			Fsync:       *fsync,
 		}
 		if !*noFaults {
 			cfg.Plan = faults.DefaultPlan()

@@ -32,6 +32,7 @@ import (
 	"adhoctx/internal/server"
 	"adhoctx/internal/sim"
 	"adhoctx/internal/storage"
+	"adhoctx/internal/wal"
 	"adhoctx/internal/wire"
 )
 
@@ -59,6 +60,16 @@ type Config struct {
 	Plan faults.Plan
 	// LockTimeout bounds engine lock waits (default 2s).
 	LockTimeout time.Duration
+	// GroupCommit enables WAL group commit in the engine under test; the
+	// crash rotation then includes the wal/groupcommit points, so batches
+	// die whole mid-flush.
+	GroupCommit bool
+	// LockShards partitions the engine's lock manager (0 = lockmgr
+	// default).
+	LockShards int
+	// Fsync is the simulated WAL device flush time. Nonzero makes the
+	// flush a real bottleneck so group-commit batches actually form.
+	Fsync time.Duration
 	// Obs, when non-nil, receives server and fault-injector metrics.
 	Obs *obs.Registry
 }
@@ -84,6 +95,16 @@ func (c Config) withDefaults() Config {
 func DefaultConfig(seed int64) Config {
 	c := Config{Seed: seed, Crashes: 1, Plan: faults.DefaultPlan()}
 	return c.withDefaults()
+}
+
+// GroupCommitConfig is DefaultConfig on the PR-4 engine configuration:
+// group commit over a 500µs-flush device with the sharded lock manager, and
+// the wal/groupcommit crash points in the rotation.
+func GroupCommitConfig(seed int64) Config {
+	c := DefaultConfig(seed)
+	c.GroupCommit = true
+	c.Fsync = 500 * time.Microsecond
+	return c
 }
 
 // Report is the outcome of one seed.
@@ -142,8 +163,18 @@ func (r *Report) Summary() string {
 // ReplayCommand renders the command line that reruns cfg.
 func ReplayCommand(cfg Config) string {
 	cfg = cfg.withDefaults()
-	return fmt.Sprintf("go run ./cmd/adhocchaos -seed %d -seeds 1 -clients %d -ops %d -rows %d -crashes %d",
+	cmd := fmt.Sprintf("go run ./cmd/adhocchaos -seed %d -seeds 1 -clients %d -ops %d -rows %d -crashes %d",
 		cfg.Seed, cfg.Clients, cfg.Ops, cfg.Rows, cfg.Crashes)
+	if cfg.GroupCommit {
+		cmd += " -groupcommit"
+	}
+	if cfg.LockShards > 0 {
+		cmd += fmt.Sprintf(" -shards %d", cfg.LockShards)
+	}
+	if cfg.Fsync > 0 {
+		cmd += fmt.Sprintf(" -fsync %s", cfg.Fsync)
+	}
+	return cmd
 }
 
 // supervised is the crash/restart supervisor's shared server handle.
@@ -173,10 +204,22 @@ func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	rep := &Report{Seed: cfg.Seed, Replay: ReplayCommand(cfg), Faults: make(map[faults.Kind]int64)}
 
+	// One plan shared by the server's commit points and (under group
+	// commit) the WAL's flush points: wherever the process dies, the same
+	// supervisor recovers it.
+	plan := &sim.CrashPlan{}
+
 	// MySQL dialect: RepeatableRead plus FOR UPDATE locking reads — the
 	// configuration whose committed histories must be serializable for this
 	// workload, so any cycle the analyzer finds is a real bug.
-	eng := engine.New(engine.Config{Dialect: engine.MySQL, LockTimeout: cfg.LockTimeout})
+	eng := engine.New(engine.Config{
+		Dialect:     engine.MySQL,
+		LockTimeout: cfg.LockTimeout,
+		WALFsync:    sim.Latency{Fsync: cfg.Fsync},
+		GroupCommit: cfg.GroupCommit,
+		LockShards:  cfg.LockShards,
+		Crash:       plan,
+	})
 	eng.CreateTable(storage.NewSchema("accounts",
 		storage.Column{Name: "bal", Type: storage.TInt},
 	))
@@ -200,18 +243,18 @@ func Run(cfg Config) (*Report, error) {
 		inj.WireObs(cfg.Obs)
 	}
 
-	plan := &sim.CrashPlan{}
 	// The supervisor's private rng: crash timing must not perturb the
 	// workers' transfer sequences.
 	supRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	points := []string{server.CrashPointCommitBefore, server.CrashPointCommitAfter}
+	if cfg.GroupCommit {
+		// The WAL flush points only exist on the group-commit path.
+		points = append(points, wal.CrashPointBeforeFsync, wal.CrashPointAfterFsync)
+	}
 	armNext := func() {
-		point := server.CrashPointCommitBefore
-		if supRng.Intn(2) == 1 {
-			point = server.CrashPointCommitAfter
-		}
-		// Fire within the first handful of commits after arming, so every
+		// Fire within the first handful of visits after arming, so every
 		// configured crash actually happens during the run.
-		plan.Arm(point, 2+supRng.Intn(6))
+		plan.Arm(points[supRng.Intn(len(points))], 2+supRng.Intn(6))
 	}
 	if cfg.Crashes > 0 {
 		armNext()

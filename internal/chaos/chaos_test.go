@@ -154,3 +154,49 @@ func TestObsWiring(t *testing.T) {
 		t.Fatalf("registry counts %d faults, report %d", onReg, inReport)
 	}
 }
+
+// shortGroupConfig is the CI-sized slice of the PR-4 configuration: group
+// commit over a real (simulated) flush bottleneck, sharded lock manager,
+// wal crash points in the rotation.
+func shortGroupConfig(seed int64) Config {
+	cfg := GroupCommitConfig(seed)
+	cfg.Clients = 4
+	cfg.Ops = 20
+	cfg.Rows = 6
+	return cfg
+}
+
+// TestChaosGroupCommitSeedsPass sweeps the group-commit + sharded-lockmgr
+// configuration: every oracle must hold while batches are killed mid-flush
+// by the wal/groupcommit crash points.
+func TestChaosGroupCommitSeedsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short")
+	}
+	reports, failed, err := RunSeeds(1, 5, shortGroupConfig)
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if failed != nil {
+		t.Fatalf("seed %d violated oracles: %v\nreplay: %s",
+			failed.Seed, failed.Violations, failed.Replay)
+	}
+	var crashes int
+	for _, r := range reports {
+		crashes += len(r.CrashPoints)
+	}
+	if crashes == 0 {
+		t.Fatal("no crash points fired across the group-commit sweep")
+	}
+}
+
+// TestReplayCommandCarriesEngineConfig: the replay line reproduces the
+// group-commit configuration, not just the workload shape.
+func TestReplayCommandCarriesEngineConfig(t *testing.T) {
+	cmd := ReplayCommand(GroupCommitConfig(9))
+	for _, want := range []string{"-groupcommit", "-fsync 500µs"} {
+		if !strings.Contains(cmd, want) {
+			t.Fatalf("replay command %q missing %q", cmd, want)
+		}
+	}
+}

@@ -77,8 +77,25 @@ type Config struct {
 	Dialect DialectKind
 	// Net is charged one round trip per statement (client/server hop).
 	Net sim.Latency
-	// WALFsync is the latency profile charged per durable commit.
+	// WALFsync is the latency profile charged per durable commit. The WAL
+	// owns the charge: flushes serialize like a single log device, so
+	// concurrent per-commit flushing queues unless GroupCommit is on.
 	WALFsync sim.Latency
+	// GroupCommit coalesces concurrent commits into WAL batches that share
+	// one fsync (see internal/wal). Recovery semantics are unchanged.
+	GroupCommit bool
+	// GroupCommitMaxBatch bounds records per WAL batch (0 = wal default).
+	GroupCommitMaxBatch int
+	// GroupCommitMaxWait is the batch leader's gathering window (0 = flush
+	// immediately; batching then comes from fsync backpressure alone).
+	GroupCommitMaxWait time.Duration
+	// LockShards partitions the lock manager's lock tables (0 = lockmgr
+	// default; 1 = the old single-mutex behaviour).
+	LockShards int
+	// Crash, when non-nil, arms the engine-internal crash points (today:
+	// the WAL group-commit flush). Server-side points live in
+	// server.Config.Crash; chaos runs share one plan across both.
+	Crash *sim.CrashPlan
 	// LockTimeout bounds lock waits (0 = wait forever).
 	LockTimeout time.Duration
 	// SSIPageSize groups index keys into pages for Serializable predicate

@@ -16,7 +16,6 @@ import (
 
 	"adhoctx/internal/lockmgr"
 	"adhoctx/internal/mvcc"
-	"adhoctx/internal/sim"
 	"adhoctx/internal/storage"
 	"adhoctx/internal/wal"
 )
@@ -70,12 +69,23 @@ func New(cfg Config) *Engine {
 	return &Engine{
 		cfg:    cfg,
 		tables: make(map[string]*table),
-		lm:     lockmgr.New(cfg.LockTimeout),
-		// The engine charges fsync itself after the commit critical
-		// section, so the log runs with a free latency profile.
-		log: wal.New(sim.Latency{}),
+		lm:     lockmgr.NewSharded(cfg.LockTimeout, cfg.LockShards),
+		// The WAL owns the durable-commit cost: flushes serialize like a
+		// single log device, and group commit (when enabled) coalesces
+		// concurrent commits into batches sharing one fsync.
+		log: wal.NewWithOptions(wal.Options{
+			Latency:     cfg.WALFsync,
+			GroupCommit: cfg.GroupCommit,
+			MaxBatch:    cfg.GroupCommitMaxBatch,
+			MaxWait:     cfg.GroupCommitMaxWait,
+			Crash:       cfg.Crash,
+		}),
 	}
 }
+
+// WAL exposes the engine's write-ahead log (diagnostics, tests, and the
+// benchmark harness's fsync accounting).
+func (e *Engine) WAL() *wal.Log { return e.log }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -199,6 +209,9 @@ func freshIndexes(old map[string]*storage.Index) map[string]*storage.Index {
 // Recover replays the WAL, restoring every committed transaction, and
 // reopens the engine for new transactions.
 func (e *Engine) Recover() error {
+	// Reopen a log poisoned by a fired group-commit crash point; the
+	// durable image (what replay below reads) is untouched.
+	e.log.Recover()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	err := wal.Replay(e.log.Bytes(), func(rec wal.Record) error {

@@ -17,7 +17,10 @@ type engineMetrics struct {
 	serializationErr *obs.Counter
 	lockTimeouts     *obs.Counter
 	statements       *obs.Counter
-	walFsyncs        *obs.Counter
+	// walFsyncs counts durable commits (WAL appends). The device-level
+	// flush count lives on the WAL itself (wal_fsyncs_total), which under
+	// group commit is smaller — the batching win, made observable.
+	walFsyncs *obs.Counter
 	retries          *obs.Counter
 	retryBackoff     *obs.Counter // nanoseconds; exposed as seconds
 
@@ -76,6 +79,7 @@ func (e *Engine) WireObs(reg *obs.Registry) {
 	}
 	e.metrics.Store(newEngineMetrics(reg))
 	e.lm.WireObs(reg)
+	e.log.WireObs(reg)
 	var next Tracer
 	if cur := e.tracer.Load(); cur != nil {
 		next = *cur

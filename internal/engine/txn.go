@@ -5,6 +5,7 @@ import (
 
 	"adhoctx/internal/lockmgr"
 	"adhoctx/internal/mvcc"
+	"adhoctx/internal/sim"
 	"adhoctx/internal/storage"
 	"adhoctx/internal/wal"
 )
@@ -15,10 +16,26 @@ type rowKey struct {
 	pk    int64
 }
 
+// LockShardHash implements lockmgr.ShardHasher so the hot row-lock path
+// avoids the lock manager's generic fallback hash.
+func (k rowKey) LockShardHash() uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(k.table); i++ {
+		h = (h ^ uint64(k.table[i])) * 1099511628211
+	}
+	return (h ^ uint64(k.pk)) * 1099511628211
+}
+
 // advisoryKey is the lockable identity of one user/advisory lock
 // (PostgreSQL's pg_advisory_xact_lock analogue, §6 Table 7a).
 type advisoryKey struct {
 	key int64
+}
+
+// LockShardHash implements lockmgr.ShardHasher.
+func (k advisoryKey) LockShardHash() uint64 {
+	x := uint64(k.key) * 0x9e3779b97f4a7c15
+	return x ^ (x >> 29)
 }
 
 // undoEntry reverses one write during rollback.
@@ -208,12 +225,20 @@ func (t *Txn) Commit() error {
 	e.mu.Unlock()
 
 	if len(t.writes) > 0 {
+		// The WAL owns the flush cost (serialized fsync; one per commit, or
+		// one per batch under group commit).
 		if _, err := e.log.Append(t.id, t.writes); err != nil {
+			if ce, ok := err.(*sim.CrashError); ok {
+				// A WAL crash point fired while this commit's batch was in
+				// flight: the "process" died before the commit was
+				// acknowledged. Re-panic so the serving layer's crash
+				// recovery (server.crash) treats it as process death.
+				panic(ce)
+			}
 			// Encoding failures are programming errors; the data is
 			// already visible, so surface loudly.
 			panic(fmt.Sprintf("engine: WAL append failed: %v", err))
 		}
-		e.cfg.WALFsync.ChargeFsync()
 		if m := e.obsM(); m != nil {
 			m.walFsyncs.Inc()
 		}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/lockmgr"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+// The PR-4 benchmark-regression harness: a small suite of throughput
+// workloads whose JSON output (BENCH_pr4.json) is committed as the baseline
+// and re-checked by CI. Two kinds of workloads live here:
+//
+//   - Commit workloads are fsync-bound: the simulated WAL device serializes
+//     2ms flushes, so throughput is a function of the latency model, not of
+//     host hardware. These are gated (Gate=true) — a regression means the
+//     commit path changed, not that CI got a slower machine.
+//   - Lock-manager workloads are CPU-bound and vary with the host, so they
+//     are recorded for the before/after table but never gated.
+
+// BenchResult is one workload's measurement.
+type BenchResult struct {
+	Name      string  `json:"name"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	// Fsyncs is the number of device flushes the workload paid (commit
+	// workloads only; 0 elsewhere). Ops/Fsyncs is the effective batch size.
+	Fsyncs int64 `json:"fsyncs,omitempty"`
+	// Gate marks results whose throughput is hardware-independent
+	// (sleep-bound); only these fail CI on regression.
+	Gate bool `json:"gate"`
+}
+
+// BenchReport is the full suite output.
+type BenchReport struct {
+	Writers     int           `json:"writers"`
+	FsyncMicros int64         `json:"fsync_us"`
+	Results     []BenchResult `json:"results"`
+}
+
+// CommitBenchConfig tunes the suite.
+type CommitBenchConfig struct {
+	// Writers is the number of concurrent committing clients.
+	Writers int
+	// Duration is the measurement window per workload.
+	Duration time.Duration
+	// Fsync is the simulated WAL device flush time.
+	Fsync time.Duration
+}
+
+// DefaultCommitBenchConfig returns the committed-baseline calibration:
+// 32 writers against a 2ms-flush device.
+func DefaultCommitBenchConfig() CommitBenchConfig {
+	return CommitBenchConfig{
+		Writers:  32,
+		Duration: time.Second,
+		Fsync:    2 * time.Millisecond,
+	}
+}
+
+// CommitBench runs the suite: per-commit-fsync vs group-commit throughput at
+// Writers concurrent clients, plus single-shard vs default-sharded lock
+// manager throughput.
+func CommitBench(cfg CommitBenchConfig) (BenchReport, error) {
+	if cfg.Writers <= 0 {
+		cfg.Writers = 32
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.Fsync <= 0 {
+		cfg.Fsync = 2 * time.Millisecond
+	}
+	rep := BenchReport{Writers: cfg.Writers, FsyncMicros: cfg.Fsync.Microseconds()}
+
+	for _, w := range []struct {
+		name        string
+		groupCommit bool
+	}{
+		{"commit/per-fsync", false},
+		{"commit/group", true},
+	} {
+		res, err := runCommitWorkload(w.name, w.groupCommit, cfg)
+		if err != nil {
+			return rep, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+
+	for _, w := range []struct {
+		name   string
+		shards int
+	}{
+		{"lockmgr/1shard", 1},
+		{"lockmgr/sharded", 0}, // 0 = lockmgr.DefaultShards
+	} {
+		rep.Results = append(rep.Results, runLockWorkload(w.name, w.shards, cfg))
+	}
+	return rep, nil
+}
+
+// runCommitWorkload measures commit throughput: Writers closed-loop clients
+// each updating a private row in its own transaction, so the WAL flush is
+// the only contended resource.
+func runCommitWorkload(name string, groupCommit bool, cfg CommitBenchConfig) (BenchResult, error) {
+	eng := engine.New(engine.Config{
+		Dialect:     engine.MySQL,
+		WALFsync:    sim.Latency{Fsync: cfg.Fsync},
+		GroupCommit: groupCommit,
+		LockTimeout: 30 * time.Second,
+	})
+	eng.CreateTable(storage.NewSchema("counters",
+		storage.Column{Name: "n", Type: storage.TInt},
+	))
+	pks := make([]int64, cfg.Writers)
+	for i := range pks {
+		var err error
+		err = eng.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+			pk, err := tx.Insert("counters", map[string]storage.Value{"n": int64(0)})
+			pks[i] = pk
+			return err
+		})
+		if err != nil {
+			return BenchResult{}, fmt.Errorf("%s: seed row: %w", name, err)
+		}
+	}
+	startFsyncs := eng.WAL().FsyncCount()
+
+	var (
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		lats    []time.Duration
+		workErr error
+	)
+	start := time.Now()
+	for i := 0; i < cfg.Writers; i++ {
+		wg.Add(1)
+		go func(pk int64) {
+			defer wg.Done()
+			var local []time.Duration
+			for !stop.Load() {
+				t0 := time.Now()
+				err := eng.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+					_, err := tx.Update("counters", storage.ByPK(pk),
+						map[string]storage.Value{"n": t0.UnixNano()})
+					return err
+				})
+				if err != nil {
+					mu.Lock()
+					if workErr == nil {
+						workErr = fmt.Errorf("%s: %w", name, err)
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(pks[i])
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if workErr != nil {
+		return BenchResult{}, workErr
+	}
+	res := summarize(name, lats, elapsed)
+	res.Fsyncs = eng.WAL().FsyncCount() - startFsyncs
+	res.Gate = true
+	return res, nil
+}
+
+// runLockWorkload measures raw acquire/release throughput on the lock
+// manager alone: Writers goroutines hammering exclusive locks on a shared
+// key space. CPU-bound, so never gated.
+func runLockWorkload(name string, shards int, cfg CommitBenchConfig) BenchResult {
+	lm := lockmgr.NewSharded(30*time.Second, shards)
+	const keys = 1024
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats []time.Duration
+	)
+	start := time.Now()
+	for i := 0; i < cfg.Writers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			o := lm.NewOwner("bench")
+			rng := seed
+			var local []time.Duration
+			for !stop.Load() {
+				// splitmix-style step keeps the key stream cheap and distinct
+				// per goroutine.
+				rng = rng*6364136223846793005 + 1442695040888963407
+				key := int64(uint64(rng) % keys)
+				t0 := time.Now()
+				if err := lm.Acquire(o, key, lockmgr.Exclusive); err != nil {
+					return
+				}
+				lm.Release(o, key)
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(int64(i + 1))
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	lm.Shutdown()
+	return summarize(name, lats, time.Since(start))
+}
+
+func summarize(name string, lats []time.Duration, elapsed time.Duration) BenchResult {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res := BenchResult{Name: name, Ops: len(lats)}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(len(lats)) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		res.P50Micros = float64(lats[len(lats)/2].Microseconds())
+		res.P99Micros = float64(lats[len(lats)*99/100].Microseconds())
+	}
+	return res
+}
+
+// RenderBench formats a report as the EXPERIMENTS.md-style table.
+func RenderBench(rep BenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "commit benchmark: %d writers, %dµs fsync\n", rep.Writers, rep.FsyncMicros)
+	fmt.Fprintf(&b, "%-18s %10s %10s %10s %8s %6s\n", "workload", "ops/s", "p50(µs)", "p99(µs)", "fsyncs", "gated")
+	for _, r := range rep.Results {
+		fmt.Fprintf(&b, "%-18s %10.0f %10.0f %10.0f %8d %6v\n",
+			r.Name, r.OpsPerSec, r.P50Micros, r.P99Micros, r.Fsyncs, r.Gate)
+	}
+	return b.String()
+}
+
+// MarshalBench serializes a report for BENCH_pr4.json.
+func MarshalBench(rep BenchReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// CompareBench checks current against a committed baseline: any gated
+// workload whose throughput fell more than tolerance (e.g. 0.20) below
+// baseline is a regression. Ungated workloads and workloads missing from
+// either side are reported as skipped, never failed.
+func CompareBench(baseline, current BenchReport, tolerance float64) error {
+	base := make(map[string]BenchResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var regressions []string
+	for _, cur := range current.Results {
+		b, ok := base[cur.Name]
+		if !ok || !b.Gate || !cur.Gate || b.OpsPerSec <= 0 {
+			continue
+		}
+		floor := b.OpsPerSec * (1 - tolerance)
+		if cur.OpsPerSec < floor {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ops/s < %.0f (baseline %.0f, tolerance %.0f%%)",
+					cur.Name, cur.OpsPerSec, floor, b.OpsPerSec, tolerance*100))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchmark regressions:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	return nil
+}

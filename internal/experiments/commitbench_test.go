@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCommitBenchGroupCommitWins is the acceptance shape at smoke scale:
+// even in a short window, group commit must beat per-commit fsync by ≥2×
+// at 32 writers on a 2ms serialized device — the gap the committed
+// BENCH_pr4.json records at full scale is ~15×.
+func TestCommitBenchGroupCommitWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke skipped in -short")
+	}
+	cfg := DefaultCommitBenchConfig()
+	cfg.Duration = 300 * time.Millisecond
+	rep, err := CommitBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]BenchResult)
+	for _, r := range rep.Results {
+		byName[r.Name] = r
+	}
+	per, group := byName["commit/per-fsync"], byName["commit/group"]
+	if per.Ops == 0 || group.Ops == 0 {
+		t.Fatalf("empty workloads: %+v", rep.Results)
+	}
+	if group.OpsPerSec < 2*per.OpsPerSec {
+		t.Fatalf("group commit %.0f ops/s < 2x per-fsync %.0f ops/s", group.OpsPerSec, per.OpsPerSec)
+	}
+	if group.Fsyncs >= int64(group.Ops) {
+		t.Fatalf("group commit paid %d fsyncs for %d ops: no batching", group.Fsyncs, group.Ops)
+	}
+	if !per.Gate || !group.Gate {
+		t.Fatal("commit workloads must be gated")
+	}
+	if byName["lockmgr/1shard"].Gate || byName["lockmgr/sharded"].Gate {
+		t.Fatal("lockmgr workloads are host-dependent and must not be gated")
+	}
+
+	// The JSON report round-trips through the CI comparison path.
+	out, err := MarshalBench(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareBench(back, rep, 0.20); err != nil {
+		t.Fatalf("self-comparison regressed: %v", err)
+	}
+}
+
+// TestCompareBench pins the gate semantics: gated regressions fail, ungated
+// and unknown workloads never do.
+func TestCompareBench(t *testing.T) {
+	base := BenchReport{Results: []BenchResult{
+		{Name: "commit/group", OpsPerSec: 1000, Gate: true},
+		{Name: "lockmgr/sharded", OpsPerSec: 1e6, Gate: false},
+	}}
+	ok := BenchReport{Results: []BenchResult{
+		{Name: "commit/group", OpsPerSec: 850, Gate: true},   // -15%: within tolerance
+		{Name: "lockmgr/sharded", OpsPerSec: 1, Gate: false}, // ungated: ignored
+		{Name: "brand-new", OpsPerSec: 1, Gate: true},        // no baseline: ignored
+	}}
+	if err := CompareBench(base, ok, 0.20); err != nil {
+		t.Fatalf("unexpected regression: %v", err)
+	}
+	bad := BenchReport{Results: []BenchResult{
+		{Name: "commit/group", OpsPerSec: 700, Gate: true}, // -30%
+	}}
+	err := CompareBench(base, bad, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "commit/group") {
+		t.Fatalf("expected commit/group regression, got %v", err)
+	}
+}

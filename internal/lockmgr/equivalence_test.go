@@ -1,0 +1,301 @@
+package lockmgr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"adhoctx/internal/storage"
+)
+
+// The equivalence property test: the sharded Manager must produce the exact
+// same grant/block/deadlock outcome trace as the single-mutex refManager on
+// randomized schedules of acquires, releases, upgrades, and gap operations.
+//
+// Schedules are applied sequentially (one op at a time, like sessions
+// arriving one after another), so outcomes are deterministic: blocking ops
+// run in their own goroutine, and after each op the driver waits for the
+// manager to quiesce before recording which parked ops completed. The
+// quiescence check is exact, not timing-based: a parked op is either
+// delivered (its goroutine ferried the result) or still sitting in a waiter
+// queue, and grant/enqueue/dequeue all happen atomically under the manager's
+// mutexes — so the driver polls until every undelivered op is accounted for
+// by a queued waiter. An owner with a parked op issues no further ops (a
+// blocked session cannot), which matches how the engine drives the manager.
+
+// lockAPI is the surface both implementations share.
+type lockAPI interface {
+	NewOwner(name string) *Owner
+	Acquire(o *Owner, key any, mode Mode) error
+	TryAcquire(o *Owner, key any, mode Mode) bool
+	Release(o *Owner, key any)
+	AcquireGap(o *Owner, space GapSpace, lo, hi storage.Value)
+	InsertIntent(o *Owner, space GapSpace, key storage.Value) error
+	ReleaseAll(o *Owner)
+	Shutdown()
+	HeldCount() int
+	waiterCount() int
+}
+
+// waiterCount reports how many row and gap waiters are parked, across shards.
+func (m *Manager) waiterCount() int {
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, ls := range sh.locks {
+			n += len(ls.queue)
+		}
+		n += len(sh.gapWaiters)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (m *refManager) waiterCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.gapWaiters)
+	for _, ls := range m.locks {
+		n += len(ls.queue)
+	}
+	return n
+}
+
+type opKind int
+
+const (
+	opAcquire opKind = iota
+	opTry
+	opRelease
+	opReleaseAll
+	opGap
+	opInsert
+)
+
+type schedOp struct {
+	kind   opKind
+	owner  int
+	key    string
+	mode   Mode
+	space  GapSpace
+	lo, hi storage.Value
+	gkey   storage.Value
+}
+
+const (
+	schedOwners = 4
+	schedKeys   = 5
+	schedOps    = 36
+)
+
+var gapSpaces = []GapSpace{
+	{Table: "orders", Col: "user_id"},
+	{Table: "stock", Col: "item_id"},
+}
+
+func genSchedule(rng *rand.Rand) []schedOp {
+	sched := make([]schedOp, schedOps)
+	for i := range sched {
+		op := schedOp{owner: rng.Intn(schedOwners)}
+		switch p := rng.Intn(100); {
+		case p < 50:
+			op.kind = opAcquire
+			op.key = fmt.Sprintf("k%d", rng.Intn(schedKeys))
+			if rng.Intn(2) == 0 {
+				op.mode = Exclusive
+			} else {
+				op.mode = Shared
+			}
+		case p < 60:
+			op.kind = opTry
+			op.key = fmt.Sprintf("k%d", rng.Intn(schedKeys))
+			if rng.Intn(2) == 0 {
+				op.mode = Exclusive
+			} else {
+				op.mode = Shared
+			}
+		case p < 75:
+			op.kind = opRelease
+			op.key = fmt.Sprintf("k%d", rng.Intn(schedKeys))
+		case p < 80:
+			op.kind = opReleaseAll
+		case p < 90:
+			op.kind = opGap
+			op.space = gapSpaces[rng.Intn(len(gapSpaces))]
+			lo := int64(rng.Intn(9))
+			op.lo, op.hi = lo, lo+1+int64(rng.Intn(4))
+			if rng.Intn(10) == 0 {
+				op.lo = nil
+			}
+			if rng.Intn(10) == 0 {
+				op.hi = nil
+			}
+		default:
+			op.kind = opInsert
+			op.space = gapSpaces[rng.Intn(len(gapSpaces))]
+			op.gkey = int64(rng.Intn(13))
+		}
+		sched[i] = op
+	}
+	return sched
+}
+
+// pendingOp is a parked blocking op awaiting its grant (or error).
+type pendingOp struct {
+	idx int
+	ch  chan error
+}
+
+func outcomeName(err error) string {
+	switch err {
+	case nil:
+		return "granted"
+	case ErrDeadlock:
+		return "deadlock"
+	case ErrShutdown:
+		return "shutdown"
+	case ErrTimeout:
+		return "timeout"
+	default:
+		return err.Error()
+	}
+}
+
+// runSchedule applies sched to m and returns the outcome trace.
+func runSchedule(m lockAPI, sched []schedOp) []string {
+	owners := make([]*Owner, schedOwners)
+	for i := range owners {
+		owners[i] = m.NewOwner(fmt.Sprintf("o%d", i))
+	}
+	outcomes := make([]string, len(sched))
+	trace := make([]string, 0, len(sched)+schedOwners+4)
+	pending := make(map[int]*pendingOp) // by owner index
+
+	// settle delivers every decided op result, attributing completions to
+	// schedule position `at` (the op that unparked them). It returns once
+	// each still-pending op is accounted for by a parked waiter — an exact
+	// condition, since enqueue/grant/dequeue are atomic under the manager's
+	// mutexes; the only thing waited on is goroutines ferrying results.
+	settle := func(at int) {
+		for {
+			progress := false
+			for oi, p := range pending {
+				select {
+				case err := <-p.ch:
+					outcomes[p.idx] = fmt.Sprintf("%s@%d", outcomeName(err), at)
+					delete(pending, oi)
+					progress = true
+				default:
+				}
+			}
+			if !progress && m.waiterCount() == len(pending) {
+				return
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+
+	for i, op := range sched {
+		if pending[op.owner] != nil {
+			outcomes[i] = "skip" // owner is a blocked session
+			continue
+		}
+		o := owners[op.owner]
+		switch op.kind {
+		case opAcquire:
+			p := &pendingOp{idx: i, ch: make(chan error, 1)}
+			pending[op.owner] = p
+			outcomes[i] = "parked"
+			go func(op schedOp) { p.ch <- m.Acquire(o, op.key, op.mode) }(op)
+		case opTry:
+			outcomes[i] = fmt.Sprintf("try:%v", m.TryAcquire(o, op.key, op.mode))
+		case opRelease:
+			m.Release(o, op.key)
+			outcomes[i] = "release"
+		case opReleaseAll:
+			m.ReleaseAll(o)
+			outcomes[i] = "releaseAll"
+		case opGap:
+			m.AcquireGap(o, op.space, op.lo, op.hi)
+			outcomes[i] = "gap"
+		case opInsert:
+			p := &pendingOp{idx: i, ch: make(chan error, 1)}
+			pending[op.owner] = p
+			outcomes[i] = "parked"
+			go func(op schedOp) { p.ch <- m.InsertIntent(o, op.space, op.gkey) }(op)
+		}
+		settle(i)
+		trace = append(trace, fmt.Sprintf("h%d=%d", i, m.HeldCount()))
+	}
+
+	// Drain: release every unblocked owner until parked ops complete.
+	// Blocked owners are skipped (a session cannot ReleaseAll mid-wait);
+	// the wait-for graph is acyclic, so each round frees at least one.
+	for round := 0; round < schedOwners+2; round++ {
+		for oi, o := range owners {
+			if pending[oi] == nil {
+				m.ReleaseAll(o)
+			}
+		}
+		settle(len(sched) + round)
+		if len(pending) == 0 {
+			break
+		}
+	}
+	for _, o := range owners {
+		m.ReleaseAll(o)
+	}
+	trace = append(trace, fmt.Sprintf("drained=%d pending=%d", m.HeldCount(), len(pending)))
+
+	m.Shutdown()
+	for oi, p := range pending {
+		select {
+		case err := <-p.ch:
+			outcomes[p.idx] = outcomeName(err) + "@end"
+		case <-time.After(2 * time.Second):
+			outcomes[p.idx] = "stuck"
+		}
+		delete(pending, oi)
+	}
+	return append(outcomes, trace...)
+}
+
+// TestShardedMatchesReference runs randomized schedules against the old
+// single-mutex manager and the sharded one and requires identical outcome
+// traces, across shard counts including the degenerate single shard.
+func TestShardedMatchesReference(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 40
+	}
+	shardCounts := []int{1, 2, 3, 4, 8, 16}
+	for s := 0; s < seeds; s++ {
+		s := s
+		t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) {
+			t.Parallel()
+			sched := genSchedule(rand.New(rand.NewSource(int64(s))))
+			shards := shardCounts[s%len(shardCounts)]
+			ref := runSchedule(newRefManager(0), sched)
+			got := runSchedule(NewSharded(0, shards), sched)
+			if len(ref) != len(got) {
+				t.Fatalf("trace length: ref=%d sharded=%d", len(ref), len(got))
+			}
+			for i := range ref {
+				if ref[i] != got[i] {
+					t.Errorf("shards=%d entry %d: ref=%q sharded=%q (op %+v)",
+						shards, i, ref[i], got[i], opAt(sched, i))
+				}
+			}
+		})
+	}
+}
+
+// opAt returns the schedule op for a trace index, or a zero op for the
+// trailing trace entries.
+func opAt(sched []schedOp, i int) schedOp {
+	if i < len(sched) {
+		return sched[i]
+	}
+	return schedOp{}
+}

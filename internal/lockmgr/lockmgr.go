@@ -3,14 +3,21 @@
 // InnoDB-style gap locks with insert-intention checks, advisory (user) locks,
 // and wait-for-graph deadlock detection with requester-aborts resolution.
 //
-// Everything runs under one manager mutex: the goal is faithful semantics at
-// web-application scale, not multicore lock-manager throughput. Waiters park
-// on buffered channels outside the mutex.
+// Lock state is partitioned by key hash into shards, each with its own
+// mutex, so uncontended acquires and releases — the hot path the paper's
+// Figure 2 measures — touch exactly one shard. The slow path (a request
+// that must park) takes every shard mutex in index order: enqueueing the
+// waiter and running deadlock detection over the cross-shard wait-for
+// snapshot happen atomically, which keeps the global detector exactly as
+// correct as the old single-mutex manager (kept as the reference
+// implementation in the equivalence property test). Waiters park on
+// buffered channels outside all mutexes.
 package lockmgr
 
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +76,12 @@ type GapSpace struct {
 	Col   string
 }
 
+// ShardHasher lets key types choose their own shard hash instead of the
+// generic maphash (the engine's hot row keys implement it).
+type ShardHasher interface {
+	LockShardHash() uint64
+}
+
 // waiter is one parked lock request.
 type waiter struct {
 	owner   *Owner
@@ -99,6 +112,17 @@ type gapWaiter struct {
 	ch    chan error
 }
 
+// shard is one partition of the lock tables. Every map is keyed only by
+// keys (or gap spaces) that hash to this shard, so all single-key work —
+// grant, release, queue admission — happens under one shard mutex.
+type shard struct {
+	mu         sync.Mutex
+	locks      map[any]*lockState
+	gaps       map[GapSpace][]*gapLock
+	gapWaiters []*gapWaiter
+	held       map[*Owner]map[any]Mode
+}
+
 // lmMetrics is the manager's resolved instrument set (see WireObs).
 type lmMetrics struct {
 	acquires    *obs.Counter
@@ -108,59 +132,144 @@ type lmMetrics struct {
 	deadlocks   *obs.Counter
 	timeouts    *obs.Counter
 	gapWaits    *obs.Counter
+	slowPaths   *obs.Counter
 	waitSeconds *obs.Histogram
+	// shardAcquires[i] counts acquires landing on shard i;
+	// shardContended[i] counts the ones that left the fast path. Together
+	// they are the shard-skew / contention picture.
+	shardAcquires  []*obs.Counter
+	shardContended []*obs.Counter
 }
+
+// DefaultShards is the lock-table partition count used when the caller does
+// not choose one. Sixteen shards keep the per-shard mutexes uncontended at
+// the study's client counts while the all-shards slow path stays cheap.
+const DefaultShards = 16
 
 // Manager is the lock manager. The zero value is not usable; call New.
 type Manager struct {
 	// WaitTimeout bounds every lock wait. Zero means wait forever.
 	WaitTimeout time.Duration
 
-	mu         sync.Mutex
-	locks      map[any]*lockState
-	gaps       map[GapSpace][]*gapLock
-	gapWaiters []*gapWaiter
-	held       map[*Owner]map[any]Mode
-	nextOwner  uint64
+	shards    []*shard
+	seed      maphash.Seed
+	nextOwner atomic.Uint64
 
 	om atomic.Pointer[lmMetrics]
 }
 
 // WireObs attaches the manager to reg: acquire/wait/upgrade counts, parked
-// wait durations, deadlock victims, and timeouts. A nil registry is a no-op;
-// the disabled hot path costs one atomic pointer load.
+// wait durations, deadlock victims, timeouts, and per-shard acquire and
+// contention counters. A nil registry is a no-op; the disabled hot path
+// costs one atomic pointer load.
 func (m *Manager) WireObs(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	m.om.Store(&lmMetrics{
-		acquires:    reg.Counter("lock_acquires_total"),
-		tryAcquires: reg.Counter("lock_try_acquires_total"),
-		waits:       reg.Counter("lock_waits_total"),
-		upgrades:    reg.Counter("lock_upgrades_total"),
-		deadlocks:   reg.Counter("lock_deadlocks_total"),
-		timeouts:    reg.Counter("lock_timeouts_total"),
-		gapWaits:    reg.Counter("lock_gap_waits_total"),
-		waitSeconds: reg.Histogram("lock_wait_seconds"),
-	})
+	lm := &lmMetrics{
+		acquires:       reg.Counter("lock_acquires_total"),
+		tryAcquires:    reg.Counter("lock_try_acquires_total"),
+		waits:          reg.Counter("lock_waits_total"),
+		upgrades:       reg.Counter("lock_upgrades_total"),
+		deadlocks:      reg.Counter("lock_deadlocks_total"),
+		timeouts:       reg.Counter("lock_timeouts_total"),
+		gapWaits:       reg.Counter("lock_gap_waits_total"),
+		slowPaths:      reg.Counter("lock_slow_paths_total"),
+		waitSeconds:    reg.Histogram("lock_wait_seconds"),
+		shardAcquires:  make([]*obs.Counter, len(m.shards)),
+		shardContended: make([]*obs.Counter, len(m.shards)),
+	}
+	for i := range m.shards {
+		lm.shardAcquires[i] = reg.Counter(fmt.Sprintf("lock_shard_acquires_total{shard=%q}", fmt.Sprintf("%02d", i)))
+		lm.shardContended[i] = reg.Counter(fmt.Sprintf("lock_shard_contended_total{shard=%q}", fmt.Sprintf("%02d", i)))
+	}
+	m.om.Store(lm)
 }
 
-// New returns an empty manager with the given wait timeout (0 = no timeout).
+// New returns an empty manager with the given wait timeout (0 = no timeout)
+// and DefaultShards lock-table shards.
 func New(timeout time.Duration) *Manager {
-	return &Manager{
-		WaitTimeout: timeout,
-		locks:       make(map[any]*lockState),
-		gaps:        make(map[GapSpace][]*gapLock),
-		held:        make(map[*Owner]map[any]Mode),
-	}
+	return NewSharded(timeout, DefaultShards)
 }
+
+// NewSharded returns an empty manager with the given wait timeout and shard
+// count (0 or negative = DefaultShards; 1 degenerates to the old
+// single-mutex behaviour).
+func NewSharded(timeout time.Duration, shards int) *Manager {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	m := &Manager{WaitTimeout: timeout, seed: maphash.MakeSeed()}
+	m.shards = make([]*shard, shards)
+	for i := range m.shards {
+		m.shards[i] = &shard{
+			locks: make(map[any]*lockState),
+			gaps:  make(map[GapSpace][]*gapLock),
+			held:  make(map[*Owner]map[any]Mode),
+		}
+	}
+	return m
+}
+
+// Shards returns the manager's shard count.
+func (m *Manager) Shards() int { return len(m.shards) }
 
 // NewOwner mints a fresh owner.
 func (m *Manager) NewOwner(name string) *Owner {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.nextOwner++
-	return &Owner{ID: m.nextOwner, Name: name}
+	return &Owner{ID: m.nextOwner.Add(1), Name: name}
+}
+
+// hashKey maps a lockable key to a shard index.
+func (m *Manager) hashKey(key any) int {
+	var h uint64
+	switch k := key.(type) {
+	case ShardHasher:
+		h = k.LockShardHash()
+	case string:
+		h = maphash.String(m.seed, k)
+	case int64:
+		h = splitmix64(uint64(k))
+	case int:
+		h = splitmix64(uint64(k))
+	default:
+		h = maphash.String(m.seed, fmt.Sprintf("%T/%v", key, key))
+	}
+	return int(h % uint64(len(m.shards)))
+}
+
+// hashSpace maps a gap space to a shard index.
+func (m *Manager) hashSpace(space GapSpace) int {
+	return int(maphash.String(m.seed, space.Table+"\x00"+space.Col) % uint64(len(m.shards)))
+}
+
+// splitmix64 is the finalizer from Vigna's splitmix64: cheap and
+// well-distributed for sequential integer keys.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (m *Manager) shardFor(key any) (*shard, int) {
+	i := m.hashKey(key)
+	return m.shards[i], i
+}
+
+// lockAll acquires every shard mutex in index order — the slow path's
+// cross-shard snapshot. unlockAll releases them in reverse.
+func (m *Manager) lockAll() {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (m *Manager) unlockAll() {
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		m.shards[i].mu.Unlock()
+	}
 }
 
 // Acquire blocks until o holds key in at least the requested mode, a
@@ -168,92 +277,63 @@ func (m *Manager) NewOwner(name string) *Owner {
 // already-held key in the same or weaker mode is a no-op; requesting
 // Exclusive while holding Shared performs an upgrade.
 func (m *Manager) Acquire(o *Owner, key any, mode Mode) error {
-	if om := m.om.Load(); om != nil {
+	om := m.om.Load()
+	sh, idx := m.shardFor(key)
+	if om != nil {
 		om.acquires.Inc()
+		om.shardAcquires[idx].Inc()
 	}
-	m.mu.Lock()
-	ls := m.lockFor(key)
-	if cur, ok := ls.holders[o]; ok {
-		if cur == Exclusive || mode == Shared {
-			m.mu.Unlock()
-			return nil // already sufficient
-		}
-		// Upgrade S→X.
-		if om := m.om.Load(); om != nil {
-			om.upgrades.Inc()
-		}
-		if len(ls.holders) == 1 {
-			ls.holders[o] = Exclusive
-			m.held[o][key] = Exclusive
-			m.mu.Unlock()
-			return nil
-		}
-		w := &waiter{owner: o, mode: Exclusive, upgrade: true, ch: make(chan error, 1)}
-		// Upgrades queue ahead of ordinary waiters.
+
+	// Fast path: every outcome that does not park touches only this shard.
+	sh.mu.Lock()
+	if done, err := m.fastAcquire(sh, o, key, mode, om); done {
+		sh.mu.Unlock()
+		return err
+	}
+	sh.mu.Unlock()
+
+	// Slow path: the request would park. Take the full cross-shard snapshot
+	// so enqueueing the waiter and deadlock detection are one atomic step —
+	// two requests racing on different shards must see each other's waits.
+	if om != nil {
+		om.slowPaths.Inc()
+		om.shardContended[idx].Inc()
+	}
+	m.lockAll()
+	// State may have moved while we dropped the shard lock; re-run the
+	// grant logic before parking (nil metrics: the attempt above already
+	// counted this request's upgrade).
+	if done, err := m.fastAcquire(sh, o, key, mode, nil); done {
+		m.unlockAll()
+		return err
+	}
+	ls := sh.lockFor(key)
+	var w *waiter
+	if _, held := ls.holders[o]; held {
+		// Upgrade S→X against other holders: queue ahead of ordinary waiters.
+		w = &waiter{owner: o, mode: Exclusive, upgrade: true, ch: make(chan error, 1)}
 		ls.queue = append([]*waiter{w}, ls.queue...)
-		return m.park(o, key, ls, w)
+	} else {
+		w = &waiter{owner: o, mode: mode, ch: make(chan error, 1)}
+		ls.queue = append(ls.queue, w)
 	}
-	if m.grantable(ls, o, mode) {
-		ls.holders[o] = mode
-		m.noteHeld(o, key, mode)
-		m.mu.Unlock()
-		return nil
-	}
-	w := &waiter{owner: o, mode: mode, ch: make(chan error, 1)}
-	ls.queue = append(ls.queue, w)
-	return m.park(o, key, ls, w)
-}
-
-// TryAcquire attempts a non-blocking acquire and reports whether it was
-// granted. Used by SETNX-style primitives and NOWAIT statements.
-func (m *Manager) TryAcquire(o *Owner, key any, mode Mode) bool {
-	if om := m.om.Load(); om != nil {
-		om.tryAcquires.Inc()
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls := m.lockFor(key)
-	if cur, ok := ls.holders[o]; ok {
-		if cur == Exclusive || mode == Shared {
-			return true
-		}
-		if len(ls.holders) == 1 {
-			ls.holders[o] = Exclusive
-			m.held[o][key] = Exclusive
-			return true
-		}
-		return false
-	}
-	if len(ls.queue) == 0 && m.grantable(ls, o, mode) {
-		ls.holders[o] = mode
-		m.noteHeld(o, key, mode)
-		return true
-	}
-	return false
-}
-
-// park finishes a blocking acquire: it runs deadlock detection, releases the
-// manager mutex, and waits on the waiter's channel. Called with m.mu held;
-// returns with it released.
-func (m *Manager) park(o *Owner, key any, ls *lockState, w *waiter) error {
 	if m.wouldDeadlock(o) {
-		m.removeWaiter(ls, w)
-		m.mu.Unlock()
-		if om := m.om.Load(); om != nil {
+		sh.removeWaiter(ls, w)
+		m.unlockAll()
+		if om != nil {
 			om.deadlocks.Inc()
 		}
 		return ErrDeadlock
 	}
 	timeout := m.WaitTimeout
-	m.mu.Unlock()
+	m.unlockAll()
 
-	om := m.om.Load()
 	var start time.Time
 	if om != nil {
 		om.waits.Inc()
 		start = time.Now()
 	}
-	err := m.awaitGrant(w, ls, timeout)
+	err := m.awaitGrant(sh, w, ls, timeout)
 	if om != nil {
 		om.waitSeconds.Since(start)
 		if err == ErrTimeout {
@@ -263,9 +343,67 @@ func (m *Manager) park(o *Owner, key any, ls *lockState, w *waiter) error {
 	return err
 }
 
+// fastAcquire attempts every non-parking outcome of Acquire under the
+// key's shard mutex (which the caller holds — either alone or as part of
+// the full snapshot). It reports whether the acquire completed, and with
+// what result.
+func (m *Manager) fastAcquire(sh *shard, o *Owner, key any, mode Mode, om *lmMetrics) (bool, error) {
+	ls := sh.lockFor(key)
+	if cur, ok := ls.holders[o]; ok {
+		if cur == Exclusive || mode == Shared {
+			return true, nil // already sufficient
+		}
+		// Upgrade S→X.
+		if om != nil {
+			om.upgrades.Inc()
+		}
+		if len(ls.holders) == 1 {
+			ls.holders[o] = Exclusive
+			sh.noteHeld(o, key, Exclusive)
+			return true, nil
+		}
+		return false, nil
+	}
+	if grantable(ls, o, mode) {
+		ls.holders[o] = mode
+		sh.noteHeld(o, key, mode)
+		return true, nil
+	}
+	return false, nil
+}
+
+// TryAcquire attempts a non-blocking acquire and reports whether it was
+// granted. Used by SETNX-style primitives and NOWAIT statements.
+func (m *Manager) TryAcquire(o *Owner, key any, mode Mode) bool {
+	if om := m.om.Load(); om != nil {
+		om.tryAcquires.Inc()
+	}
+	sh, _ := m.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls := sh.lockFor(key)
+	if cur, ok := ls.holders[o]; ok {
+		if cur == Exclusive || mode == Shared {
+			return true
+		}
+		if len(ls.holders) == 1 {
+			ls.holders[o] = Exclusive
+			sh.held[o][key] = Exclusive
+			return true
+		}
+		return false
+	}
+	if len(ls.queue) == 0 && grantable(ls, o, mode) {
+		ls.holders[o] = mode
+		sh.noteHeld(o, key, mode)
+		return true
+	}
+	return false
+}
+
 // awaitGrant blocks on the waiter's channel, honouring the manager timeout.
-// Called without m.mu held.
-func (m *Manager) awaitGrant(w *waiter, ls *lockState, timeout time.Duration) error {
+// Called without any shard mutex held.
+func (m *Manager) awaitGrant(sh *shard, w *waiter, ls *lockState, timeout time.Duration) error {
 	if timeout <= 0 {
 		return <-w.ch
 	}
@@ -275,42 +413,43 @@ func (m *Manager) awaitGrant(w *waiter, ls *lockState, timeout time.Duration) er
 	case err := <-w.ch:
 		return err
 	case <-timer.C:
-		m.mu.Lock()
+		sh.mu.Lock()
 		// The grant may have raced the timer.
 		select {
 		case err := <-w.ch:
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			return err
 		default:
 		}
-		m.removeWaiter(ls, w)
-		m.mu.Unlock()
+		sh.removeWaiter(ls, w)
+		sh.mu.Unlock()
 		return ErrTimeout
 	}
 }
 
-// lockFor returns (creating if needed) the state for key. Caller holds m.mu.
-func (m *Manager) lockFor(key any) *lockState {
-	ls, ok := m.locks[key]
+// lockFor returns (creating if needed) the state for key. Caller holds
+// sh.mu.
+func (sh *shard) lockFor(key any) *lockState {
+	ls, ok := sh.locks[key]
 	if !ok {
 		ls = &lockState{holders: make(map[*Owner]Mode)}
-		m.locks[key] = ls
+		sh.locks[key] = ls
 	}
 	return ls
 }
 
-func (m *Manager) noteHeld(o *Owner, key any, mode Mode) {
-	hm := m.held[o]
+func (sh *shard) noteHeld(o *Owner, key any, mode Mode) {
+	hm := sh.held[o]
 	if hm == nil {
 		hm = make(map[any]Mode)
-		m.held[o] = hm
+		sh.held[o] = hm
 	}
 	hm[key] = mode
 }
 
 // grantable reports whether o could hold key in mode alongside the current
-// holders, ignoring the queue. Caller holds m.mu.
-func (m *Manager) grantable(ls *lockState, o *Owner, mode Mode) bool {
+// holders, ignoring the queue. Caller holds the key's shard mutex.
+func grantable(ls *lockState, o *Owner, mode Mode) bool {
 	for h, hm := range ls.holders {
 		if h == o {
 			continue
@@ -322,7 +461,7 @@ func (m *Manager) grantable(ls *lockState, o *Owner, mode Mode) bool {
 	return true
 }
 
-func (m *Manager) removeWaiter(ls *lockState, w *waiter) {
+func (sh *shard) removeWaiter(ls *lockState, w *waiter) {
 	for i, q := range ls.queue {
 		if q == w {
 			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
@@ -335,13 +474,14 @@ func (m *Manager) removeWaiter(ls *lockState, w *waiter) {
 // release breaks two-phase locking — which is exactly what the buggy
 // Select-For-Update usage in Spree does (§4.1.1), so the primitive exists.
 func (m *Manager) Release(o *Owner, key any) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.releaseLocked(o, key)
+	sh, _ := m.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.releaseLocked(o, key)
 }
 
-func (m *Manager) releaseLocked(o *Owner, key any) {
-	ls, ok := m.locks[key]
+func (sh *shard) releaseLocked(o *Owner, key any) {
+	ls, ok := sh.locks[key]
 	if !ok {
 		return
 	}
@@ -349,22 +489,25 @@ func (m *Manager) releaseLocked(o *Owner, key any) {
 		return
 	}
 	delete(ls.holders, o)
-	if hm := m.held[o]; hm != nil {
+	if hm := sh.held[o]; hm != nil {
 		delete(hm, key)
+		if len(hm) == 0 {
+			delete(sh.held, o)
+		}
 	}
-	m.grantFrom(key, ls)
+	sh.grantFrom(key, ls)
 }
 
 // grantFrom admits queued waiters in FIFO order (upgrades live at the head)
-// until an incompatible waiter is reached. Caller holds m.mu.
-func (m *Manager) grantFrom(key any, ls *lockState) {
+// until an incompatible waiter is reached. Caller holds sh.mu.
+func (sh *shard) grantFrom(key any, ls *lockState) {
 	for len(ls.queue) > 0 {
 		w := ls.queue[0]
 		if w.upgrade {
 			if len(ls.holders) == 1 {
 				if _, stillHolds := ls.holders[w.owner]; stillHolds {
 					ls.holders[w.owner] = Exclusive
-					m.noteHeld(w.owner, key, Exclusive)
+					sh.noteHeld(w.owner, key, Exclusive)
 					ls.queue = ls.queue[1:]
 					w.ch <- nil
 					continue
@@ -373,16 +516,16 @@ func (m *Manager) grantFrom(key any, ls *lockState) {
 			// Upgrader still blocked by other holders.
 			return
 		}
-		if !m.grantable(ls, w.owner, w.mode) {
+		if !grantable(ls, w.owner, w.mode) {
 			return
 		}
 		ls.holders[w.owner] = w.mode
-		m.noteHeld(w.owner, key, w.mode)
+		sh.noteHeld(w.owner, key, w.mode)
 		ls.queue = ls.queue[1:]
 		w.ch <- nil
 	}
 	if len(ls.holders) == 0 && len(ls.queue) == 0 {
-		delete(m.locks, key)
+		delete(sh.locks, key)
 	}
 }
 
@@ -390,31 +533,41 @@ func (m *Manager) grantFrom(key any, ls *lockState) {
 // Gap locks never block (they are mutually compatible); they block later
 // insert intentions inside the interval.
 func (m *Manager) AcquireGap(o *Owner, space GapSpace, lo, hi storage.Value) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.gaps[space] = append(m.gaps[space], &gapLock{owner: o, lo: lo, hi: hi})
+	sh := m.shards[m.hashSpace(space)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.gaps[space] = append(sh.gaps[space], &gapLock{owner: o, lo: lo, hi: hi})
 }
 
 // InsertIntent blocks until no other owner holds a gap lock covering key in
 // space. It participates in deadlock detection.
 func (m *Manager) InsertIntent(o *Owner, space GapSpace, key storage.Value) error {
-	m.mu.Lock()
-	if !m.gapConflict(o, space, key) {
-		m.mu.Unlock()
+	sh := m.shards[m.hashSpace(space)]
+	sh.mu.Lock()
+	if !sh.gapConflict(o, space, key) {
+		sh.mu.Unlock()
+		return nil
+	}
+	sh.mu.Unlock()
+
+	// Parking: same cross-shard discipline as Acquire's slow path.
+	m.lockAll()
+	if !sh.gapConflict(o, space, key) {
+		m.unlockAll()
 		return nil
 	}
 	gw := &gapWaiter{owner: o, space: space, key: key, ch: make(chan error, 1)}
-	m.gapWaiters = append(m.gapWaiters, gw)
+	sh.gapWaiters = append(sh.gapWaiters, gw)
 	if m.wouldDeadlock(o) {
-		m.removeGapWaiter(gw)
-		m.mu.Unlock()
+		sh.removeGapWaiter(gw)
+		m.unlockAll()
 		if om := m.om.Load(); om != nil {
 			om.deadlocks.Inc()
 		}
 		return ErrDeadlock
 	}
 	timeout := m.WaitTimeout
-	m.mu.Unlock()
+	m.unlockAll()
 
 	om := m.om.Load()
 	var start time.Time
@@ -422,7 +575,7 @@ func (m *Manager) InsertIntent(o *Owner, space GapSpace, key storage.Value) erro
 		om.gapWaits.Inc()
 		start = time.Now()
 	}
-	err := m.awaitGapGrant(gw, timeout)
+	err := m.awaitGapGrant(sh, gw, timeout)
 	if om != nil {
 		om.waitSeconds.Since(start)
 		if err == ErrTimeout {
@@ -433,8 +586,8 @@ func (m *Manager) InsertIntent(o *Owner, space GapSpace, key storage.Value) erro
 }
 
 // awaitGapGrant blocks on a parked insert intention, honouring the manager
-// timeout. Called without m.mu held.
-func (m *Manager) awaitGapGrant(gw *gapWaiter, timeout time.Duration) error {
+// timeout. Called without any shard mutex held.
+func (m *Manager) awaitGapGrant(sh *shard, gw *gapWaiter, timeout time.Duration) error {
 	if timeout <= 0 {
 		return <-gw.ch
 	}
@@ -444,23 +597,23 @@ func (m *Manager) awaitGapGrant(gw *gapWaiter, timeout time.Duration) error {
 	case err := <-gw.ch:
 		return err
 	case <-timer.C:
-		m.mu.Lock()
+		sh.mu.Lock()
 		select {
 		case err := <-gw.ch:
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			return err
 		default:
 		}
-		m.removeGapWaiter(gw)
-		m.mu.Unlock()
+		sh.removeGapWaiter(gw)
+		sh.mu.Unlock()
 		return ErrTimeout
 	}
 }
 
 // gapConflict reports whether another owner's gap lock covers key. Caller
-// holds m.mu.
-func (m *Manager) gapConflict(o *Owner, space GapSpace, key storage.Value) bool {
-	for _, g := range m.gaps[space] {
+// holds the space's shard mutex.
+func (sh *shard) gapConflict(o *Owner, space GapSpace, key storage.Value) bool {
+	for _, g := range sh.gaps[space] {
 		if g.owner == o {
 			continue
 		}
@@ -481,84 +634,91 @@ func inOpenInterval(key, lo, hi storage.Value) bool {
 	return true
 }
 
-func (m *Manager) removeGapWaiter(gw *gapWaiter) {
-	for i, w := range m.gapWaiters {
+func (sh *shard) removeGapWaiter(gw *gapWaiter) {
+	for i, w := range sh.gapWaiters {
 		if w == gw {
-			m.gapWaiters = append(m.gapWaiters[:i], m.gapWaiters[i+1:]...)
+			sh.gapWaiters = append(sh.gapWaiters[:i], sh.gapWaiters[i+1:]...)
 			return
 		}
 	}
 }
 
 // ReleaseAll drops every lock and gap lock o holds (transaction end) and
-// wakes whatever becomes grantable.
+// wakes whatever becomes grantable. Shards are visited one at a time; no
+// global lock is needed because release never parks.
 func (m *Manager) ReleaseAll(o *Owner) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if hm := m.held[o]; hm != nil {
-		keys := make([]any, 0, len(hm))
-		for k := range hm {
-			keys = append(keys, k)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		if hm := sh.held[o]; hm != nil {
+			keys := make([]any, 0, len(hm))
+			for k := range hm {
+				keys = append(keys, k)
+			}
+			for _, k := range keys {
+				sh.releaseLocked(o, k)
+			}
+			delete(sh.held, o)
 		}
-		for _, k := range keys {
-			m.releaseLocked(o, k)
-		}
-		delete(m.held, o)
-	}
-	for space, gs := range m.gaps {
-		kept := gs[:0]
-		for _, g := range gs {
-			if g.owner != o {
-				kept = append(kept, g)
+		for space, gs := range sh.gaps {
+			kept := gs[:0]
+			for _, g := range gs {
+				if g.owner != o {
+					kept = append(kept, g)
+				}
+			}
+			if len(kept) == 0 {
+				delete(sh.gaps, space)
+			} else {
+				sh.gaps[space] = kept
 			}
 		}
-		if len(kept) == 0 {
-			delete(m.gaps, space)
-		} else {
-			m.gaps[space] = kept
+		// Re-evaluate parked insert intentions for this shard's spaces.
+		still := sh.gapWaiters[:0]
+		for _, gw := range sh.gapWaiters {
+			if sh.gapConflict(gw.owner, gw.space, gw.key) {
+				still = append(still, gw)
+				continue
+			}
+			gw.ch <- nil
 		}
+		sh.gapWaiters = still
+		sh.mu.Unlock()
 	}
-	// Re-evaluate parked insert intentions.
-	still := m.gapWaiters[:0]
-	for _, gw := range m.gapWaiters {
-		if m.gapConflict(gw.owner, gw.space, gw.key) {
-			still = append(still, gw)
-			continue
-		}
-		gw.ch <- nil
-	}
-	m.gapWaiters = still
 }
 
 // Shutdown wakes every parked waiter with ErrShutdown and clears all lock
 // state. The engine calls it when the database crashes: blocked sessions
 // must see a connection error, not hang on locks nobody will ever release.
 func (m *Manager) Shutdown() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for key, ls := range m.locks {
-		for _, w := range ls.queue {
-			w.ch <- ErrShutdown
+	m.lockAll()
+	defer m.unlockAll()
+	for _, sh := range m.shards {
+		for key, ls := range sh.locks {
+			for _, w := range ls.queue {
+				w.ch <- ErrShutdown
+			}
+			ls.queue = nil
+			delete(sh.locks, key)
 		}
-		ls.queue = nil
-		delete(m.locks, key)
+		for _, gw := range sh.gapWaiters {
+			gw.ch <- ErrShutdown
+		}
+		sh.gapWaiters = nil
+		sh.gaps = make(map[GapSpace][]*gapLock)
+		sh.held = make(map[*Owner]map[any]Mode)
 	}
-	for _, gw := range m.gapWaiters {
-		gw.ch <- ErrShutdown
-	}
-	m.gapWaiters = nil
-	m.gaps = make(map[GapSpace][]*gapLock)
-	m.held = make(map[*Owner]map[any]Mode)
 }
 
 // Held returns the modes of all keys o currently holds (diagnostics, tests,
 // and the analyzer's lock-scope detector).
 func (m *Manager) Held(o *Owner) map[any]Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[any]Mode, len(m.held[o]))
-	for k, v := range m.held[o] {
-		out[k] = v
+	out := make(map[any]Mode)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for k, v := range sh.held[o] {
+			out[k] = v
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -569,14 +729,16 @@ func (m *Manager) Held(o *Owner) map[any]Mode {
 // leaked by a crashed or abandoned transaction — the paper's §4.3 stuck-lock
 // failure made observable.
 func (m *Manager) HeldCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	n := 0
-	for _, hm := range m.held {
-		n += len(hm)
-	}
-	for _, gs := range m.gaps {
-		n += len(gs)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, hm := range sh.held {
+			n += len(hm)
+		}
+		for _, gs := range sh.gaps {
+			n += len(gs)
+		}
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -584,8 +746,9 @@ func (m *Manager) HeldCount() int {
 // ---- deadlock detection ----
 
 // wouldDeadlock runs a DFS over the wait-for graph from o, returning true if
-// o can reach itself. Caller holds m.mu. The requester is always the victim:
-// deterministic and sufficient for the study's scenarios.
+// o can reach itself. Caller holds every shard mutex (the cross-shard
+// wait-for snapshot). The requester is always the victim: deterministic and
+// sufficient for the study's scenarios.
 func (m *Manager) wouldDeadlock(start *Owner) bool {
 	visited := make(map[*Owner]bool)
 	var dfs func(o *Owner) bool
@@ -607,7 +770,8 @@ func (m *Manager) wouldDeadlock(start *Owner) bool {
 	return dfs(start)
 }
 
-// waitsFor returns the owners o is currently blocked on. Caller holds m.mu.
+// waitsFor returns the owners o is currently blocked on. Caller holds every
+// shard mutex.
 func (m *Manager) waitsFor(o *Owner) []*Owner {
 	var out []*Owner
 	add := func(other *Owner) {
@@ -621,35 +785,37 @@ func (m *Manager) waitsFor(o *Owner) []*Owner {
 		}
 		out = append(out, other)
 	}
-	for _, ls := range m.locks {
-		for i, w := range ls.queue {
-			if w.owner != o {
-				continue
-			}
-			// Blocked on incompatible holders...
-			for h, hm := range ls.holders {
-				if h == o {
+	for _, sh := range m.shards {
+		for _, ls := range sh.locks {
+			for i, w := range ls.queue {
+				if w.owner != o {
 					continue
 				}
-				if w.mode == Exclusive || hm == Exclusive {
-					add(h)
+				// Blocked on incompatible holders...
+				for h, hm := range ls.holders {
+					if h == o {
+						continue
+					}
+					if w.mode == Exclusive || hm == Exclusive {
+						add(h)
+					}
 				}
-			}
-			// ...and on earlier incompatible waiters (FIFO).
-			for _, e := range ls.queue[:i] {
-				if e.owner != o && (w.mode == Exclusive || e.mode == Exclusive) {
-					add(e.owner)
+				// ...and on earlier incompatible waiters (FIFO).
+				for _, e := range ls.queue[:i] {
+					if e.owner != o && (w.mode == Exclusive || e.mode == Exclusive) {
+						add(e.owner)
+					}
 				}
 			}
 		}
-	}
-	for _, gw := range m.gapWaiters {
-		if gw.owner != o {
-			continue
-		}
-		for _, g := range m.gaps[gw.space] {
-			if g.owner != o && inOpenInterval(gw.key, g.lo, g.hi) {
-				add(g.owner)
+		for _, gw := range sh.gapWaiters {
+			if gw.owner != o {
+				continue
+			}
+			for _, g := range sh.gaps[gw.space] {
+				if g.owner != o && inOpenInterval(gw.key, g.lo, g.hi) {
+					add(g.owner)
+				}
 			}
 		}
 	}

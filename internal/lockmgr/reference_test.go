@@ -1,0 +1,423 @@
+package lockmgr
+
+import (
+	"sync"
+	"time"
+
+	"adhoctx/internal/storage"
+)
+
+// refManager is the pre-sharding single-mutex lock manager, kept verbatim
+// (modulo metrics) as the reference implementation for the equivalence
+// property test: the sharded Manager must be observationally equivalent to
+// this one on any schedule of acquires, releases, upgrades, and gap
+// operations. Do not "improve" it — its value is that it is the old code.
+type refManager struct {
+	WaitTimeout time.Duration
+
+	mu         sync.Mutex
+	locks      map[any]*lockState
+	gaps       map[GapSpace][]*gapLock
+	gapWaiters []*gapWaiter
+	held       map[*Owner]map[any]Mode
+	nextOwner  uint64
+}
+
+func newRefManager(timeout time.Duration) *refManager {
+	return &refManager{
+		WaitTimeout: timeout,
+		locks:       make(map[any]*lockState),
+		gaps:        make(map[GapSpace][]*gapLock),
+		held:        make(map[*Owner]map[any]Mode),
+	}
+}
+
+func (m *refManager) NewOwner(name string) *Owner {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextOwner++
+	return &Owner{ID: m.nextOwner, Name: name}
+}
+
+func (m *refManager) Acquire(o *Owner, key any, mode Mode) error {
+	m.mu.Lock()
+	ls := m.lockFor(key)
+	if cur, ok := ls.holders[o]; ok {
+		if cur == Exclusive || mode == Shared {
+			m.mu.Unlock()
+			return nil // already sufficient
+		}
+		if len(ls.holders) == 1 {
+			ls.holders[o] = Exclusive
+			m.held[o][key] = Exclusive
+			m.mu.Unlock()
+			return nil
+		}
+		w := &waiter{owner: o, mode: Exclusive, upgrade: true, ch: make(chan error, 1)}
+		ls.queue = append([]*waiter{w}, ls.queue...)
+		return m.park(o, key, ls, w)
+	}
+	if m.grantable(ls, o, mode) {
+		ls.holders[o] = mode
+		m.noteHeld(o, key, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	w := &waiter{owner: o, mode: mode, ch: make(chan error, 1)}
+	ls.queue = append(ls.queue, w)
+	return m.park(o, key, ls, w)
+}
+
+func (m *refManager) TryAcquire(o *Owner, key any, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.lockFor(key)
+	if cur, ok := ls.holders[o]; ok {
+		if cur == Exclusive || mode == Shared {
+			return true
+		}
+		if len(ls.holders) == 1 {
+			ls.holders[o] = Exclusive
+			m.held[o][key] = Exclusive
+			return true
+		}
+		return false
+	}
+	if len(ls.queue) == 0 && m.grantable(ls, o, mode) {
+		ls.holders[o] = mode
+		m.noteHeld(o, key, mode)
+		return true
+	}
+	return false
+}
+
+func (m *refManager) park(o *Owner, key any, ls *lockState, w *waiter) error {
+	if m.wouldDeadlock(o) {
+		m.removeWaiter(ls, w)
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	timeout := m.WaitTimeout
+	m.mu.Unlock()
+	return m.awaitGrant(w, ls, timeout)
+}
+
+func (m *refManager) awaitGrant(w *waiter, ls *lockState, timeout time.Duration) error {
+	if timeout <= 0 {
+		return <-w.ch
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-w.ch:
+		return err
+	case <-timer.C:
+		m.mu.Lock()
+		select {
+		case err := <-w.ch:
+			m.mu.Unlock()
+			return err
+		default:
+		}
+		m.removeWaiter(ls, w)
+		m.mu.Unlock()
+		return ErrTimeout
+	}
+}
+
+func (m *refManager) lockFor(key any) *lockState {
+	ls, ok := m.locks[key]
+	if !ok {
+		ls = &lockState{holders: make(map[*Owner]Mode)}
+		m.locks[key] = ls
+	}
+	return ls
+}
+
+func (m *refManager) noteHeld(o *Owner, key any, mode Mode) {
+	hm := m.held[o]
+	if hm == nil {
+		hm = make(map[any]Mode)
+		m.held[o] = hm
+	}
+	hm[key] = mode
+}
+
+func (m *refManager) grantable(ls *lockState, o *Owner, mode Mode) bool {
+	for h, hm := range ls.holders {
+		if h == o {
+			continue
+		}
+		if mode == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *refManager) removeWaiter(ls *lockState, w *waiter) {
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+func (m *refManager) Release(o *Owner, key any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(o, key)
+}
+
+func (m *refManager) releaseLocked(o *Owner, key any) {
+	ls, ok := m.locks[key]
+	if !ok {
+		return
+	}
+	if _, held := ls.holders[o]; !held {
+		return
+	}
+	delete(ls.holders, o)
+	if hm := m.held[o]; hm != nil {
+		delete(hm, key)
+	}
+	m.grantFrom(key, ls)
+}
+
+func (m *refManager) grantFrom(key any, ls *lockState) {
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		if w.upgrade {
+			if len(ls.holders) == 1 {
+				if _, stillHolds := ls.holders[w.owner]; stillHolds {
+					ls.holders[w.owner] = Exclusive
+					m.noteHeld(w.owner, key, Exclusive)
+					ls.queue = ls.queue[1:]
+					w.ch <- nil
+					continue
+				}
+			}
+			return
+		}
+		if !m.grantable(ls, w.owner, w.mode) {
+			return
+		}
+		ls.holders[w.owner] = w.mode
+		m.noteHeld(w.owner, key, w.mode)
+		ls.queue = ls.queue[1:]
+		w.ch <- nil
+	}
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, key)
+	}
+}
+
+func (m *refManager) AcquireGap(o *Owner, space GapSpace, lo, hi storage.Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gaps[space] = append(m.gaps[space], &gapLock{owner: o, lo: lo, hi: hi})
+}
+
+func (m *refManager) InsertIntent(o *Owner, space GapSpace, key storage.Value) error {
+	m.mu.Lock()
+	if !m.gapConflict(o, space, key) {
+		m.mu.Unlock()
+		return nil
+	}
+	gw := &gapWaiter{owner: o, space: space, key: key, ch: make(chan error, 1)}
+	m.gapWaiters = append(m.gapWaiters, gw)
+	if m.wouldDeadlock(o) {
+		m.removeGapWaiter(gw)
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	timeout := m.WaitTimeout
+	m.mu.Unlock()
+	if timeout <= 0 {
+		return <-gw.ch
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-gw.ch:
+		return err
+	case <-timer.C:
+		m.mu.Lock()
+		select {
+		case err := <-gw.ch:
+			m.mu.Unlock()
+			return err
+		default:
+		}
+		m.removeGapWaiter(gw)
+		m.mu.Unlock()
+		return ErrTimeout
+	}
+}
+
+func (m *refManager) gapConflict(o *Owner, space GapSpace, key storage.Value) bool {
+	for _, g := range m.gaps[space] {
+		if g.owner == o {
+			continue
+		}
+		if inOpenInterval(key, g.lo, g.hi) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *refManager) removeGapWaiter(gw *gapWaiter) {
+	for i, w := range m.gapWaiters {
+		if w == gw {
+			m.gapWaiters = append(m.gapWaiters[:i], m.gapWaiters[i+1:]...)
+			return
+		}
+	}
+}
+
+func (m *refManager) ReleaseAll(o *Owner) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hm := m.held[o]; hm != nil {
+		keys := make([]any, 0, len(hm))
+		for k := range hm {
+			keys = append(keys, k)
+		}
+		for _, k := range keys {
+			m.releaseLocked(o, k)
+		}
+		delete(m.held, o)
+	}
+	for space, gs := range m.gaps {
+		kept := gs[:0]
+		for _, g := range gs {
+			if g.owner != o {
+				kept = append(kept, g)
+			}
+		}
+		if len(kept) == 0 {
+			delete(m.gaps, space)
+		} else {
+			m.gaps[space] = kept
+		}
+	}
+	still := m.gapWaiters[:0]
+	for _, gw := range m.gapWaiters {
+		if m.gapConflict(gw.owner, gw.space, gw.key) {
+			still = append(still, gw)
+			continue
+		}
+		gw.ch <- nil
+	}
+	m.gapWaiters = still
+}
+
+func (m *refManager) Shutdown() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key, ls := range m.locks {
+		for _, w := range ls.queue {
+			w.ch <- ErrShutdown
+		}
+		ls.queue = nil
+		delete(m.locks, key)
+	}
+	for _, gw := range m.gapWaiters {
+		gw.ch <- ErrShutdown
+	}
+	m.gapWaiters = nil
+	m.gaps = make(map[GapSpace][]*gapLock)
+	m.held = make(map[*Owner]map[any]Mode)
+}
+
+func (m *refManager) Held(o *Owner) map[any]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[any]Mode, len(m.held[o]))
+	for k, v := range m.held[o] {
+		out[k] = v
+	}
+	return out
+}
+
+func (m *refManager) HeldCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, hm := range m.held {
+		n += len(hm)
+	}
+	for _, gs := range m.gaps {
+		n += len(gs)
+	}
+	return n
+}
+
+func (m *refManager) wouldDeadlock(start *Owner) bool {
+	visited := make(map[*Owner]bool)
+	var dfs func(o *Owner) bool
+	dfs = func(o *Owner) bool {
+		if visited[o] {
+			return false
+		}
+		visited[o] = true
+		for _, next := range m.waitsFor(o) {
+			if next == start {
+				return true
+			}
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+func (m *refManager) waitsFor(o *Owner) []*Owner {
+	var out []*Owner
+	add := func(other *Owner) {
+		if other == o {
+			return
+		}
+		for _, x := range out {
+			if x == other {
+				return
+			}
+		}
+		out = append(out, other)
+	}
+	for _, ls := range m.locks {
+		for i, w := range ls.queue {
+			if w.owner != o {
+				continue
+			}
+			for h, hm := range ls.holders {
+				if h == o {
+					continue
+				}
+				if w.mode == Exclusive || hm == Exclusive {
+					add(h)
+				}
+			}
+			for _, e := range ls.queue[:i] {
+				if e.owner != o && (w.mode == Exclusive || e.mode == Exclusive) {
+					add(e.owner)
+				}
+			}
+		}
+	}
+	for _, gw := range m.gapWaiters {
+		if gw.owner != o {
+			continue
+		}
+		for _, g := range m.gaps[gw.space] {
+			if g.owner != o && inOpenInterval(gw.key, g.lo, g.hi) {
+				add(g.owner)
+			}
+		}
+	}
+	return out
+}

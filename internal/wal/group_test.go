@@ -1,0 +1,208 @@
+package wal
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"adhoctx/internal/sim"
+)
+
+// gcAppend runs n concurrent Appends and returns lsn->txnID for successes
+// plus the per-txn errors for failures.
+func gcAppend(t *testing.T, l *Log, n int) (acked map[uint64]uint64, failed map[uint64]error) {
+	t.Helper()
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	acked = make(map[uint64]uint64)
+	failed = make(map[uint64]error)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(txn uint64) {
+			defer wg.Done()
+			lsn, err := l.Append(txn, sampleOps())
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failed[txn] = err
+				return
+			}
+			acked[lsn] = txn
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	return acked, failed
+}
+
+func TestGroupCommitSharesFsyncs(t *testing.T) {
+	l := NewWithOptions(Options{
+		Latency:     sim.Latency{Fsync: 2 * time.Millisecond},
+		GroupCommit: true,
+	})
+	const n = 32
+	acked, failed := gcAppend(t, l, n)
+	if len(failed) != 0 {
+		t.Fatalf("failed appends: %v", failed)
+	}
+	if len(acked) != n {
+		t.Fatalf("acked %d of %d", len(acked), n)
+	}
+	if got := l.AppendCount(); got != n {
+		t.Fatalf("AppendCount = %d, want %d", got, n)
+	}
+	// The whole point: concurrent commits share flushes. With a 2ms fsync
+	// serialized on one device, 32 concurrent appends cannot each get a
+	// private flush — followers pile up while the leader is on the device.
+	if f := l.FsyncCount(); f >= n {
+		t.Fatalf("FsyncCount = %d, want < %d (no batching happened)", f, n)
+	}
+	recs, err := Records(l.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d: log not in LSN order", i, r.LSN)
+		}
+		if want := acked[r.LSN]; r.TxnID != want {
+			t.Fatalf("LSN %d: TxnID = %d, want %d", r.LSN, r.TxnID, want)
+		}
+	}
+}
+
+func TestGroupCommitMaxBatchOne(t *testing.T) {
+	// MaxBatch=1 degenerates to one flush per append even with the group
+	// path engaged — the bound is honored exactly.
+	l := NewWithOptions(Options{GroupCommit: true, MaxBatch: 1})
+	const n = 12
+	if _, failed := gcAppend(t, l, n); len(failed) != 0 {
+		t.Fatalf("failed appends: %v", failed)
+	}
+	if f := l.FsyncCount(); f != n {
+		t.Fatalf("FsyncCount = %d, want %d with MaxBatch=1", f, n)
+	}
+}
+
+func TestGroupCommitMaxWaitWindow(t *testing.T) {
+	// A lone append under a MaxWait window still completes (timer path) and
+	// is durable.
+	l := NewWithOptions(Options{GroupCommit: true, MaxWait: 2 * time.Millisecond})
+	lsn, err := l.Append(1, sampleOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 1 {
+		t.Fatalf("lsn = %d", lsn)
+	}
+	recs, err := Records(l.Bytes())
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+}
+
+func TestGroupCommitCrashBeforeFsync(t *testing.T) {
+	plan := &sim.CrashPlan{}
+	plan.Arm(CrashPointBeforeFsync, 1)
+	l := NewWithOptions(Options{GroupCommit: true, Crash: plan})
+	const n = 8
+	acked, failed := gcAppend(t, l, n)
+	// The first batch dies before any byte reaches the durable image, and
+	// the death poisons everything queued behind it: nothing is acknowledged
+	// and nothing is durable — no torn batches.
+	if len(acked) != 0 {
+		t.Fatalf("acked across a before-fsync crash: %v", acked)
+	}
+	if len(failed) != n {
+		t.Fatalf("failed %d of %d", len(failed), n)
+	}
+	for txn, err := range failed {
+		if !sim.IsCrash(err) {
+			t.Fatalf("txn %d: err = %v, want *sim.CrashError", txn, err)
+		}
+	}
+	recs, err := Records(l.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("durable records after before-fsync crash: %v", recs)
+	}
+}
+
+func TestGroupCommitCrashAfterFsync(t *testing.T) {
+	plan := &sim.CrashPlan{}
+	plan.Arm(CrashPointAfterFsync, 1)
+	// MaxBatch=n with a long window forces all n appends into one batch, so
+	// the crash semantics are exact: the whole batch is durable, none of it
+	// acknowledged.
+	const n = 8
+	l := NewWithOptions(Options{GroupCommit: true, MaxBatch: n, MaxWait: time.Second, Crash: plan})
+	acked, failed := gcAppend(t, l, n)
+	if len(acked) != 0 {
+		t.Fatalf("acked across an after-fsync crash: %v", acked)
+	}
+	if len(failed) != n {
+		t.Fatalf("failed %d of %d", len(failed), n)
+	}
+	recs, err := Records(l.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("durable records = %d, want the whole batch (%d)", len(recs), n)
+	}
+	var lsns []int
+	for _, r := range recs {
+		lsns = append(lsns, int(r.LSN))
+	}
+	sort.Ints(lsns)
+	for i, lsn := range lsns {
+		if lsn != i+1 {
+			t.Fatalf("durable LSNs %v not contiguous from 1", lsns)
+		}
+	}
+}
+
+func TestGroupCommitCrashKeepsFlushedPrefix(t *testing.T) {
+	plan := &sim.CrashPlan{}
+	l := NewWithOptions(Options{GroupCommit: true, Crash: plan})
+	// Batch 1 flushes cleanly before the crash point is armed.
+	if _, err := l.Append(100, sampleOps()); err != nil {
+		t.Fatal(err)
+	}
+	plan.Arm(CrashPointBeforeFsync, 1)
+	if _, failed := gcAppend(t, l, 4); len(failed) != 4 {
+		t.Fatalf("appends survived an armed before-fsync crash: %d failed", len(failed))
+	}
+	// Exactly the flushed prefix survives; the crashed batch left no bytes.
+	recs, err := Records(l.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].TxnID != 100 {
+		t.Fatalf("recs = %+v, want only txn 100", recs)
+	}
+
+	// The poisoned log fails fast until Recover reopens it.
+	if _, err := l.Append(200, sampleOps()); !sim.IsCrash(err) {
+		t.Fatalf("append on poisoned log: err = %v, want crash error", err)
+	}
+	l.Recover()
+	lsn, err := l.Append(201, sampleOps())
+	if err != nil {
+		t.Fatalf("append after Recover: %v", err)
+	}
+	recs, err = Records(l.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].LSN != lsn || recs[1].TxnID != 201 {
+		t.Fatalf("after recovery: recs = %+v", recs)
+	}
+}

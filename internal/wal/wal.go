@@ -3,6 +3,15 @@
 // redo operations and pay a (simulated) fsync; recovery replays records in
 // LSN order, stopping at the first torn or corrupt record.
 //
+// The simulated disk is honest about the one property that matters for
+// commit throughput: flushes serialize. One fsync is in flight at a time,
+// exactly like a single WAL device, so per-commit flushing collapses under
+// concurrent writers. Group commit (Options.GroupCommit) is the classic
+// fix: concurrent Append callers coalesce into a batch whose leader pays a
+// single fsync for everyone, with tunable max-batch-size and max-wait
+// windows. LSNs are assigned at enqueue time, so per-transaction ordering
+// and the recovery-replay semantics are unchanged.
+//
 // The log matters to the study twice: Figure 2's DB-table lock is slow
 // precisely because each acquire/release commits a durable transaction, and
 // §4.3's crash-handling bugs require an engine that actually survives a
@@ -16,8 +25,10 @@ import (
 	"hash/crc32"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"adhoctx/internal/obs"
 	"adhoctx/internal/sim"
 	"adhoctx/internal/storage"
 )
@@ -66,22 +77,149 @@ type Record struct {
 // opposed to a clean truncation at the tail, which recovery tolerates).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// Crash points checked by the group-commit flusher when Options.Crash is
+// armed (see sim.CrashPlan). The leader catches the crash panic, poisons the
+// log, and hands every batch member the *sim.CrashError as its Append
+// result — process-death semantics where the engine layer decides how the
+// death propagates.
+const (
+	// CrashPointBeforeFsync fires after a batch is formed but before any of
+	// it reaches the durable image: recovery must replay none of the batch.
+	CrashPointBeforeFsync = "wal/groupcommit:before-fsync"
+	// CrashPointAfterFsync fires after the batch's single fsync completed
+	// but before any caller is acknowledged: recovery must replay the whole
+	// batch (the commits are durable but unacknowledged).
+	CrashPointAfterFsync = "wal/groupcommit:after-fsync"
+)
+
+// Options configures a Log.
+type Options struct {
+	// Latency is the simulated device profile; Latency.Fsync is charged per
+	// flush, serialized (one flush in flight at a time).
+	Latency sim.Latency
+	// GroupCommit coalesces concurrent Appends into one flush per batch.
+	GroupCommit bool
+	// MaxBatch bounds records per group-commit batch (0 = 64).
+	MaxBatch int
+	// MaxWait is how long a batch leader waits for followers before
+	// flushing a non-full batch. 0 flushes immediately; batching then comes
+	// from backpressure alone (followers queue while the leader flushes),
+	// which keeps uncontended commit latency at exactly one fsync.
+	MaxWait time.Duration
+	// Crash, when non-nil, arms the wal/groupcommit crash points.
+	Crash *sim.CrashPlan
+}
+
+func (o Options) maxBatch() int {
+	if o.MaxBatch > 0 {
+		return o.MaxBatch
+	}
+	return 64
+}
+
+// pendingAppend is one enqueued group-commit record: its encoded bytes and
+// the channel its Append caller blocks on.
+type pendingAppend struct {
+	enc  []byte
+	done chan error
+}
+
+// walMetrics is the log's resolved instrument set (see WireObs).
+type walMetrics struct {
+	appends   *obs.Counter
+	fsyncs    *obs.Counter
+	batches   *obs.Counter
+	batchSize *obs.Histogram
+}
+
 // Log is an append-only in-memory redo log. It is safe for concurrent use.
 type Log struct {
-	mu      sync.Mutex
-	buf     []byte
-	nextLSN uint64
-	lat     sim.Latency
+	opt Options
+	lat sim.Latency
+
+	mu       sync.Mutex
+	buf      []byte
+	nextLSN  uint64
+	pending  []*pendingAppend
+	flushing bool
+	crashErr error // poisons the log after a fired crash point
+
+	// full is signalled when pending reaches MaxBatch so a waiting leader
+	// can cut its window short.
+	full chan struct{}
+
+	// flushMu serializes the simulated device: one fsync in flight at a
+	// time, like a single WAL disk.
+	flushMu sync.Mutex
+
+	fsyncs  atomic.Int64
+	appends atomic.Int64
+
+	om atomic.Pointer[walMetrics]
 }
 
-// New returns an empty log charging the given latency profile per fsync.
+// New returns an empty log charging the given latency profile per fsync,
+// one flush per Append (no group commit).
 func New(lat sim.Latency) *Log {
-	return &Log{nextLSN: 1, lat: lat}
+	return NewWithOptions(Options{Latency: lat})
 }
 
-// Append durably appends one commit record and returns its LSN.
+// NewWithOptions returns an empty log with the given configuration.
+func NewWithOptions(opt Options) *Log {
+	return &Log{opt: opt, lat: opt.Latency, nextLSN: 1, full: make(chan struct{}, 1)}
+}
+
+// WireObs attaches the log to reg: append/fsync counts, group-commit batch
+// count, and the wal_group_commit_batch_size histogram. A nil registry is a
+// no-op.
+func (l *Log) WireObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	l.om.Store(&walMetrics{
+		appends:   reg.Counter("wal_appends_total"),
+		fsyncs:    reg.Counter("wal_fsyncs_total"),
+		batches:   reg.Counter("wal_group_commits_total"),
+		batchSize: reg.Histogram("wal_group_commit_batch_size"),
+	})
+}
+
+// FsyncCount returns the number of flushes charged so far. With group
+// commit, concurrent Appends share flushes, so FsyncCount < AppendCount
+// under load — the whole point.
+func (l *Log) FsyncCount() int64 { return l.fsyncs.Load() }
+
+// AppendCount returns the number of records appended so far.
+func (l *Log) AppendCount() int64 { return l.appends.Load() }
+
+// fsync charges one serialized device flush.
+func (l *Log) fsync() {
+	l.flushMu.Lock()
+	l.lat.ChargeFsync()
+	l.flushMu.Unlock()
+	l.fsyncs.Add(1)
+	if om := l.om.Load(); om != nil {
+		om.fsyncs.Inc()
+	}
+}
+
+// Append durably appends one commit record and returns its LSN. With group
+// commit enabled, the call blocks until the record's batch is flushed; the
+// returned error is the batch's outcome (a *sim.CrashError if a crash point
+// killed the flush before this record was acknowledged).
 func (l *Log) Append(txnID uint64, ops []Op) (uint64, error) {
+	l.appends.Add(1)
+	if om := l.om.Load(); om != nil {
+		om.appends.Inc()
+	}
+	if l.opt.GroupCommit {
+		return l.appendGroup(txnID, ops)
+	}
 	l.mu.Lock()
+	if err := l.crashErr; err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
 	lsn := l.nextLSN
 	l.nextLSN++
 	rec := Record{LSN: lsn, TxnID: txnID, Ops: ops}
@@ -92,9 +230,140 @@ func (l *Log) Append(txnID uint64, ops []Op) (uint64, error) {
 	}
 	l.buf = append(l.buf, enc...)
 	l.mu.Unlock()
-	// Charge the flush outside the mutex: concurrent commits group naturally.
-	l.lat.ChargeFsync()
+	l.fsync()
 	return lsn, nil
+}
+
+// appendGroup enqueues the record and blocks until its batch is flushed.
+// The first caller to find no flush in progress becomes the leader and
+// drains batches (its own included) until the queue is empty.
+func (l *Log) appendGroup(txnID uint64, ops []Op) (uint64, error) {
+	l.mu.Lock()
+	if err := l.crashErr; err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	enc, err := encodeRecord(Record{LSN: lsn, TxnID: txnID, Ops: ops})
+	if err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	p := &pendingAppend{enc: enc, done: make(chan error, 1)}
+	l.pending = append(l.pending, p)
+	if len(l.pending) >= l.opt.maxBatch() {
+		select {
+		case l.full <- struct{}{}:
+		default:
+		}
+	}
+	lead := !l.flushing
+	if lead {
+		l.flushing = true
+	}
+	l.mu.Unlock()
+	if lead {
+		l.runFlusher()
+	}
+	return lsn, <-p.done
+}
+
+// runFlusher is the batch leader's loop: wait out the batching window, cut
+// a batch, flush it, repeat until the queue is empty (or the log is
+// poisoned by a crash point), then hand leadership back.
+func (l *Log) runFlusher() {
+	for {
+		l.waitWindow()
+		l.mu.Lock()
+		n := len(l.pending)
+		if max := l.opt.maxBatch(); n > max {
+			n = max
+		}
+		batch := make([]*pendingAppend, n)
+		copy(batch, l.pending[:n])
+		l.pending = append(l.pending[:0], l.pending[n:]...)
+		l.mu.Unlock()
+
+		err := l.flushBatch(batch)
+
+		l.mu.Lock()
+		if err != nil {
+			// Crash fired: poison the log and fail everything still queued —
+			// the process died; nothing unflushed will ever be acknowledged.
+			l.crashErr = err
+			rest := l.pending
+			l.pending = nil
+			l.flushing = false
+			l.mu.Unlock()
+			for _, p := range rest {
+				p.done <- err
+			}
+			return
+		}
+		if len(l.pending) == 0 {
+			l.flushing = false
+			l.mu.Unlock()
+			return
+		}
+		l.mu.Unlock()
+	}
+}
+
+// waitWindow lets followers accumulate for up to MaxWait, cut short when
+// the batch fills.
+func (l *Log) waitWindow() {
+	if l.opt.MaxWait <= 0 {
+		return
+	}
+	l.mu.Lock()
+	n := len(l.pending)
+	l.mu.Unlock()
+	if n >= l.opt.maxBatch() {
+		return
+	}
+	timer := time.NewTimer(l.opt.MaxWait)
+	defer timer.Stop()
+	select {
+	case <-l.full:
+	case <-timer.C:
+	}
+}
+
+// flushBatch makes one batch durable with a single fsync and acknowledges
+// its members. A fired crash point is caught here and returned: before the
+// fsync, none of the batch has reached the durable image; after it, all of
+// it has, but no member is acknowledged — either way, no torn batches.
+func (l *Log) flushBatch(batch []*pendingAppend) error {
+	err := func() (err error) {
+		defer func() { err = sim.RecoverCrash(recover(), err) }()
+		l.opt.Crash.Check(CrashPointBeforeFsync)
+		l.mu.Lock()
+		for _, p := range batch {
+			l.buf = append(l.buf, p.enc...)
+		}
+		l.mu.Unlock()
+		l.fsync()
+		l.opt.Crash.Check(CrashPointAfterFsync)
+		return nil
+	}()
+	if om := l.om.Load(); om != nil {
+		om.batches.Inc()
+		om.batchSize.ObserveValue(int64(len(batch)))
+	}
+	for _, p := range batch {
+		p.done <- err
+	}
+	return err
+}
+
+// Recover reopens a log poisoned by a fired crash point: the durable image
+// is kept as-is (it is what survived), the unflushed queue was already
+// failed by the dying leader. The engine calls this from its own Recover.
+func (l *Log) Recover() {
+	l.mu.Lock()
+	l.crashErr = nil
+	l.mu.Unlock()
 }
 
 // Bytes returns a copy of the raw log contents (what survives a crash).
