@@ -1,0 +1,251 @@
+// Command adhocexplore model-checks the litmus programs: it enumerates (DFS)
+// or samples (PCT) goroutine schedules of small multi-threaded transaction
+// programs over the internal/apps case studies and checks every terminal
+// state. A violation prints a replayable schedule ID and a delta-minimized
+// trace; -replay re-executes a recorded schedule deterministically.
+//
+// Usage:
+//
+//	go run ./cmd/adhocexplore -list
+//	go run ./cmd/adhocexplore -run all                  # DFS, buggy+fixed
+//	go run ./cmd/adhocexplore -run discourse-edit/buggy
+//	go run ./cmd/adhocexplore -run all -strategy pct -seeds 400
+//	go run ./cmd/adhocexplore -replay 'discourse-edit/buggy:AQMAAAAAAAAAAAAAAAAAAQEBAA'
+//	go run ./cmd/adhocexplore -smoke                    # CI: two smallest pairs
+//
+// Exit status: 0 when every buggy variant's bug is found and every fixed
+// variant passes; 1 otherwise (a missed bug, a fixed-variant violation, or a
+// replay that no longer reproduces).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adhoctx/internal/litmus"
+	"adhoctx/internal/sched"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list litmus programs and exit")
+		run      = flag.String("run", "", "program to explore: <pair>, <pair>/buggy, <pair>/fixed, or 'all'")
+		strategy = flag.String("strategy", "dfs", "exploration strategy: dfs or pct")
+		bound    = flag.Int("bound", 0, "preemption bound (0 = default 2, negative = unbounded)")
+		steps    = flag.Int("steps", 0, "per-run step limit (0 = default)")
+		max      = flag.Int("max", 0, "max schedules per DFS exploration (0 = default)")
+		seed     = flag.Int64("seed", 1, "first PCT seed")
+		seeds    = flag.Int("seeds", 400, "PCT seeds per program")
+		replay   = flag.String("replay", "", "replay '<pair>/<variant>:<schedule-id>' and exit")
+		smoke    = flag.Bool("smoke", false, "CI smoke: DFS the two smallest pairs plus one PCT sweep")
+		verbose  = flag.Bool("v", false, "print clean explorations too")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, p := range litmus.Pairs() {
+			fmt.Printf("%-20s %s\n", p.Name, p.Class)
+			fmt.Printf("%20s %s\n", "", p.Doc)
+		}
+		return
+	case *replay != "":
+		os.Exit(doReplay(*replay, *steps))
+	case *smoke:
+		os.Exit(doSmoke(*seed, *verbose))
+	case *run != "":
+		os.Exit(doRun(*run, *strategy, *bound, *steps, *max, *seed, *seeds, *verbose))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// resolve maps a -run argument to (pair, wantBug, program) triples.
+func resolve(arg string) ([]job, error) {
+	var jobs []job
+	add := func(p litmus.Pair, variant string) error {
+		switch variant {
+		case "", "both":
+			jobs = append(jobs, job{p, true, p.Buggy}, job{p, false, p.Fixed})
+		case "buggy":
+			jobs = append(jobs, job{p, true, p.Buggy})
+		case "fixed":
+			jobs = append(jobs, job{p, false, p.Fixed})
+		default:
+			return fmt.Errorf("unknown variant %q (want buggy or fixed)", variant)
+		}
+		return nil
+	}
+	if arg == "all" {
+		for _, p := range litmus.Pairs() {
+			if err := add(p, "both"); err != nil {
+				return nil, err
+			}
+		}
+		return jobs, nil
+	}
+	name, variant, _ := strings.Cut(arg, "/")
+	p, ok := litmus.Find(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown program %q (try -list)", name)
+	}
+	if err := add(p, variant); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+type job struct {
+	pair    litmus.Pair
+	wantBug bool
+	prog    sched.Program
+}
+
+func explorer(j job, steps, bound, max int) *sched.Explorer {
+	return &sched.Explorer{
+		Prog:            j.prog,
+		StepLimit:       steps,
+		PreemptionBound: bound,
+		MaxSchedules:    max,
+		PCTLen:          j.pair.PCTLen,
+	}
+}
+
+// runJob explores one program and reports whether the outcome matches the
+// variant's expectation.
+func runJob(j job, strategy string, bound, steps, max int, seed int64, seeds int, verbose bool) bool {
+	ex := explorer(j, steps, bound, max)
+	start := time.Now()
+	var rep *sched.Report
+	var err error
+	switch strategy {
+	case "dfs":
+		rep, err = ex.ExploreDFS()
+	case "pct":
+		rep, err = ex.ExplorePCT(seed, seeds)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q (want dfs or pct)\n", strategy)
+		return false
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", j.prog.Name, err)
+		return false
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+	switch {
+	case j.wantBug && rep.Violation == nil:
+		fmt.Printf("MISS  %-28s %s: no violation in %d schedules (%v)\n",
+			j.prog.Name, strategy, rep.Schedules, elapsed)
+		return false
+	case j.wantBug:
+		fmt.Printf("FOUND %-28s %s: %d schedules, %v\n", j.prog.Name, strategy, rep.Schedules, elapsed)
+		if rep.Strategy == "pct" {
+			fmt.Printf("      failing seed: %d\n", rep.Seed)
+		}
+		printViolation(j.prog.Name, rep.Violation)
+		return true
+	case rep.Violation != nil:
+		fmt.Printf("FAIL  %-28s %s: fixed variant violated (%v)\n", j.prog.Name, strategy, elapsed)
+		printViolation(j.prog.Name, rep.Violation)
+		return false
+	default:
+		if verbose {
+			fmt.Printf("PASS  %-28s %s: %d schedules clean (pruned %d, complete=%v, %v)\n",
+				j.prog.Name, strategy, rep.Schedules, rep.Pruned, rep.Complete, elapsed)
+		}
+		return true
+	}
+}
+
+func printViolation(prog string, v *sched.Violation) {
+	for _, line := range strings.Split(strings.TrimRight(v.Format(), "\n"), "\n") {
+		fmt.Printf("      %s\n", line)
+	}
+	id := v.ScheduleID
+	if v.MinScheduleID != "" {
+		id = v.MinScheduleID
+	}
+	fmt.Printf("      replay: go run ./cmd/adhocexplore -replay '%s:%s'\n", prog, id)
+}
+
+func doRun(arg, strategy string, bound, steps, max int, seed int64, seeds int, verbose bool) int {
+	jobs, err := resolve(arg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	ok := true
+	for _, j := range jobs {
+		if !runJob(j, strategy, bound, steps, max, seed, seeds, verbose) {
+			ok = false
+		}
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+func doReplay(arg string, steps int) int {
+	progName, id, found := strings.Cut(arg, ":")
+	if !found {
+		fmt.Fprintf(os.Stderr, "replay wants '<pair>/<variant>:<schedule-id>', got %q\n", arg)
+		return 2
+	}
+	jobs, err := resolve(progName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if len(jobs) != 1 {
+		fmt.Fprintf(os.Stderr, "replay wants one variant (e.g. %s/buggy), got %q\n", jobs[0].pair.Name, progName)
+		return 2
+	}
+	ex := explorer(jobs[0], steps, 0, 0)
+	rep, err := ex.ReplayID(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if rep.Diverged {
+		fmt.Printf("replay diverged: the program no longer matches the recorded schedule\n")
+	}
+	if rep.Violation == nil {
+		fmt.Printf("replay of %s: no violation\n", progName)
+		return 1
+	}
+	printViolation(progName, rep.Violation)
+	return 0
+}
+
+// doSmoke is the CI entry: bounded-exhaustive DFS on the two smallest pairs
+// (both variants), plus one PCT sweep over one buggy program. Budgeted well
+// under two minutes.
+func doSmoke(seed int64, verbose bool) int {
+	ok := true
+	for _, name := range []string{"broadleaf-dblock", "saleor-capture"} {
+		jobs, err := resolve(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		for _, j := range jobs {
+			if !runJob(j, "dfs", 0, 0, 0, seed, 0, verbose) {
+				ok = false
+			}
+		}
+	}
+	jobs, _ := resolve("saleor-capture/buggy")
+	if !runJob(jobs[0], "pct", 0, 0, 0, seed, 200, verbose) {
+		ok = false
+	}
+	if !ok {
+		return 1
+	}
+	fmt.Println("smoke ok")
+	return 0
+}

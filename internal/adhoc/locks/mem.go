@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"adhoctx/internal/core"
+	"adhoctx/internal/sched"
 )
 
 // MemLocker is the in-process concurrent lock map (Broadleaf's
@@ -44,9 +45,26 @@ func (l *MemLocker) Name() string { return "MEM" }
 
 // Acquire implements core.Locker.
 func (l *MemLocker) Acquire(key string) (core.Release, error) {
+	if sched.Enabled() {
+		sched.Point("adhoc/mem/acquire#" + key)
+	}
 	e := l.enter(key)
-	e.sem <- struct{}{} // blocks while held
+	// Cooperative path: under a schedule controller the semaphore send is a
+	// polled predicate (a successful poll takes the lock — latched by Wait).
+	if !sched.Wait("adhoc/mem/lock#"+key, func() bool {
+		select {
+		case e.sem <- struct{}{}:
+			return true
+		default:
+			return false
+		}
+	}) {
+		e.sem <- struct{}{} // blocks while held
+	}
 	return func() error {
+		if sched.Enabled() {
+			sched.Point("adhoc/mem/release#" + key)
+		}
 		<-e.sem
 		l.leave(key, e)
 		return nil
@@ -55,6 +73,9 @@ func (l *MemLocker) Acquire(key string) (core.Release, error) {
 
 // TryAcquire implements core.TryLocker.
 func (l *MemLocker) TryAcquire(key string) (core.Release, error) {
+	if sched.Enabled() {
+		sched.Point("adhoc/mem/try#" + key)
+	}
 	e := l.enter(key)
 	select {
 	case e.sem <- struct{}{}:

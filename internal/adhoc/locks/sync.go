@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"adhoctx/internal/core"
+	"adhoctx/internal/sched"
 )
 
 // SyncLocker models coordination via the language's built-in mutual
@@ -25,9 +26,19 @@ func (l *SyncLocker) Name() string { return "SYNC" }
 
 // Acquire implements core.Locker.
 func (l *SyncLocker) Acquire(key string) (core.Release, error) {
+	if sched.Enabled() {
+		sched.Point("adhoc/sync/acquire#" + key)
+	}
 	m := l.mutexFor(key)
-	m.Lock()
+	// Cooperative path: TryLock is the polled predicate (success takes the
+	// lock — latched by Wait); fall back to a real blocking Lock otherwise.
+	if !sched.Wait("adhoc/sync/lock#"+key, m.TryLock) {
+		m.Lock()
+	}
 	return func() error {
+		if sched.Enabled() {
+			sched.Point("adhoc/sync/release#" + key)
+		}
 		m.Unlock()
 		return nil
 	}, nil

@@ -16,6 +16,7 @@ import (
 
 	"adhoctx/internal/core"
 	"adhoctx/internal/engine"
+	"adhoctx/internal/sched"
 	"adhoctx/internal/storage"
 )
 
@@ -120,6 +121,9 @@ func (c Checker) NonAtomicCheckThenSet(pk int64, guard storage.Pred, set map[str
 	if row == nil || !guard.Match(schema, row) {
 		return fmt.Errorf("%s id=%d guard %s: %w", c.Table, pk, guard, core.ErrConflict)
 	}
+	// The unprotected window between validation and write-back. The named
+	// scheduling point makes the race show up by name in explorer traces.
+	sched.Point("adhoc/validate/window")
 	if interleave != nil {
 		interleave() // the unprotected window
 	}

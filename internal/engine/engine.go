@@ -16,6 +16,7 @@ import (
 
 	"adhoctx/internal/lockmgr"
 	"adhoctx/internal/mvcc"
+	"adhoctx/internal/sched"
 	"adhoctx/internal/storage"
 	"adhoctx/internal/wal"
 )
@@ -157,6 +158,7 @@ func (e *Engine) currentCSN() uint64 {
 // (IsolationDefault resolves per dialect). It charges one network round
 // trip, like the BEGIN statement it models.
 func (e *Engine) Begin(iso Isolation) *Txn {
+	sched.Point("engine/begin")
 	if iso == IsolationDefault {
 		iso = e.cfg.Dialect.DefaultIsolation()
 	}

@@ -5,6 +5,7 @@ import (
 
 	"adhoctx/internal/lockmgr"
 	"adhoctx/internal/mvcc"
+	"adhoctx/internal/sched"
 	"adhoctx/internal/sim"
 	"adhoctx/internal/storage"
 	"adhoctx/internal/wal"
@@ -102,6 +103,7 @@ func (t *Txn) SetTag(tag string) {
 
 // begin-of-statement bookkeeping shared by all statements.
 func (t *Txn) startStatement() error {
+	sched.Point("engine/stmt")
 	if t.done {
 		return ErrTxnDone
 	}
@@ -176,6 +178,7 @@ func (t *Txn) abort() {
 // Commit makes the transaction's writes durable and visible, releases its
 // locks, and returns ErrSerialization if an SSI conflict dooms it.
 func (t *Txn) Commit() error {
+	sched.Point("engine/commit")
 	if t.done {
 		return ErrTxnDone
 	}
@@ -281,6 +284,7 @@ func (e *Engine) ssiConflict(t *Txn) bool {
 // Rollback undoes the transaction and releases its locks. Rolling back a
 // finished transaction returns ErrTxnDone.
 func (t *Txn) Rollback() error {
+	sched.Point("engine/rollback")
 	if t.done {
 		return ErrTxnDone
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"adhoctx/internal/obs"
+	"adhoctx/internal/sched"
 	"adhoctx/internal/sim"
 )
 
@@ -106,8 +107,16 @@ func (s *Store) Conn() *Conn {
 	return &Conn{s: s}
 }
 
-// charge accounts one round trip. Called once per client command.
-func (s *Store) charge(cmd string) {
+// charge accounts one round trip and marks the command as a scheduling
+// point. Called once per client command, before the store mutex, so a
+// schedule explorer can interleave other work between a command's issue and
+// its effect. key is the independence hint for sleep-set pruning; commands
+// whose effect is not confined to one key (EXEC, WATCH, connection state)
+// pass "" and stay conservatively dependent with everything.
+func (s *Store) charge(cmd, key string) {
+	if sched.Enabled() {
+		sched.Point("kv/" + cmd + "#" + key)
+	}
 	s.commands.Add(1)
 	if m := s.om.Load(); m != nil {
 		m.commands.Inc()
@@ -159,7 +168,7 @@ type queued struct {
 
 // Get returns the string value of key.
 func (c *Conn) Get(key string) (string, bool) {
-	c.s.charge("get")
+	c.s.charge("get", key)
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	e := c.s.live(key)
@@ -171,7 +180,7 @@ func (c *Conn) Get(key string) (string, bool) {
 
 // Exists reports whether key is live.
 func (c *Conn) Exists(key string) bool {
-	c.s.charge("exists")
+	c.s.charge("exists", key)
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	return c.s.live(key) != nil
@@ -180,7 +189,7 @@ func (c *Conn) Exists(key string) bool {
 // Set stores a string value with no expiry. Inside MULTI the write is
 // queued until Exec.
 func (c *Conn) Set(key, val string) {
-	c.s.charge("set")
+	c.s.charge("set", key)
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.inMulti {
@@ -192,7 +201,7 @@ func (c *Conn) Set(key, val string) {
 
 // SetPX stores a string value that expires after ttl.
 func (c *Conn) SetPX(key, val string, ttl time.Duration) {
-	c.s.charge("setpx")
+	c.s.charge("setpx", key)
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.inMulti {
@@ -223,7 +232,7 @@ func (c *Conn) SetNXPX(key, val string, ttl time.Duration) bool {
 }
 
 func (c *Conn) setNX(key, val string, ttl time.Duration) bool {
-	c.s.charge("setnx")
+	c.s.charge("setnx", key)
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.s.live(key) != nil {
@@ -236,7 +245,7 @@ func (c *Conn) setNX(key, val string, ttl time.Duration) bool {
 // Del removes key and reports whether it existed. Inside MULTI the delete is
 // queued (and reports true).
 func (c *Conn) Del(key string) bool {
-	c.s.charge("del")
+	c.s.charge("del", key)
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.inMulti {
@@ -258,7 +267,7 @@ func (s *Store) delLocked(key string) bool {
 // Expire sets key's TTL and reports whether the key exists. Inside MULTI
 // the command is queued (and optimistically reports true).
 func (c *Conn) Expire(key string, ttl time.Duration) bool {
-	c.s.charge("expire")
+	c.s.charge("expire", key)
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.inMulti {
@@ -280,7 +289,7 @@ func (s *Store) expireLocked(key string, ttl time.Duration) bool {
 // TTL returns the remaining lifetime of key; ok is false when the key is
 // absent or has no expiry.
 func (c *Conn) TTL(key string) (time.Duration, bool) {
-	c.s.charge("ttl")
+	c.s.charge("ttl", key)
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	e := c.s.live(key)
@@ -292,7 +301,7 @@ func (c *Conn) TTL(key string) (time.Duration, bool) {
 
 // SAdd adds a member to the set at key. Inside MULTI the write is queued.
 func (c *Conn) SAdd(key, member string) {
-	c.s.charge("sadd")
+	c.s.charge("sadd", key)
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.inMulti {
@@ -315,7 +324,7 @@ func (s *Store) saddLocked(key, member string) {
 // SRem removes a member from the set at key. Inside MULTI the write is
 // queued.
 func (c *Conn) SRem(key, member string) {
-	c.s.charge("srem")
+	c.s.charge("srem", key)
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	if c.inMulti {
@@ -336,7 +345,7 @@ func (s *Store) sremLocked(key, member string) {
 
 // SIsMember reports set membership.
 func (c *Conn) SIsMember(key, member string) bool {
-	c.s.charge("sismember")
+	c.s.charge("sismember", key)
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	e := c.s.live(key)
@@ -349,7 +358,7 @@ func (c *Conn) SIsMember(key, member string) bool {
 
 // SMembers returns the members of the set at key.
 func (c *Conn) SMembers(key string) []string {
-	c.s.charge("smembers")
+	c.s.charge("smembers", key)
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
 	e := c.s.live(key)
@@ -369,7 +378,7 @@ func (c *Conn) SMembers(key string) []string {
 // is already sealed against the versions recorded so far, so a late watch
 // would silently validate against post-MULTI state.
 func (c *Conn) Watch(keys ...string) error {
-	c.s.charge("watch")
+	c.s.charge("watch", "")
 	if c.inMulti {
 		return ErrWatchInMulti
 	}
@@ -386,14 +395,14 @@ func (c *Conn) Watch(keys ...string) error {
 
 // Unwatch clears the watch set.
 func (c *Conn) Unwatch() {
-	c.s.charge("unwatch")
+	c.s.charge("unwatch", "")
 	c.watch = nil
 }
 
 // Multi begins queueing commands. Nested MULTI is a protocol error, as in
 // Redis ("MULTI calls can not be nested").
 func (c *Conn) Multi() error {
-	c.s.charge("multi")
+	c.s.charge("multi", "")
 	if c.inMulti {
 		return ErrNestedMulti
 	}
@@ -404,7 +413,7 @@ func (c *Conn) Multi() error {
 
 // Discard drops the queue and watch set.
 func (c *Conn) Discard() {
-	c.s.charge("discard")
+	c.s.charge("discard", "")
 	c.inMulti = false
 	c.queue = nil
 	c.watch = nil
@@ -418,7 +427,7 @@ func (c *Conn) Discard() {
 // reporting a sequencing bug through that boolean would masquerade as
 // contention and be retried forever.
 func (c *Conn) Exec() (bool, error) {
-	c.s.charge("exec")
+	c.s.charge("exec", "")
 	if !c.inMulti {
 		return false, ErrExecWithoutMulti
 	}

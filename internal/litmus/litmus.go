@@ -1,0 +1,493 @@
+// Package litmus holds the model-checking litmus programs: small
+// multi-goroutine transaction programs over the internal/apps case studies,
+// each in a buggy and a fixed variant. The buggy variants rediscover the §4
+// bug classes under the sched explorer — the interleaving (or crash
+// placement) that breaks the ad hoc transaction is found by search, not
+// hard-coded; the fixed variants pass every schedule the explorer reaches at
+// the same bounds.
+//
+// Bug classes covered (one Pair each):
+//
+//	discourse-edit     §4.1.1 misuse: validation reads taken before the lock
+//	mastodon-ttl       §4.1.1 misuse: TTL lease expires inside the section
+//	saleor-capture     §4.2 omitted coordination: unprotected total check
+//	broadleaf-dblock   §3.4.2/§4.3 failure handling: crash-orphaned DB lock
+//	engine-lost-update §4.2 omitted locking, checked by the analyzer oracle
+package litmus
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"adhoctx/internal/adhoc/granularity"
+	"adhoctx/internal/adhoc/locks"
+	"adhoctx/internal/analyzer"
+	"adhoctx/internal/apps/discourse"
+	"adhoctx/internal/apps/mastodon"
+	"adhoctx/internal/apps/saleor"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/kv"
+	"adhoctx/internal/sched"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+// Pair is one litmus program in its buggy and fixed variants.
+type Pair struct {
+	// Name identifies the pair (CLI: <name>/buggy, <name>/fixed).
+	Name string
+	// Class is the paper section of the rediscovered bug class.
+	Class string
+	// Doc says what the buggy variant gets wrong and what fixes it.
+	Doc string
+	// Buggy is expected to fail under exploration; Fixed to pass.
+	Buggy, Fixed sched.Program
+	// PCTLen is the priority-change-point range for PCT runs, sized to the
+	// program's real decision count (the package default of 128 places
+	// change points past the end of these small programs).
+	PCTLen int
+}
+
+// Pairs returns every litmus pair, smallest exploration space first.
+func Pairs() []Pair {
+	return []Pair{
+		dblockPair(),
+		saleorPair(),
+		discoursePair(),
+		lostUpdatePair(),
+		mastodonPair(),
+	}
+}
+
+// Find returns the named pair.
+func Find(name string) (Pair, bool) {
+	for _, p := range Pairs() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Pair{}, false
+}
+
+func newEngine() *engine.Engine {
+	return engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 10 * time.Second})
+}
+
+// ---- discourse-edit: validation read taken before the lock (§4.1.1) ----
+
+// discoursePair builds the Discourse edit-post race: two editors submit
+// against the same loaded content. The buggy variant validates against a read
+// taken before acquiring the post lock and skips the re-read, so an edit that
+// commits while the second editor waits on the lock is silently overwritten —
+// both submissions report success.
+func discoursePair() Pair {
+	mk := func(buggy bool) sched.Program {
+		variant := "fixed"
+		if buggy {
+			variant = "buggy"
+		}
+		return sched.Program{
+			Name: "discourse-edit/" + variant,
+			Doc:  "two concurrent SubmitEdit calls against the same loaded content",
+			Make: func() (*sched.Instance, error) {
+				eng := newEngine()
+				app := discourse.New(eng, locks.NewMemLocker())
+				app.BuggyReadBeforeLock = buggy
+				topic, err := app.CreateTopic()
+				if err != nil {
+					return nil, err
+				}
+				post, err := app.CreatePost(topic, "v0", 0)
+				if err != nil {
+					return nil, err
+				}
+				var errA, errB error
+				return &sched.Instance{
+					Threads: []sched.Thread{
+						{Name: "edit-a", Run: func() error {
+							errA = app.SubmitEdit(post, "v0", "alice's edit")
+							return nil
+						}},
+						{Name: "edit-b", Run: func() error {
+							errB = app.SubmitEdit(post, "v0", "bob's edit")
+							return nil
+						}},
+					},
+					Check: func(r *sched.Result) error {
+						for _, err := range []error{errA, errB} {
+							if err != nil && !errors.Is(err, discourse.ErrEditConflict) {
+								return fmt.Errorf("unexpected edit error: %w", err)
+							}
+						}
+						if errA == nil && errB == nil {
+							content, _, _, _, err := app.Post(post)
+							if err != nil {
+								return err
+							}
+							return fmt.Errorf("both edits succeeded against the same base content; one overwrote the other (final %q)", content)
+						}
+						return nil
+					},
+				}, nil
+			},
+		}
+	}
+	return Pair{
+		Name:  "discourse-edit",
+		Class: "§4.1.1 lock-based misuse: read before lock",
+		Doc: "The buggy edit handler validates post content against a read taken " +
+			"before acquiring the post lock and does not re-read after it, so an " +
+			"edit committed while waiting on the lock is overwritten. The fix " +
+			"re-reads and validates inside the lock.",
+		Buggy:  mk(true),
+		Fixed:  mk(false),
+		PCTLen: 24,
+	}
+}
+
+// ---- mastodon-ttl: lease expires inside the critical section (§4.1.1) ----
+
+// mastodonPair builds the Mastodon issue-15645 shape: a delete-post whose
+// critical section outlives its SETNX lease races a boost job that re-fans
+// the post out to follower timelines. When the lease expires mid-delete, the
+// boost enters "the locked section", observes the not-yet-deleted post row,
+// and re-adds the timeline entry the delete already removed — followers see a
+// deleted post.
+func mastodonPair() Pair {
+	const (
+		postID   = int64(42)
+		follower = int64(7)
+	)
+	mk := func(ttl time.Duration, variant string) sched.Program {
+		return sched.Program{
+			Name: "mastodon-ttl/" + variant,
+			Doc:  "delete-post with a slow critical section racing a boost re-fan-out",
+			Make: func() (*sched.Instance, error) {
+				clock := sim.NewFakeClock(time.Unix(0, 0))
+				store := kv.NewStore(clock, sim.Latency{})
+				eng := newEngine()
+				deleter := &locks.SetNXLocker{Store: store, Token: "deleter", TTL: ttl,
+					Clock: clock, RetryInterval: time.Second, Timeout: 10 * time.Second}
+				app := mastodon.New(eng, store, deleter)
+				if err := app.CreatePost(postID, "original", []int64{follower}); err != nil {
+					return nil, err
+				}
+				app.SlowSection = func() { clock.Sleep(3 * time.Second) }
+
+				booster := &locks.SetNXLocker{Store: store, Token: "boost", TTL: ttl,
+					Clock: clock, RetryInterval: time.Second, Timeout: 10 * time.Second}
+				var boostErr, delErr error
+				return &sched.Instance{
+					Threads: []sched.Thread{
+						{Name: "delete", Run: func() error {
+							delErr = app.DeletePost(postID, []int64{follower})
+							return nil
+						}},
+						{Name: "boost", Run: func() error {
+							// Re-fan-out under the post lock: only live posts
+							// are (re-)added to timelines.
+							boostErr = core.WithLock(booster, granularity.RowKey("post", postID), func() error {
+								ok, err := app.PostExists(postID)
+								if err != nil {
+									return err
+								}
+								if ok {
+									store.Conn().SAdd(fmt.Sprintf("timeline:%d", follower), fmt.Sprint(postID))
+								}
+								return nil
+							})
+							return nil
+						}},
+					},
+					Check: func(r *sched.Result) error {
+						// Either side giving up on a held lock is a benign
+						// outcome (the checked property is the timeline
+						// invariant, not liveness): the polling itself
+						// advances the virtual clock through the acquire
+						// timeout in schedules that park the lock holder.
+						if boostErr != nil && !errors.Is(boostErr, core.ErrLockUnavailable) {
+							return fmt.Errorf("boost failed: %w", boostErr)
+						}
+						if delErr != nil && !errors.Is(delErr, core.ErrLockUnavailable) {
+							return fmt.Errorf("delete failed: %w", delErr)
+						}
+						vs, err := app.CheckTimelineRefs([]int64{follower})
+						if err != nil {
+							return err
+						}
+						if len(vs) > 0 {
+							return fmt.Errorf("timeline references a deleted post: %v", vs)
+						}
+						return nil
+					},
+				}, nil
+			},
+		}
+	}
+	return Pair{
+		Name:  "mastodon-ttl",
+		Class: "§4.1.1 lock-based misuse: TTL lease expiry",
+		Doc: "The delete-post lease carries a 2s TTL but the critical section " +
+			"sleeps 3s, so the lease silently expires mid-delete and a boost job " +
+			"re-adds the timeline entry for a post about to be deleted (issue " +
+			"15645). The fix removes the expiry (TTL 0) so the lease cannot lapse " +
+			"while held.",
+		Buggy:  mk(2*time.Second, "buggy"),
+		Fixed:  mk(0, "fixed"),
+		PCTLen: 64,
+	}
+}
+
+// ---- saleor-capture: omitted coordination of the total check (§4.2) ----
+
+// saleorPair builds the Saleor overcharging defect: two concurrent payment
+// captures of 60 against an order total of 100. The buggy variant checks
+// captured+amount <= total in one transaction and applies the increment in
+// another, so both checks pass against captured=0 and the order is charged
+// 120.
+func saleorPair() Pair {
+	mk := func(buggy bool) sched.Program {
+		variant := "fixed"
+		if buggy {
+			variant = "buggy"
+		}
+		return sched.Program{
+			Name: "saleor-capture/" + variant,
+			Doc:  "two concurrent CapturePayment(60) against an order total of 100",
+			Make: func() (*sched.Instance, error) {
+				app := saleor.New(newEngine())
+				app.BuggyOmitTotalCheck = buggy
+				order, err := app.CreateOrder(100)
+				if err != nil {
+					return nil, err
+				}
+				var errA, errB error
+				return &sched.Instance{
+					Threads: []sched.Thread{
+						{Name: "capture-a", Run: func() error {
+							errA = app.CapturePayment(order, 60)
+							return nil
+						}},
+						{Name: "capture-b", Run: func() error {
+							errB = app.CapturePayment(order, 60)
+							return nil
+						}},
+					},
+					Check: func(r *sched.Result) error {
+						for _, err := range []error{errA, errB} {
+							if err != nil && !errors.Is(err, saleor.ErrOvercapture) {
+								return fmt.Errorf("unexpected capture error: %w", err)
+							}
+						}
+						captured, err := app.Captured(order)
+						if err != nil {
+							return err
+						}
+						if captured > 100 {
+							return fmt.Errorf("order overcharged: captured %.0f of a %.0f total", captured, 100.0)
+						}
+						return nil
+					},
+				}, nil
+			},
+		}
+	}
+	return Pair{
+		Name:  "saleor-capture",
+		Class: "§4.2 omitted coordination: unprotected check",
+		Doc: "The buggy capture path validates captured+amount <= total in one " +
+			"transaction and increments in another, so concurrent captures both " +
+			"pass the check against the same stale value and overcharge the " +
+			"order. The fix locks the order row (SELECT FOR UPDATE) around check " +
+			"and increment.",
+		Buggy:  mk(true),
+		Fixed:  mk(false),
+		PCTLen: 24,
+	}
+}
+
+// ---- broadleaf-dblock: crash-orphaned lock rows (§3.4.2, §4.3) ----
+
+// dblockPair builds the Broadleaf persisted-lock recovery scenario: a worker
+// acquires the DB lock, and an explored crash point sits inside the critical
+// section (the process may die holding the lock — the lock row survives in
+// the database). On "reboot", a second worker tries to acquire. The fixed
+// variant stamps the new boot with a fresh boot ID, recognizes the orphan as
+// stale, and takes it over; the buggy variant reuses the previous boot ID, so
+// the orphan looks live and the restarted service can never reacquire its own
+// lock.
+func dblockPair() Pair {
+	mk := func(rebootID string, variant string) sched.Program {
+		return sched.Program{
+			Name: "broadleaf-dblock/" + variant,
+			Doc:  "crash explored inside a DB-lock critical section, then a reboot reacquires",
+			Make: func() (*sched.Instance, error) {
+				eng := newEngine()
+				locks.SetupDBLockTable(eng)
+				clock := sim.NewFakeClock(time.Unix(0, 0))
+				plan := &sim.CrashPlan{}
+				plan.ExploreCrashes("job/critical")
+				worker1 := &locks.DBLocker{Eng: eng, BootID: "boot-1", Owner: "w1",
+					Clock: clock, RetryInterval: time.Second, Timeout: 3 * time.Second}
+				worker2 := &locks.DBLocker{Eng: eng, BootID: rebootID, Owner: "w2",
+					Clock: clock, RetryInterval: time.Second, Timeout: 3 * time.Second}
+				var crashed bool
+				var rebootErr error
+				return &sched.Instance{
+					Threads: []sched.Thread{
+						{Name: "job", Run: func() error {
+							rel, err := worker1.Acquire("inventory")
+							if err != nil {
+								return fmt.Errorf("first boot acquire: %w", err)
+							}
+							func() {
+								defer func() {
+									if r := recover(); r != nil {
+										if _, ok := r.(*sim.CrashError); ok {
+											crashed = true // died holding the lock
+											return
+										}
+										panic(r)
+									}
+								}()
+								plan.Check("job/critical")
+								_ = rel()
+							}()
+							// The process reboots and its worker needs the lock.
+							rel2, err := worker2.Acquire("inventory")
+							if err != nil {
+								rebootErr = err
+								return nil
+							}
+							return rel2()
+						}},
+					},
+					Check: func(r *sched.Result) error {
+						if rebootErr != nil {
+							return fmt.Errorf("rebooted worker cannot reacquire (crashed=%v): %w", crashed, rebootErr)
+						}
+						return nil
+					},
+				}, nil
+			},
+		}
+	}
+	return Pair{
+		Name:  "broadleaf-dblock",
+		Class: "§3.4.2/§4.3 failure handling: crash-orphaned lock",
+		Doc: "A crash inside the critical section leaves the persisted lock row " +
+			"behind. The fixed variant stamps each boot with a fresh boot ID so " +
+			"the orphan is recognized as stale and taken over; the buggy variant " +
+			"reuses the old boot ID and the restarted service deadlocks on its " +
+			"own orphan.",
+		Buggy:  mk("boot-1", "buggy"),
+		Fixed:  mk("boot-2", "fixed"),
+		PCTLen: 16,
+	}
+}
+
+// ---- engine-lost-update: omitted locking, analyzer-oracle checked (§4.2) ----
+
+// lostUpdatePair builds the classic two-transaction lost update directly on
+// the engine, with the analyzer's serializability oracle as the checker: two
+// tagged deposits read-modify-write one account at Read Committed. The buggy
+// variant reads without FOR UPDATE, so the interleaving r1 r2 w1 c1 w2 c2
+// loses the first deposit — visible both as a wrong balance and as a cycle in
+// the recorded history's conflict graph.
+func lostUpdatePair() Pair {
+	mk := func(forUpdate bool, variant string) sched.Program {
+		return sched.Program{
+			Name: "engine-lost-update/" + variant,
+			Doc:  "two read-modify-write deposits on one account, oracle-checked",
+			Make: func() (*sched.Instance, error) {
+				eng := newEngine()
+				eng.CreateTable(storage.NewSchema("accounts",
+					storage.Column{Name: "bal", Type: storage.TInt},
+				))
+				var acct int64
+				err := eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+					var err error
+					acct, err = t.Insert("accounts", map[string]storage.Value{"bal": int64(100)})
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				hist := analyzer.NewHistory()
+				eng.SetTracer(hist)
+				schema := eng.Schema("accounts")
+				deposit := func(tag string) error {
+					t := eng.Begin(engine.ReadCommitted)
+					t.SetTag(tag)
+					var row storage.Row
+					var err error
+					if forUpdate {
+						row, err = t.SelectOne("accounts", storage.ByPK(acct), engine.ForUpdate)
+					} else {
+						row, err = t.SelectOne("accounts", storage.ByPK(acct))
+					}
+					if err != nil {
+						_ = t.Rollback()
+						return err
+					}
+					bal := row.Get(schema, "bal").(int64)
+					if _, err := t.Update("accounts", storage.ByPK(acct),
+						map[string]storage.Value{"bal": bal + 10}); err != nil {
+						_ = t.Rollback()
+						return err
+					}
+					return t.Commit()
+				}
+				return &sched.Instance{
+					Threads: []sched.Thread{
+						{Name: "deposit-a", Run: func() error { return deposit("deposit-a") }},
+						{Name: "deposit-b", Run: func() error { return deposit("deposit-b") }},
+					},
+					Check: func(r *sched.Result) error {
+						for _, err := range r.Errs {
+							if err != nil {
+								return fmt.Errorf("deposit failed: %w", err)
+							}
+						}
+						eng.SetTracer(nil)
+						// The analyzer oracle: the committed history's
+						// conflict graph must be acyclic.
+						items := analyzer.CommittedOnly(hist.Items())
+						if cycle := analyzer.BuildConflictGraph(items).FindCycle(); cycle != nil {
+							return fmt.Errorf("history not serializable: cycle %v", cycle)
+						}
+						var bal int64
+						err := eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+							row, err := t.SelectOne("accounts", storage.ByPK(acct))
+							if err != nil {
+								return err
+							}
+							bal = row.Get(schema, "bal").(int64)
+							return nil
+						})
+						if err != nil {
+							return err
+						}
+						if bal != 120 {
+							return fmt.Errorf("deposit lost: balance %d, want 120", bal)
+						}
+						return nil
+					},
+				}, nil
+			},
+		}
+	}
+	return Pair{
+		Name:  "engine-lost-update",
+		Class: "§4.2 omitted coordination: unlocked read-modify-write",
+		Doc: "Two Read Committed deposits read the balance without FOR UPDATE " +
+			"and write back read+10, so one deposit vanishes under the r1 r2 w1 " +
+			"c1 w2 c2 interleaving. The analyzer's conflict-graph oracle flags " +
+			"the cycle; the fix locks the read.",
+		Buggy:  mk(false, "buggy"),
+		Fixed:  mk(true, "fixed"),
+		PCTLen: 24,
+	}
+}

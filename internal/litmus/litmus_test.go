@@ -1,0 +1,114 @@
+package litmus
+
+import (
+	"testing"
+
+	"adhoctx/internal/sched"
+)
+
+// TestBuggyVariantsFoundByDFS is the tentpole acceptance: bounded-exhaustive
+// DFS rediscovers every §4 bug class from its buggy litmus program, the
+// reported schedule ID replays to the same violation deterministically, and
+// the minimized schedule (when present) also still fails.
+func TestBuggyVariantsFoundByDFS(t *testing.T) {
+	for _, p := range Pairs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			ex := &sched.Explorer{Prog: p.Buggy}
+			rep, err := ex.ExploreDFS()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Violation == nil {
+				t.Fatalf("DFS missed the %s bug after %d schedules (pruned %d, truncated %d)",
+					p.Class, rep.Schedules, rep.Pruned, rep.Truncated)
+			}
+			v := rep.Violation
+			t.Logf("%s: violation after %d schedules: %v", p.Name, rep.Schedules, v.Err)
+			t.Logf("schedule id: %s (minimized: %s)", v.ScheduleID, v.MinScheduleID)
+
+			// The schedule ID must reproduce the violation, repeatedly.
+			for i := 0; i < 2; i++ {
+				rrep, err := ex.ReplayID(v.ScheduleID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rrep.Diverged {
+					t.Fatalf("replay %d diverged", i)
+				}
+				if rrep.Violation == nil {
+					t.Fatalf("replay %d of %s did not reproduce the violation", i, v.ScheduleID)
+				}
+			}
+			// The minimized ID, when produced, must too.
+			if v.MinScheduleID != "" {
+				rrep, err := ex.ReplayID(v.MinScheduleID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rrep.Violation == nil {
+					t.Fatalf("minimized schedule %s did not reproduce", v.MinScheduleID)
+				}
+				if len(v.MinSteps) > len(v.Steps) {
+					t.Fatalf("minimizer grew the trace: %d > %d", len(v.MinSteps), len(v.Steps))
+				}
+			}
+		})
+	}
+}
+
+// TestFixedVariantsPassDFS: the fixed variants survive the same
+// bounded-exhaustive exploration without a single failing terminal state.
+func TestFixedVariantsPassDFS(t *testing.T) {
+	for _, p := range Pairs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			ex := &sched.Explorer{Prog: p.Fixed}
+			rep, err := ex.ExploreDFS()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Violation != nil {
+				t.Fatalf("fixed variant failed:\n%s", rep.Violation.Format())
+			}
+			t.Logf("%s: %d schedules clean (pruned %d, truncated %d, complete=%v)",
+				p.Name, rep.Schedules, rep.Pruned, rep.Truncated, rep.Complete)
+			if rep.Truncated > 0 {
+				t.Errorf("fixed exploration truncated %d runs; raise StepLimit so the space is fully checked", rep.Truncated)
+			}
+			if !rep.Complete && rep.Schedules+rep.Pruned < 100000 {
+				t.Errorf("fixed exploration did not exhaust the bounded space")
+			}
+		})
+	}
+}
+
+// TestBuggyVariantsFoundByPCT: randomized priority sampling also finds each
+// bug class within a modest seed budget, and the failing seed's schedule ID
+// replays.
+func TestBuggyVariantsFoundByPCT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PCT sweep is the slow path; DFS covers correctness in -short")
+	}
+	for _, p := range Pairs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			ex := &sched.Explorer{Prog: p.Buggy, PCTLen: p.PCTLen}
+			rep, err := ex.ExplorePCT(1, 400)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Violation == nil {
+				t.Fatalf("PCT missed the %s bug in %d seeds", p.Class, rep.Schedules)
+			}
+			t.Logf("%s: PCT seed %d fails: %v", p.Name, rep.Seed, rep.Violation.Err)
+			rrep, err := ex.ReplayID(rep.Violation.ScheduleID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rrep.Violation == nil {
+				t.Fatalf("PCT schedule %s did not replay", rep.Violation.ScheduleID)
+			}
+		})
+	}
+}

@@ -23,8 +23,15 @@ import (
 	"time"
 
 	"adhoctx/internal/obs"
+	"adhoctx/internal/sched"
 	"adhoctx/internal/storage"
 )
+
+// keyLabel renders a lockable key as a sched resource suffix. Only called
+// when a schedule controller is installed.
+func keyLabel(key any) string {
+	return fmt.Sprintf("%v", key)
+}
 
 // Mode is a lock mode.
 type Mode int
@@ -277,6 +284,9 @@ func (m *Manager) unlockAll() {
 // already-held key in the same or weaker mode is a no-op; requesting
 // Exclusive while holding Shared performs an upgrade.
 func (m *Manager) Acquire(o *Owner, key any, mode Mode) error {
+	if sched.Enabled() {
+		sched.Point("lockmgr/acquire#" + keyLabel(key))
+	}
 	om := m.om.Load()
 	sh, idx := m.shardFor(key)
 	if om != nil {
@@ -375,6 +385,9 @@ func (m *Manager) fastAcquire(sh *shard, o *Owner, key any, mode Mode, om *lmMet
 // TryAcquire attempts a non-blocking acquire and reports whether it was
 // granted. Used by SETNX-style primitives and NOWAIT statements.
 func (m *Manager) TryAcquire(o *Owner, key any, mode Mode) bool {
+	if sched.Enabled() {
+		sched.Point("lockmgr/try#" + keyLabel(key))
+	}
 	if om := m.om.Load(); om != nil {
 		om.tryAcquires.Inc()
 	}
@@ -403,7 +416,31 @@ func (m *Manager) TryAcquire(o *Owner, key any, mode Mode) bool {
 
 // awaitGrant blocks on the waiter's channel, honouring the manager timeout.
 // Called without any shard mutex held.
+//
+// Under a sched controller the wait is cooperative: the controller polls the
+// grant channel and wakes this task when the grant lands, so the explorer can
+// serialize lock handoffs. WaitTimeout is deliberately ignored on that path —
+// virtual schedules have no wall clock, and a timeout firing mid-exploration
+// would make runs nondeterministic.
 func (m *Manager) awaitGrant(sh *shard, w *waiter, ls *lockState, timeout time.Duration) error {
+	if sched.Enabled() {
+		var res error
+		got := false
+		if sched.Wait("lockmgr/grant", func() bool {
+			if got {
+				return true
+			}
+			select {
+			case err := <-w.ch:
+				res, got = err, true
+				return true
+			default:
+				return false
+			}
+		}) {
+			return res
+		}
+	}
 	if timeout <= 0 {
 		return <-w.ch
 	}
@@ -474,6 +511,9 @@ func (sh *shard) removeWaiter(ls *lockState, w *waiter) {
 // release breaks two-phase locking — which is exactly what the buggy
 // Select-For-Update usage in Spree does (§4.1.1), so the primitive exists.
 func (m *Manager) Release(o *Owner, key any) {
+	if sched.Enabled() {
+		sched.Point("lockmgr/release#" + keyLabel(key))
+	}
 	sh, _ := m.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -586,8 +626,27 @@ func (m *Manager) InsertIntent(o *Owner, space GapSpace, key storage.Value) erro
 }
 
 // awaitGapGrant blocks on a parked insert intention, honouring the manager
-// timeout. Called without any shard mutex held.
+// timeout. Called without any shard mutex held. Cooperative under a sched
+// controller, same as awaitGrant.
 func (m *Manager) awaitGapGrant(sh *shard, gw *gapWaiter, timeout time.Duration) error {
+	if sched.Enabled() {
+		var res error
+		got := false
+		if sched.Wait("lockmgr/gapgrant", func() bool {
+			if got {
+				return true
+			}
+			select {
+			case err := <-gw.ch:
+				res, got = err, true
+				return true
+			default:
+				return false
+			}
+		}) {
+			return res
+		}
+	}
 	if timeout <= 0 {
 		return <-gw.ch
 	}
@@ -647,6 +706,9 @@ func (sh *shard) removeGapWaiter(gw *gapWaiter) {
 // wakes whatever becomes grantable. Shards are visited one at a time; no
 // global lock is needed because release never parks.
 func (m *Manager) ReleaseAll(o *Owner) {
+	if sched.Enabled() {
+		sched.Point("lockmgr/releaseall")
+	}
 	for _, sh := range m.shards {
 		sh.mu.Lock()
 		if hm := sh.held[o]; hm != nil {

@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"testing"
+)
+
+// BenchmarkSchedPointOverhead measures the disabled seam: one atomic
+// pointer load and a nil check. This is the cost every instrumented hot
+// path (kv commands, lock acquisitions, engine statements) pays in
+// production builds, so it must stay in low single-digit nanoseconds.
+func BenchmarkSchedPointOverhead(b *testing.B) {
+	if Enabled() {
+		b.Fatal("controller installed; benchmark measures the disabled path")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Point("bench/disabled#key")
+	}
+}
+
+// TestSchedPointOverheadBudget enforces the <5ns/op acceptance bound. It
+// takes the best of three benchmark runs to shrug off scheduler noise on
+// shared CI machines.
+func TestSchedPointOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if raceEnabled {
+		t.Skip("race detector instruments the atomic load; budget holds for production builds only")
+	}
+	if testing.CoverMode() != "" {
+		t.Skip("coverage counters instrument the fast path; budget holds for production builds only")
+	}
+	const budgetNs = 5.0
+	best := -1.0
+	for i := 0; i < 3; i++ {
+		res := testing.Benchmark(BenchmarkSchedPointOverhead)
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		if best < 0 || ns < best {
+			best = ns
+		}
+	}
+	t.Logf("disabled sched.Point: %.2f ns/op (budget %v ns)", best, budgetNs)
+	if best >= budgetNs {
+		t.Fatalf("disabled sched.Point costs %.2f ns/op, budget %v ns", best, budgetNs)
+	}
+}

@@ -1,0 +1,522 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrTaskLeaked marks a task whose goroutine was still blocked when the
+// post-run drain timed out (a real deadlock outside the controller's view).
+var ErrTaskLeaked = errors.New("sched: task did not finish during drain")
+
+// taskState is the scheduler-visible lifecycle of one registered goroutine.
+type taskState int
+
+const (
+	tsNew      taskState = iota // goroutine spawned, not yet parked
+	tsReady                     // parked at a Point; schedulable
+	tsBlocked                   // parked in Wait; schedulable iff pred() holds
+	tsChoosing                  // parked at a Choose; schedulable, then picks a branch
+	tsRunning                   // the one task currently executing
+	tsDone                      // fn returned (or panicked)
+)
+
+// task is one registered goroutine under the controller.
+type task struct {
+	id   int
+	name string
+	fn   func() error
+	c    *Controller
+
+	// resume carries the controller's "go" signal; buffered so the
+	// controller never blocks handing it over.
+	resume chan struct{}
+
+	mu     sync.Mutex
+	state  taskState
+	label  string      // pending transition label while parked
+	pred   func() bool // readiness poll while tsBlocked
+	n       int         // branch arity while tsChoosing
+	branch  int         // branch value, set by the controller before resume
+	waitOK  bool        // Wait outcome, set by the controller before resume
+	granted bool        // a Wait predicate latched true (signal consumed)
+	err     error       // fn result, valid once tsDone
+}
+
+func (t *task) getState() taskState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// park publishes the task's pending transition and blocks until the
+// controller schedules it.
+func (t *task) park(st taskState, label string, pred func() bool, n int) {
+	t.mu.Lock()
+	t.state = st
+	t.label = label
+	t.pred = pred
+	t.n = n
+	t.mu.Unlock()
+	t.c.yield <- t
+	<-t.resume
+}
+
+// main is the task goroutine body: register, park at the start line, run fn
+// (converting panics — crash points included — into errors), report done.
+func (t *task) main() {
+	t.c.bind(gid(), t)
+	t.park(tsReady, "task/start", nil, 0)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.err = &PanicError{Value: r}
+			}
+		}()
+		t.err = t.fn()
+	}()
+	t.c.unbind(gid())
+	t.mu.Lock()
+	t.state = tsDone
+	t.mu.Unlock()
+	t.c.yield <- t
+}
+
+// PanicError wraps a panic recovered from a task body, so crash-point
+// panics (*sim.CrashError) and genuine bugs both surface as task errors the
+// litmus check can inspect. Unwrap exposes panic values that are errors.
+type PanicError struct{ Value any }
+
+func (p *PanicError) Error() string { return fmt.Sprintf("task panic: %v", p.Value) }
+
+func (p *PanicError) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Step is one scheduling step of a run's trace.
+type Step struct {
+	Task    string // task name
+	Label   string // transition label the task was parked at
+	Branch  bool   // true for a Choose branch decision
+	Val     int    // task id, or branch value for branch steps
+	Decided bool   // true when a Strategy pick was recorded for this step
+}
+
+func (s Step) String() string {
+	kind := ""
+	if s.Branch {
+		kind = fmt.Sprintf(" := %d", s.Val)
+	}
+	return fmt.Sprintf("%-10s %s%s", s.Task, s.Label, kind)
+}
+
+// Result is the outcome of one controlled run.
+type Result struct {
+	Picks []uint64 // recorded strategy decisions (task ids / branch values)
+	Steps []Step   // full trace, including auto-advanced singleton steps
+	Bound int      // preemption bound in force (for schedule-ID encoding)
+
+	Errs map[string]error // task name -> error (nil entries for clean tasks)
+
+	Stuck     bool // no runnable task before all tasks finished (deadlock)
+	Truncated bool // step limit hit; terminal state is mid-flight
+	Drained   bool // all tasks finished during post-run free drain
+}
+
+// Preemptions counts scheduler-forced task switches in the trace — the
+// minimizer's primary score.
+func (r *Result) Preemptions() int {
+	n := 0
+	last := ""
+	for _, s := range r.Steps {
+		if s.Branch {
+			continue
+		}
+		if last != "" && s.Task != last {
+			n++
+		}
+		last = s.Task
+	}
+	return n
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	Strategy Strategy
+	// StepLimit bounds decisions per run; exceeding it truncates the run
+	// (the terminal state is not checked). Default 10000.
+	StepLimit int
+	// PreemptionBound caps scheduler-forced task switches per run
+	// (CHESS-style): once spent, the running task keeps running while it
+	// stays enabled. Negative means unbounded. The known §4 bugs need at
+	// most two preemptions.
+	PreemptionBound int
+	// DrainTimeout bounds the post-run free drain of leftover goroutines
+	// after a stuck or truncated run. Default 5s.
+	DrainTimeout time.Duration
+	// StuckGrace is how long an empty runnable set is re-polled before the
+	// run is declared stuck. Wait predicates normally flip only when a task
+	// acts, but a program may spawn uncontrolled helper goroutines whose
+	// effects arrive on real time. Default 50ms; only ever paid on runs
+	// that end stuck or race such a helper.
+	StuckGrace time.Duration
+}
+
+// Controller serializes a set of tasks: exactly one runs between scheduling
+// decisions, and a Strategy picks which. Create one per run; it is not
+// reusable. Only one controller may be installed process-wide at a time
+// (the seam is a process global), so explorations are sequential.
+type Controller struct {
+	cfg   Config
+	tasks []*task
+	yield chan *task
+
+	gmu   sync.Mutex
+	byGid map[uint64]*task
+
+	last    *task // task chosen by the previous decision
+	preempt int   // preemptions spent
+
+	picks []uint64
+	steps []Step
+
+	stuck     bool
+	truncated bool
+}
+
+// NewController creates a controller. Register tasks with Go, then call Run
+// exactly once.
+func NewController(cfg Config) *Controller {
+	if cfg.StepLimit <= 0 {
+		cfg.StepLimit = 10000
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.StuckGrace <= 0 {
+		cfg.StuckGrace = 50 * time.Millisecond
+	}
+	return &Controller{
+		cfg:   cfg,
+		yield: make(chan *task, 256),
+		byGid: make(map[uint64]*task),
+	}
+}
+
+// Go registers a task. Must be called before Run.
+func (c *Controller) Go(name string, fn func() error) {
+	c.tasks = append(c.tasks, &task{
+		id:     len(c.tasks),
+		name:   name,
+		fn:     fn,
+		c:      c,
+		resume: make(chan struct{}, 1),
+	})
+}
+
+func (c *Controller) bind(g uint64, t *task) {
+	c.gmu.Lock()
+	c.byGid[g] = t
+	c.gmu.Unlock()
+}
+
+func (c *Controller) unbind(g uint64) {
+	c.gmu.Lock()
+	delete(c.byGid, g)
+	c.gmu.Unlock()
+}
+
+func (c *Controller) taskFor(g uint64) *task {
+	c.gmu.Lock()
+	t := c.byGid[g]
+	c.gmu.Unlock()
+	return t
+}
+
+// point parks the calling task at a scheduling point. Unregistered
+// goroutines (helpers the program spawns outside the controller, test
+// plumbing) pass through untouched.
+func (c *Controller) point(label string) {
+	t := c.taskFor(gid())
+	if t == nil {
+		return
+	}
+	t.park(tsReady, label, nil, 0)
+}
+
+// wait parks the calling task as blocked-on-pred; see Wait.
+func (c *Controller) wait(label string, ready func() bool) bool {
+	t := c.taskFor(gid())
+	if t == nil {
+		return false
+	}
+	t.park(tsBlocked, label, ready, 0)
+	t.mu.Lock()
+	ok := t.waitOK
+	t.pred = nil
+	t.granted = false
+	t.mu.Unlock()
+	return ok
+}
+
+// choose parks the calling task at a branch decision; see Choose.
+func (c *Controller) choose(label string, n int) int {
+	t := c.taskFor(gid())
+	if t == nil {
+		return 0
+	}
+	t.park(tsChoosing, label, nil, n)
+	t.mu.Lock()
+	b := t.branch
+	t.mu.Unlock()
+	return b
+}
+
+// Run installs the controller, schedules the registered tasks to
+// completion (or stuck state / step limit), uninstalls it, and returns the
+// run's result. The scheduler loop executes on the caller's goroutine.
+func (c *Controller) Run() *Result {
+	if !active.CompareAndSwap(nil, c) {
+		panic("sched: a controller is already installed; explorations are sequential")
+	}
+	for _, t := range c.tasks {
+		go t.main()
+	}
+	c.await()
+
+	for {
+		if c.allDone() {
+			break
+		}
+		enabled := c.runnable()
+		if len(enabled) == 0 {
+			enabled = c.repollRunnable()
+		}
+		if len(enabled) == 0 {
+			c.stuck = true
+			break
+		}
+		if len(c.steps) >= c.cfg.StepLimit {
+			c.truncated = true
+			break
+		}
+		c.scheduleOne(enabled)
+		c.await()
+	}
+
+	active.Store(nil)
+	res := &Result{
+		Picks:     c.picks,
+		Steps:     c.steps,
+		Bound:     c.cfg.PreemptionBound,
+		Errs:      make(map[string]error, len(c.tasks)),
+		Stuck:     c.stuck,
+		Truncated: c.truncated,
+	}
+	res.Drained = c.drain()
+	for _, t := range c.tasks {
+		t.mu.Lock()
+		if t.state == tsDone {
+			res.Errs[t.name] = t.err
+		} else {
+			// The goroutine is still live (real deadlock under drain);
+			// reading t.err would race with its eventual write.
+			res.Errs[t.name] = ErrTaskLeaked
+		}
+		t.mu.Unlock()
+	}
+	return res
+}
+
+// scheduleOne makes one scheduling decision (plus a branch decision when the
+// chosen task is at a Choose) and resumes the chosen task.
+func (c *Controller) scheduleOne(enabled []*task) {
+	lastEnabled := false
+	for _, t := range enabled {
+		if t == c.last {
+			lastEnabled = true
+		}
+	}
+
+	opts := enabled
+	if c.cfg.PreemptionBound >= 0 && lastEnabled && c.preempt >= c.cfg.PreemptionBound {
+		opts = []*task{c.last}
+	}
+
+	var chosen *task
+	decided := false
+	if len(opts) == 1 {
+		// No real choice: auto-advance without consulting the strategy or
+		// recording a pick, keeping schedule IDs and DFS depth proportional
+		// to genuine decisions.
+		chosen = opts[0]
+	} else {
+		d := Decision{Options: make([]Option, len(opts))}
+		for i, t := range opts {
+			t.mu.Lock()
+			d.Options[i] = Option{Task: t.id, Name: t.name, Label: t.label}
+			t.mu.Unlock()
+		}
+		pick := c.cfg.Strategy.Pick(d)
+		if pick < 0 || pick >= len(opts) {
+			pick = 0
+		}
+		chosen = opts[pick]
+		c.picks = append(c.picks, uint64(chosen.id))
+		decided = true
+	}
+	if c.last != nil && chosen != c.last && lastEnabled {
+		c.preempt++
+	}
+	c.last = chosen
+
+	chosen.mu.Lock()
+	label := chosen.label
+	st := chosen.state
+	n := chosen.n
+	chosen.mu.Unlock()
+	c.steps = append(c.steps, Step{Task: chosen.name, Label: label, Val: chosen.id, Decided: decided})
+
+	branch := 0
+	if st == tsChoosing && n > 1 {
+		bd := Decision{Branch: true, Options: make([]Option, n)}
+		for i := 0; i < n; i++ {
+			bd.Options[i] = Option{Task: i, Name: chosen.name, Label: label}
+		}
+		branch = c.cfg.Strategy.Pick(bd)
+		if branch < 0 || branch >= n {
+			branch = 0
+		}
+		c.picks = append(c.picks, uint64(branch))
+		c.steps = append(c.steps, Step{Task: chosen.name, Label: label, Branch: true, Val: branch, Decided: true})
+	}
+
+	c.resumeTask(chosen, branch, true)
+}
+
+func (c *Controller) resumeTask(t *task, branch int, waitOK bool) {
+	t.mu.Lock()
+	t.state = tsRunning
+	t.branch = branch
+	t.waitOK = waitOK
+	t.mu.Unlock()
+	t.resume <- struct{}{}
+}
+
+// await blocks until no task is running or still starting up, consuming
+// park notifications. Stale notifications only cause a re-check.
+func (c *Controller) await() {
+	for c.anyRunning() {
+		<-c.yield
+	}
+}
+
+func (c *Controller) anyRunning() bool {
+	for _, t := range c.tasks {
+		switch t.getState() {
+		case tsRunning, tsNew:
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) allDone() bool {
+	for _, t := range c.tasks {
+		if t.getState() != tsDone {
+			return false
+		}
+	}
+	return true
+}
+
+// runnable returns the schedulable tasks in task-id order (deterministic):
+// parked at a Point or Choose, or blocked with a true readiness poll. A true
+// poll is latched immediately — the predicate may have consumed its signal
+// (a lock grant pulled off a channel), so it must not be polled again and
+// the task's Wait must return true even if the task is only scheduled
+// later, or is released by the drain.
+func (c *Controller) runnable() []*task {
+	var out []*task
+	for _, t := range c.tasks {
+		t.mu.Lock()
+		st, pred := t.state, t.pred
+		t.mu.Unlock()
+		switch st {
+		case tsReady, tsChoosing:
+			out = append(out, t)
+		case tsBlocked:
+			if pred != nil && pred() {
+				t.mu.Lock()
+				t.state = tsReady
+				t.pred = nil
+				t.granted = true
+				t.mu.Unlock()
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// repollRunnable keeps re-evaluating Wait predicates for StuckGrace before
+// the run is declared stuck, giving uncontrolled helper goroutines time to
+// land their effects.
+func (c *Controller) repollRunnable() []*task {
+	deadline := time.Now().Add(c.cfg.StuckGrace)
+	for time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+		if enabled := c.runnable(); len(enabled) > 0 {
+			return enabled
+		}
+	}
+	return nil
+}
+
+// drain lets leftover tasks run free after the controlled phase: the seam is
+// already uninstalled, so resumed tasks pass through Points, Waits fall back
+// to their real blocking paths (waitOK=false), and Chooses take branch 0.
+// After a normal run every task is already done and this is a no-op; after a
+// stuck or truncated run it bounds cleanup. Returns whether all tasks
+// finished; a task deadlocked for real (e.g. an ad hoc ABBA on semaphore
+// locks with no timeout) leaks its goroutine after DrainTimeout.
+func (c *Controller) drain() bool {
+	deadline := time.Now().Add(c.cfg.DrainTimeout)
+	for {
+		if c.allDone() {
+			return true
+		}
+		for _, t := range c.tasks {
+			t.mu.Lock()
+			parked := t.state == tsReady || t.state == tsBlocked || t.state == tsChoosing
+			if parked {
+				t.state = tsRunning
+				t.branch = 0
+				// A latched Wait already consumed its signal; releasing it
+				// with false would strand the caller on its real blocking
+				// path waiting for a signal that is gone.
+				t.waitOK = t.granted
+				t.pred = nil
+			}
+			t.mu.Unlock()
+			if parked {
+				select {
+				case t.resume <- struct{}{}:
+				default:
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		select {
+		case <-c.yield:
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

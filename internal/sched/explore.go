@@ -1,0 +1,356 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Thread is one concurrent actor of a litmus program.
+type Thread struct {
+	Name string
+	Run  func() error
+}
+
+// Instance is one freshly-built world of a program: threads over private
+// state, plus a terminal-state check. Check sees the run's task errors and
+// flags and returns nil when the terminal state is acceptable; the explorer
+// treats a non-nil return as a violation. Check is not called for stuck or
+// truncated runs (their state is mid-flight); stuck runs are violations
+// outright.
+type Instance struct {
+	Threads []Thread
+	Check   func(r *Result) error
+	Cleanup func()
+}
+
+// Program builds fresh instances; Make runs before the controller is
+// installed, so world setup (schema creation, seed rows) is uninstrumented.
+type Program struct {
+	Name string
+	Doc  string
+	Make func() (*Instance, error)
+}
+
+// Explorer runs a Program's schedules under a strategy and checks every
+// terminal state.
+type Explorer struct {
+	Prog Program
+
+	// StepLimit per run; default 4000.
+	StepLimit int
+	// PreemptionBound per run; 0 means the default of 2, negative means
+	// unbounded. The paper's §4 bug classes all fire within two preemptions.
+	PreemptionBound int
+	// MaxSchedules caps a DFS exploration; default 100000.
+	MaxSchedules int
+	// NoSleep disables sleep-set pruning (for pruning-soundness tests).
+	NoSleep bool
+
+	// PCTDepth / PCTLen parameterize PCT runs (defaults 3 / 128).
+	PCTDepth int
+	PCTLen   int
+
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// Report summarizes one exploration.
+type Report struct {
+	Program   string
+	Strategy  string
+	Schedules int // runs executed (pruned drains excluded)
+	Pruned    int // runs abandoned at an all-slept frontier
+	Truncated int // runs that hit the step limit
+	Bound     int
+	// Complete means bounded-exhaustive DFS exhausted the space within
+	// MaxSchedules with no truncations (still modulo the preemption bound).
+	Complete  bool
+	Violation *Violation
+	// Diverged is set by Replay when the recorded schedule no longer
+	// matches the program.
+	Diverged bool
+	// Seed is the failing PCT seed, when Strategy is "pct".
+	Seed int64
+}
+
+// Violation is one failing terminal state with its replay handles.
+type Violation struct {
+	Err        error
+	ScheduleID string
+	Steps      []Step
+	// MinScheduleID / MinSteps are the delta-minimized equivalent: the
+	// explorer greedily removes task switches and trailing decisions while
+	// the failure persists.
+	MinScheduleID string
+	MinSteps      []Step
+	MinErr        error
+}
+
+// Format renders a violation for humans: error, IDs, minimized trace.
+func (v *Violation) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "violation: %v\n", v.Err)
+	fmt.Fprintf(&b, "schedule id: %s\n", v.ScheduleID)
+	steps, id, err := v.Steps, v.ScheduleID, v.Err
+	if v.MinScheduleID != "" {
+		fmt.Fprintf(&b, "minimized id: %s\n", v.MinScheduleID)
+		steps, id, err = v.MinSteps, v.MinScheduleID, v.MinErr
+	}
+	_ = id
+	fmt.Fprintf(&b, "trace (%d steps, %v):\n", len(steps), err)
+	for i, s := range steps {
+		marker := "  "
+		if i > 0 && !s.Branch && s.Task != steps[i-1].Task {
+			marker = "* " // task switch
+		}
+		fmt.Fprintf(&b, "  %s%3d %s\n", marker, i, s)
+	}
+	return b.String()
+}
+
+func (ex *Explorer) stepLimit() int {
+	if ex.StepLimit > 0 {
+		return ex.StepLimit
+	}
+	return 4000
+}
+
+func (ex *Explorer) bound() int {
+	if ex.PreemptionBound == 0 {
+		return 2
+	}
+	if ex.PreemptionBound < 0 {
+		return -1
+	}
+	return ex.PreemptionBound
+}
+
+func (ex *Explorer) maxSchedules() int {
+	if ex.MaxSchedules > 0 {
+		return ex.MaxSchedules
+	}
+	return 100000
+}
+
+func (ex *Explorer) logf(format string, args ...any) {
+	if ex.Log != nil {
+		ex.Log(format, args...)
+	}
+}
+
+// runOnce builds a fresh instance and executes one controlled run under the
+// strategy. Returns the run result and the violation error (nil when the
+// terminal state passed).
+func (ex *Explorer) runOnce(s Strategy, bound int) (*Result, error, error) {
+	inst, err := ex.Prog.Make()
+	if err != nil {
+		return nil, nil, fmt.Errorf("sched: make %s: %w", ex.Prog.Name, err)
+	}
+	if inst.Cleanup != nil {
+		defer inst.Cleanup()
+	}
+	c := NewController(Config{
+		Strategy:        s,
+		StepLimit:       ex.stepLimit(),
+		PreemptionBound: bound,
+	})
+	for _, th := range inst.Threads {
+		c.Go(th.Name, th.Run)
+	}
+	s.Begin()
+	res := c.Run()
+	switch {
+	case res.Stuck:
+		return res, fmt.Errorf("stuck: no runnable task with %s", pendingSummary(res)), nil
+	case res.Truncated:
+		return res, nil, nil
+	}
+	if inst.Check != nil {
+		return res, inst.Check(res), nil
+	}
+	return res, nil, nil
+}
+
+func pendingSummary(res *Result) string {
+	if len(res.Steps) == 0 {
+		return "no steps taken"
+	}
+	return fmt.Sprintf("%d steps taken, last: %s", len(res.Steps), res.Steps[len(res.Steps)-1])
+}
+
+// ExploreDFS enumerates schedules bounded-exhaustively and returns on the
+// first violation or on exhaustion.
+func (ex *Explorer) ExploreDFS() (*Report, error) {
+	d := &DFS{NoSleep: ex.NoSleep}
+	rep := &Report{Program: ex.Prog.Name, Strategy: "dfs", Bound: ex.bound()}
+	for {
+		res, verr, err := ex.runOnce(d, rep.Bound)
+		if err != nil {
+			return nil, err
+		}
+		if d.Pruned() {
+			rep.Pruned++
+		} else {
+			rep.Schedules++
+			if res.Truncated {
+				rep.Truncated++
+			}
+			if verr != nil {
+				rep.Violation = ex.buildViolation(res, verr, rep.Bound)
+				return rep, nil
+			}
+		}
+		if rep.Schedules%1000 == 0 && rep.Schedules > 0 {
+			ex.logf("%s: dfs %d schedules...", ex.Prog.Name, rep.Schedules)
+		}
+		if rep.Schedules+rep.Pruned >= ex.maxSchedules() {
+			return rep, nil
+		}
+		if !d.Advance() {
+			rep.Complete = rep.Truncated == 0
+			return rep, nil
+		}
+	}
+}
+
+// ExplorePCT samples `seeds` schedules with PCT priorities seeded
+// baseSeed, baseSeed+1, ... and returns on the first violation.
+func (ex *Explorer) ExplorePCT(baseSeed int64, seeds int) (*Report, error) {
+	rep := &Report{Program: ex.Prog.Name, Strategy: "pct", Bound: ex.bound()}
+	for i := 0; i < seeds; i++ {
+		p := NewPCT(baseSeed+int64(i), ex.PCTDepth, ex.PCTLen)
+		res, verr, err := ex.runOnce(p, rep.Bound)
+		if err != nil {
+			return nil, err
+		}
+		rep.Schedules++
+		if res.Truncated {
+			rep.Truncated++
+		}
+		if verr != nil {
+			rep.Seed = baseSeed + int64(i)
+			rep.Violation = ex.buildViolation(res, verr, rep.Bound)
+			return rep, nil
+		}
+	}
+	return rep, nil
+}
+
+// ReplayID re-executes a recorded schedule. The preemption bound travels
+// inside the ID so the decision structure matches the recording run.
+func (ex *Explorer) ReplayID(id string) (*Report, error) {
+	bound, picks, err := DecodeSchedule(id)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replay{Vals: picks}
+	res, verr, err := ex.runOnce(r, bound)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Program: ex.Prog.Name, Strategy: "replay", Bound: bound, Schedules: 1, Diverged: r.Diverged}
+	if res.Truncated {
+		rep.Truncated = 1
+	}
+	if verr != nil {
+		// Replay reports the violation as-is without re-minimizing.
+		rep.Violation = &Violation{
+			Err:        verr,
+			ScheduleID: EncodeSchedule(bound, res.Picks),
+			Steps:      res.Steps,
+		}
+	}
+	return rep, nil
+}
+
+// buildViolation packages a failing run and greedily minimizes its schedule.
+func (ex *Explorer) buildViolation(res *Result, verr error, bound int) *Violation {
+	v := &Violation{
+		Err:        verr,
+		ScheduleID: EncodeSchedule(bound, res.Picks),
+		Steps:      res.Steps,
+	}
+	minPicks, minSteps, minErr := ex.minimize(res, verr, bound)
+	if minPicks != nil {
+		v.MinScheduleID = EncodeSchedule(bound, minPicks)
+		v.MinSteps = minSteps
+		v.MinErr = minErr
+	}
+	return v
+}
+
+// minimizeBudget caps replay runs spent shrinking one violation.
+const minimizeBudget = 80
+
+// minimize greedily simplifies a failing schedule: drop trailing decisions
+// (the suffix falls back to default picks), then rewrite decided task picks
+// to extend the previously-running task, removing preemptions. A candidate
+// is kept when it still fails and scores lower (switches, then length).
+// Each accepted candidate's canonical picks come from its own run, so the
+// result always replays exactly.
+func (ex *Explorer) minimize(res *Result, verr error, bound int) ([]uint64, []Step, error) {
+	best := res
+	bestErr := verr
+	budget := minimizeBudget
+
+	try := func(cand []uint64) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		r, ve, err := ex.runOnce(&Replay{Vals: cand}, bound)
+		if err != nil || ve == nil || r.Stuck != res.Stuck {
+			return false
+		}
+		if score(r) < score(best) {
+			best, bestErr = r, ve
+			return true
+		}
+		return false
+	}
+
+	for improved := true; improved && budget > 0; {
+		improved = false
+		// Tail cuts, largest first.
+		for cut := len(best.Picks) / 2; cut >= 1; cut /= 2 {
+			if try(best.Picks[:len(best.Picks)-cut]) {
+				improved = true
+				break
+			}
+		}
+		// Preemption removal: align each decided task pick with the task
+		// that ran in the preceding step.
+		pickIdx := 0
+		for si := 0; si < len(best.Steps) && budget > 0; si++ {
+			s := best.Steps[si]
+			if !s.Decided {
+				continue
+			}
+			idx := pickIdx
+			pickIdx++
+			if s.Branch || si == 0 {
+				continue
+			}
+			prev := best.Steps[si-1]
+			if prev.Branch || prev.Task == s.Task {
+				continue
+			}
+			cand := append([]uint64(nil), best.Picks...)
+			cand[idx] = uint64(prev.Val)
+			if try(cand) {
+				improved = true
+				break
+			}
+		}
+	}
+	if score(best) >= score(res) {
+		return nil, nil, nil
+	}
+	return best.Picks, best.Steps, bestErr
+}
+
+// score orders candidate schedules: fewer task switches first, then fewer
+// decisions.
+func score(r *Result) int {
+	return r.Preemptions()*1000 + len(r.Picks)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package sched
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing budgets are meaningless with instrumented atomics.
+const raceEnabled = true

@@ -1,0 +1,137 @@
+// Package sched is a cooperative deterministic scheduler for model-checking
+// the interleaving bugs of §4: instead of sampling schedules by wall-clock
+// accident (the chaos harness), small multi-goroutine transaction programs
+// run under a controller that decides, at every instrumented transition,
+// which goroutine moves next — so the two-step interleaving that breaks an
+// ad hoc transaction is *enumerated*, not hoped for.
+//
+// The package has three layers:
+//
+//   - The seam: Point / Wait / Choose calls instrumented into the contended
+//     transitions of lockmgr, engine, kv, the ad hoc lock primitives, and
+//     sim crash points. With no controller installed they are a nil atomic
+//     pointer load (<5ns, see BenchmarkSchedPointOverhead) — free in
+//     production builds.
+//   - The controller: registers the program's goroutines (tasks), parks each
+//     at its seam calls, and resumes exactly one at a time as directed by a
+//     Strategy. Real blocking (lock waits, channel receives) is converted
+//     into cooperative predicate waits so the controller always knows which
+//     tasks can run.
+//   - The explorer (explore.go): runs a Program under bounded exhaustive DFS
+//     with sleep-set pruning, or PCT-style randomized priority sampling,
+//     checks every terminal state, and on failure prints a replayable
+//     schedule ID plus a delta-minimized trace.
+//
+// sched imports only the standard library, so every internal package may
+// instrument itself without import cycles.
+package sched
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+)
+
+// active is the process-global controller. Instrumented code consults it on
+// every seam call; nil means "run free" (production).
+var active atomic.Pointer[Controller]
+
+// Enabled reports whether a controller is installed. Instrumented code uses
+// it to skip label construction on the fast path:
+//
+//	if sched.Enabled() {
+//		sched.Point("kv/get#" + key)
+//	}
+func Enabled() bool { return active.Load() != nil }
+
+// Point is the instrumentation seam: a named scheduling point placed
+// immediately *before* a shared-state transition. When a controller is
+// installed and the calling goroutine is one of its registered tasks, the
+// goroutine parks until the controller schedules it; otherwise Point is a
+// no-op. Labels carry an optional resource suffix after '#' (for example
+// "lockmgr/acquire#posts:3") which the DFS explorer's sleep-set pruning uses
+// as an independence hint.
+func Point(label string) {
+	c := active.Load()
+	if c == nil {
+		return
+	}
+	c.point(label)
+}
+
+// Wait converts a real blocking operation into a cooperative one. ready must
+// be a non-blocking poll (for example a select with default on the channel
+// the caller would otherwise block on); it may be called by the controller
+// goroutine any number of times and must be side-effect-free until it
+// returns true. A true return is latched: the poll may consume the awaited
+// signal (stash the received value for the caller), because the controller
+// never polls again and guarantees Wait returns true afterwards, even when
+// the run is being drained.
+//
+// When a controller is installed and the calling goroutine is a registered
+// task, Wait parks the task as blocked-on-ready and returns true once the
+// controller has observed ready() == true and scheduled the task again. In
+// every other case Wait returns false immediately WITHOUT calling ready, and
+// the caller must fall back to its real blocking path.
+func Wait(label string, ready func() bool) bool {
+	c := active.Load()
+	if c == nil {
+		return false
+	}
+	return c.wait(label, ready)
+}
+
+// Choose is a branch decision: the controller picks a value in [0, n). It
+// turns environment choices — most importantly "does the process crash at
+// this crash point?" — into explorable scheduling events: bounded DFS
+// enumerates every branch, PCT samples them. Without a controller (or from
+// an unregistered goroutine) Choose returns 0, so production code takes the
+// first branch unconditionally.
+func Choose(label string, n int) int {
+	c := active.Load()
+	if c == nil || n <= 1 {
+		return 0
+	}
+	return c.choose(label, n)
+}
+
+// gid returns the current goroutine's id by parsing the runtime stack
+// header ("goroutine 123 [running]:"). Only called while a controller is
+// installed; the microsecond cost is irrelevant during exploration and never
+// paid in production.
+func gid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	i := bytes.IndexByte(s, ' ')
+	if i < 0 {
+		return 0
+	}
+	id, err := strconv.ParseUint(string(s[:i]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// resourceOf extracts the independence hint from a label: the substring
+// after the first '#', or "" when the label has none. Two transitions are
+// treated as independent only when both carry a resource and the resources
+// differ; everything else is conservatively dependent.
+func resourceOf(label string) string {
+	for i := 0; i < len(label); i++ {
+		if label[i] == '#' {
+			return label[i+1:]
+		}
+	}
+	return ""
+}
+
+// independent reports whether two transitions, identified by their pending
+// labels, commute for sleep-set purposes.
+func independent(a, b string) bool {
+	ra, rb := resourceOf(a), resourceOf(b)
+	return ra != "" && rb != "" && ra != rb
+}

@@ -1,0 +1,511 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// lostUpdate is the canonical check-then-act toy: two tasks increment a
+// shared counter with a scheduling point between read and write (buggy) or
+// around the whole increment (fixed).
+func lostUpdate(buggy bool) Program {
+	return Program{
+		Name: "toy-lost-update",
+		Make: func() (*Instance, error) {
+			x := 0
+			inc := func() error {
+				if buggy {
+					Point("inc/read#x")
+					v := x
+					Point("inc/write#x")
+					x = v + 1
+				} else {
+					Point("inc#x")
+					x++
+				}
+				return nil
+			}
+			return &Instance{
+				Threads: []Thread{{Name: "A", Run: inc}, {Name: "B", Run: inc}},
+				Check: func(r *Result) error {
+					if x != 2 {
+						return fmt.Errorf("lost update: x=%d, want 2", x)
+					}
+					return nil
+				},
+			}, nil
+		},
+	}
+}
+
+func TestDFSFindsLostUpdate(t *testing.T) {
+	ex := &Explorer{Prog: lostUpdate(true)}
+	rep, err := ex.ExploreDFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatalf("DFS explored %d schedules without finding the lost update", rep.Schedules)
+	}
+	v := rep.Violation
+	if !strings.Contains(v.Err.Error(), "lost update") {
+		t.Fatalf("unexpected violation: %v", v.Err)
+	}
+	if v.ScheduleID == "" {
+		t.Fatal("violation has no schedule ID")
+	}
+
+	// The schedule ID must replay to the same failure, deterministically.
+	for i := 0; i < 3; i++ {
+		rrep, err := ex.ReplayID(v.ScheduleID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rrep.Diverged {
+			t.Fatal("replay diverged")
+		}
+		if rrep.Violation == nil || rrep.Violation.Err.Error() != v.Err.Error() {
+			t.Fatalf("replay %d did not reproduce: %+v", i, rrep.Violation)
+		}
+	}
+
+	// The minimized schedule must also fail, with no worse a score.
+	if v.MinScheduleID != "" {
+		rrep, err := ex.ReplayID(v.MinScheduleID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rrep.Violation == nil {
+			t.Fatal("minimized schedule does not reproduce the violation")
+		}
+		if len(v.MinSteps) > len(v.Steps) {
+			t.Fatalf("minimized trace longer than original: %d > %d", len(v.MinSteps), len(v.Steps))
+		}
+	}
+}
+
+func TestDFSFixedVariantExhausts(t *testing.T) {
+	ex := &Explorer{Prog: lostUpdate(false)}
+	rep, err := ex.ExploreDFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("fixed variant failed:\n%s", rep.Violation.Format())
+	}
+	if !rep.Complete {
+		t.Fatalf("fixed variant did not exhaust DFS: %+v", rep)
+	}
+	if rep.Schedules < 2 {
+		t.Fatalf("suspiciously few schedules: %d", rep.Schedules)
+	}
+}
+
+// sleepProg has two dependent writers on x and one independent writer on y;
+// the reachable terminal states are identical with and without sleep-set
+// pruning, but pruning must visit fewer schedules.
+func sleepProg(record func(string)) Program {
+	return Program{
+		Name: "toy-sleep",
+		Make: func() (*Instance, error) {
+			x, y := 0, 0
+			set := func(p *int, v int, label string) func() error {
+				return func() error {
+					Point(label)
+					*p = v
+					return nil
+				}
+			}
+			return &Instance{
+				Threads: []Thread{
+					{Name: "X1", Run: set(&x, 1, "w#x")},
+					{Name: "X2", Run: set(&x, 2, "w#x")},
+					{Name: "Y", Run: set(&y, 9, "w#y")},
+				},
+				Check: func(r *Result) error {
+					record(fmt.Sprintf("x=%d,y=%d", x, y))
+					return nil
+				},
+			}, nil
+		},
+	}
+}
+
+func TestSleepSetPruningPreservesTerminalStates(t *testing.T) {
+	run := func(noSleep bool) (map[string]bool, *Report) {
+		states := map[string]bool{}
+		ex := &Explorer{
+			Prog:            sleepProg(func(s string) { states[s] = true }),
+			NoSleep:         noSleep,
+			PreemptionBound: -1, // full space, so pruning is the only reducer
+		}
+		rep, err := ex.ExploreDFS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Violation != nil {
+			t.Fatalf("unexpected violation:\n%s", rep.Violation.Format())
+		}
+		if !rep.Complete {
+			t.Fatalf("did not exhaust: %+v", rep)
+		}
+		return states, rep
+	}
+	full, frep := run(true)
+	pruned, prep := run(false)
+
+	keys := func(m map[string]bool) []string {
+		var out []string
+		for k := range m {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		return out
+	}
+	if got, want := keys(pruned), keys(full); !equalStrings(got, want) {
+		t.Fatalf("terminal states differ: with sleep %v, without %v", got, want)
+	}
+	if prep.Schedules >= frep.Schedules {
+		t.Fatalf("sleep sets did not prune: %d (sleep) vs %d (full)", prep.Schedules, frep.Schedules)
+	}
+	if len(full) != 2 { // x ∈ {1,2}, y always 9
+		t.Fatalf("expected 2 terminal states, got %v", keys(full))
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPCTDeterministicPerSeed(t *testing.T) {
+	run := func() *Report {
+		// PCTLen near the real run length; the default 128 would scatter
+		// change points far past this tiny program's last decision.
+		ex := &Explorer{Prog: lostUpdate(true), PCTLen: 12}
+		rep, err := ex.ExplorePCT(1, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if (a.Violation == nil) != (b.Violation == nil) {
+		t.Fatalf("PCT nondeterministic: %+v vs %+v", a, b)
+	}
+	if a.Violation == nil {
+		t.Fatalf("PCT failed to find the lost update in 200 seeds")
+	}
+	if a.Seed != b.Seed || a.Schedules != b.Schedules {
+		t.Fatalf("PCT nondeterministic: seed %d/%d, schedules %d/%d", a.Seed, b.Seed, a.Schedules, b.Schedules)
+	}
+	if a.Violation.ScheduleID != b.Violation.ScheduleID {
+		t.Fatalf("PCT schedule IDs differ: %s vs %s", a.Violation.ScheduleID, b.Violation.ScheduleID)
+	}
+	// A PCT-found failure replays through the generic replay path.
+	ex := &Explorer{Prog: lostUpdate(true), PCTLen: 12}
+	rrep, err := ex.ReplayID(a.Violation.ScheduleID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.Violation == nil || rrep.Diverged {
+		t.Fatalf("PCT schedule did not replay: %+v", rrep)
+	}
+}
+
+func TestScheduleIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		bound int
+		picks []uint64
+	}{
+		{-1, nil},
+		{0, []uint64{0}},
+		{2, []uint64{1, 0, 3, 127, 128, 1 << 20}},
+	}
+	for _, c := range cases {
+		id := EncodeSchedule(c.bound, c.picks)
+		b, p, err := DecodeSchedule(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != c.bound || len(p) != len(c.picks) {
+			t.Fatalf("round trip mismatch: %d/%v -> %d/%v", c.bound, c.picks, b, p)
+		}
+		for i := range p {
+			if p[i] != c.picks[i] {
+				t.Fatalf("pick %d mismatch: %v vs %v", i, p, c.picks)
+			}
+		}
+	}
+	if _, _, err := DecodeSchedule("!!!not-base64!!!"); err == nil {
+		t.Fatal("decoding garbage succeeded")
+	}
+	if _, _, err := DecodeSchedule(""); err == nil {
+		t.Fatal("decoding empty succeeded")
+	}
+}
+
+// TestWaitCooperative converts a real channel block into a controller-polled
+// predicate: every schedule must deliver the value, and DFS must exhaust
+// without a stuck state.
+func TestWaitCooperative(t *testing.T) {
+	prog := Program{
+		Name: "toy-wait",
+		Make: func() (*Instance, error) {
+			ch := make(chan int, 1)
+			got := 0
+			return &Instance{
+				Threads: []Thread{
+					{Name: "recv", Run: func() error {
+						ok := Wait("recv#ch", func() bool {
+							select {
+							case v := <-ch:
+								got = v
+								return true
+							default:
+								return false
+							}
+						})
+						if !ok { // uncontrolled fallback
+							got = <-ch
+						}
+						return nil
+					}},
+					{Name: "send", Run: func() error {
+						Point("send#ch")
+						ch <- 42
+						return nil
+					}},
+				},
+				Check: func(r *Result) error {
+					if got != 42 {
+						return fmt.Errorf("got %d, want 42", got)
+					}
+					return nil
+				},
+			}, nil
+		},
+	}
+	ex := &Explorer{Prog: prog}
+	rep, err := ex.ExploreDFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("wait program failed:\n%s", rep.Violation.Format())
+	}
+	if !rep.Complete {
+		t.Fatalf("wait program did not exhaust: %+v", rep)
+	}
+}
+
+func TestChooseEnumeratesBranches(t *testing.T) {
+	seen := map[int]bool{}
+	prog := Program{
+		Name: "toy-choose",
+		Make: func() (*Instance, error) {
+			picked := -1
+			return &Instance{
+				Threads: []Thread{{Name: "T", Run: func() error {
+					picked = Choose("branch", 3)
+					return nil
+				}}},
+				Check: func(r *Result) error {
+					seen[picked] = true
+					return nil
+				},
+			}, nil
+		},
+	}
+	ex := &Explorer{Prog: prog}
+	rep, err := ex.ExploreDFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || rep.Schedules != 3 {
+		t.Fatalf("expected 3 complete schedules, got %+v", rep)
+	}
+	for b := 0; b < 3; b++ {
+		if !seen[b] {
+			t.Fatalf("branch %d never explored (seen %v)", b, seen)
+		}
+	}
+}
+
+func TestStuckDetection(t *testing.T) {
+	prog := Program{
+		Name: "toy-stuck",
+		Make: func() (*Instance, error) {
+			return &Instance{
+				Threads: []Thread{
+					{Name: "A", Run: func() error {
+						Wait("never#a", func() bool { return false })
+						return nil
+					}},
+					{Name: "B", Run: func() error {
+						Wait("never#b", func() bool { return false })
+						return nil
+					}},
+				},
+			}, nil
+		},
+	}
+	ex := &Explorer{Prog: prog}
+	rep, err := ex.ExploreDFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil || !strings.Contains(rep.Violation.Err.Error(), "stuck") {
+		t.Fatalf("stuck state not reported: %+v", rep.Violation)
+	}
+}
+
+func TestStepLimitTruncates(t *testing.T) {
+	prog := Program{
+		Name: "toy-spin",
+		Make: func() (*Instance, error) {
+			return &Instance{
+				Threads: []Thread{{Name: "spin", Run: func() error {
+					for i := 0; i < 100000; i++ {
+						Point("spin#x")
+					}
+					return nil
+				}}},
+				Check: func(r *Result) error {
+					return errors.New("check must not run on truncated states")
+				},
+			}, nil
+		},
+	}
+	ex := &Explorer{Prog: prog, StepLimit: 50, MaxSchedules: 1}
+	rep, err := ex.ExploreDFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("truncated run was checked: %v", rep.Violation.Err)
+	}
+	if rep.Truncated != 1 || rep.Complete {
+		t.Fatalf("truncation not reported: %+v", rep)
+	}
+}
+
+func TestPreemptionBoundShrinksSpace(t *testing.T) {
+	count := func(bound int) int {
+		ex := &Explorer{Prog: lostUpdate(false), PreemptionBound: bound, NoSleep: true}
+		rep, err := ex.ExploreDFS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Complete {
+			t.Fatalf("did not exhaust at bound %d", bound)
+		}
+		return rep.Schedules
+	}
+	b0 := count(-2) // -2 normalizes to -1? bound() maps any negative to -1 (unbounded)
+	bTight := count(1)
+	if bTight >= b0 {
+		t.Fatalf("preemption bound did not shrink the space: %d (bound 1) vs %d (unbounded)", bTight, b0)
+	}
+}
+
+// TestSeamDisabledSemantics pins the uncontrolled behaviour: Point no-op,
+// Wait false, Choose 0 — and the same for unregistered goroutines while a
+// controller IS installed.
+func TestSeamDisabledSemantics(t *testing.T) {
+	if Enabled() {
+		t.Fatal("controller unexpectedly installed")
+	}
+	Point("free#x")
+	if Wait("free#x", func() bool { return true }) {
+		t.Fatal("Wait must return false with no controller")
+	}
+	if Choose("free#x", 5) != 0 {
+		t.Fatal("Choose must return 0 with no controller")
+	}
+
+	// With a controller installed, a helper goroutine the program spawned
+	// outside the controller passes through the seam untouched.
+	prog := Program{
+		Name: "toy-unregistered",
+		Make: func() (*Instance, error) {
+			done := make(chan int, 1)
+			val := 0
+			return &Instance{
+				Threads: []Thread{{Name: "T", Run: func() error {
+					go func() {
+						Point("helper#x")
+						done <- Choose("helper#x", 4) + 7
+					}()
+					ok := Wait("join#done", func() bool {
+						select {
+						case v := <-done:
+							val = v
+							return true
+						default:
+							return false
+						}
+					})
+					if !ok {
+						val = <-done
+					}
+					return nil
+				}}},
+				Check: func(r *Result) error {
+					if val != 7 { // helper's Choose must return 0
+						return fmt.Errorf("helper saw val %d", val)
+					}
+					return nil
+				},
+			}, nil
+		},
+	}
+	ex := &Explorer{Prog: prog}
+	rep, err := ex.ExploreDFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("unregistered goroutine misbehaved:\n%s", rep.Violation.Format())
+	}
+}
+
+func TestTaskPanicBecomesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	prog := Program{
+		Name: "toy-panic",
+		Make: func() (*Instance, error) {
+			return &Instance{
+				Threads: []Thread{{Name: "T", Run: func() error {
+					Point("pre#x")
+					panic(sentinel)
+				}}},
+				Check: func(r *Result) error {
+					err := r.Errs["T"]
+					var pe *PanicError
+					if !errors.As(err, &pe) || !errors.Is(err, sentinel) {
+						return fmt.Errorf("panic not surfaced: %v", err)
+					}
+					return nil
+				},
+			}, nil
+		},
+	}
+	rep, err := (&Explorer{Prog: prog}).ExploreDFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("panic handling broken:\n%s", rep.Violation.Format())
+	}
+}

@@ -1,0 +1,334 @@
+package sched
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strconv"
+)
+
+// Option is one alternative at a scheduling decision: a schedulable task,
+// or (for branch decisions) a branch value.
+type Option struct {
+	Task  int    // task id; for branch decisions, the branch value
+	Name  string // task name
+	Label string // the transition label the task is parked at
+}
+
+// Decision is one choice presented to a Strategy. For task decisions the
+// returned index selects Options[i]; for branch decisions Options[i]
+// represents branch value i. Decisions with a single option are
+// auto-advanced by the controller and never reach the strategy.
+type Decision struct {
+	Branch  bool
+	Options []Option
+}
+
+// Strategy picks among options at each scheduling decision. Pick is called
+// from the controller goroutine only.
+type Strategy interface {
+	// Begin resets per-run state; the explorer calls it before every run.
+	Begin()
+	Pick(d Decision) int
+}
+
+// ---- schedule IDs ----
+
+// scheduleVersion versions the ID wire format.
+const scheduleVersion = 1
+
+// EncodeSchedule packs a run's preemption bound and recorded picks into a
+// replayable schedule ID: a version byte, the bound (+1, so 0 means
+// unbounded), and the picks, all uvarint, base64url without padding. The
+// bound travels in the ID because it shapes which decisions exist at all —
+// replaying under a different bound would misalign the picks.
+func EncodeSchedule(bound int, picks []uint64) string {
+	buf := []byte{scheduleVersion}
+	if bound < 0 {
+		buf = binary.AppendUvarint(buf, 0)
+	} else {
+		buf = binary.AppendUvarint(buf, uint64(bound)+1)
+	}
+	for _, v := range picks {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	return base64.RawURLEncoding.EncodeToString(buf)
+}
+
+// DecodeSchedule reverses EncodeSchedule.
+func DecodeSchedule(id string) (bound int, picks []uint64, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(id)
+	if err != nil {
+		return 0, nil, fmt.Errorf("sched: bad schedule id: %w", err)
+	}
+	if len(raw) < 2 || raw[0] != scheduleVersion {
+		return 0, nil, fmt.Errorf("sched: bad schedule id: unknown version")
+	}
+	raw = raw[1:]
+	b, n := binary.Uvarint(raw)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("sched: bad schedule id: truncated bound")
+	}
+	raw = raw[n:]
+	bound = int(b) - 1
+	for len(raw) > 0 {
+		v, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return 0, nil, fmt.Errorf("sched: bad schedule id: truncated pick")
+		}
+		picks = append(picks, v)
+		raw = raw[n:]
+	}
+	return bound, picks, nil
+}
+
+// ---- bounded exhaustive DFS with sleep sets ----
+
+// dfsNode is one decision on the current DFS path.
+type dfsNode struct {
+	branch  bool
+	options []Option
+	// sleep maps option keys to their labels: transitions whose subtrees
+	// are covered by a sibling branch already explored (Godefroid sleep
+	// sets, with label-resource independence).
+	sleep map[string]string
+	tried []int // option indices explored, in order; last is current
+	cur   int   // option index of the child currently being explored
+}
+
+func optKey(o Option, branch bool) string {
+	if branch {
+		return "b" + strconv.Itoa(o.Task)
+	}
+	return "t" + strconv.Itoa(o.Task) + "|" + o.Label
+}
+
+func (n *dfsNode) nextUntried() int {
+	for i := range n.options {
+		tried := false
+		for _, j := range n.tried {
+			if j == i {
+				tried = true
+				break
+			}
+		}
+		if tried {
+			continue
+		}
+		if _, slept := n.sleep[optKey(n.options[i], n.branch)]; slept {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// DFS enumerates schedules depth-first. Drive it run by run: Pick replays
+// the committed prefix and extends the frontier; Advance moves to the next
+// unexplored branch and reports false when the space is exhausted. With
+// NoSleep false, sleep-set pruning skips sibling orders of independent
+// transitions (distinct '#resource' suffixes) that reach already-covered
+// states.
+type DFS struct {
+	NoSleep bool
+
+	nodes    []*dfsNode
+	depth    int
+	draining bool
+	pruned   bool
+}
+
+func (d *DFS) Begin() {
+	d.depth = 0
+	d.draining = false
+	d.pruned = false
+}
+
+// Pruned reports whether the last run hit an all-slept frontier and was
+// finished without recording further nodes; its terminal state is covered
+// by another branch and should not be double-counted.
+func (d *DFS) Pruned() bool { return d.pruned }
+
+func (d *DFS) Pick(dec Decision) int {
+	if d.draining {
+		return 0
+	}
+	if d.depth < len(d.nodes) {
+		n := d.nodes[d.depth]
+		d.depth++
+		return n.cur
+	}
+	n := &dfsNode{branch: dec.Branch, options: dec.Options, sleep: d.childSleep()}
+	pick := -1
+	for i := range dec.Options {
+		if _, slept := n.sleep[optKey(dec.Options[i], dec.Branch)]; !slept {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		// Every option here is slept: this state's outgoing transitions are
+		// covered elsewhere. Finish the run without growing the path so
+		// Advance backtracks past it immediately.
+		d.draining = true
+		d.pruned = true
+		return 0
+	}
+	n.cur = pick
+	n.tried = []int{pick}
+	d.nodes = append(d.nodes, n)
+	d.depth++
+	return pick
+}
+
+// childSleep computes the sleep set a new frontier node inherits: the
+// parent's sleep set plus the parent's previously-explored siblings, keeping
+// only entries independent of the transition just taken.
+func (d *DFS) childSleep() map[string]string {
+	out := map[string]string{}
+	if d.NoSleep || len(d.nodes) == 0 {
+		return out
+	}
+	p := d.nodes[len(d.nodes)-1]
+	chosen := p.options[p.cur]
+	keep := func(key, label string) {
+		if independent(label, chosen.Label) {
+			out[key] = label
+		}
+	}
+	for k, l := range p.sleep {
+		keep(k, l)
+	}
+	for _, i := range p.tried[:len(p.tried)-1] {
+		o := p.options[i]
+		keep(optKey(o, p.branch), o.Label)
+	}
+	return out
+}
+
+// Advance backtracks to the deepest node with an unexplored, non-slept
+// option and commits to it for the next run. False means exhausted.
+func (d *DFS) Advance() bool {
+	for len(d.nodes) > 0 {
+		n := d.nodes[len(d.nodes)-1]
+		if next := n.nextUntried(); next >= 0 {
+			n.cur = next
+			n.tried = append(n.tried, next)
+			return true
+		}
+		d.nodes = d.nodes[:len(d.nodes)-1]
+	}
+	return false
+}
+
+// ---- PCT randomized priority sampling ----
+
+// PCT implements probabilistic concurrency testing (Burckhardt et al.):
+// each task gets a random high priority; at d-1 random step indices the
+// running task's priority drops below all others. Any bug of depth ≤ d is
+// found with probability ≥ 1/(n·k^(d-1)) per run, so seeded sweeps give
+// probabilistic coverage on programs too deep for exhaustive DFS. Branch
+// decisions are sampled uniformly. Fully deterministic for a given seed.
+type PCT struct {
+	Seed  int64
+	Depth int // number of priority change points (bug depth to target)
+	Len   int // estimated run length, for change-point placement
+
+	rng    *rand.Rand
+	prio   map[int]int
+	change map[int]int // task-decision step -> low priority to assign
+	low    int
+	step   int
+	last   int
+}
+
+// NewPCT creates a PCT strategy; depth defaults to 3, length to 128.
+func NewPCT(seed int64, depth, length int) *PCT {
+	if depth <= 0 {
+		depth = 3
+	}
+	if length <= 0 {
+		length = 128
+	}
+	return &PCT{Seed: seed, Depth: depth, Len: length}
+}
+
+func (p *PCT) Begin() {
+	p.rng = rand.New(rand.NewSource(p.Seed))
+	p.prio = make(map[int]int)
+	p.change = make(map[int]int)
+	for i := 0; i < p.Depth-1; i++ {
+		p.change[1+p.rng.Intn(p.Len)] = i
+	}
+	p.low = 0
+	p.step = 0
+	p.last = -1
+}
+
+func (p *PCT) Pick(d Decision) int {
+	if d.Branch {
+		return p.rng.Intn(len(d.Options))
+	}
+	p.step++
+	if lowTo, hit := p.change[p.step]; hit && p.last >= 0 {
+		p.prio[p.last] = lowTo - p.Depth // below every initial priority
+	}
+	best := 0
+	bestPrio := -1 << 30
+	for i, o := range d.Options {
+		pr, ok := p.prio[o.Task]
+		if !ok {
+			// Lazy random high priority; assignment order is deterministic
+			// because options arrive in task-id order.
+			pr = p.Depth + p.rng.Intn(1<<20)
+			p.prio[o.Task] = pr
+		}
+		if pr > bestPrio {
+			best, bestPrio = i, pr
+		}
+	}
+	p.last = d.Options[best].Task
+	return best
+}
+
+// ---- replay ----
+
+// Replay follows a recorded pick sequence: task decisions match by task id
+// (robust to option-list shifts), branch decisions by value. A pick that no
+// longer matches any option marks the replay diverged and falls back to the
+// first option; picks beyond the recorded sequence fall back silently (used
+// by the minimizer's tail-cut candidates).
+type Replay struct {
+	Vals     []uint64
+	Diverged bool
+
+	pos int
+}
+
+func (r *Replay) Begin() {
+	r.pos = 0
+	r.Diverged = false
+}
+
+func (r *Replay) Pick(d Decision) int {
+	if r.pos >= len(r.Vals) {
+		return 0
+	}
+	v := r.Vals[r.pos]
+	r.pos++
+	if d.Branch {
+		if int(v) < len(d.Options) {
+			return int(v)
+		}
+		r.Diverged = true
+		return 0
+	}
+	for i, o := range d.Options {
+		if uint64(o.Task) == v {
+			return i
+		}
+	}
+	r.Diverged = true
+	return 0
+}

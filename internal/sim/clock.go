@@ -11,6 +11,8 @@ package sim
 import (
 	"sync"
 	"time"
+
+	"adhoctx/internal/sched"
 )
 
 // Clock abstracts time so tests of TTL leases, lock expiry, and crash
@@ -19,8 +21,9 @@ import (
 type Clock interface {
 	// Now returns the current time.
 	Now() time.Time
-	// Sleep blocks for d. A FakeClock returns immediately after advancing
-	// bookkeeping; the RealClock actually sleeps.
+	// Sleep blocks for d. An auto-advance FakeClock returns immediately
+	// after advancing bookkeeping; a manual FakeClock blocks until Advance
+	// catches up; the RealClock actually sleeps.
 	Sleep(d time.Duration)
 }
 
@@ -37,17 +40,45 @@ func (RealClock) Sleep(d time.Duration) {
 	}
 }
 
-// FakeClock is a manually advanced clock. It is safe for concurrent use.
-// Sleep advances the clock by the slept duration, so single-threaded code
-// that sleeps "observes" time passing without wall-clock delay.
+// FakeClock is a deterministic clock, safe for concurrent use, with two
+// modes:
+//
+//   - Auto-advance (NewFakeClock): Sleep advances the clock by the slept
+//     duration and returns immediately, so code that sleeps "observes" time
+//     passing without wall-clock delay.
+//   - Manual (NewManualFakeClock): Sleep blocks until Advance (or Set) moves
+//     the clock past the sleeper's deadline, so a test drives virtual time
+//     explicitly from another goroutine.
+//
+// In both modes, sleeping is a scheduling seam: under a sched controller,
+// auto-advance sleeps park at a Point after advancing (so other tasks can
+// run "during" the sleep, at the post-sleep instant — this is how TTL-lease
+// expiry races become explorable schedules), and manual sleeps become
+// cooperative waits on the advancing clock.
 type FakeClock struct {
-	mu  sync.Mutex
-	now time.Time
+	mu     sync.Mutex
+	cond   *sync.Cond
+	now    time.Time
+	manual bool
+	// sleepers counts goroutines currently blocked in a manual Sleep;
+	// tests use Sleepers to know a waiter has registered before advancing.
+	sleepers int
 }
 
-// NewFakeClock returns a FakeClock starting at the given instant.
+// NewFakeClock returns an auto-advance FakeClock starting at the given
+// instant.
 func NewFakeClock(start time.Time) *FakeClock {
-	return &FakeClock{now: start}
+	c := &FakeClock{now: start}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// NewManualFakeClock returns a FakeClock whose sleepers block until another
+// goroutine calls Advance or Set past their deadlines.
+func NewManualFakeClock(start time.Time) *FakeClock {
+	c := NewFakeClock(start)
+	c.manual = true
+	return c
 }
 
 // Now implements Clock.
@@ -57,23 +88,63 @@ func (c *FakeClock) Now() time.Time {
 	return c.now
 }
 
-// Sleep implements Clock by advancing the fake time.
+// Sleep implements Clock. Auto-advance mode moves the clock itself; manual
+// mode blocks until the clock reaches now+d. The deadline is computed under
+// the same mutex Advance broadcasts under, so a concurrent Advance can
+// never slip between deadline capture and wait registration (no lost
+// wakeups).
 func (c *FakeClock) Sleep(d time.Duration) {
-	if d > 0 {
-		c.Advance(d)
+	if d <= 0 {
+		return
 	}
+	if !c.manual {
+		c.Advance(d)
+		sched.Point("clock/sleep")
+		return
+	}
+	c.mu.Lock()
+	deadline := c.now.Add(d)
+	c.mu.Unlock()
+	// Under a sched controller, block cooperatively so the controller keeps
+	// scheduling other tasks (one of which must advance the clock).
+	if sched.Wait("clock/sleep", func() bool { return !c.Now().Before(deadline) }) {
+		return
+	}
+	c.mu.Lock()
+	c.sleepers++
+	for c.now.Before(deadline) {
+		c.cond.Wait()
+	}
+	c.sleepers--
+	c.mu.Unlock()
 }
 
-// Advance moves the clock forward by d.
+// Advance moves the clock forward by d and wakes any manual sleepers whose
+// deadlines have passed.
 func (c *FakeClock) Advance(d time.Duration) {
 	c.mu.Lock()
 	c.now = c.now.Add(d)
+	if c.cond != nil { // zero-value clocks have no sleepers to wake
+		c.cond.Broadcast()
+	}
 	c.mu.Unlock()
 }
 
-// Set moves the clock to the given instant.
+// Set moves the clock to the given instant (never backwards in manual mode
+// semantics terms: sleepers re-check their own deadlines, so a backwards
+// Set simply keeps them blocked).
 func (c *FakeClock) Set(t time.Time) {
 	c.mu.Lock()
 	c.now = t
+	if c.cond != nil {
+		c.cond.Broadcast()
+	}
 	c.mu.Unlock()
+}
+
+// Sleepers reports how many goroutines are blocked in a manual Sleep.
+func (c *FakeClock) Sleepers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sleepers
 }

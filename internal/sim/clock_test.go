@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestManualClockAdvanceRacesSleep is the lost-wakeup regression: many
+// sleepers with staggered deadlines block while another goroutine advances
+// the clock in small concurrent increments. A sleeper whose deadline is
+// captured outside the Advance mutex (or woken by Signal instead of
+// Broadcast) would sleep forever; run with -race to also catch unlocked
+// reads of now.
+func TestManualClockAdvanceRacesSleep(t *testing.T) {
+	start := time.Unix(0, 0)
+	c := NewManualFakeClock(start)
+
+	const sleepers = 16
+	var wg sync.WaitGroup
+	for i := 1; i <= sleepers; i++ {
+		wg.Add(1)
+		d := time.Duration(i) * 10 * time.Millisecond
+		go func() {
+			defer wg.Done()
+			c.Sleep(d)
+			if got := c.Now(); got.Before(start.Add(d)) {
+				t.Errorf("woke early: now=%v, deadline=%v", got, start.Add(d))
+			}
+		}()
+	}
+
+	// Advance concurrently from several goroutines in increments smaller
+	// than the shortest deadline, racing sleepers that are still
+	// registering. Total advance comfortably covers every deadline.
+	var adv sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		adv.Add(1)
+		go func() {
+			defer adv.Done()
+			for i := 0; i < 50; i++ {
+				c.Advance(time.Millisecond)
+			}
+		}()
+	}
+	adv.Wait()
+	if c.Now().Before(start.Add(200 * time.Millisecond)) {
+		t.Fatalf("advances lost: now=%v", c.Now())
+	}
+
+	// Deadlines are relative to each sleeper's registration time, so late
+	// registrants may still need more virtual time — keep driving the clock
+	// until everyone wakes. A lost wakeup means a sleeper NEVER wakes no
+	// matter how far the clock moves, which the deadline below catches.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatalf("lost wakeup: %d sleepers still blocked after clock passed every deadline", c.Sleepers())
+		case <-time.After(time.Millisecond):
+			c.Advance(10 * time.Millisecond)
+			continue
+		}
+		break
+	}
+	if n := c.Sleepers(); n != 0 {
+		t.Fatalf("sleeper accounting leaked: %d", n)
+	}
+}
+
+// TestManualClockSleepBlocksUntilAdvance pins the blocking contract: a
+// manual sleeper must not return before the clock reaches its deadline.
+func TestManualClockSleepBlocksUntilAdvance(t *testing.T) {
+	start := time.Unix(100, 0)
+	c := NewManualFakeClock(start)
+
+	woke := make(chan time.Time, 1)
+	go func() {
+		c.Sleep(50 * time.Millisecond)
+		woke <- c.Now()
+	}()
+
+	// Wait for the sleeper to register, then advance short of the deadline.
+	for i := 0; c.Sleepers() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(49 * time.Millisecond)
+	select {
+	case at := <-woke:
+		t.Fatalf("sleeper woke before deadline at %v", at)
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Advance(time.Millisecond)
+	select {
+	case at := <-woke:
+		if at.Before(start.Add(50 * time.Millisecond)) {
+			t.Fatalf("woke with clock at %v", at)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sleeper never woke after deadline")
+	}
+}
+
+// TestAutoClockSleepStillAdvances pins auto-advance compatibility: the mode
+// the whole test suite already relies on is unchanged.
+func TestAutoClockSleepStillAdvances(t *testing.T) {
+	start := time.Unix(0, 0)
+	c := NewFakeClock(start)
+	c.Sleep(3 * time.Second)
+	if got := c.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("auto-advance broken: %v", got)
+	}
+	c.Sleep(-time.Second) // negative sleeps are no-ops
+	if got := c.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("negative sleep moved the clock: %v", got)
+	}
+}

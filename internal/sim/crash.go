@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"sync"
+
+	"adhoctx/internal/sched"
 )
 
 // CrashError is returned by code that hit an armed crash point. It models an
@@ -29,9 +31,10 @@ func IsCrash(err error) bool {
 //
 // The zero value has no armed points and Check is cheap.
 type CrashPlan struct {
-	mu     sync.Mutex
-	armed  map[string]int // point -> remaining hits before firing
-	events []string
+	mu      sync.Mutex
+	armed   map[string]int // point -> remaining hits before firing
+	explore map[string]bool
+	events  []string
 }
 
 // Arm schedules the named point to fire on its nth visit (1 = next visit).
@@ -54,27 +57,56 @@ func (p *CrashPlan) Disarm(point string) {
 	p.mu.Unlock()
 }
 
-// Check fires an armed crash point by panicking with *CrashError.
+// ExploreCrashes marks the named crash points as schedule-explored: under a
+// sched controller, every visit becomes a branch decision — survive or die —
+// so a DFS explorer enumerates crash placement instead of a test hard-coding
+// Arm(point, nth). Without a controller the marks are inert (the Choose
+// seam returns "survive").
+func (p *CrashPlan) ExploreCrashes(points ...string) {
+	p.mu.Lock()
+	if p.explore == nil {
+		p.explore = make(map[string]bool)
+	}
+	for _, pt := range points {
+		p.explore[pt] = true
+	}
+	p.mu.Unlock()
+}
+
+// Check fires an armed crash point by panicking with *CrashError. Points
+// marked by ExploreCrashes instead ask the installed schedule controller
+// whether to die here.
 func (p *CrashPlan) Check(point string) {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
-	n, ok := p.armed[point]
-	if !ok {
-		p.mu.Unlock()
-		return
+	fire := false
+	if n, ok := p.armed[point]; ok {
+		n--
+		if n > 0 {
+			p.armed[point] = n
+		} else {
+			delete(p.armed, point)
+			fire = true
+		}
 	}
-	n--
-	if n > 0 {
-		p.armed[point] = n
-		p.mu.Unlock()
-		return
+	explored := !fire && p.explore[point]
+	if fire {
+		p.events = append(p.events, point)
 	}
-	delete(p.armed, point)
-	p.events = append(p.events, point)
 	p.mu.Unlock()
-	panic(&CrashError{Point: point})
+	if fire {
+		panic(&CrashError{Point: point})
+	}
+	// The branch decision must happen outside p.mu: choosing parks the
+	// goroutine until the controller schedules it.
+	if explored && sched.Choose("crash/"+point, 2) == 1 {
+		p.mu.Lock()
+		p.events = append(p.events, point)
+		p.mu.Unlock()
+		panic(&CrashError{Point: point})
+	}
 }
 
 // Fired returns the points that have fired, in order.
