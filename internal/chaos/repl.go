@@ -1,0 +1,703 @@
+package chaos
+
+// The replicated-tier chaos suite: P partitions, each served by one
+// semi-sync leader and F followers, fronted by the shard-aware router,
+// with a seed-driven supervisor that kills one partition's leader
+// mid-workload and promotes the follower with the highest applied LSN.
+//
+// The load-bearing oracle is acked ⊆ promoted: every transfer the router
+// acknowledged must be present on the partition's post-failover leader.
+// The argument that highest-applied-LSN promotion preserves this: WAL LSNs
+// are dense and followers apply strictly by prefix, so every follower's
+// state is a prefix of the dead leader's log and follower states are
+// totally ordered by applied LSN. A semi-sync-acked batch at LSN L is
+// durable on at least one follower, whose prefix therefore extends to ≥ L;
+// the maximum-LSN follower's prefix extends at least as far, so it contains
+// every acknowledged batch. Promotion requires AckTimeout=0 (strict
+// semi-sync): a degrade-to-async window would let an ack race the ship and
+// break the containment.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adhoctx/internal/analyzer"
+	"adhoctx/internal/client"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/faults"
+	"adhoctx/internal/obs"
+	"adhoctx/internal/proxy"
+	"adhoctx/internal/repl"
+	"adhoctx/internal/server"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+	"adhoctx/internal/wal"
+	"adhoctx/internal/wire"
+)
+
+// markerBase is where the txlog marker primary-key space starts; account
+// primary keys are assigned from 1 upward and never reach it.
+const markerBase int64 = 1 << 40
+
+// ReplConfig parameterizes one replicated chaos run.
+type ReplConfig struct {
+	// Seed drives the workload, the fault schedule, and the kill timing.
+	Seed int64
+	// Partitions is the partition count (default 2).
+	Partitions int
+	// Followers is the follower count per partition (default 2).
+	Followers int
+	// Clients is the number of concurrent workers (default 4).
+	Clients int
+	// Ops is the number of operations per worker (default 30); every
+	// fourth op is a bounded-staleness read, the rest are transfers.
+	Ops int
+	// Rows is the number of accounts per partition (default 4, min 2).
+	Rows int
+	// KillLeader arms a whole-node kill on one seed-chosen partition's
+	// leader (default true via DefaultReplConfig).
+	KillLeader bool
+	// Plan is the network fault schedule applied to client↔server traffic.
+	Plan faults.Plan
+	// LockTimeout bounds engine lock waits (default 2s).
+	LockTimeout time.Duration
+	// GroupCommit enables WAL group commit on every node.
+	GroupCommit bool
+	// Fsync is the simulated WAL flush latency.
+	Fsync time.Duration
+	// Obs, when non-nil, receives replication and server metrics.
+	Obs *obs.Registry
+}
+
+func (c ReplConfig) withDefaults() ReplConfig {
+	if c.Partitions <= 0 {
+		c.Partitions = 2
+	}
+	if c.Followers <= 0 {
+		c.Followers = 2
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 30
+	}
+	if c.Rows < 2 {
+		c.Rows = 4
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// DefaultReplConfig is the smoke-sweep configuration: leader kill on, mild
+// network faults.
+func DefaultReplConfig(seed int64) ReplConfig {
+	return ReplConfig{
+		Seed:       seed,
+		KillLeader: true,
+		Plan: faults.Plan{
+			DropPer10k:       20,
+			TruncatePer10k:   20,
+			WriteDelayPer10k: 100,
+			ReadDelayPer10k:  100,
+			MaxDelay:         time.Millisecond,
+		},
+	}.withDefaults()
+}
+
+// ReplReport is the outcome of one replicated-tier seed.
+type ReplReport struct {
+	Seed                    int64
+	Transfers, TransferErrs int
+	Reads, ReadErrs         int
+	// AckedMarkers is how many acknowledged transfers the marker oracle
+	// checked for survival.
+	AckedMarkers int
+	// KilledPartition is the partition whose leader was killed (-1 none).
+	KilledPartition int
+	// CrashPoint is the crash point that killed it ("" if none fired).
+	CrashPoint string
+	// PromotedLSN is the applied LSN of the promoted follower at promotion.
+	PromotedLSN uint64
+	// Redirects and LeaderReadFallbacks are the router's routing counters.
+	Redirects, LeaderReadFallbacks int64
+	// Violations lists oracle violations; empty means the seed passed.
+	Violations []string
+	// Replay reruns this seed.
+	Replay  string
+	Elapsed time.Duration
+}
+
+// Failed reports whether any oracle was violated.
+func (r *ReplReport) Failed() bool { return len(r.Violations) > 0 }
+
+// Summary renders the report.
+func (r *ReplReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d: %d transfers (%d failed), %d reads (%d failed), %d acked markers, %s\n",
+		r.Seed, r.Transfers, r.TransferErrs, r.Reads, r.ReadErrs, r.AckedMarkers, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  failover: partition=%d point=%q promotedLSN=%d; router: redirects=%d fallbacks=%d\n",
+		r.KilledPartition, r.CrashPoint, r.PromotedLSN, r.Redirects, r.LeaderReadFallbacks)
+	if r.Failed() {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+		}
+		fmt.Fprintf(&b, "  replay: %s\n", r.Replay)
+	} else {
+		fmt.Fprintf(&b, "  oracles: acked⊆promoted, per-partition serializable, balances conserved, zero leaked locks\n")
+	}
+	return b.String()
+}
+
+// ReplReplayCommand renders the command line that reruns cfg.
+func ReplReplayCommand(cfg ReplConfig) string {
+	cfg = cfg.withDefaults()
+	return fmt.Sprintf("go run ./cmd/adhocrepl -chaos -seed %d -seeds 1 -partitions %d -nodes %d -clients %d -ops %d",
+		cfg.Seed, cfg.Partitions, 1+cfg.Followers, cfg.Clients, cfg.Ops)
+}
+
+// replNode is one serving node: an engine, its wire server, and its
+// replication role handles.
+type replNode struct {
+	eng      *engine.Engine
+	srv      *server.Server
+	plan     *sim.CrashPlan
+	writable atomic.Bool
+	hist     *analyzer.History // non-nil once this node's era is traced
+
+	mu  sync.Mutex
+	led *repl.Leader
+	fol *repl.Follower
+}
+
+func (n *replNode) clientAddr() string { return n.srv.Addr().String() }
+
+// replPartition is one partition's topology, shared by the servers'
+// LeaderHint closures and the failover supervisor.
+type replPartition struct {
+	idx uint32
+
+	mu        sync.Mutex
+	leader    *replNode
+	followers []*replNode
+}
+
+func (p *replPartition) leaderAddr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.leader == nil {
+		return ""
+	}
+	return p.leader.clientAddr()
+}
+
+// accountPKs assigns n account primary keys owned by partition p: the
+// routing hash decides ownership, so keys are found by scanning upward.
+func accountPKs(p, parts uint32, n int) []int64 {
+	out := make([]int64, 0, n)
+	for pk := int64(1); len(out) < n; pk++ {
+		if wire.PartitionOf(pk, parts) == p {
+			out = append(out, pk)
+		}
+	}
+	return out
+}
+
+// newReplEngine builds one node's engine with the run's schema.
+func newReplEngine(cfg ReplConfig, plan *sim.CrashPlan) *engine.Engine {
+	eng := engine.New(engine.Config{
+		Dialect:     engine.MySQL,
+		LockTimeout: cfg.LockTimeout,
+		WALFsync:    sim.Latency{Fsync: cfg.Fsync},
+		GroupCommit: cfg.GroupCommit,
+		Crash:       plan,
+	})
+	eng.CreateTable(storage.NewSchema("accounts",
+		storage.Column{Name: "bal", Type: storage.TInt},
+	))
+	eng.CreateTable(storage.NewSchema("txlog",
+		storage.Column{Name: "worker", Type: storage.TInt},
+	))
+	return eng
+}
+
+// ReplRun executes one replicated-tier seed end to end. The returned error
+// is reserved for harness breakage; oracle violations land in the report.
+func ReplRun(cfg ReplConfig) (*ReplReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &ReplReport{Seed: cfg.Seed, KilledPartition: -1, Replay: ReplReplayCommand(cfg)}
+	parts := uint32(cfg.Partitions)
+
+	inj := faults.New(cfg.Seed, cfg.Plan)
+	if cfg.Obs != nil {
+		inj.WireObs(cfg.Obs)
+	}
+	supRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	victim := -1
+	if cfg.KillLeader {
+		victim = supRng.Intn(cfg.Partitions)
+	}
+
+	topo := make([]*replPartition, cfg.Partitions)
+	var allNodes []*replNode
+	accounts := make([][]int64, cfg.Partitions)
+
+	newNode := func(p *replPartition, leader bool) (*replNode, error) {
+		plan := &sim.CrashPlan{}
+		n := &replNode{plan: plan, eng: newReplEngine(cfg, plan)}
+		n.writable.Store(leader)
+		n.srv = server.New(n.eng, nil, server.Config{
+			MaxSessions:    cfg.Clients*2 + 4,
+			IdleTimeout:    2 * time.Second,
+			WrapConn:       inj.WrapConn,
+			Crash:          plan,
+			Writable:       n.writable.Load,
+			LeaderHint:     p.leaderAddr,
+			PartitionIndex: p.idx,
+			PartitionCount: parts,
+			AppliedLSN:     n.eng.AppliedLSN,
+		})
+		if cfg.Obs != nil {
+			n.srv.WireObs(cfg.Obs)
+		}
+		if err := n.srv.Start(); err != nil {
+			return nil, fmt.Errorf("chaos: repl node listen: %w", err)
+		}
+		allNodes = append(allNodes, n)
+		return n, nil
+	}
+
+	// Build every partition: seed the leader, start its replication
+	// listener, then bring followers through catch-up.
+	for pi := 0; pi < cfg.Partitions; pi++ {
+		p := &replPartition{idx: uint32(pi)}
+		topo[pi] = p
+		ldr, err := newNode(p, true)
+		if err != nil {
+			return nil, err
+		}
+		p.leader = ldr
+
+		accounts[pi] = accountPKs(p.idx, parts, cfg.Rows)
+		seedTxn := ldr.eng.Begin(engine.IsolationDefault)
+		for _, pk := range accounts[pi] {
+			if _, err := seedTxn.Insert("accounts", map[string]storage.Value{
+				storage.PKColumn: pk, "bal": InitialBalance,
+			}); err != nil {
+				return nil, fmt.Errorf("chaos: repl seed: %w", err)
+			}
+		}
+		if err := seedTxn.Commit(); err != nil {
+			return nil, fmt.Errorf("chaos: repl seed commit: %w", err)
+		}
+		ldr.hist = analyzer.NewHistory()
+		ldr.eng.SetTracer(ldr.hist)
+
+		// Strict semi-sync: AckTimeout 0, so an ack always implies a
+		// follower holds the batch — the promotion oracle's premise.
+		led := repl.NewLeader(ldr.eng, repl.LeaderConfig{
+			Addr:      "127.0.0.1:0",
+			Partition: p.idx,
+			Epoch:     1,
+			Quorum:    repl.SemiSync,
+			Replicas:  1 + cfg.Followers,
+			Obs:       cfg.Obs,
+		})
+		if err := led.Start(); err != nil {
+			return nil, fmt.Errorf("chaos: repl leader: %w", err)
+		}
+		ldr.led = led
+
+		seededLSN := ldr.eng.AppliedLSN()
+		for f := 0; f < cfg.Followers; f++ {
+			fn, err := newNode(p, false)
+			if err != nil {
+				return nil, err
+			}
+			fn.fol = repl.NewFollower(fn.eng, repl.FollowerConfig{
+				LeaderAddr: led.Addr(),
+				Partition:  p.idx,
+				Epoch:      1,
+				Obs:        cfg.Obs,
+			})
+			fn.fol.Start()
+			p.followers = append(p.followers, fn)
+		}
+		for _, fn := range p.followers {
+			if !waitLSN(fn.eng.AppliedLSN, seededLSN, 5*time.Second) {
+				return nil, fmt.Errorf("chaos: partition %d follower never caught up to seed", pi)
+			}
+		}
+	}
+
+	// Router over the boot topology.
+	rcfg := proxy.RouterConfig{
+		ClientConfig: client.Config{
+			PoolSize:       cfg.Clients,
+			MaxRetries:     4,
+			BackoffBase:    300 * time.Microsecond,
+			DialTimeout:    500 * time.Millisecond,
+			RequestTimeout: 2 * cfg.LockTimeout,
+			RetryConnLost:  true,
+			Dial:           inj.Dial,
+		},
+		MaxRetries:   60,
+		MaxRedirects: 8,
+		BackoffBase:  2 * time.Millisecond,
+	}
+	for pi := 0; pi < cfg.Partitions; pi++ {
+		var fols []string
+		for _, fn := range topo[pi].followers {
+			fols = append(fols, fn.clientAddr())
+		}
+		rcfg.Partitions = append(rcfg.Partitions, proxy.PartitionNodes{
+			Leader: topo[pi].leaderAddr(), Followers: fols,
+		})
+	}
+	router := proxy.NewRouter(rcfg)
+	defer router.Close()
+
+	// Arm the whole-node kill on the victim leader: one of the commit or
+	// WAL-ship crash points, a handful of visits in, so it lands
+	// mid-workload with acknowledged commits on both sides of it.
+	if victim >= 0 {
+		points := []string{
+			server.CrashPointCommitBefore, server.CrashPointCommitAfter,
+			wal.CrashPointShipBefore, wal.CrashPointShipAfter,
+		}
+		topo[victim].leader.plan.Arm(points[supRng.Intn(len(points))], 4+supRng.Intn(12))
+	}
+
+	// Failover supervisor: one goroutine per partition watching for the
+	// leader's death.
+	workDone := make(chan struct{})
+	var supWG sync.WaitGroup
+	var supMu sync.Mutex
+	var supErr error
+	for pi := 0; pi < cfg.Partitions; pi++ {
+		p := topo[pi]
+		supWG.Add(1)
+		go func() {
+			defer supWG.Done()
+			dead := p.leader
+			select {
+			case <-workDone:
+				return
+			case <-dead.srv.Crashed():
+			}
+			point := dead.srv.CrashPoint()
+			promoted, lsn, err := failover(p, router)
+			supMu.Lock()
+			rep.KilledPartition = int(p.idx)
+			rep.CrashPoint = point
+			rep.PromotedLSN = lsn
+			if err != nil {
+				supErr = err
+			}
+			_ = promoted
+			supMu.Unlock()
+		}()
+	}
+
+	// Workload: router-driven single-partition transfers with a marker row
+	// per attempt, interleaved with bounded-staleness reads.
+	start := time.Now()
+	var wg sync.WaitGroup
+	var statsMu sync.Mutex
+	ackedMarkers := make([][]int64, cfg.Partitions)
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(worker int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + worker))
+			markerCursor := markerBase + worker*1_000_000
+			nextMarker := func(p uint32) int64 {
+				for {
+					pk := markerCursor
+					markerCursor++
+					if wire.PartitionOf(pk, parts) == p {
+						return pk
+					}
+				}
+			}
+			for i := 0; i < cfg.Ops; i++ {
+				pi := rng.Intn(cfg.Partitions)
+				p := uint32(pi)
+				acct := accounts[pi]
+				if i%4 == 3 {
+					// Bounded-staleness read: must see every balance this
+					// router has already been acked for.
+					err := router.RunReadTxn(p, engine.IsolationDefault, func(txn *client.Txn) error {
+						pk := acct[rng.Intn(len(acct))]
+						rows, err := txn.Select("accounts", storage.ByPK(pk), wire.LockNone)
+						if err != nil {
+							return err
+						}
+						if len(rows.Rows) != 1 {
+							return fmt.Errorf("chaos: account %d: got %d rows", pk, len(rows.Rows))
+						}
+						return nil
+					})
+					statsMu.Lock()
+					if err != nil {
+						rep.ReadErrs++
+					} else {
+						rep.Reads++
+					}
+					statsMu.Unlock()
+					continue
+				}
+				a := acct[rng.Intn(len(acct))]
+				b := acct[rng.Intn(len(acct))]
+				for b == a {
+					b = acct[rng.Intn(len(acct))]
+				}
+				amt := 1 + rng.Int63n(5)
+				// Each attempt gets a fresh marker: an ambiguous commit
+				// (conn lost mid-COMMIT) may or may not have landed, so
+				// only the acknowledged final attempt's marker joins the
+				// oracle set.
+				var marker int64
+				err := router.RunTxn(p, engine.IsolationDefault, func(txn *client.Txn) error {
+					marker = nextMarker(p)
+					if err := transfer(txn, a, b, amt); err != nil {
+						return err
+					}
+					_, err := txn.Insert("txlog", map[string]storage.Value{
+						storage.PKColumn: marker, "worker": worker,
+					})
+					return err
+				})
+				statsMu.Lock()
+				if err != nil {
+					rep.TransferErrs++
+				} else {
+					rep.Transfers++
+					ackedMarkers[pi] = append(ackedMarkers[pi], marker)
+				}
+				statsMu.Unlock()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	close(workDone)
+	supWG.Wait()
+	if supErr != nil {
+		return nil, supErr
+	}
+	rep.Redirects = router.Redirects()
+	rep.LeaderReadFallbacks = router.LeaderReadFallbacks()
+	router.Close()
+
+	// Tear down: servers first (sessions drain, locks release), then the
+	// replication roles.
+	for _, n := range allNodes {
+		_ = n.srv.Close()
+	}
+	for _, p := range topo {
+		p.mu.Lock()
+		nodes := append([]*replNode{p.leader}, p.followers...)
+		p.mu.Unlock()
+		for _, n := range nodes {
+			if n == nil {
+				continue
+			}
+			n.mu.Lock()
+			led, fol := n.led, n.fol
+			n.mu.Unlock()
+			if fol != nil {
+				fol.Stop()
+			}
+			if led != nil {
+				led.Close()
+			}
+		}
+	}
+
+	// Oracle 1: acked ⊆ promoted — every acknowledged marker row exists on
+	// the partition's current leader.
+	for pi, markers := range ackedMarkers {
+		rep.AckedMarkers += len(markers)
+		p := topo[pi]
+		p.mu.Lock()
+		cur := p.leader
+		p.mu.Unlock()
+		missing := 0
+		for _, m := range markers {
+			row, err := probeRow(cur.eng, "txlog", m)
+			if err != nil {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("partition %d: marker probe: %v", pi, err))
+				break
+			}
+			if row == nil {
+				missing++
+			}
+		}
+		if missing > 0 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("partition %d: %d acknowledged transfers missing on current leader", pi, missing))
+		}
+	}
+
+	// Oracle 2: per-partition, per-era committed histories are conflict
+	// serializable. The dead leader's era and the promoted follower's era
+	// are separate engines with colliding txn IDs, so they are checked
+	// separately.
+	for _, n := range allNodes {
+		if n.hist == nil {
+			continue
+		}
+		if cycle := analyzer.CheckCommitted(n.hist.Items()); cycle != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("committed history not serializable: cycle %v", cycle))
+		}
+	}
+
+	// Oracle 3: per-partition balance conservation on the current leader.
+	for pi := range topo {
+		p := topo[pi]
+		p.mu.Lock()
+		cur := p.leader
+		p.mu.Unlock()
+		sum, err := probeSum(cur.eng)
+		if err != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("partition %d: balance probe: %v", pi, err))
+			continue
+		}
+		if want := int64(cfg.Rows) * InitialBalance; sum != want {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("partition %d: balance sum %d, want %d", pi, sum, want))
+		}
+	}
+
+	// Oracle 4: zero leaked locks on every node, dead or alive.
+	for i, n := range allNodes {
+		if leaked := waitForZeroLocks(n.eng.LockManager(), 2*time.Second); leaked != 0 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("node %d: %d locks still held after teardown", i, leaked))
+		}
+	}
+	return rep, nil
+}
+
+// failover promotes the highest-applied-LSN follower of p and rewires the
+// topology and router. Called once, from p's supervisor goroutine, after
+// the leader's server reports Crashed.
+func failover(p *replPartition, router *proxy.Router) (*replNode, uint64, error) {
+	p.mu.Lock()
+	dead := p.leader
+	survivors := append([]*replNode(nil), p.followers...)
+	p.mu.Unlock()
+
+	_ = dead.srv.Close()
+	dead.mu.Lock()
+	deadLed := dead.led
+	dead.led = nil
+	dead.mu.Unlock()
+	if deadLed != nil {
+		deadLed.Close() // cuts the followers' streams; they begin retrying
+	}
+
+	if len(survivors) == 0 {
+		return nil, 0, fmt.Errorf("chaos: partition %d leader died with no followers", p.idx)
+	}
+	best := survivors[0]
+	for _, fn := range survivors[1:] {
+		if fn.fol.AppliedLSN() > best.fol.AppliedLSN() {
+			best = fn
+		}
+	}
+	lsn := best.fol.AppliedLSN()
+	rest := make([]*replNode, 0, len(survivors)-1)
+	for _, fn := range survivors {
+		if fn != best {
+			rest = append(rest, fn)
+		}
+	}
+
+	quorum := repl.SemiSync
+	if len(rest) == 0 {
+		// Strict semi-sync with zero followers would wedge every commit.
+		quorum = repl.Async
+	}
+	promoted, err := best.fol.Promote(repl.LeaderConfig{
+		Addr:      "127.0.0.1:0",
+		Partition: p.idx,
+		Quorum:    quorum,
+		Replicas:  1 + len(rest),
+	})
+	if err != nil {
+		return nil, lsn, fmt.Errorf("chaos: partition %d promote: %w", p.idx, err)
+	}
+	best.mu.Lock()
+	best.led = promoted
+	best.mu.Unlock()
+	for _, fn := range rest {
+		fn.fol.Retarget(promoted.Addr())
+	}
+
+	// Trace the promoted era before it becomes writable, so its committed
+	// history is complete.
+	best.hist = analyzer.NewHistory()
+	best.eng.SetTracer(best.hist)
+
+	p.mu.Lock()
+	p.leader = best
+	p.followers = rest
+	p.mu.Unlock()
+	best.writable.Store(true) // LeaderHint now points here via p.leaderAddr
+
+	var restAddrs []string
+	for _, fn := range rest {
+		restAddrs = append(restAddrs, fn.clientAddr())
+	}
+	router.UpdateLeader(p.idx, best.clientAddr())
+	router.SetFollowers(p.idx, restAddrs)
+	return best, lsn, nil
+}
+
+// probeRow reads one row by primary key in a fresh transaction.
+func probeRow(eng *engine.Engine, table string, pk int64) (storage.Row, error) {
+	txn := eng.Begin(engine.IsolationDefault)
+	defer func() { _ = txn.Rollback() }()
+	return txn.SelectOne(table, storage.ByPK(pk))
+}
+
+// waitLSN polls fn until it reaches target or the deadline passes.
+func waitLSN(fn func() uint64, target uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if fn() >= target {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fn() >= target
+}
+
+// ReplRunSeeds runs n consecutive replicated seeds starting at first,
+// returning the reports and the first failing report (nil if all passed).
+func ReplRunSeeds(first int64, n int, mk func(seed int64) ReplConfig) ([]*ReplReport, *ReplReport, error) {
+	var reports []*ReplReport
+	var failed *ReplReport
+	for s := first; s < first+int64(n); s++ {
+		rep, err := ReplRun(mk(s))
+		if err != nil {
+			return reports, failed, err
+		}
+		reports = append(reports, rep)
+		if failed == nil && rep.Failed() {
+			failed = rep
+		}
+	}
+	return reports, failed, nil
+}

@@ -277,9 +277,27 @@ func (c *Client) backoff(i int) {
 // the connection; abandoning one leaks it until the server's idle reaper
 // rolls the session back.
 type Txn struct {
-	c    *Client
-	cn   *conn
-	done bool
+	c         *Client
+	cn        *conn
+	done      bool
+	commitLSN uint64
+}
+
+// CommitLSN returns the transaction's commit LSN after a successful Commit
+// (0 before, and for read-only or empty transactions). Feeding it back as
+// BeginOpts.MinLSN on the next read-only transaction yields
+// read-your-writes across a leader/follower split.
+func (t *Txn) CommitLSN() uint64 { return t.commitLSN }
+
+// BeginOpts refines Begin for the replicated serving tier.
+type BeginOpts struct {
+	// ReadOnly marks the transaction read-only, making it eligible for
+	// follower serving; writes inside it are rejected with CodeNotLeader.
+	ReadOnly bool
+	// MinLSN is the bounded-staleness floor for a read-only transaction:
+	// a node whose applied LSN is behind it rejects the BEGIN with
+	// CodeStaleRead instead of serving stale rows.
+	MinLSN uint64
 }
 
 // Rows is one SELECT result set.
@@ -291,6 +309,11 @@ type Rows struct {
 // Begin opens a remote transaction, retrying admission rejection
 // (CodeSaturated) with backoff up to MaxRetries.
 func (c *Client) Begin(iso engine.Isolation) (*Txn, error) {
+	return c.BeginWith(iso, BeginOpts{})
+}
+
+// BeginWith is Begin with replication-aware options.
+func (c *Client) BeginWith(iso engine.Isolation, opts BeginOpts) (*Txn, error) {
 	var lastErr error
 	for i := 0; i < c.cfg.MaxRetries; i++ {
 		cn, err := c.get()
@@ -303,7 +326,10 @@ func (c *Client) Begin(iso engine.Isolation) (*Txn, error) {
 			}
 			return nil, err
 		}
-		resp, err := cn.roundTrip(&wire.Request{Op: wire.OpBegin, Iso: uint8(iso)})
+		resp, err := cn.roundTrip(&wire.Request{
+			Op: wire.OpBegin, Iso: uint8(iso),
+			ReadOnly: opts.ReadOnly, MinLSN: opts.MinLSN,
+		})
 		if err != nil {
 			// I/O failure: the server may have force-closed a saturated
 			// connection; treat like saturation and retry on a fresh dial.
@@ -441,6 +467,9 @@ func (t *Txn) finish(op wire.Op) error {
 			t.cn.close()
 			return rerr
 		}
+	}
+	if op == wire.OpCommit && rerr == nil {
+		t.commitLSN = resp.LSN
 	}
 	t.c.put(t.cn)
 	return rerr

@@ -281,6 +281,68 @@ func (e *Engine) dropIndexEntries(t *table, row storage.Row, pk int64) {
 // WALBytes exposes the raw log (diagnostics and tests).
 func (e *Engine) WALBytes() []byte { return e.log.Bytes() }
 
+// ---- replication (follower apply) ----
+
+// AppliedLSN is the engine's replication clock: the highest LSN durable in
+// its WAL. On a leader it advances with local commits; on a follower, with
+// replicated batches (ApplyReplicated). The bounded-staleness guard compares
+// it against a client's last-seen commit LSN.
+func (e *Engine) AppliedLSN() uint64 { return e.log.DurableLSN() }
+
+// ApplyReplicated applies a chunk of WAL-encoded records received from a
+// replication stream. Records at or below the engine's applied LSN are
+// skipped, making re-delivery idempotent: batches may overlap after a
+// reconnect or a leader retransmit and each LSN still applies exactly once.
+// The surviving suffix is made durable in the local WAL *before* it becomes
+// visible to readers — a crash between the two replays it from the log, so
+// the follower can never serve a state its own recovery would not rebuild.
+// Returns the new applied LSN.
+func (e *Engine) ApplyReplicated(raw []byte) (uint64, error) {
+	if e.crashed.Load() {
+		return 0, ErrConnLost
+	}
+	suffix, _, last, err := wal.SliceFrom(raw, e.AppliedLSN())
+	if err != nil {
+		return 0, err
+	}
+	if len(suffix) == 0 {
+		return e.AppliedLSN(), nil
+	}
+	if err := e.log.AppendRaw(suffix, last); err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	err = wal.Replay(suffix, func(rec wal.Record) error {
+		for _, op := range rec.Ops {
+			t, ok := e.tables[op.Table]
+			if !ok {
+				return fmt.Errorf("engine: replication references unknown table %q", op.Table)
+			}
+			switch op.Kind {
+			case wal.OpInsert, wal.OpUpdate:
+				e.applyRedoWrite(t, op.PK, op.Row, rec.TxnID, rec.LSN)
+			case wal.OpDelete:
+				if ch, ok := t.rows[op.PK]; ok {
+					old := ch.Head()
+					if old != nil && old.Row != nil {
+						e.dropIndexEntries(t, old.Row, op.PK)
+					}
+				}
+				delete(t.rows, op.PK)
+			}
+		}
+		if rec.LSN > e.csn {
+			e.csn = rec.LSN
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return last, nil
+}
+
 // ---- SSI bookkeeping (Postgres Serializable) ----
 
 // pageKey identifies one SSI tracking unit: a page of an index (or of the

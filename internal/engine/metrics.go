@@ -20,9 +20,9 @@ type engineMetrics struct {
 	// walFsyncs counts durable commits (WAL appends). The device-level
 	// flush count lives on the WAL itself (wal_fsyncs_total), which under
 	// group commit is smaller — the batching win, made observable.
-	walFsyncs *obs.Counter
-	retries          *obs.Counter
-	retryBackoff     *obs.Counter // nanoseconds; exposed as seconds
+	walFsyncs    *obs.Counter
+	retries      *obs.Counter
+	retryBackoff *obs.Counter // nanoseconds; exposed as seconds
 
 	stmtSeconds   *obs.Histogram
 	commitSeconds *obs.Histogram

@@ -82,6 +82,7 @@ type Txn struct {
 	writes     []wal.Op
 	undo       []undoEntry
 	savepoints []savepoint
+	commitLSN  uint64
 
 	// SSI read/write page tracking (Postgres Serializable only).
 	readPages  map[pageKey]struct{}
@@ -92,6 +93,11 @@ type Txn struct {
 
 // ID returns the transaction's unique ID.
 func (t *Txn) ID() uint64 { return t.id }
+
+// CommitLSN returns the WAL LSN assigned to this transaction's commit record,
+// or 0 for a transaction that wrote nothing (or has not committed). Serving
+// layers return it to clients as the bounded-staleness watermark.
+func (t *Txn) CommitLSN() uint64 { return t.commitLSN }
 
 // Isolation returns the transaction's isolation level.
 func (t *Txn) Isolation() Isolation { return t.iso }
@@ -230,7 +236,8 @@ func (t *Txn) Commit() error {
 	if len(t.writes) > 0 {
 		// The WAL owns the flush cost (serialized fsync; one per commit, or
 		// one per batch under group commit).
-		if _, err := e.log.Append(t.id, t.writes); err != nil {
+		lsn, err := e.log.Append(t.id, t.writes)
+		if err != nil {
 			if ce, ok := err.(*sim.CrashError); ok {
 				// A WAL crash point fired while this commit's batch was in
 				// flight: the "process" died before the commit was
@@ -242,6 +249,7 @@ func (t *Txn) Commit() error {
 			// already visible, so surface loudly.
 			panic(fmt.Sprintf("engine: WAL append failed: %v", err))
 		}
+		t.commitLSN = lsn
 		if m := e.obsM(); m != nil {
 			m.walFsyncs.Inc()
 		}

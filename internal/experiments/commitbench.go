@@ -106,6 +106,12 @@ func CommitBench(cfg CommitBenchConfig) (BenchReport, error) {
 	} {
 		rep.Results = append(rep.Results, runLockWorkload(w.name, w.shards, cfg))
 	}
+
+	replRows, err := ReplBenchRows(cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.Results = append(rep.Results, replRows...)
 	return rep, nil
 }
 

@@ -42,6 +42,26 @@ func TestCommitBenchGroupCommitWins(t *testing.T) {
 		t.Fatal("lockmgr workloads are host-dependent and must not be gated")
 	}
 
+	// Replication rows: the 1→N writer scaling pair over the 3-node
+	// semi-sync topology must show group-commit amortization surviving the
+	// replication ack, and the lag row must have measured real probes.
+	one, many := byName["repl/semisync-1writer"], byName["repl/semisync-32writers"]
+	if one.Ops == 0 || many.Ops == 0 {
+		t.Fatalf("empty replication workloads: %+v", rep.Results)
+	}
+	if many.OpsPerSec < 2*one.OpsPerSec {
+		t.Fatalf("semi-sync 32 writers %.0f ops/s < 2x 1 writer %.0f ops/s",
+			many.OpsPerSec, one.OpsPerSec)
+	}
+	if lag := byName["repl/lag-async"]; lag.Ops == 0 {
+		t.Fatalf("lag row measured no probes: %+v", lag)
+	}
+	for _, name := range []string{"repl/semisync-1writer", "repl/semisync-32writers", "repl/lag-async"} {
+		if byName[name].Gate {
+			t.Fatalf("%s runs over real TCP and must not be gated", name)
+		}
+	}
+
 	// The JSON report round-trips through the CI comparison path.
 	out, err := MarshalBench(rep)
 	if err != nil {

@@ -1,0 +1,272 @@
+package experiments
+
+// The PR-6 replication benchmark rows: commit throughput through a 3-node
+// semi-sync topology at 1 writer and at the suite's writer count, plus a
+// measured commit-to-follower-visible replication lag under async shipping.
+// All three run over real loopback TCP, so they are host-dependent and
+// never gated; they are recorded in BENCH_pr6.json for the before/after
+// table, same as the lockmgr rows.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/repl"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+// replCluster is one leader plus followers wired over loopback.
+type replCluster struct {
+	leader    *engine.Engine
+	led       *repl.Leader
+	followers []*repl.Follower
+	fEngines  []*engine.Engine
+}
+
+func (c *replCluster) close() {
+	for _, f := range c.followers {
+		f.Stop()
+	}
+	c.led.Close()
+}
+
+// newReplCluster builds a 3-node (leader + 2 follower) topology with the
+// suite's group-commit WAL device on the leader, and waits for the
+// followers to subscribe.
+func newReplCluster(cfg CommitBenchConfig, quorum repl.Quorum) (*replCluster, error) {
+	mk := func() *engine.Engine {
+		eng := engine.New(engine.Config{
+			Dialect:     engine.MySQL,
+			WALFsync:    sim.Latency{Fsync: cfg.Fsync},
+			GroupCommit: true,
+			LockTimeout: 30 * time.Second,
+		})
+		eng.CreateTable(storage.NewSchema("counters",
+			storage.Column{Name: "n", Type: storage.TInt},
+		))
+		return eng
+	}
+	c := &replCluster{leader: mk()}
+	c.led = repl.NewLeader(c.leader, repl.LeaderConfig{
+		Addr:     "127.0.0.1:0",
+		Epoch:    1,
+		Quorum:   quorum,
+		Replicas: 3,
+	})
+	if err := c.led.Start(); err != nil {
+		return nil, fmt.Errorf("repl bench: leader: %w", err)
+	}
+	for i := 0; i < 2; i++ {
+		fe := mk()
+		f := repl.NewFollower(fe, repl.FollowerConfig{
+			LeaderAddr: c.led.Addr(),
+			Epoch:      1,
+		})
+		f.Start()
+		c.fEngines = append(c.fEngines, fe)
+		c.followers = append(c.followers, f)
+	}
+	// One probe commit proves both followers are subscribed and applying.
+	if err := c.leader.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+		_, err := tx.Insert("counters", map[string]storage.Value{"n": int64(0)})
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("repl bench: probe commit: %w", err)
+	}
+	target := c.leader.AppliedLSN()
+	deadline := time.Now().Add(5 * time.Second)
+	for _, fe := range c.fEngines {
+		for fe.AppliedLSN() < target {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("repl bench: follower never subscribed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return c, nil
+}
+
+// runReplWorkload measures closed-loop commit throughput on the cluster's
+// leader with the given writer count, each writer updating a private row.
+func runReplWorkload(name string, c *replCluster, writers int, dur time.Duration) (BenchResult, error) {
+	pks := make([]int64, writers)
+	for i := range pks {
+		if err := c.leader.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+			pk, err := tx.Insert("counters", map[string]storage.Value{"n": int64(0)})
+			pks[i] = pk
+			return err
+		}); err != nil {
+			return BenchResult{}, fmt.Errorf("%s: seed row: %w", name, err)
+		}
+	}
+	var (
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		lats    []time.Duration
+		workErr error
+	)
+	start := time.Now()
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(pk int64) {
+			defer wg.Done()
+			var local []time.Duration
+			for !stop.Load() {
+				t0 := time.Now()
+				err := c.leader.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+					_, err := tx.Update("counters", storage.ByPK(pk),
+						map[string]storage.Value{"n": t0.UnixNano()})
+					return err
+				})
+				if err != nil {
+					mu.Lock()
+					if workErr == nil {
+						workErr = fmt.Errorf("%s: %w", name, err)
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(pks[i])
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if workErr != nil {
+		return BenchResult{}, workErr
+	}
+	return summarize(name, lats, elapsed), nil
+}
+
+// runReplLag measures commit-to-follower-visible latency under async
+// shipping while background writers keep the pipe busy: a prober commits,
+// then polls the slower follower until its applied LSN reaches the commit's
+// LSN. The p50/p99 columns are that visibility delay.
+func runReplLag(name string, cfg CommitBenchConfig) (BenchResult, error) {
+	c, err := newReplCluster(cfg, repl.Async)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer c.close()
+
+	bgWriters := cfg.Writers / 2
+	if bgWriters < 1 {
+		bgWriters = 1
+	}
+	res, err := func() (BenchResult, error) {
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		defer func() { stop.Store(true); wg.Wait() }()
+		for i := 0; i < bgWriters; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var pk int64
+				if err := c.leader.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+					id, err := tx.Insert("counters", map[string]storage.Value{"n": int64(0)})
+					pk = id
+					return err
+				}); err != nil {
+					return
+				}
+				for !stop.Load() {
+					if err := c.leader.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+						_, err := tx.Update("counters", storage.ByPK(pk),
+							map[string]storage.Value{"n": int64(1)})
+						return err
+					}); err != nil {
+						return
+					}
+				}
+			}()
+		}
+
+		var probePK int64
+		if err := c.leader.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+			id, err := tx.Insert("counters", map[string]storage.Value{"n": int64(0)})
+			probePK = id
+			return err
+		}); err != nil {
+			return BenchResult{}, err
+		}
+		var lags []time.Duration
+		start := time.Now()
+		for time.Since(start) < cfg.Duration {
+			var commitLSN uint64
+			err := c.leader.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
+				_, err := tx.Update("counters", storage.ByPK(probePK),
+					map[string]storage.Value{"n": time.Now().UnixNano()})
+				return err
+			})
+			if err != nil {
+				return BenchResult{}, fmt.Errorf("%s: probe: %w", name, err)
+			}
+			commitLSN = c.leader.AppliedLSN()
+			t0 := time.Now()
+			for {
+				behind := false
+				for _, fe := range c.fEngines {
+					if fe.AppliedLSN() < commitLSN {
+						behind = true
+						break
+					}
+				}
+				if !behind {
+					break
+				}
+				if time.Since(t0) > 5*time.Second {
+					return BenchResult{}, fmt.Errorf("%s: follower stuck behind LSN %d", name, commitLSN)
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			lags = append(lags, time.Since(t0))
+			time.Sleep(time.Millisecond)
+		}
+		return summarize(name, lags, time.Since(start)), nil
+	}()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	// ops_per_sec for a lag row is probe frequency, not a throughput claim.
+	return res, nil
+}
+
+// ReplBenchRows runs the replication workloads and returns their rows:
+// semi-sync 3-node commit throughput at 1 writer and at cfg.Writers (the
+// 1→N scaling pair), and the async visibility-lag distribution.
+func ReplBenchRows(cfg CommitBenchConfig) ([]BenchResult, error) {
+	var rows []BenchResult
+	for _, w := range []struct {
+		name    string
+		writers int
+	}{
+		{"repl/semisync-1writer", 1},
+		{fmt.Sprintf("repl/semisync-%dwriters", cfg.Writers), cfg.Writers},
+	} {
+		c, err := newReplCluster(cfg, repl.SemiSync)
+		if err != nil {
+			return rows, err
+		}
+		res, err := runReplWorkload(w.name, c, w.writers, cfg.Duration)
+		c.close()
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, res)
+	}
+	lag, err := runReplLag("repl/lag-async", cfg)
+	if err != nil {
+		return rows, err
+	}
+	return append(rows, lag), nil
+}

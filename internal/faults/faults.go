@@ -10,9 +10,11 @@
 // An Injector wraps net.Conns (server-accepted via server.Config.WrapConn,
 // client-dialed via client.Config.Dial) and injects four fault kinds on the
 // I/O path: connection drops before a write, byte truncation inside a framed
-// message (a prefix of the bytes is written, then the connection dies — the
-// peer's length-prefixed framing detects the tear as io.ErrUnexpectedEOF),
-// and read/write latency spikes.
+// message (an arbitrary prefix of the bytes — empty through complete — is
+// written, then the connection dies; mid-frame cuts surface through
+// length-prefixed framing as io.ErrUnexpectedEOF, while empty and complete
+// cuts are indistinguishable from a peer crash), and read/write latency
+// spikes.
 //
 // Determinism contract: the injector seed fully determines each connection's
 // fault stream. Connection k draws its decisions from a private RNG derived
@@ -47,8 +49,11 @@ const (
 	// (or handshake) is lost whole, and the peer sees a clean EOF/reset
 	// between frames.
 	Drop Kind = iota
-	// Truncate writes a strict prefix of the bytes, then closes: a torn
-	// frame, which length-prefixed framing surfaces as ErrUnexpectedEOF.
+	// Truncate writes an arbitrary prefix of the bytes — possibly none,
+	// possibly all — then closes. A mid-frame cut is a torn frame
+	// (length-prefixed framing surfaces it as ErrUnexpectedEOF); an empty
+	// or full cut makes the tear indistinguishable from a peer crash just
+	// before or just after the write.
 	Truncate
 	// WriteDelay stalls a write by a seed-determined duration.
 	WriteDelay
@@ -342,15 +347,13 @@ func (c *faultConn) Write(p []byte) (int, error) {
 		_ = c.Conn.Close()
 		return 0, fmt.Errorf("%w: dropped conn %d at op %d", ErrInjected, c.id, op)
 	case actTruncate:
-		// A strict prefix needs at least 2 bytes; a 1-byte write tears
-		// into a plain drop.
-		if len(p) < 2 {
-			c.in.note(c.id, op, Drop)
-			_ = c.Conn.Close()
-			return 0, fmt.Errorf("%w: dropped conn %d at op %d", ErrInjected, c.id, op)
-		}
+		// The cut lands anywhere in [0, len(p)]: an empty cut is
+		// indistinguishable from a peer that died before writing, a
+		// mid-frame cut is a torn frame, and a full-length cut is the
+		// ambiguous success — every byte arrived but the sender saw an
+		// error, the paper's ambiguous-commit window at the byte level.
 		c.mu.Lock()
-		cut := 1 + c.rng.Intn(len(p)-1)
+		cut := c.rng.Intn(len(p) + 1)
 		c.mu.Unlock()
 		c.in.note(c.id, op, Truncate)
 		n, _ := c.Conn.Write(p[:cut])

@@ -124,6 +124,64 @@ func TestTruncateTearsInsideFrame(t *testing.T) {
 	}
 }
 
+// TestTruncateCutsFullRange is the regression test for the truncation
+// offset range: cuts must land anywhere in [0, len(p)] — including the
+// empty cut (peer sees a crash before the write) and the complete cut
+// (every byte delivered, sender sees an error: the ambiguous success) —
+// not only strict interior prefixes. Every truncation still closes the
+// conn and returns a typed injected error.
+func TestTruncateCutsFullRange(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 8)
+	seen := make(map[int]bool)
+	for id := int64(0); id < 400; id++ {
+		inj := New(id, Plan{TruncatePer10k: 10000})
+		sink := &sinkConn{}
+		nc := inj.WrapConn(sink)
+		_, err := nc.Write(payload)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("seed %d: err = %v, want ErrInjected", id, err)
+		}
+		if !sink.closed {
+			t.Fatalf("seed %d: truncate did not close the conn", id)
+		}
+		cut := sink.out.Len()
+		if cut < 0 || cut > len(payload) {
+			t.Fatalf("seed %d: cut %d outside [0, %d]", id, cut, len(payload))
+		}
+		seen[cut] = true
+		if n := inj.Count(Truncate); n != 1 {
+			t.Fatalf("seed %d: truncate count = %d, want 1", id, n)
+		}
+	}
+	if !seen[0] {
+		t.Error("no empty cut in 400 seeds; offset range lost its lower end")
+	}
+	if !seen[len(payload)] {
+		t.Error("no complete cut in 400 seeds; offset range lost its upper end")
+	}
+	interior := false
+	for c := 1; c < len(payload); c++ {
+		interior = interior || seen[c]
+	}
+	if !interior {
+		t.Error("no interior cut in 400 seeds")
+	}
+}
+
+// TestTruncateEmptyWrite: a zero-byte write under certain truncation must
+// not panic and still behaves as an injected connection death.
+func TestTruncateEmptyWrite(t *testing.T) {
+	inj := New(11, Plan{TruncatePer10k: 10000})
+	sink := &sinkConn{}
+	nc := inj.WrapConn(sink)
+	if _, err := nc.Write(nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !sink.closed {
+		t.Fatal("conn left open")
+	}
+}
+
 // TestDropClosesConn: a drop kills the underlying conn and surfaces a typed
 // injected error, so the caller takes its connection-loss path.
 func TestDropClosesConn(t *testing.T) {

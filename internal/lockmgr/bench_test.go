@@ -1,0 +1,79 @@
+package lockmgr
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The two benchmark regimes the shard design trades between. Uncontended:
+// 1024 keys across default shards, acquires almost never park — the fast
+// path the sharding exists for. Contended: a handful of keys, parking is
+// routine — the regime where the slow path's cross-shard work shows up, and
+// where every parked request stalling all 16 shards also stalls the
+// *uncontended* traffic sharing the manager.
+
+func benchAcquireRelease(b *testing.B, shards int, keys int64) {
+	lm := NewSharded(30*time.Second, shards)
+	defer lm.Shutdown()
+	var ctr atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		o := lm.NewOwner("bench")
+		rng := ctr.Add(1)
+		for pb.Next() {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			key := int64(uint64(rng) % uint64(keys))
+			if err := lm.Acquire(o, key, Exclusive); err != nil {
+				b.Error(err)
+				return
+			}
+			lm.Release(o, key)
+		}
+	})
+}
+
+func BenchmarkAcquireUncontended(b *testing.B) {
+	for _, shards := range []int{1, DefaultShards} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchAcquireRelease(b, shards, 1024)
+		})
+	}
+}
+
+func BenchmarkAcquireContended(b *testing.B) {
+	for _, shards := range []int{1, DefaultShards} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchAcquireRelease(b, shards, 4)
+		})
+	}
+}
+
+// BenchmarkMixedContention is the regime the slow-path fix targets: most
+// goroutines run uncontended traffic, a few fight over two hot keys. Every
+// parked hot request that freezes all shards stalls the cold majority too.
+func BenchmarkMixedContention(b *testing.B) {
+	lm := NewSharded(30*time.Second, DefaultShards)
+	defer lm.Shutdown()
+	var ctr atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := ctr.Add(1)
+		o := lm.NewOwner("bench")
+		hot := id%4 == 0 // every fourth goroutine hammers the hot pair
+		rng := id
+		for pb.Next() {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			var key int64
+			if hot {
+				key = int64(uint64(rng) % 2)
+			} else {
+				key = 16 + int64(uint64(rng)%4096)
+			}
+			if err := lm.Acquire(o, key, Exclusive); err != nil {
+				b.Error(err)
+				return
+			}
+			lm.Release(o, key)
+		}
+	})
+}

@@ -38,7 +38,13 @@ type lockAPI interface {
 	waiterCount() int
 }
 
-// waiterCount reports how many row and gap waiters are parked, across shards.
+// waiterCount reports how many row and gap waiters are settled parks, across
+// shards. A request between enqueue and its deadlock verdict is counted in
+// m.detecting and subtracted: its queue entry may yet turn into an abort, so
+// the driver must not treat it as parked. The subtraction can only make the
+// count fall short of pending (spin longer), never fabricate equality: with
+// one op in flight the raw count is pending or pending−1 while detecting
+// is 1, so the difference stays below pending until the verdict lands.
 func (m *Manager) waiterCount() int {
 	n := 0
 	for _, sh := range m.shards {
@@ -49,7 +55,7 @@ func (m *Manager) waiterCount() int {
 		n += len(sh.gapWaiters)
 		sh.mu.Unlock()
 	}
-	return n
+	return n - int(m.detecting.Load())
 }
 
 func (m *refManager) waiterCount() int {

@@ -6,12 +6,18 @@
 // Lock state is partitioned by key hash into shards, each with its own
 // mutex, so uncontended acquires and releases — the hot path the paper's
 // Figure 2 measures — touch exactly one shard. The slow path (a request
-// that must park) takes every shard mutex in index order: enqueueing the
-// waiter and running deadlock detection over the cross-shard wait-for
-// snapshot happen atomically, which keeps the global detector exactly as
-// correct as the old single-mutex manager (kept as the reference
-// implementation in the equivalence property test). Waiters park on
-// buffered channels outside all mutexes.
+// that must park) enqueues the waiter under its key's shard mutex alone,
+// then runs deadlock detection in two phases: an optimistic scan that
+// visits shards one at a time in index order, and — only when that scan
+// suspects a cycle — an exact re-check under every shard mutex. Real
+// deadlock cycles are stable (every member is parked and releases nothing),
+// so the optimistic scan never misses one that existed when it started; a
+// cycle completed by a concurrent requester is found by that requester's
+// own scan, which starts after the final edge exists. Cycles the scan
+// assembles from edges alive at different moments can be spurious, which is
+// what the full-snapshot confirmation filters out. The single-mutex manager
+// is kept as the reference implementation in the equivalence property test.
+// Waiters park on buffered channels outside all mutexes.
 package lockmgr
 
 import (
@@ -140,6 +146,7 @@ type lmMetrics struct {
 	timeouts    *obs.Counter
 	gapWaits    *obs.Counter
 	slowPaths   *obs.Counter
+	confirms    *obs.Counter
 	waitSeconds *obs.Histogram
 	// shardAcquires[i] counts acquires landing on shard i;
 	// shardContended[i] counts the ones that left the fast path. Together
@@ -162,6 +169,12 @@ type Manager struct {
 	seed      maphash.Seed
 	nextOwner atomic.Uint64
 
+	// detecting counts requests that are between enqueueing a waiter and
+	// finishing deadlock detection. The equivalence test's quiescence check
+	// subtracts it so a queued waiter whose verdict is still undecided is
+	// not mistaken for a settled park.
+	detecting atomic.Int64
+
 	om atomic.Pointer[lmMetrics]
 }
 
@@ -182,6 +195,7 @@ func (m *Manager) WireObs(reg *obs.Registry) {
 		timeouts:       reg.Counter("lock_timeouts_total"),
 		gapWaits:       reg.Counter("lock_gap_waits_total"),
 		slowPaths:      reg.Counter("lock_slow_paths_total"),
+		confirms:       reg.Counter("lock_confirms_total"),
 		waitSeconds:    reg.Histogram("lock_wait_seconds"),
 		shardAcquires:  make([]*obs.Counter, len(m.shards)),
 		shardContended: make([]*obs.Counter, len(m.shards)),
@@ -302,19 +316,20 @@ func (m *Manager) Acquire(o *Owner, key any, mode Mode) error {
 	}
 	sh.mu.Unlock()
 
-	// Slow path: the request would park. Take the full cross-shard snapshot
-	// so enqueueing the waiter and deadlock detection are one atomic step —
-	// two requests racing on different shards must see each other's waits.
+	// Slow path: the request would park. Enqueue under the key's shard
+	// mutex only; deadlock detection runs after, outside it.
 	if om != nil {
 		om.slowPaths.Inc()
 		om.shardContended[idx].Inc()
 	}
-	m.lockAll()
+	m.detecting.Add(1)
+	sh.mu.Lock()
 	// State may have moved while we dropped the shard lock; re-run the
 	// grant logic before parking (nil metrics: the attempt above already
 	// counted this request's upgrade).
 	if done, err := m.fastAcquire(sh, o, key, mode, nil); done {
-		m.unlockAll()
+		sh.mu.Unlock()
+		m.detecting.Add(-1)
 		return err
 	}
 	ls := sh.lockFor(key)
@@ -327,16 +342,34 @@ func (m *Manager) Acquire(o *Owner, key any, mode Mode) error {
 		w = &waiter{owner: o, mode: mode, ch: make(chan error, 1)}
 		ls.queue = append(ls.queue, w)
 	}
-	if m.wouldDeadlock(o) {
-		sh.removeWaiter(ls, w)
-		m.unlockAll()
-		if om != nil {
-			om.deadlocks.Inc()
-		}
-		return ErrDeadlock
-	}
 	timeout := m.WaitTimeout
-	m.unlockAll()
+	sh.mu.Unlock()
+
+	// Two-phase deadlock check: the optimistic scan touches shards one at a
+	// time; only a suspected cycle pays for the all-shards snapshot, where
+	// the exact detector either confirms (abort) or exposes the suspicion
+	// as an artifact of reading edges at different moments (park). A grant
+	// racing either phase just empties o's wait edges, making both phases
+	// answer no; the grant is already sitting in w.ch.
+	if m.suspectDeadlock(o) {
+		if om != nil {
+			om.confirms.Inc()
+		}
+		m.lockAll()
+		dead := m.wouldDeadlock(o)
+		if dead {
+			sh.removeWaiter(ls, w)
+		}
+		m.unlockAll()
+		if dead {
+			m.detecting.Add(-1)
+			if om != nil {
+				om.deadlocks.Inc()
+			}
+			return ErrDeadlock
+		}
+	}
+	m.detecting.Add(-1)
 
 	var start time.Time
 	if om != nil {
@@ -590,24 +623,38 @@ func (m *Manager) InsertIntent(o *Owner, space GapSpace, key storage.Value) erro
 	}
 	sh.mu.Unlock()
 
-	// Parking: same cross-shard discipline as Acquire's slow path.
-	m.lockAll()
+	// Parking: same two-phase discipline as Acquire's slow path.
+	m.detecting.Add(1)
+	sh.mu.Lock()
 	if !sh.gapConflict(o, space, key) {
-		m.unlockAll()
+		sh.mu.Unlock()
+		m.detecting.Add(-1)
 		return nil
 	}
 	gw := &gapWaiter{owner: o, space: space, key: key, ch: make(chan error, 1)}
 	sh.gapWaiters = append(sh.gapWaiters, gw)
-	if m.wouldDeadlock(o) {
-		sh.removeGapWaiter(gw)
-		m.unlockAll()
-		if om := m.om.Load(); om != nil {
-			om.deadlocks.Inc()
-		}
-		return ErrDeadlock
-	}
 	timeout := m.WaitTimeout
-	m.unlockAll()
+	sh.mu.Unlock()
+
+	if m.suspectDeadlock(o) {
+		if om := m.om.Load(); om != nil {
+			om.confirms.Inc()
+		}
+		m.lockAll()
+		dead := m.wouldDeadlock(o)
+		if dead {
+			sh.removeGapWaiter(gw)
+		}
+		m.unlockAll()
+		if dead {
+			m.detecting.Add(-1)
+			if om := m.om.Load(); om != nil {
+				om.deadlocks.Inc()
+			}
+			return ErrDeadlock
+		}
+	}
+	m.detecting.Add(-1)
 
 	om := m.om.Load()
 	var start time.Time
@@ -807,6 +854,70 @@ func (m *Manager) HeldCount() int {
 
 // ---- deadlock detection ----
 
+// suspectDeadlock is the optimistic first phase: one sweep over the shards,
+// each locked by itself in index order and never more than one at a time,
+// snapshots the entire wait-for edge set; the cycle search then runs on the
+// snapshot without any mutex. A cycle that fully existed when the sweep
+// started is always found — its edges are stable, because every owner on it
+// is parked and parked owners release nothing — but a reported cycle may be
+// assembled from edges that were never simultaneously live, so a positive
+// is only a suspicion. Caller holds no shard mutex.
+func (m *Manager) suspectDeadlock(start *Owner) bool {
+	edges := make(map[*Owner][]*Owner)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.collectAllWaits(edges)
+		sh.mu.Unlock()
+	}
+	visited := make(map[*Owner]bool)
+	var dfs func(o *Owner) bool
+	dfs = func(o *Owner) bool {
+		if visited[o] {
+			return false
+		}
+		visited[o] = true
+		for _, next := range edges[o] {
+			if next == start {
+				return true
+			}
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// collectAllWaits appends every wait-for edge whose waiting side parks in
+// this shard: queued waiters against their incompatible holders and earlier
+// incompatible waiters, and parked insert intentions against covering gap
+// holders. Caller holds sh.mu. Duplicate edges are harmless to the cycle
+// search, so no dedup is paid here.
+func (sh *shard) collectAllWaits(edges map[*Owner][]*Owner) {
+	for _, ls := range sh.locks {
+		for i, w := range ls.queue {
+			for h, hm := range ls.holders {
+				if h != w.owner && (w.mode == Exclusive || hm == Exclusive) {
+					edges[w.owner] = append(edges[w.owner], h)
+				}
+			}
+			for _, e := range ls.queue[:i] {
+				if e.owner != w.owner && (w.mode == Exclusive || e.mode == Exclusive) {
+					edges[w.owner] = append(edges[w.owner], e.owner)
+				}
+			}
+		}
+	}
+	for _, gw := range sh.gapWaiters {
+		for _, g := range sh.gaps[gw.space] {
+			if g.owner != gw.owner && inOpenInterval(gw.key, g.lo, g.hi) {
+				edges[gw.owner] = append(edges[gw.owner], g.owner)
+			}
+		}
+	}
+}
+
 // wouldDeadlock runs a DFS over the wait-for graph from o, returning true if
 // o can reach itself. Caller holds every shard mutex (the cross-shard
 // wait-for snapshot). The requester is always the victim: deterministic and
@@ -832,54 +943,65 @@ func (m *Manager) wouldDeadlock(start *Owner) bool {
 	return dfs(start)
 }
 
-// waitsFor returns the owners o is currently blocked on. Caller holds every
-// shard mutex.
-func (m *Manager) waitsFor(o *Owner) []*Owner {
-	var out []*Owner
-	add := func(other *Owner) {
+// dedupAdd builds the wait-edge appender both waitsFor variants share.
+func dedupAdd(o *Owner, out *[]*Owner) func(*Owner) {
+	return func(other *Owner) {
 		if other == o {
 			return
 		}
-		for _, x := range out {
+		for _, x := range *out {
 			if x == other {
 				return
 			}
 		}
-		out = append(out, other)
+		*out = append(*out, other)
 	}
+}
+
+// waitsFor returns the owners o is currently blocked on. Caller holds every
+// shard mutex.
+func (m *Manager) waitsFor(o *Owner) []*Owner {
+	var out []*Owner
+	add := dedupAdd(o, &out)
 	for _, sh := range m.shards {
-		for _, ls := range sh.locks {
-			for i, w := range ls.queue {
-				if w.owner != o {
-					continue
-				}
-				// Blocked on incompatible holders...
-				for h, hm := range ls.holders {
-					if h == o {
-						continue
-					}
-					if w.mode == Exclusive || hm == Exclusive {
-						add(h)
-					}
-				}
-				// ...and on earlier incompatible waiters (FIFO).
-				for _, e := range ls.queue[:i] {
-					if e.owner != o && (w.mode == Exclusive || e.mode == Exclusive) {
-						add(e.owner)
-					}
-				}
-			}
-		}
-		for _, gw := range sh.gapWaiters {
-			if gw.owner != o {
-				continue
-			}
-			for _, g := range sh.gaps[gw.space] {
-				if g.owner != o && inOpenInterval(gw.key, g.lo, g.hi) {
-					add(g.owner)
-				}
-			}
-		}
+		sh.collectWaits(o, add)
 	}
 	return out
+}
+
+// collectWaits feeds add every owner o waits for within this shard. Caller
+// holds sh.mu.
+func (sh *shard) collectWaits(o *Owner, add func(*Owner)) {
+	for _, ls := range sh.locks {
+		for i, w := range ls.queue {
+			if w.owner != o {
+				continue
+			}
+			// Blocked on incompatible holders...
+			for h, hm := range ls.holders {
+				if h == o {
+					continue
+				}
+				if w.mode == Exclusive || hm == Exclusive {
+					add(h)
+				}
+			}
+			// ...and on earlier incompatible waiters (FIFO).
+			for _, e := range ls.queue[:i] {
+				if e.owner != o && (w.mode == Exclusive || e.mode == Exclusive) {
+					add(e.owner)
+				}
+			}
+		}
+	}
+	for _, gw := range sh.gapWaiters {
+		if gw.owner != o {
+			continue
+		}
+		for _, g := range sh.gaps[gw.space] {
+			if g.owner != o && inOpenInterval(gw.key, g.lo, g.hi) {
+				add(g.owner)
+			}
+		}
+	}
 }

@@ -3,9 +3,11 @@ package lockmgr
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"adhoctx/internal/obs"
 	"adhoctx/internal/storage"
 )
 
@@ -476,5 +478,55 @@ func TestHeldCountTracksRowAndGapLocks(t *testing.T) {
 	m.ReleaseAll(b)
 	if got := m.HeldCount(); got != 0 {
 		t.Fatalf("after ReleaseAll(b) HeldCount = %d, want 0 (leak)", got)
+	}
+}
+
+// TestTwoPhaseDetectionStats pins the slow path's behaviour under a
+// deadlock-free contended workload: owners acquire one key at a time (so no
+// wait-for cycle can ever be real), meaning every all-shards confirmation
+// the optimistic phase triggers is a false suspicion — and none of them may
+// be promoted to a deadlock verdict by the exact detector.
+func TestTwoPhaseDetectionStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	lm := NewSharded(30*time.Second, DefaultShards)
+	lm.WireObs(reg)
+	defer lm.Shutdown()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			o := lm.NewOwner("hammer")
+			rng := seed
+			for !stop.Load() {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				key := int64(uint64(rng) % 4)
+				if err := lm.Acquire(o, key, Exclusive); err != nil {
+					t.Error(err)
+					return
+				}
+				lm.Release(o, key)
+			}
+		}(int64(i + 1))
+	}
+	time.Sleep(200 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	slow := reg.Counter("lock_slow_paths_total").Value()
+	confirms := reg.Counter("lock_confirms_total").Value()
+	deadlocks := reg.Counter("lock_deadlocks_total").Value()
+	t.Logf("slow paths %d, all-shard confirms %d, deadlocks %d", slow, confirms, deadlocks)
+	if slow == 0 {
+		t.Skip("no contention materialized; nothing to measure")
+	}
+	if deadlocks != 0 {
+		t.Fatalf("%d deadlocks in a workload where no cycle can be real", deadlocks)
+	}
+	if confirms > slow {
+		t.Fatalf("confirms %d > slow paths %d", confirms, slow)
 	}
 }

@@ -34,10 +34,10 @@ type task struct {
 	// controller never blocks handing it over.
 	resume chan struct{}
 
-	mu     sync.Mutex
-	state  taskState
-	label  string      // pending transition label while parked
-	pred   func() bool // readiness poll while tsBlocked
+	mu      sync.Mutex
+	state   taskState
+	label   string      // pending transition label while parked
+	pred    func() bool // readiness poll while tsBlocked
 	n       int         // branch arity while tsChoosing
 	branch  int         // branch value, set by the controller before resume
 	waitOK  bool        // Wait outcome, set by the controller before resume

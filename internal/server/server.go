@@ -28,6 +28,7 @@ import (
 	"adhoctx/internal/kv"
 	"adhoctx/internal/obs"
 	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
 	"adhoctx/internal/wire"
 )
 
@@ -59,6 +60,25 @@ type Config struct {
 	// handshake — the seam internal/faults uses to inject connection
 	// drops, torn frames, and latency spikes on the server side.
 	WrapConn func(net.Conn) net.Conn
+	// Writable, when non-nil, gates write transactions: a follower node
+	// returns false and a writable BEGIN is rejected with CodeNotLeader,
+	// the response Msg carrying LeaderHint so routers re-route without a
+	// topology fetch. nil means always writable (standalone node).
+	Writable func() bool
+	// LeaderHint, when non-nil, names the current leader's client address
+	// for CodeNotLeader rejections.
+	LeaderHint func() string
+	// PartitionIndex and PartitionCount pin the static hash partition this
+	// node owns. PartitionCount 0 disables the guard; otherwise statements
+	// addressing a primary key hashing outside the partition are rejected
+	// with CodeWrongPartition before touching the engine.
+	PartitionIndex uint32
+	PartitionCount uint32
+	// AppliedLSN, when non-nil, is the node's replication frontier. A
+	// read-only BEGIN carrying MinLSN above it is rejected with
+	// CodeStaleRead, so bounded-staleness reads never travel backwards in
+	// time relative to what the client has already seen committed.
+	AppliedLSN func() uint64
 	// Crash, when non-nil, arms server-side crash points (§3.4.2). A fired
 	// point models the whole server process dying mid-request: the engine
 	// loses its volatile state (locks evaporate, live transactions start
@@ -401,8 +421,9 @@ type session struct {
 	conn net.Conn
 	m    *serverMetrics
 
-	txn *engine.Txn
-	kvc *kv.Conn
+	txn      *engine.Txn
+	readOnly bool
+	kvc      *kv.Conn
 
 	readBuf  []byte
 	writeBuf []byte
@@ -563,13 +584,15 @@ func (s *session) handle(payload []byte) wire.Op {
 			s.fail(wire.CodeNoTxn, "COMMIT with no open transaction")
 			break
 		}
+		t := s.txn
 		s.srv.cfg.Crash.Check(CrashPointCommitBefore)
-		err := s.txn.Commit()
+		err := t.Commit()
 		s.txn = nil
 		if err != nil {
 			s.failErr(err)
 			break
 		}
+		s.resp.LSN = t.CommitLSN()
 		s.srv.cfg.Crash.Check(CrashPointCommitAfter)
 	case wire.OpRollback:
 		if s.txn == nil {
@@ -582,8 +605,14 @@ func (s *session) handle(payload []byte) wire.Op {
 			s.failErr(err)
 		}
 	case wire.OpSelect:
+		if !s.partitionOK(r) {
+			break
+		}
 		s.selectRows(r)
 	case wire.OpInsert:
+		if !s.writableTxn() || !s.partitionOK(r) {
+			break
+		}
 		s.withTxn(r, func(t *engine.Txn) error {
 			vals := colValMap(r)
 			pk, err := t.Insert(r.Table, vals)
@@ -591,12 +620,18 @@ func (s *session) handle(payload []byte) wire.Op {
 			return err
 		})
 	case wire.OpUpdate:
+		if !s.writableTxn() || !s.partitionOK(r) {
+			break
+		}
 		s.withTxn(r, func(t *engine.Txn) error {
 			n, err := t.Update(r.Table, r.Pred, colValMap(r))
 			s.resp.N = int64(n)
 			return err
 		})
 	case wire.OpDelete:
+		if !s.writableTxn() || !s.partitionOK(r) {
+			break
+		}
 		s.withTxn(r, func(t *engine.Txn) error {
 			n, err := t.Delete(r.Table, r.Pred)
 			s.resp.N = int64(n)
@@ -632,10 +667,79 @@ func (s *session) begin(r *wire.Request) {
 		s.fail(wire.CodeBadRequest, "unknown isolation level")
 		return
 	}
+	if r.ReadOnly {
+		if fn := s.srv.cfg.AppliedLSN; fn != nil {
+			if applied := fn(); r.MinLSN > applied {
+				s.fail(wire.CodeStaleRead, fmt.Sprintf("applied LSN %d behind requested %d", applied, r.MinLSN))
+				return
+			}
+		}
+	} else if s.srv.cfg.Writable != nil && !s.srv.cfg.Writable() {
+		s.fail(wire.CodeNotLeader, s.leaderHint())
+		return
+	}
+	s.readOnly = r.ReadOnly
 	s.txn = s.eng().Begin(iso)
 }
 
 func (s *session) eng() *engine.Engine { return s.srv.eng }
+
+// leaderHint resolves the leader address carried in CodeNotLeader responses.
+func (s *session) leaderHint() string {
+	if s.srv.cfg.LeaderHint != nil {
+		return s.srv.cfg.LeaderHint()
+	}
+	return ""
+}
+
+// writableTxn stages a CodeNotLeader rejection and reports false when the
+// session's transaction is read-only: writes that reach a follower's read
+// session bounce back to the router with the leader's address.
+func (s *session) writableTxn() bool {
+	if s.readOnly && s.txn != nil {
+		s.fail(wire.CodeNotLeader, s.leaderHint())
+		return false
+	}
+	return true
+}
+
+// partitionOK stages a CodeWrongPartition rejection and reports false when
+// the request addresses a primary key this node's partition does not own.
+// Requests with no extractable key (full scans, engine-assigned inserts)
+// pass: each node stores only its own partition's rows anyway.
+func (s *session) partitionOK(r *wire.Request) bool {
+	count := s.srv.cfg.PartitionCount
+	if count == 0 {
+		return true
+	}
+	pk, ok := pkTarget(r)
+	if !ok {
+		return true
+	}
+	if p := wire.PartitionOf(pk, count); p != s.srv.cfg.PartitionIndex {
+		s.fail(wire.CodeWrongPartition, fmt.Sprintf("pk %d belongs to partition %d", pk, p))
+		return false
+	}
+	return true
+}
+
+// pkTarget extracts the primary key a statement addresses, if any.
+func pkTarget(r *wire.Request) (int64, bool) {
+	if r.Op == wire.OpInsert {
+		for i, c := range r.Cols {
+			if c == storage.PKColumn && i < len(r.Vals) {
+				pk, ok := r.Vals[i].(int64)
+				return pk, ok
+			}
+		}
+		return 0, false
+	}
+	if v, ok := storage.EqCond(r.Pred, storage.PKColumn); ok {
+		pk, ok2 := v.(int64)
+		return pk, ok2
+	}
+	return 0, false
+}
 
 // withTxn runs a statement against the open transaction.
 func (s *session) withTxn(_ *wire.Request, fn func(*engine.Txn) error) {

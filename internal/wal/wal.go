@@ -92,6 +92,20 @@ const (
 	CrashPointAfterFsync = "wal/groupcommit:after-fsync"
 )
 
+// Replication crash points, checked only when a shipper is installed
+// (SetShipper). They bracket the ship call and pin the semi-sync contract:
+// a crash at CrashPointShipBefore leaves the batch locally durable but
+// unshipped and unacknowledged — no client may have seen an ack, so losing
+// the node (and the batch with it) cannot violate acknowledged ⊆ replicated.
+const (
+	// CrashPointShipBefore fires after the batch's fsync but before it is
+	// handed to the shipper: durable locally, on no follower, no acks.
+	CrashPointShipBefore = "repl/ship:before"
+	// CrashPointShipAfter fires after the shipper returned (the ack quorum
+	// is satisfied) but before any caller is acknowledged.
+	CrashPointShipAfter = "repl/ship:after"
+)
+
 // Options configures a Log.
 type Options struct {
 	// Latency is the simulated device profile; Latency.Fsync is charged per
@@ -117,9 +131,10 @@ func (o Options) maxBatch() int {
 	return 64
 }
 
-// pendingAppend is one enqueued group-commit record: its encoded bytes and
-// the channel its Append caller blocks on.
+// pendingAppend is one enqueued group-commit record: its LSN, its encoded
+// bytes, and the channel its Append caller blocks on.
 type pendingAppend struct {
+	lsn  uint64
 	enc  []byte
 	done chan error
 }
@@ -155,6 +170,14 @@ type Log struct {
 	fsyncs  atomic.Int64
 	appends atomic.Int64
 
+	// durable is the highest LSN whose record has survived an fsync — the
+	// replication shipping frontier and the follower-staleness clock.
+	durable atomic.Uint64
+
+	// shipper, when installed, receives every durable byte range right
+	// after its fsync (see SetShipper).
+	shipper atomic.Pointer[func(raw []byte, first, last uint64)]
+
 	om atomic.Pointer[walMetrics]
 }
 
@@ -182,6 +205,50 @@ func (l *Log) WireObs(reg *obs.Registry) {
 		batches:   reg.Counter("wal_group_commits_total"),
 		batchSize: reg.Histogram("wal_group_commit_batch_size"),
 	})
+}
+
+// SetShipper installs fn as the log's replication hook: after every fsync,
+// fn receives the raw bytes just made durable plus the LSN range they cover.
+// fn runs on the flusher goroutine and blocks acknowledgement of the batch —
+// a shipper that waits for follower acks is exactly how semi-sync commit is
+// built. raw aliases the append-only log image: it stays valid and immutable
+// after fn returns. A nil fn uninstalls the hook.
+//
+// The repl/ship crash points fire around fn only while a shipper is
+// installed.
+func (l *Log) SetShipper(fn func(raw []byte, first, last uint64)) {
+	if fn == nil {
+		l.shipper.Store(nil)
+		return
+	}
+	l.shipper.Store(&fn)
+}
+
+// ship runs the installed shipper (if any) bracketed by the repl/ship crash
+// points. Called after the records in raw are locally durable.
+func (l *Log) ship(raw []byte, first, last uint64) {
+	fn := l.shipper.Load()
+	if fn == nil {
+		return
+	}
+	l.opt.Crash.Check(CrashPointShipBefore)
+	(*fn)(raw, first, last)
+	l.opt.Crash.Check(CrashPointShipAfter)
+}
+
+// DurableLSN returns the highest LSN that has survived an fsync. On a
+// follower this advances as replicated batches are applied (AppendRaw), so it
+// doubles as the applied-LSN the bounded-staleness guard compares against.
+func (l *Log) DurableLSN() uint64 { return l.durable.Load() }
+
+// advanceDurable ratchets the durable frontier up to lsn.
+func (l *Log) advanceDurable(lsn uint64) {
+	for {
+		cur := l.durable.Load()
+		if lsn <= cur || l.durable.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
 }
 
 // FsyncCount returns the number of flushes charged so far. With group
@@ -228,9 +295,25 @@ func (l *Log) Append(txnID uint64, ops []Op) (uint64, error) {
 		l.mu.Unlock()
 		return 0, err
 	}
+	off := len(l.buf)
 	l.buf = append(l.buf, enc...)
+	raw := l.buf[off:len(l.buf):len(l.buf)]
 	l.mu.Unlock()
 	l.fsync()
+	l.advanceDurable(lsn)
+	// Mirror the group-commit contract for the ship crash points: a crash
+	// panic becomes this record's Append error and poisons the log.
+	err = func() (err error) {
+		defer func() { err = sim.RecoverCrash(recover(), err) }()
+		l.ship(raw, lsn, lsn)
+		return nil
+	}()
+	if err != nil {
+		l.mu.Lock()
+		l.crashErr = err
+		l.mu.Unlock()
+		return 0, err
+	}
 	return lsn, nil
 }
 
@@ -250,7 +333,7 @@ func (l *Log) appendGroup(txnID uint64, ops []Op) (uint64, error) {
 		l.mu.Unlock()
 		return 0, err
 	}
-	p := &pendingAppend{enc: enc, done: make(chan error, 1)}
+	p := &pendingAppend{lsn: lsn, enc: enc, done: make(chan error, 1)}
 	l.pending = append(l.pending, p)
 	if len(l.pending) >= l.opt.maxBatch() {
 		select {
@@ -339,12 +422,17 @@ func (l *Log) flushBatch(batch []*pendingAppend) error {
 		defer func() { err = sim.RecoverCrash(recover(), err) }()
 		l.opt.Crash.Check(CrashPointBeforeFsync)
 		l.mu.Lock()
+		off := len(l.buf)
 		for _, p := range batch {
 			l.buf = append(l.buf, p.enc...)
 		}
+		raw := l.buf[off:len(l.buf):len(l.buf)]
 		l.mu.Unlock()
 		l.fsync()
+		first, last := batch[0].lsn, batch[len(batch)-1].lsn
+		l.advanceDurable(last)
 		l.opt.Crash.Check(CrashPointAfterFsync)
+		l.ship(raw, first, last)
 		return nil
 	}()
 	if om := l.om.Load(); om != nil {
@@ -364,6 +452,84 @@ func (l *Log) Recover() {
 	l.mu.Lock()
 	l.crashErr = nil
 	l.mu.Unlock()
+}
+
+// AppendRaw durably appends already-encoded records received from a
+// replication stream. lastLSN is the highest LSN in raw; the log's own LSN
+// counter is bumped past it so a promoted follower continues the dead
+// leader's sequence with no overlap. One fsync covers the whole chunk —
+// followers inherit the leader's batching for free.
+func (l *Log) AppendRaw(raw []byte, lastLSN uint64) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	if err := l.crashErr; err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.buf = append(l.buf, raw...)
+	if lastLSN >= l.nextLSN {
+		l.nextLSN = lastLSN + 1
+	}
+	l.mu.Unlock()
+	l.fsync()
+	l.advanceDurable(lastLSN)
+	return nil
+}
+
+// SliceFrom returns the suffix of raw holding the records with LSN >
+// afterLSN, plus the LSN range the suffix covers. It relies on the log's
+// append-in-LSN-order invariant: records are scanned front to back and the
+// suffix starts at the first record past afterLSN. Used by leaders to cut
+// catch-up snapshots for a subscriber and by followers to drop the
+// already-applied prefix of an overlapping batch.
+func SliceFrom(raw []byte, afterLSN uint64) (suffix []byte, first, last uint64, err error) {
+	off := 0
+	start := -1
+	for off < len(raw) {
+		rec, n, derr := decodeRecord(raw[off:])
+		if derr != nil {
+			if errors.Is(derr, errTruncated) && off+n >= len(raw) {
+				break // torn tail write: everything decodable was scanned
+			}
+			return nil, 0, 0, fmt.Errorf("%w at offset %d: %v", ErrCorrupt, off, derr)
+		}
+		if rec.LSN > afterLSN {
+			if start < 0 {
+				start = off
+				first = rec.LSN
+			}
+			last = rec.LSN
+		}
+		off += n
+	}
+	if start < 0 {
+		return nil, 0, 0, nil
+	}
+	return raw[start:off], first, last, nil
+}
+
+// Scan invokes fn for each record with its LSN and encoded bytes (aliasing
+// raw). Like Replay it tolerates a torn tail; unlike Replay it exposes record
+// boundaries, which replication uses to cut catch-up snapshots into frames
+// without re-encoding.
+func Scan(raw []byte, fn func(lsn uint64, rec []byte) error) error {
+	off := 0
+	for off < len(raw) {
+		r, n, err := decodeRecord(raw[off:])
+		if err != nil {
+			if errors.Is(err, errTruncated) && off+n >= len(raw) {
+				return nil
+			}
+			return fmt.Errorf("%w at offset %d: %v", ErrCorrupt, off, err)
+		}
+		if err := fn(r.LSN, raw[off:off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
 }
 
 // Bytes returns a copy of the raw log contents (what survives a crash).

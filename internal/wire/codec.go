@@ -17,6 +17,14 @@ type Request struct {
 	Iso  uint8 // OpBegin: engine.Isolation
 	Lock Lock  // OpSelect
 
+	// ReadOnly marks an OpBegin transaction as read-only: routable to a
+	// follower replica. MinLSN is the bounded-staleness floor — the highest
+	// commit LSN this client has observed; a follower whose applied LSN is
+	// below it must reject the begin with CodeStaleRead rather than serve
+	// reads from before the client's own writes.
+	ReadOnly bool
+	MinLSN   uint64
+
 	Table string
 	Pred  storage.Pred
 
@@ -36,6 +44,7 @@ type Request struct {
 // Reset clears the request for reuse, keeping slice capacity.
 func (r *Request) Reset() {
 	r.Op, r.Iso, r.Lock = OpInvalid, 0, LockNone
+	r.ReadOnly, r.MinLSN = false, 0
 	r.Table, r.Pred = "", nil
 	r.Cols, r.Vals = r.Cols[:0], r.Vals[:0]
 	r.Cmd, r.Key, r.SVal, r.TTL = KVInvalid, "", "", 0
@@ -50,6 +59,11 @@ type Response struct {
 	Code Code
 	Msg  string
 
+	// LSN is the commit LSN on a successful OpCommit response (0 when the
+	// transaction wrote nothing). Clients feed it back as MinLSN on later
+	// read-only begins: the bounded-staleness handshake.
+	LSN uint64
+
 	N    int64
 	Bool bool
 	Str  string
@@ -63,6 +77,7 @@ type Response struct {
 // Reset clears the response for reuse, keeping slice capacity.
 func (r *Response) Reset() {
 	r.Code, r.Msg = CodeOK, ""
+	r.LSN = 0
 	r.N, r.Bool, r.Str, r.TTL = 0, false, "", 0
 	r.Strs = r.Strs[:0]
 	r.Cols = r.Cols[:0]
@@ -346,10 +361,17 @@ func (d *decoder) pred(depth int) storage.Pred {
 // ---- request codec ----
 
 // frame type bytes. Requests and responses share the byte space; the first
-// payload byte disambiguates direction by context.
+// payload byte disambiguates direction by context. 0x03–0x06 are the v2
+// replication frames (see repl.go).
 const (
 	frameRequest  uint8 = 0x01
 	frameResponse uint8 = 0x02
+)
+
+// OpBegin flag bits.
+const (
+	beginReadOnly  uint8 = 1 << 0
+	beginHasMinLSN uint8 = 1 << 1
 )
 
 // AppendRequest encodes r into b (which should start empty but may carry
@@ -359,7 +381,17 @@ func AppendRequest(b []byte, r *Request) ([]byte, error) {
 	var err error
 	switch r.Op {
 	case OpBegin:
-		b = append(b, r.Iso)
+		var bf uint8
+		if r.ReadOnly {
+			bf |= beginReadOnly
+		}
+		if r.MinLSN != 0 {
+			bf |= beginHasMinLSN
+		}
+		b = append(b, r.Iso, bf)
+		if bf&beginHasMinLSN != 0 {
+			b = appendUint64(b, r.MinLSN)
+		}
 	case OpCommit, OpRollback, OpPing:
 		// no body
 	case OpSelect:
@@ -427,6 +459,11 @@ func DecodeRequest(payload []byte, r *Request) error {
 	switch r.Op {
 	case OpBegin:
 		r.Iso = d.u8("isolation")
+		bf := d.u8("begin flags")
+		r.ReadOnly = bf&beginReadOnly != 0
+		if bf&beginHasMinLSN != 0 {
+			r.MinLSN = d.u64("min lsn")
+		}
 	case OpCommit, OpRollback, OpPing:
 	case OpSelect:
 		r.Lock = Lock(d.u8("lock mode"))
@@ -475,6 +512,7 @@ const (
 	respHasTTL  uint8 = 1 << 3
 	respHasStrs uint8 = 1 << 4
 	respHasRows uint8 = 1 << 5
+	respHasLSN  uint8 = 1 << 6
 )
 
 // AppendResponse encodes r into b and returns the extended slice.
@@ -503,9 +541,15 @@ func AppendResponse(b []byte, r *Response) ([]byte, error) {
 	if len(r.Cols) > 0 || len(r.Rows) > 0 {
 		flags |= respHasRows
 	}
+	if r.LSN != 0 {
+		flags |= respHasLSN
+	}
 	b = append(b, flags)
 	if flags&respHasN != 0 {
 		b = appendUint64(b, uint64(r.N))
+	}
+	if flags&respHasLSN != 0 {
+		b = appendUint64(b, r.LSN)
 	}
 	if flags&respHasStr != 0 {
 		b = appendString(b, r.Str)
@@ -555,6 +599,9 @@ func DecodeResponse(payload []byte, r *Response) error {
 	flags := d.u8("response flags")
 	if flags&respHasN != 0 {
 		r.N = int64(d.u64("n"))
+	}
+	if flags&respHasLSN != 0 {
+		r.LSN = d.u64("lsn")
 	}
 	r.Bool = flags&respHasBool != 0
 	if flags&respHasStr != 0 {

@@ -179,9 +179,9 @@ func FuzzDecodeErrorFrame(f *testing.F) {
 	// Error frame with no message, and truncated-mid-message shapes.
 	b, _ := AppendResponse(nil, &Response{Code: CodeSaturated})
 	f.Add(b)
-	f.Add([]byte{frameResponse, 0x00, 0x01})             // code without message
-	f.Add([]byte{frameResponse, 0x00, 0x01, 0x05, 'h'})  // message length lies
-	f.Add([]byte{frameResponse, 0xff, 0xff, 0x01, 'x'})  // unknown code
+	f.Add([]byte{frameResponse, 0x00, 0x01})            // code without message
+	f.Add([]byte{frameResponse, 0x00, 0x01, 0x05, 'h'}) // message length lies
+	f.Add([]byte{frameResponse, 0xff, 0xff, 0x01, 'x'}) // unknown code
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var resp Response
 		if err := DecodeResponse(data, &resp); err != nil {

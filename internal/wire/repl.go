@@ -1,0 +1,185 @@
+package wire
+
+import "fmt"
+
+// Replication frames (protocol v2). After the standard handshake, a follower
+// turns its connection into a replication stream by sending one SUBSCRIBE
+// frame; from then on the leader pushes BATCH (live group-commit shipments)
+// and SNAPSHOT (catch-up chunks of the historical log) frames downstream and
+// the follower pushes ACK frames upstream. All four reuse the session frame
+// transport (4-byte length prefix, first payload byte is the type), so the
+// fault injector and MaxFrame bound apply to replication traffic exactly as
+// they do to client traffic.
+//
+// BATCH and SNAPSHOT carry raw WAL bytes (internal/wal record encoding,
+// self-delimiting and CRC-guarded), not re-encoded rows: the follower appends
+// the same bytes to its own log, so a promoted follower's log is a byte
+// prefix-compatible continuation of the dead leader's.
+
+// PartitionOf maps a primary key onto one of parts partitions with a stable
+// 64-bit mix (the splitmix64 finalizer), so routing tables computed by any
+// node, router, or client agree byte-for-byte. parts ≤ 1 always maps to 0.
+func PartitionOf(pk int64, parts uint32) uint32 {
+	if parts <= 1 {
+		return 0
+	}
+	x := uint64(pk)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return uint32(x % uint64(parts))
+}
+
+// Replication frame type bytes, continuing the 0x01/0x02 request/response
+// space.
+const (
+	frameReplSubscribe uint8 = 0x03
+	frameReplBatch     uint8 = 0x04
+	frameReplAck       uint8 = 0x05
+	frameReplSnapshot  uint8 = 0x06
+)
+
+// ReplKind enumerates replication frame kinds.
+type ReplKind uint8
+
+// Replication frame kinds.
+const (
+	ReplInvalid ReplKind = iota
+	ReplSubscribe
+	ReplBatch
+	ReplAck
+	ReplSnapshot
+)
+
+// String implements fmt.Stringer.
+func (k ReplKind) String() string {
+	switch k {
+	case ReplSubscribe:
+		return "subscribe"
+	case ReplBatch:
+		return "batch"
+	case ReplAck:
+		return "ack"
+	case ReplSnapshot:
+		return "snapshot"
+	default:
+		return fmt.Sprintf("replkind(%d)", uint8(k))
+	}
+}
+
+// ReplFrame is the decoded form of one replication frame. One struct covers
+// all four kinds; unused fields are zero.
+type ReplFrame struct {
+	Kind ReplKind
+
+	// Partition names the partition this stream replicates (SUBSCRIBE).
+	Partition uint32
+	// Epoch is the leader term. Followers reject frames from a lower epoch
+	// than they have seen (a deposed leader's stale stream); leaders reject
+	// subscribers claiming a higher epoch than their own.
+	Epoch uint64
+
+	// FromLSN is the subscriber's resume point: the highest LSN already
+	// durable on the follower (SUBSCRIBE).
+	FromLSN uint64
+
+	// FirstLSN/LastLSN bound the records in Raw (BATCH, SNAPSHOT).
+	FirstLSN uint64
+	LastLSN  uint64
+
+	// AckLSN is the highest LSN durable on the follower (ACK).
+	AckLSN uint64
+
+	// Raw holds WAL-encoded records (BATCH, SNAPSHOT).
+	Raw []byte
+}
+
+// Reset clears the frame for reuse, keeping Raw's capacity.
+func (f *ReplFrame) Reset() {
+	f.Kind = ReplInvalid
+	f.Partition, f.Epoch = 0, 0
+	f.FromLSN, f.FirstLSN, f.LastLSN, f.AckLSN = 0, 0, 0, 0
+	f.Raw = f.Raw[:0]
+}
+
+// AppendReplFrame encodes f into b and returns the extended slice.
+func AppendReplFrame(b []byte, f *ReplFrame) ([]byte, error) {
+	switch f.Kind {
+	case ReplSubscribe:
+		b = append(b, frameReplSubscribe)
+		b = appendUint64(b, uint64(f.Partition))
+		b = appendUint64(b, f.Epoch)
+		b = appendUint64(b, f.FromLSN)
+	case ReplBatch, ReplSnapshot:
+		t := frameReplBatch
+		if f.Kind == ReplSnapshot {
+			t = frameReplSnapshot
+		}
+		b = append(b, t)
+		b = appendUint64(b, f.Epoch)
+		b = appendUint64(b, f.FirstLSN)
+		b = appendUint64(b, f.LastLSN)
+		b = appendUint64(b, uint64(len(f.Raw)))
+		b = append(b, f.Raw...)
+	case ReplAck:
+		b = append(b, frameReplAck)
+		b = appendUint64(b, f.Epoch)
+		b = appendUint64(b, f.AckLSN)
+	default:
+		return b, fmt.Errorf("wire: cannot encode repl frame kind %s", f.Kind)
+	}
+	return b, nil
+}
+
+// IsReplFrame reports whether payload starts with a replication frame type
+// byte. Server sessions use it to tell a follower subscribing from a client
+// sending requests on the same listener.
+func IsReplFrame(payload []byte) bool {
+	return len(payload) > 0 && payload[0] >= frameReplSubscribe && payload[0] <= frameReplSnapshot
+}
+
+// DecodeReplFrame decodes payload into f (resetting it first). Raw is copied
+// out of payload, which may be reused immediately.
+func DecodeReplFrame(payload []byte, f *ReplFrame) error {
+	f.Reset()
+	d := &decoder{b: payload}
+	switch t := d.u8("frame type"); t {
+	case frameReplSubscribe:
+		f.Kind = ReplSubscribe
+		p := d.u64("partition")
+		if p > 1<<32-1 {
+			d.fail("partition")
+		}
+		f.Partition = uint32(p)
+		f.Epoch = d.u64("epoch")
+		f.FromLSN = d.u64("from lsn")
+	case frameReplBatch, frameReplSnapshot:
+		f.Kind = ReplBatch
+		if t == frameReplSnapshot {
+			f.Kind = ReplSnapshot
+		}
+		f.Epoch = d.u64("epoch")
+		f.FirstLSN = d.u64("first lsn")
+		f.LastLSN = d.u64("last lsn")
+		n := d.u64("raw length")
+		if d.err == nil && (n > uint64(len(d.b)-d.off)) {
+			d.fail("raw length")
+		}
+		if d.err == nil {
+			f.Raw = append(f.Raw, d.b[d.off:d.off+int(n)]...)
+			d.off += int(n)
+		}
+		if f.LastLSN < f.FirstLSN {
+			d.fail("lsn range")
+		}
+	case frameReplAck:
+		f.Kind = ReplAck
+		f.Epoch = d.u64("epoch")
+		f.AckLSN = d.u64("ack lsn")
+	default:
+		return &Error{Code: CodeBadRequest, Msg: "not a replication frame"}
+	}
+	return d.done()
+}

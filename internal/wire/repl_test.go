@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestReplFrameRoundTrip(t *testing.T) {
+	cases := []ReplFrame{
+		{Kind: ReplSubscribe, Partition: 3, Epoch: 7, FromLSN: 42},
+		{Kind: ReplSubscribe},
+		{Kind: ReplBatch, Epoch: 2, FirstLSN: 10, LastLSN: 12, Raw: []byte{0xde, 0xad, 0xbe, 0xef}},
+		{Kind: ReplBatch, Epoch: 1, FirstLSN: 5, LastLSN: 5},
+		{Kind: ReplSnapshot, Epoch: 9, FirstLSN: 1, LastLSN: 100, Raw: []byte("walwalwal")},
+		{Kind: ReplAck, Epoch: 4, AckLSN: 99},
+	}
+	for i, c := range cases {
+		b, err := AppendReplFrame(nil, &c)
+		if err != nil {
+			t.Fatalf("case %d: AppendReplFrame: %v", i, err)
+		}
+		if !IsReplFrame(b) {
+			t.Fatalf("case %d: IsReplFrame = false on %x", i, b)
+		}
+		var got ReplFrame
+		if err := DecodeReplFrame(b, &got); err != nil {
+			t.Fatalf("case %d: DecodeReplFrame: %v", i, err)
+		}
+		// Reset keeps Raw's capacity as an empty non-nil slice; normalise for
+		// the comparison.
+		if len(got.Raw) == 0 {
+			got.Raw = nil
+		}
+		if len(c.Raw) == 0 {
+			c.Raw = nil
+		}
+		if !reflect.DeepEqual(&got, &c) {
+			t.Errorf("case %d:\n got %+v\nwant %+v", i, &got, &c)
+		}
+	}
+}
+
+func TestReplFrameRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},                   // empty
+		{frameRequest},       // request frame to the repl decoder
+		{frameReplSubscribe}, // truncated subscribe
+		{frameReplAck, 0x01}, // truncated ack
+		append([]byte{frameReplBatch}, make([]byte, 24)...), // missing raw length
+		// Raw length larger than remaining payload.
+		func() []byte {
+			b := []byte{frameReplBatch}
+			for i := 0; i < 3; i++ {
+				b = appendUint64(b, 1)
+			}
+			b = appendUint64(b, 1<<30)
+			return b
+		}(),
+		// LastLSN < FirstLSN.
+		func() []byte {
+			b := []byte{frameReplBatch}
+			b = appendUint64(b, 1) // epoch
+			b = appendUint64(b, 9) // first
+			b = appendUint64(b, 3) // last < first
+			b = appendUint64(b, 0)
+			return b
+		}(),
+		// Trailing bytes after a well-formed ack.
+		func() []byte {
+			b, _ := AppendReplFrame(nil, &ReplFrame{Kind: ReplAck, Epoch: 1, AckLSN: 2})
+			return append(b, 0x00)
+		}(),
+	}
+	var f ReplFrame
+	for i, b := range cases {
+		if err := DecodeReplFrame(b, &f); err == nil {
+			t.Errorf("case %d (%x): decode accepted garbage", i, b)
+		}
+	}
+	if IsReplFrame([]byte{frameRequest}) || IsReplFrame(nil) {
+		t.Error("IsReplFrame accepted non-repl payloads")
+	}
+}
+
+// legacyClientHandshake impersonates a v1 peer: same magic, old version. It
+// returns what a real v1 binary's readHello would return when pointed at a
+// modern server.
+func legacyClientHandshake(rw io.ReadWriter, version uint16) error {
+	var h [6]byte
+	copy(h[:4], magic[:])
+	binary.BigEndian.PutUint16(h[4:], version)
+	if _, err := rw.Write(h[:]); err != nil {
+		return err
+	}
+	var reply [6]byte
+	if _, err := io.ReadFull(rw, reply[:]); err != nil {
+		return err
+	}
+	if [4]byte(reply[:4]) != magic {
+		return errors.New("bad magic in server reply")
+	}
+	if v := binary.BigEndian.Uint16(reply[4:]); v != version {
+		return errors.Join(ErrVersionMismatch, errors.New("server speaks a different version"))
+	}
+	return nil
+}
+
+// TestVersionNegotiationRejectsOldClient is the v1→v2 regression test: a
+// client that predates the replication frames must be turned away at the
+// handshake with a typed ErrVersionMismatch on both sides — not left hanging
+// waiting for a reply, and not fed frames it cannot decode until something
+// EOFs. The server replies with its own hello before rejecting, which is
+// exactly what lets the old client produce a diagnosable error.
+func TestVersionNegotiationRejectsOldClient(t *testing.T) {
+	if ProtocolVersion < 2 {
+		t.Fatal("replication frames require protocol v2+")
+	}
+	c, s := net.Pipe()
+	defer c.Close()
+	defer s.Close()
+
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- ServerHandshake(s) }()
+
+	cliDone := make(chan error, 1)
+	go func() { cliDone <- legacyClientHandshake(c, 1) }()
+
+	select {
+	case err := <-cliDone:
+		if !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("v1 client got %v, want ErrVersionMismatch", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("v1 client hung in handshake instead of being rejected")
+	}
+	select {
+	case err := <-srvErr:
+		if !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("server saw %v, want ErrVersionMismatch", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server hung in handshake")
+	}
+}
+
+// TestRoutingCodesAreTypedNotRetryable pins the redirect contract: the
+// routing codes decode into typed errors the router can branch on, and the
+// generic retry loop must NOT blindly re-run them against the same node —
+// re-routing is the router's job.
+func TestRoutingCodesAreTypedNotRetryable(t *testing.T) {
+	for _, c := range []Code{CodeNotLeader, CodeWrongPartition, CodeStaleRead} {
+		b, err := AppendResponse(nil, &Response{Code: c, Msg: "127.0.0.1:7001"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		if err := DecodeResponse(b, &resp); err != nil {
+			t.Fatal(err)
+		}
+		we, ok := AsError(resp.Err())
+		if !ok || we.Code != c {
+			t.Fatalf("code %v did not round-trip typed: %v", c, resp.Err())
+		}
+		if we.Retryable() {
+			t.Errorf("code %v must not be blind-retryable", c)
+		}
+	}
+}
+
+// FuzzDecodeReplFrame covers the replication decoder with the same no-panic /
+// re-encode-total properties as the request/response fuzzers. The seed corpus
+// includes every frame kind (testdata/fuzz/FuzzDecodeReplFrame).
+func FuzzDecodeReplFrame(f *testing.F) {
+	seeds := []*ReplFrame{
+		{Kind: ReplSubscribe, Partition: 0, Epoch: 1, FromLSN: 0},
+		{Kind: ReplSubscribe, Partition: 3, Epoch: 2, FromLSN: 17},
+		{Kind: ReplBatch, Epoch: 1, FirstLSN: 1, LastLSN: 2, Raw: []byte{1, 2, 3}},
+		{Kind: ReplSnapshot, Epoch: 1, FirstLSN: 1, LastLSN: 9, Raw: bytes.Repeat([]byte{0xab}, 32)},
+		{Kind: ReplAck, Epoch: 1, AckLSN: 5},
+	}
+	for _, s := range seeds {
+		b, err := AppendReplFrame(nil, s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{frameReplBatch})
+	f.Add([]byte{frameReplSubscribe, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr ReplFrame
+		if err := DecodeReplFrame(data, &fr); err != nil {
+			return
+		}
+		reenc, err := AppendReplFrame(nil, &fr)
+		if err != nil {
+			t.Fatalf("accepted repl frame %+v does not re-encode: %v", &fr, err)
+		}
+		var again ReplFrame
+		if err := DecodeReplFrame(reenc, &again); err != nil {
+			t.Fatalf("re-encoded repl frame rejected: %v (original %x)", err, data)
+		}
+	})
+}

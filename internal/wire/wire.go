@@ -34,7 +34,15 @@ import (
 // ProtocolVersion is the current protocol revision. The handshake rejects
 // mismatched peers: retry semantics are encoded in error codes, so silently
 // cross-wiring versions could turn a non-retryable failure into a retry storm.
-const ProtocolVersion uint16 = 1
+//
+// History: v1 was the single-node request/response protocol. v2 adds the
+// replication frames (REPL_SUBSCRIBE/BATCH/ACK/SNAPSHOT), the commit-LSN
+// response field, read-only BEGIN with a bounded-staleness floor, and the
+// routing codes (NOT_LEADER, WRONG_PARTITION, STALE_READ). A v1 peer cannot
+// express any of that, so the handshake rejects it with ErrVersionMismatch —
+// typed, not a hang — and replies with this side's version so the peer can
+// diagnose.
+const ProtocolVersion uint16 = 2
 
 // MaxFrame bounds a single frame's payload. A request naming one table and a
 // handful of values is a few hundred bytes; 1 MiB leaves room for bulk row
@@ -154,6 +162,12 @@ const (
 	CodeSaturated  // admission controller rejected the session/request
 	CodeShutdown   // server is draining
 	CodeInternal
+	// Routing codes (v2). These are redirects, not failures: the router
+	// refreshes its topology view and re-routes rather than blindly
+	// re-running the transaction on the same node.
+	CodeNotLeader      // write sent to a follower; Msg carries the leader addr hint
+	CodeWrongPartition // statement touched a key this node's partition does not own
+	CodeStaleRead      // follower applied-LSN below the session's MinLSN floor
 )
 
 // String implements fmt.Stringer.
@@ -187,6 +201,12 @@ func (c Code) String() string {
 		return "shutdown"
 	case CodeInternal:
 		return "internal"
+	case CodeNotLeader:
+		return "not_leader"
+	case CodeWrongPartition:
+		return "wrong_partition"
+	case CodeStaleRead:
+		return "stale_read"
 	default:
 		return fmt.Sprintf("code(%d)", uint16(c))
 	}
