@@ -5,11 +5,19 @@
 // leaked locks. A failing seed prints its replay command and the process
 // exits nonzero.
 //
+// With -restart, each seed instead runs restart-mode chaos: the engine's
+// WAL lives in a real data directory (one fresh temp dir per seed), and
+// every crash kills the ENTIRE serving stack — engine, WAL image, locks,
+// server — then re-opens the directory, checkpoint and all. The oracles
+// then include acked ⊆ recovered across the real restart, verified by a
+// final cold re-open.
+//
 // Usage:
 //
 //	go run ./cmd/adhocchaos                 # 20 seeds, full schedule
 //	go run ./cmd/adhocchaos -seeds 3 -v     # CI smoke
 //	go run ./cmd/adhocchaos -seed 17 -seeds 1   # replay one seed
+//	go run ./cmd/adhocchaos -restart -seeds 20  # durable-restart suite
 package main
 
 import (
@@ -34,9 +42,15 @@ func main() {
 		group    = flag.Bool("groupcommit", false, "run the engine with WAL group commit (adds the wal flush crash points)")
 		shards   = flag.Int("shards", 0, "lock manager shard count (0 = default)")
 		fsync    = flag.Duration("fsync", 0, "simulated WAL device flush time")
+		restart  = flag.Bool("restart", false, "restart mode: on-disk WAL, crashes kill and re-open the whole stack")
 		verbose  = flag.Bool("v", false, "print every seed's report, not just failures")
 	)
 	flag.Parse()
+
+	if *restart {
+		runRestartMode(*seed, *seeds, *clients, *ops, *rows, *crashes, *noFaults, *verbose)
+		return
+	}
 
 	mk := func(s int64) chaos.Config {
 		cfg := chaos.Config{
@@ -77,6 +91,52 @@ func main() {
 		}
 	}
 	fmt.Printf("%d seeds in %s: %d failed\n", *seeds, time.Since(start).Round(time.Millisecond), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func runRestartMode(seed int64, seeds, clients, ops, rows, crashes int, noFaults, verbose bool) {
+	start := time.Now()
+	var failures int
+	for s := seed; s < seed+int64(seeds); s++ {
+		dir, err := os.MkdirTemp("", "adhocchaos-restart-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed %d: temp dir: %v\n", s, err)
+			os.Exit(2)
+		}
+		cfg := chaos.RestartConfig{
+			Seed:     s,
+			Clients:  clients,
+			Ops:      ops,
+			Rows:     rows,
+			Restarts: crashes,
+			Dir:      dir,
+		}
+		if !noFaults {
+			cfg.Plan = faults.DefaultPlan()
+		}
+		rep, err := chaos.RunRestart(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed %d: harness failure: %v\n", s, err)
+			os.Exit(2)
+		}
+		if rep.Failed() {
+			failures++
+			fmt.Print(rep.Summary())
+			fmt.Printf("  data dir kept for inspection: %s\n", dir)
+		} else {
+			if verbose {
+				fmt.Print(rep.Summary())
+			} else {
+				fmt.Printf("seed %d: ok (%d transfers, %d acked markers, boots=%d, crashes=%d, torn-bytes=%d)\n",
+					rep.Seed, rep.Transfers, rep.AckedMarkers, rep.Boots,
+					len(rep.CrashPoints), rep.TruncatedBytes)
+			}
+			_ = os.RemoveAll(dir)
+		}
+	}
+	fmt.Printf("%d restart seeds in %s: %d failed\n", seeds, time.Since(start).Round(time.Millisecond), failures)
 	if failures > 0 {
 		os.Exit(1)
 	}

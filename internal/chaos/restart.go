@@ -1,0 +1,465 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"adhoctx/internal/analyzer"
+	"adhoctx/internal/client"
+	"adhoctx/internal/disk"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/faults"
+	"adhoctx/internal/server"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+	"adhoctx/internal/wal"
+)
+
+// RestartConfig parameterizes a restart-mode chaos run: the transfer
+// workload over TCP, but on an engine whose WAL lives in a real data
+// directory (internal/disk), and with a supervisor that on every crash
+// throws away the ENTIRE serving stack — engine, WAL image, lock manager,
+// server — and re-opens the directory from scratch, exactly like a process
+// restart. The in-process mode (Run) can only lose volatile state; this
+// mode proves the durable state alone carries every acknowledged commit.
+type RestartConfig struct {
+	// Seed drives the workload, fault schedule, and crash timing.
+	Seed int64
+	// Clients is the number of concurrent transfer workers (default 4).
+	Clients int
+	// Ops is the number of transfers each worker attempts (default 20).
+	Ops int
+	// Rows is the number of accounts (default 6; at least 2).
+	Rows int
+	// Restarts is how many crash/re-open cycles to arm (default 1).
+	Restarts int
+	// Plan is the network fault schedule (zero = no network faults).
+	Plan faults.Plan
+	// LockTimeout bounds engine lock waits (default 2s).
+	LockTimeout time.Duration
+	// Dir is the data directory. Required: the caller owns its lifetime
+	// (cmd/adhocchaos uses a fresh temp dir per seed).
+	Dir string
+	// SegmentSize is the WAL segment rotation threshold (default 16 KiB,
+	// small enough that runs actually rotate).
+	SegmentSize int64
+}
+
+func (c RestartConfig) withDefaults() RestartConfig {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 20
+	}
+	if c.Rows < 2 {
+		c.Rows = 6
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 1
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 2 * time.Second
+	}
+	if c.SegmentSize <= 0 {
+		c.SegmentSize = 16 << 10
+	}
+	return c
+}
+
+// RestartReport is the outcome of one restart-mode seed.
+type RestartReport struct {
+	Seed int64
+	// Transfers and TransferErrs count worker-level outcomes; errors are
+	// workers that exhausted retries, legitimate under faults.
+	Transfers, TransferErrs int
+	// AckedMarkers is how many acknowledged transfers the marker oracle
+	// tracked (each must exist in the recovered state).
+	AckedMarkers int
+	// Committed counts committed transactions across all eras' histories.
+	Committed int
+	// Retries is the clients' total backoff-retry count.
+	Retries int64
+	// CrashPoints are the crash points that fired, in firing order.
+	CrashPoints []string
+	// Boots is how many times the data directory was opened (1 + restarts
+	// + the final cold verification open).
+	Boots int
+	// TruncatedBytes totals the torn-tail bytes recovery cut across boots.
+	TruncatedBytes int64
+	// CheckpointLSN is the covered LSN of the newest checkpoint at the end.
+	CheckpointLSN uint64
+	// FinalSum is the recovered total balance (oracle: Rows*InitialBalance).
+	FinalSum int64
+	// LeakedLocks is the last era's lock count after all clients left.
+	LeakedLocks int
+	// Violations lists every oracle violation; empty means the seed passed.
+	Violations []string
+	// Replay is the command line that reproduces this run.
+	Replay string
+	// Elapsed is the wall time of the workload phase.
+	Elapsed time.Duration
+}
+
+// Failed reports whether any oracle was violated.
+func (r *RestartReport) Failed() bool { return len(r.Violations) > 0 }
+
+// Summary renders the report as one line per fact.
+func (r *RestartReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d: %d transfers (%d failed), %d acked markers, %d committed txns, %d retries, %s\n",
+		r.Seed, r.Transfers, r.TransferErrs, r.AckedMarkers, r.Committed, r.Retries,
+		r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  boots=%d crashes=%v torn-bytes=%d checkpoint-lsn=%d\n",
+		r.Boots, r.CrashPoints, r.TruncatedBytes, r.CheckpointLSN)
+	if r.Failed() {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+		}
+		fmt.Fprintf(&b, "  replay: %s\n", r.Replay)
+	} else {
+		fmt.Fprintf(&b, "  oracles: acked ⊆ recovered, per-era serializable, sum=%d, leaked locks=0\n", r.FinalSum)
+	}
+	return b.String()
+}
+
+// RestartReplayCommand renders the command line that reruns cfg (with a
+// fresh temp dir; the directory contents are derived from the seed).
+func RestartReplayCommand(cfg RestartConfig) string {
+	cfg = cfg.withDefaults()
+	return fmt.Sprintf("go run ./cmd/adhocchaos -restart -seed %d -seeds 1 -clients %d -ops %d -rows %d -crashes %d",
+		cfg.Seed, cfg.Clients, cfg.Ops, cfg.Rows, cfg.Restarts)
+}
+
+// restartEra is one process lifetime: an engine over a disk store, served
+// on TCP, with its own history capture (transaction IDs restart with the
+// engine, so histories must never be merged across eras).
+type restartEra struct {
+	eng   *engine.Engine
+	store *disk.Store
+	srv   *server.Server
+	hist  *analyzer.History
+	rec   *disk.Recovered
+}
+
+// bootRestartEra opens the data directory, recovers, checkpoints the
+// recovered state, and serves it. seedRows is done only when the directory
+// is fresh (first boot).
+func bootRestartEra(cfg RestartConfig, plan *sim.CrashPlan, inj *faults.Injector, addr string) (*restartEra, error) {
+	store, rec, err := disk.Open(cfg.Dir, disk.Options{SegmentSize: cfg.SegmentSize})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: open data dir: %w", err)
+	}
+	eng := engine.New(engine.Config{
+		Dialect:     engine.MySQL,
+		LockTimeout: cfg.LockTimeout,
+		GroupCommit: true,
+		WALDevice:   store,
+		Crash:       plan,
+	})
+	eng.CreateTable(storage.NewSchema("accounts",
+		storage.Column{Name: "bal", Type: storage.TInt},
+	))
+	eng.CreateTable(storage.NewSchema("txlog",
+		storage.Column{Name: "worker", Type: storage.TInt},
+	))
+	if rec.Empty() {
+		seedTxn := eng.Begin(engine.IsolationDefault)
+		for i := 0; i < cfg.Rows; i++ {
+			if _, err := seedTxn.Insert("accounts", map[string]storage.Value{"bal": InitialBalance}); err != nil {
+				return nil, fmt.Errorf("chaos: seed: %w", err)
+			}
+		}
+		if err := seedTxn.Commit(); err != nil {
+			return nil, fmt.Errorf("chaos: seed commit: %w", err)
+		}
+	} else {
+		if err := eng.LoadRecovered(rec.Checkpoint, rec.Tail, rec.LastLSN); err != nil {
+			return nil, fmt.Errorf("chaos: load recovered: %w", err)
+		}
+		// Checkpoint-on-boot: fold the replayed tail into a fresh
+		// checkpoint so segments get pruned and the next recovery is
+		// shorter — and so checkpointing itself is exercised under chaos.
+		snap, lsn, err := eng.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: boot snapshot: %w", err)
+		}
+		if err := store.Checkpoint(snap, lsn); err != nil {
+			return nil, fmt.Errorf("chaos: boot checkpoint: %w", err)
+		}
+	}
+
+	hist := analyzer.NewHistory()
+	eng.SetTracer(hist)
+
+	srvCfg := server.Config{
+		Addr:        addr,
+		MaxSessions: cfg.Clients + 4,
+		IdleTimeout: 2 * time.Second,
+		WrapConn:    inj.WrapConn,
+		Crash:       plan,
+	}
+	srv := server.New(eng, nil, srvCfg)
+	if err := restart(srv); err != nil {
+		_ = store.Close()
+		return nil, fmt.Errorf("chaos: serve: %w", err)
+	}
+	return &restartEra{eng: eng, store: store, srv: srv, hist: hist, rec: rec}, nil
+}
+
+// kill tears the era down the way a process dies: server drained, engine
+// halted, store closed with staged-unsynced bytes DISCARDED. Nothing is
+// flushed on the way out — durability must come from the syncs that already
+// happened.
+func (era *restartEra) kill() {
+	_ = era.srv.Close()
+	era.eng.Crash()
+	_ = era.store.Close()
+}
+
+// RunRestart executes one restart-mode seed end to end and runs the
+// durability oracles, including a final cold re-open of the data directory
+// with no server at all. The returned error is reserved for harness
+// breakage; oracle violations land in the report.
+func RunRestart(cfg RestartConfig) (*RestartReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("chaos: RestartConfig.Dir is required")
+	}
+	rep := &RestartReport{Seed: cfg.Seed, Replay: RestartReplayCommand(cfg)}
+
+	plan := &sim.CrashPlan{}
+	inj := faults.New(cfg.Seed, cfg.Plan)
+
+	first, err := bootRestartEra(cfg, plan, inj, "")
+	if err != nil {
+		return nil, err
+	}
+	rep.Boots++
+	rep.TruncatedBytes += first.rec.TruncatedTail
+	addr := first.srv.Addr().String()
+
+	var (
+		eraMu sync.Mutex
+		eras  = []*restartEra{first}
+	)
+	curEra := func() *restartEra {
+		eraMu.Lock()
+		defer eraMu.Unlock()
+		return eras[len(eras)-1]
+	}
+
+	// Crash rotation: server commit points and WAL group-commit flush
+	// points. Armed only after the first era is seeded and serving.
+	supRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	points := []string{
+		server.CrashPointCommitBefore, server.CrashPointCommitAfter,
+		wal.CrashPointBeforeFsync, wal.CrashPointAfterFsync,
+	}
+	armNext := func() {
+		plan.Arm(points[supRng.Intn(len(points))], 2+supRng.Intn(6))
+	}
+	armNext()
+
+	// Supervisor: on crash, kill the whole era and boot a new one from the
+	// directory on the same address.
+	workDone := make(chan struct{})
+	supDone := make(chan struct{})
+	var supErr error
+	go func() {
+		defer close(supDone)
+		crashed := 0
+		for {
+			cur := curEra()
+			select {
+			case <-workDone:
+				return
+			case <-cur.srv.Crashed():
+				rep.CrashPoints = append(rep.CrashPoints, cur.srv.CrashPoint())
+				cur.kill()
+				next, err := bootRestartEra(cfg, plan, inj, addr)
+				if err != nil {
+					supErr = err
+					return
+				}
+				rep.Boots++
+				rep.TruncatedBytes += next.rec.TruncatedTail
+				eraMu.Lock()
+				eras = append(eras, next)
+				eraMu.Unlock()
+				crashed++
+				if crashed < cfg.Restarts {
+					armNext()
+				}
+			}
+		}
+	}()
+
+	cli := client.New(client.Config{
+		Addr:           addr,
+		PoolSize:       cfg.Clients,
+		MaxRetries:     60,
+		BackoffBase:    500 * time.Microsecond,
+		DialTimeout:    time.Second,
+		RequestTimeout: 2 * cfg.LockTimeout,
+		RetryConnLost:  true,
+		Dial:           inj.Dial,
+	})
+
+	// Workload: contended transfers, each carrying a fresh marker row per
+	// attempt. Only the attempt whose COMMIT was acknowledged joins the
+	// oracle set — an ambiguous (crashed mid-commit, retried) attempt may
+	// or may not have survived, and either outcome is legal.
+	start := time.Now()
+	var (
+		wg      sync.WaitGroup
+		statsMu sync.Mutex
+		acked   []int64
+	)
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(worker int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + worker))
+			markerCursor := markerBase + worker*1_000_000
+			for i := 0; i < cfg.Ops; i++ {
+				a := 1 + rng.Int63n(int64(cfg.Rows))
+				b := 1 + rng.Int63n(int64(cfg.Rows))
+				for b == a {
+					b = 1 + rng.Int63n(int64(cfg.Rows))
+				}
+				amt := 1 + rng.Int63n(5)
+				var marker int64
+				err := cli.RunTxn(engine.IsolationDefault, func(txn *client.Txn) error {
+					marker = markerCursor
+					markerCursor++
+					if _, err := txn.Insert("txlog", map[string]storage.Value{
+						storage.PKColumn: marker, "worker": worker,
+					}); err != nil {
+						return err
+					}
+					return transfer(txn, a, b, amt)
+				})
+				statsMu.Lock()
+				if err != nil {
+					rep.TransferErrs++
+				} else {
+					rep.Transfers++
+					acked = append(acked, marker)
+				}
+				statsMu.Unlock()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	close(workDone)
+	<-supDone
+	rep.Retries = cli.Retries()
+	_ = cli.Close()
+	if supErr != nil {
+		return nil, supErr
+	}
+	rep.AckedMarkers = len(acked)
+
+	// Drain the last era and check its locks before killing it.
+	last := curEra()
+	_ = last.srv.Close()
+	rep.LeakedLocks = waitForZeroLocks(last.eng.LockManager(), 2*time.Second)
+	if rep.LeakedLocks != 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("%d locks still held after all clients disconnected", rep.LeakedLocks))
+	}
+	_ = last.store.Close()
+
+	// Oracle: per-era committed histories are conflict-serializable.
+	// Transaction IDs restart with each engine, so each era is checked on
+	// its own — exactly the guarantee a restarting database gives.
+	eraMu.Lock()
+	allEras := append([]*restartEra(nil), eras...)
+	eraMu.Unlock()
+	for i, era := range allEras {
+		items := era.hist.Items()
+		for _, it := range items {
+			if it.Kind == analyzer.OpCommit {
+				rep.Committed++
+			}
+		}
+		if cycle := analyzer.CheckCommitted(items); cycle != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("era %d: committed history not serializable: cycle %v", i, cycle))
+		}
+	}
+
+	// Final cold verification: re-open the directory with no server, no
+	// workload, no crash plan — only what is on disk.
+	cold, rec, err := disk.Open(cfg.Dir, disk.Options{SegmentSize: cfg.SegmentSize})
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("cold re-open failed: %v", err))
+		return rep, nil
+	}
+	defer cold.Close()
+	rep.Boots++
+	rep.TruncatedBytes += rec.TruncatedTail
+	rep.CheckpointLSN = rec.CheckpointLSN
+	verify := engine.New(engine.Config{Dialect: engine.MySQL, LockTimeout: cfg.LockTimeout})
+	verify.CreateTable(storage.NewSchema("accounts",
+		storage.Column{Name: "bal", Type: storage.TInt},
+	))
+	verify.CreateTable(storage.NewSchema("txlog",
+		storage.Column{Name: "worker", Type: storage.TInt},
+	))
+	if err := verify.LoadRecovered(rec.Checkpoint, rec.Tail, rec.LastLSN); err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("cold recovery replay failed: %v", err))
+		return rep, nil
+	}
+
+	// Oracle: acked ⊆ recovered. Every acknowledged transfer's marker row
+	// must exist in the state rebuilt purely from the files.
+	for _, m := range acked {
+		row, err := probeRow(verify, "txlog", m)
+		if err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("marker probe %d: %v", m, err))
+			break
+		}
+		if row == nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("acknowledged commit lost across restart: marker %d missing from recovered state", m))
+		}
+	}
+
+	// Oracle: total balance conserved in the recovered state.
+	sum, err := probeSum(verify)
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("recovered balance probe failed: %v", err))
+	} else {
+		rep.FinalSum = sum
+		if want := int64(cfg.Rows) * InitialBalance; sum != want {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("recovered balance sum %d, want %d (lost or duplicated writes)", sum, want))
+		}
+	}
+	return rep, nil
+}
+
+// RunRestartSeeds runs n consecutive restart-mode seeds starting at first,
+// returning the reports and the first failing report (nil if all passed).
+// mk must give every seed its own data directory.
+func RunRestartSeeds(first int64, n int, mk func(seed int64) RestartConfig) ([]*RestartReport, *RestartReport, error) {
+	var reports []*RestartReport
+	var failed *RestartReport
+	for s := first; s < first+int64(n); s++ {
+		rep, err := RunRestart(mk(s))
+		if err != nil {
+			return reports, failed, err
+		}
+		reports = append(reports, rep)
+		if failed == nil && rep.Failed() {
+			failed = rep
+		}
+	}
+	return reports, failed, nil
+}

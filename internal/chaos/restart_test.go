@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"adhoctx/internal/faults"
+)
+
+// TestRestartCleanSeed: no crashes, no network faults — every transfer must
+// succeed and the cold re-open must rebuild exactly the acked state.
+func TestRestartCleanSeed(t *testing.T) {
+	rep, err := RunRestart(RestartConfig{
+		Seed: 1, Clients: 3, Ops: 8, Rows: 4,
+		Restarts: 0, Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restarts defaults to 1 when <=0, so one crash is expected even here;
+	// what matters is that the oracles hold.
+	if rep.Failed() {
+		t.Fatalf("clean-ish seed failed:\n%s", rep.Summary())
+	}
+	if rep.AckedMarkers == 0 {
+		t.Fatal("no transfer was ever acknowledged")
+	}
+}
+
+// TestRestartSeedsPass sweeps seeds through full restart chaos: crash points
+// armed, the whole stack killed and re-opened from disk, oracles on the
+// recovered state.
+func TestRestartSeedsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart chaos sweep is slow")
+	}
+	reports, failed, err := RunRestartSeeds(1, 6, func(seed int64) RestartConfig {
+		return RestartConfig{
+			Seed: seed, Clients: 4, Ops: 12, Rows: 6,
+			Restarts: 2, Dir: t.TempDir(),
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != nil {
+		t.Fatalf("seed %d violated durability oracles:\n%s", failed.Seed, failed.Summary())
+	}
+	boots, crashes := 0, 0
+	for _, rep := range reports {
+		boots += rep.Boots
+		crashes += len(rep.CrashPoints)
+	}
+	// Every seed boots at least twice (initial + cold verify); the sweep as
+	// a whole must have actually crashed somewhere, or it tested nothing.
+	if crashes == 0 {
+		t.Fatal("sweep fired no crash points")
+	}
+	if boots < len(reports)*2+crashes {
+		t.Fatalf("boots=%d, want >= %d (2 per seed + %d crashes)", boots, len(reports)*2+crashes, crashes)
+	}
+}
+
+// TestRestartWithNetworkFaults layers the network fault plan on top of the
+// restart cycle — torn connections AND torn processes.
+func TestRestartWithNetworkFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart chaos with faults is slow")
+	}
+	rep, err := RunRestart(RestartConfig{
+		Seed: 7, Clients: 4, Ops: 10, Rows: 6,
+		Restarts: 1, Plan: faults.DefaultPlan(), Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("seed with network faults failed:\n%s", rep.Summary())
+	}
+}
+
+// TestRestartReplayCommand pins the replay line's shape.
+func TestRestartReplayCommand(t *testing.T) {
+	cmd := RestartReplayCommand(RestartConfig{Seed: 42, Restarts: 3})
+	for _, want := range []string{"-restart", "-seed 42", "-crashes 3"} {
+		if !strings.Contains(cmd, want) {
+			t.Fatalf("replay %q missing %q", cmd, want)
+		}
+	}
+}

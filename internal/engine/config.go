@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"adhoctx/internal/sim"
+	"adhoctx/internal/wal"
 )
 
 // Isolation is a transaction isolation level.
@@ -98,6 +99,10 @@ type Config struct {
 	Crash *sim.CrashPlan
 	// LockTimeout bounds lock waits (0 = wait forever).
 	LockTimeout time.Duration
+	// WALDevice, when non-nil, is the durable medium under the WAL — a
+	// *disk.Store for a real on-disk log. Nil keeps the simulated device
+	// (in-memory durable image, WALFsync-priced syncs).
+	WALDevice wal.Device
 	// SSIPageSize groups index keys into pages for Serializable predicate
 	// read tracking under the Postgres dialect. Real SSI tracks SIREAD
 	// locks at page granularity, which manufactures false conflicts

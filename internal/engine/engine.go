@@ -59,6 +59,12 @@ type Engine struct {
 	// crashed poisons every live transaction until Recover.
 	crashed atomic.Bool
 
+	// ckptPrefix is the checkpoint body this engine was booted from
+	// (LoadRecovered): the committed projection covering every LSN at or
+	// below the checkpoint. In-process Crash/Recover replays it before the
+	// WAL, which holds only the records past the checkpoint.
+	ckptPrefix []byte
+
 	stats    Stats
 	tracer   atomic.Pointer[Tracer]
 	eventSeq atomic.Uint64
@@ -80,6 +86,7 @@ func New(cfg Config) *Engine {
 			MaxBatch:    cfg.GroupCommitMaxBatch,
 			MaxWait:     cfg.GroupCommitMaxWait,
 			Crash:       cfg.Crash,
+			Device:      cfg.WALDevice,
 		}),
 	}
 }
@@ -208,47 +215,60 @@ func freshIndexes(old map[string]*storage.Index) map[string]*storage.Index {
 	return out
 }
 
-// Recover replays the WAL, restoring every committed transaction, and
-// reopens the engine for new transactions.
+// Recover replays the durable state — the loaded checkpoint prefix (if this
+// engine was booted from a disk recovery, see LoadRecovered) and then the
+// WAL — restoring every committed transaction, and reopens the engine for
+// new transactions. It also restores the commit clock past every replayed
+// LSN so new snapshots see recovered data.
 func (e *Engine) Recover() error {
 	// Reopen a log poisoned by a fired group-commit crash point; the
 	// durable image (what replay below reads) is untouched.
 	e.log.Recover()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	err := wal.Replay(e.log.Bytes(), func(rec wal.Record) error {
-		for _, op := range rec.Ops {
-			t, ok := e.tables[op.Table]
-			if !ok {
-				return fmt.Errorf("engine: recovery references unknown table %q", op.Table)
-			}
-			switch op.Kind {
-			case wal.OpInsert, wal.OpUpdate:
-				e.applyRedoWrite(t, op.PK, op.Row, rec.TxnID, rec.LSN)
-			case wal.OpDelete:
-				if ch, ok := t.rows[op.PK]; ok {
-					old := ch.Head()
-					if old != nil && old.Row != nil {
-						e.dropIndexEntries(t, old.Row, op.PK)
-					}
-				}
-				delete(t.rows, op.PK)
-			}
-		}
-		return nil
-	})
-	if err != nil {
+	if err := wal.Replay(e.ckptPrefix, e.applyRecordLocked); err != nil {
 		return err
 	}
-	// Restore commit clock past every replayed LSN so new snapshots see
-	// recovered data.
-	recs, _ := wal.Records(e.log.Bytes())
-	for _, r := range recs {
-		if r.LSN > e.csn {
-			e.csn = r.LSN
-		}
+	if err := wal.Replay(e.log.Bytes(), e.applyRecordLocked); err != nil {
+		return err
 	}
 	e.crashed.Store(false)
+	return nil
+}
+
+// applyRecordLocked applies one redo record to the volatile store and
+// advances the commit clock — the single replay primitive shared by crash
+// recovery, replicated apply, and checkpoint load. Caller holds e.mu.
+func (e *Engine) applyRecordLocked(rec wal.Record) error {
+	for _, op := range rec.Ops {
+		t, ok := e.tables[op.Table]
+		if !ok {
+			return fmt.Errorf("engine: replay references unknown table %q", op.Table)
+		}
+		switch op.Kind {
+		case wal.OpInsert, wal.OpUpdate:
+			e.applyRedoWrite(t, op.PK, op.Row, rec.TxnID, rec.LSN)
+		case wal.OpDelete:
+			if ch, ok := t.rows[op.PK]; ok {
+				old := ch.Head()
+				if old != nil && old.Row != nil {
+					e.dropIndexEntries(t, old.Row, op.PK)
+				}
+			}
+			delete(t.rows, op.PK)
+		}
+	}
+	if rec.LSN > e.csn {
+		e.csn = rec.LSN
+	}
+	// Recovered transaction IDs must stay retired: a new transaction that
+	// reused one would mistake the recovered version for its own write.
+	for {
+		cur := e.nextTxn.Load()
+		if rec.TxnID <= cur || e.nextTxn.CompareAndSwap(cur, rec.TxnID) {
+			break
+		}
+	}
 	return nil
 }
 
@@ -313,31 +333,7 @@ func (e *Engine) ApplyReplicated(raw []byte) (uint64, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	err = wal.Replay(suffix, func(rec wal.Record) error {
-		for _, op := range rec.Ops {
-			t, ok := e.tables[op.Table]
-			if !ok {
-				return fmt.Errorf("engine: replication references unknown table %q", op.Table)
-			}
-			switch op.Kind {
-			case wal.OpInsert, wal.OpUpdate:
-				e.applyRedoWrite(t, op.PK, op.Row, rec.TxnID, rec.LSN)
-			case wal.OpDelete:
-				if ch, ok := t.rows[op.PK]; ok {
-					old := ch.Head()
-					if old != nil && old.Row != nil {
-						e.dropIndexEntries(t, old.Row, op.PK)
-					}
-				}
-				delete(t.rows, op.PK)
-			}
-		}
-		if rec.LSN > e.csn {
-			e.csn = rec.LSN
-		}
-		return nil
-	})
-	if err != nil {
+	if err := wal.Replay(suffix, e.applyRecordLocked); err != nil {
 		return 0, err
 	}
 	return last, nil

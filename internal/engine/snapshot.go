@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"adhoctx/internal/wal"
+)
+
+// Snapshot serializes the committed projection — the newest committed
+// version of every live row — as WAL-encoded insert records, for a
+// checkpoint. It returns the snapshot bytes and the LSN it covers.
+//
+// The covered LSN is the WAL's durable frontier read under the store latch.
+// That is sound because commit applies a transaction's writes to the chains
+// (under this same latch) BEFORE appending to the WAL: every record with
+// LSN at or below the durable frontier is already reflected in the chains
+// the snapshot walks. The converse does not hold — the snapshot may include
+// a commit whose record is still past the frontier — and does not need to:
+// replaying that record over the checkpoint is an idempotent overwrite.
+//
+// Output is deterministic (tables and rows in sorted order) so tests can
+// compare snapshots byte-for-byte.
+func (e *Engine) Snapshot() ([]byte, uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lsn := e.log.DurableLSN()
+
+	names := make([]string, 0, len(e.tables))
+	for name := range e.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var out []byte
+	for _, name := range names {
+		t := e.tables[name]
+		pks := make([]int64, 0, len(t.rows))
+		for pk := range t.rows {
+			pks = append(pks, pk)
+		}
+		sort.Slice(pks, func(i, j int) bool { return pks[i] < pks[j] })
+		for _, pk := range pks {
+			v := t.rows[pk].LatestCommitted()
+			if v == nil || v.Deleted {
+				continue
+			}
+			enc, err := wal.Encode(wal.Record{
+				// The version's commit stamp rides in the LSN field so a
+				// replay re-stamps the row exactly as recovery would.
+				LSN:   v.CSN,
+				TxnID: v.TxnID,
+				Ops:   []wal.Op{{Kind: wal.OpInsert, Table: name, PK: pk, Row: v.Row}},
+			})
+			if err != nil {
+				return nil, 0, fmt.Errorf("engine: snapshot of %s/%d: %w", name, pk, err)
+			}
+			out = append(out, enc...)
+		}
+	}
+	return out, lsn, nil
+}
+
+// LoadRecovered boots a freshly created engine (tables registered, no data)
+// from a disk recovery: the checkpoint's committed projection, then the WAL
+// tail past it. The tail is also loaded into the in-memory WAL image with
+// its LSN counter primed at lastLSN, so new commits continue the on-disk
+// sequence — and an in-process Crash/Recover cycle afterwards replays
+// checkpoint + tail + new records and rebuilds this same state.
+func (e *Engine) LoadRecovered(checkpoint, tail []byte, lastLSN uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name, t := range e.tables {
+		if len(t.rows) != 0 {
+			return fmt.Errorf("engine: LoadRecovered on non-empty table %q", name)
+		}
+	}
+	if err := wal.Replay(checkpoint, e.applyRecordLocked); err != nil {
+		return err
+	}
+	if err := wal.Replay(tail, e.applyRecordLocked); err != nil {
+		return err
+	}
+	e.ckptPrefix = checkpoint
+	e.log.Load(tail, lastLSN)
+	if lastLSN > e.csn {
+		e.csn = lastLSN
+	}
+	return nil
+}

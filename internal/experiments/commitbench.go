@@ -112,6 +112,12 @@ func CommitBench(cfg CommitBenchConfig) (BenchReport, error) {
 		return rep, err
 	}
 	rep.Results = append(rep.Results, replRows...)
+
+	diskRows, err := DiskBenchRows(cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.Results = append(rep.Results, diskRows...)
 	return rep, nil
 }
 
@@ -125,10 +131,24 @@ func runCommitWorkload(name string, groupCommit bool, cfg CommitBenchConfig) (Be
 		GroupCommit: groupCommit,
 		LockTimeout: 30 * time.Second,
 	})
+	res, err := runEngineCommitLoop(name, eng, cfg.Writers, cfg.Duration)
+	if err != nil {
+		return res, err
+	}
+	res.Gate = true
+	return res, nil
+}
+
+// runEngineCommitLoop is the shared measurement core: writers closed-loop
+// clients, each committing updates to a private counter row on eng, which
+// must be freshly constructed (the loop registers its own table). The
+// caller decides the gating: sleep-bound simulated devices are
+// hardware-independent, real-fsync devices are not.
+func runEngineCommitLoop(name string, eng *engine.Engine, writers int, duration time.Duration) (BenchResult, error) {
 	eng.CreateTable(storage.NewSchema("counters",
 		storage.Column{Name: "n", Type: storage.TInt},
 	))
-	pks := make([]int64, cfg.Writers)
+	pks := make([]int64, writers)
 	for i := range pks {
 		var err error
 		err = eng.Run(engine.IsolationDefault, func(tx *engine.Txn) error {
@@ -150,7 +170,7 @@ func runCommitWorkload(name string, groupCommit bool, cfg CommitBenchConfig) (Be
 		workErr error
 	)
 	start := time.Now()
-	for i := 0; i < cfg.Writers; i++ {
+	for i := 0; i < writers; i++ {
 		wg.Add(1)
 		go func(pk int64) {
 			defer wg.Done()
@@ -177,7 +197,7 @@ func runCommitWorkload(name string, groupCommit bool, cfg CommitBenchConfig) (Be
 			mu.Unlock()
 		}(pks[i])
 	}
-	time.Sleep(cfg.Duration)
+	time.Sleep(duration)
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -186,7 +206,6 @@ func runCommitWorkload(name string, groupCommit bool, cfg CommitBenchConfig) (Be
 	}
 	res := summarize(name, lats, elapsed)
 	res.Fsyncs = eng.WAL().FsyncCount() - startFsyncs
-	res.Gate = true
 	return res, nil
 }
 

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"adhoctx/internal/disk"
+	"adhoctx/internal/engine"
+)
+
+// DiskBenchRows measures the commit workload against the REAL durability
+// layer: a disk.Store in a temp directory, every commit batch paying an
+// actual File.Sync instead of the simulated 2ms sleep. Four rows bracket
+// the group-commit story on real hardware — 1 writer (no batching possible)
+// and the configured writer count (batching pays or it doesn't), each with
+// and without group commit.
+//
+// Real fsync cost is a property of the CI host's storage, so none of these
+// rows is gated; they are recorded for the before/after table next to the
+// sleep-bound gated rows, which is exactly the comparison the PR-4 harness
+// was built to host: same workload, simulated vs real device.
+func DiskBenchRows(cfg CommitBenchConfig) ([]BenchResult, error) {
+	if cfg.Writers <= 0 {
+		cfg.Writers = 32
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	var out []BenchResult
+	for _, w := range []struct {
+		name        string
+		writers     int
+		groupCommit bool
+	}{
+		{"disk/per-fsync-1w", 1, false},
+		{fmt.Sprintf("disk/per-fsync-%dw", cfg.Writers), cfg.Writers, false},
+		{"disk/group-1w", 1, true},
+		{fmt.Sprintf("disk/group-%dw", cfg.Writers), cfg.Writers, true},
+	} {
+		res, err := runDiskCommitWorkload(w.name, w.writers, w.groupCommit, cfg.Duration)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runDiskCommitWorkload(name string, writers int, groupCommit bool, duration time.Duration) (BenchResult, error) {
+	dir, err := os.MkdirTemp("", "adhocbench-disk-*")
+	if err != nil {
+		return BenchResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	defer os.RemoveAll(dir)
+	store, _, err := disk.Open(dir, disk.Options{})
+	if err != nil {
+		return BenchResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	defer store.Close()
+	eng := engine.New(engine.Config{
+		Dialect:     engine.MySQL,
+		GroupCommit: groupCommit,
+		WALDevice:   store,
+		LockTimeout: 30 * time.Second,
+	})
+	res, err := runEngineCommitLoop(name, eng, writers, duration)
+	if err != nil {
+		return res, err
+	}
+	res.Gate = false // real-fsync throughput is a property of the host disk
+	return res, nil
+}

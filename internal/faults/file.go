@@ -1,0 +1,108 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// File is the write surface of a WAL segment file as the disk layer sees it:
+// sequential writes plus fsync. *os.File satisfies it, and internal/disk's
+// Options.WrapFile seam lets tests interpose a TornFile between the store
+// and the real file.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// TornFile is the file-layer analogue of the network injector's Truncate
+// fault: it models a process (or kernel) dying partway through the write()
+// that precedes an fsync. Writes pass through until the configured cut
+// offset; the write that crosses it delivers only the prefix up to the cut
+// to the underlying file, then the TornFile is dead — every later Write and
+// Sync fails with an ErrInjected-wrapped error, exactly like I/O against a
+// file descriptor whose process is gone.
+//
+// The torn prefix IS written to the underlying file. That is the point: a
+// crash between write() and fsync() leaves an arbitrary prefix of the last
+// frame on disk (ALICE's torn-write model), and recovery must truncate at
+// the first bad frame without ever discarding a previously synced one.
+// Because the cut fires before the batch's Sync returns, the torn bytes were
+// never acknowledged, so "acked ⊆ recovered" survives any cut offset.
+type TornFile struct {
+	f File
+
+	mu      sync.Mutex
+	cutAt   int64 // total byte offset (across writes) where the cut lands
+	written int64
+	dead    bool
+}
+
+// NewTornFile wraps f so that the write crossing total byte offset cutAt is
+// delivered torn: bytes up to cutAt reach f, the rest never do, and the file
+// is dead afterwards. cutAt counts every byte written through the wrapper,
+// so a cut "inside the last frame" is expressed as (bytes before the frame +
+// offset within it). A cutAt below the already-written offset kills the very
+// next write at its first byte.
+func NewTornFile(f File, cutAt int64) *TornFile {
+	return &TornFile{f: f, cutAt: cutAt}
+}
+
+// Write implements File, cutting the write that crosses the configured
+// offset.
+func (t *TornFile) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dead {
+		return 0, fmt.Errorf("%w: write on torn file", ErrInjected)
+	}
+	if t.written+int64(len(p)) <= t.cutAt {
+		n, err := t.f.Write(p)
+		t.written += int64(n)
+		return n, err
+	}
+	keep := t.cutAt - t.written
+	if keep < 0 {
+		keep = 0
+	}
+	t.dead = true
+	n := 0
+	if keep > 0 {
+		n, _ = t.f.Write(p[:keep])
+		t.written += int64(n)
+	}
+	return n, fmt.Errorf("%w: torn write at offset %d (%d/%d bytes delivered)",
+		ErrInjected, t.cutAt, n, len(p))
+}
+
+// Sync implements File. A dead file cannot fsync: the process died before
+// the flush, so nothing written since the previous successful Sync may be
+// assumed durable (the torn prefix happens to be in the file image — that
+// models the bytes that made it to the platter before the crash).
+func (t *TornFile) Sync() error {
+	t.mu.Lock()
+	dead := t.dead
+	t.mu.Unlock()
+	if dead {
+		return fmt.Errorf("%w: sync on torn file", ErrInjected)
+	}
+	return t.f.Sync()
+}
+
+// Close closes the underlying file; the wrapper stays dead if it was dead.
+func (t *TornFile) Close() error { return t.f.Close() }
+
+// Torn reports whether the cut has fired.
+func (t *TornFile) Torn() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dead
+}
+
+// WrittenBytes returns how many bytes reached the underlying file.
+func (t *TornFile) WrittenBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.written
+}

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// memFile is an in-memory File for the injector tests.
+type memFile struct {
+	buf    bytes.Buffer
+	synced int
+}
+
+func (m *memFile) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memFile) Sync() error                 { m.synced = m.buf.Len(); return nil }
+func (m *memFile) Close() error                { return nil }
+
+func TestTornFileCutsInsideWrite(t *testing.T) {
+	under := &memFile{}
+	tf := NewTornFile(under, 10)
+
+	if n, err := tf.Write([]byte("0123456")); err != nil || n != 7 {
+		t.Fatalf("pre-cut write: n=%d err=%v", n, err)
+	}
+	// This write crosses offset 10: 3 bytes delivered, then death.
+	n, err := tf.Write([]byte("789abcdef"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write: err = %v, want ErrInjected", err)
+	}
+	if n != 3 {
+		t.Fatalf("crossing write delivered %d bytes, want 3", n)
+	}
+	if got := under.buf.String(); got != "0123456789" {
+		t.Fatalf("underlying file holds %q, want %q", got, "0123456789")
+	}
+	if !tf.Torn() {
+		t.Fatal("Torn() = false after cut")
+	}
+	if err := tf.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync after cut: err = %v, want ErrInjected", err)
+	}
+	if _, err := tf.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after cut: err = %v, want ErrInjected", err)
+	}
+	if got := under.buf.String(); got != "0123456789" {
+		t.Fatalf("dead file leaked bytes: %q", got)
+	}
+}
+
+func TestTornFileCutAtZeroDeliversNothing(t *testing.T) {
+	under := &memFile{}
+	tf := NewTornFile(under, 0)
+	n, err := tf.Write([]byte("abc"))
+	if !errors.Is(err, ErrInjected) || n != 0 {
+		t.Fatalf("n=%d err=%v, want 0, ErrInjected", n, err)
+	}
+	if under.buf.Len() != 0 {
+		t.Fatalf("underlying file holds %d bytes, want 0", under.buf.Len())
+	}
+}
+
+func TestTornFilePassThroughUntilCut(t *testing.T) {
+	under := &memFile{}
+	tf := NewTornFile(under, 1<<20)
+	for i := 0; i < 10; i++ {
+		if _, err := tf.Write([]byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tf.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if under.synced != 50 {
+		t.Fatalf("synced %d bytes, want 50", under.synced)
+	}
+	if tf.WrittenBytes() != 50 {
+		t.Fatalf("WrittenBytes = %d, want 50", tf.WrittenBytes())
+	}
+}

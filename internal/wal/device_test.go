@@ -1,0 +1,157 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+// fakeDevice records staged bytes and sync calls, with injectable failures.
+type fakeDevice struct {
+	mu      sync.Mutex
+	staged  []byte
+	synced  int // length of staged covered by the last Sync
+	syncs   int
+	failApp error
+	failSyn error
+}
+
+func (d *fakeDevice) Append(p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failApp != nil {
+		return d.failApp
+	}
+	d.staged = append(d.staged, p...)
+	return nil
+}
+
+func (d *fakeDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failSyn != nil {
+		return d.failSyn
+	}
+	d.synced = len(d.staged)
+	d.syncs++
+	return nil
+}
+
+func (d *fakeDevice) durable() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]byte, d.synced)
+	copy(out, d.staged[:d.synced])
+	return out
+}
+
+func oneOp(pk int64) []Op {
+	return []Op{{Kind: OpInsert, Table: "t", PK: pk, Row: storage.Row{pk}}}
+}
+
+// TestDeviceMirrorsLog: under concurrent appends (group commit and not), the
+// device's durable image is byte-identical to the log's in-memory image, and
+// every acknowledged LSN is covered by a sync.
+func TestDeviceMirrorsLog(t *testing.T) {
+	for _, group := range []bool{false, true} {
+		dev := &fakeDevice{}
+		l := NewWithOptions(Options{GroupCommit: group, Device: dev})
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int64) {
+				defer wg.Done()
+				for i := int64(0); i < 50; i++ {
+					if _, err := l.Append(uint64(w+1), oneOp(w*100+i)); err != nil {
+						t.Errorf("group=%v: append: %v", group, err)
+						return
+					}
+				}
+			}(int64(w))
+		}
+		wg.Wait()
+		got := dev.durable()
+		want := l.Bytes()
+		if string(got) != string(want) {
+			t.Fatalf("group=%v: device image (%d bytes) != log image (%d bytes)", group, len(got), len(want))
+		}
+		// The durable image must decode cleanly with strictly increasing LSNs.
+		recs, err := Records(got)
+		if err != nil {
+			t.Fatalf("group=%v: device image corrupt: %v", group, err)
+		}
+		if len(recs) != 400 {
+			t.Fatalf("group=%v: recovered %d records, want 400", group, len(recs))
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].LSN <= recs[i-1].LSN {
+				t.Fatalf("group=%v: LSN order broken on device: %d after %d", group, recs[i].LSN, recs[i-1].LSN)
+			}
+		}
+	}
+}
+
+// TestDeviceErrorPoisonsLog: a failing device flush fails the append and all
+// later appends, and never advances the durable frontier past what synced.
+func TestDeviceErrorPoisonsLog(t *testing.T) {
+	boom := errors.New("disk on fire")
+	for _, group := range []bool{false, true} {
+		dev := &fakeDevice{}
+		l := NewWithOptions(Options{GroupCommit: group, Device: dev})
+		if _, err := l.Append(1, oneOp(1)); err != nil {
+			t.Fatalf("group=%v: append: %v", group, err)
+		}
+		durableBefore := l.DurableLSN()
+		dev.mu.Lock()
+		dev.failSyn = boom
+		dev.mu.Unlock()
+		if _, err := l.Append(2, oneOp(2)); !errors.Is(err, boom) {
+			t.Fatalf("group=%v: append after device failure: err = %v, want %v", group, err, boom)
+		}
+		if _, err := l.Append(3, oneOp(3)); !errors.Is(err, boom) {
+			t.Fatalf("group=%v: poisoned log accepted append: err = %v", group, err)
+		}
+		if l.DurableLSN() != durableBefore {
+			t.Fatalf("group=%v: durable advanced past failed sync: %d > %d", group, l.DurableLSN(), durableBefore)
+		}
+	}
+}
+
+// TestLoadPrimesLog: Load restores the in-memory image, the LSN counter, and
+// the durable frontier without touching the device.
+func TestLoadPrimesLog(t *testing.T) {
+	src := New(sim.Latency{})
+	for i := int64(1); i <= 3; i++ {
+		if _, err := src.Append(uint64(i), oneOp(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := src.Bytes()
+
+	dev := &fakeDevice{}
+	l := NewWithOptions(Options{Device: dev})
+	l.Load(raw, 3)
+	if got := l.DurableLSN(); got != 3 {
+		t.Fatalf("DurableLSN = %d, want 3", got)
+	}
+	if len(dev.durable()) != 0 {
+		t.Fatal("Load staged bytes on the device; recovered bytes are already durable there")
+	}
+	lsn, err := l.Append(9, oneOp(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 4 {
+		t.Fatalf("first post-Load LSN = %d, want 4", lsn)
+	}
+	recs, err := Records(l.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[3].LSN != 4 {
+		t.Fatalf("log image after Load+Append: %d records, last LSN %d", len(recs), recs[len(recs)-1].LSN)
+	}
+}

@@ -106,11 +106,45 @@ const (
 	CrashPointShipAfter = "repl/ship:after"
 )
 
+// Device is the durable medium under the log. The log serializes all device
+// access (one flush in flight at a time, like a single WAL disk): Append
+// stages encoded records at the device's tail, Sync makes every staged byte
+// durable. Acknowledgement of a batch happens only after Sync returns, so a
+// device that loses staged-but-unsynced bytes on a crash — which is what a
+// real file does when the process dies before fsync — can never lose an
+// acknowledged commit.
+//
+// The default device is simulated: Append is a no-op (the log's in-memory
+// image is the durable state) and Sync charges Options.Latency.Fsync.
+// internal/disk provides the real one: a segmented on-disk WAL with
+// File.Sync per flush.
+type Device interface {
+	// Append stages p — whole encoded records — at the log's tail.
+	Append(p []byte) error
+	// Sync makes every staged byte durable.
+	Sync() error
+}
+
+// simDevice is the default Device: the in-memory log image is the durable
+// state and each Sync charges the simulated flush latency.
+type simDevice struct{ lat sim.Latency }
+
+func (d simDevice) Append([]byte) error { return nil }
+func (d simDevice) Sync() error {
+	d.lat.ChargeFsync()
+	return nil
+}
+
 // Options configures a Log.
 type Options struct {
 	// Latency is the simulated device profile; Latency.Fsync is charged per
-	// flush, serialized (one flush in flight at a time).
+	// flush, serialized (one flush in flight at a time). Ignored when a real
+	// Device is installed (the device's own fsync is the cost).
 	Latency sim.Latency
+	// Device is the durable medium (nil = the simulated device above). All
+	// flush paths — per-commit, group-commit batches, replicated chunks —
+	// stage through it and sync once per batch.
+	Device Device
 	// GroupCommit coalesces concurrent Appends into one flush per batch.
 	GroupCommit bool
 	// MaxBatch bounds records per group-commit batch (0 = 64).
@@ -147,10 +181,12 @@ type walMetrics struct {
 	batchSize *obs.Histogram
 }
 
-// Log is an append-only in-memory redo log. It is safe for concurrent use.
+// Log is an append-only redo log: an in-memory image (what replication and
+// in-process recovery read) mirrored onto a pluggable durable Device. It is
+// safe for concurrent use.
 type Log struct {
 	opt Options
-	lat sim.Latency
+	dev Device
 
 	mu       sync.Mutex
 	buf      []byte
@@ -189,7 +225,26 @@ func New(lat sim.Latency) *Log {
 
 // NewWithOptions returns an empty log with the given configuration.
 func NewWithOptions(opt Options) *Log {
-	return &Log{opt: opt, lat: opt.Latency, nextLSN: 1, full: make(chan struct{}, 1)}
+	dev := opt.Device
+	if dev == nil {
+		dev = simDevice{lat: opt.Latency}
+	}
+	return &Log{opt: opt, dev: dev, nextLSN: 1, full: make(chan struct{}, 1)}
+}
+
+// Load primes a fresh log with state recovered from a durable device: raw is
+// the recovered record image (the tail since the newest checkpoint) and
+// lastLSN the highest recovered LSN. The bytes are NOT re-staged on the
+// device — they are already durable there; only the in-memory image, the LSN
+// counter, and the durable frontier are set. Call before the first Append.
+func (l *Log) Load(raw []byte, lastLSN uint64) {
+	l.mu.Lock()
+	l.buf = append(l.buf[:0], raw...)
+	if lastLSN >= l.nextLSN {
+		l.nextLSN = lastLSN + 1
+	}
+	l.mu.Unlock()
+	l.advanceDurable(lastLSN)
 }
 
 // WireObs attaches the log to reg: append/fsync counts, group-commit batch
@@ -259,15 +314,34 @@ func (l *Log) FsyncCount() int64 { return l.fsyncs.Load() }
 // AppendCount returns the number of records appended so far.
 func (l *Log) AppendCount() int64 { return l.appends.Load() }
 
-// fsync charges one serialized device flush.
-func (l *Log) fsync() {
+// syncDevice pays one serialized device flush. Staging (dev.Append) happens
+// under l.mu in the same critical section as the in-memory append, so the
+// device's byte order always matches the log's LSN order; only the flush
+// itself serializes here. A sync that finds nothing newly staged (a
+// concurrent caller's flush already covered these bytes) is still a correct
+// acknowledgement point: Sync returns only when everything staged so far is
+// durable. A device error is fatal for the log; callers poison it.
+func (l *Log) syncDevice() error {
 	l.flushMu.Lock()
-	l.lat.ChargeFsync()
+	err := l.dev.Sync()
 	l.flushMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: device sync: %w", err)
+	}
 	l.fsyncs.Add(1)
 	if om := l.om.Load(); om != nil {
 		om.fsyncs.Inc()
 	}
+	return nil
+}
+
+// poison marks the log failed with err; every later Append returns it.
+func (l *Log) poison(err error) {
+	l.mu.Lock()
+	if l.crashErr == nil {
+		l.crashErr = err
+	}
+	l.mu.Unlock()
 }
 
 // Append durably appends one commit record and returns its LSN. With group
@@ -298,8 +372,20 @@ func (l *Log) Append(txnID uint64, ops []Op) (uint64, error) {
 	off := len(l.buf)
 	l.buf = append(l.buf, enc...)
 	raw := l.buf[off:len(l.buf):len(l.buf)]
+	// Stage on the device inside the same critical section as the in-memory
+	// append: device byte order must match LSN order even when concurrent
+	// Appends race to the flush below.
+	devErr := l.dev.Append(enc)
 	l.mu.Unlock()
-	l.fsync()
+	if devErr != nil {
+		devErr = fmt.Errorf("wal: device append: %w", devErr)
+		l.poison(devErr)
+		return 0, devErr
+	}
+	if err := l.syncDevice(); err != nil {
+		l.poison(err)
+		return 0, err
+	}
 	l.advanceDurable(lsn)
 	// Mirror the group-commit contract for the ship crash points: a crash
 	// panic becomes this record's Append error and poisons the log.
@@ -415,8 +501,11 @@ func (l *Log) waitWindow() {
 
 // flushBatch makes one batch durable with a single fsync and acknowledges
 // its members. A fired crash point is caught here and returned: before the
-// fsync, none of the batch has reached the durable image; after it, all of
-// it has, but no member is acknowledged — either way, no torn batches.
+// fsync, none of the batch has reached the durable image (on a real device
+// the batch's bytes are at most staged, never synced — a process death loses
+// them); after it, all of it has, but no member is acknowledged — either
+// way, no torn batches. Device errors are returned like crashes: the log is
+// poisoned and the whole batch fails.
 func (l *Log) flushBatch(batch []*pendingAppend) error {
 	err := func() (err error) {
 		defer func() { err = sim.RecoverCrash(recover(), err) }()
@@ -427,8 +516,14 @@ func (l *Log) flushBatch(batch []*pendingAppend) error {
 			l.buf = append(l.buf, p.enc...)
 		}
 		raw := l.buf[off:len(l.buf):len(l.buf)]
+		devErr := l.dev.Append(raw)
 		l.mu.Unlock()
-		l.fsync()
+		if devErr != nil {
+			return fmt.Errorf("wal: device append: %w", devErr)
+		}
+		if err := l.syncDevice(); err != nil {
+			return err
+		}
 		first, last := batch[0].lsn, batch[len(batch)-1].lsn
 		l.advanceDurable(last)
 		l.opt.Crash.Check(CrashPointAfterFsync)
@@ -472,8 +567,17 @@ func (l *Log) AppendRaw(raw []byte, lastLSN uint64) error {
 	if lastLSN >= l.nextLSN {
 		l.nextLSN = lastLSN + 1
 	}
+	devErr := l.dev.Append(raw)
 	l.mu.Unlock()
-	l.fsync()
+	if devErr != nil {
+		devErr = fmt.Errorf("wal: device append: %w", devErr)
+		l.poison(devErr)
+		return devErr
+	}
+	if err := l.syncDevice(); err != nil {
+		l.poison(err)
+		return err
+	}
 	l.advanceDurable(lastLSN)
 	return nil
 }
@@ -568,6 +672,12 @@ func Replay(raw []byte, fn func(Record) error) error {
 	}
 	return nil
 }
+
+// Encode returns rec's full on-log frame: length prefix, payload, CRC —
+// exactly what Append writes. Checkpoint writers use it to emit synthetic
+// records (a snapshot of the committed projection) in the same encoding the
+// recovery scanner replays.
+func Encode(rec Record) ([]byte, error) { return encodeRecord(rec) }
 
 // Records decodes the whole log into memory (test/diagnostic helper).
 func Records(raw []byte) ([]Record, error) {
