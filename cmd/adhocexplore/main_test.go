@@ -1,0 +1,116 @@
+package main
+
+import (
+	"testing"
+
+	"adhoctx/internal/litmus"
+	"adhoctx/internal/sched"
+)
+
+// These tests pin the CLI contract CI and the replay lines depend on:
+// exit 0 = expectations met, 1 = a variant missed/failed or a replay found
+// nothing, 2 = the invocation itself was wrong. The behavior predates the
+// tests; a change to any code here is a change to every committed replay
+// command line and to the CI gate, so it must be deliberate.
+
+func TestResolveShapes(t *testing.T) {
+	all, err := resolve("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(litmus.Pairs()); len(all) != want {
+		t.Fatalf("resolve(all) = %d jobs, want %d (buggy+fixed per pair)", len(all), want)
+	}
+
+	both, err := resolve("saleor-capture")
+	if err != nil || len(both) != 2 || !both[0].wantBug || both[1].wantBug {
+		t.Fatalf("resolve(saleor-capture) = %d jobs (err %v), want [buggy fixed]", len(both), err)
+	}
+	buggy, err := resolve("saleor-capture/buggy")
+	if err != nil || len(buggy) != 1 || !buggy[0].wantBug {
+		t.Fatalf("resolve(saleor-capture/buggy) = %+v (err %v), want one wantBug job", buggy, err)
+	}
+	fixed, err := resolve("saleor-capture/fixed")
+	if err != nil || len(fixed) != 1 || fixed[0].wantBug {
+		t.Fatalf("resolve(saleor-capture/fixed) = %+v (err %v), want one fixed job", fixed, err)
+	}
+
+	if _, err := resolve("no-such-pair"); err == nil {
+		t.Error("resolve(no-such-pair) did not error")
+	}
+	if _, err := resolve("saleor-capture/bogus"); err == nil {
+		t.Error("resolve(saleor-capture/bogus) did not error")
+	}
+}
+
+func TestDoRunExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explores schedules")
+	}
+	// Unresolvable argument: usage error, exit 2 — before any exploration.
+	if got := doRun("no-such-pair", "dfs", 0, 0, 0, 1, 1, false); got != 2 {
+		t.Errorf("doRun(no-such-pair) = %d, want 2", got)
+	}
+	if got := doRun("saleor-capture/bogus", "dfs", 0, 0, 0, 1, 1, false); got != 2 {
+		t.Errorf("doRun(bad variant) = %d, want 2", got)
+	}
+	// Unknown strategy fails the job, exit 1.
+	if got := doRun("broadleaf-dblock/buggy", "bogus", 0, 0, 0, 1, 1, false); got != 1 {
+		t.Errorf("doRun(bad strategy) = %d, want 1", got)
+	}
+	// The smallest pair, both variants: buggy found + fixed clean, exit 0.
+	if got := doRun("broadleaf-dblock", "dfs", 0, 0, 0, 1, 1, false); got != 0 {
+		t.Errorf("doRun(broadleaf-dblock) = %d, want 0", got)
+	}
+	// A buggy variant that cannot be caught in the budget is a MISS, exit 1:
+	// one schedule (the no-preemption run) never trips the dblock bug.
+	if got := doRun("broadleaf-dblock/buggy", "dfs", 0, 0, 1, 1, 1, false); got != 1 {
+		t.Errorf("doRun(buggy, max=1) = %d, want 1 (MISS)", got)
+	}
+}
+
+func TestDoReplayExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explores schedules")
+	}
+	// Malformed and unresolvable arguments: exit 2.
+	if got := doReplay("no-colon", 0); got != 2 {
+		t.Errorf("doReplay(no-colon) = %d, want 2", got)
+	}
+	if got := doReplay("no-such-pair/buggy:0", 0); got != 2 {
+		t.Errorf("doReplay(unknown pair) = %d, want 2", got)
+	}
+	// A bare pair name resolves to two variants; replay wants exactly one.
+	if got := doReplay("broadleaf-dblock:0", 0); got != 2 {
+		t.Errorf("doReplay(ambiguous variant) = %d, want 2", got)
+	}
+	if got := doReplay("broadleaf-dblock/buggy:not-a-schedule-id", 0); got != 2 {
+		t.Errorf("doReplay(bad schedule id) = %d, want 2", got)
+	}
+
+	// Find a real violating schedule, then pin both replay outcomes.
+	p, ok := litmus.Find("broadleaf-dblock")
+	if !ok {
+		t.Fatal("broadleaf-dblock missing from the catalog")
+	}
+	ex := &sched.Explorer{Prog: p.Buggy, PCTLen: p.PCTLen}
+	rep, err := ex.ExploreDFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatal("DFS found no violation to replay")
+	}
+	id := rep.Violation.ScheduleID
+	if rep.Violation.MinScheduleID != "" {
+		id = rep.Violation.MinScheduleID
+	}
+	// Replaying the violating schedule on the buggy variant reproduces it.
+	if got := doReplay("broadleaf-dblock/buggy:"+id, 0); got != 0 {
+		t.Errorf("doReplay(violating id) = %d, want 0", got)
+	}
+	// The same schedule on the fixed variant finds nothing: exit 1.
+	if got := doReplay("broadleaf-dblock/fixed:"+id, 0); got != 1 {
+		t.Errorf("doReplay(fixed variant) = %d, want 1", got)
+	}
+}

@@ -33,7 +33,6 @@ import (
 	"adhoctx/internal/sim"
 	"adhoctx/internal/storage"
 	"adhoctx/internal/wal"
-	"adhoctx/internal/wire"
 )
 
 // InitialBalance is each seeded account's starting balance; transfers
@@ -72,6 +71,9 @@ type Config struct {
 	Fsync time.Duration
 	// Obs, when non-nil, receives server and fault-injector metrics.
 	Obs *obs.Registry
+	// Workload is the schema + operations + state oracle to run. Nil means
+	// the built-in contended-transfer workload over Rows accounts.
+	Workload *Workload
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +112,8 @@ func GroupCommitConfig(seed int64) Config {
 // Report is the outcome of one seed.
 type Report struct {
 	Seed int64
+	// Workload names the workload that ran.
+	Workload string
 	// Transfers and TransferErrs count worker-level RunTxn outcomes; an
 	// error here is a worker that exhausted its retries, which under heavy
 	// fault schedules is legitimate (the oracles below are what must hold).
@@ -125,8 +129,9 @@ type Report struct {
 	CrashPoints []string
 	// Recoveries is the number of successful WAL recoveries.
 	Recoveries int
-	// FinalSum is the post-run total balance (oracle: Rows*InitialBalance).
-	FinalSum int64
+	// Observed is the workload oracle's one-line view of the final state
+	// (the transfer workload reports "sum=<total balance>").
+	Observed string
 	// LeakedLocks is the lock-manager count after all clients disconnected
 	// (oracle: 0).
 	LeakedLocks int
@@ -155,7 +160,7 @@ func (r *Report) Summary() string {
 		}
 		fmt.Fprintf(&b, "  replay: %s\n", r.Replay)
 	} else {
-		fmt.Fprintf(&b, "  oracles: serializable committed history, sum=%d, leaked locks=0\n", r.FinalSum)
+		fmt.Fprintf(&b, "  oracles: serializable committed history, %s, leaked locks=0\n", r.Observed)
 	}
 	return b.String()
 }
@@ -202,7 +207,14 @@ func (s *supervised) set(srv *server.Server) {
 // listen, recovery failure); oracle violations land in the Report.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	rep := &Report{Seed: cfg.Seed, Replay: ReplayCommand(cfg), Faults: make(map[faults.Kind]int64)}
+	wl := cfg.Workload
+	if wl == nil {
+		wl = transferWorkload(cfg.Rows)
+	}
+	rep := &Report{Seed: cfg.Seed, Workload: wl.Name, Replay: ReplayCommand(cfg), Faults: make(map[faults.Kind]int64)}
+	if wl.Replay != "" {
+		rep.Replay = wl.Replay
+	}
 
 	// One plan shared by the server's commit points and (under group
 	// commit) the WAL's flush points: wherever the process dies, the same
@@ -220,14 +232,12 @@ func Run(cfg Config) (*Report, error) {
 		LockShards:  cfg.LockShards,
 		Crash:       plan,
 	})
-	eng.CreateTable(storage.NewSchema("accounts",
-		storage.Column{Name: "bal", Type: storage.TInt},
-	))
+	for _, sch := range wl.Tables {
+		eng.CreateTable(sch)
+	}
 	seedTxn := eng.Begin(engine.IsolationDefault)
-	for i := 0; i < cfg.Rows; i++ {
-		if _, err := seedTxn.Insert("accounts", map[string]storage.Value{"bal": InitialBalance}); err != nil {
-			return nil, fmt.Errorf("chaos: seed: %w", err)
-		}
+	if err := wl.Seed(seedTxn); err != nil {
+		return nil, fmt.Errorf("chaos: seed: %w", err)
 	}
 	if err := seedTxn.Commit(); err != nil {
 		return nil, fmt.Errorf("chaos: seed commit: %w", err)
@@ -340,15 +350,10 @@ func Run(cfg Config) (*Report, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + worker))
 			for i := 0; i < cfg.Ops; i++ {
-				a := 1 + rng.Int63n(int64(cfg.Rows))
-				b := 1 + rng.Int63n(int64(cfg.Rows))
-				for b == a {
-					b = 1 + rng.Int63n(int64(cfg.Rows))
-				}
-				amt := 1 + rng.Int63n(5)
-				// Random lock order: the deadlock recipe, on purpose.
+				// Random row choice means random lock order: the deadlock
+				// recipe, on purpose.
 				err := cli.RunTxn(engine.IsolationDefault, func(txn *client.Txn) error {
-					return transfer(txn, a, b, amt)
+					return wl.Op(rng, txn)
 				})
 				statsMu.Lock()
 				if err != nil {
@@ -385,19 +390,13 @@ func Run(cfg Config) (*Report, error) {
 			fmt.Sprintf("%d locks still held after all clients disconnected", rep.LeakedLocks))
 	}
 
-	// Oracle 2: total balance conserved. The probe transaction takes FOR
-	// UPDATE locks, so it doubles as a leaked-exclusive-lock detector: a
-	// stuck lock turns this into a timeout.
-	sum, err := probeSum(eng)
-	if err != nil {
-		rep.Violations = append(rep.Violations, fmt.Sprintf("balance probe failed: %v", err))
-	} else {
-		rep.FinalSum = sum
-		if want := int64(cfg.Rows) * InitialBalance; sum != want {
-			rep.Violations = append(rep.Violations,
-				fmt.Sprintf("balance sum %d, want %d (lost or duplicated writes)", sum, want))
-		}
-	}
+	// Oracle 2: the workload's own state invariants (the transfer workload
+	// checks balance conservation). Its probe transactions take FOR UPDATE
+	// locks, so this doubles as a leaked-exclusive-lock detector: a stuck
+	// lock turns the probe into a timeout.
+	observed, viols := wl.Check(eng)
+	rep.Observed = observed
+	rep.Violations = append(rep.Violations, viols...)
 
 	// Oracle 3: the committed history is conflict-serializable. Aborted and
 	// in-flight transactions are projected out first — under fault
@@ -413,28 +412,6 @@ func Run(cfg Config) (*Report, error) {
 			fmt.Sprintf("committed history not serializable: cycle %v", cycle))
 	}
 	return rep, nil
-}
-
-// transfer moves amt from account a to b under FOR UPDATE locks, reading
-// both rows first — the paper's canonical read-modify-write critical
-// section, with the lock order left to the caller's rng.
-func transfer(txn *client.Txn, a, b, amt int64) error {
-	for _, id := range []int64{a, b} {
-		rows, err := txn.Select("accounts", storage.ByPK(id), wire.LockForUpdate)
-		if err != nil {
-			return err
-		}
-		if len(rows.Rows) != 1 {
-			return fmt.Errorf("chaos: account %d: got %d rows", id, len(rows.Rows))
-		}
-	}
-	if _, err := txn.Update("accounts", storage.ByPK(a),
-		map[string]storage.Value{"bal": storage.Inc(-amt)}); err != nil {
-		return err
-	}
-	_, err := txn.Update("accounts", storage.ByPK(b),
-		map[string]storage.Value{"bal": storage.Inc(amt)})
-	return err
 }
 
 // probeSum sums every balance under FOR UPDATE in a fresh transaction.

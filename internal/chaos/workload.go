@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adhoctx/internal/client"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+	"adhoctx/internal/wire"
+)
+
+// Workload is a pluggable chaos workload: the schema it runs over, how the
+// tables are seeded, what one client operation does, and what must hold of
+// the surviving state. The harness supplies everything else — TCP serving,
+// fault injection, crash/recovery supervision, and the workload-independent
+// oracles (leaked locks, committed-history serializability, and in restart
+// mode acked ⊆ recovered).
+//
+// A nil Config.Workload / RestartConfig.Workload means the built-in
+// contended-transfer workload, unchanged from earlier revisions.
+type Workload struct {
+	// Name labels the workload in reports.
+	Name string
+	// Tables are created on every engine the harness boots (including the
+	// restart mode's cold verification engine).
+	Tables []*storage.Schema
+	// Seed populates a fresh database, inside one transaction the harness
+	// commits. It runs once per in-process run, and only on the first boot
+	// of a restart-mode data directory.
+	Seed func(txn *engine.Txn) error
+	// Op performs one client operation over the wire. rng is the worker's
+	// private generator — derive every random choice from it so the
+	// operation sequence is a pure function of the seed. Op runs under
+	// RunTxn with blind connection-loss retries, so it must be safe to
+	// re-execute: guard writes inside the transaction, don't accumulate
+	// client-side state.
+	Op func(rng *rand.Rand, txn *client.Txn) error
+	// Check inspects the final state (recovered state, in restart mode) and
+	// returns a one-line summary of what it observed plus any invariant
+	// violations.
+	Check func(eng *engine.Engine) (observed string, violations []string)
+	// Replay, when non-empty, replaces the default replay command in
+	// reports — callers whose workload isn't reachable from adhocchaos
+	// flags point the report at their own command line.
+	Replay string
+}
+
+// transferWorkload is the harness's original workload: contended transfers
+// between rows accounts under FOR UPDATE locks, conserving the total
+// balance.
+func transferWorkload(rows int) *Workload {
+	return &Workload{
+		Name: "transfer",
+		Tables: []*storage.Schema{storage.NewSchema("accounts",
+			storage.Column{Name: "bal", Type: storage.TInt},
+		)},
+		Seed: func(txn *engine.Txn) error {
+			for i := 0; i < rows; i++ {
+				if _, err := txn.Insert("accounts", map[string]storage.Value{"bal": InitialBalance}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Op: func(rng *rand.Rand, txn *client.Txn) error {
+			a := 1 + rng.Int63n(int64(rows))
+			b := 1 + rng.Int63n(int64(rows))
+			for b == a {
+				b = 1 + rng.Int63n(int64(rows))
+			}
+			amt := 1 + rng.Int63n(5)
+			return transfer(txn, a, b, amt)
+		},
+		Check: func(eng *engine.Engine) (string, []string) {
+			sum, err := probeSum(eng)
+			if err != nil {
+				return "", []string{fmt.Sprintf("balance probe failed: %v", err)}
+			}
+			if want := int64(rows) * InitialBalance; sum != want {
+				return fmt.Sprintf("sum=%d", sum), []string{
+					fmt.Sprintf("balance sum %d, want %d (lost or duplicated writes)", sum, want)}
+			}
+			return fmt.Sprintf("sum=%d", sum), nil
+		},
+	}
+}
+
+// transfer moves amt from account a to b under FOR UPDATE locks, reading
+// both rows first — the paper's canonical read-modify-write critical
+// section, with the lock order left to the caller's rng.
+func transfer(txn *client.Txn, a, b, amt int64) error {
+	for _, id := range []int64{a, b} {
+		rows, err := txn.Select("accounts", storage.ByPK(id), wire.LockForUpdate)
+		if err != nil {
+			return err
+		}
+		if len(rows.Rows) != 1 {
+			return fmt.Errorf("chaos: account %d: got %d rows", id, len(rows.Rows))
+		}
+	}
+	if _, err := txn.Update("accounts", storage.ByPK(a),
+		map[string]storage.Value{"bal": storage.Inc(-amt)}); err != nil {
+		return err
+	}
+	_, err := txn.Update("accounts", storage.ByPK(b),
+		map[string]storage.Value{"bal": storage.Inc(amt)})
+	return err
+}

@@ -413,8 +413,10 @@ func (t *Txn) Insert(tableName string, vals map[string]storage.Value) (int64, er
 
 	// Take the row lock before publishing: the key is fresh, so this never
 	// blocks, and it keeps concurrent current reads from seeing the row
-	// vanish on rollback.
-	if !e.lm.TryAcquire(t.owner, rowKey{tableName, pk}, lockmgr.Exclusive) {
+	// vanish on rollback. The latched variant skips the scheduling point —
+	// parking here would hold e.mu across the park and deadlock any other
+	// task entering the store.
+	if !e.lm.TryAcquireLatched(t.owner, rowKey{tableName, pk}, lockmgr.Exclusive) {
 		// Only possible for explicit-pk races; fall back to a wait.
 		e.mu.Unlock()
 		err := t.lockRow(tableName, pk, lockmgr.Exclusive)

@@ -118,6 +118,12 @@ func CommitBench(cfg CommitBenchConfig) (BenchReport, error) {
 		return rep, err
 	}
 	rep.Results = append(rep.Results, diskRows...)
+
+	mixRows, err := GenMixRows(cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.Results = append(rep.Results, mixRows...)
 	return rep, nil
 }
 

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"adhoctx/internal/client"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/scenario"
+	"adhoctx/internal/server"
+)
+
+// genMixSpecs are the generated app workloads measured by the bench suite:
+// a same-table transfer mix and a guarded-decrement mix, both from the
+// scenario catalog.
+var genMixSpecs = []string{"points-transfer", "inventory-oversell"}
+
+// GenMixRows measures scenario-generated traffic mixes over the real
+// networked stack: each spec's Mix workload is served on loopback TCP (no
+// faults, no crashes) and hammered closed-loop by Writers clients. The rows
+// are ungated — throughput is host-CPU-bound — but each run re-checks the
+// spec's chaos-safe invariants, so a bench pass is also a correctness pass.
+func GenMixRows(cfg CommitBenchConfig) ([]BenchResult, error) {
+	var out []BenchResult
+	for _, name := range genMixSpecs {
+		spec, ok := scenario.Builtin(name)
+		if !ok {
+			return nil, fmt.Errorf("genmix: builtin %s missing", name)
+		}
+		res, err := runGenMix(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runGenMix(spec *scenario.Spec, cfg CommitBenchConfig) (BenchResult, error) {
+	wl, err := scenario.Mix(spec, 4)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	eng := engine.New(engine.Config{Dialect: engine.MySQL, LockTimeout: 10 * time.Second})
+	for _, sch := range wl.Tables {
+		eng.CreateTable(sch)
+	}
+	seedTxn := eng.Begin(engine.IsolationDefault)
+	if err := wl.Seed(seedTxn); err != nil {
+		return BenchResult{}, err
+	}
+	if err := seedTxn.Commit(); err != nil {
+		return BenchResult{}, err
+	}
+
+	srv := server.New(eng, nil, server.Config{MaxSessions: cfg.Writers + 4, IdleTimeout: 5 * time.Second})
+	if err := srv.Start(); err != nil {
+		return BenchResult{}, err
+	}
+	defer srv.Close()
+	cli := client.New(client.Config{
+		Addr:           srv.Addr().String(),
+		PoolSize:       cfg.Writers,
+		MaxRetries:     20,
+		BackoffBase:    200 * time.Microsecond,
+		DialTimeout:    time.Second,
+		RequestTimeout: 30 * time.Second,
+	})
+	defer cli.Close()
+
+	var (
+		mu   sync.Mutex
+		lats []time.Duration
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, cfg.Writers)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(worker int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(1_000_003*worker + 17))
+			var mine []time.Duration
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				err := cli.RunTxn(engine.IsolationDefault, func(txn *client.Txn) error {
+					return wl.Op(rng, txn)
+				})
+				if err != nil {
+					errs[worker] = err
+					break
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}(int64(w))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return BenchResult{}, fmt.Errorf("genmix %s: %w", spec.Name, err)
+		}
+	}
+	if _, viols := wl.Check(eng); len(viols) != 0 {
+		return BenchResult{}, fmt.Errorf("genmix %s: invariants violated after bench: %v", spec.Name, viols)
+	}
+	return summarize(wl.Name, lats, elapsed), nil
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGenMixRows runs the generated-mix bench at smoke scale: every row must
+// carry the genmix/ prefix, be ungated, and record real throughput — and the
+// run itself re-checks the spec's invariants over the wire.
+func TestGenMixRows(t *testing.T) {
+	rows, err := GenMixRows(CommitBenchConfig{Writers: 4, Duration: 150 * time.Millisecond, Fsync: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(genMixSpecs) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(genMixSpecs))
+	}
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Name, "genmix/") {
+			t.Errorf("row %q lacks the genmix/ prefix", r.Name)
+		}
+		if r.Gate {
+			t.Errorf("row %q is gated; generated-mix throughput is host-bound", r.Name)
+		}
+		if r.Ops == 0 || r.OpsPerSec <= 0 {
+			t.Errorf("row %q recorded no throughput: %+v", r.Name, r)
+		}
+	}
+}

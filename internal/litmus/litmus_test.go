@@ -112,3 +112,50 @@ func TestBuggyVariantsFoundByPCT(t *testing.T) {
 		})
 	}
 }
+
+// TestFindMiss pins the miss contract: an unknown name returns ok=false and
+// the zero Pair, so callers (adhocexplore's resolver) can distinguish "no
+// such litmus" from an empty pair.
+func TestFindMiss(t *testing.T) {
+	p, ok := Find("no-such-litmus")
+	if ok {
+		t.Fatalf("Find(no-such-litmus) reported ok for %q", p.Name)
+	}
+	if p.Name != "" || p.Buggy.Make != nil || p.Fixed.Make != nil {
+		t.Fatalf("Find miss returned a non-zero Pair: %+v", p)
+	}
+}
+
+// TestPairsStable pins the catalog shape the CLIs and docs rely on: the set
+// of names, their order (smallest exploration space first), uniqueness, and
+// that every pair is fully populated and reachable back through Find.
+func TestPairsStable(t *testing.T) {
+	want := []string{"broadleaf-dblock", "saleor-capture", "discourse-edit", "engine-lost-update", "mastodon-ttl"}
+	pairs := Pairs()
+	if len(pairs) != len(want) {
+		t.Fatalf("Pairs() returned %d pairs, want %d", len(pairs), len(want))
+	}
+	seen := map[string]bool{}
+	for i, p := range pairs {
+		if p.Name != want[i] {
+			t.Errorf("Pairs()[%d] = %q, want %q", i, p.Name, want[i])
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate pair name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Class == "" || p.Doc == "" {
+			t.Errorf("%s: missing Class or Doc", p.Name)
+		}
+		if p.Buggy.Make == nil || p.Fixed.Make == nil {
+			t.Errorf("%s: missing a variant", p.Name)
+		}
+		if p.PCTLen <= 0 {
+			t.Errorf("%s: PCTLen %d, want > 0", p.Name, p.PCTLen)
+		}
+		got, ok := Find(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Errorf("Find(%q) did not round-trip", p.Name)
+		}
+	}
+}

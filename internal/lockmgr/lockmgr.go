@@ -421,6 +421,16 @@ func (m *Manager) TryAcquire(o *Owner, key any, mode Mode) bool {
 	if sched.Enabled() {
 		sched.Point("lockmgr/try#" + keyLabel(key))
 	}
+	return m.TryAcquireLatched(o, key, mode)
+}
+
+// TryAcquireLatched is TryAcquire without the scheduling point, for callers
+// that hold a store-wide latch (the engine's fresh-row insert path): parking
+// the task at a point there would leave the latch held while another task —
+// invisible to the controller — blocks on it, deadlocking the exploration.
+// The try is non-blocking and latch-serialized, so skipping the point loses
+// no interleaving coverage.
+func (m *Manager) TryAcquireLatched(o *Owner, key any, mode Mode) bool {
 	if om := m.om.Load(); om != nil {
 		om.tryAcquires.Inc()
 	}

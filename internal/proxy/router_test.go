@@ -13,24 +13,24 @@ import (
 	"adhoctx/internal/wire"
 )
 
-// TestPartitionMappingStable pins the static hash: these values are the
-// routing contract between every node, router, and client, so a change to
-// wire.PartitionOf is a protocol break, not a refactor.
+// TestPartitionMappingStable pins the static hash to the shared fixture
+// (wire.PartitionFixture): these values are the routing contract between
+// every node, router, and client, so a change to wire.PartitionOf is a
+// protocol break, not a refactor. The router's own PartitionOf must agree
+// with the same table its server-side gate is held to.
 func TestPartitionMappingStable(t *testing.T) {
-	cases := []struct {
-		pk    int64
-		parts uint32
-		want  uint32
-	}{
-		{pk: 0, parts: 4, want: wire.PartitionOf(0, 4)},
-		{pk: 1, parts: 1, want: 0},
-		{pk: -7, parts: 1, want: 0},
-		{pk: 42, parts: 0, want: 0},
-	}
-	for _, c := range cases {
-		if got := wire.PartitionOf(c.pk, c.parts); got != c.want {
-			t.Errorf("PartitionOf(%d, %d) = %d, want %d", c.pk, c.parts, got, c.want)
+	for _, c := range wire.PartitionFixture() {
+		if got := wire.PartitionOf(c.PK, c.Parts); got != c.Want {
+			t.Errorf("PartitionOf(%d, %d) = %d, want %d", c.PK, c.Parts, got, c.Want)
 		}
+		if c.Parts == 0 {
+			continue // Router always has >= 1 backend.
+		}
+		r := NewRouter(RouterConfig{Partitions: make([]PartitionNodes, c.Parts)})
+		if got := r.PartitionOf(c.PK); got != c.Want {
+			t.Errorf("Router.PartitionOf(%d) with %d partitions = %d, want %d", c.PK, c.Parts, got, c.Want)
+		}
+		r.Close()
 	}
 	// Determinism and range across a spread of keys and partition counts.
 	for _, parts := range []uint32{2, 3, 4, 16} {

@@ -1,0 +1,301 @@
+package scenario
+
+// Builtins returns the built-in spec catalog. Four specs re-derive existing
+// litmus pairs to prove expressive parity (see Parity); the rest generalize
+// the paper's §4 shapes to new workloads. Every spec expands (Expand) into a
+// family of fixed variants — proven clean to exhaustion — and buggy variants
+// the explorer must discover within the spec's schedule budget.
+func Builtins() []*Spec {
+	return []*Spec{
+		saleorCaptureSpec(),
+		counterLostUpdateSpec(),
+		discourseEditSpec(),
+		mastodonTimelineSpec(),
+		inventoryOversellSpec(),
+		pointsTransferSpec(),
+		voucherRedeemSpec(),
+		seatBookingSpec(),
+		rateLimitSpec(),
+		jobClaimSpec(),
+	}
+}
+
+// Builtin returns the named built-in spec.
+func Builtin(name string) (*Spec, bool) {
+	for _, s := range Builtins() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// ParityPair maps a generated variant to the hand-written litmus pair it
+// re-derives.
+type ParityPair struct {
+	Litmus string // litmus pair name
+	Buggy  string // generated variant reproducing the buggy program
+	Fixed  string // generated variant reproducing the fixed program
+}
+
+// Parity lists the litmus pairs re-derived as specs: the generated buggy
+// variant rediscovers the same bug class, the generated fixed variant proves
+// clean at the same bounds.
+func Parity() []ParityPair {
+	return []ParityPair{
+		{Litmus: "saleor-capture", Buggy: "saleor-capture/omitted-check", Fixed: "saleor-capture/dbt"},
+		{Litmus: "engine-lost-update", Buggy: "counter-lost-update/dbt+unlocked-read", Fixed: "counter-lost-update/dbt"},
+		{Litmus: "discourse-edit", Buggy: "discourse-edit/mem+read-before-lock", Fixed: "discourse-edit/mem"},
+		{Litmus: "mastodon-ttl", Buggy: "mastodon-timeline/setnx+ttl-lease", Fixed: "mastodon-timeline/setnx"},
+	}
+}
+
+// saleorCaptureSpec is the Saleor overcharging shape (§4.2): two concurrent
+// payment captures of 60 against an order total of 100.
+func saleorCaptureSpec() *Spec {
+	return &Spec{
+		Name: "saleor-capture",
+		Doc:  "two concurrent payment captures against one order total",
+		Entities: []Entity{
+			{Name: "orders", Fields: []string{"total", "captured"}, Rows: [][]int64{{100, 0}}},
+		},
+		Ops: []Op{
+			{Name: "capture", Kind: OpWrite, Target: RowRef{"orders", 0},
+				Guard:  &Guard{Col: "captured", Add: ptr(Arg(0)), Cmp: LE, Rhs: Col("total")},
+				Writes: []Assign{{Col: "captured", Inc: true, Val: Arg(0)}}},
+		},
+		Calls: []Call{{Op: "capture", Args: []int64{60}}, {Op: "capture", Args: []int64{60}}},
+		Invariants: []Invariant{
+			{Kind: InvBound, Entity: "orders", Col: "captured", Cmp: LE, Rhs: Col("total")},
+			{Kind: InvApplied, Entity: "orders", Col: "captured", Row: 0},
+		},
+		Protections: []Protection{ProtDBT, ProtMem},
+		Mutations:   []Mutation{MutUnlockedRead, MutReadBeforeLock, MutOmittedCheck},
+	}
+}
+
+// counterLostUpdateSpec is the classic read-modify-write deposit (§4.2): the
+// dbt+unlocked-read variant loses one deposit, caught by the applied-sum
+// invariant and the analyzer's conflict-graph oracle.
+func counterLostUpdateSpec() *Spec {
+	return &Spec{
+		Name: "counter-lost-update",
+		Doc:  "two read-modify-write deposits on one account",
+		Entities: []Entity{
+			{Name: "accounts", Fields: []string{"bal"}, Rows: [][]int64{{100}}},
+		},
+		Ops: []Op{
+			{Name: "deposit", Kind: OpWrite, Target: RowRef{"accounts", 0},
+				Writes: []Assign{{Col: "bal", Inc: true, Val: Arg(0)}}},
+		},
+		Calls: []Call{{Op: "deposit", Args: []int64{10}}, {Op: "deposit", Args: []int64{10}}},
+		Invariants: []Invariant{
+			{Kind: InvApplied, Entity: "accounts", Col: "bal", Row: 0},
+		},
+		Protections: []Protection{ProtDBT, ProtOCC},
+		Mutations:   []Mutation{MutUnlockedRead, MutValidationWindow},
+	}
+}
+
+// discourseEditSpec is the Discourse edit-post shape (§4.1.1): two editors
+// submit against the same loaded version; the version counter audits that
+// exactly one wins.
+func discourseEditSpec() *Spec {
+	return &Spec{
+		Name: "discourse-edit",
+		Doc:  "two concurrent edits validated against the same loaded version",
+		Entities: []Entity{
+			{Name: "posts", Fields: []string{"content", "ver"}, Rows: [][]int64{{0, 0}}},
+		},
+		Ops: []Op{
+			{Name: "edit", Kind: OpWrite, Target: RowRef{"posts", 0},
+				Guard: &Guard{Col: "ver", Cmp: EQ, Rhs: Arg(0)},
+				Writes: []Assign{
+					{Col: "content", Val: Arg(1)},
+					{Col: "ver", Inc: true, Val: Int64(1)},
+				}},
+		},
+		Calls: []Call{{Op: "edit", Args: []int64{0, 7}}, {Op: "edit", Args: []int64{0, 9}}},
+		Invariants: []Invariant{
+			{Kind: InvApplied, Entity: "posts", Col: "ver", Row: 0},
+		},
+		Protections: []Protection{ProtMem, ProtOCC, ProtDBT},
+		Mutations:   []Mutation{MutReadBeforeLock, MutValidationWindow},
+	}
+}
+
+// mastodonTimelineSpec is the Mastodon issue-15645 shape (§4.1.1): a
+// cascading post delete racing a boost that re-fans the post out to a
+// timeline; reference integrity is the oracle.
+func mastodonTimelineSpec() *Spec {
+	return &Spec{
+		Name: "mastodon-timeline",
+		Doc:  "cascading post delete racing a boost re-fan-out",
+		Entities: []Entity{
+			{Name: "posts", Fields: []string{"live"}, Rows: [][]int64{{1}}},
+			{Name: "timeline", Fields: []string{"ref"}, Rows: [][]int64{{1}}},
+		},
+		Ops: []Op{
+			{Name: "del", Kind: OpDelete, Target: RowRef{"posts", 0}, Child: "timeline", RefCol: "ref"},
+			{Name: "boost", Kind: OpInsertRef, Target: RowRef{"posts", 0}, Child: "timeline", RefCol: "ref"},
+		},
+		Calls: []Call{{Op: "del"}, {Op: "boost"}},
+		Invariants: []Invariant{
+			{Kind: InvRefInt, Entity: "posts", Child: "timeline", RefCol: "ref"},
+		},
+		Protections: []Protection{ProtSetNX, ProtMem},
+		Mutations:   []Mutation{MutTTLLease, MutReadBeforeLock, MutOmittedCheck},
+	}
+}
+
+// inventoryOversellSpec is the oversell shape: two sales against limited
+// stock must not drive quantity negative or lose a decrement.
+func inventoryOversellSpec() *Spec {
+	return &Spec{
+		Name: "inventory-oversell",
+		Doc:  "two concurrent sales against limited stock",
+		Entities: []Entity{
+			{Name: "stock", Fields: []string{"qty"}, Rows: [][]int64{{5}}},
+		},
+		Ops: []Op{
+			{Name: "sell", Kind: OpWrite, Target: RowRef{"stock", 0},
+				Guard:  &Guard{Col: "qty", Cmp: GE, Rhs: Arg(0)},
+				Writes: []Assign{{Col: "qty", Inc: true, Sub: true, Val: Arg(0)}}},
+		},
+		Calls: []Call{{Op: "sell", Args: []int64{3}}, {Op: "sell", Args: []int64{3}}},
+		Invariants: []Invariant{
+			{Kind: InvBound, Entity: "stock", Col: "qty", Cmp: GE, Rhs: Int64(0)},
+			{Kind: InvApplied, Entity: "stock", Col: "qty", Row: 0},
+		},
+		Protections: []Protection{ProtDBT, ProtMem, ProtSetNX},
+		Mutations:   []Mutation{MutUnlockedRead, MutReadBeforeLock, MutOmittedCheck},
+	}
+}
+
+// pointsTransferSpec moves points between two wallets: conservation and
+// non-negative balances are the oracles. The stale write-back of a
+// read-before-lock section conserves by construction, so the mutations here
+// are the ones the oracles can see.
+func pointsTransferSpec() *Spec {
+	return &Spec{
+		Name: "points-transfer",
+		Doc:  "two concurrent transfers out of one wallet",
+		Entities: []Entity{
+			{Name: "wallets", Fields: []string{"pts"}, Rows: [][]int64{{50}, {50}}},
+		},
+		Ops: []Op{
+			{Name: "move", Kind: OpTransfer, Target: RowRef{"wallets", 0}, To: RowRef{"wallets", 1},
+				Col:   "pts",
+				Guard: &Guard{Col: "pts", Cmp: GE, Rhs: Arg(0)}},
+		},
+		Calls: []Call{{Op: "move", Args: []int64{30}}, {Op: "move", Args: []int64{30}}},
+		Invariants: []Invariant{
+			{Kind: InvConserve, Entity: "wallets", Col: "pts"},
+			{Kind: InvBound, Entity: "wallets", Col: "pts", Cmp: GE, Rhs: Int64(0)},
+		},
+		Protections: []Protection{ProtDBT, ProtMem},
+		Mutations:   []Mutation{MutUnlockedRead, MutOmittedCheck},
+	}
+}
+
+// voucherRedeemSpec is the single-use voucher shape over the persisted lock
+// table (Broadleaf's lock kind): redemptions must never exceed the cap.
+func voucherRedeemSpec() *Spec {
+	return &Spec{
+		Name: "voucher-redeem",
+		Doc:  "two redemptions of a single-use voucher under the DB lock table",
+		Entities: []Entity{
+			{Name: "vouchers", Fields: []string{"uses", "cap"}, Rows: [][]int64{{0, 1}}},
+		},
+		Ops: []Op{
+			{Name: "redeem", Kind: OpWrite, Target: RowRef{"vouchers", 0},
+				Guard:  &Guard{Col: "uses", Add: ptr(Int64(1)), Cmp: LE, Rhs: Col("cap")},
+				Writes: []Assign{{Col: "uses", Inc: true, Val: Int64(1)}}},
+		},
+		Calls: []Call{{Op: "redeem"}, {Op: "redeem"}},
+		Invariants: []Invariant{
+			{Kind: InvBound, Entity: "vouchers", Col: "uses", Cmp: LE, Rhs: Col("cap")},
+			{Kind: InvApplied, Entity: "vouchers", Col: "uses", Row: 0},
+		},
+		Protections: []Protection{ProtDB, ProtDBT},
+		Mutations:   []Mutation{MutReadBeforeLock, MutOmittedCheck},
+	}
+}
+
+// seatBookingSpec books the last seat: exactly one of two concurrent
+// bookings may win.
+func seatBookingSpec() *Spec {
+	return &Spec{
+		Name: "seat-booking",
+		Doc:  "two concurrent bookings of the last seat",
+		Entities: []Entity{
+			{Name: "seats", Fields: []string{"booked"}, Rows: [][]int64{{0}}},
+		},
+		Ops: []Op{
+			{Name: "book", Kind: OpWrite, Target: RowRef{"seats", 0},
+				Guard:  &Guard{Col: "booked", Cmp: EQ, Rhs: Int64(0)},
+				Writes: []Assign{{Col: "booked", Inc: true, Val: Int64(1)}}},
+		},
+		Calls: []Call{{Op: "book"}, {Op: "book"}},
+		Invariants: []Invariant{
+			{Kind: InvBound, Entity: "seats", Col: "booked", Cmp: LE, Rhs: Int64(1)},
+			{Kind: InvApplied, Entity: "seats", Col: "booked", Row: 0},
+		},
+		Protections: []Protection{ProtSetNX, ProtOCC, ProtDBT},
+		Mutations:   []Mutation{MutReadBeforeLock, MutValidationWindow, MutOmittedCheck},
+	}
+}
+
+// rateLimitSpec is the quota shape: concurrent hits must not exceed the cap
+// or lose accounting.
+func rateLimitSpec() *Spec {
+	return &Spec{
+		Name: "rate-limit",
+		Doc:  "two concurrent quota hits against a shared cap",
+		Entities: []Entity{
+			{Name: "quota", Fields: []string{"used", "cap"}, Rows: [][]int64{{0, 2}}},
+		},
+		Ops: []Op{
+			{Name: "hit", Kind: OpWrite, Target: RowRef{"quota", 0},
+				Guard:  &Guard{Col: "used", Add: ptr(Arg(0)), Cmp: LE, Rhs: Col("cap")},
+				Writes: []Assign{{Col: "used", Inc: true, Val: Arg(0)}}},
+		},
+		Calls: []Call{{Op: "hit", Args: []int64{2}}, {Op: "hit", Args: []int64{2}}},
+		Invariants: []Invariant{
+			{Kind: InvBound, Entity: "quota", Col: "used", Cmp: LE, Rhs: Col("cap")},
+			{Kind: InvApplied, Entity: "quota", Col: "used", Row: 0},
+		},
+		Protections: []Protection{ProtMem, ProtDBT, ProtOCC},
+		Mutations:   []Mutation{MutUnlockedRead, MutReadBeforeLock, MutValidationWindow},
+	}
+}
+
+// jobClaimSpec is the worker-claim shape: a job row is claimed by at most
+// one worker, audited by the run counter.
+func jobClaimSpec() *Spec {
+	return &Spec{
+		Name: "job-claim",
+		Doc:  "two workers claiming one job",
+		Entities: []Entity{
+			{Name: "jobs", Fields: []string{"claimed", "runs"}, Rows: [][]int64{{0, 0}}},
+		},
+		Ops: []Op{
+			{Name: "claim", Kind: OpWrite, Target: RowRef{"jobs", 0},
+				Guard: &Guard{Col: "claimed", Cmp: EQ, Rhs: Int64(0)},
+				Writes: []Assign{
+					{Col: "claimed", Val: Int64(1)},
+					{Col: "runs", Inc: true, Val: Int64(1)},
+				}},
+		},
+		Calls: []Call{{Op: "claim"}, {Op: "claim"}},
+		Invariants: []Invariant{
+			{Kind: InvBound, Entity: "jobs", Col: "runs", Cmp: LE, Rhs: Int64(1)},
+			{Kind: InvApplied, Entity: "jobs", Col: "runs", Row: 0},
+		},
+		Protections: []Protection{ProtOCC, ProtSetNX, ProtDBT},
+		Mutations:   []Mutation{MutValidationWindow, MutReadBeforeLock, MutOmittedCheck},
+	}
+}
+
+// ptr returns a pointer to v (guard addends are optional).
+func ptr(v Val) *Val { return &v }

@@ -1,0 +1,804 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"adhoctx/internal/adhoc/granularity"
+	"adhoctx/internal/adhoc/locks"
+	"adhoctx/internal/adhoc/validate"
+	"adhoctx/internal/analyzer"
+	"adhoctx/internal/core"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/kv"
+	"adhoctx/internal/sched"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+// Variant is one expanded program of a spec's family: a protection (or the
+// protection-free omitted-check shape), an optional mutation, and the
+// compiled sched.Program the explorer runs.
+type Variant struct {
+	Spec *Spec
+	// Protect is the critical-section implementation; empty for the
+	// omitted-check variant (which has none — that is the bug).
+	Protect Protection
+	// Mutation is empty for fixed variants.
+	Mutation Mutation
+	// Name is "<spec>/<protection>", "<spec>/<protection>+<mutation>", or
+	// "<spec>/omitted-check".
+	Name string
+	// Buggy variants must be discovered within Budget DFS schedules; fixed
+	// variants must survive exhaustive exploration.
+	Buggy  bool
+	Budget int
+	// PCTLen is the priority-change-point range for PCT runs.
+	PCTLen  int
+	Program sched.Program
+}
+
+// VariantName composes the "<spec>/<suffix>" display name.
+func VariantName(spec string, p Protection, m Mutation) string {
+	switch {
+	case m == MutOmittedCheck:
+		return spec + "/" + string(MutOmittedCheck)
+	case m == "":
+		return spec + "/" + string(p)
+	default:
+		return spec + "/" + string(p) + "+" + string(m)
+	}
+}
+
+// Expand compiles a spec into its variant family: one fixed variant per
+// protection, one buggy variant per compatible (protection, mutation) pair,
+// and — if MutOmittedCheck is listed — a single protection-free variant.
+func Expand(s *Spec) ([]*Variant, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var out []*Variant
+	add := func(p Protection, m Mutation) {
+		out = append(out, &Variant{
+			Spec:     s,
+			Protect:  p,
+			Mutation: m,
+			Name:     VariantName(s.Name, p, m),
+			Buggy:    m != "",
+			Budget:   s.budget(),
+			PCTLen:   s.pctLen(p, m),
+		})
+	}
+	for _, p := range s.Protections {
+		add(p, "")
+		for _, m := range s.Mutations {
+			if Compatible(p, m) {
+				add(p, m)
+			}
+		}
+	}
+	for _, m := range s.Mutations {
+		if m == MutOmittedCheck {
+			add("", MutOmittedCheck)
+		}
+	}
+	for _, v := range out {
+		v.Program = compileProgram(s, v)
+	}
+	return out, nil
+}
+
+// pctLen sizes the PCT change-point range: lease/lock-table variants poll a
+// virtual clock and have deeper decision stacks.
+func (s *Spec) pctLen(p Protection, m Mutation) int {
+	if s.PCTLen > 0 {
+		return s.PCTLen
+	}
+	if p == ProtSetNX || p == ProtDB || m == MutTTLLease {
+		return 64
+	}
+	return 24
+}
+
+// FindVariant returns the variant with the given "<spec>/<suffix>" name.
+func FindVariant(vs []*Variant, name string) (*Variant, bool) {
+	for _, v := range vs {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// ---- the compiled world ----
+
+// world is one freshly seeded instance of a spec's entities plus the
+// protection resources a variant needs.
+type world struct {
+	spec  *Spec
+	eng   *engine.Engine
+	clock *sim.FakeClock
+	store *kv.Store
+	// pks maps entity name to the primary keys of its seeded rows, by row
+	// index.
+	pks  map[string][]int64
+	hist *analyzer.History
+	// lockerFor returns the per-caller ad hoc locker (lease/lock-table
+	// protections give each caller its own token/owner).
+	lockerFor func(i int) core.Locker
+}
+
+func compileProgram(s *Spec, v *Variant) sched.Program {
+	return sched.Program{
+		Name: v.Name,
+		Doc:  s.Doc,
+		Make: func() (*sched.Instance, error) {
+			w, err := buildWorld(s, v)
+			if err != nil {
+				return nil, err
+			}
+			errs := make([]error, len(s.Calls))
+			threads := make([]sched.Thread, len(s.Calls))
+			for i := range s.Calls {
+				i := i
+				call := s.Calls[i]
+				op, _ := s.op(call.Op)
+				run := w.compileCall(v, i, op, call.Args)
+				threads[i] = sched.Thread{
+					Name: fmt.Sprintf("%s-%d", call.Op, i),
+					Run: func() error {
+						errs[i] = run()
+						return nil
+					},
+				}
+			}
+			return &sched.Instance{
+				Threads: threads,
+				Check:   func(r *sched.Result) error { return w.check(errs) },
+			}, nil
+		},
+	}
+}
+
+func buildWorld(s *Spec, v *Variant) (*world, error) {
+	w := &world{
+		spec:  s,
+		clock: sim.NewFakeClock(time.Unix(0, 0)),
+		pks:   make(map[string][]int64, len(s.Entities)),
+	}
+	w.eng = engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 10 * time.Second})
+	for _, e := range s.Entities {
+		cols := make([]storage.Column, len(e.Fields))
+		for i, f := range e.Fields {
+			cols[i] = storage.Column{Name: f, Type: storage.TInt}
+		}
+		w.eng.CreateTable(storage.NewSchema(e.Name, cols...))
+	}
+	err := w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		for _, e := range s.Entities {
+			for _, row := range e.Rows {
+				vals := make(map[string]storage.Value, len(e.Fields))
+				for i, f := range e.Fields {
+					vals[f] = row[i]
+				}
+				pk, err := t.Insert(e.Name, vals)
+				if err != nil {
+					return err
+				}
+				w.pks[e.Name] = append(w.pks[e.Name], pk)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	switch v.Protect {
+	case ProtDBT:
+		// The serializability oracle only applies to DBT variants: ad hoc
+		// fragment histories can be perfectly DB-serializable while the
+		// application is broken (the paper's point), so the conflict-graph
+		// check would say nothing there.
+		w.hist = analyzer.NewHistory()
+		w.eng.SetTracer(w.hist)
+	case ProtMem:
+		shared := locks.NewMemLocker()
+		w.lockerFor = func(int) core.Locker { return shared }
+	case ProtSetNX:
+		w.store = kv.NewStore(w.clock, sim.Latency{})
+		ttl := time.Duration(0)
+		if v.Mutation == MutTTLLease {
+			ttl = 2 * time.Second
+		}
+		store := w.store
+		clock := w.clock
+		w.lockerFor = func(i int) core.Locker {
+			return &locks.SetNXLocker{Store: store, Token: fmt.Sprintf("caller-%d", i),
+				TTL: ttl, Clock: clock, RetryInterval: time.Second, Timeout: 10 * time.Second}
+		}
+	case ProtDB:
+		locks.SetupDBLockTable(w.eng)
+		eng, clock := w.eng, w.clock
+		w.lockerFor = func(i int) core.Locker {
+			return &locks.DBLocker{Eng: eng, BootID: "boot-1", Owner: fmt.Sprintf("caller-%d", i),
+				Clock: clock, RetryInterval: time.Second, Timeout: 10 * time.Second}
+		}
+	}
+	return w, nil
+}
+
+// ---- value / guard evaluation ----
+
+func evalVal(v Val, args []int64, vals map[string]int64) int64 {
+	switch v.Kind {
+	case VArg:
+		return args[v.Arg]
+	case VCol:
+		return vals[v.Col]
+	default:
+		return v.Int
+	}
+}
+
+func cmpOK(a int64, c Cmp, b int64) bool {
+	switch c {
+	case LE:
+		return a <= b
+	case GE:
+		return a >= b
+	default:
+		return a == b
+	}
+}
+
+func guardOK(g *Guard, args []int64, vals map[string]int64) bool {
+	if g == nil {
+		return true
+	}
+	lhs := vals[g.Col]
+	if g.Add != nil {
+		lhs += evalVal(*g.Add, args, vals)
+	}
+	return cmpOK(lhs, g.Cmp, evalVal(g.Rhs, args, vals))
+}
+
+// writeSet computes the engine update map for an OpWrite from the values the
+// section read.
+func writeSet(op *Op, args []int64, vals map[string]int64) map[string]storage.Value {
+	set := make(map[string]storage.Value, len(op.Writes))
+	for _, a := range op.Writes {
+		nv := evalVal(a.Val, args, vals)
+		if a.Inc {
+			if a.Sub {
+				nv = vals[a.Col] - nv
+			} else {
+				nv = vals[a.Col] + nv
+			}
+		}
+		set[a.Col] = nv
+	}
+	return set
+}
+
+// childRow builds a full child-entity row referencing the parent: RefCol set,
+// every other field zero.
+func (w *world) childRow(op *Op, parentPK int64) map[string]storage.Value {
+	child, _ := w.spec.entity(op.Child)
+	vals := make(map[string]storage.Value, len(child.Fields))
+	for _, f := range child.Fields {
+		vals[f] = int64(0)
+	}
+	vals[op.RefCol] = parentPK
+	return vals
+}
+
+// ---- reading ----
+
+// opRead is the section's view of the rows an op touches.
+type opRead struct {
+	vals   map[string]int64 // target row (nil map if missing)
+	toVals map[string]int64 // transfer destination (nil if missing)
+	ok     bool
+	toOK   bool
+}
+
+func (w *world) readRowIn(t *engine.Txn, entity string, pk int64, forUpdate bool) (map[string]int64, error) {
+	var row storage.Row
+	var err error
+	if forUpdate {
+		row, err = t.SelectOne(entity, storage.ByPK(pk), engine.ForUpdate)
+	} else {
+		row, err = t.SelectOne(entity, storage.ByPK(pk))
+	}
+	if err != nil || row == nil {
+		return nil, err
+	}
+	e, _ := w.spec.entity(entity)
+	schema := w.eng.Schema(entity)
+	vals := make(map[string]int64, len(e.Fields))
+	for _, f := range e.Fields {
+		vals[f] = row.Get(schema, f).(int64)
+	}
+	return vals, nil
+}
+
+// readOpIn reads the op's rows inside an existing transaction. For transfers
+// with forUpdate it locks in ascending-PK order (the deadlock-free DBT
+// discipline).
+func (w *world) readOpIn(t *engine.Txn, op *Op, forUpdate bool) (opRead, error) {
+	var rd opRead
+	pk := w.pkOf(op.Target)
+	if op.Kind == OpTransfer {
+		toPK := w.pkOf(op.To)
+		first, second := pk, toPK
+		if forUpdate && toPK < pk {
+			first, second = toPK, pk
+		}
+		a, err := w.readRowIn(t, op.Target.Entity, first, forUpdate)
+		if err != nil {
+			return rd, err
+		}
+		b, err := w.readRowIn(t, op.Target.Entity, second, forUpdate)
+		if err != nil {
+			return rd, err
+		}
+		if first != pk {
+			a, b = b, a
+		}
+		rd.vals, rd.ok = a, a != nil
+		rd.toVals, rd.toOK = b, b != nil
+		return rd, nil
+	}
+	vals, err := w.readRowIn(t, op.Target.Entity, pk, forUpdate)
+	if err != nil {
+		return rd, err
+	}
+	rd.vals, rd.ok = vals, vals != nil
+	return rd, nil
+}
+
+// readOp reads the op's rows in its own (non-locking) transaction — the ad
+// hoc fragment read.
+func (w *world) readOp(op *Op) (opRead, error) {
+	var rd opRead
+	err := w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		rd, err = w.readOpIn(t, op, false)
+		return err
+	})
+	return rd, err
+}
+
+func (w *world) pkOf(r RowRef) int64 { return w.pks[r.Entity][r.Index] }
+
+// lockKeys returns the ad hoc lock keys for an op, sorted (core.WithLocks
+// re-sorts, but a stable input keeps traces readable).
+func (w *world) lockKeys(op *Op) []string {
+	keys := []string{granularity.RowKey(op.Target.Entity, w.pkOf(op.Target))}
+	if op.Kind == OpTransfer {
+		keys = append(keys, granularity.RowKey(op.To.Entity, w.pkOf(op.To)))
+		sort.Strings(keys)
+	}
+	return keys
+}
+
+// ---- per-variant call compilation ----
+
+func (w *world) compileCall(v *Variant, idx int, op *Op, args []int64) func() error {
+	switch {
+	case v.Mutation == MutOmittedCheck:
+		return func() error { return w.runOmitted(op, args) }
+	case v.Protect == ProtDBT:
+		locked := v.Mutation != MutUnlockedRead
+		tag := fmt.Sprintf("%s-%d", op.Name, idx)
+		return func() error { return w.runDBT(op, args, locked, tag) }
+	case v.Protect == ProtOCC:
+		atomic := v.Mutation != MutValidationWindow
+		return func() error { return w.runOCC(op, args, atomic) }
+	default: // mem / setnx / db lock sections
+		locker := w.lockerFor(idx)
+		readBefore := v.Mutation == MutReadBeforeLock && op.Kind != OpDelete
+		var slow func()
+		if v.Mutation == MutTTLLease {
+			clock := w.clock
+			slow = func() { clock.Sleep(3 * time.Second) }
+		}
+		return func() error { return w.runLocked(op, args, locker, readBefore, slow) }
+	}
+}
+
+// runDBT executes the op as one database transaction; locked=false is the
+// unlocked-read mutation (reads without FOR UPDATE).
+func (w *world) runDBT(op *Op, args []int64, locked bool, tag string) error {
+	return w.eng.Run(engine.ReadCommitted, func(t *engine.Txn) error {
+		t.SetTag(tag)
+		rd, err := w.readOpIn(t, op, locked)
+		if err != nil {
+			return err
+		}
+		return w.applyIn(t, op, args, rd)
+	})
+}
+
+// applyIn checks the guard and applies the op's writes inside txn t, using
+// the values rd read.
+func (w *world) applyIn(t *engine.Txn, op *Op, args []int64, rd opRead) error {
+	pk := w.pkOf(op.Target)
+	switch op.Kind {
+	case OpWrite:
+		if !rd.ok {
+			return ErrGuardFailed
+		}
+		if !guardOK(op.Guard, args, rd.vals) {
+			return ErrGuardFailed
+		}
+		_, err := t.Update(op.Target.Entity, storage.ByPK(pk), writeSet(op, args, rd.vals))
+		return err
+	case OpTransfer:
+		if !rd.ok || !rd.toOK {
+			return ErrGuardFailed
+		}
+		if !guardOK(op.Guard, args, rd.vals) {
+			return ErrGuardFailed
+		}
+		amt := args[0]
+		if _, err := t.Update(op.Target.Entity, storage.ByPK(pk),
+			map[string]storage.Value{op.Col: rd.vals[op.Col] - amt}); err != nil {
+			return err
+		}
+		_, err := t.Update(op.To.Entity, storage.ByPK(w.pkOf(op.To)),
+			map[string]storage.Value{op.Col: rd.toVals[op.Col] + amt})
+		return err
+	case OpDelete:
+		if !rd.ok {
+			return nil // already gone — benign no-op
+		}
+		if !guardOK(op.Guard, args, rd.vals) {
+			return ErrGuardFailed
+		}
+		if op.Child != "" {
+			if _, err := t.Delete(op.Child, storage.Eq{Col: op.RefCol, Val: pk}); err != nil {
+				return err
+			}
+		}
+		_, err := t.Delete(op.Target.Entity, storage.ByPK(pk))
+		return err
+	case OpInsertRef:
+		if !rd.ok {
+			return nil // parent gone — benign skip
+		}
+		if !guardOK(op.Guard, args, rd.vals) {
+			return ErrGuardFailed
+		}
+		_, err := t.Insert(op.Child, w.childRow(op, pk))
+		return err
+	}
+	return fmt.Errorf("scenario: unknown op kind %d", op.Kind)
+}
+
+// runLocked executes the op as an ad hoc lock section: lock, read, guard,
+// write in separate transactions. readBefore moves the validation read in
+// front of the acquire (§4.1.1); slow, when non-nil, stalls the section past
+// a lease TTL (§4.1.1).
+func (w *world) runLocked(op *Op, args []int64, locker core.Locker, readBefore bool, slow func()) error {
+	section := func(rd opRead) error {
+		switch op.Kind {
+		case OpDelete:
+			if !rd.ok {
+				return nil
+			}
+			if !guardOK(op.Guard, args, rd.vals) {
+				return ErrGuardFailed
+			}
+			return w.cascadeDelete(op, slow)
+		case OpInsertRef:
+			if !rd.ok {
+				return nil
+			}
+			if !guardOK(op.Guard, args, rd.vals) {
+				return ErrGuardFailed
+			}
+			if slow != nil {
+				slow()
+			}
+			return w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+				_, err := t.Insert(op.Child, w.childRow(op, w.pkOf(op.Target)))
+				return err
+			})
+		default:
+			if !rd.ok || (op.Kind == OpTransfer && !rd.toOK) {
+				return ErrGuardFailed
+			}
+			if !guardOK(op.Guard, args, rd.vals) {
+				return ErrGuardFailed
+			}
+			if slow != nil {
+				slow()
+			}
+			// Write-back uses the values the section read — safe under the
+			// lock, stale if the read escaped it.
+			return w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+				return w.applyIn(t, op, args, opRead{
+					vals: rd.vals, toVals: rd.toVals, ok: true, toOK: rd.toOK})
+			})
+		}
+	}
+	if readBefore {
+		rd, err := w.readOp(op)
+		if err != nil {
+			return err
+		}
+		return core.WithLocks(locker, w.lockKeys(op), func() error { return section(rd) })
+	}
+	return core.WithLocks(locker, w.lockKeys(op), func() error {
+		rd, err := w.readOp(op)
+		if err != nil {
+			return err
+		}
+		return section(rd)
+	})
+}
+
+// cascadeDelete removes children and parent in separate transactions (the
+// fan-out shape); slow stalls between them — the window a lapsed lease turns
+// into an orphan factory.
+func (w *world) cascadeDelete(op *Op, slow func()) error {
+	pk := w.pkOf(op.Target)
+	if op.Child != "" {
+		err := w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			_, err := t.Delete(op.Child, storage.Eq{Col: op.RefCol, Val: pk})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if slow != nil {
+		slow()
+	}
+	return w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		_, err := t.Delete(op.Target.Entity, storage.ByPK(pk))
+		return err
+	})
+}
+
+// runOmitted is the §4.2 shape: the guard runs in one transaction, the
+// writes in another, with no coordination in between.
+func (w *world) runOmitted(op *Op, args []int64) error {
+	rd, err := w.readOp(op)
+	if err != nil {
+		return err
+	}
+	switch op.Kind {
+	case OpDelete:
+		if !rd.ok {
+			return nil
+		}
+		if !guardOK(op.Guard, args, rd.vals) {
+			return ErrGuardFailed
+		}
+		return w.cascadeDelete(op, nil)
+	case OpInsertRef:
+		if !rd.ok {
+			return nil
+		}
+		if !guardOK(op.Guard, args, rd.vals) {
+			return ErrGuardFailed
+		}
+		return w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			_, err := t.Insert(op.Child, w.childRow(op, w.pkOf(op.Target)))
+			return err
+		})
+	default:
+		if !rd.ok || (op.Kind == OpTransfer && !rd.toOK) {
+			return ErrGuardFailed
+		}
+		if !guardOK(op.Guard, args, rd.vals) {
+			return ErrGuardFailed
+		}
+		// The write transaction re-reads current values and applies the
+		// already-"validated" change — the Saleor capture shape: every
+		// concurrent caller passes the check against the same stale state.
+		return w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			rd2, err := w.readOpIn(t, op, false)
+			if err != nil {
+				return err
+			}
+			if !rd2.ok || (op.Kind == OpTransfer && !rd2.toOK) {
+				return ErrGuardFailed
+			}
+			return w.applyNoGuard(t, op, args, rd2)
+		})
+	}
+}
+
+// applyNoGuard applies the op's writes without re-checking the guard (the
+// omitted-check write leg).
+func (w *world) applyNoGuard(t *engine.Txn, op *Op, args []int64, rd opRead) error {
+	g := op.Guard
+	op2 := *op
+	op2.Guard = nil
+	err := w.applyIn(t, &op2, args, rd)
+	op2.Guard = g
+	return err
+}
+
+// occWatchCol picks the compare-and-set column: the first incremented column
+// (every success changes it), else the guard column, else the first write.
+func occWatchCol(op *Op) string {
+	for _, a := range op.Writes {
+		if a.Inc {
+			return a.Col
+		}
+	}
+	if op.Guard != nil {
+		return op.Guard.Col
+	}
+	return op.Writes[0].Col
+}
+
+// runOCC executes the op as an optimistic section: read, check, then
+// compare-and-set on the watch column. atomic=false is the validation-window
+// mutation (§4.1.2): validation and write-back in separate statements.
+func (w *world) runOCC(op *Op, args []int64, atomic bool) error {
+	ck := validate.Checker{Eng: w.eng, Table: op.Target.Entity}
+	pk := w.pkOf(op.Target)
+	return core.RetryOptimistic(8, func() error {
+		rd, err := w.readOp(op)
+		if err != nil {
+			return err
+		}
+		if !rd.ok {
+			return ErrGuardFailed
+		}
+		if !guardOK(op.Guard, args, rd.vals) {
+			return ErrGuardFailed
+		}
+		watch := occWatchCol(op)
+		guard := storage.Eq{Col: watch, Val: rd.vals[watch]}
+		set := writeSet(op, args, rd.vals)
+		if atomic {
+			return ck.CheckAndSet(pk, guard, set)
+		}
+		return ck.NonAtomicCheckThenSet(pk, guard, set, nil)
+	})
+}
+
+// ---- the oracle ----
+
+// check validates thread errors, the DBT serializability oracle, and every
+// declared invariant against the terminal state.
+func (w *world) check(errs []error) error {
+	s := w.spec
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrGuardFailed) || errors.Is(err, core.ErrConflict) ||
+			errors.Is(err, core.ErrLockUnavailable) {
+			continue // benign: rejected, validation lost, or lock given up
+		}
+		return fmt.Errorf("call %d (%s): unexpected error: %w", i, s.Calls[i].Op, err)
+	}
+	if w.hist != nil {
+		w.eng.SetTracer(nil)
+		items := analyzer.CommittedOnly(w.hist.Items())
+		if cycle := analyzer.BuildConflictGraph(items).FindCycle(); cycle != nil {
+			return fmt.Errorf("committed history not serializable: cycle %v", cycle)
+		}
+	}
+	state, err := w.finalState()
+	if err != nil {
+		return err
+	}
+	for i, inv := range s.Invariants {
+		if err := w.checkInvariant(inv, state, errs); err != nil {
+			return fmt.Errorf("invariant %d (%s %s.%s): %w", i, inv.Kind, inv.Entity, inv.Col, err)
+		}
+	}
+	return nil
+}
+
+// finalState reads every entity's surviving rows (keyed by pk) in one
+// snapshot transaction.
+func (w *world) finalState() (map[string]map[int64]map[string]int64, error) {
+	state := make(map[string]map[int64]map[string]int64, len(w.spec.Entities))
+	err := w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		for _, e := range w.spec.Entities {
+			schema := w.eng.Schema(e.Name)
+			rows, err := t.Select(e.Name, storage.All{})
+			if err != nil {
+				return err
+			}
+			byPK := make(map[int64]map[string]int64, len(rows))
+			for _, row := range rows {
+				vals := make(map[string]int64, len(e.Fields))
+				for _, f := range e.Fields {
+					vals[f] = row.Get(schema, f).(int64)
+				}
+				byPK[row.Get(schema, storage.PKColumn).(int64)] = vals
+			}
+			state[e.Name] = byPK
+		}
+		return nil
+	})
+	return state, err
+}
+
+func (w *world) checkInvariant(inv Invariant, state map[string]map[int64]map[string]int64, errs []error) error {
+	s := w.spec
+	switch inv.Kind {
+	case InvConserve:
+		e, _ := s.entity(inv.Entity)
+		col := indexOf(e.Fields, inv.Col)
+		var want int64
+		for _, row := range e.Rows {
+			want += row[col]
+		}
+		var got int64
+		for _, vals := range state[inv.Entity] {
+			got += vals[inv.Col]
+		}
+		if got != want {
+			return fmt.Errorf("sum %d, want %d", got, want)
+		}
+	case InvBound:
+		for pk, vals := range state[inv.Entity] {
+			rhs := evalVal(inv.Rhs, nil, vals)
+			if !cmpOK(vals[inv.Col], inv.Cmp, rhs) {
+				return fmt.Errorf("row id=%d: %d %s %d violated", pk, vals[inv.Col], inv.Cmp, rhs)
+			}
+		}
+	case InvRefInt:
+		for pk, vals := range state[inv.Child] {
+			if _, live := state[inv.Entity][vals[inv.RefCol]]; !live {
+				return fmt.Errorf("child %s id=%d references dead %s id=%d",
+					inv.Child, pk, inv.Entity, vals[inv.RefCol])
+			}
+		}
+	case InvApplied:
+		pk := w.pks[inv.Entity][inv.Row]
+		vals, live := state[inv.Entity][pk]
+		if !live {
+			return fmt.Errorf("target row id=%d missing", pk)
+		}
+		e, _ := s.entity(inv.Entity)
+		want := e.Rows[inv.Row][indexOf(e.Fields, inv.Col)]
+		for i, call := range s.Calls {
+			if errs[i] != nil {
+				continue
+			}
+			op, _ := s.op(call.Op)
+			if op.Kind != OpWrite || op.Target.Entity != inv.Entity || op.Target.Index != inv.Row {
+				continue
+			}
+			for _, a := range op.Writes {
+				if a.Col != inv.Col || !a.Inc {
+					continue
+				}
+				d := evalVal(a.Val, call.Args, nil)
+				if a.Sub {
+					d = -d
+				}
+				want += d
+			}
+		}
+		if vals[inv.Col] != want {
+			return fmt.Errorf("value %d, want %d (seed + applied increments of successful calls)",
+				vals[inv.Col], want)
+		}
+	}
+	return nil
+}
+
+func indexOf(ss []string, s string) int {
+	for i, x := range ss {
+		if x == s {
+			return i
+		}
+	}
+	return -1
+}

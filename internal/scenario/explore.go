@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"fmt"
+
+	"adhoctx/internal/sched"
+)
+
+// Explorer builds the schedule explorer for a variant: buggy variants are
+// capped at the spec's discovery budget (the family's claim is that the bug
+// is found within it), fixed variants get the package default so the DFS can
+// run to exhaustion.
+func Explorer(v *Variant) *sched.Explorer {
+	ex := &sched.Explorer{Prog: v.Program, PCTLen: v.PCTLen}
+	if v.Buggy {
+		ex.MaxSchedules = v.Budget
+	}
+	return ex
+}
+
+// ExploreDFS runs bounded-exhaustive DFS over the variant.
+func ExploreDFS(v *Variant) (*sched.Report, error) {
+	return Explorer(v).ExploreDFS()
+}
+
+// ExplorePCT samples seeds randomized-priority schedules.
+func ExplorePCT(v *Variant, baseSeed int64, seeds int) (*sched.Report, error) {
+	return Explorer(v).ExplorePCT(baseSeed, seeds)
+}
+
+// Replay re-executes a recorded schedule ID against the variant.
+func Replay(v *Variant, id string) (*sched.Report, error) {
+	return Explorer(v).ReplayID(id)
+}
+
+// CheckVariant asserts the family dichotomy for one variant under DFS:
+// a buggy variant must produce a violation within its budget, a fixed
+// variant must explore its space to completion with no violation. The
+// report is returned for stats even when the assertion fails.
+func CheckVariant(v *Variant) (*sched.Report, error) {
+	rep, err := ExploreDFS(v)
+	if err != nil {
+		return nil, fmt.Errorf("%s: explore: %w", v.Name, err)
+	}
+	if v.Buggy {
+		if rep.Violation == nil {
+			return rep, fmt.Errorf("%s: no bug within the %d-schedule budget (ran %d, complete=%v)",
+				v.Name, v.Budget, rep.Schedules, rep.Complete)
+		}
+		return rep, nil
+	}
+	if rep.Violation != nil {
+		return rep, fmt.Errorf("%s: fixed variant violated after %d schedules: %v\n%s",
+			v.Name, rep.Schedules, rep.Violation.Err, rep.Violation.Format())
+	}
+	if !rep.Complete {
+		return rep, fmt.Errorf("%s: fixed variant not explored to completion (%d schedules, %d truncated)",
+			v.Name, rep.Schedules, rep.Truncated)
+	}
+	return rep, nil
+}
+
+// Stat is one row of the family discovery table.
+type Stat struct {
+	Variant    string
+	Protection Protection
+	Mutation   Mutation
+	Buggy      bool
+	// Schedules is schedules-to-bug for buggy variants, schedules-to-
+	// exhaustion for fixed ones.
+	Schedules  int
+	Complete   bool
+	ScheduleID string // discovery schedule (minimized when available)
+	Err        string // the violation message
+}
+
+// StatOf summarizes a report.
+func StatOf(v *Variant, rep *sched.Report) Stat {
+	st := Stat{
+		Variant:    v.Name,
+		Protection: v.Protect,
+		Mutation:   v.Mutation,
+		Buggy:      v.Buggy,
+		Schedules:  rep.Schedules,
+		Complete:   rep.Complete,
+	}
+	if rep.Violation != nil {
+		st.ScheduleID = rep.Violation.ScheduleID
+		if rep.Violation.MinScheduleID != "" {
+			st.ScheduleID = rep.Violation.MinScheduleID
+		}
+		st.Err = rep.Violation.Err.Error()
+	}
+	return st
+}
+
+// ExpandAll expands every built-in spec.
+func ExpandAll() ([]*Variant, error) {
+	var out []*Variant
+	for _, s := range Builtins() {
+		vs, err := Expand(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec holds the text parser to two properties on arbitrary input:
+// it never panics, and any input it accepts round-trips through the
+// canonical printer — Parse(Print(s)) reproduces s exactly, and printing
+// again is a fixed point.
+func FuzzParseSpec(f *testing.F) {
+	for _, s := range Builtins() {
+		f.Add(Print(s))
+	}
+	f.Add("")
+	f.Add("scenario x\n")
+	f.Add("# just a comment\nscenario c\ndoc a # b\nbudget -3\n")
+	f.Add("scenario t\nentity e\nfield a b\nrow a=1\nrow b=-2 a=3\n")
+	f.Add("scenario t\nop f write e[0]\nguard c + arg2 == @c\nset c -= -1\n")
+	f.Add("scenario t\nop m transfer a[0] -> b[1] col c\ncall m 1 2 3\n")
+	f.Add("scenario t\nop d delete e[9] cascade kids.ref\nop i insert kids.ref under e[0]\n")
+	f.Add("scenario t\ninvariant bound e c >= arg\ninvariant applied e[2] c\nprotect dbt occ\nmutate ttl-lease\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		text := Print(s)
+		got, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v\ninput: %q\nprinted:\n%s", err, src, text)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("round-trip changed the spec\ninput: %q\nprinted:\n%s\ngot:  %#v\nwant: %#v", src, text, got, s)
+		}
+		if again := Print(got); again != text {
+			t.Fatalf("Print is not a fixed point\nfirst:\n%s\nsecond:\n%s", text, again)
+		}
+	})
+}

@@ -1,0 +1,624 @@
+// Package scenario is the declarative scenario DSL: specs describe entities,
+// guarded operations, and invariants, and the compiler expands each spec into
+// a family of runnable application variants — one per critical-section
+// implementation (the paper's AHT lock kinds, optimistic validation, and the
+// DBT rewrite) and one per §4 bug-class mutation (omitted check, read before
+// lock, TTL lease expiry, non-atomic validation window, unlocked read).
+//
+// Where internal/apps and internal/litmus mirror the paper's finite catalog —
+// 8 hand-written mini-apps, 5 hand-written litmus pairs — this package turns
+// the catalog into a family: every expanded variant is a sched.Program the
+// schedule explorer can check mechanically, every correct variant must survive
+// bounded-exhaustive exploration, and every mutated variant must be discovered
+// within the spec's stated schedule budget. Specs also compile into traffic
+// mixes (Mix) for the chaos harness and the bench suite.
+//
+// Specs are plain Go struct literals (builtin.go) or a small line-oriented
+// text form (text.go); both are stdlib-only.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGuardFailed is the benign business-rule rejection: an operation whose
+// guard predicate did not hold (insufficient stock, over-capture, stale
+// edit). Threads returning it are failed-but-correct; any other operation
+// error is an oracle violation.
+var ErrGuardFailed = errors.New("scenario: guard failed")
+
+// ValKind says how a Val produces its value.
+type ValKind int
+
+const (
+	// VInt is an integer literal.
+	VInt ValKind = iota
+	// VArg is a call argument, by index.
+	VArg
+	// VCol is a column of the row the operation read.
+	VCol
+)
+
+// Val is an operand in guards and assignments: a literal, a call argument,
+// or a column read inside the section.
+type Val struct {
+	Kind ValKind
+	Int  int64  // VInt
+	Arg  int    // VArg index into Call.Args
+	Col  string // VCol column name
+}
+
+// Int64 returns a literal Val.
+func Int64(n int64) Val { return Val{Kind: VInt, Int: n} }
+
+// Arg returns a call-argument Val.
+func Arg(i int) Val { return Val{Kind: VArg, Arg: i} }
+
+// Col returns a column-reference Val.
+func Col(name string) Val { return Val{Kind: VCol, Col: name} }
+
+// Cmp is a guard/invariant comparison operator.
+type Cmp string
+
+const (
+	LE Cmp = "<="
+	GE Cmp = ">="
+	EQ Cmp = "=="
+)
+
+// Guard is the operation's check: Col [+ Add] Cmp Rhs, evaluated against the
+// values the section read. A failing guard aborts the operation with
+// ErrGuardFailed.
+type Guard struct {
+	Col string
+	Add *Val // optional addend: col + add cmp rhs
+	Cmp Cmp
+	Rhs Val
+}
+
+// Assign is one write of an operation: Col = Val, Col += Val, or Col -= Val.
+type Assign struct {
+	Col string
+	Inc bool // increment (+= / -=) instead of set
+	Sub bool // with Inc: subtract instead of add
+	Val Val
+}
+
+// OpKind classifies operations.
+type OpKind int
+
+const (
+	// OpWrite reads one row, checks the guard, and applies assignments.
+	OpWrite OpKind = iota
+	// OpTransfer moves the argument amount of Col from Target to To.
+	OpTransfer
+	// OpDelete deletes the target row, cascading to Child rows whose RefCol
+	// references it (children first, then the parent — the fan-out order).
+	OpDelete
+	// OpInsertRef checks the Target (parent) row exists and, if so, inserts
+	// a Child row whose RefCol references it.
+	OpInsertRef
+)
+
+// RowRef names one seeded row of an entity.
+type RowRef struct {
+	Entity string
+	Index  int
+}
+
+// Op is one declarative operation over the spec's entities. Its critical
+// section — reads, guard, writes — is what the compiler wraps in each
+// protection variant and distorts with each mutation.
+type Op struct {
+	Name   string
+	Kind   OpKind
+	Target RowRef // OpWrite/OpDelete row, OpTransfer source, OpInsertRef parent
+	To     RowRef // OpTransfer destination
+	Col    string // OpTransfer column
+	Guard  *Guard
+	Writes []Assign // OpWrite assignments
+	Child  string   // OpDelete cascade / OpInsertRef child entity
+	RefCol string   // Child's reference column
+}
+
+// Call is one concurrent invocation in the litmus workload: the compiler
+// builds one thread per call.
+type Call struct {
+	Op   string
+	Args []int64
+}
+
+// InvKind classifies invariants.
+type InvKind string
+
+const (
+	// InvConserve: the sum of Col over Entity equals its seeded sum.
+	InvConserve InvKind = "conserve"
+	// InvBound: every Entity row satisfies Col Cmp Rhs (Rhs: VInt or VCol of
+	// the same row).
+	InvBound InvKind = "bound"
+	// InvRefInt: every Child row's RefCol references a live Entity row.
+	InvRefInt InvKind = "refint"
+	// InvApplied: the target row's Col equals its seeded value plus the sum
+	// of the increments of every call that reported success — the lost-update
+	// and double-apply detector.
+	InvApplied InvKind = "applied"
+)
+
+// Invariant is one mechanical oracle evaluated on the terminal state.
+type Invariant struct {
+	Kind   InvKind
+	Entity string
+	Col    string
+	Row    int    // InvApplied target row index
+	Cmp    Cmp    // InvBound
+	Rhs    Val    // InvBound (VInt or VCol)
+	Child  string // InvRefInt child entity
+	RefCol string // InvRefInt reference column
+}
+
+// Protection is a critical-section implementation.
+type Protection string
+
+const (
+	// ProtDBT is the database-transaction rewrite: one transaction, locking
+	// (FOR UPDATE) reads.
+	ProtDBT Protection = "dbt"
+	// ProtMem guards the multi-transaction section with the in-process lock
+	// map (Broadleaf's ConcurrentHashMap of locks).
+	ProtMem Protection = "mem"
+	// ProtSetNX guards the section with the single-round-trip KV lease lock
+	// (Mastodon, Saleor).
+	ProtSetNX Protection = "setnx"
+	// ProtDB guards the section with the persisted lock table (Broadleaf).
+	ProtDB Protection = "db"
+	// ProtOCC validates optimistically: read, check, then one atomic
+	// compare-and-set statement (Figure 1c compiled to one UPDATE).
+	ProtOCC Protection = "occ"
+)
+
+// Mutation is a §4 bug-class distortion of a protected section.
+type Mutation string
+
+const (
+	// MutUnlockedRead (dbt): the transaction reads without FOR UPDATE —
+	// §4.2 omitted locking, the classic lost update.
+	MutUnlockedRead Mutation = "unlocked-read"
+	// MutReadBeforeLock (mem/setnx/db): validation reads are taken before
+	// the lock and not repeated inside it — §4.1.1 misuse.
+	MutReadBeforeLock Mutation = "read-before-lock"
+	// MutTTLLease (setnx): the lease TTL is shorter than the section, which
+	// sleeps past it — §4.1.1 misuse (Mastodon issue 15645).
+	MutTTLLease Mutation = "ttl-lease"
+	// MutOmittedCheck (protection-independent): the guard runs in one
+	// transaction and the writes in another, with no coordination at all —
+	// §4.2 omitted coordination (Saleor overcharging).
+	MutOmittedCheck Mutation = "omitted-check"
+	// MutValidationWindow (occ): validation and write-back are separate
+	// statements — §4.1.2 non-atomic validation (Discourse's MiniSql escape).
+	MutValidationWindow Mutation = "validation-window"
+)
+
+// Entity is one table: int64 fields only (the text form stays total and the
+// engine schema is derived mechanically). Rows seed the initial state; row
+// indices are how ops and calls address them.
+type Entity struct {
+	Name   string
+	Fields []string
+	Rows   [][]int64 // each row aligned with Fields
+}
+
+// Spec is one declarative scenario.
+type Spec struct {
+	Name string
+	Doc  string
+	// Budget is the DFS schedule budget: every buggy variant must be
+	// discovered within this many schedules (default 2000).
+	Budget int
+	// PCTLen overrides the compiler's PCT change-point range heuristic.
+	PCTLen int
+
+	Entities    []Entity
+	Ops         []Op
+	Calls       []Call
+	Invariants  []Invariant
+	Protections []Protection
+	Mutations   []Mutation
+}
+
+// DefaultBudget is the schedule budget a spec gets when it does not state
+// one: a buggy variant not discovered within this many DFS schedules fails
+// the family.
+const DefaultBudget = 2000
+
+// budget returns the spec's effective discovery budget.
+func (s *Spec) budget() int {
+	if s.Budget > 0 {
+		return s.Budget
+	}
+	return DefaultBudget
+}
+
+// entity returns the named entity.
+func (s *Spec) entity(name string) (*Entity, bool) {
+	for i := range s.Entities {
+		if s.Entities[i].Name == name {
+			return &s.Entities[i], true
+		}
+	}
+	return nil, false
+}
+
+// op returns the named op.
+func (s *Spec) op(name string) (*Op, bool) {
+	for i := range s.Ops {
+		if s.Ops[i].Name == name {
+			return &s.Ops[i], true
+		}
+	}
+	return nil, false
+}
+
+// field reports whether entity e has the named field.
+func (e *Entity) field(name string) bool {
+	for _, f := range e.Fields {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// maxArg returns the highest VArg index the op references, or -1.
+func (o *Op) maxArg() int {
+	max := -1
+	see := func(v Val) {
+		if v.Kind == VArg && v.Arg > max {
+			max = v.Arg
+		}
+	}
+	if o.Kind == OpTransfer {
+		max = 0 // the transfer amount is args[0]
+	}
+	if o.Guard != nil {
+		if o.Guard.Add != nil {
+			see(*o.Guard.Add)
+		}
+		see(o.Guard.Rhs)
+	}
+	for _, a := range o.Writes {
+		see(a.Val)
+	}
+	return max
+}
+
+// validName reports whether s is a safe identifier for the text form: ASCII
+// letters, digits, '_' and '-', non-empty, not starting with a digit or '-'.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9', r == '-':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// protections/mutations known to the compiler.
+var allProtections = []Protection{ProtDBT, ProtMem, ProtSetNX, ProtDB, ProtOCC}
+var allMutations = []Mutation{MutUnlockedRead, MutReadBeforeLock, MutTTLLease, MutOmittedCheck, MutValidationWindow}
+
+func knownProtection(p Protection) bool {
+	for _, k := range allProtections {
+		if k == p {
+			return true
+		}
+	}
+	return false
+}
+
+func knownMutation(m Mutation) bool {
+	for _, k := range allMutations {
+		if k == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Compatible reports whether a mutation applies to a protection.
+// MutOmittedCheck is protection-independent (it removes the protection) and
+// expands to a single variant per spec, so it is compatible with none here.
+func Compatible(p Protection, m Mutation) bool {
+	switch m {
+	case MutUnlockedRead:
+		return p == ProtDBT
+	case MutReadBeforeLock:
+		return p == ProtMem || p == ProtSetNX || p == ProtDB
+	case MutTTLLease:
+		return p == ProtSetNX
+	case MutValidationWindow:
+		return p == ProtOCC
+	}
+	return false
+}
+
+// rowRefOK checks a RowRef against the spec.
+func (s *Spec) rowRefOK(r RowRef) error {
+	e, ok := s.entity(r.Entity)
+	if !ok {
+		return fmt.Errorf("unknown entity %q", r.Entity)
+	}
+	if r.Index < 0 || r.Index >= len(e.Rows) {
+		return fmt.Errorf("entity %q has %d rows, index %d out of range", r.Entity, len(e.Rows), r.Index)
+	}
+	return nil
+}
+
+// valOK checks a Val's column reference against entity e (nil e forbids VCol).
+func valOK(e *Entity, v Val) error {
+	if v.Kind != VCol {
+		return nil
+	}
+	if e == nil {
+		return fmt.Errorf("column operand %q not allowed here", v.Col)
+	}
+	if !e.field(v.Col) {
+		return fmt.Errorf("entity %q has no field %q", e.Name, v.Col)
+	}
+	return nil
+}
+
+// Validate checks the spec is compilable: names well-formed and unique,
+// references resolvable, arguments sufficient, and the protection/mutation
+// sets known with at least one expanded variant.
+func (s *Spec) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %q: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	if !validName(s.Name) {
+		return fmt.Errorf("scenario: bad name %q", s.Name)
+	}
+	if s.Budget < 0 || s.PCTLen < 0 {
+		return fail("negative budget or pctlen")
+	}
+	if len(s.Entities) == 0 {
+		return fail("no entities")
+	}
+	seenE := map[string]bool{}
+	for _, e := range s.Entities {
+		if !validName(e.Name) {
+			return fail("bad entity name %q", e.Name)
+		}
+		if seenE[e.Name] {
+			return fail("duplicate entity %q", e.Name)
+		}
+		seenE[e.Name] = true
+		if len(e.Fields) == 0 {
+			return fail("entity %q has no fields", e.Name)
+		}
+		seenF := map[string]bool{}
+		for _, f := range e.Fields {
+			if !validName(f) || f == "id" {
+				return fail("entity %q: bad field name %q", e.Name, f)
+			}
+			if seenF[f] {
+				return fail("entity %q: duplicate field %q", e.Name, f)
+			}
+			seenF[f] = true
+		}
+		for i, r := range e.Rows {
+			if len(r) != len(e.Fields) {
+				return fail("entity %q row %d has %d values for %d fields", e.Name, i, len(r), len(e.Fields))
+			}
+		}
+	}
+	if len(s.Ops) == 0 {
+		return fail("no ops")
+	}
+	seenO := map[string]bool{}
+	for i := range s.Ops {
+		o := &s.Ops[i]
+		if !validName(o.Name) {
+			return fail("bad op name %q", o.Name)
+		}
+		if seenO[o.Name] {
+			return fail("duplicate op %q", o.Name)
+		}
+		seenO[o.Name] = true
+		if err := s.rowRefOK(o.Target); err != nil {
+			return fail("op %q: %v", o.Name, err)
+		}
+		target, _ := s.entity(o.Target.Entity)
+		if o.Guard != nil {
+			g := o.Guard
+			if !target.field(g.Col) {
+				return fail("op %q: guard column %q not in %q", o.Name, g.Col, target.Name)
+			}
+			if g.Cmp != LE && g.Cmp != GE && g.Cmp != EQ {
+				return fail("op %q: bad guard comparison %q", o.Name, g.Cmp)
+			}
+			if g.Add != nil {
+				if err := valOK(target, *g.Add); err != nil {
+					return fail("op %q: guard addend: %v", o.Name, err)
+				}
+			}
+			if err := valOK(target, g.Rhs); err != nil {
+				return fail("op %q: guard rhs: %v", o.Name, err)
+			}
+		}
+		switch o.Kind {
+		case OpWrite:
+			if len(o.Writes) == 0 {
+				return fail("op %q: write op with no assignments", o.Name)
+			}
+			for _, a := range o.Writes {
+				if !target.field(a.Col) {
+					return fail("op %q: assignment column %q not in %q", o.Name, a.Col, target.Name)
+				}
+				if err := valOK(target, a.Val); err != nil {
+					return fail("op %q: assignment: %v", o.Name, err)
+				}
+			}
+		case OpTransfer:
+			if err := s.rowRefOK(o.To); err != nil {
+				return fail("op %q: %v", o.Name, err)
+			}
+			if o.To.Entity != o.Target.Entity {
+				return fail("op %q: transfer crosses entities", o.Name)
+			}
+			if !target.field(o.Col) {
+				return fail("op %q: transfer column %q not in %q", o.Name, o.Col, target.Name)
+			}
+		case OpDelete, OpInsertRef:
+			if o.Kind == OpInsertRef && o.Child == "" {
+				return fail("op %q: insert-ref needs a child entity", o.Name)
+			}
+			if o.Child != "" {
+				child, ok := s.entity(o.Child)
+				if !ok {
+					return fail("op %q: unknown child entity %q", o.Name, o.Child)
+				}
+				if !child.field(o.RefCol) {
+					return fail("op %q: child %q has no field %q", o.Name, o.Child, o.RefCol)
+				}
+			}
+		default:
+			return fail("op %q: unknown kind %d", o.Name, o.Kind)
+		}
+	}
+	if len(s.Calls) == 0 {
+		return fail("no calls")
+	}
+	for i, c := range s.Calls {
+		o, ok := s.op(c.Op)
+		if !ok {
+			return fail("call %d: unknown op %q", i, c.Op)
+		}
+		if need := o.maxArg() + 1; len(c.Args) < need {
+			return fail("call %d: op %q needs %d args, got %d", i, c.Op, need, len(c.Args))
+		}
+	}
+	if len(s.Invariants) == 0 {
+		return fail("no invariants")
+	}
+	for i, inv := range s.Invariants {
+		switch inv.Kind {
+		case InvConserve, InvBound, InvApplied:
+			e, ok := s.entity(inv.Entity)
+			if !ok {
+				return fail("invariant %d: unknown entity %q", i, inv.Entity)
+			}
+			if !e.field(inv.Col) {
+				return fail("invariant %d: entity %q has no field %q", i, inv.Entity, inv.Col)
+			}
+			if inv.Kind == InvBound {
+				if inv.Cmp != LE && inv.Cmp != GE && inv.Cmp != EQ {
+					return fail("invariant %d: bad comparison %q", i, inv.Cmp)
+				}
+				if inv.Rhs.Kind == VArg {
+					return fail("invariant %d: bound rhs cannot be an argument", i)
+				}
+				if err := valOK(e, inv.Rhs); err != nil {
+					return fail("invariant %d: %v", i, err)
+				}
+			}
+			if inv.Kind == InvApplied {
+				if err := s.rowRefOK(RowRef{Entity: inv.Entity, Index: inv.Row}); err != nil {
+					return fail("invariant %d: %v", i, err)
+				}
+				// The applied sum is computed from call arguments alone, so
+				// every op that can move the audited column must do so by a
+				// statically evaluable increment.
+				for _, o := range s.Ops {
+					hits := o.Kind == OpWrite && o.Target.Entity == inv.Entity && o.Target.Index == inv.Row
+					if hits {
+						for _, a := range o.Writes {
+							if a.Col != inv.Col {
+								continue
+							}
+							if !a.Inc {
+								return fail("invariant %d: op %q sets %q (applied needs increments)", i, o.Name, inv.Col)
+							}
+							if a.Val.Kind == VCol {
+								return fail("invariant %d: op %q increments %q by a column value", i, o.Name, inv.Col)
+							}
+						}
+					}
+					if o.Kind == OpTransfer && o.Col == inv.Col && o.Target.Entity == inv.Entity {
+						return fail("invariant %d: transfer op %q moves audited column %q", i, o.Name, inv.Col)
+					}
+					if o.Kind == OpDelete && o.Target.Entity == inv.Entity {
+						return fail("invariant %d: delete op %q can remove the audited row", i, o.Name)
+					}
+				}
+			}
+		case InvRefInt:
+			if _, ok := s.entity(inv.Entity); !ok {
+				return fail("invariant %d: unknown entity %q", i, inv.Entity)
+			}
+			child, ok := s.entity(inv.Child)
+			if !ok {
+				return fail("invariant %d: unknown child entity %q", i, inv.Child)
+			}
+			if !child.field(inv.RefCol) {
+				return fail("invariant %d: child %q has no field %q", i, inv.Child, inv.RefCol)
+			}
+		default:
+			return fail("invariant %d: unknown kind %q", i, inv.Kind)
+		}
+	}
+	if len(s.Protections) == 0 {
+		return fail("no protections")
+	}
+	seenP := map[Protection]bool{}
+	for _, p := range s.Protections {
+		if !knownProtection(p) {
+			return fail("unknown protection %q", p)
+		}
+		if seenP[p] {
+			return fail("duplicate protection %q", p)
+		}
+		seenP[p] = true
+		if p == ProtOCC {
+			// OCC compiles single-row write ops only.
+			for _, o := range s.Ops {
+				if o.Kind != OpWrite {
+					return fail("protection occ cannot compile op %q (kind %d)", o.Name, o.Kind)
+				}
+			}
+		}
+	}
+	seenM := map[Mutation]bool{}
+	for _, m := range s.Mutations {
+		if !knownMutation(m) {
+			return fail("unknown mutation %q", m)
+		}
+		if seenM[m] {
+			return fail("duplicate mutation %q", m)
+		}
+		seenM[m] = true
+		if m == MutOmittedCheck {
+			continue
+		}
+		any := false
+		for _, p := range s.Protections {
+			if Compatible(p, m) {
+				any = true
+			}
+		}
+		if !any {
+			return fail("mutation %q applies to none of the spec's protections", m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,518 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Text form of a spec: line-oriented, whitespace-tokenized, one declaration
+// per line. Lines whose first token is '#' are comments. The grammar
+// (DESIGN.md §8):
+//
+//	scenario <name>
+//	doc <free text to end of line>
+//	budget <int>
+//	pctlen <int>
+//	entity <name>
+//	field <name>...                      # columns of the current entity
+//	row <field>=<int>...                 # one seed row (missing fields = 0)
+//	op <name> write <entity>[<i>]
+//	op <name> transfer <entity>[<i>] -> <entity>[<j>] col <col>
+//	op <name> delete <entity>[<i>] [cascade <child>.<refcol>]
+//	op <name> insert <child>.<refcol> under <entity>[<i>]
+//	guard <col> [+ <val>] <cmp> <val>    # binds to the current op
+//	set <col> (= | += | -=) <val>        # binds to the current op
+//	call <op> [<int>...]
+//	invariant conserve <entity> <col>
+//	invariant bound <entity> <col> <cmp> <val>
+//	invariant refint <child>.<refcol> -> <entity>
+//	invariant applied <entity>[<i>] <col>
+//	protect <protection>...
+//	mutate <mutation>...
+//
+// Values: an integer literal, `arg` (call argument 0), `argN` (argument
+// N-1), or `@col` (a column read in the section). Comparisons: <= >= ==.
+//
+// Parse(Print(s)) reproduces s exactly for any parsed s — the fuzzed
+// round-trip property.
+
+// Parse reads the text form. It checks syntax only; call Validate for
+// semantic checks.
+func Parse(src string) (*Spec, error) {
+	s := &Spec{}
+	var curEntity *Entity
+	var curOp *Op
+	seenScenario := false
+	for ln, line := range strings.Split(src, "\n") {
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		key, rest, _ := strings.Cut(trimmed, " ")
+		rest = strings.TrimSpace(rest)
+		f := strings.Fields(rest)
+		switch key {
+		case "scenario":
+			if seenScenario {
+				return nil, errf("duplicate scenario line")
+			}
+			if len(f) != 1 {
+				return nil, errf("want: scenario <name>")
+			}
+			seenScenario = true
+			s.Name = f[0]
+		case "doc":
+			s.Doc = rest
+		case "budget", "pctlen":
+			if len(f) != 1 {
+				return nil, errf("want: %s <int>", key)
+			}
+			n, err := strconv.Atoi(f[0])
+			if err != nil {
+				return nil, errf("bad %s %q", key, f[0])
+			}
+			if key == "budget" {
+				s.Budget = n
+			} else {
+				s.PCTLen = n
+			}
+		case "entity":
+			if len(f) != 1 {
+				return nil, errf("want: entity <name>")
+			}
+			s.Entities = append(s.Entities, Entity{Name: f[0]})
+			curEntity = &s.Entities[len(s.Entities)-1]
+		case "field":
+			if curEntity == nil {
+				return nil, errf("field before entity")
+			}
+			if len(f) == 0 {
+				return nil, errf("want: field <name>...")
+			}
+			curEntity.Fields = append(curEntity.Fields, f...)
+		case "row":
+			if curEntity == nil {
+				return nil, errf("row before entity")
+			}
+			row := make([]int64, len(curEntity.Fields))
+			for _, kv := range f {
+				col, vs, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, errf("want <field>=<int>, got %q", kv)
+				}
+				i := indexOf(curEntity.Fields, col)
+				if i < 0 {
+					return nil, errf("entity %q has no field %q", curEntity.Name, col)
+				}
+				v, err := strconv.ParseInt(vs, 10, 64)
+				if err != nil {
+					return nil, errf("bad value %q", kv)
+				}
+				row[i] = v
+			}
+			curEntity.Rows = append(curEntity.Rows, row)
+		case "op":
+			op, err := parseOp(f)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			s.Ops = append(s.Ops, op)
+			curOp = &s.Ops[len(s.Ops)-1]
+		case "guard":
+			if curOp == nil {
+				return nil, errf("guard before op")
+			}
+			g, err := parseGuard(f)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			curOp.Guard = g
+		case "set":
+			if curOp == nil {
+				return nil, errf("set before op")
+			}
+			if len(f) != 3 {
+				return nil, errf("want: set <col> (=|+=|-=) <val>")
+			}
+			a := Assign{Col: f[0]}
+			switch f[1] {
+			case "=":
+			case "+=":
+				a.Inc = true
+			case "-=":
+				a.Inc, a.Sub = true, true
+			default:
+				return nil, errf("bad assignment operator %q", f[1])
+			}
+			v, err := parseVal(f[2])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			a.Val = v
+			curOp.Writes = append(curOp.Writes, a)
+		case "call":
+			if len(f) == 0 {
+				return nil, errf("want: call <op> [<int>...]")
+			}
+			c := Call{Op: f[0]}
+			for _, a := range f[1:] {
+				v, err := strconv.ParseInt(a, 10, 64)
+				if err != nil {
+					return nil, errf("bad argument %q", a)
+				}
+				c.Args = append(c.Args, v)
+			}
+			s.Calls = append(s.Calls, c)
+		case "invariant":
+			inv, err := parseInvariant(f)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			s.Invariants = append(s.Invariants, inv)
+		case "protect":
+			for _, p := range f {
+				s.Protections = append(s.Protections, Protection(p))
+			}
+		case "mutate":
+			for _, m := range f {
+				s.Mutations = append(s.Mutations, Mutation(m))
+			}
+		default:
+			return nil, errf("unknown keyword %q", key)
+		}
+	}
+	if !seenScenario {
+		return nil, fmt.Errorf("missing scenario line")
+	}
+	return s, nil
+}
+
+// parseRowRef reads "<entity>[<i>]".
+func parseRowRef(tok string) (RowRef, error) {
+	ent, rest, ok := strings.Cut(tok, "[")
+	if !ok || !strings.HasSuffix(rest, "]") || ent == "" {
+		return RowRef{}, fmt.Errorf("want <entity>[<row>], got %q", tok)
+	}
+	i, err := strconv.Atoi(strings.TrimSuffix(rest, "]"))
+	if err != nil {
+		return RowRef{}, fmt.Errorf("bad row index in %q", tok)
+	}
+	return RowRef{Entity: ent, Index: i}, nil
+}
+
+// parseChildRef reads "<child>.<refcol>".
+func parseChildRef(tok string) (string, string, error) {
+	child, ref, ok := strings.Cut(tok, ".")
+	if !ok || child == "" || ref == "" {
+		return "", "", fmt.Errorf("want <child>.<refcol>, got %q", tok)
+	}
+	return child, ref, nil
+}
+
+func parseOp(f []string) (Op, error) {
+	if len(f) < 3 {
+		return Op{}, fmt.Errorf("want: op <name> <kind> ...")
+	}
+	op := Op{Name: f[0]}
+	var err error
+	switch f[1] {
+	case "write":
+		if len(f) != 3 {
+			return Op{}, fmt.Errorf("want: op <name> write <entity>[<i>]")
+		}
+		op.Kind = OpWrite
+		op.Target, err = parseRowRef(f[2])
+	case "transfer":
+		if len(f) != 7 || f[3] != "->" || f[5] != "col" {
+			return Op{}, fmt.Errorf("want: op <name> transfer <e>[<i>] -> <e>[<j>] col <col>")
+		}
+		return parseTransfer(f)
+	case "delete":
+		if len(f) != 3 && (len(f) != 5 || f[3] != "cascade") {
+			return Op{}, fmt.Errorf("want: op <name> delete <entity>[<i>] [cascade <child>.<refcol>]")
+		}
+		op.Kind = OpDelete
+		op.Target, err = parseRowRef(f[2])
+		if err == nil && len(f) == 5 {
+			op.Child, op.RefCol, err = parseChildRef(f[4])
+		}
+	case "insert":
+		if len(f) != 5 || f[3] != "under" {
+			return Op{}, fmt.Errorf("want: op <name> insert <child>.<refcol> under <entity>[<i>]")
+		}
+		op.Kind = OpInsertRef
+		op.Child, op.RefCol, err = parseChildRef(f[2])
+		if err == nil {
+			op.Target, err = parseRowRef(f[4])
+		}
+	default:
+		return Op{}, fmt.Errorf("unknown op kind %q", f[1])
+	}
+	return op, err
+}
+
+// parseTransfer reads: <name> transfer <e>[<i>] -> <e>[<j>] col <col>
+func parseTransfer(f []string) (Op, error) {
+	op := Op{Name: f[0], Kind: OpTransfer}
+	var err error
+	if op.Target, err = parseRowRef(f[2]); err != nil {
+		return Op{}, err
+	}
+	if op.To, err = parseRowRef(f[4]); err != nil {
+		return Op{}, err
+	}
+	op.Col = f[6]
+	return op, nil
+}
+
+func parseGuard(f []string) (*Guard, error) {
+	// <col> <cmp> <val>  |  <col> + <val> <cmp> <val>
+	g := &Guard{}
+	switch len(f) {
+	case 3:
+		g.Col = f[0]
+		g.Cmp = Cmp(f[1])
+		v, err := parseVal(f[2])
+		if err != nil {
+			return nil, err
+		}
+		g.Rhs = v
+	case 5:
+		if f[1] != "+" {
+			return nil, fmt.Errorf("want: guard <col> + <val> <cmp> <val>")
+		}
+		g.Col = f[0]
+		add, err := parseVal(f[2])
+		if err != nil {
+			return nil, err
+		}
+		g.Add = &add
+		g.Cmp = Cmp(f[3])
+		v, err := parseVal(f[4])
+		if err != nil {
+			return nil, err
+		}
+		g.Rhs = v
+	default:
+		return nil, fmt.Errorf("want: guard <col> [+ <val>] <cmp> <val>")
+	}
+	switch g.Cmp {
+	case LE, GE, EQ:
+	default:
+		return nil, fmt.Errorf("bad comparison %q", g.Cmp)
+	}
+	return g, nil
+}
+
+func parseInvariant(f []string) (Invariant, error) {
+	if len(f) == 0 {
+		return Invariant{}, fmt.Errorf("want: invariant <kind> ...")
+	}
+	inv := Invariant{Kind: InvKind(f[0])}
+	var err error
+	switch inv.Kind {
+	case InvConserve:
+		if len(f) != 3 {
+			return Invariant{}, fmt.Errorf("want: invariant conserve <entity> <col>")
+		}
+		inv.Entity, inv.Col = f[1], f[2]
+	case InvBound:
+		if len(f) != 5 {
+			return Invariant{}, fmt.Errorf("want: invariant bound <entity> <col> <cmp> <val>")
+		}
+		inv.Entity, inv.Col = f[1], f[2]
+		inv.Cmp = Cmp(f[3])
+		switch inv.Cmp {
+		case LE, GE, EQ:
+		default:
+			return Invariant{}, fmt.Errorf("bad comparison %q", inv.Cmp)
+		}
+		if inv.Rhs, err = parseVal(f[4]); err != nil {
+			return Invariant{}, err
+		}
+	case InvRefInt:
+		if len(f) != 4 || f[2] != "->" {
+			return Invariant{}, fmt.Errorf("want: invariant refint <child>.<refcol> -> <entity>")
+		}
+		if inv.Child, inv.RefCol, err = parseChildRef(f[1]); err != nil {
+			return Invariant{}, err
+		}
+		inv.Entity = f[3]
+	case InvApplied:
+		if len(f) != 3 {
+			return Invariant{}, fmt.Errorf("want: invariant applied <entity>[<i>] <col>")
+		}
+		ref, err := parseRowRef(f[1])
+		if err != nil {
+			return Invariant{}, err
+		}
+		inv.Entity, inv.Row, inv.Col = ref.Entity, ref.Index, f[2]
+	default:
+		return Invariant{}, fmt.Errorf("unknown invariant kind %q", f[0])
+	}
+	return inv, nil
+}
+
+// parseVal reads an operand token: integer literal, argN, or @col.
+func parseVal(tok string) (Val, error) {
+	if strings.HasPrefix(tok, "@") {
+		if len(tok) == 1 {
+			return Val{}, fmt.Errorf("empty column operand %q", tok)
+		}
+		return Col(tok[1:]), nil
+	}
+	if strings.HasPrefix(tok, "arg") {
+		rest := tok[3:]
+		if rest == "" {
+			return Arg(0), nil
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 {
+			return Val{}, fmt.Errorf("bad argument operand %q", tok)
+		}
+		return Arg(n - 1), nil
+	}
+	n, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return Val{}, fmt.Errorf("bad value %q", tok)
+	}
+	return Int64(n), nil
+}
+
+// ---- printing ----
+
+// Print renders the spec in canonical text form: Parse(Print(s)) == s for
+// any parsed s.
+func Print(s *Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s\n", s.Name)
+	if s.Doc != "" {
+		fmt.Fprintf(&b, "doc %s\n", s.Doc)
+	}
+	if s.Budget != 0 {
+		fmt.Fprintf(&b, "budget %d\n", s.Budget)
+	}
+	if s.PCTLen != 0 {
+		fmt.Fprintf(&b, "pctlen %d\n", s.PCTLen)
+	}
+	for _, e := range s.Entities {
+		fmt.Fprintf(&b, "\nentity %s\n", e.Name)
+		if len(e.Fields) > 0 {
+			fmt.Fprintf(&b, "field %s\n", strings.Join(e.Fields, " "))
+		}
+		for _, row := range e.Rows {
+			parts := make([]string, len(e.Fields))
+			for i, f := range e.Fields {
+				var v int64
+				if i < len(row) {
+					v = row[i]
+				}
+				parts[i] = fmt.Sprintf("%s=%d", f, v)
+			}
+			fmt.Fprintf(&b, "row %s\n", strings.Join(parts, " "))
+		}
+	}
+	for _, op := range s.Ops {
+		b.WriteString("\n")
+		printOp(&b, &op)
+	}
+	if len(s.Calls) > 0 {
+		b.WriteString("\n")
+	}
+	for _, c := range s.Calls {
+		fmt.Fprintf(&b, "call %s", c.Op)
+		for _, a := range c.Args {
+			fmt.Fprintf(&b, " %d", a)
+		}
+		b.WriteString("\n")
+	}
+	if len(s.Invariants) > 0 {
+		b.WriteString("\n")
+	}
+	for _, inv := range s.Invariants {
+		printInvariant(&b, inv)
+	}
+	if len(s.Protections) > 0 {
+		parts := make([]string, len(s.Protections))
+		for i, p := range s.Protections {
+			parts[i] = string(p)
+		}
+		fmt.Fprintf(&b, "\nprotect %s\n", strings.Join(parts, " "))
+	}
+	if len(s.Mutations) > 0 {
+		parts := make([]string, len(s.Mutations))
+		for i, m := range s.Mutations {
+			parts[i] = string(m)
+		}
+		fmt.Fprintf(&b, "mutate %s\n", strings.Join(parts, " "))
+	}
+	return b.String()
+}
+
+func rowRefStr(r RowRef) string { return fmt.Sprintf("%s[%d]", r.Entity, r.Index) }
+
+func printOp(b *strings.Builder, op *Op) {
+	switch op.Kind {
+	case OpWrite:
+		fmt.Fprintf(b, "op %s write %s\n", op.Name, rowRefStr(op.Target))
+	case OpTransfer:
+		fmt.Fprintf(b, "op %s transfer %s -> %s col %s\n", op.Name, rowRefStr(op.Target), rowRefStr(op.To), op.Col)
+	case OpDelete:
+		if op.Child != "" {
+			fmt.Fprintf(b, "op %s delete %s cascade %s.%s\n", op.Name, rowRefStr(op.Target), op.Child, op.RefCol)
+		} else {
+			fmt.Fprintf(b, "op %s delete %s\n", op.Name, rowRefStr(op.Target))
+		}
+	case OpInsertRef:
+		fmt.Fprintf(b, "op %s insert %s.%s under %s\n", op.Name, op.Child, op.RefCol, rowRefStr(op.Target))
+	}
+	if op.Guard != nil {
+		g := op.Guard
+		if g.Add != nil {
+			fmt.Fprintf(b, "guard %s + %s %s %s\n", g.Col, valStr(*g.Add), g.Cmp, valStr(g.Rhs))
+		} else {
+			fmt.Fprintf(b, "guard %s %s %s\n", g.Col, g.Cmp, valStr(g.Rhs))
+		}
+	}
+	for _, a := range op.Writes {
+		switch {
+		case a.Inc && a.Sub:
+			fmt.Fprintf(b, "set %s -= %s\n", a.Col, valStr(a.Val))
+		case a.Inc:
+			fmt.Fprintf(b, "set %s += %s\n", a.Col, valStr(a.Val))
+		default:
+			fmt.Fprintf(b, "set %s = %s\n", a.Col, valStr(a.Val))
+		}
+	}
+}
+
+func printInvariant(b *strings.Builder, inv Invariant) {
+	switch inv.Kind {
+	case InvConserve:
+		fmt.Fprintf(b, "invariant conserve %s %s\n", inv.Entity, inv.Col)
+	case InvBound:
+		fmt.Fprintf(b, "invariant bound %s %s %s %s\n", inv.Entity, inv.Col, inv.Cmp, valStr(inv.Rhs))
+	case InvRefInt:
+		fmt.Fprintf(b, "invariant refint %s.%s -> %s\n", inv.Child, inv.RefCol, inv.Entity)
+	case InvApplied:
+		fmt.Fprintf(b, "invariant applied %s[%d] %s\n", inv.Entity, inv.Row, inv.Col)
+	}
+}
+
+func valStr(v Val) string {
+	switch v.Kind {
+	case VArg:
+		if v.Arg == 0 {
+			return "arg"
+		}
+		return fmt.Sprintf("arg%d", v.Arg+1)
+	case VCol:
+		return "@" + v.Col
+	default:
+		return strconv.FormatInt(v.Int, 10)
+	}
+}

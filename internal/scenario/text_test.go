@@ -1,0 +1,238 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestPrintParseRoundTrip: every builtin survives Print -> Parse unchanged,
+// and the reparsed spec still validates and expands to the same variants.
+func TestPrintParseRoundTrip(t *testing.T) {
+	for _, s := range Builtins() {
+		t.Run(s.Name, func(t *testing.T) {
+			text := Print(s)
+			got, err := Parse(text)
+			if err != nil {
+				t.Fatalf("Parse(Print(s)): %v\n%s", err, text)
+			}
+			if !reflect.DeepEqual(got, s) {
+				t.Fatalf("round-trip changed the spec\nprinted:\n%s\ngot: %#v\nwant: %#v", text, got, s)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("reparsed spec no longer validates: %v", err)
+			}
+			want, err := Expand(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			have, err := Expand(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(have) != len(want) {
+				t.Fatalf("reparsed spec expands to %d variants, want %d", len(have), len(want))
+			}
+			for i := range want {
+				if have[i].Name != want[i].Name || have[i].Buggy != want[i].Buggy {
+					t.Errorf("variant %d: %s/%v vs %s/%v", i, have[i].Name, have[i].Buggy, want[i].Name, want[i].Buggy)
+				}
+			}
+		})
+	}
+}
+
+// TestParseSmall covers each op / invariant / value form once, from text.
+func TestParseSmall(t *testing.T) {
+	src := `
+# a kitchen-sink spec exercising every grammar form
+scenario kitchen-sink
+doc covers every op kind, value token, and invariant # not a comment
+budget 500
+pctlen 48
+
+entity wallets
+field pts cap
+row pts=50 cap=100
+row pts=50 cap=100
+
+entity posts
+field ref
+row ref=1
+
+op pay write wallets[0]
+guard pts + arg >= 0
+set pts -= arg
+set cap = @pts
+
+op move transfer wallets[0] -> wallets[1] col pts
+guard pts >= arg2
+
+op purge delete wallets[1] cascade posts.ref
+
+op drop delete wallets[1]
+
+op link insert posts.ref under wallets[0]
+
+call pay 3
+call move 1 2
+
+invariant conserve wallets pts
+invariant bound wallets pts <= @cap
+invariant refint posts.ref -> wallets
+invariant applied wallets[0] pts
+
+protect dbt mem
+mutate unlocked-read
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "kitchen-sink" || s.Budget != 500 || s.PCTLen != 48 {
+		t.Fatalf("header fields wrong: %+v", s)
+	}
+	if !strings.Contains(s.Doc, "# not a comment") {
+		t.Errorf("doc lost its literal #: %q", s.Doc)
+	}
+	if len(s.Entities) != 2 || len(s.Entities[0].Rows) != 2 {
+		t.Fatalf("entities wrong: %+v", s.Entities)
+	}
+	if len(s.Ops) != 5 {
+		t.Fatalf("parsed %d ops, want 5", len(s.Ops))
+	}
+	pay := s.Ops[0]
+	if pay.Kind != OpWrite || pay.Guard == nil || pay.Guard.Add == nil ||
+		pay.Guard.Add.Kind != VArg || pay.Guard.Cmp != GE {
+		t.Errorf("pay op parsed wrong: %+v guard %+v", pay, pay.Guard)
+	}
+	if len(pay.Writes) != 2 || !pay.Writes[0].Sub || pay.Writes[1].Val.Kind != VCol {
+		t.Errorf("pay writes parsed wrong: %+v", pay.Writes)
+	}
+	mv := s.Ops[1]
+	if mv.Kind != OpTransfer || mv.To != (RowRef{"wallets", 1}) || mv.Col != "pts" ||
+		mv.Guard.Rhs != Arg(1) {
+		t.Errorf("move op parsed wrong: %+v", mv)
+	}
+	if s.Ops[2].Child != "posts" || s.Ops[2].RefCol != "ref" {
+		t.Errorf("cascade parsed wrong: %+v", s.Ops[2])
+	}
+	if s.Ops[3].Child != "" {
+		t.Errorf("plain delete grew a cascade: %+v", s.Ops[3])
+	}
+	if s.Ops[4].Kind != OpInsertRef || s.Ops[4].Target != (RowRef{"wallets", 0}) {
+		t.Errorf("insert parsed wrong: %+v", s.Ops[4])
+	}
+	if len(s.Calls) != 2 || s.Calls[1].Args[1] != 2 {
+		t.Errorf("calls parsed wrong: %+v", s.Calls)
+	}
+	kinds := []InvKind{InvConserve, InvBound, InvRefInt, InvApplied}
+	for i, k := range kinds {
+		if s.Invariants[i].Kind != k {
+			t.Errorf("invariant %d kind = %q, want %q", i, s.Invariants[i].Kind, k)
+		}
+	}
+	// And it must round-trip like any other spec.
+	again, err := Parse(Print(s))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !reflect.DeepEqual(again, s) {
+		t.Fatalf("kitchen-sink did not round-trip:\n%s", Print(s))
+	}
+}
+
+// TestParseErrors pins syntax diagnostics: each input must fail, mentioning
+// its line number.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no scenario", "entity a\nfield x\n"},
+		{"dup scenario", "scenario a\nscenario b\n"},
+		{"scenario arity", "scenario a b\n"},
+		{"bad budget", "scenario a\nbudget ten\n"},
+		{"field before entity", "scenario a\nfield x\n"},
+		{"row before entity", "scenario a\nrow x=1\n"},
+		{"row unknown field", "scenario a\nentity e\nfield x\nrow y=1\n"},
+		{"row bad int", "scenario a\nentity e\nfield x\nrow x=one\n"},
+		{"row missing eq", "scenario a\nentity e\nfield x\nrow x\n"},
+		{"op bad kind", "scenario a\nop f frob e[0]\n"},
+		{"op bad rowref", "scenario a\nop f write e0\n"},
+		{"op bad index", "scenario a\nop f write e[x]\n"},
+		{"transfer arity", "scenario a\nop f transfer e[0] e[1] col c\n"},
+		{"delete arity", "scenario a\nop f delete e[0] cascade\n"},
+		{"insert childref", "scenario a\nop f insert posts under e[0]\n"},
+		{"guard before op", "scenario a\nguard x <= 1\n"},
+		{"guard bad cmp", "scenario a\nop f write e[0]\nguard x < 1\n"},
+		{"guard arity", "scenario a\nop f write e[0]\nguard x <=\n"},
+		{"set before op", "scenario a\nset x = 1\n"},
+		{"set bad operator", "scenario a\nop f write e[0]\nset x *= 2\n"},
+		{"set bad val", "scenario a\nop f write e[0]\nset x = @\n"},
+		{"set arg zero", "scenario a\nop f write e[0]\nset x = arg0\n"},
+		{"call no op", "scenario a\ncall\n"},
+		{"call bad arg", "scenario a\ncall f one\n"},
+		{"invariant bad kind", "scenario a\ninvariant frob e x\n"},
+		{"invariant bound cmp", "scenario a\ninvariant bound e x < 1\n"},
+		{"invariant refint arrow", "scenario a\ninvariant refint posts.ref e\n"},
+		{"invariant applied rowref", "scenario a\ninvariant applied e x\n"},
+		{"unknown keyword", "scenario a\nfrobnicate x\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse accepted %q", tc.src)
+			}
+			if tc.src != "" && !strings.Contains(err.Error(), "line ") &&
+				!strings.Contains(err.Error(), "missing scenario") {
+				t.Errorf("error lacks a line number: %v", err)
+			}
+		})
+	}
+}
+
+// TestParseLenient pins deliberate leniencies the canonical printer relies
+// on: arg1 is an alias for arg, repeated protect/mutate lines accumulate,
+// and a second doc/guard wins.
+func TestParseLenient(t *testing.T) {
+	src := "scenario a\n" +
+		"doc first\n" +
+		"doc second\n" +
+		"entity e\nfield x\nrow x=1\n" +
+		"op f write e[0]\n" +
+		"guard x <= 5\n" +
+		"guard x >= arg1\n" +
+		"set x += arg\n" +
+		"call f 1\n" +
+		"invariant conserve e x\n" +
+		"protect dbt\nprotect mem\n" +
+		"mutate unlocked-read\n"
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Doc != "second" {
+		t.Errorf("doc = %q, want the last doc line", s.Doc)
+	}
+	if g := s.Ops[0].Guard; g.Cmp != GE || g.Rhs != Arg(0) {
+		t.Errorf("guard = %+v, want the last guard line with arg1 == arg", g)
+	}
+	if len(s.Protections) != 2 {
+		t.Errorf("protections = %v, want dbt+mem accumulated", s.Protections)
+	}
+	if !reflect.DeepEqual(mustParse(t, Print(s)), s) {
+		t.Errorf("lenient spec did not round-trip")
+	}
+}
+
+func mustParse(t *testing.T, src string) *Spec {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"adhoctx/internal/client"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/storage"
+	"adhoctx/internal/wire"
+)
+
+// TestPartitionGateAgreesWithFixture holds the server-side ownership gate
+// (session.partitionOK) to the same pinned table the wire hash and the proxy
+// router are tested against: for every fixture case, a node configured as
+// the case's owning partition must accept the key, and a node configured as
+// any other partition must reject it with CodeWrongPartition. A drift
+// between the gate and the router would mis-place rows silently; the shared
+// fixture makes it a test failure instead.
+func TestPartitionGateAgreesWithFixture(t *testing.T) {
+	// One serving node per (parts, index) combination the fixture needs.
+	type key struct {
+		parts uint32
+		index uint32
+	}
+	nodes := map[key]*client.Client{}
+	nodeFor := func(parts, index uint32) *client.Client {
+		k := key{parts, index}
+		if c, ok := nodes[k]; ok {
+			return c
+		}
+		eng := engine.New(engine.Config{Dialect: engine.MySQL, LockTimeout: 2 * time.Second})
+		eng.CreateTable(storage.NewSchema("accounts",
+			storage.Column{Name: "bal", Type: storage.TInt},
+		))
+		srv := New(eng, nil, Config{PartitionIndex: index, PartitionCount: parts})
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		c := client.New(client.Config{Addr: srv.Addr().String(), PoolSize: 1, DialTimeout: time.Second})
+		t.Cleanup(func() { _ = c.Close() })
+		nodes[k] = c
+		return c
+	}
+
+	put := func(c *client.Client, pk int64) error {
+		return c.RunTxn(engine.IsolationDefault, func(txn *client.Txn) error {
+			_, err := txn.Insert("accounts", map[string]storage.Value{
+				storage.PKColumn: pk, "bal": int64(1),
+			})
+			return err
+		})
+	}
+
+	for _, c := range wire.PartitionFixture() {
+		if c.Parts == 0 {
+			continue // PartitionCount 0 disables the gate entirely.
+		}
+		// The owning node accepts the key.
+		if err := put(nodeFor(c.Parts, c.Want), c.PK); err != nil {
+			t.Errorf("pk %d rejected by its own partition %d/%d: %v", c.PK, c.Want, c.Parts, err)
+		}
+		if c.Parts == 1 {
+			continue // No other partition exists to reject from.
+		}
+		// Any other node rejects it, typed.
+		other := (c.Want + 1) % c.Parts
+		err := put(nodeFor(c.Parts, other), c.PK)
+		var we *wire.Error
+		if !errors.As(err, &we) || we.Code != wire.CodeWrongPartition {
+			t.Errorf("pk %d accepted by partition %d/%d (owner %d): err = %v, want CodeWrongPartition",
+				c.PK, other, c.Parts, c.Want, err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package wire
+
+// PartitionFixtureCase is one pinned PartitionOf mapping. The fixture is the
+// routing contract shared by every layer that computes placement — the
+// client-side router, the server-side ownership gate, and the replication
+// tier — so all of their tests check the SAME table instead of each pinning
+// a private copy that could drift.
+type PartitionFixtureCase struct {
+	PK    int64
+	Parts uint32
+	Want  uint32
+}
+
+// PartitionFixture returns the pinned (pk, parts) -> partition table. These
+// literals were computed from the splitmix64 finalizer the day the protocol
+// shipped; a change to any of them is a protocol break, not a refactor —
+// every deployed node, router, and client would disagree about row
+// placement.
+func PartitionFixture() []PartitionFixtureCase {
+	return []PartitionFixtureCase{
+		// parts <= 1 always maps to 0, whatever the key.
+		{PK: 1, Parts: 1, Want: 0},
+		{PK: -7, Parts: 1, Want: 0},
+		{PK: 42, Parts: 0, Want: 0},
+		// The pinned hash values.
+		{PK: 0, Parts: 4, Want: 0},
+		{PK: 1, Parts: 4, Want: 1},
+		{PK: 2, Parts: 4, Want: 2},
+		{PK: 3, Parts: 4, Want: 0},
+		{PK: 42, Parts: 4, Want: 2},
+		{PK: 1 << 40, Parts: 4, Want: 0},
+		{PK: 0, Parts: 3, Want: 0},
+		{PK: 7, Parts: 3, Want: 1},
+		{PK: 100, Parts: 3, Want: 0},
+		{PK: 1, Parts: 16, Want: 5},
+		{PK: 255, Parts: 16, Want: 6},
+		{PK: -1, Parts: 16, Want: 11},
+		{PK: -7, Parts: 8, Want: 3},
+		{PK: 9999, Parts: 8, Want: 1},
+	}
+}

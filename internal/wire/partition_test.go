@@ -1,0 +1,14 @@
+package wire
+
+import "testing"
+
+// TestPartitionOfFixture holds PartitionOf to the shared pinned table. The
+// same fixture is checked against the proxy router and the server-side
+// ownership gate, so the three layers cannot drift apart silently.
+func TestPartitionOfFixture(t *testing.T) {
+	for _, c := range PartitionFixture() {
+		if got := PartitionOf(c.PK, c.Parts); got != c.Want {
+			t.Errorf("PartitionOf(%d, %d) = %d, want %d", c.PK, c.Parts, got, c.Want)
+		}
+	}
+}
