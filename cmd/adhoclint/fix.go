@@ -1,0 +1,230 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"adhoctx/internal/litmus"
+	"adhoctx/internal/repair"
+	"adhoctx/internal/scenario"
+	"adhoctx/internal/sched"
+)
+
+// The fix mode upgrades the linter from detector to fixer: for each buggy
+// target it finds the violating schedule, replays it once by ID, classifies
+// the §4 bug class from the provenance-attributed trace, emits the rewrite,
+// and re-runs the explorer on the repaired program to exhaustion. A target
+// only counts as repaired when the re-proof is complete with zero
+// violations — the same dichotomy the scenario family and litmus suites pin.
+
+// fixTarget is one resolved repair job.
+type fixTarget struct {
+	variant *scenario.Variant // scenario job when non-nil
+	pair    *litmus.Pair      // litmus job when non-nil
+}
+
+// resolveFix maps a -fix argument to repair jobs:
+//
+//	all                  every buggy scenario variant and every litmus pair
+//	smoke                one scenario variant + the smallest litmus pair (CI)
+//	<spec>/<suffix>      one buggy scenario variant
+//	<pair>/buggy         one litmus pair
+//	<name>               every buggy variant of the spec and/or the litmus
+//	                     pair with that name (some names exist as both)
+func resolveFix(arg string) ([]fixTarget, error) {
+	vs, err := scenario.ExpandAll()
+	if err != nil {
+		return nil, err
+	}
+	var jobs []fixTarget
+	addSpec := func(spec string) bool {
+		n := 0
+		for _, v := range vs {
+			if v.Spec.Name == spec && v.Buggy {
+				jobs = append(jobs, fixTarget{variant: v})
+				n++
+			}
+		}
+		return n > 0
+	}
+	switch arg {
+	case "all":
+		for _, v := range vs {
+			if v.Buggy {
+				jobs = append(jobs, fixTarget{variant: v})
+			}
+		}
+		for _, p := range litmus.Pairs() {
+			p := p
+			jobs = append(jobs, fixTarget{pair: &p})
+		}
+		return jobs, nil
+	case "smoke":
+		v, ok := scenario.FindVariant(vs, "saleor-capture/mem+read-before-lock")
+		if !ok {
+			return nil, fmt.Errorf("smoke variant missing from the family")
+		}
+		p, ok := litmus.Find("broadleaf-dblock")
+		if !ok {
+			return nil, fmt.Errorf("smoke litmus pair missing")
+		}
+		return []fixTarget{{variant: v}, {pair: &p}}, nil
+	}
+	if v, ok := scenario.FindVariant(vs, arg); ok {
+		if !v.Buggy {
+			return nil, fmt.Errorf("%s is a fixed variant — nothing to repair", arg)
+		}
+		return []fixTarget{{variant: v}}, nil
+	}
+	if name, suffix, ok := strings.Cut(arg, "/"); ok {
+		if p, found := litmus.Find(name); found && suffix == "buggy" {
+			return []fixTarget{{pair: &p}}, nil
+		}
+		if _, found := litmus.Find(name); found && suffix == "fixed" {
+			return nil, fmt.Errorf("%s is the fixed variant — nothing to repair", arg)
+		}
+		return nil, fmt.Errorf("unknown repair target %q", arg)
+	}
+	found := addSpec(arg)
+	if p, ok := litmus.Find(arg); ok {
+		jobs = append(jobs, fixTarget{pair: &p})
+		found = true
+	}
+	if !found {
+		return nil, fmt.Errorf("unknown repair target %q (scenario variant, spec, litmus pair, 'all', or 'smoke')", arg)
+	}
+	return jobs, nil
+}
+
+// doFix runs the repair pipeline over the resolved targets. Exit codes
+// follow the adhocexplore convention: 0 every target repaired and re-proven,
+// 1 a pipeline step failed (no violation found, replay diverged, repair not
+// clean), 2 the invocation was wrong.
+func doFix(arg string, stdout, stderr io.Writer) int {
+	jobs, err := resolveFix(arg)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	ok := true
+	proved := map[string]bool{}
+	for _, j := range jobs {
+		if j.variant != nil {
+			if !fixVariant(j.variant, proved, stdout, stderr) {
+				ok = false
+			}
+			continue
+		}
+		if !fixPair(*j.pair, stdout, stderr) {
+			ok = false
+		}
+	}
+	if !ok {
+		return 1
+	}
+	fmt.Fprintf(stdout, "repaired %d target(s)\n", len(jobs))
+	return 0
+}
+
+// fixVariant runs find → replay-once → classify/blame → re-prove for one
+// buggy scenario variant. Re-proofs are cached per repaired variant name:
+// several mutations of one spec repair to the same fixed program.
+func fixVariant(v *scenario.Variant, proved map[string]bool, stdout, stderr io.Writer) bool {
+	fmt.Fprintf(stdout, "== fix %s ==\n", v.Name)
+	start := time.Now()
+	rep, err := scenario.ExploreDFS(v)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: explore: %v\n", v.Name, err)
+		return false
+	}
+	if rep.Violation == nil {
+		fmt.Fprintf(stderr, "%s: no violation within the %d-schedule budget\n", v.Name, v.Budget)
+		return false
+	}
+	id := rep.Violation.ScheduleID
+	if rep.Violation.MinScheduleID != "" {
+		id = rep.Violation.MinScheduleID
+	}
+	fmt.Fprintf(stdout, "violation after %d schedules (%v)\n",
+		rep.Schedules, time.Since(start).Round(time.Millisecond))
+
+	// Replay the violating schedule once, with provenance attribution: the
+	// blame both certifies the reproduction and names what the repair
+	// changes.
+	b, err := repair.BlameSchedule(v, id)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", v.Name, err)
+		return false
+	}
+	indent(stdout, b.Format())
+
+	if proved[b.Fix.RepairedName()] {
+		fmt.Fprintf(stdout, "REPAIRED %s -> %s (already proven)\n", v.Name, b.Fix.RepairedName())
+		return true
+	}
+	prep, err := repair.Prove(b.Fix)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", v.Name, err)
+		return false
+	}
+	proved[b.Fix.RepairedName()] = true
+	fmt.Fprintf(stdout, "re-proof: %d schedules clean, complete=%v\n", prep.Schedules, prep.Complete)
+	fmt.Fprintf(stdout, "REPAIRED %s -> %s\n", v.Name, b.Fix.RepairedName())
+	return true
+}
+
+// fixPair runs the same pipeline for one litmus pair: the repaired program
+// is the pair's hand-written fixed variant.
+func fixPair(p litmus.Pair, stdout, stderr io.Writer) bool {
+	target := p.Name + "/buggy"
+	fmt.Fprintf(stdout, "== fix %s ==\n", target)
+	ex := &sched.Explorer{Prog: p.Buggy}
+	rep, err := ex.ExploreDFS()
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: explore: %v\n", target, err)
+		return false
+	}
+	if rep.Violation == nil {
+		fmt.Fprintf(stderr, "%s: DFS found no violation in %d schedules\n", target, rep.Schedules)
+		return false
+	}
+	id := rep.Violation.ScheduleID
+	if rep.Violation.MinScheduleID != "" {
+		id = rep.Violation.MinScheduleID
+	}
+	fmt.Fprintf(stdout, "violation after %d schedules: %v\n", rep.Schedules, rep.Violation.Err)
+	rrep, err := ex.ReplayID(id)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: replay: %v\n", target, err)
+		return false
+	}
+	if rrep.Diverged || rrep.Violation == nil {
+		fmt.Fprintf(stderr, "%s: schedule %s did not reproduce (diverged=%v)\n", target, id, rrep.Diverged)
+		return false
+	}
+	fmt.Fprintf(stdout, "replayed %s: reproduced\n", id)
+
+	fix, err := repair.ForLitmus(p)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", target, err)
+		return false
+	}
+	fmt.Fprintf(stdout, "class: %s\n", fix.Class)
+	fmt.Fprintf(stdout, "repair (%s): %s\n", fix.Strategy, fix.Note)
+	prep, err := repair.Prove(fix)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", target, err)
+		return false
+	}
+	fmt.Fprintf(stdout, "re-proof: %d schedules clean, complete=%v\n", prep.Schedules, prep.Complete)
+	fmt.Fprintf(stdout, "REPAIRED %s -> %s\n", target, fix.RepairedName())
+	return true
+}
+
+func indent(w io.Writer, text string) {
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+}

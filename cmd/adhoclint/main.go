@@ -1,12 +1,30 @@
-// Command adhoclint demonstrates the development-support tooling of §6: it
-// records execution histories of instrumented ad hoc transactions (engine
-// tracer + tapped locks) and runs the analyzer's detectors for the §4 issue
-// classes over them, showing each buggy pattern being caught and its fixed
-// variant coming back clean.
+// Command adhoclint is the development-support tooling of §6, in two modes.
+//
+// By default it is the detector demo: it records execution histories of
+// instrumented ad hoc transactions (engine tracer + tapped locks) and runs
+// the analyzer's detectors for the §4 issue classes over them, showing each
+// buggy pattern being caught and its fixed variant coming back clean.
+//
+// With -fix it is a fixer: for each buggy target it finds the violating
+// schedule, replays it once by ID with provenance attribution, classifies
+// the bug, emits the rewrite (AHT→DBT or corrected AHT), and re-proves the
+// repaired program by exhaustive exploration:
+//
+//	adhoclint -fix all                                # every buggy variant + litmus pair
+//	adhoclint -fix smoke                              # CI subset (also: -smoke)
+//	adhoclint -fix saleor-capture/mem+read-before-lock
+//	adhoclint -fix seat-booking                       # whole spec family
+//	adhoclint -fix broadleaf-dblock/buggy             # one litmus pair
+//
+// Exit status: 0 when every repair re-proves clean, 1 when a pipeline step
+// fails, 2 on usage errors.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"adhoctx/internal/adhoc/locks"
@@ -17,6 +35,38 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry: parses args, dispatches, returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("adhoclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fix := fs.String("fix", "", "repair target: variant, spec, litmus pair, 'all', or 'smoke'")
+	smoke := fs.Bool("smoke", false, "shorthand for -fix smoke (the CI subset)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	switch {
+	case *smoke:
+		if *fix != "" && *fix != "smoke" {
+			fmt.Fprintln(stderr, "-smoke conflicts with -fix "+*fix)
+			return 2
+		}
+		return doFix("smoke", stdout, stderr)
+	case *fix != "":
+		return doFix(*fix, stdout, stderr)
+	}
+	demo(stdout)
+	return 0
+}
+
+// demo is the original detector walkthrough.
+func demo(w io.Writer) {
 	scenarios := []struct {
 		name string
 		run  func(buggy bool) []analyzer.Finding
@@ -26,22 +76,22 @@ func main() {
 		{"uncoordinated conflicting handler (Spree JSON API, §4.2)", scenarioUncoordinated},
 	}
 	for _, s := range scenarios {
-		fmt.Printf("== %s ==\n", s.name)
-		fmt.Println("buggy variant:")
-		report(s.run(true))
-		fmt.Println("fixed variant:")
-		report(s.run(false))
-		fmt.Println()
+		fmt.Fprintf(w, "== %s ==\n", s.name)
+		fmt.Fprintln(w, "buggy variant:")
+		report(w, s.run(true))
+		fmt.Fprintln(w, "fixed variant:")
+		report(w, s.run(false))
+		fmt.Fprintln(w)
 	}
 }
 
-func report(findings []analyzer.Finding) {
+func report(w io.Writer, findings []analyzer.Finding) {
 	if len(findings) == 0 {
-		fmt.Println("  clean — no findings")
+		fmt.Fprintln(w, "  clean — no findings")
 		return
 	}
 	for _, f := range findings {
-		fmt.Printf("  %s\n", f)
+		fmt.Fprintf(w, "  %s\n", f)
 	}
 }
 

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"adhoctx/internal/litmus"
+)
+
+// TestExitCodes pins the fix mode's 0/1/2 convention (matching adhocexplore
+// and adhocreport): 0 when every repair re-proves clean, 2 for malformed
+// invocations or targets with nothing to repair.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"fix-smoke", []string{"-fix", "smoke"}, 0},
+		{"smoke-shorthand", []string{"-smoke"}, 0},
+		{"fix-one-litmus", []string{"-fix", "broadleaf-dblock/buggy"}, 0},
+		{"fix-unknown-target", []string{"-fix", "no-such-spec"}, 2},
+		{"fix-unknown-variant", []string{"-fix", "saleor-capture/no-such-mutation"}, 2},
+		{"fix-fixed-variant", []string{"-fix", "saleor-capture/mem"}, 2},
+		{"fix-fixed-litmus", []string{"-fix", "broadleaf-dblock/fixed"}, 2},
+		{"smoke-conflicts-with-fix", []string{"-fix", "all", "-smoke"}, 2},
+		{"positional-args", []string{"-fix", "smoke", "extra"}, 2},
+		{"bad-flag", []string{"-no-such-flag"}, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if got := run(tc.args, &out, &errb); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d\nstdout: %s\nstderr: %s",
+					tc.args, got, tc.want, out.String(), errb.String())
+			}
+		})
+	}
+}
+
+// TestFixSmokeOutput: the smoke run must show the whole pipeline — a blame
+// of the violating schedule and a complete re-proof — for both the scenario
+// variant and the litmus pair.
+func TestFixSmokeOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-fix", "smoke"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{
+		"== fix saleor-capture/mem+read-before-lock ==",
+		"blame saleor-capture/mem+read-before-lock",
+		"last writer: ",
+		"commit step: ",
+		"re-proof: ",
+		"complete=true",
+		"REPAIRED saleor-capture/mem+read-before-lock -> saleor-capture/mem",
+		"== fix broadleaf-dblock/buggy ==",
+		"replayed ",
+		"REPAIRED broadleaf-dblock/buggy -> broadleaf-dblock/fixed",
+		"repaired 2 target(s)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("smoke output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestFixPairRejectsBrokenRepair drives the exit-1 path: a pair whose
+// "fixed" program is still the bug must fail the re-proof, so fixPair
+// reports failure instead of declaring the target repaired.
+func TestFixPairRejectsBrokenRepair(t *testing.T) {
+	p, ok := litmus.Find("saleor-capture")
+	if !ok {
+		t.Fatal("saleor-capture missing")
+	}
+	p.Fixed = p.Buggy // sabotage: the "repair" is the bug itself
+	var out, errb bytes.Buffer
+	if fixPair(p, &out, &errb) {
+		t.Fatalf("fixPair accepted a still-buggy repair\nstdout: %s", out.String())
+	}
+	if errb.Len() == 0 {
+		t.Error("failed repair produced no diagnostic")
+	}
+}
+
+// TestDemoStillRuns: the no-flag invocation keeps the detector demo.
+func TestDemoStillRuns(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{
+		"read-before-lock (Discourse edit-post, §4.1.1)",
+		"buggy variant:",
+		"clean — no findings",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("demo output missing %q", want)
+		}
+	}
+}
+
+// TestResolveFixAll: 'all' covers every buggy scenario variant plus every
+// litmus pair — the same universe the acceptance test proves.
+func TestResolveFixAll(t *testing.T) {
+	jobs, err := resolveFix("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants, pairs := 0, 0
+	for _, j := range jobs {
+		if j.variant != nil {
+			variants++
+		}
+		if j.pair != nil {
+			pairs++
+		}
+	}
+	if variants != 28 || pairs != len(litmus.Pairs()) {
+		t.Errorf("resolveFix(all) = %d variants + %d pairs, want 28 + %d",
+			variants, pairs, len(litmus.Pairs()))
+	}
+}
+
+// TestResolveFixFamily: a bare spec name selects its whole buggy family, and
+// a name shared with a litmus pair selects both.
+func TestResolveFixFamily(t *testing.T) {
+	jobs, err := resolveFix("seat-booking")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("seat-booking family: %d jobs, want 3 buggy variants", len(jobs))
+	}
+	jobs, err = resolveFix("saleor-capture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs int
+	for _, j := range jobs {
+		if j.pair != nil {
+			pairs++
+		}
+	}
+	if pairs != 1 || len(jobs) != 4 {
+		t.Fatalf("saleor-capture: %d jobs with %d pairs, want 3 variants + 1 pair", len(jobs), pairs)
+	}
+}

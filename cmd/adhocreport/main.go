@@ -1,46 +1,192 @@
 // Command adhocreport regenerates the paper's study tables from the case
-// catalog:
+// catalog, and answers provenance queries over recovered WAL directories:
 //
 //	adhocreport            # everything
 //	adhocreport -table 4   # one table (2, 3, 4, 5, 7)
 //	adhocreport -findings  # the Findings 1–8 aggregates
 //	adhocreport -cases     # the full 91-case listing
+//
+//	adhocreport -wal dir                          # provenance summary
+//	adhocreport -wal dir -spans spans.json -why orders:1
+//	adhocreport -wal dir -spans spans.json -txn 3
+//	adhocreport -blame 'saleor-capture/mem+read-before-lock'
+//	adhocreport -blame '<variant>:<schedule-id>'
+//
+// The provenance queries join WAL records (which txn last wrote this row?)
+// with span tags (which API call was that?); -blame replays a violating
+// schedule of a buggy scenario variant, attributes the invariant's target
+// rows, and prints the repair internal/repair emits.
+//
+// Exit status: 0 on success, 1 when a query or blame cannot be answered
+// (unreadable WAL, schedule without a violation), 2 on usage errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"adhoctx/internal/catalog"
+	"adhoctx/internal/obs"
+	"adhoctx/internal/provenance"
+	"adhoctx/internal/repair"
+	"adhoctx/internal/scenario"
 )
 
 func main() {
-	table := flag.Int("table", 0, "print one table (1-7)")
-	findings := flag.Bool("findings", false, "print the findings summary")
-	cases := flag.Bool("cases", false, "print the full case listing")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry: parses args, dispatches, returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("adhocreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.Int("table", 0, "print one table (1-7)")
+	findings := fs.Bool("findings", false, "print the findings summary")
+	cases := fs.Bool("cases", false, "print the full case listing")
+	walDir := fs.String("wal", "", "provenance: recovered WAL directory to query")
+	spansFile := fs.String("spans", "", "provenance: completed-span JSON to join (txn tags and outcomes)")
+	why := fs.String("why", "", "provenance: explain 'table:pk' — last writer, then full history")
+	txn := fs.Uint64("txn", 0, "provenance: list one transaction's committed writes")
+	blame := fs.String("blame", "", "blame '<variant>[:<schedule-id>]': attribute a violating schedule and print its repair")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	switch {
+	case *blame != "":
+		return doBlame(*blame, stdout, stderr)
+	case *why != "" || *txn != 0 || *walDir != "":
+		return doProvenance(*walDir, *spansFile, *why, *txn, stdout, stderr)
 	case *table != 0:
 		out, err := renderTable(*table)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
-		fmt.Print(out)
+		fmt.Fprint(stdout, out)
 	case *findings:
-		fmt.Print(catalog.RenderFindings())
+		fmt.Fprint(stdout, catalog.RenderFindings())
 	case *cases:
-		fmt.Print(renderCases())
+		fmt.Fprint(stdout, renderCases())
 	default:
 		for _, n := range []int{1, 2, 3, 4, 5, 6, 7} {
 			out, _ := renderTable(n)
-			fmt.Println(out)
+			fmt.Fprintln(stdout, out)
 		}
-		fmt.Println(catalog.RenderFindings())
+		fmt.Fprintln(stdout, catalog.RenderFindings())
 	}
+	return 0
+}
+
+// doProvenance answers -why / -txn / summary queries over a WAL directory,
+// optionally joined with exported spans.
+func doProvenance(walDir, spansFile, why string, txn uint64, stdout, stderr io.Writer) int {
+	if walDir == "" {
+		fmt.Fprintln(stderr, "provenance queries need -wal <dir>")
+		return 2
+	}
+	ix, err := provenance.FromDir(walDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "recover %s: %v\n", walDir, err)
+		return 1
+	}
+	if spansFile != "" {
+		spans, err := loadSpans(spansFile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		ix.AttachSpans(spans)
+	}
+	switch {
+	case why != "":
+		table, pk, err := parseRowArg(why)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprint(stdout, ix.FormatWhy(table, pk))
+	case txn != 0:
+		fmt.Fprint(stdout, ix.FormatTxn(txn))
+	default:
+		fmt.Fprint(stdout, ix.FormatSummary())
+	}
+	return 0
+}
+
+// loadSpans reads a JSON array of completed spans (the shape
+// obs.SpanTracker.Completed marshals to).
+func loadSpans(path string) ([]obs.CompletedSpan, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spans: %w", err)
+	}
+	var spans []obs.CompletedSpan
+	if err := json.Unmarshal(raw, &spans); err != nil {
+		return nil, fmt.Errorf("spans %s: %w", path, err)
+	}
+	return spans, nil
+}
+
+// parseRowArg parses "table:pk".
+func parseRowArg(arg string) (string, int64, error) {
+	table, pkStr, ok := strings.Cut(arg, ":")
+	if !ok || table == "" {
+		return "", 0, fmt.Errorf("-why wants 'table:pk', got %q", arg)
+	}
+	pk, err := strconv.ParseInt(pkStr, 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("-why wants 'table:pk', got %q: %v", arg, err)
+	}
+	return table, pk, nil
+}
+
+// doBlame resolves "<variant>[:<schedule-id>]" against the scenario family:
+// without an ID it explores the buggy variant to find its violation first
+// (schedule IDs are base64url, so ':' splits unambiguously).
+func doBlame(arg string, stdout, stderr io.Writer) int {
+	name, id, hasID := strings.Cut(arg, ":")
+	vs, err := scenario.ExpandAll()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	v, ok := scenario.FindVariant(vs, name)
+	if !ok {
+		fmt.Fprintf(stderr, "unknown scenario variant %q\n", name)
+		return 2
+	}
+	if !v.Buggy {
+		fmt.Fprintf(stderr, "%s is a fixed variant — nothing to blame\n", name)
+		return 2
+	}
+	if !hasID || id == "" {
+		rep, err := scenario.ExploreDFS(v)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if rep.Violation == nil {
+			fmt.Fprintf(stderr, "%s: no violation within the %d-schedule budget\n", name, v.Budget)
+			return 1
+		}
+		id = rep.Violation.ScheduleID
+		if rep.Violation.MinScheduleID != "" {
+			id = rep.Violation.MinScheduleID
+		}
+	}
+	b, err := repair.BlameSchedule(v, id)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprint(stdout, b.Format())
+	return 0
 }
 
 func renderTable(n int) (string, error) {

@@ -1,0 +1,302 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"adhoctx/internal/disk"
+	"adhoctx/internal/engine"
+	"adhoctx/internal/obs"
+	"adhoctx/internal/sched"
+	"adhoctx/internal/storage"
+	"adhoctx/internal/wal"
+)
+
+// The provenance queries promise deterministic output (the debugging story
+// depends on stable, diffable evidence), so their text is pinned byte-for-
+// byte against a committed fixture: a seeded run whose WAL is stored as disk
+// segments plus the matching exported spans. Regenerate with
+//
+//	go test ./cmd/adhocreport -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the committed fixture and golden files")
+
+const (
+	fixtureDir = "testdata/fixture"
+	goldenDir  = "testdata/golden"
+)
+
+// writeFixture produces the deterministic fixture under dir: a wal/ segment
+// directory (small segments, so the query path crosses rotation boundaries)
+// and spans.json with the run's completed spans. Everything derives from a
+// fixed transaction sequence — no clocks, no randomness — so regeneration
+// is byte-identical until the storage or WAL format deliberately changes.
+func writeFixture(dir string) error {
+	eng := engine.New(engine.Config{Dialect: engine.Postgres, LockTimeout: 10 * time.Second})
+	reg := obs.NewRegistry()
+	eng.WireObs(reg)
+	reg.Spans().RetainCompleted(64)
+	eng.CreateTable(storage.NewSchema("orders",
+		storage.Column{Name: "total", Type: storage.TInt},
+		storage.Column{Name: "captured", Type: storage.TInt},
+	))
+	eng.CreateTable(storage.NewSchema("posts",
+		storage.Column{Name: "content", Type: storage.TString},
+		storage.Column{Name: "ver", Type: storage.TInt},
+	))
+	run := func(tag string, fn func(t *engine.Txn) error) error {
+		return eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			t.SetTag(tag)
+			return fn(t)
+		})
+	}
+	var order, post int64
+	steps := []func() error{
+		func() error {
+			return run("seed", func(t *engine.Txn) error {
+				var err error
+				if order, err = t.Insert("orders", map[string]storage.Value{
+					"total": int64(100), "captured": int64(0)}); err != nil {
+					return err
+				}
+				post, err = t.Insert("posts", map[string]storage.Value{
+					"content": "v0", "ver": int64(1)})
+				return err
+			})
+		},
+		// The Saleor overcharge story: two captures of 60 against a 100
+		// total both "validated" elsewhere; the second is the corruption a
+		// -why orders:<pk> query has to explain.
+		func() error {
+			return run("capture-0", func(t *engine.Txn) error {
+				_, err := t.Update("orders", storage.ByPK(order),
+					map[string]storage.Value{"captured": int64(60)})
+				return err
+			})
+		},
+		func() error {
+			return run("capture-1", func(t *engine.Txn) error {
+				_, err := t.Update("orders", storage.ByPK(order),
+					map[string]storage.Value{"captured": int64(120)})
+				return err
+			})
+		},
+		// The Discourse lost-edit story on the posts row.
+		func() error {
+			return run("edit-0", func(t *engine.Txn) error {
+				_, err := t.Update("posts", storage.ByPK(post),
+					map[string]storage.Value{"content": "alice's edit", "ver": int64(2)})
+				return err
+			})
+		},
+		func() error {
+			return run("edit-1", func(t *engine.Txn) error {
+				_, err := t.Update("posts", storage.ByPK(post),
+					map[string]storage.Value{"content": "bob's edit", "ver": int64(3)})
+				return err
+			})
+		},
+		func() error {
+			return run("cleanup", func(t *engine.Txn) error {
+				_, err := t.Delete("posts", storage.ByPK(post))
+				return err
+			})
+		},
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+
+	// Store the WAL as disk segments, one record per append with a tiny
+	// rotation threshold so the fixture spans several segment files.
+	recs, err := wal.Records(eng.WALBytes())
+	if err != nil {
+		return err
+	}
+	walDir := filepath.Join(dir, "wal")
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		return err
+	}
+	st, _, err := disk.Open(walDir, disk.Options{SegmentSize: 128})
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		b, err := wal.Encode(r)
+		if err != nil {
+			return err
+		}
+		if err := st.Append(b); err != nil {
+			return err
+		}
+		if err := st.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+
+	spans, err := json.MarshalIndent(reg.Spans().Completed(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "spans.json"), append(spans, '\n'), 0o644)
+}
+
+// goldenCases are the pinned query invocations. Txn 3 is capture-1 (the
+// overcharging transaction); the blame case explores the buggy variant
+// itself, so its golden also pins the discovered minimal schedule ID.
+func goldenCases() []struct {
+	name   string
+	args   []string
+	golden string
+} {
+	walDir := filepath.Join(fixtureDir, "wal")
+	spans := filepath.Join(fixtureDir, "spans.json")
+	return []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{"summary", []string{"-wal", walDir, "-spans", spans}, "summary.txt"},
+		{"why", []string{"-wal", walDir, "-spans", spans, "-why", "orders:1"}, "why.txt"},
+		{"why-missing", []string{"-wal", walDir, "-why", "orders:99"}, "why-missing.txt"},
+		{"txn", []string{"-wal", walDir, "-spans", spans, "-txn", "3"}, "txn.txt"},
+		{"blame", []string{"-blame", "saleor-capture/mem+read-before-lock"}, "blame.txt"},
+	}
+}
+
+func TestGoldenQueries(t *testing.T) {
+	if *update {
+		if err := os.RemoveAll(fixtureDir); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFixture(fixtureDir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+			}
+			path := filepath.Join(goldenDir, tc.golden)
+			if *update {
+				if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+					path, out.String(), want)
+			}
+		})
+	}
+}
+
+// TestFixtureFresh regenerates the fixture into a temp dir and compares it
+// byte-for-byte with the committed one: if a storage/WAL/span change shifts
+// the fixture's bytes, this fails until the fixture and goldens are
+// deliberately regenerated with -update.
+func TestFixtureFresh(t *testing.T) {
+	if *update {
+		t.Skip("fixture just rewritten")
+	}
+	tmp := t.TempDir()
+	if err := writeFixture(tmp); err != nil {
+		t.Fatal(err)
+	}
+	compareFile := func(rel string) {
+		t.Helper()
+		want, err := os.ReadFile(filepath.Join(fixtureDir, rel))
+		if err != nil {
+			t.Fatalf("committed fixture missing %s (run with -update): %v", rel, err)
+		}
+		got, err := os.ReadFile(filepath.Join(tmp, rel))
+		if err != nil {
+			t.Fatalf("regeneration did not produce %s: %v", rel, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("fixture file %s drifted (%d vs %d bytes); regenerate with -update", rel, len(got), len(want))
+		}
+	}
+	for _, dir := range []string{fixtureDir, tmp} {
+		ents, err := os.ReadDir(filepath.Join(dir, "wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) == 0 {
+			t.Fatalf("%s/wal is empty", dir)
+		}
+	}
+	committed, err := os.ReadDir(filepath.Join(fixtureDir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := os.ReadDir(filepath.Join(tmp, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(committed) != len(fresh) {
+		t.Fatalf("segment count drifted: committed %d, fresh %d", len(committed), len(fresh))
+	}
+	for _, e := range committed {
+		compareFile(filepath.Join("wal", e.Name()))
+	}
+	compareFile("spans.json")
+}
+
+// TestExitCodes pins the CLI's 0/1/2 convention (matching adhocexplore):
+// 2 for malformed invocations, 1 for well-formed queries that cannot be
+// answered.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"why-without-wal", []string{"-why", "orders:1"}, 2},
+		{"why-bad-row", []string{"-wal", filepath.Join(fixtureDir, "wal"), "-why", "garbage"}, 2},
+		{"wal-missing-dir", []string{"-wal", filepath.Join(fixtureDir, "no-such-dir")}, 1},
+		{"spans-missing-file", []string{"-wal", filepath.Join(fixtureDir, "wal"), "-spans", "no-such.json"}, 1},
+		{"blame-unknown-variant", []string{"-blame", "no-such-spec/mem"}, 2},
+		{"blame-fixed-variant", []string{"-blame", "saleor-capture/mem"}, 2},
+		{"blame-clean-schedule", []string{"-blame", "saleor-capture/mem+read-before-lock:" + cleanScheduleID()}, 1},
+		{"bad-table", []string{"-table", "9"}, 2},
+		{"bad-flag", []string{"-no-such-flag"}, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if got := run(tc.args, &out, &errb); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d\nstdout: %s\nstderr: %s",
+					tc.args, got, tc.want, out.String(), errb.String())
+			}
+		})
+	}
+}
+
+// cleanScheduleID returns a well-formed schedule ID with no recorded picks:
+// its default-pick replay runs near-serially and stays clean, so blaming it
+// must fail with exit 1.
+func cleanScheduleID() string {
+	return sched.EncodeSchedule(2, nil)
+}

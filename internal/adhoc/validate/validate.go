@@ -26,6 +26,20 @@ type Checker struct {
 	Eng *engine.Engine
 	// Table is the validated table.
 	Table string
+	// Tag, when set, labels every transaction the checker issues (Txn.SetTag)
+	// so spans and provenance attribute the validation fragments to their
+	// API call.
+	Tag string
+}
+
+// run executes one checker transaction, tagged when Tag is set.
+func (c Checker) run(fn func(t *engine.Txn) error) error {
+	return c.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		if c.Tag != "" {
+			t.SetTag(c.Tag)
+		}
+		return fn(t)
+	})
 }
 
 // VersionGuard returns the guard predicate for a version column — validate
@@ -47,7 +61,7 @@ func ValueGuard(col string, expected storage.Value) storage.Pred {
 // hand-crafted implementation: the RDBMS provides the atomicity.
 func (c Checker) CheckAndSet(pk int64, guard storage.Pred, set map[string]storage.Value) error {
 	var ok bool
-	err := c.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+	err := c.run(func(t *engine.Txn) error {
 		var err error
 		ok, err = t.UpdateIf(c.Table, pk, guard, set)
 		return err
@@ -82,7 +96,7 @@ func (c Checker) CheckAndSetIn(t *engine.Txn, pk int64, guard storage.Pred, set 
 func (c Checker) LockedCheckAndSet(l core.Locker, key string, pk int64,
 	body func(row storage.Row) (map[string]storage.Value, error)) error {
 	return core.WithLock(l, key, func() error {
-		return c.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		return c.run(func(t *engine.Txn) error {
 			row, err := t.SelectOne(c.Table, storage.ByPK(pk))
 			if err != nil {
 				return err
@@ -109,7 +123,7 @@ func (c Checker) LockedCheckAndSet(l core.Locker, key string, pk int64,
 func (c Checker) NonAtomicCheckThenSet(pk int64, guard storage.Pred, set map[string]storage.Value,
 	interleave func()) error {
 	var row storage.Row
-	err := c.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+	err := c.run(func(t *engine.Txn) error {
 		var err error
 		row, err = t.SelectOne(c.Table, storage.ByPK(pk))
 		return err
@@ -127,7 +141,7 @@ func (c Checker) NonAtomicCheckThenSet(pk int64, guard storage.Pred, set map[str
 	if interleave != nil {
 		interleave() // the unprotected window
 	}
-	return c.Eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+	return c.run(func(t *engine.Txn) error {
 		// The update is unconditional: validation already "passed".
 		_, err := t.Update(c.Table, storage.ByPK(pk), set)
 		return err

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 
 	"adhoctx/internal/lockmgr"
 	"adhoctx/internal/mvcc"
@@ -185,6 +186,16 @@ func (t *Txn) abort() {
 // locks, and returns ErrSerialization if an SSI conflict dooms it.
 func (t *Txn) Commit() error {
 	sched.Point("engine/commit")
+	if sched.Enabled() {
+		// Stamp the txn id (and tag, when set) onto the schedule step so
+		// provenance tools can join WAL records back to the exact trace step
+		// that committed them.
+		note := "txn=" + strconv.FormatUint(t.id, 10)
+		if t.tag != "" {
+			note += " tag=" + t.tag
+		}
+		sched.Annotate(note)
+	}
 	if t.done {
 		return ErrTxnDone
 	}

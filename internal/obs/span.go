@@ -52,6 +52,21 @@ type SpanTracker struct {
 	// byTag caches the per-tag completion instruments so the commit path
 	// does not re-render metric names on every transaction.
 	byTag map[string]*tagSeries
+	// retain, when positive, keeps the most recent completed spans for
+	// export (provenance joins tags to WAL txn ids through them). Zero —
+	// the default — keeps the tracker allocation-free after completion.
+	retain    int
+	completed []CompletedSpan
+}
+
+// CompletedSpan is one finished transaction span, retained for export when
+// RetainCompleted is enabled. Unlike Span it carries the outcome, and drops
+// wall-clock fields so dumps are deterministic.
+type CompletedSpan struct {
+	TxnID   uint64 `json:"txn_id"`
+	Tag     string `json:"tag,omitempty"`
+	Events  int    `json:"events"`
+	Outcome string `json:"outcome"`
 }
 
 // tagSeries is one API tag's completion instruments.
@@ -111,6 +126,22 @@ func (st *SpanTracker) Observe(ev TxnEvent) {
 		return
 	}
 	delete(st.inflight, ev.TxnID)
+	if st.retain > 0 {
+		outcome := ev.Outcome
+		if outcome != "rollback" {
+			outcome = "commit"
+		}
+		if len(st.completed) >= st.retain {
+			copy(st.completed, st.completed[1:])
+			st.completed = st.completed[:len(st.completed)-1]
+		}
+		st.completed = append(st.completed, CompletedSpan{
+			TxnID:   sp.TxnID,
+			Tag:     sp.Tag,
+			Events:  sp.Events,
+			Outcome: outcome,
+		})
+	}
 	tag := sp.Tag
 	if tag == "" {
 		tag = "untagged"
@@ -124,6 +155,33 @@ func (st *SpanTracker) Observe(ev TxnEvent) {
 	} else {
 		ts.committed.Inc()
 	}
+}
+
+// RetainCompleted keeps the n most recently completed spans for export via
+// Completed. n <= 0 disables retention and drops anything already held.
+func (st *SpanTracker) RetainCompleted(n int) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.retain = n
+	if n <= 0 {
+		st.completed = nil
+	}
+	st.mu.Unlock()
+}
+
+// Completed returns a snapshot of the retained completed spans in completion
+// order (oldest first). Empty unless RetainCompleted was enabled.
+func (st *SpanTracker) Completed() []CompletedSpan {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	out := make([]CompletedSpan, len(st.completed))
+	copy(out, st.completed)
+	st.mu.Unlock()
+	return out
 }
 
 // Inflight returns a snapshot of the open spans, ordered by start time

@@ -1,0 +1,103 @@
+package provenance
+
+import (
+	"fmt"
+	"strings"
+
+	"adhoctx/internal/storage"
+)
+
+// Rendering is deterministic by construction: writes are emitted in log
+// order, rows in table-then-pk order, and no wall-clock or pointer values
+// appear — the golden tests in cmd/adhocreport pin the exact bytes.
+
+// formatRow renders an after-image, "-" for deletes.
+func formatRow(r storage.Row) string {
+	if r == nil {
+		return "-"
+	}
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = storage.FormatValue(v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Describe renders one write's one-line description with any attached tag
+// and outcome — the single-write form the blame renderer embeds.
+func (ix *Index) Describe(w Write) string { return ix.describe(w) }
+
+// describe renders one write's one-line description.
+func (ix *Index) describe(w Write) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lsn=%d seq=%d txn=%d %s %s:%d %s",
+		w.LSN, w.Seq, w.TxnID, w.Kind, w.Table, w.PK, formatRow(w.Row))
+	if w.FromCheckpoint {
+		b.WriteString(" [checkpoint: original txn compacted away]")
+	} else {
+		if tag := ix.tags[w.TxnID]; tag != "" {
+			fmt.Fprintf(&b, " tag=%s", tag)
+		}
+		if oc := ix.outcomes[w.TxnID]; oc != "" {
+			fmt.Fprintf(&b, " outcome=%s", oc)
+		}
+	}
+	return b.String()
+}
+
+// FormatWhy renders the answer to "-why table:pk": the last writer of the
+// row, then its full history, oldest first.
+func (ix *Index) FormatWhy(table string, pk int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "why %s:%d\n", table, pk)
+	hist := ix.History(table, pk)
+	if len(hist) == 0 {
+		fmt.Fprintf(&b, "  no write to %s:%d in the recovered log\n", table, pk)
+		return b.String()
+	}
+	last := hist[len(hist)-1]
+	fmt.Fprintf(&b, "  last writer: %s\n", ix.describe(last))
+	fmt.Fprintf(&b, "  history (%d writes):\n", len(hist))
+	for _, w := range hist {
+		fmt.Fprintf(&b, "    %s\n", ix.describe(w))
+	}
+	return b.String()
+}
+
+// FormatTxn renders everything one transaction committed.
+func (ix *Index) FormatTxn(id uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "txn %d", id)
+	if tag := ix.tags[id]; tag != "" {
+		fmt.Fprintf(&b, " tag=%s", tag)
+	}
+	if oc := ix.outcomes[id]; oc != "" {
+		fmt.Fprintf(&b, " outcome=%s", oc)
+	}
+	b.WriteString("\n")
+	ws := ix.Txn(id)
+	if len(ws) == 0 {
+		fmt.Fprintf(&b, "  no committed writes for txn %d in the recovered log\n", id)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  writes (%d):\n", len(ws))
+	for _, w := range ws {
+		fmt.Fprintf(&b, "    %s\n", ix.describe(w))
+	}
+	return b.String()
+}
+
+// FormatSummary renders the index overview: counts, LSN horizon, dropped
+// bytes, and the last writer of every row.
+func (ix *Index) FormatSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "provenance: %d writes, %d txns, last lsn %d, dropped bytes %d\n",
+		len(ix.writes), len(ix.byTxn), ix.lastLSN, ix.dropped)
+	rows := ix.Rows()
+	fmt.Fprintf(&b, "rows (%d):\n", len(rows))
+	for _, r := range rows {
+		w, _ := ix.LastWriter(r.Table, r.PK)
+		fmt.Fprintf(&b, "  %s\n", ix.describe(w))
+	}
+	return b.String()
+}

@@ -1,0 +1,250 @@
+// Package provenance answers "which transaction last wrote this row, under
+// which protection, in which schedule step?" from the artifacts the stack
+// already records: WAL records (in-memory logs or internal/disk segment
+// directories), obs transaction spans (tag + outcome per txn id), and —
+// when a schedule was replayed under the explorer — sched trace steps
+// annotated with "txn=<id>" at the commit seam.
+//
+// The paper's §4 debugging story motivates the shape: an ad hoc
+// transaction's writes are ordinary row writes, so the only way to explain
+// a corrupted row is to join the redo log back to application intent. Two
+// retrieved papers ("Transactions Make Debugging Easy", "Debugging
+// Transactions and Tracking their Provenance with Reenactment") argue the
+// log suffices for that reenactment; this package is the query layer over
+// it.
+//
+// Trust boundary: nothing past the last valid WAL frame is ever attributed.
+// FromRaw stops at the first undecodable byte (wal.ValidPrefix) and FromDir
+// reads directories through disk.ReadRecovered, which stops at the first
+// bad frame without mutating the directory.
+package provenance
+
+import (
+	"sort"
+
+	"adhoctx/internal/disk"
+	"adhoctx/internal/obs"
+	"adhoctx/internal/storage"
+	"adhoctx/internal/wal"
+)
+
+// Write is one row write recovered from the WAL: one op of one committed
+// transaction's record, in log order.
+type Write struct {
+	LSN   uint64     // record LSN (one per txn commit batch)
+	TxnID uint64     // committing transaction
+	Seq   int        // op position within its record, 0-based
+	Kind  wal.OpKind // INSERT / UPDATE / DELETE
+	Table string
+	PK    int64
+	Row   storage.Row // after-image; nil for deletes
+	// FromCheckpoint marks synthetic records from a checkpoint snapshot:
+	// the row state is real but the writing transaction's identity was
+	// compacted away, so TxnID must not be read as application intent.
+	FromCheckpoint bool
+}
+
+type rowKey struct {
+	table string
+	pk    int64
+}
+
+// Index is an in-memory provenance index over a recovered WAL prefix plus
+// optional span/tag attachments. Build once, query many times; not safe for
+// concurrent mutation.
+type Index struct {
+	writes   []Write
+	byRow    map[rowKey][]int
+	byTxn    map[uint64][]int
+	tags     map[uint64]string
+	outcomes map[uint64]string
+	lastLSN  uint64
+	dropped  int64
+}
+
+// FromRecords indexes already-decoded records (tail records; none are
+// checkpoint-synthetic).
+func FromRecords(recs []wal.Record) *Index {
+	ix := newIndex()
+	for _, r := range recs {
+		ix.addRecord(r, false)
+	}
+	return ix
+}
+
+// FromRaw indexes the longest valid prefix of a raw WAL byte stream
+// (engine.WALBytes, wal.Log.Bytes). It never fails: undecodable bytes end
+// the scan and are counted in Dropped.
+func FromRaw(raw []byte) *Index {
+	recs, valid := wal.ValidPrefix(raw)
+	ix := FromRecords(recs)
+	ix.dropped = int64(len(raw) - valid)
+	return ix
+}
+
+// FromRecovered indexes a disk recovery result: checkpoint snapshot records
+// first (flagged FromCheckpoint), then the tail.
+func FromRecovered(rec *disk.Recovered) *Index {
+	ix := newIndex()
+	ckRecs, ckValid := wal.ValidPrefix(rec.Checkpoint)
+	for _, r := range ckRecs {
+		ix.addRecord(r, true)
+	}
+	tailRecs, tailValid := wal.ValidPrefix(rec.Tail)
+	for _, r := range tailRecs {
+		ix.addRecord(r, false)
+	}
+	ix.dropped = rec.TruncatedTail +
+		int64(len(rec.Checkpoint)-ckValid) + int64(len(rec.Tail)-tailValid)
+	return ix
+}
+
+// FromDir recovers a data directory read-only (disk.ReadRecovered — no
+// truncation, no deletes) and indexes it.
+func FromDir(dir string) (*Index, error) {
+	rec, err := disk.ReadRecovered(dir)
+	if err != nil {
+		return nil, err
+	}
+	return FromRecovered(rec), nil
+}
+
+func newIndex() *Index {
+	return &Index{
+		byRow:    make(map[rowKey][]int),
+		byTxn:    make(map[uint64][]int),
+		tags:     make(map[uint64]string),
+		outcomes: make(map[uint64]string),
+	}
+}
+
+func (ix *Index) addRecord(r wal.Record, fromCkpt bool) {
+	for i, op := range r.Ops {
+		w := Write{
+			LSN:            r.LSN,
+			TxnID:          r.TxnID,
+			Seq:            i,
+			Kind:           op.Kind,
+			Table:          op.Table,
+			PK:             op.PK,
+			Row:            op.Row,
+			FromCheckpoint: fromCkpt,
+		}
+		idx := len(ix.writes)
+		ix.writes = append(ix.writes, w)
+		k := rowKey{op.Table, op.PK}
+		ix.byRow[k] = append(ix.byRow[k], idx)
+		if !fromCkpt {
+			ix.byTxn[r.TxnID] = append(ix.byTxn[r.TxnID], idx)
+		}
+	}
+	if r.LSN > ix.lastLSN {
+		ix.lastLSN = r.LSN
+	}
+}
+
+// AttachSpans joins completed obs spans onto the index, making Tag and
+// Outcome resolvable per transaction id.
+func (ix *Index) AttachSpans(spans []obs.CompletedSpan) {
+	for _, sp := range spans {
+		if sp.Tag != "" {
+			ix.tags[sp.TxnID] = sp.Tag
+		}
+		if sp.Outcome != "" {
+			ix.outcomes[sp.TxnID] = sp.Outcome
+		}
+	}
+}
+
+// AttachTags joins a txn-id→tag map (e.g. captured by a scenario probe)
+// onto the index.
+func (ix *Index) AttachTags(tags map[uint64]string) {
+	for id, tag := range tags {
+		if tag != "" {
+			ix.tags[id] = tag
+		}
+	}
+}
+
+// Tag returns the span/probe tag attached for a transaction, or "".
+func (ix *Index) Tag(txnID uint64) string { return ix.tags[txnID] }
+
+// Outcome returns the span outcome attached for a transaction, or "".
+func (ix *Index) Outcome(txnID uint64) string { return ix.outcomes[txnID] }
+
+// Writes returns every indexed write in log order.
+func (ix *Index) Writes() []Write { return ix.writes }
+
+// LastLSN returns the highest indexed LSN.
+func (ix *Index) LastLSN() uint64 { return ix.lastLSN }
+
+// Dropped returns how many trailing bytes were ignored as undecodable
+// (torn or corrupt); nothing in them is attributed.
+func (ix *Index) Dropped() int64 { return ix.dropped }
+
+// History returns every write to (table, pk) in log order.
+func (ix *Index) History(table string, pk int64) []Write {
+	idxs := ix.byRow[rowKey{table, pk}]
+	out := make([]Write, len(idxs))
+	for i, j := range idxs {
+		out[i] = ix.writes[j]
+	}
+	return out
+}
+
+// LastWriter returns the final write to (table, pk), answering "which txn
+// last wrote this row". ok is false when the row never appears in the
+// recovered prefix.
+func (ix *Index) LastWriter(table string, pk int64) (Write, bool) {
+	idxs := ix.byRow[rowKey{table, pk}]
+	if len(idxs) == 0 {
+		return Write{}, false
+	}
+	return ix.writes[idxs[len(idxs)-1]], true
+}
+
+// Txn returns every write the given transaction committed, in log order
+// (checkpoint-synthetic records excluded — their txn ids are not intent).
+func (ix *Index) Txn(id uint64) []Write {
+	idxs := ix.byTxn[id]
+	out := make([]Write, len(idxs))
+	for i, j := range idxs {
+		out[i] = ix.writes[j]
+	}
+	return out
+}
+
+// TxnIDs returns the committing transaction ids present in the tail, sorted.
+func (ix *Index) TxnIDs() []uint64 {
+	out := make([]uint64, 0, len(ix.byTxn))
+	for id := range ix.byTxn {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Rows returns every distinct (table, pk) seen, sorted by table then pk —
+// the stable iteration order the report tooling renders in.
+func (ix *Index) Rows() []struct {
+	Table string
+	PK    int64
+} {
+	out := make([]struct {
+		Table string
+		PK    int64
+	}, 0, len(ix.byRow))
+	for k := range ix.byRow {
+		out = append(out, struct {
+			Table string
+			PK    int64
+		}{k.table, k.pk})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].PK < out[j].PK
+	})
+	return out
+}

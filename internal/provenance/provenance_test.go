@@ -1,0 +1,219 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+
+	"adhoctx/internal/disk"
+	"adhoctx/internal/obs"
+	"adhoctx/internal/sched"
+	"adhoctx/internal/storage"
+	"adhoctx/internal/wal"
+)
+
+// testRecords is a tiny three-txn history over two tables.
+func testRecords() []wal.Record {
+	return []wal.Record{
+		{LSN: 1, TxnID: 10, Ops: []wal.Op{
+			{Kind: wal.OpInsert, Table: "posts", PK: 1, Row: storage.Row{int64(1), "hello"}},
+		}},
+		{LSN: 2, TxnID: 11, Ops: []wal.Op{
+			{Kind: wal.OpUpdate, Table: "posts", PK: 1, Row: storage.Row{int64(1), "edited"}},
+			{Kind: wal.OpInsert, Table: "users", PK: 5, Row: storage.Row{int64(5), "bob"}},
+		}},
+		{LSN: 3, TxnID: 12, Ops: []wal.Op{
+			{Kind: wal.OpDelete, Table: "posts", PK: 1},
+		}},
+	}
+}
+
+func encodeAll(t *testing.T, recs []wal.Record) []byte {
+	t.Helper()
+	var raw []byte
+	for _, r := range recs {
+		b, err := wal.Encode(r)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		raw = append(raw, b...)
+	}
+	return raw
+}
+
+func TestIndexQueries(t *testing.T) {
+	ix := FromRaw(encodeAll(t, testRecords()))
+	if got := len(ix.Writes()); got != 4 {
+		t.Fatalf("writes = %d, want 4", got)
+	}
+	if ix.LastLSN() != 3 {
+		t.Fatalf("last lsn = %d, want 3", ix.LastLSN())
+	}
+	if ix.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", ix.Dropped())
+	}
+
+	w, ok := ix.LastWriter("posts", 1)
+	if !ok || w.TxnID != 12 || w.Kind != wal.OpDelete {
+		t.Fatalf("LastWriter(posts,1) = %+v ok=%v, want delete by txn 12", w, ok)
+	}
+	if hist := ix.History("posts", 1); len(hist) != 3 {
+		t.Fatalf("history len = %d, want 3", len(hist))
+	}
+	if _, ok := ix.LastWriter("posts", 99); ok {
+		t.Fatal("LastWriter on unseen row reported ok")
+	}
+	if ws := ix.Txn(11); len(ws) != 2 || ws[0].Table != "posts" || ws[1].Table != "users" {
+		t.Fatalf("Txn(11) = %+v", ws)
+	}
+	if ids := ix.TxnIDs(); len(ids) != 3 || ids[0] != 10 || ids[2] != 12 {
+		t.Fatalf("TxnIDs = %v", ids)
+	}
+	rows := ix.Rows()
+	if len(rows) != 2 || rows[0].Table != "posts" || rows[1].Table != "users" {
+		t.Fatalf("Rows = %v", rows)
+	}
+}
+
+func TestFromRawStopsAtGarbage(t *testing.T) {
+	raw := encodeAll(t, testRecords())
+	garbage := append(append([]byte{}, raw...), 0xde, 0xad, 0xbe, 0xef)
+	ix := FromRaw(garbage)
+	if got := len(ix.Writes()); got != 4 {
+		t.Fatalf("writes = %d, want 4 (garbage must not add attributions)", got)
+	}
+	if ix.Dropped() != 4 {
+		t.Fatalf("dropped = %d, want 4", ix.Dropped())
+	}
+
+	// Corruption mid-log: flip a byte in the second record's payload. The
+	// whole suffix becomes untrusted.
+	mid := append([]byte{}, raw...)
+	mid[len(mid)/2] ^= 0xff
+	ix = FromRaw(mid)
+	for _, w := range ix.Writes() {
+		if w.LSN >= 2 {
+			t.Fatalf("attributed write past corruption: %+v", w)
+		}
+	}
+	if ix.Dropped() == 0 {
+		t.Fatal("corruption not reflected in Dropped")
+	}
+}
+
+func TestAttachSpansAndTags(t *testing.T) {
+	ix := FromRaw(encodeAll(t, testRecords()))
+	ix.AttachSpans([]obs.CompletedSpan{
+		{TxnID: 10, Tag: "create-post", Outcome: "commit"},
+		{TxnID: 11, Tag: "edit-post", Outcome: "commit"},
+	})
+	ix.AttachTags(map[uint64]string{12: "delete-post"})
+	if ix.Tag(10) != "create-post" || ix.Outcome(10) != "commit" {
+		t.Fatalf("span join failed: tag=%q outcome=%q", ix.Tag(10), ix.Outcome(10))
+	}
+	if ix.Tag(12) != "delete-post" {
+		t.Fatalf("tag join failed: %q", ix.Tag(12))
+	}
+
+	why := ix.FormatWhy("posts", 1)
+	for _, want := range []string{"why posts:1", "last writer:", "tag=delete-post", "history (3 writes):"} {
+		if !strings.Contains(why, want) {
+			t.Fatalf("FormatWhy missing %q:\n%s", want, why)
+		}
+	}
+	txn := ix.FormatTxn(11)
+	for _, want := range []string{"txn 11 tag=edit-post outcome=commit", "writes (2):", `"edited"`} {
+		if !strings.Contains(txn, want) {
+			t.Fatalf("FormatTxn missing %q:\n%s", want, txn)
+		}
+	}
+	sum := ix.FormatSummary()
+	if !strings.Contains(sum, "provenance: 4 writes, 3 txns, last lsn 3, dropped bytes 0") {
+		t.Fatalf("FormatSummary header wrong:\n%s", sum)
+	}
+	if ix.FormatWhy("posts", 99) == "" || !strings.Contains(ix.FormatWhy("posts", 99), "no write") {
+		t.Fatal("FormatWhy on unseen row should say so")
+	}
+	if !strings.Contains(ix.FormatTxn(999), "no committed writes") {
+		t.Fatal("FormatTxn on unseen txn should say so")
+	}
+}
+
+func TestFromRecoveredMarksCheckpointWrites(t *testing.T) {
+	recs := testRecords()
+	ck := encodeAll(t, recs[:1])
+	tail := encodeAll(t, recs[1:])
+	ix := FromRecovered(&disk.Recovered{
+		Checkpoint:    ck,
+		CheckpointLSN: 1,
+		Tail:          tail,
+		LastLSN:       3,
+	})
+	if got := len(ix.Writes()); got != 4 {
+		t.Fatalf("writes = %d, want 4", got)
+	}
+	hist := ix.History("posts", 1)
+	if !hist[0].FromCheckpoint || hist[1].FromCheckpoint {
+		t.Fatalf("checkpoint flags wrong: %+v", hist)
+	}
+	// Checkpoint-synthetic txn ids are not intent: Txn() must exclude them.
+	if ws := ix.Txn(10); len(ws) != 0 {
+		t.Fatalf("Txn(10) over checkpoint record = %+v, want none", ws)
+	}
+	if !strings.Contains(ix.describe(hist[0]), "checkpoint") {
+		t.Fatal("checkpoint write not called out in rendering")
+	}
+}
+
+func TestFromDir(t *testing.T) {
+	dir := t.TempDir()
+	st, rec, err := disk.Open(dir, disk.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Empty() {
+		t.Fatal("fresh dir not empty")
+	}
+	recs := testRecords()
+	if err := st.Append(encodeAll(t, recs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err := FromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Writes()) != 4 || ix.LastLSN() != 3 {
+		t.Fatalf("FromDir: %d writes, last lsn %d", len(ix.Writes()), ix.LastLSN())
+	}
+	w, ok := ix.LastWriter("users", 5)
+	if !ok || w.TxnID != 11 {
+		t.Fatalf("LastWriter(users,5) = %+v ok=%v", w, ok)
+	}
+}
+
+func TestCommitStep(t *testing.T) {
+	steps := []sched.Step{
+		{Task: "t1", Label: "engine/begin"},
+		{Task: "t1", Label: "engine/commit", Note: "txn=7 tag=reserve-0"},
+		{Task: "t2", Label: "engine/commit", Note: "txn=8"},
+	}
+	if got := CommitStep(steps, 7); got != 1 {
+		t.Fatalf("CommitStep(7) = %d, want 1", got)
+	}
+	if got := CommitStep(steps, 8); got != 2 {
+		t.Fatalf("CommitStep(8) = %d, want 2", got)
+	}
+	if got := CommitStep(steps, 9); got != -1 {
+		t.Fatalf("CommitStep(9) = %d, want -1", got)
+	}
+	// "txn=70" must not match txn=7.
+	if got := CommitStep([]sched.Step{{Note: "txn=70"}}, 7); got != -1 {
+		t.Fatalf("prefix note matched: %d", got)
+	}
+}

@@ -1,0 +1,29 @@
+package provenance
+
+import (
+	"strconv"
+	"strings"
+
+	"adhoctx/internal/sched"
+)
+
+// CommitStep finds the schedule trace step that committed txnID: the engine
+// annotates its commit seam with "txn=<id>" (sched.Annotate), so a replayed
+// violating schedule carries the join key from WAL records back to trace
+// steps. Returns the step index, or -1 when the trace has no such step
+// (txn committed outside the controlled run, or the trace predates the
+// annotation).
+func CommitStep(steps []sched.Step, txnID uint64) int {
+	want := "txn=" + strconv.FormatUint(txnID, 10)
+	for i, s := range steps {
+		if s.Note == "" {
+			continue
+		}
+		for _, f := range strings.Fields(s.Note) {
+			if f == want {
+				return i
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,155 @@
+package repair
+
+import (
+	"reflect"
+	"testing"
+
+	"adhoctx/internal/litmus"
+	"adhoctx/internal/scenario"
+	"adhoctx/internal/sched"
+)
+
+// The acceptance table: every buggy program the repo can express — all 28
+// buggy scenario-DSL variants and all 5 litmus buggy pairs — goes through
+// the full repair pipeline: discover the violation, replay it once by its
+// schedule ID, classify and emit the repair, and re-prove the repaired
+// program to exhaustion with zero violations. Repaired variants shared by
+// several mutations (e.g. every RewriteDBT repair of one spec lands on
+// "<spec>/dbt") are proven once.
+
+// expectedBuggyScenarios pins the family size: growing the builtin specs
+// should consciously grow this number, not silently shrink coverage.
+const expectedBuggyScenarios = 28
+
+// expectedLitmusPairs pins the litmus catalog size.
+const expectedLitmusPairs = 5
+
+func TestRepairAcceptanceScenarios(t *testing.T) {
+	vs, err := scenario.ExpandAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proved := map[string]bool{}
+	buggy := 0
+	for _, v := range vs {
+		if !v.Buggy {
+			continue
+		}
+		buggy++
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			// 1. Discover: the bug must show within the spec's budget.
+			rep, err := scenario.ExploreDFS(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Violation == nil {
+				t.Fatalf("no violation within the %d-schedule budget", v.Budget)
+			}
+			id := rep.Violation.ScheduleID
+			if rep.Violation.MinScheduleID != "" {
+				id = rep.Violation.MinScheduleID
+			}
+
+			// 2. Replay the original violation once, by schedule ID.
+			rrep, err := scenario.Replay(v, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rrep.Diverged {
+				t.Fatalf("schedule %s diverged on replay", id)
+			}
+			if rrep.Violation == nil {
+				t.Fatalf("schedule %s did not reproduce the violation", id)
+			}
+
+			// 3. Classify and emit the repair.
+			fix, err := ForVariant(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// 4. The emitted spec is a reviewable artifact: it must
+			// round-trip through the text form unchanged.
+			specRoundTrips(t, fix.Spec)
+
+			// 5. Re-prove to exhaustion (once per distinct repaired variant).
+			if proved[fix.RepairedName()] {
+				return
+			}
+			prep, err := Prove(fix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proved[fix.RepairedName()] = true
+			t.Logf("%s → %s: clean after %d schedules (complete=%v)",
+				v.Name, fix.RepairedName(), prep.Schedules, prep.Complete)
+		})
+	}
+	if buggy != expectedBuggyScenarios {
+		t.Errorf("family has %d buggy variants, acceptance table expects %d", buggy, expectedBuggyScenarios)
+	}
+}
+
+// specRoundTrips asserts Parse∘Print identity for a repaired spec: printing
+// and re-parsing reproduces the spec exactly, and the printed form is a
+// fixpoint.
+func specRoundTrips(t *testing.T, s *scenario.Spec) {
+	t.Helper()
+	text := scenario.Print(s)
+	back, err := scenario.Parse(text)
+	if err != nil {
+		t.Fatalf("repaired spec does not re-parse: %v\n%s", err, text)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("re-parsed repaired spec invalid: %v", err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Fatalf("Parse(Print(spec)) != spec for repaired %q:\ngot  %#v\nwant %#v", s.Name, back, s)
+	}
+	if again := scenario.Print(back); again != text {
+		t.Fatalf("Print not a fixpoint for repaired %q", s.Name)
+	}
+}
+
+func TestRepairAcceptanceLitmus(t *testing.T) {
+	pairs := litmus.Pairs()
+	if len(pairs) != expectedLitmusPairs {
+		t.Errorf("litmus catalog has %d pairs, acceptance table expects %d", len(pairs), expectedLitmusPairs)
+	}
+	for _, p := range pairs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			ex := &sched.Explorer{Prog: p.Buggy}
+			rep, err := ex.ExploreDFS()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Violation == nil {
+				t.Fatalf("DFS missed the %s bug", p.Class)
+			}
+			id := rep.Violation.ScheduleID
+			if rep.Violation.MinScheduleID != "" {
+				id = rep.Violation.MinScheduleID
+			}
+			rrep, err := ex.ReplayID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rrep.Diverged || rrep.Violation == nil {
+				t.Fatalf("schedule %s did not reproduce (diverged=%v)", id, rrep.Diverged)
+			}
+
+			fix, err := ForLitmus(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prep, err := Prove(fix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s → %s: clean after %d schedules (complete=%v)",
+				fix.Target, fix.RepairedName(), prep.Schedules, prep.Complete)
+		})
+	}
+}

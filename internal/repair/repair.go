@@ -1,0 +1,225 @@
+// Package repair turns the stack's bug detectors into a fixer: given a buggy
+// scenario variant or litmus program plus a violating schedule, it classifies
+// the §4 bug class, emits the suggested rewrite — the AHT→DBT rewrite, or the
+// corrected ad hoc implementation with the misuse removed — and re-proves the
+// repaired program by running the schedule explorer to exhaustion. A repair is
+// only reported when the re-proof is Complete with zero violations.
+//
+// The classification is grounded in provenance evidence (see Blame): the
+// replayed violating schedule's WAL is joined back to application intent
+// through txn tags and trace annotations, so the repair names the exact
+// transaction, operation, and protection it changes.
+package repair
+
+import (
+	"fmt"
+
+	"adhoctx/internal/litmus"
+	"adhoctx/internal/scenario"
+	"adhoctx/internal/sched"
+)
+
+// Class is a §4 bug class a violation is classified into.
+type Class string
+
+const (
+	// ClassOmittedCoordination is §4.2: the guard runs in one transaction
+	// and the writes in another, with no coordination (Saleor overcharging).
+	ClassOmittedCoordination Class = "§4.2 omitted coordination: unprotected check"
+	// ClassOmittedLocking is §4.2: a read-modify-write reads without locking
+	// (the classic lost update).
+	ClassOmittedLocking Class = "§4.2 omitted locking: unlocked read-modify-write"
+	// ClassReadBeforeLock is §4.1.1: validation reads taken before the lock
+	// and not repeated inside it (Discourse edit-post).
+	ClassReadBeforeLock Class = "§4.1.1 lock misuse: read before lock"
+	// ClassTTLLease is §4.1.1: the lease TTL is shorter than the critical
+	// section (Mastodon issue 15645).
+	ClassTTLLease Class = "§4.1.1 lock misuse: TTL lease expiry"
+	// ClassValidationWindow is §4.1.2: validation and write-back in separate
+	// statements (Discourse's MiniSql escape).
+	ClassValidationWindow Class = "§4.1.2 non-atomic validation: validate/write window"
+	// ClassCrashOrphanedLock is §3.4.2/§4.3: a crash leaves the persisted
+	// lock row behind and recovery cannot tell it from a live lock.
+	ClassCrashOrphanedLock Class = "§3.4.2/§4.3 failure handling: crash-orphaned lock"
+)
+
+// Strategy is the shape of the emitted rewrite.
+type Strategy string
+
+const (
+	// RewriteDBT replaces the ad hoc section with one database transaction
+	// using locking reads — the paper's suggested rewrite when the section
+	// fits a DBT.
+	RewriteDBT Strategy = "aht-to-dbt"
+	// CorrectAHT keeps the ad hoc protection and removes its misuse.
+	CorrectAHT Strategy = "corrected-aht"
+)
+
+// Kind says what a Fix repairs.
+type Kind string
+
+const (
+	KindScenario Kind = "scenario"
+	KindLitmus   Kind = "litmus"
+)
+
+// Fix is one emitted repair: the classification, the rewrite, and the
+// repaired program the explorer re-proves.
+type Fix struct {
+	// Target is the buggy program: "<spec>/<suffix>" or "<litmus>/buggy".
+	Target   string
+	Kind     Kind
+	Class    Class
+	Strategy Strategy
+	// Note is the one-line description of the rewrite.
+	Note string
+
+	// Original and Repaired are set for scenario fixes: the repaired variant
+	// is expanded from Spec, the transformed scenario.Spec (which round-trips
+	// through the text form, so the rewrite is itself a reviewable artifact).
+	Original *scenario.Variant
+	Spec     *scenario.Spec
+	Repaired *scenario.Variant
+
+	// Program is set for litmus fixes: the pair's corrected program.
+	Program sched.Program
+	PCTLen  int
+}
+
+// RepairedName returns the display name of the repaired program.
+func (f *Fix) RepairedName() string {
+	if f.Kind == KindLitmus {
+		return f.Program.Name
+	}
+	return f.Repaired.Name
+}
+
+// Classify maps a scenario mutation to its bug class, rewrite strategy, and
+// rewrite description.
+func Classify(m scenario.Mutation) (Class, Strategy, string, error) {
+	switch m {
+	case scenario.MutOmittedCheck:
+		return ClassOmittedCoordination, RewriteDBT,
+			"run the guard and the writes in one database transaction with locking reads", nil
+	case scenario.MutUnlockedRead:
+		return ClassOmittedLocking, RewriteDBT,
+			"read with FOR UPDATE so the read-modify-write holds its row locks to commit", nil
+	case scenario.MutReadBeforeLock:
+		return ClassReadBeforeLock, CorrectAHT,
+			"re-read and validate inside the lock; drop the pre-lock read", nil
+	case scenario.MutTTLLease:
+		return ClassTTLLease, CorrectAHT,
+			"remove the lease TTL so it cannot lapse while the section holds it", nil
+	case scenario.MutValidationWindow:
+		return ClassValidationWindow, CorrectAHT,
+			"compile validate-and-set to one atomic compare-and-set statement", nil
+	}
+	return "", "", "", fmt.Errorf("repair: no repair for mutation %q", m)
+}
+
+// transformSpec emits the repaired spec: the buggy variant's mutation is
+// dropped, and for RewriteDBT repairs the protection set collapses to the
+// DBT rewrite. The result expands to exactly one fixed variant.
+func transformSpec(v *scenario.Variant) *scenario.Spec {
+	s := *v.Spec
+	if v.Mutation == scenario.MutOmittedCheck || v.Mutation == scenario.MutUnlockedRead {
+		s.Protections = []scenario.Protection{scenario.ProtDBT}
+	} else {
+		s.Protections = []scenario.Protection{v.Protect}
+	}
+	s.Mutations = nil
+	return &s
+}
+
+// ForVariant classifies a buggy scenario variant and emits its repair: a
+// transformed Spec whose single expanded variant is the repaired program.
+func ForVariant(v *scenario.Variant) (*Fix, error) {
+	if !v.Buggy {
+		return nil, fmt.Errorf("repair: %s is not buggy — nothing to repair", v.Name)
+	}
+	class, strat, note, err := Classify(v.Mutation)
+	if err != nil {
+		return nil, fmt.Errorf("repair: %s: %w", v.Name, err)
+	}
+	spec := transformSpec(v)
+	vs, err := scenario.Expand(spec)
+	if err != nil {
+		return nil, fmt.Errorf("repair: %s: transformed spec does not expand: %w", v.Name, err)
+	}
+	if len(vs) != 1 || vs[0].Buggy {
+		return nil, fmt.Errorf("repair: %s: transformed spec expanded to %d variants, want 1 fixed", v.Name, len(vs))
+	}
+	return &Fix{
+		Target:   v.Name,
+		Kind:     KindScenario,
+		Class:    class,
+		Strategy: strat,
+		Note:     note,
+		Original: v,
+		Spec:     spec,
+		Repaired: vs[0],
+	}, nil
+}
+
+// litmusFixes maps each litmus pair to its classification and rewrite note.
+// The repaired program is the pair's Fixed variant — the hand-written form of
+// the same rewrite the scenario transformer emits mechanically.
+var litmusFixes = map[string]struct {
+	class    Class
+	strategy Strategy
+	note     string
+}{
+	"saleor-capture": {ClassOmittedCoordination, RewriteDBT,
+		"run the total check and the capture increment in one transaction with a locking read"},
+	"engine-lost-update": {ClassOmittedLocking, RewriteDBT,
+		"read the balance with FOR UPDATE inside the deposit transaction"},
+	"discourse-edit": {ClassReadBeforeLock, CorrectAHT,
+		"re-read and validate the post content inside the post lock"},
+	"mastodon-ttl": {ClassTTLLease, CorrectAHT,
+		"remove the lease TTL so it cannot lapse while the delete section holds it"},
+	"broadleaf-dblock": {ClassCrashOrphanedLock, CorrectAHT,
+		"stamp each boot with a fresh boot ID so orphaned lock rows read as stale and are taken over"},
+}
+
+// ForLitmus classifies a litmus pair's buggy program and emits its repair.
+func ForLitmus(p litmus.Pair) (*Fix, error) {
+	lf, ok := litmusFixes[p.Name]
+	if !ok {
+		return nil, fmt.Errorf("repair: no repair known for litmus %q", p.Name)
+	}
+	return &Fix{
+		Target:   p.Name + "/buggy",
+		Kind:     KindLitmus,
+		Class:    lf.class,
+		Strategy: lf.strategy,
+		Note:     lf.note,
+		Program:  p.Fixed,
+		PCTLen:   p.PCTLen,
+	}, nil
+}
+
+// Prove re-proves a fix: the repaired program is explored by bounded-
+// exhaustive DFS and must complete the space with zero violations. The
+// report is returned alongside any failure so callers can show the stats.
+func Prove(fix *Fix) (*sched.Report, error) {
+	var ex *sched.Explorer
+	if fix.Kind == KindLitmus {
+		ex = &sched.Explorer{Prog: fix.Program, PCTLen: fix.PCTLen}
+	} else {
+		ex = scenario.Explorer(fix.Repaired)
+	}
+	name := fix.RepairedName()
+	rep, err := ex.ExploreDFS()
+	if err != nil {
+		return nil, fmt.Errorf("repair: prove %s: %w", name, err)
+	}
+	if rep.Violation != nil {
+		return rep, fmt.Errorf("repair: %s still violates after %d schedules: %v",
+			name, rep.Schedules, rep.Violation.Err)
+	}
+	if !rep.Complete {
+		return rep, fmt.Errorf("repair: %s not explored to exhaustion (%d schedules, %d truncated)",
+			name, rep.Schedules, rep.Truncated)
+	}
+	return rep, nil
+}

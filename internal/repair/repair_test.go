@@ -1,0 +1,228 @@
+package repair
+
+import (
+	"strings"
+	"testing"
+
+	"adhoctx/internal/litmus"
+	"adhoctx/internal/scenario"
+	"adhoctx/internal/sched"
+)
+
+// TestClassify pins the mutation → (class, strategy) map: omitted checks and
+// unlocked reads get the DBT rewrite, lock/validation misuses get the
+// corrected ad hoc implementation.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		m     scenario.Mutation
+		class Class
+		strat Strategy
+	}{
+		{scenario.MutOmittedCheck, ClassOmittedCoordination, RewriteDBT},
+		{scenario.MutUnlockedRead, ClassOmittedLocking, RewriteDBT},
+		{scenario.MutReadBeforeLock, ClassReadBeforeLock, CorrectAHT},
+		{scenario.MutTTLLease, ClassTTLLease, CorrectAHT},
+		{scenario.MutValidationWindow, ClassValidationWindow, CorrectAHT},
+	}
+	for _, c := range cases {
+		class, strat, note, err := Classify(c.m)
+		if err != nil {
+			t.Fatalf("%s: %v", c.m, err)
+		}
+		if class != c.class || strat != c.strat {
+			t.Errorf("%s: got (%s, %s), want (%s, %s)", c.m, class, strat, c.class, c.strat)
+		}
+		if note == "" {
+			t.Errorf("%s: empty rewrite note", c.m)
+		}
+	}
+	if _, _, _, err := Classify("no-such-mutation"); err == nil {
+		t.Fatal("unknown mutation classified")
+	}
+}
+
+// TestForVariantShapes checks the transformed spec per strategy: RewriteDBT
+// collapses the protection set to dbt, CorrectAHT keeps the protection, and
+// both drop every mutation and expand to exactly one fixed variant.
+func TestForVariantShapes(t *testing.T) {
+	vs, err := scenario.ExpandAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Strategy]bool{}
+	for _, v := range vs {
+		if !v.Buggy {
+			if _, err := ForVariant(v); err == nil {
+				t.Fatalf("%s: fixed variant repaired", v.Name)
+			}
+			continue
+		}
+		fix, err := ForVariant(v)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		seen[fix.Strategy] = true
+		if fix.Target != v.Name || fix.Kind != KindScenario {
+			t.Fatalf("%s: bad fix identity %q/%q", v.Name, fix.Target, fix.Kind)
+		}
+		if len(fix.Spec.Mutations) != 0 {
+			t.Fatalf("%s: repaired spec keeps mutations %v", v.Name, fix.Spec.Mutations)
+		}
+		if len(fix.Spec.Protections) != 1 {
+			t.Fatalf("%s: repaired spec has %d protections", v.Name, len(fix.Spec.Protections))
+		}
+		want := v.Protect
+		if fix.Strategy == RewriteDBT {
+			want = scenario.ProtDBT
+		}
+		if fix.Spec.Protections[0] != want {
+			t.Fatalf("%s: repaired protection %s, want %s", v.Name, fix.Spec.Protections[0], want)
+		}
+		if fix.Repaired.Buggy {
+			t.Fatalf("%s: repaired variant still buggy", v.Name)
+		}
+		if fix.RepairedName() != scenario.VariantName(v.Spec.Name, want, "") {
+			t.Fatalf("%s: repaired name %s", v.Name, fix.RepairedName())
+		}
+	}
+	if !seen[RewriteDBT] || !seen[CorrectAHT] {
+		t.Fatalf("family did not exercise both strategies: %v", seen)
+	}
+}
+
+// TestForLitmusCoversEveryPair: every litmus pair classifies, and the
+// repaired program is the pair's fixed variant.
+func TestForLitmusCoversEveryPair(t *testing.T) {
+	for _, p := range litmus.Pairs() {
+		fix, err := ForLitmus(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if fix.Kind != KindLitmus || fix.Target != p.Name+"/buggy" {
+			t.Fatalf("%s: bad fix identity %q/%q", p.Name, fix.Target, fix.Kind)
+		}
+		if fix.Program.Name != p.Fixed.Name {
+			t.Fatalf("%s: repaired program %q, want %q", p.Name, fix.Program.Name, p.Fixed.Name)
+		}
+		if fix.Class == "" || fix.Note == "" {
+			t.Fatalf("%s: missing class or note", p.Name)
+		}
+	}
+	if _, err := ForLitmus(litmus.Pair{Name: "no-such-pair"}); err == nil {
+		t.Fatal("unknown pair repaired")
+	}
+}
+
+// TestProveRejectsBrokenRepair: Prove refuses a "repair" that still
+// violates — a fix pointing at the buggy program itself must not prove.
+func TestProveRejectsBrokenRepair(t *testing.T) {
+	p, ok := litmus.Find("saleor-capture")
+	if !ok {
+		t.Fatal("saleor-capture missing")
+	}
+	fix, err := ForLitmus(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix.Program = p.Buggy // sabotage: the "repair" is the bug
+	rep, err := Prove(fix)
+	if err == nil {
+		t.Fatal("Prove accepted a still-buggy repair")
+	}
+	if rep == nil || rep.Violation == nil {
+		t.Fatal("Prove returned no violating report for the bad repair")
+	}
+}
+
+// TestBlameNamesTheRepairedTxn is the acceptance criterion for -blame: on
+// the pre-repair violating schedule, the blame names the exact transaction
+// (with its op tag and the variant's protection) that the repair changes,
+// resolved to a commit step of the replayed trace.
+func TestBlameNamesTheRepairedTxn(t *testing.T) {
+	vs, err := scenario.ExpandAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := scenario.FindVariant(vs, "saleor-capture/mem+read-before-lock")
+	if !ok {
+		for _, cand := range vs {
+			if cand.Buggy {
+				v = cand
+				break
+			}
+		}
+	}
+	rep, err := scenario.ExploreDFS(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatalf("%s: no violation to blame", v.Name)
+	}
+	id := rep.Violation.ScheduleID
+	if rep.Violation.MinScheduleID != "" {
+		id = rep.Violation.MinScheduleID
+	}
+
+	b, err := BlameSchedule(v, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Targets) == 0 {
+		t.Fatal("blame resolved no target rows")
+	}
+	named := false
+	for _, tg := range b.Targets {
+		if tg.HasWriter && tg.Step >= 0 {
+			named = true
+		}
+	}
+	if !named {
+		t.Fatal("no target writer resolved to a trace commit step")
+	}
+
+	out := b.Format()
+	for _, want := range []string{
+		"blame " + v.Name,
+		"schedule: " + id,
+		"protection: " + string(v.Protect),
+		"mutation: " + string(v.Mutation),
+		"violation: ",
+		"last writer: ",
+		"tag=",
+		"commit step: ",
+		"repair (" + string(b.Fix.Strategy) + "): ",
+		"re-prove: " + b.Fix.RepairedName(),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("blame output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: the same schedule blames identically.
+	b2, err := BlameSchedule(v, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Format() != out {
+		t.Fatal("blame output not deterministic across replays")
+	}
+}
+
+// TestBlameRejectsCleanSchedule: blaming a schedule that does not violate is
+// an error, not an empty blame.
+func TestBlameRejectsCleanSchedule(t *testing.T) {
+	vs, err := scenario.ExpandAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := scenario.FindVariant(vs, "saleor-capture/mem+read-before-lock")
+	if !ok {
+		t.Skip("variant renamed; the clean-schedule contract is covered elsewhere")
+	}
+	// The default-pick schedule (no recorded decisions) runs near-serially
+	// and is clean: the read-before-lock bug needs interleaving.
+	clean := sched.EncodeSchedule(2, nil)
+	if _, err := BlameSchedule(v, clean); err == nil {
+		t.Fatalf("%s: blame of a clean schedule succeeded", v.Name)
+	}
+}

@@ -131,6 +131,13 @@ type world struct {
 }
 
 func compileProgram(s *Spec, v *Variant) sched.Program {
+	return compileWith(s, v, nil)
+}
+
+// compileWith compiles the variant's program; when p is non-nil every run
+// additionally captures provenance evidence (WAL bytes, txn tags, seeded
+// pks) into p after its terminal check — see ReplayProbed.
+func compileWith(s *Spec, v *Variant, p *Probe) sched.Program {
 	return sched.Program{
 		Name: v.Name,
 		Doc:  s.Doc,
@@ -138,6 +145,10 @@ func compileProgram(s *Spec, v *Variant) sched.Program {
 			w, err := buildWorld(s, v)
 			if err != nil {
 				return nil, err
+			}
+			var tt *tagTracer
+			if p != nil {
+				tt = probeWorld(w)
 			}
 			errs := make([]error, len(s.Calls))
 			threads := make([]sched.Thread, len(s.Calls))
@@ -154,10 +165,16 @@ func compileProgram(s *Spec, v *Variant) sched.Program {
 					},
 				}
 			}
-			return &sched.Instance{
+			inst := &sched.Instance{
 				Threads: threads,
 				Check:   func(r *sched.Result) error { return w.check(errs) },
-			}, nil
+			}
+			if p != nil {
+				// Cleanup runs after Check, so the capture sees the terminal
+				// WAL even when the check flagged a violation.
+				inst.Cleanup = func() { p.capture(w, tt, errs) }
+			}
+			return inst, nil
 		},
 	}
 }
@@ -362,9 +379,9 @@ func (w *world) readOpIn(t *engine.Txn, op *Op, forUpdate bool) (opRead, error) 
 
 // readOp reads the op's rows in its own (non-locking) transaction — the ad
 // hoc fragment read.
-func (w *world) readOp(op *Op) (opRead, error) {
+func (w *world) readOp(op *Op, tag string) (opRead, error) {
 	var rd opRead
-	err := w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+	err := w.runTagged(tag, func(t *engine.Txn) error {
 		var err error
 		rd, err = w.readOpIn(t, op, false)
 		return err
@@ -388,16 +405,20 @@ func (w *world) lockKeys(op *Op) []string {
 // ---- per-variant call compilation ----
 
 func (w *world) compileCall(v *Variant, idx int, op *Op, args []int64) func() error {
+	// Every engine transaction a call issues — the single DBT, or each
+	// fragment of an ad hoc section — carries the same "<op>-<idx>" tag, so
+	// spans and provenance joins can attribute fragments to application
+	// intent (the paper's point: the fragments ARE one logical transaction).
+	tag := fmt.Sprintf("%s-%d", op.Name, idx)
 	switch {
 	case v.Mutation == MutOmittedCheck:
-		return func() error { return w.runOmitted(op, args) }
+		return func() error { return w.runOmitted(op, args, tag) }
 	case v.Protect == ProtDBT:
 		locked := v.Mutation != MutUnlockedRead
-		tag := fmt.Sprintf("%s-%d", op.Name, idx)
 		return func() error { return w.runDBT(op, args, locked, tag) }
 	case v.Protect == ProtOCC:
 		atomic := v.Mutation != MutValidationWindow
-		return func() error { return w.runOCC(op, args, atomic) }
+		return func() error { return w.runOCC(op, args, atomic, tag) }
 	default: // mem / setnx / db lock sections
 		locker := w.lockerFor(idx)
 		readBefore := v.Mutation == MutReadBeforeLock && op.Kind != OpDelete
@@ -406,8 +427,16 @@ func (w *world) compileCall(v *Variant, idx int, op *Op, args []int64) func() er
 			clock := w.clock
 			slow = func() { clock.Sleep(3 * time.Second) }
 		}
-		return func() error { return w.runLocked(op, args, locker, readBefore, slow) }
+		return func() error { return w.runLocked(op, args, locker, readBefore, slow, tag) }
 	}
+}
+
+// runTagged runs one engine transaction labelled with the call's tag.
+func (w *world) runTagged(tag string, fn func(*engine.Txn) error) error {
+	return w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		t.SetTag(tag)
+		return fn(t)
+	})
 }
 
 // runDBT executes the op as one database transaction; locked=false is the
@@ -483,7 +512,7 @@ func (w *world) applyIn(t *engine.Txn, op *Op, args []int64, rd opRead) error {
 // write in separate transactions. readBefore moves the validation read in
 // front of the acquire (§4.1.1); slow, when non-nil, stalls the section past
 // a lease TTL (§4.1.1).
-func (w *world) runLocked(op *Op, args []int64, locker core.Locker, readBefore bool, slow func()) error {
+func (w *world) runLocked(op *Op, args []int64, locker core.Locker, readBefore bool, slow func(), tag string) error {
 	section := func(rd opRead) error {
 		switch op.Kind {
 		case OpDelete:
@@ -493,7 +522,7 @@ func (w *world) runLocked(op *Op, args []int64, locker core.Locker, readBefore b
 			if !guardOK(op.Guard, args, rd.vals) {
 				return ErrGuardFailed
 			}
-			return w.cascadeDelete(op, slow)
+			return w.cascadeDelete(op, slow, tag)
 		case OpInsertRef:
 			if !rd.ok {
 				return nil
@@ -504,7 +533,7 @@ func (w *world) runLocked(op *Op, args []int64, locker core.Locker, readBefore b
 			if slow != nil {
 				slow()
 			}
-			return w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			return w.runTagged(tag, func(t *engine.Txn) error {
 				_, err := t.Insert(op.Child, w.childRow(op, w.pkOf(op.Target)))
 				return err
 			})
@@ -520,21 +549,21 @@ func (w *world) runLocked(op *Op, args []int64, locker core.Locker, readBefore b
 			}
 			// Write-back uses the values the section read — safe under the
 			// lock, stale if the read escaped it.
-			return w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+			return w.runTagged(tag, func(t *engine.Txn) error {
 				return w.applyIn(t, op, args, opRead{
 					vals: rd.vals, toVals: rd.toVals, ok: true, toOK: rd.toOK})
 			})
 		}
 	}
 	if readBefore {
-		rd, err := w.readOp(op)
+		rd, err := w.readOp(op, tag)
 		if err != nil {
 			return err
 		}
 		return core.WithLocks(locker, w.lockKeys(op), func() error { return section(rd) })
 	}
 	return core.WithLocks(locker, w.lockKeys(op), func() error {
-		rd, err := w.readOp(op)
+		rd, err := w.readOp(op, tag)
 		if err != nil {
 			return err
 		}
@@ -545,10 +574,10 @@ func (w *world) runLocked(op *Op, args []int64, locker core.Locker, readBefore b
 // cascadeDelete removes children and parent in separate transactions (the
 // fan-out shape); slow stalls between them — the window a lapsed lease turns
 // into an orphan factory.
-func (w *world) cascadeDelete(op *Op, slow func()) error {
+func (w *world) cascadeDelete(op *Op, slow func(), tag string) error {
 	pk := w.pkOf(op.Target)
 	if op.Child != "" {
-		err := w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		err := w.runTagged(tag, func(t *engine.Txn) error {
 			_, err := t.Delete(op.Child, storage.Eq{Col: op.RefCol, Val: pk})
 			return err
 		})
@@ -559,7 +588,7 @@ func (w *world) cascadeDelete(op *Op, slow func()) error {
 	if slow != nil {
 		slow()
 	}
-	return w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+	return w.runTagged(tag, func(t *engine.Txn) error {
 		_, err := t.Delete(op.Target.Entity, storage.ByPK(pk))
 		return err
 	})
@@ -567,8 +596,8 @@ func (w *world) cascadeDelete(op *Op, slow func()) error {
 
 // runOmitted is the §4.2 shape: the guard runs in one transaction, the
 // writes in another, with no coordination in between.
-func (w *world) runOmitted(op *Op, args []int64) error {
-	rd, err := w.readOp(op)
+func (w *world) runOmitted(op *Op, args []int64, tag string) error {
+	rd, err := w.readOp(op, tag)
 	if err != nil {
 		return err
 	}
@@ -580,7 +609,7 @@ func (w *world) runOmitted(op *Op, args []int64) error {
 		if !guardOK(op.Guard, args, rd.vals) {
 			return ErrGuardFailed
 		}
-		return w.cascadeDelete(op, nil)
+		return w.cascadeDelete(op, nil, tag)
 	case OpInsertRef:
 		if !rd.ok {
 			return nil
@@ -588,7 +617,7 @@ func (w *world) runOmitted(op *Op, args []int64) error {
 		if !guardOK(op.Guard, args, rd.vals) {
 			return ErrGuardFailed
 		}
-		return w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		return w.runTagged(tag, func(t *engine.Txn) error {
 			_, err := t.Insert(op.Child, w.childRow(op, w.pkOf(op.Target)))
 			return err
 		})
@@ -602,7 +631,7 @@ func (w *world) runOmitted(op *Op, args []int64) error {
 		// The write transaction re-reads current values and applies the
 		// already-"validated" change — the Saleor capture shape: every
 		// concurrent caller passes the check against the same stale state.
-		return w.eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		return w.runTagged(tag, func(t *engine.Txn) error {
 			rd2, err := w.readOpIn(t, op, false)
 			if err != nil {
 				return err
@@ -643,11 +672,11 @@ func occWatchCol(op *Op) string {
 // runOCC executes the op as an optimistic section: read, check, then
 // compare-and-set on the watch column. atomic=false is the validation-window
 // mutation (§4.1.2): validation and write-back in separate statements.
-func (w *world) runOCC(op *Op, args []int64, atomic bool) error {
-	ck := validate.Checker{Eng: w.eng, Table: op.Target.Entity}
+func (w *world) runOCC(op *Op, args []int64, atomic bool, tag string) error {
+	ck := validate.Checker{Eng: w.eng, Table: op.Target.Entity, Tag: tag}
 	pk := w.pkOf(op.Target)
 	return core.RetryOptimistic(8, func() error {
-		rd, err := w.readOp(op)
+		rd, err := w.readOp(op, tag)
 		if err != nil {
 			return err
 		}

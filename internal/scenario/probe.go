@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"sync"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/sched"
+	"adhoctx/internal/wal"
+)
+
+// Probe captures the provenance evidence of a replayed schedule: the WAL the
+// run produced, the txn-id→tag map joining WAL records to the spec's op
+// calls, the seeded primary keys (so invariant targets resolve to rows), and
+// the per-call errors. internal/repair joins these with the schedule trace
+// to explain a violation before repairing it.
+type Probe struct {
+	// WAL is the terminal in-memory log (engine.WALBytes) of the run.
+	WAL []byte
+	// Tags maps txn id → "<op>-<callIdx>" for every transaction any call
+	// issued (ad hoc fragments share their call's tag).
+	Tags map[uint64]string
+	// PKs maps entity name → seeded primary keys by row index.
+	PKs map[string][]int64
+	// CallErrs holds each call's final error (nil for success).
+	CallErrs []error
+}
+
+// tagTracer records txn-id→tag while forwarding to any tracer already
+// installed (the DBT serializability history), so probing never changes
+// what the oracle sees.
+type tagTracer struct {
+	next engine.Tracer
+
+	mu   sync.Mutex
+	tags map[uint64]string
+}
+
+func (tt *tagTracer) Trace(ev engine.Event) {
+	if ev.Tag != "" {
+		tt.mu.Lock()
+		tt.tags[ev.TxnID] = ev.Tag
+		tt.mu.Unlock()
+	}
+	if tt.next != nil {
+		tt.next.Trace(ev)
+	}
+}
+
+func (tt *tagTracer) snapshot() map[uint64]string {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	out := make(map[uint64]string, len(tt.tags))
+	for id, tag := range tt.tags {
+		out[id] = tag
+	}
+	return out
+}
+
+// probeWorld chains a tag tracer in front of the world's tracer (if any).
+// Transactions already in the WAL at install time are the world's seeding
+// writes; they are tagged "seed" so every WAL record resolves to intent.
+func probeWorld(w *world) *tagTracer {
+	tt := &tagTracer{tags: make(map[uint64]string)}
+	if recs, err := wal.Records(w.eng.WALBytes()); err == nil {
+		for _, r := range recs {
+			tt.tags[r.TxnID] = "seed"
+		}
+	}
+	if w.hist != nil {
+		tt.next = w.hist
+	}
+	w.eng.SetTracer(tt)
+	return tt
+}
+
+// capture copies the run's evidence into the probe.
+func (p *Probe) capture(w *world, tt *tagTracer, errs []error) {
+	p.WAL = w.eng.WALBytes()
+	p.Tags = tt.snapshot()
+	p.PKs = make(map[string][]int64, len(w.pks))
+	for e, pks := range w.pks {
+		p.PKs[e] = append([]int64(nil), pks...)
+	}
+	p.CallErrs = append([]error(nil), errs...)
+}
+
+// ReplayProbed re-executes a recorded schedule ID against the variant with
+// provenance capture: the returned probe holds the terminal WAL, the
+// txn→call-tag join, and per-call errors of that exact schedule, and the
+// report's violation trace carries "txn=<id>" commit annotations.
+func ReplayProbed(v *Variant, id string) (*sched.Report, *Probe, error) {
+	p := &Probe{}
+	ex := &sched.Explorer{Prog: compileWith(v.Spec, v, p), PCTLen: v.PCTLen}
+	if v.Buggy {
+		ex.MaxSchedules = v.Budget
+	}
+	rep, err := ex.ReplayID(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, p, nil
+}

@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"adhoctx/internal/provenance"
+)
+
+// TestReplayProbed exercises the probe path end to end on one buggy
+// variant: explore to the violation, replay its schedule ID probed, and
+// check the captured evidence joins — WAL bytes decode, txn tags name the
+// spec's ops, and the replayed trace carries commit annotations that
+// CommitStep can resolve for a WAL-attributed transaction.
+func TestReplayProbed(t *testing.T) {
+	vs, err := ExpandAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := FindVariant(vs, "saleor-capture/mem+read-before-lock")
+	if !ok {
+		// Fall back to any buggy variant if spec names shift.
+		for _, cand := range vs {
+			if cand.Buggy {
+				v = cand
+				break
+			}
+		}
+	}
+	rep, err := ExploreDFS(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatalf("%s: no violation found", v.Name)
+	}
+	id := rep.Violation.ScheduleID
+	if rep.Violation.MinScheduleID != "" {
+		id = rep.Violation.MinScheduleID
+	}
+
+	rrep, probe, err := ReplayProbed(v, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.Violation == nil {
+		t.Fatalf("%s: replay of %s did not reproduce", v.Name, id)
+	}
+	if rrep.Diverged {
+		t.Fatalf("%s: replay diverged", v.Name)
+	}
+	if len(probe.WAL) == 0 {
+		t.Fatal("probe captured no WAL")
+	}
+	if len(probe.Tags) == 0 {
+		t.Fatal("probe captured no txn tags")
+	}
+	for id, tag := range probe.Tags {
+		if tag == "" {
+			t.Fatalf("txn %d has empty tag", id)
+		}
+	}
+
+	ix := provenance.FromRaw(probe.WAL)
+	ix.AttachTags(probe.Tags)
+	if len(ix.Writes()) == 0 {
+		t.Fatal("probed WAL holds no writes")
+	}
+	// Every WAL-committed txn must resolve to a tagged call and to a commit
+	// step in the replayed trace.
+	sawStep := false
+	for _, id := range ix.TxnIDs() {
+		if ix.Tag(id) == "" {
+			t.Fatalf("txn %d committed writes but has no call tag", id)
+		}
+		if provenance.CommitStep(rrep.Violation.Steps, id) >= 0 {
+			sawStep = true
+		}
+	}
+	if !sawStep {
+		t.Fatal("no committed txn resolved to an annotated trace step")
+	}
+	// The annotation must be visible in the rendered trace too.
+	if !strings.Contains(rrep.Violation.Format(), "txn=") {
+		t.Fatal("rendered trace carries no txn annotations")
+	}
+}

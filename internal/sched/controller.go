@@ -105,6 +105,7 @@ type Step struct {
 	Branch  bool   // true for a Choose branch decision
 	Val     int    // task id, or branch value for branch steps
 	Decided bool   // true when a Strategy pick was recorded for this step
+	Note    string // Annotate notes stamped while this step executed
 }
 
 func (s Step) String() string {
@@ -112,7 +113,11 @@ func (s Step) String() string {
 	if s.Branch {
 		kind = fmt.Sprintf(" := %d", s.Val)
 	}
-	return fmt.Sprintf("%-10s %s%s", s.Task, s.Label, kind)
+	note := ""
+	if s.Note != "" {
+		note = "  [" + s.Note + "]"
+	}
+	return fmt.Sprintf("%-10s %s%s%s", s.Task, s.Label, kind, note)
 }
 
 // Result is the outcome of one controlled run.
@@ -262,6 +267,24 @@ func (c *Controller) wait(label string, ready func() bool) bool {
 	t.granted = false
 	t.mu.Unlock()
 	return ok
+}
+
+// annotate stamps a note onto the trace step currently executing. Only the
+// single running task reaches here, and the scheduler goroutine is parked in
+// await() until that task yields again, so the append is ordered with every
+// steps access through the yield/resume channels.
+func (c *Controller) annotate(note string) {
+	if c.taskFor(gid()) == nil {
+		return
+	}
+	if n := len(c.steps); n > 0 {
+		s := &c.steps[n-1]
+		if s.Note == "" {
+			s.Note = note
+		} else {
+			s.Note += " " + note
+		}
+	}
 }
 
 // choose parks the calling task at a branch decision; see Choose.

@@ -96,6 +96,22 @@ func Choose(label string, n int) int {
 	return c.choose(label, n)
 }
 
+// Annotate attaches a free-form note to the trace step that resumed the
+// calling task — the step it is currently executing. Instrumented code uses
+// it to stamp runtime identities (most importantly "txn=<id>" at the commit
+// seam) onto the schedule trace, so offline tools can join WAL records to
+// the exact step that produced them. Notes never influence scheduling: they
+// are not part of the recorded picks, so schedule IDs, replay, and
+// delta-minimization are unaffected. Without a controller (or from an
+// unregistered goroutine) Annotate is a no-op.
+func Annotate(note string) {
+	c := active.Load()
+	if c == nil {
+		return
+	}
+	c.annotate(note)
+}
+
 // gid returns the current goroutine's id by parsing the runtime stack
 // header ("goroutine 123 [running]:"). Only called while a controller is
 // installed; the microsecond cost is irrelevant during exploration and never

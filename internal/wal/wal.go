@@ -689,6 +689,26 @@ func Records(raw []byte) ([]Record, error) {
 	return out, err
 }
 
+// ValidPrefix decodes the longest decodable prefix of raw and returns its
+// records plus the prefix length in bytes. Unlike Replay it never fails:
+// decoding stops at the first bad frame whether it is a torn tail or a
+// mid-log checksum mismatch. This is the forensic iteration primitive for
+// provenance queries, which must never attribute a write to bytes past the
+// last valid frame — a record after corruption could be a stale frame from
+// a recycled segment, so nothing beyond the prefix is trusted.
+func ValidPrefix(raw []byte) (recs []Record, valid int) {
+	off := 0
+	for off < len(raw) {
+		rec, n, err := decodeRecord(raw[off:])
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs, off
+}
+
 // ---- encoding ----
 //
 // record  := len(u32) | payload | crc32(u32 over payload)
