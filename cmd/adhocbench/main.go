@@ -10,6 +10,8 @@
 //	                                # commit-throughput suite, JSON report
 //	adhocbench -bench -baseline BENCH_pr4.json
 //	                                # re-run and fail on >20% regression
+//	adhocbench -bench -mode occ     # A/B rows for one execution mode only
+//	                                # (2pl, occ, or ab = both)
 //
 // Absolute numbers depend on the simulated latency profile (see
 // EXPERIMENTS.md); the shapes are the reproduction target.
@@ -39,16 +41,13 @@ func main() {
 	bench := flag.Bool("bench", false, "run the commit-throughput benchmark suite instead of the figures")
 	writers := flag.Int("writers", 32, "concurrent committers for -bench")
 	benchDur := flag.Duration("benchdur", time.Second, "measurement window per -bench workload")
+	mode := flag.String("mode", "ab", "execution modes for the -bench A/B rows: 2pl, occ, or ab (both)")
 	jsonPath := flag.String("json", "", "write the -bench report to this file as JSON")
 	baseline := flag.String("baseline", "", "compare the -bench run against this JSON baseline; exit 1 on >20% regression in gated workloads")
 	flag.Parse()
 
 	if *bench {
-		if err := runBench(*writers, *benchDur, *jsonPath, *baseline); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
+		os.Exit(doBench(*writers, *benchDur, *mode, *jsonPath, *baseline))
 	}
 
 	if *addr != "" {
@@ -154,39 +153,59 @@ func main() {
 	}
 }
 
-// runBench runs the PR-4 commit-throughput suite, optionally writing the
-// JSON report and/or failing against a committed baseline.
-func runBench(writers int, dur time.Duration, jsonPath, baselinePath string) error {
+// doBench runs the commit-throughput suite and returns the process exit
+// code: 0 = ran clean, 1 = the run or the baseline comparison failed,
+// 2 = the invocation itself was wrong (unknown -mode, unusable -baseline).
+// Invocation errors are rejected before any measurement runs, so a mistyped
+// flag fails in milliseconds, not after the full suite.
+func doBench(writers int, dur time.Duration, mode, jsonPath, baselinePath string) int {
+	switch mode {
+	case "", "ab", "2pl", "occ":
+	default:
+		fmt.Fprintf(os.Stderr, "adhocbench: unknown -mode %q (have 2pl, occ, ab)\n", mode)
+		return 2
+	}
+	var base *experiments.BenchReport
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adhocbench:", err)
+			return 2
+		}
+		base = new(experiments.BenchReport)
+		if err := json.Unmarshal(raw, base); err != nil {
+			fmt.Fprintf(os.Stderr, "adhocbench: parse baseline %s: %v\n", baselinePath, err)
+			return 2
+		}
+	}
+
 	cfg := experiments.DefaultCommitBenchConfig()
 	cfg.Writers = writers
 	cfg.Duration = dur
+	cfg.Mode = mode
 	rep, err := experiments.CommitBench(cfg)
 	if err != nil {
-		return err
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
 	fmt.Print(experiments.RenderBench(rep))
 	if jsonPath != "" {
 		out, err := experiments.MarshalBench(rep)
 		if err != nil {
-			return err
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
-			return err
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 	}
-	if baselinePath != "" {
-		raw, err := os.ReadFile(baselinePath)
-		if err != nil {
-			return err
-		}
-		var base experiments.BenchReport
-		if err := json.Unmarshal(raw, &base); err != nil {
-			return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
-		}
-		if err := experiments.CompareBench(base, rep, 0.20); err != nil {
-			return err
+	if base != nil {
+		if err := experiments.CompareBench(*base, rep, 0.20); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 		fmt.Println("no regressions vs", baselinePath)
 	}
-	return nil
+	return 0
 }

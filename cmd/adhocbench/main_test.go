@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"adhoctx/internal/experiments"
+)
+
+// These tests pin the -bench CLI contract the CI bench-regression job relies
+// on: exit 0 = suite ran clean, 1 = the run or the baseline comparison
+// failed, 2 = the invocation itself was wrong. Invocation errors (unknown
+// -mode, unusable -baseline) must be rejected BEFORE any measurement runs —
+// a mistyped flag on a multi-minute bench run should fail instantly.
+
+func TestDoBenchUsageErrors(t *testing.T) {
+	start := time.Now()
+	if got := doBench(1, time.Millisecond, "bogus", "", ""); got != 2 {
+		t.Errorf("doBench(mode=bogus) = %d, want 2", got)
+	}
+	missing := filepath.Join(t.TempDir(), "no-such-baseline.json")
+	if got := doBench(1, time.Millisecond, "ab", "", missing); got != 2 {
+		t.Errorf("doBench(missing baseline) = %d, want 2", got)
+	}
+	garbled := filepath.Join(t.TempDir(), "garbled.json")
+	if err := os.WriteFile(garbled, []byte("not json{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := doBench(1, time.Millisecond, "ab", "", garbled); got != 2 {
+		t.Errorf("doBench(garbled baseline) = %d, want 2", got)
+	}
+	// All three must have bailed before any measurement window opened.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("usage errors took %v; they must fail before the suite runs", elapsed)
+	}
+}
+
+func TestDoBenchModeOCCReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the bench suite")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if got := doBench(2, 100*time.Millisecond, "occ", path, ""); got != 0 {
+		t.Fatalf("doBench(mode=occ) = %d, want 0", got)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.BenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	var occCurve, occCommit, occMix bool
+	for _, r := range rep.Results {
+		if strings.Contains(r.Name, "/2pl") {
+			t.Errorf("mode occ emitted 2PL A/B row %s", r.Name)
+		}
+		switch {
+		case strings.HasPrefix(r.Name, "ab/hotkey/occ/"), strings.HasPrefix(r.Name, "ab/mixed/occ/"):
+			occCurve = true
+		case r.Name == "ab/commit/occ":
+			occCommit = r.Gate
+		case strings.HasPrefix(r.Name, "genmix/") && strings.HasSuffix(r.Name, "/occ"):
+			occMix = true
+		}
+	}
+	if !occCurve || !occCommit || !occMix {
+		t.Errorf("mode occ report missing rows: curve=%v gatedCommit=%v genmix=%v",
+			occCurve, occCommit, occMix)
+	}
+}
+
+func TestDoBenchBaselineRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the bench suite")
+	}
+	// A baseline claiming an impossible gated throughput must trip the
+	// comparison: any real run regresses against it, exit 1.
+	base := experiments.BenchReport{Results: []experiments.BenchResult{
+		{Name: "commit/group", OpsPerSec: 1e12, Gate: true},
+	}}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inflated.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := doBench(2, 100*time.Millisecond, "2pl", "", path); got != 1 {
+		t.Errorf("doBench(inflated baseline) = %d, want 1 (regression)", got)
+	}
+}

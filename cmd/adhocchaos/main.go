@@ -42,6 +42,7 @@ func main() {
 		group    = flag.Bool("groupcommit", false, "run the engine with WAL group commit (adds the wal flush crash points)")
 		shards   = flag.Int("shards", 0, "lock manager shard count (0 = default)")
 		fsync    = flag.Duration("fsync", 0, "simulated WAL device flush time")
+		occ      = flag.Bool("occ", false, "run transfers as optimistic (OCC) transactions; adds the engine OCC crash points")
 		restart  = flag.Bool("restart", false, "restart mode: on-disk WAL, crashes kill and re-open the whole stack")
 		verbose  = flag.Bool("v", false, "print every seed's report, not just failures")
 	)
@@ -62,6 +63,7 @@ func main() {
 			GroupCommit: *group,
 			LockShards:  *shards,
 			Fsync:       *fsync,
+			OCC:         *occ,
 		}
 		if !*noFaults {
 			cfg.Plan = faults.DefaultPlan()

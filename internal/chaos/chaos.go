@@ -66,6 +66,12 @@ type Config struct {
 	// LockShards partitions the engine's lock manager (0 = lockmgr
 	// default).
 	LockShards int
+	// OCC runs the built-in transfer workload as optimistic transactions:
+	// snapshot reads without locks, commit-time backward validation, client
+	// retries on the typed conflict. The crash rotation then includes the
+	// engine's OCC validate/commit points, so the process also dies inside
+	// the visible-but-not-yet-durable commit window.
+	OCC bool
 	// Fsync is the simulated WAL device flush time. Nonzero makes the
 	// flush a real bottleneck so group-commit batches actually form.
 	Fsync time.Duration
@@ -106,6 +112,14 @@ func GroupCommitConfig(seed int64) Config {
 	c := DefaultConfig(seed)
 	c.GroupCommit = true
 	c.Fsync = 500 * time.Microsecond
+	return c
+}
+
+// OCCConfig is DefaultConfig with the transfer workload in optimistic mode
+// and the engine's OCC crash points in the rotation.
+func OCCConfig(seed int64) Config {
+	c := DefaultConfig(seed)
+	c.OCC = true
 	return c
 }
 
@@ -179,6 +193,9 @@ func ReplayCommand(cfg Config) string {
 	if cfg.Fsync > 0 {
 		cmd += fmt.Sprintf(" -fsync %s", cfg.Fsync)
 	}
+	if cfg.OCC {
+		cmd += " -occ"
+	}
 	return cmd
 }
 
@@ -209,7 +226,11 @@ func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	wl := cfg.Workload
 	if wl == nil {
-		wl = transferWorkload(cfg.Rows)
+		if cfg.OCC {
+			wl = transferOCCWorkload(cfg.Rows)
+		} else {
+			wl = transferWorkload(cfg.Rows)
+		}
 	}
 	rep := &Report{Seed: cfg.Seed, Workload: wl.Name, Replay: ReplayCommand(cfg), Faults: make(map[faults.Kind]int64)}
 	if wl.Replay != "" {
@@ -260,6 +281,13 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.GroupCommit {
 		// The WAL flush points only exist on the group-commit path.
 		points = append(points, wal.CrashPointBeforeFsync, wal.CrashPointAfterFsync)
+	}
+	if cfg.OCC {
+		// The OCC points only fire on optimistic commits: engine/occ-commit
+		// kills the process after the write-set is applied in memory but
+		// before the WAL append — the commit was never acked, so recovery
+		// must make it vanish.
+		points = append(points, engine.CrashPointOCCValidate, engine.CrashPointOCCCommit)
 	}
 	armNext := func() {
 		// Fire within the first handful of visits after arming, so every
@@ -352,9 +380,10 @@ func Run(cfg Config) (*Report, error) {
 			for i := 0; i < cfg.Ops; i++ {
 				// Random row choice means random lock order: the deadlock
 				// recipe, on purpose.
-				err := cli.RunTxn(engine.IsolationDefault, func(txn *client.Txn) error {
-					return wl.Op(rng, txn)
-				})
+				err := cli.RunTxnWith(engine.IsolationDefault, client.BeginOpts{OCC: wl.OCC},
+					func(txn *client.Txn) error {
+						return wl.Op(rng, txn)
+					})
 				statsMu.Lock()
 				if err != nil {
 					rep.TransferErrs++

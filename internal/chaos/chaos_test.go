@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"adhoctx/internal/engine"
 	"adhoctx/internal/faults"
 	"adhoctx/internal/obs"
 )
@@ -198,5 +199,70 @@ func TestReplayCommandCarriesEngineConfig(t *testing.T) {
 		if !strings.Contains(cmd, want) {
 			t.Fatalf("replay command %q missing %q", cmd, want)
 		}
+	}
+}
+
+// shortOCCConfig is the CI-sized optimistic run: full fault schedule, one
+// crash cycle, transfers as engine-OCC transactions.
+func shortOCCConfig(seed int64) Config {
+	cfg := OCCConfig(seed)
+	cfg.Clients = 4
+	cfg.Ops = 15
+	cfg.Rows = 6
+	return cfg
+}
+
+// TestChaosOCCSeedsPass is the PR-10 acceptance sweep: 20 seeds of the
+// transfer workload run as optimistic transactions under the full fault
+// schedule plus crash points — including the engine's OCC validate/commit
+// points, which kill the process inside the visible-but-not-durable commit
+// window. Every seed must satisfy the same oracles as the pessimistic
+// sweep: the committed projection of the history is conflict-serializable,
+// the total balance is conserved, and no locks leak.
+func TestChaosOCCSeedsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short")
+	}
+	reports, failed, err := RunSeeds(1, 20, shortOCCConfig)
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if failed != nil {
+		t.Fatalf("seed %d violated oracles: %v\nreplay: %s",
+			failed.Seed, failed.Violations, failed.Replay)
+	}
+	var totalFaults, totalCrashes, occCrashes int64
+	for _, r := range reports {
+		if r.Workload != "transfer-occ" {
+			t.Fatalf("seed %d ran workload %q, want transfer-occ", r.Seed, r.Workload)
+		}
+		for _, n := range r.Faults {
+			totalFaults += n
+		}
+		totalCrashes += int64(len(r.CrashPoints))
+		for _, p := range r.CrashPoints {
+			if p == engine.CrashPointOCCValidate || p == engine.CrashPointOCCCommit {
+				occCrashes++
+			}
+		}
+	}
+	if totalFaults == 0 {
+		t.Fatal("no network faults injected across the OCC sweep")
+	}
+	if totalCrashes == 0 {
+		t.Fatal("no crash points fired across the OCC sweep")
+	}
+	// Across 20 seeds with the OCC points in a rotation of four, at least one
+	// crash must have landed on an OCC point, or the new window went untested.
+	if occCrashes == 0 {
+		t.Fatal("no OCC validate/commit crash points fired across 20 seeds")
+	}
+}
+
+// TestReplayCommandCarriesOCC pins the -occ flag into the replay line.
+func TestReplayCommandCarriesOCC(t *testing.T) {
+	cmd := ReplayCommand(OCCConfig(7))
+	if !strings.Contains(cmd, "-occ") {
+		t.Fatalf("replay command %q missing -occ", cmd)
 	}
 }

@@ -44,6 +44,10 @@ type Workload struct {
 	// reports — callers whose workload isn't reachable from adhocchaos
 	// flags point the report at their own command line.
 	Replay string
+	// OCC makes the harness begin every client transaction in optimistic
+	// mode (BeginOpts.OCC): Op's reads must then use LockNone and rely on
+	// commit-time validation instead of row locks.
+	OCC bool
 }
 
 // transferWorkload is the harness's original workload: contended transfers
@@ -84,6 +88,51 @@ func transferWorkload(rows int) *Workload {
 			return fmt.Sprintf("sum=%d", sum), nil
 		},
 	}
+}
+
+// transferOCCWorkload is the same contended-transfer workload run as
+// optimistic transactions: both account reads are plain snapshot reads (no
+// FOR UPDATE — under OCC the engine takes no row locks on reads at all), the
+// increments buffer locally, and commit-time backward validation plus the
+// client's CodeOCCConflict retry loop replace the locks. The oracle set is
+// unchanged: whatever mode, committed histories must serialize and the total
+// balance must be conserved.
+func transferOCCWorkload(rows int) *Workload {
+	wl := transferWorkload(rows)
+	wl.Name = "transfer-occ"
+	wl.OCC = true
+	wl.Op = func(rng *rand.Rand, txn *client.Txn) error {
+		a := 1 + rng.Int63n(int64(rows))
+		b := 1 + rng.Int63n(int64(rows))
+		for b == a {
+			b = 1 + rng.Int63n(int64(rows))
+		}
+		amt := 1 + rng.Int63n(5)
+		return transferOCC(txn, a, b, amt)
+	}
+	return wl
+}
+
+// transferOCC moves amt from a to b on snapshot reads: the reads enter the
+// transaction's read set, so a concurrent commit to either row aborts this
+// one at validation instead of blocking it at a lock.
+func transferOCC(txn *client.Txn, a, b, amt int64) error {
+	for _, id := range []int64{a, b} {
+		rows, err := txn.Select("accounts", storage.ByPK(id), wire.LockNone)
+		if err != nil {
+			return err
+		}
+		if len(rows.Rows) != 1 {
+			return fmt.Errorf("chaos: account %d: got %d rows", id, len(rows.Rows))
+		}
+	}
+	if _, err := txn.Update("accounts", storage.ByPK(a),
+		map[string]storage.Value{"bal": storage.Inc(-amt)}); err != nil {
+		return err
+	}
+	_, err := txn.Update("accounts", storage.ByPK(b),
+		map[string]storage.Value{"bal": storage.Inc(amt)})
+	return err
 }
 
 // transfer moves amt from account a to b under FOR UPDATE locks, reading

@@ -298,6 +298,10 @@ type BeginOpts struct {
 	// a node whose applied LSN is behind it rejects the BEGIN with
 	// CodeStaleRead instead of serving stale rows.
 	MinLSN uint64
+	// OCC runs the transaction in optimistic mode: snapshot reads without
+	// lock acquisition, write buffering, and backward validation at commit.
+	// Validation failure surfaces as CodeOCCConflict, which is retryable.
+	OCC bool
 }
 
 // Rows is one SELECT result set.
@@ -328,7 +332,7 @@ func (c *Client) BeginWith(iso engine.Isolation, opts BeginOpts) (*Txn, error) {
 		}
 		resp, err := cn.roundTrip(&wire.Request{
 			Op: wire.OpBegin, Iso: uint8(iso),
-			ReadOnly: opts.ReadOnly, MinLSN: opts.MinLSN,
+			ReadOnly: opts.ReadOnly, MinLSN: opts.MinLSN, OCC: opts.OCC,
 		})
 		if err != nil {
 			// I/O failure: the server may have force-closed a saturated
@@ -375,7 +379,7 @@ func (t *Txn) exec(req *wire.Request) (*wire.Response, error) {
 		var we *wire.Error
 		if errors.As(rerr, &we) {
 			switch we.Code {
-			case wire.CodeDeadlock, wire.CodeSerialization, wire.CodeTxnDone:
+			case wire.CodeDeadlock, wire.CodeSerialization, wire.CodeOCCConflict, wire.CodeTxnDone:
 				t.done = true
 				t.c.put(t.cn)
 			}
@@ -461,7 +465,8 @@ func (t *Txn) finish(op wire.Op) error {
 	if rerr != nil {
 		var we *wire.Error
 		if errors.As(rerr, &we) && we.Code != wire.CodeOK && we.Code != wire.CodeDeadlock &&
-			we.Code != wire.CodeSerialization && we.Code != wire.CodeNoTxn && we.Code != wire.CodeTxnDone {
+			we.Code != wire.CodeSerialization && we.Code != wire.CodeOCCConflict &&
+			we.Code != wire.CodeNoTxn && we.Code != wire.CodeTxnDone {
 			// Unexpected protocol state: don't pool a connection we no
 			// longer understand.
 			t.cn.close()
@@ -483,9 +488,16 @@ func (t *Txn) Done() bool { return t.done }
 // client-side analogue of engine.RunWithRetry, and the loop every studied
 // application wraps around its database transactions.
 func (c *Client) RunTxn(iso engine.Isolation, fn func(*Txn) error) error {
+	return c.RunTxnWith(iso, BeginOpts{}, fn)
+}
+
+// RunTxnWith is RunTxn with replication- and mode-aware BeginOpts; with
+// opts.OCC set it is the wire-level optimistic retry loop — commit-time
+// validation failures come back as CodeOCCConflict and re-run fn.
+func (c *Client) RunTxnWith(iso engine.Isolation, opts BeginOpts, fn func(*Txn) error) error {
 	var err error
 	for i := 0; i < c.cfg.MaxRetries; i++ {
-		err = c.runOnce(iso, fn)
+		err = c.runOnce(iso, opts, fn)
 		if err == nil || !c.retryable(err) {
 			return err
 		}
@@ -494,8 +506,8 @@ func (c *Client) RunTxn(iso engine.Isolation, fn func(*Txn) error) error {
 	return err
 }
 
-func (c *Client) runOnce(iso engine.Isolation, fn func(*Txn) error) error {
-	t, err := c.Begin(iso)
+func (c *Client) runOnce(iso engine.Isolation, opts BeginOpts, fn func(*Txn) error) error {
+	t, err := c.BeginWith(iso, opts)
 	if err != nil {
 		return err
 	}

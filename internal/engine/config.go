@@ -36,6 +36,31 @@ func (i Isolation) String() string {
 	}
 }
 
+// Mode selects the engine's concurrency-control execution mode.
+type Mode int
+
+// Execution modes.
+const (
+	// Mode2PL is pessimistic two-phase locking over MVCC — the behaviour of
+	// the studied MySQL/PostgreSQL deployments. The default.
+	Mode2PL Mode = iota
+	// ModeOCC is optimistic concurrency control: statements read a pinned
+	// begin-timestamp MVCC snapshot under the store latch's shared mode
+	// (no lock-manager calls), writes buffer locally, and commit runs
+	// backward validation (read-set vs write-sets committed after the
+	// snapshot, first-committer-wins). Validation failure surfaces as the
+	// retryable ErrOCCConflict. See DESIGN.md §10.
+	ModeOCC
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeOCC {
+		return "occ"
+	}
+	return "2pl"
+}
+
 // DialectKind selects which real system's concurrency-control behaviour the
 // engine mimics.
 type DialectKind int
@@ -76,6 +101,9 @@ func (d DialectKind) DefaultIsolation() Isolation {
 type Config struct {
 	// Dialect selects MySQL- or PostgreSQL-like behaviour.
 	Dialect DialectKind
+	// Mode is the default execution mode for Begin (BeginMode overrides it
+	// per transaction). The zero value is Mode2PL.
+	Mode Mode
 	// Net is charged one round trip per statement (client/server hop).
 	Net sim.Latency
 	// WALFsync is the latency profile charged per durable commit. The WAL

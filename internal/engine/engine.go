@@ -16,6 +16,7 @@ import (
 
 	"adhoctx/internal/lockmgr"
 	"adhoctx/internal/mvcc"
+	"adhoctx/internal/occkit/bocc"
 	"adhoctx/internal/sched"
 	"adhoctx/internal/storage"
 	"adhoctx/internal/wal"
@@ -42,7 +43,13 @@ type commitFootprint struct {
 type Engine struct {
 	cfg Config
 
-	mu     sync.Mutex // the store latch: tables, chains, indexes, commit log
+	// mu is the store latch: tables, chains, indexes, commit log. Writers
+	// (commit apply, 2PL statement mutation, DDL, recovery) take it
+	// exclusively; MVCC snapshot reads take it shared — version chains are
+	// only mutated under the exclusive mode, so shared-mode traversal is
+	// race-free. This is the RW-latched read path OCC reads ride: many
+	// readers proceed concurrently with zero lock-manager traffic.
+	mu     sync.RWMutex
 	tables map[string]*table
 
 	lm  *lockmgr.Manager
@@ -55,6 +62,11 @@ type Engine struct {
 	// recent commit footprints with csn > oldest active snapshot (pruned
 	// lazily); used by Postgres Serializable.
 	recent []commitFootprint
+	// occLog holds recent committed write-sets for ModeOCC backward
+	// validation. Both modes note their write-sets into it, so OCC
+	// validation is sound against concurrent 2PL committers too. Guarded
+	// by mu (exclusive).
+	occLog *bocc.Log
 
 	// crashed poisons every live transaction until Recover.
 	crashed atomic.Bool
@@ -76,6 +88,7 @@ func New(cfg Config) *Engine {
 	return &Engine{
 		cfg:    cfg,
 		tables: make(map[string]*table),
+		occLog: bocc.NewLog(0),
 		lm:     lockmgr.NewSharded(cfg.LockTimeout, cfg.LockShards),
 		// The WAL owns the durable-commit cost: flushes serialize like a
 		// single log device, and group commit (when enabled) coalesces
@@ -156,15 +169,24 @@ func (e *Engine) table(name string) (*table, error) {
 
 // currentCSN reads the commit clock under mu.
 func (e *Engine) currentCSN() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.csn
 }
 
 // Begin starts a transaction at the given isolation level
-// (IsolationDefault resolves per dialect). It charges one network round
-// trip, like the BEGIN statement it models.
+// (IsolationDefault resolves per dialect) in the engine's configured
+// execution mode. It charges one network round trip, like the BEGIN
+// statement it models.
 func (e *Engine) Begin(iso Isolation) *Txn {
+	return e.BeginMode(e.cfg.Mode, iso)
+}
+
+// BeginMode starts a transaction in an explicit execution mode, overriding
+// the engine default. Both modes share the engine's tables, WAL, and commit
+// clock; see DESIGN.md §10 for how they stay serializable against each
+// other.
+func (e *Engine) BeginMode(mode Mode, iso Isolation) *Txn {
 	sched.Point("engine/begin")
 	if iso == IsolationDefault {
 		iso = e.cfg.Dialect.DefaultIsolation()
@@ -175,7 +197,11 @@ func (e *Engine) Begin(iso Isolation) *Txn {
 		e:     e,
 		id:    id,
 		iso:   iso,
+		mode:  mode,
 		owner: e.lm.NewOwner("txn"),
+	}
+	if mode == ModeOCC {
+		t.occ = &occState{}
 	}
 	e.stats.Begins.Add(1)
 	if m := e.obsM(); m != nil {
@@ -200,6 +226,10 @@ func (e *Engine) Crash() {
 		t.autoInc = 0
 	}
 	e.recent = nil
+	// The OCC validation log dies with the volatile state: every live
+	// optimistic transaction is poisoned, so nothing can validate against
+	// pre-crash history; post-recovery commits rebuild it from empty.
+	e.occLog.Reset()
 	// Blocked sessions must observe the crash, not wait forever on locks
 	// that died with it. Shutdown wipes all lock state and wakes waiters
 	// with a connection error; the manager itself is reused (swapping the

@@ -26,6 +26,11 @@ var (
 	// ErrConnLost models the driver error applications see when the
 	// database crashed underneath them (§3.4.2).
 	ErrConnLost = errors.New("engine: connection lost (database crashed)")
+	// ErrOCCConflict is an optimistic-mode commit validation failure: a
+	// transaction committed a conflicting write-set after this
+	// transaction's snapshot (first-committer-wins). The transaction is
+	// rolled back; retrying with a fresh snapshot is the expected response.
+	ErrOCCConflict = errors.New("engine: optimistic validation failed; transaction rolled back")
 	// ErrDuplicateKey reports a primary-key collision on insert.
 	ErrDuplicateKey = errors.New("engine: duplicate primary key")
 	// ErrNoTable reports an unknown table.
@@ -33,9 +38,11 @@ var (
 )
 
 // IsRetryable reports whether an application should retry the whole
-// transaction: deadlocks and serialization failures.
+// transaction: deadlocks, serialization failures, and optimistic
+// validation conflicts.
 func IsRetryable(err error) bool {
-	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrSerialization)
+	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrSerialization) ||
+		errors.Is(err, ErrOCCConflict)
 }
 
 // mapLockErr converts lock-manager errors into engine errors.

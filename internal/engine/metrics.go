@@ -23,6 +23,8 @@ type engineMetrics struct {
 	walFsyncs    *obs.Counter
 	retries      *obs.Counter
 	retryBackoff *obs.Counter // nanoseconds; exposed as seconds
+	occCommits   *obs.Counter
+	occConflicts *obs.Counter
 
 	stmtSeconds   *obs.Histogram
 	commitSeconds *obs.Histogram
@@ -40,6 +42,8 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		walFsyncs:        reg.Counter("engine_wal_fsyncs_total"),
 		retries:          reg.Counter("engine_txn_retries_total"),
 		retryBackoff:     reg.Counter("engine_retry_backoff_seconds_total"),
+		occCommits:       reg.Counter("engine_occ_commits_total"),
+		occConflicts:     reg.Counter("engine_occ_conflicts_total"),
 		stmtSeconds:      reg.Histogram("engine_statement_seconds"),
 		commitSeconds:    reg.Histogram("engine_commit_seconds"),
 	}

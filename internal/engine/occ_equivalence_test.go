@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"adhoctx/internal/storage"
+)
+
+// The 2PL/OCC equivalence property test, following the lockmgr equivalence
+// harness pattern: randomized seeded workloads run under both execution
+// modes and must produce equivalent results.
+//
+// Workload ops are commutative (increments and transfers), and every op is
+// retried until it commits exactly once, so the committed history of a run
+// is fully characterized — independent of interleaving — by the multiset of
+// committed ops. Equivalence then means: both modes commit every op exactly
+// once (identical committed-op counts per worker) and reach the identical
+// final state, which must equal the serial oracle. A lost update, a dirty
+// apply, or an unsound validation in either mode breaks the final state; a
+// stuck retry loop breaks the counts.
+
+type eqOp struct {
+	kind int // 0 = increment, 1 = transfer
+	a, b int64
+	d    int64
+}
+
+const (
+	eqRows          = 4
+	eqWorkers       = 3
+	eqOpsPerWorker  = 12
+	eqInitialTotals = 100
+)
+
+func genEqWorkload(rng *rand.Rand) [][]eqOp {
+	work := make([][]eqOp, eqWorkers)
+	for w := range work {
+		ops := make([]eqOp, eqOpsPerWorker)
+		for i := range ops {
+			op := eqOp{
+				kind: rng.Intn(2),
+				a:    int64(1 + rng.Intn(eqRows)),
+				d:    int64(1 + rng.Intn(9)),
+			}
+			if op.kind == 1 {
+				op.b = int64(1 + rng.Intn(eqRows))
+				for op.b == op.a {
+					op.b = int64(1 + rng.Intn(eqRows))
+				}
+			}
+			ops[i] = op
+		}
+		work[w] = ops
+	}
+	return work
+}
+
+func eqEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(Config{Dialect: MySQL})
+	e.CreateTable(storage.NewSchema("bal",
+		storage.Column{Name: "v", Type: storage.TInt},
+	))
+	err := e.Run(IsolationDefault, func(tx *Txn) error {
+		for r := int64(1); r <= eqRows; r++ {
+			if _, err := tx.Insert("bal", map[string]storage.Value{
+				"id": r, "v": int64(eqInitialTotals),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// runEqWorkload executes the workload concurrently in the given mode,
+// retrying each op until it commits. It returns the final state and the
+// per-worker committed-op counts.
+func runEqWorkload(t *testing.T, mode Mode, work [][]eqOp) (map[int64]int64, []int) {
+	t.Helper()
+	e := eqEngine(t)
+	counts := make([]int, len(work))
+	var wg sync.WaitGroup
+	for w, ops := range work {
+		wg.Add(1)
+		go func(w int, ops []eqOp) {
+			defer wg.Done()
+			for _, op := range ops {
+				for {
+					err := e.RunMode(mode, IsolationDefault, func(tx *Txn) error {
+						// Read-modify-write through a locking read under
+						// 2PL, a snapshot read under OCC — each mode's
+						// idiomatic correct form of the same op.
+						sel := []SelectOpt{ForUpdate}
+						row, err := tx.SelectOne("bal", storage.ByPK(op.a), sel...)
+						if err != nil {
+							return err
+						}
+						av := row.Get(e.Schema("bal"), "v").(int64)
+						if op.kind == 0 {
+							_, err = tx.Update("bal", storage.ByPK(op.a), map[string]storage.Value{"v": av + op.d})
+							return err
+						}
+						rb, err := tx.SelectOne("bal", storage.ByPK(op.b), sel...)
+						if err != nil {
+							return err
+						}
+						bv := rb.Get(e.Schema("bal"), "v").(int64)
+						if _, err := tx.Update("bal", storage.ByPK(op.a), map[string]storage.Value{"v": av - op.d}); err != nil {
+							return err
+						}
+						_, err = tx.Update("bal", storage.ByPK(op.b), map[string]storage.Value{"v": bv + op.d})
+						return err
+					})
+					if err == nil {
+						counts[w]++
+						break
+					}
+					if !IsRetryable(err) && !errors.Is(err, ErrLockTimeout) {
+						t.Errorf("worker %d: non-retryable %v", w, err)
+						return
+					}
+				}
+			}
+		}(w, ops)
+	}
+	wg.Wait()
+
+	final := make(map[int64]int64, eqRows)
+	err := e.Run(IsolationDefault, func(tx *Txn) error {
+		rows, err := tx.Select("bal", storage.All{})
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			final[r.Get(e.Schema("bal"), "id").(int64)] = r.Get(e.Schema("bal"), "v").(int64)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return final, counts
+}
+
+// eqOracle computes the serial final state.
+func eqOracle(work [][]eqOp) map[int64]int64 {
+	final := make(map[int64]int64, eqRows)
+	for r := int64(1); r <= eqRows; r++ {
+		final[r] = eqInitialTotals
+	}
+	for _, ops := range work {
+		for _, op := range ops {
+			if op.kind == 0 {
+				final[op.a] += op.d
+			} else {
+				final[op.a] -= op.d
+				final[op.b] += op.d
+			}
+		}
+	}
+	return final
+}
+
+// TestOCCMatches2PL: 500 randomized seeds (fewer under -short); each
+// workload runs under both modes and must commit every op exactly once and
+// agree with the serial oracle — and therefore with each other.
+func TestOCCMatches2PL(t *testing.T) {
+	seeds := 500
+	if testing.Short() {
+		seeds = 60
+	}
+	for s := 0; s < seeds; s++ {
+		s := s
+		t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) {
+			t.Parallel()
+			work := genEqWorkload(rand.New(rand.NewSource(int64(s))))
+			oracle := eqOracle(work)
+			for _, mode := range []Mode{Mode2PL, ModeOCC} {
+				final, counts := runEqWorkload(t, mode, work)
+				for w, n := range counts {
+					if n != eqOpsPerWorker {
+						t.Errorf("%v: worker %d committed %d/%d ops", mode, w, n, eqOpsPerWorker)
+					}
+				}
+				for r := int64(1); r <= eqRows; r++ {
+					if final[r] != oracle[r] {
+						t.Errorf("%v: row %d = %d, oracle %d", mode, r, final[r], oracle[r])
+					}
+				}
+			}
+		})
+	}
+}

@@ -19,7 +19,12 @@ func (t *Txn) Done() bool { return t.done }
 // database aborts its in-flight transaction — locks must not outlive the
 // connection.
 func (e *Engine) Run(iso Isolation, fn func(*Txn) error) error {
-	t := e.Begin(iso)
+	return e.RunMode(e.cfg.Mode, iso, fn)
+}
+
+// RunMode is Run with an explicit execution mode (BeginMode semantics).
+func (e *Engine) RunMode(mode Mode, iso Isolation, fn func(*Txn) error) error {
+	t := e.BeginMode(mode, iso)
 	defer func() {
 		if rec := recover(); rec != nil {
 			if !t.Done() {
@@ -47,9 +52,17 @@ func (e *Engine) Run(iso Isolation, fn func(*Txn) error) error {
 // database transactions in the DBT variants. Without jitter, concurrent
 // retriers whose victim selection is deterministic can livelock.
 func (e *Engine) RunWithRetry(iso Isolation, attempts int, fn func(*Txn) error) error {
+	return e.RunModeWithRetry(e.cfg.Mode, iso, attempts, fn)
+}
+
+// RunModeWithRetry is RunWithRetry with an explicit execution mode. Under
+// ModeOCC the retried error is typically ErrOCCConflict — validation failed
+// because a concurrent transaction committed into the read set — rather than
+// a deadlock, but the loop is the same one.
+func (e *Engine) RunModeWithRetry(mode Mode, iso Isolation, attempts int, fn func(*Txn) error) error {
 	var err error
 	for i := 0; i < attempts; i++ {
-		err = e.Run(iso, fn)
+		err = e.RunMode(mode, iso, fn)
 		if err == nil || !IsRetryable(err) {
 			return err
 		}

@@ -13,6 +13,8 @@ type Stats struct {
 	SerializationErr atomic.Int64
 	LockTimeouts     atomic.Int64
 	Statements       atomic.Int64
+	OCCCommits       atomic.Int64
+	OCCConflicts     atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
@@ -24,6 +26,8 @@ type StatsSnapshot struct {
 	SerializationErr int64
 	LockTimeouts     int64
 	Statements       int64
+	OCCCommits       int64
+	OCCConflicts     int64
 }
 
 // Snapshot copies the counters.
@@ -36,6 +40,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		SerializationErr: s.SerializationErr.Load(),
 		LockTimeouts:     s.LockTimeouts.Load(),
 		Statements:       s.Statements.Load(),
+		OCCCommits:       s.OCCCommits.Load(),
+		OCCConflicts:     s.OCCConflicts.Load(),
 	}
 }
 
@@ -49,5 +55,7 @@ func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
 		SerializationErr: s.SerializationErr - o.SerializationErr,
 		LockTimeouts:     s.LockTimeouts - o.LockTimeouts,
 		Statements:       s.Statements - o.Statements,
+		OCCCommits:       s.OCCCommits - o.OCCCommits,
+		OCCConflicts:     s.OCCConflicts - o.OCCConflicts,
 	}
 }

@@ -32,6 +32,12 @@ func (t *Txn) Select(tableName string, pred storage.Pred, opts ...SelectOpt) ([]
 		return nil, err
 	}
 	defer t.e.obsStmtDone(t.e.obsNow())
+	if t.mode == ModeOCC {
+		// OCC ignores locking options: FOR UPDATE/FOR SHARE degrade to
+		// snapshot reads, and commit-time validation supplies the
+		// guarantee the lock would have.
+		return t.occSelect(tableName, pred)
+	}
 	mode, locking := selectLockMode(opts)
 	if !locking && t.e.cfg.Dialect == MySQL && t.iso == Serializable {
 		mode, locking = lockmgr.Shared, true
@@ -71,14 +77,16 @@ func (t *Txn) SelectOne(tableName string, pred storage.Pred, opts ...SelectOpt) 
 	return rows[0], nil
 }
 
-// snapshotRead is a non-locking MVCC read.
+// snapshotRead is a non-locking MVCC read. It holds the store latch in
+// shared mode: chains are only mutated under the exclusive mode, so
+// concurrent snapshot readers proceed in parallel.
 func (t *Txn) snapshotRead(tableName string, pred storage.Pred) ([]storage.Row, error) {
 	snap := t.snapshot()
 	e := t.e
-	e.mu.Lock()
+	e.mu.RLock()
 	tb, err := e.table(tableName)
 	if err != nil {
-		e.mu.Unlock()
+		e.mu.RUnlock()
 		return nil, err
 	}
 	pks, probe := t.candidates(tb, pred)
@@ -97,7 +105,7 @@ func (t *Txn) snapshotRead(tableName string, pred storage.Pred) ([]storage.Row, 
 		t.trackRowRead(tb, pk)
 		e.emit(t, EvRead, tableName, pk, nil)
 	}
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	return out, nil
 }
 
@@ -327,6 +335,9 @@ func (t *Txn) Insert(tableName string, vals map[string]storage.Value) (int64, er
 		return 0, err
 	}
 	defer t.e.obsStmtDone(t.e.obsNow())
+	if t.mode == ModeOCC {
+		return t.occInsert(tableName, vals)
+	}
 	t.snapshot() // pin the snapshot before first write
 	e := t.e
 
@@ -469,6 +480,9 @@ func (t *Txn) writeRows(tableName string, pred storage.Pred, set map[string]stor
 		return 0, err
 	}
 	defer t.e.obsStmtDone(t.e.obsNow())
+	if t.mode == ModeOCC {
+		return t.occWriteRows(tableName, pred, set, del)
+	}
 	snap := t.snapshot()
 	e := t.e
 

@@ -6,6 +6,7 @@ import (
 
 	"adhoctx/internal/lockmgr"
 	"adhoctx/internal/mvcc"
+	"adhoctx/internal/occkit/bocc"
 	"adhoctx/internal/sched"
 	"adhoctx/internal/sim"
 	"adhoctx/internal/storage"
@@ -73,8 +74,13 @@ type Txn struct {
 	e     *Engine
 	id    uint64
 	iso   Isolation
+	mode  Mode
 	owner *lockmgr.Owner
 	tag   string
+
+	// occ holds ModeOCC state: the read set for commit-time backward
+	// validation and the local write buffer. Nil in Mode2PL.
+	occ *occState
 
 	snap      mvcc.Snapshot
 	snapValid bool
@@ -103,14 +109,24 @@ func (t *Txn) CommitLSN() uint64 { return t.commitLSN }
 // Isolation returns the transaction's isolation level.
 func (t *Txn) Isolation() Isolation { return t.iso }
 
+// Mode returns the transaction's execution mode.
+func (t *Txn) Mode() Mode { return t.mode }
+
 // SetTag labels the transaction's trace events with an API name.
 func (t *Txn) SetTag(tag string) {
 	t.tag = tag
 }
 
-// begin-of-statement bookkeeping shared by all statements.
+// begin-of-statement bookkeeping shared by all statements. OCC statements
+// get their own schedule label: every optimistic read (and buffered write,
+// which is a snapshot read plus local mutation) is a distinct explorable
+// step, without adding schedule depth over the 2PL path.
 func (t *Txn) startStatement() error {
-	sched.Point("engine/stmt")
+	if t.mode == ModeOCC {
+		sched.Point("engine/occ/read")
+	} else {
+		sched.Point("engine/stmt")
+	}
 	if t.done {
 		return ErrTxnDone
 	}
@@ -130,9 +146,11 @@ func (t *Txn) startStatement() error {
 }
 
 // snapshot returns the MVCC snapshot this statement reads through,
-// respecting the isolation level's snapshot lifetime.
+// respecting the isolation level's snapshot lifetime. ModeOCC always pins
+// the begin timestamp: validation is relative to one snapshot, whatever the
+// isolation level says about snapshot lifetime.
 func (t *Txn) snapshot() mvcc.Snapshot {
-	if t.iso == ReadCommitted {
+	if t.iso == ReadCommitted && t.mode != ModeOCC {
 		return mvcc.Snapshot{AsOf: t.e.currentCSN(), Self: t.id}
 	}
 	if !t.snapValid {
@@ -206,6 +224,9 @@ func (t *Txn) Commit() error {
 	e := t.e
 	e.cfg.Net.ChargeRTT(1)
 	commitStart := e.obsNow()
+	if t.mode == ModeOCC {
+		return t.occCommit(commitStart)
+	}
 
 	e.mu.Lock()
 	if t.usesSSI() {
@@ -241,6 +262,17 @@ func (t *Txn) Commit() error {
 			txnID:      t.id,
 			writePages: t.writePages,
 		}, 0)
+	}
+	// 2PL commits record their write-sets into the OCC validation log too,
+	// so a concurrent optimistic transaction validating against this
+	// commit window sees them (mixed-mode first-committer-wins).
+	if len(t.undo) > 0 {
+		ws := bocc.WriteSet{CSN: csn, Rows: make([]bocc.RowID, 0, len(t.undo))}
+		for i := range t.undo {
+			u := &t.undo[i]
+			ws.Rows = append(ws.Rows, bocc.RowID{Table: u.t.schema.Table, PK: u.pk})
+		}
+		e.occLog.Note(ws)
 	}
 	e.mu.Unlock()
 
@@ -350,10 +382,14 @@ func (t *Txn) undoTo(n int) {
 	t.undo = t.undo[:n]
 }
 
-// Savepoint records a named savepoint.
+// Savepoint records a named savepoint. Not supported in ModeOCC (writes are
+// buffered, not applied, so there is no undo log to mark).
 func (t *Txn) Savepoint(name string) error {
 	if err := t.startStatement(); err != nil {
 		return err
+	}
+	if t.mode == ModeOCC {
+		return fmt.Errorf("engine: savepoints are not supported in OCC mode")
 	}
 	t.savepoints = append(t.savepoints, savepoint{
 		name:     name,
@@ -369,6 +405,9 @@ func (t *Txn) Savepoint(name string) error {
 func (t *Txn) RollbackTo(name string) error {
 	if err := t.startStatement(); err != nil {
 		return err
+	}
+	if t.mode == ModeOCC {
+		return fmt.Errorf("engine: savepoints are not supported in OCC mode")
 	}
 	for i := len(t.savepoints) - 1; i >= 0; i-- {
 		if t.savepoints[i].name != name {

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adhoctx/internal/engine"
+	"adhoctx/internal/sim"
+	"adhoctx/internal/storage"
+)
+
+// The PR-10 A/B suite: the same workloads run under both execution modes —
+// pessimistic 2PL and optimistic (OCC) — across a 1→32-writer scaling curve,
+// so BENCH_pr10.json records where each mode wins. Three workload families:
+//
+//   - ab/hotkey/<mode>/w<N>: every writer read-modify-writes ONE shared row
+//     (the Figure-2 contention shape). 2PL serializes on the row lock; OCC
+//     aborts-and-retries at validation. Maximum conflict probability.
+//   - ab/mixed/<mode>/w<N>: the Figure-3-style mix — mostly reads with a
+//     transfer RMW minority over a wider key space. Moderate conflicts;
+//     OCC's lock-free read path is the advantage being measured.
+//   - ab/commit/<mode>: private rows against a simulated 2ms-flush device
+//     under group commit. Sleep-bound, hence hardware-independent, hence
+//     gated — these two rows are the CI regression tripwire for both commit
+//     paths.
+//
+// The curve rows are host-CPU-bound and never gated; they exist for the
+// EXPERIMENTS.md scaling table.
+
+// abWriterCurve is the scaling curve each ungated A/B family sweeps.
+var abWriterCurve = []int{1, 2, 4, 8, 16, 32}
+
+// abModes maps the -mode flag vocabulary to engine modes.
+func abModes(mode string) ([]engine.Mode, error) {
+	switch mode {
+	case "", "ab":
+		return []engine.Mode{engine.Mode2PL, engine.ModeOCC}, nil
+	case "2pl":
+		return []engine.Mode{engine.Mode2PL}, nil
+	case "occ":
+		return []engine.Mode{engine.ModeOCC}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown mode %q (have 2pl, occ, ab)", mode)
+}
+
+// ABBenchRows runs the A/B suite restricted to the given -mode selection.
+// The per-cell window is Duration/4 (floor 100ms) so the 12-cell-per-family
+// curve stays affordable inside the full bench run.
+func ABBenchRows(cfg CommitBenchConfig, mode string) ([]BenchResult, error) {
+	modes, err := abModes(mode)
+	if err != nil {
+		return nil, err
+	}
+	cell := cfg.Duration / 4
+	if cell < 100*time.Millisecond {
+		cell = 100 * time.Millisecond
+	}
+	var out []BenchResult
+	for _, fam := range []struct {
+		name string
+		run  func(m engine.Mode, writers int, dur time.Duration) (BenchResult, error)
+	}{
+		{"hotkey", runABHotKey},
+		{"mixed", runABMixed},
+	} {
+		for _, m := range modes {
+			for _, w := range abWriterCurve {
+				res, err := fam.run(m, w, cell)
+				if err != nil {
+					return nil, fmt.Errorf("ab/%s/%s/w%d: %w", fam.name, m, w, err)
+				}
+				out = append(out, res)
+			}
+		}
+	}
+	for _, m := range modes {
+		res, err := runABCommit(m, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ab/commit/%s: %w", m, err)
+		}
+		out = append(out, res)
+	}
+	for _, m := range modes {
+		if m != engine.ModeOCC {
+			continue // the 2PL genmix rows are already in the base suite
+		}
+		occMix, err := GenMixOCCRows(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, occMix...)
+	}
+	return out, nil
+}
+
+// abEngine builds the in-memory MySQL-dialect engine the curve rows share:
+// no simulated device, so the measured cost is locking vs validation.
+func abEngine() *engine.Engine {
+	return engine.New(engine.Config{Dialect: engine.MySQL, LockTimeout: 30 * time.Second})
+}
+
+// abLoop is the shared closed-loop measurement core: writers goroutines each
+// running op until the window closes, with per-op latencies summarized under
+// name. op receives the worker's private rng.
+func abLoop(name string, writers int, dur time.Duration, op func(rng *rand.Rand) error) (BenchResult, error) {
+	var (
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		lats    []time.Duration
+		workErr error
+	)
+	start := time.Now()
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*1_000_003 + 11))
+			var local []time.Duration
+			for !stop.Load() {
+				t0 := time.Now()
+				if err := op(rng); err != nil {
+					mu.Lock()
+					if workErr == nil {
+						workErr = fmt.Errorf("%s: %w", name, err)
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(int64(i + 1))
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	if workErr != nil {
+		return BenchResult{}, workErr
+	}
+	return summarize(name, lats, time.Since(start)), nil
+}
+
+// runABHotKey measures the Figure-2 contention shape: every writer
+// read-modify-writes the same row. The op retries internally (the retry IS
+// the workload under OCC), so a completed op is one committed increment.
+func runABHotKey(m engine.Mode, writers int, dur time.Duration) (BenchResult, error) {
+	eng := abEngine()
+	eng.CreateTable(storage.NewSchema("hot",
+		storage.Column{Name: "n", Type: storage.TInt},
+	))
+	var pk int64
+	err := eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		var err error
+		pk, err = t.Insert("hot", map[string]storage.Value{"n": int64(0)})
+		return err
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	schema := eng.Schema("hot")
+	name := fmt.Sprintf("ab/hotkey/%s/w%d", m, writers)
+	return abLoop(name, writers, dur, func(*rand.Rand) error {
+		return eng.RunModeWithRetry(m, engine.IsolationDefault, 64, func(t *engine.Txn) error {
+			var row storage.Row
+			var err error
+			if m == engine.ModeOCC {
+				row, err = t.SelectOne("hot", storage.ByPK(pk))
+			} else {
+				row, err = t.SelectOne("hot", storage.ByPK(pk), engine.ForUpdate)
+			}
+			if err != nil {
+				return err
+			}
+			n := row.Get(schema, "n").(int64)
+			_, err = t.Update("hot", storage.ByPK(pk), map[string]storage.Value{"n": n + 1})
+			return err
+		})
+	})
+}
+
+// runABMixed measures the Figure-3-style mix: 80% three-row read-only
+// transactions, 20% two-row transfers, over 64 rows. Under OCC the read-only
+// majority never touches the lock manager at all.
+func runABMixed(m engine.Mode, writers int, dur time.Duration) (BenchResult, error) {
+	const rows = 64
+	eng := abEngine()
+	eng.CreateTable(storage.NewSchema("accts",
+		storage.Column{Name: "bal", Type: storage.TInt},
+	))
+	pks := make([]int64, rows)
+	err := eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+		for i := range pks {
+			pk, err := t.Insert("accts", map[string]storage.Value{"bal": int64(100)})
+			if err != nil {
+				return err
+			}
+			pks[i] = pk
+		}
+		return nil
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	schema := eng.Schema("accts")
+	readBal := func(t *engine.Txn, pk int64, lock bool) (int64, error) {
+		var row storage.Row
+		var err error
+		if lock {
+			row, err = t.SelectOne("accts", storage.ByPK(pk), engine.ForUpdate)
+		} else {
+			row, err = t.SelectOne("accts", storage.ByPK(pk))
+		}
+		if err != nil {
+			return 0, err
+		}
+		return row.Get(schema, "bal").(int64), nil
+	}
+	name := fmt.Sprintf("ab/mixed/%s/w%d", m, writers)
+	return abLoop(name, writers, dur, func(rng *rand.Rand) error {
+		if rng.Intn(100) < 80 {
+			// Read-only: sum three random balances on one snapshot.
+			a, b, c := pks[rng.Intn(rows)], pks[rng.Intn(rows)], pks[rng.Intn(rows)]
+			return eng.RunModeWithRetry(m, engine.IsolationDefault, 64, func(t *engine.Txn) error {
+				for _, pk := range []int64{a, b, c} {
+					if _, err := readBal(t, pk, false); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		// Transfer RMW between two distinct rows; 2PL locks in ascending-PK
+		// order (the deadlock-free discipline), OCC reads the snapshot and
+		// lets validation arbitrate.
+		i, j := rng.Intn(rows), rng.Intn(rows)
+		for j == i {
+			j = rng.Intn(rows)
+		}
+		if pks[j] < pks[i] {
+			i, j = j, i
+		}
+		from, to := pks[i], pks[j]
+		return eng.RunModeWithRetry(m, engine.IsolationDefault, 64, func(t *engine.Txn) error {
+			lock := m != engine.ModeOCC
+			fromBal, err := readBal(t, from, lock)
+			if err != nil {
+				return err
+			}
+			toBal, err := readBal(t, to, lock)
+			if err != nil {
+				return err
+			}
+			if _, err := t.Update("accts", storage.ByPK(from),
+				map[string]storage.Value{"bal": fromBal - 1}); err != nil {
+				return err
+			}
+			_, err = t.Update("accts", storage.ByPK(to),
+				map[string]storage.Value{"bal": toBal + 1})
+			return err
+		})
+	})
+}
+
+// runABCommit measures the sleep-bound commit path per mode: Writers clients
+// on private rows against a 2ms-flush group-commit device. No conflicts by
+// construction, so the only mode difference is the commit protocol itself —
+// which is why the rows are stable enough to gate.
+func runABCommit(m engine.Mode, cfg CommitBenchConfig) (BenchResult, error) {
+	eng := engine.New(engine.Config{
+		Dialect:     engine.MySQL,
+		WALFsync:    sim.Latency{Fsync: cfg.Fsync},
+		GroupCommit: true,
+		LockTimeout: 30 * time.Second,
+		Mode:        m,
+	})
+	res, err := runEngineCommitLoop(fmt.Sprintf("ab/commit/%s", m), eng, cfg.Writers, cfg.Duration)
+	if err != nil {
+		return res, err
+	}
+	res.Gate = true
+	return res, nil
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestABBenchRows is the A/B suite's acceptance shape at smoke scale: both
+// modes produce a full 1→32-writer curve on both workload families, the two
+// sleep-bound commit rows are gated, and everything host-CPU-bound is not.
+func TestABBenchRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke skipped in -short")
+	}
+	cfg := DefaultCommitBenchConfig()
+	cfg.Duration = 200 * time.Millisecond
+	rows, err := ABBenchRows(cfg, "ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]BenchResult, len(rows))
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, fam := range []string{"hotkey", "mixed"} {
+		for _, mode := range []string{"2pl", "occ"} {
+			for _, w := range abWriterCurve {
+				name := "ab/" + fam + "/" + mode + "/w" + itoa(w)
+				r, ok := byName[name]
+				if !ok {
+					t.Fatalf("curve row %s missing", name)
+				}
+				if r.Ops == 0 {
+					t.Errorf("%s measured no ops", name)
+				}
+				if r.Gate {
+					t.Errorf("%s is host-CPU-bound and must not be gated", name)
+				}
+			}
+		}
+	}
+	for _, name := range []string{"ab/commit/2pl", "ab/commit/occ"} {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("gated row %s missing", name)
+		}
+		if !r.Gate {
+			t.Errorf("%s is sleep-bound and must be gated", name)
+		}
+		if r.Ops == 0 || r.Fsyncs == 0 {
+			t.Errorf("%s: ops=%d fsyncs=%d, want both > 0", name, r.Ops, r.Fsyncs)
+		}
+	}
+	var occMix int
+	for name, r := range byName {
+		if strings.HasSuffix(name, "/occ") && strings.HasPrefix(name, "genmix/") {
+			occMix++
+			if r.Gate {
+				t.Errorf("%s runs over real TCP and must not be gated", name)
+			}
+		}
+	}
+	if occMix == 0 {
+		t.Error("no OCC genmix rows in the A/B suite")
+	}
+}
+
+// TestABBenchModeFilter pins the -mode vocabulary: single-sided runs carry
+// only that mode's rows, and an unknown mode is a typed error.
+func TestABBenchModeFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke skipped in -short")
+	}
+	cfg := DefaultCommitBenchConfig()
+	cfg.Duration = 50 * time.Millisecond
+	rows, err := ABBenchRows(cfg, "2pl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if strings.Contains(r.Name, "/occ") {
+			t.Fatalf("mode 2pl produced OCC row %s", r.Name)
+		}
+	}
+	if _, err := ABBenchRows(cfg, "bogus"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

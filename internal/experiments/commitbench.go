@@ -56,6 +56,9 @@ type CommitBenchConfig struct {
 	Duration time.Duration
 	// Fsync is the simulated WAL device flush time.
 	Fsync time.Duration
+	// Mode selects the A/B execution-mode rows: "2pl", "occ", or "ab"
+	// (default) for both sides of every A/B workload.
+	Mode string
 }
 
 // DefaultCommitBenchConfig returns the committed-baseline calibration:
@@ -124,6 +127,12 @@ func CommitBench(cfg CommitBenchConfig) (BenchReport, error) {
 		return rep, err
 	}
 	rep.Results = append(rep.Results, mixRows...)
+
+	abRows, err := ABBenchRows(cfg, cfg.Mode)
+	if err != nil {
+		return rep, err
+	}
+	rep.Results = append(rep.Results, abRows...)
 	return rep, nil
 }
 

@@ -23,13 +23,25 @@ var genMixSpecs = []string{"points-transfer", "inventory-oversell"}
 // are ungated — throughput is host-CPU-bound — but each run re-checks the
 // spec's chaos-safe invariants, so a bench pass is also a correctness pass.
 func GenMixRows(cfg CommitBenchConfig) ([]BenchResult, error) {
+	return genMixRows(cfg, false)
+}
+
+// GenMixOCCRows is GenMixRows with every client transaction begun in
+// optimistic mode: the same generated mixes, the same invariant re-check,
+// but validation instead of row locks — and the wire-level OCC plumbing
+// (begin flag, CodeOCCConflict retries) on the measured path.
+func GenMixOCCRows(cfg CommitBenchConfig) ([]BenchResult, error) {
+	return genMixRows(cfg, true)
+}
+
+func genMixRows(cfg CommitBenchConfig, occ bool) ([]BenchResult, error) {
 	var out []BenchResult
 	for _, name := range genMixSpecs {
 		spec, ok := scenario.Builtin(name)
 		if !ok {
 			return nil, fmt.Errorf("genmix: builtin %s missing", name)
 		}
-		res, err := runGenMix(spec, cfg)
+		res, err := runGenMix(spec, cfg, occ)
 		if err != nil {
 			return nil, err
 		}
@@ -38,7 +50,7 @@ func GenMixRows(cfg CommitBenchConfig) ([]BenchResult, error) {
 	return out, nil
 }
 
-func runGenMix(spec *scenario.Spec, cfg CommitBenchConfig) (BenchResult, error) {
+func runGenMix(spec *scenario.Spec, cfg CommitBenchConfig, occ bool) (BenchResult, error) {
 	wl, err := scenario.Mix(spec, 4)
 	if err != nil {
 		return BenchResult{}, err
@@ -86,9 +98,10 @@ func runGenMix(spec *scenario.Spec, cfg CommitBenchConfig) (BenchResult, error) 
 			var mine []time.Duration
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
-				err := cli.RunTxn(engine.IsolationDefault, func(txn *client.Txn) error {
-					return wl.Op(rng, txn)
-				})
+				err := cli.RunTxnWith(engine.IsolationDefault, client.BeginOpts{OCC: occ},
+					func(txn *client.Txn) error {
+						return wl.Op(rng, txn)
+					})
 				if err != nil {
 					errs[worker] = err
 					break
@@ -110,5 +123,9 @@ func runGenMix(spec *scenario.Spec, cfg CommitBenchConfig) (BenchResult, error) 
 	if _, viols := wl.Check(eng); len(viols) != 0 {
 		return BenchResult{}, fmt.Errorf("genmix %s: invariants violated after bench: %v", spec.Name, viols)
 	}
-	return summarize(wl.Name, lats, elapsed), nil
+	name := wl.Name
+	if occ {
+		name += "/occ"
+	}
+	return summarize(name, lats, elapsed), nil
 }

@@ -13,6 +13,7 @@
 //	saleor-capture     §4.2 omitted coordination: unprotected total check
 //	broadleaf-dblock   §3.4.2/§4.3 failure handling: crash-orphaned DB lock
 //	engine-lost-update §4.2 omitted locking, checked by the analyzer oracle
+//	occ-write-skew     §4.1.2 validation-based misuse: read set not validated
 package litmus
 
 import (
@@ -57,6 +58,7 @@ func Pairs() []Pair {
 		saleorPair(),
 		discoursePair(),
 		lostUpdatePair(),
+		occWriteSkewPair(),
 		mastodonPair(),
 	}
 }
@@ -385,6 +387,186 @@ func dblockPair() Pair {
 		Buggy:  mk("boot-1", "buggy"),
 		Fixed:  mk("boot-2", "fixed"),
 		PCTLen: 16,
+	}
+}
+
+// ---- occ-write-skew: ad hoc OCC validates only the written row (§4.1.2) ----
+
+// occWriteSkewPair builds the classic write skew under optimistic validation:
+// two withdrawals, each guarded by a cross-row sum (bal_a + bal_b must stay
+// >= 0), each writing only its own row. The buggy variant is the ad hoc
+// application-level OCC the paper catalogs — snapshot reads in one
+// transaction, then a compare-and-set whose guard covers only the written
+// row — so the rows the decision READ are never validated and both
+// withdrawals commit against the same stale sum. The fixed variant runs the
+// same logic as one engine ModeOCC transaction: backward validation covers
+// the full read set, the second committer's read of the first's written row
+// fails validation, and the retry re-reads and rejects the withdrawal.
+func occWriteSkewPair() Pair {
+	const (
+		seed   = int64(100)
+		amount = int64(120) // each withdrawal alone fits; both together overdraw
+	)
+	errInsufficient := errors.New("insufficient funds")
+	mk := func(engineOCC bool, variant string) sched.Program {
+		return sched.Program{
+			Name: "occ-write-skew/" + variant,
+			Doc:  "two sum-guarded withdrawals on separate rows, optimistically validated",
+			Make: func() (*sched.Instance, error) {
+				eng := newEngine()
+				eng.CreateTable(storage.NewSchema("accounts",
+					storage.Column{Name: "bal", Type: storage.TInt},
+				))
+				var pkA, pkB int64
+				err := eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+					var err error
+					if pkA, err = t.Insert("accounts", map[string]storage.Value{"bal": seed}); err != nil {
+						return err
+					}
+					pkB, err = t.Insert("accounts", map[string]storage.Value{"bal": seed})
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				schema := eng.Schema("accounts")
+				readBal := func(t *engine.Txn, pk int64) (int64, error) {
+					row, err := t.SelectOne("accounts", storage.ByPK(pk))
+					if err != nil {
+						return 0, err
+					}
+					return row.Get(schema, "bal").(int64), nil
+				}
+
+				// The ad hoc shape: read both rows in one transaction, decide,
+				// then compare-and-set in another — guarding ONLY the written
+				// row. The other row of the sum is read but never validated.
+				withdrawAdHoc := func(own, other int64, tag string) error {
+					return core.RetryOptimistic(8, func() error {
+						var ownBal, otherBal int64
+						err := eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+							t.SetTag(tag)
+							var err error
+							if ownBal, err = readBal(t, own); err != nil {
+								return err
+							}
+							otherBal, err = readBal(t, other)
+							return err
+						})
+						if err != nil {
+							return err
+						}
+						if ownBal+otherBal-amount < 0 {
+							return errInsufficient
+						}
+						return eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+							t.SetTag(tag)
+							n, err := t.Update("accounts",
+								storage.And{storage.ByPK(own), storage.Eq{Col: "bal", Val: ownBal}},
+								map[string]storage.Value{"bal": ownBal - amount})
+							if err != nil {
+								return err
+							}
+							if n == 0 {
+								return core.ErrConflict // own row moved: retry
+							}
+							return nil
+						})
+					})
+				}
+
+				// The fix: the same reads and write as ONE engine-OCC
+				// transaction. Both balance reads enter the read set, so the
+				// second committer fails backward validation against the
+				// first's written row and the retry sees the true sum.
+				withdrawOCC := func(own, other int64, tag string) error {
+					var last error
+					for attempt := 0; attempt < 8; attempt++ {
+						err := eng.RunMode(engine.ModeOCC, engine.IsolationDefault, func(t *engine.Txn) error {
+							t.SetTag(tag)
+							ownBal, err := readBal(t, own)
+							if err != nil {
+								return err
+							}
+							otherBal, err := readBal(t, other)
+							if err != nil {
+								return err
+							}
+							if ownBal+otherBal-amount < 0 {
+								return errInsufficient
+							}
+							_, err = t.Update("accounts", storage.ByPK(own),
+								map[string]storage.Value{"bal": ownBal - amount})
+							return err
+						})
+						if !errors.Is(err, engine.ErrOCCConflict) {
+							return err
+						}
+						last = err
+					}
+					return last
+				}
+
+				withdraw := withdrawAdHoc
+				if engineOCC {
+					withdraw = withdrawOCC
+				}
+				var errA, errB error
+				return &sched.Instance{
+					Threads: []sched.Thread{
+						{Name: "withdraw-a", Run: func() error {
+							errA = withdraw(pkA, pkB, "withdraw-a")
+							return nil
+						}},
+						{Name: "withdraw-b", Run: func() error {
+							errB = withdraw(pkB, pkA, "withdraw-b")
+							return nil
+						}},
+					},
+					Check: func(r *sched.Result) error {
+						for _, err := range []error{errA, errB} {
+							if err != nil && !errors.Is(err, errInsufficient) &&
+								!errors.Is(err, core.ErrConflict) && !errors.Is(err, engine.ErrOCCConflict) {
+								return fmt.Errorf("unexpected withdraw error: %w", err)
+							}
+						}
+						var sum int64
+						err := eng.Run(engine.IsolationDefault, func(t *engine.Txn) error {
+							a, err := readBal(t, pkA)
+							if err != nil {
+								return err
+							}
+							b, err := readBal(t, pkB)
+							if err != nil {
+								return err
+							}
+							sum = a + b
+							return nil
+						})
+						if err != nil {
+							return err
+						}
+						if sum < 0 {
+							return fmt.Errorf("write skew: combined balance %d < 0 after sum-guarded withdrawals", sum)
+						}
+						return nil
+					},
+				}, nil
+			},
+		}
+	}
+	return Pair{
+		Name:  "occ-write-skew",
+		Class: "§4.1.2 validation-based misuse: unvalidated read set",
+		Doc: "Each withdrawal checks bal_a + bal_b >= amount against snapshot " +
+			"reads, then compare-and-sets only its own row, so the cross-row " +
+			"read that justified the decision is never validated and concurrent " +
+			"withdrawals overdraw the pair (write skew). The fix runs the section " +
+			"as one engine OCC transaction: backward validation covers the full " +
+			"read set, so the second committer aborts, retries, and rejects.",
+		Buggy:  mk(false, "buggy"),
+		Fixed:  mk(true, "fixed"),
+		PCTLen: 32,
 	}
 }
 

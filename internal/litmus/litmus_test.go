@@ -130,7 +130,7 @@ func TestFindMiss(t *testing.T) {
 // of names, their order (smallest exploration space first), uniqueness, and
 // that every pair is fully populated and reachable back through Find.
 func TestPairsStable(t *testing.T) {
-	want := []string{"broadleaf-dblock", "saleor-capture", "discourse-edit", "engine-lost-update", "mastodon-ttl"}
+	want := []string{"broadleaf-dblock", "saleor-capture", "discourse-edit", "engine-lost-update", "occ-write-skew", "mastodon-ttl"}
 	pairs := Pairs()
 	if len(pairs) != len(want) {
 		t.Fatalf("Pairs() returned %d pairs, want %d", len(pairs), len(want))

@@ -1,0 +1,141 @@
+// Package bocc implements backward optimistic concurrency control (BOCC)
+// validation primitives: read-set/write-set bookkeeping and a bounded log of
+// recently committed write-sets. The engine's OCC execution mode validates a
+// committing transaction's read set against every write-set committed after
+// its snapshot (first-committer-wins): any intersection aborts the committer.
+//
+// The package is a leaf — no engine imports — so both the engine and
+// ORM-level code in internal/occkit can share it without an import cycle.
+// None of the types synchronize: the engine calls Note and Conflicts under
+// its store latch, which already serializes commits.
+package bocc
+
+// RowID is the validation identity of one row.
+type RowID struct {
+	Table string
+	PK    int64
+}
+
+// ReadSet records what a transaction read: individual rows (point reads,
+// including reads that observed absence — phantom inserts must conflict) and
+// whole tables (predicate scans, tracked conservatively at table
+// granularity). The zero value is ready to use.
+type ReadSet struct {
+	rows   map[RowID]struct{}
+	tables map[string]struct{}
+}
+
+// AddRow records a point read of (table, pk) — present or absent.
+func (rs *ReadSet) AddRow(table string, pk int64) {
+	if rs.rows == nil {
+		rs.rows = make(map[RowID]struct{})
+	}
+	rs.rows[RowID{table, pk}] = struct{}{}
+}
+
+// AddTable records a predicate read over the whole table: any committed
+// write to the table after the snapshot conflicts.
+func (rs *ReadSet) AddTable(table string) {
+	if rs.tables == nil {
+		rs.tables = make(map[string]struct{})
+	}
+	rs.tables[table] = struct{}{}
+}
+
+// Empty reports whether nothing was read.
+func (rs *ReadSet) Empty() bool { return len(rs.rows) == 0 && len(rs.tables) == 0 }
+
+// Len returns the number of tracked point reads plus table reads.
+func (rs *ReadSet) Len() int { return len(rs.rows) + len(rs.tables) }
+
+// contains reports whether the read set covers the given written row, and
+// returns it when so.
+func (rs *ReadSet) contains(w RowID) bool {
+	if _, ok := rs.tables[w.Table]; ok {
+		return true
+	}
+	_, ok := rs.rows[w]
+	return ok
+}
+
+// WriteSet is the rows one committed transaction wrote, stamped with its
+// commit sequence number.
+type WriteSet struct {
+	CSN  uint64
+	Rows []RowID
+}
+
+// Log is a bounded, CSN-ordered history of committed write-sets. Note
+// appends in commit order; Conflicts scans backward over the suffix newer
+// than a validator's snapshot. When the ring evicts old entries, Floor
+// rises and any validator whose snapshot predates it conflicts
+// conservatively — correctness never depends on the bound.
+type Log struct {
+	cap   int
+	sets  []WriteSet
+	floor uint64 // all write-sets with CSN <= floor may have been evicted
+}
+
+// DefaultLogSize bounds the validation window. Transactions are short-lived
+// in every studied application; a snapshot old enough to fall off the ring
+// aborts conservatively and retries with a fresh one.
+const DefaultLogSize = 4096
+
+// NewLog returns a log keeping at least capacity committed write-sets
+// (capacity <= 0 selects DefaultLogSize).
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultLogSize
+	}
+	return &Log{cap: capacity}
+}
+
+// Note records a committed write-set. CSNs must be non-decreasing (the
+// caller assigns them under the same latch that serializes Note).
+func (l *Log) Note(ws WriteSet) {
+	if len(ws.Rows) == 0 {
+		return
+	}
+	l.sets = append(l.sets, ws)
+	if len(l.sets) > l.cap {
+		drop := len(l.sets) - l.cap/2
+		l.floor = l.sets[drop-1].CSN
+		l.sets = append(l.sets[:0], l.sets[drop:]...)
+	}
+}
+
+// Floor returns the highest CSN that may have been evicted; snapshots at or
+// below it cannot be validated precisely.
+func (l *Log) Floor() uint64 { return l.floor }
+
+// Conflicts validates rs against every write-set committed after afterCSN
+// (the validator's snapshot CSN). It returns a witness row and true on
+// conflict. A snapshot at or below the eviction floor conflicts
+// conservatively with a zero witness (unless the read set is empty).
+func (l *Log) Conflicts(rs *ReadSet, afterCSN uint64) (RowID, bool) {
+	if rs.Empty() {
+		return RowID{}, false
+	}
+	if afterCSN < l.floor {
+		return RowID{}, true
+	}
+	for i := len(l.sets) - 1; i >= 0; i-- {
+		ws := l.sets[i]
+		if ws.CSN <= afterCSN {
+			break
+		}
+		for _, w := range ws.Rows {
+			if rs.contains(w) {
+				return w, true
+			}
+		}
+	}
+	return RowID{}, false
+}
+
+// Reset discards all history (engine crash: volatile state dies; every live
+// transaction is already poisoned, so nothing can validate against it).
+func (l *Log) Reset() {
+	l.sets = l.sets[:0]
+	l.floor = 0
+}

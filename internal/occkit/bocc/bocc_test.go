@@ -1,0 +1,107 @@
+package bocc
+
+import "testing"
+
+func TestReadSetCoverage(t *testing.T) {
+	var rs ReadSet
+	if !rs.Empty() || rs.Len() != 0 {
+		t.Fatal("zero read set not empty")
+	}
+	rs.AddRow("a", 1)
+	rs.AddRow("a", 1) // dedup
+	rs.AddTable("b")
+	if rs.Empty() || rs.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", rs.Len())
+	}
+	if !rs.contains(RowID{"a", 1}) {
+		t.Error("point read not covered")
+	}
+	if rs.contains(RowID{"a", 2}) {
+		t.Error("unread row covered")
+	}
+	if !rs.contains(RowID{"b", 99}) {
+		t.Error("table read does not cover arbitrary row")
+	}
+}
+
+func TestConflictsFirstCommitterWins(t *testing.T) {
+	l := NewLog(0)
+	l.Note(WriteSet{CSN: 5, Rows: []RowID{{"t", 1}}})
+	l.Note(WriteSet{CSN: 7, Rows: []RowID{{"t", 2}, {"t", 3}}})
+
+	var rs ReadSet
+	rs.AddRow("t", 2)
+
+	// Snapshot before the conflicting commit: conflict, with witness.
+	if w, c := l.Conflicts(&rs, 5); !c || w != (RowID{"t", 2}) {
+		t.Fatalf("Conflicts(after=5) = %v,%v; want {t 2},true", w, c)
+	}
+	// Snapshot at/after the conflicting commit: clean.
+	if _, c := l.Conflicts(&rs, 7); c {
+		t.Fatal("Conflicts(after=7) = true, want false")
+	}
+	// Disjoint read set: clean regardless of snapshot age.
+	var other ReadSet
+	other.AddRow("t", 9)
+	if _, c := l.Conflicts(&other, 0); c {
+		t.Fatal("disjoint read set conflicted")
+	}
+	// Table-granularity read conflicts with any write to the table.
+	var scan ReadSet
+	scan.AddTable("t")
+	if _, c := l.Conflicts(&scan, 5); !c {
+		t.Fatal("table scan did not conflict with later write")
+	}
+}
+
+func TestEmptyReadSetNeverConflicts(t *testing.T) {
+	l := NewLog(2)
+	for csn := uint64(1); csn <= 100; csn++ {
+		l.Note(WriteSet{CSN: csn, Rows: []RowID{{"t", int64(csn)}}})
+	}
+	var rs ReadSet
+	if _, c := l.Conflicts(&rs, 0); c {
+		t.Fatal("empty read set conflicted below the floor")
+	}
+}
+
+func TestEvictionFloorIsConservative(t *testing.T) {
+	l := NewLog(4)
+	for csn := uint64(1); csn <= 10; csn++ {
+		l.Note(WriteSet{CSN: csn, Rows: []RowID{{"t", int64(csn)}}})
+	}
+	if l.Floor() == 0 {
+		t.Fatal("no eviction after overflow")
+	}
+	var rs ReadSet
+	rs.AddRow("other", 42) // disjoint from everything ever written
+	// Snapshot below the floor: must conflict conservatively anyway.
+	if _, c := l.Conflicts(&rs, l.Floor()-1); !c {
+		t.Fatal("pre-floor snapshot validated precisely")
+	}
+	// Snapshot at the floor: precise validation, no conflict.
+	if _, c := l.Conflicts(&rs, l.Floor()); c {
+		t.Fatal("at-floor snapshot conflicted on disjoint reads")
+	}
+}
+
+func TestNoteSkipsEmptyAndResetClears(t *testing.T) {
+	l := NewLog(4)
+	l.Note(WriteSet{CSN: 1})
+	if len(l.sets) != 0 {
+		t.Fatal("empty write-set recorded")
+	}
+	l.Note(WriteSet{CSN: 2, Rows: []RowID{{"t", 1}}})
+	var rs ReadSet
+	rs.AddRow("t", 1)
+	if _, c := l.Conflicts(&rs, 0); !c {
+		t.Fatal("recorded write-set not found")
+	}
+	l.Reset()
+	if _, c := l.Conflicts(&rs, 0); c {
+		t.Fatal("conflict after Reset")
+	}
+	if l.Floor() != 0 {
+		t.Fatal("floor survived Reset")
+	}
+}

@@ -22,7 +22,7 @@ import (
 const expectedBuggyScenarios = 28
 
 // expectedLitmusPairs pins the litmus catalog size.
-const expectedLitmusPairs = 5
+const expectedLitmusPairs = 6
 
 func TestRepairAcceptanceScenarios(t *testing.T) {
 	vs, err := scenario.ExpandAll()

@@ -179,6 +179,8 @@ var litmusFixes = map[string]struct {
 		"remove the lease TTL so it cannot lapse while the delete section holds it"},
 	"broadleaf-dblock": {ClassCrashOrphanedLock, CorrectAHT,
 		"stamp each boot with a fresh boot ID so orphaned lock rows read as stale and are taken over"},
+	"occ-write-skew": {ClassValidationWindow, CorrectAHT,
+		"run reads, check, and write as one engine OCC transaction so backward validation covers the full read set"},
 }
 
 // ForLitmus classifies a litmus pair's buggy program and emits its repair.

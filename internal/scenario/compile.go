@@ -669,10 +669,16 @@ func occWatchCol(op *Op) string {
 	return op.Writes[0].Col
 }
 
-// runOCC executes the op as an optimistic section: read, check, then
-// compare-and-set on the watch column. atomic=false is the validation-window
-// mutation (§4.1.2): validation and write-back in separate statements.
+// runOCC executes the op as an optimistic section. The fixed (atomic) shape
+// is engine OCC proper: one ModeOCC transaction whose snapshot reads take no
+// locks and whose commit runs backward validation over the full read set,
+// retried on the typed conflict. atomic=false is the validation-window
+// mutation (§4.1.2): the ad hoc application-level imitation — validation and
+// write-back in separate statements guarding only the watch column.
 func (w *world) runOCC(op *Op, args []int64, atomic bool, tag string) error {
+	if atomic {
+		return w.runEngineOCC(op, args, tag)
+	}
 	ck := validate.Checker{Eng: w.eng, Table: op.Target.Entity, Tag: tag}
 	pk := w.pkOf(op.Target)
 	return core.RetryOptimistic(8, func() error {
@@ -689,11 +695,32 @@ func (w *world) runOCC(op *Op, args []int64, atomic bool, tag string) error {
 		watch := occWatchCol(op)
 		guard := storage.Eq{Col: watch, Val: rd.vals[watch]}
 		set := writeSet(op, args, rd.vals)
-		if atomic {
-			return ck.CheckAndSet(pk, guard, set)
-		}
 		return ck.NonAtomicCheckThenSet(pk, guard, set, nil)
 	})
+}
+
+// runEngineOCC runs the op as one engine-OCC transaction with a bounded
+// retry loop on validation failure — the same loop the wire client wraps
+// around CodeOCCConflict. Eight conflicts in a row under a bounded scenario
+// is unreachable (each conflict implies another caller committed), so the
+// loop always terminates within exploration.
+func (w *world) runEngineOCC(op *Op, args []int64, tag string) error {
+	var last error
+	for attempt := 0; attempt < 8; attempt++ {
+		err := w.eng.RunMode(engine.ModeOCC, engine.IsolationDefault, func(t *engine.Txn) error {
+			t.SetTag(tag)
+			rd, err := w.readOpIn(t, op, false)
+			if err != nil {
+				return err
+			}
+			return w.applyIn(t, op, args, rd)
+		})
+		if !errors.Is(err, engine.ErrOCCConflict) {
+			return err
+		}
+		last = err
+	}
+	return last
 }
 
 // ---- the oracle ----
@@ -707,7 +734,7 @@ func (w *world) check(errs []error) error {
 			continue
 		}
 		if errors.Is(err, ErrGuardFailed) || errors.Is(err, core.ErrConflict) ||
-			errors.Is(err, core.ErrLockUnavailable) {
+			errors.Is(err, core.ErrLockUnavailable) || errors.Is(err, engine.ErrOCCConflict) {
 			continue // benign: rejected, validation lost, or lock given up
 		}
 		return fmt.Errorf("call %d (%s): unexpected error: %w", i, s.Calls[i].Op, err)

@@ -679,7 +679,11 @@ func (s *session) begin(r *wire.Request) {
 		return
 	}
 	s.readOnly = r.ReadOnly
-	s.txn = s.eng().Begin(iso)
+	mode := s.eng().Config().Mode
+	if r.OCC {
+		mode = engine.ModeOCC
+	}
+	s.txn = s.eng().BeginMode(mode, iso)
 }
 
 func (s *session) eng() *engine.Engine { return s.srv.eng }

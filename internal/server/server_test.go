@@ -497,3 +497,74 @@ func rawRoundTrip(t *testing.T, nc net.Conn, req *wire.Request) *wire.Response {
 	}
 	return &resp
 }
+
+// TestOCCOverTheWire pins the optimistic execution mode end to end: an OCC
+// BEGIN flag crosses the wire, reads take no locks server-side, a conflicting
+// pessimistic commit inside the window surfaces as a retryable
+// CodeOCCConflict that unwraps to engine.ErrOCCConflict, and the client's
+// RunTxnWith retry loop absorbs it.
+func TestOCCOverTheWire(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	c := newTestClient(t, srv, client.Config{})
+
+	// Open an optimistic transaction and take a snapshot read of row 1.
+	occ, err := c.BeginWith(engine.RepeatableRead, client.BeginOpts{OCC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer occ.Rollback()
+	if _, err := occ.Select("skus", storage.Eq{Col: "id", Val: int64(1)}, wire.LockNone); err != nil {
+		t.Fatal(err)
+	}
+
+	// A pessimistic writer commits to the same row inside the window.
+	if err := c.RunTxn(engine.RepeatableRead, func(txn *client.Txn) error {
+		_, err := txn.Update("skus", storage.Eq{Col: "id", Val: int64(1)},
+			map[string]storage.Value{"qty": storage.Inc(-1)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The optimistic writer's validation must now fail with the typed,
+	// retryable conflict — after crossing the wire.
+	if _, err := occ.Update("skus", storage.Eq{Col: "id", Val: int64(1)},
+		map[string]storage.Value{"qty": storage.Inc(-1)}); err != nil {
+		t.Fatal(err)
+	}
+	err = occ.Commit()
+	if !errors.Is(err, engine.ErrOCCConflict) {
+		t.Fatalf("commit err = %v, want ErrOCCConflict", err)
+	}
+	if !wire.IsRetryable(err) {
+		t.Fatalf("OCC conflict not retryable across the wire: %v", err)
+	}
+
+	// RunTxnWith in OCC mode retries the conflict away.
+	if err := c.RunTxnWith(engine.RepeatableRead, client.BeginOpts{OCC: true}, func(txn *client.Txn) error {
+		if _, err := txn.Select("skus", storage.Eq{Col: "id", Val: int64(1)}, wire.LockNone); err != nil {
+			return err
+		}
+		_, err := txn.Update("skus", storage.Eq{Col: "id", Val: int64(1)},
+			map[string]storage.Value{"qty": storage.Inc(-1)})
+		return err
+	}); err != nil {
+		t.Fatalf("RunTxnWith(OCC): %v", err)
+	}
+
+	// Both the pessimistic and the optimistic decrement landed.
+	var qty storage.Value
+	if err := c.RunTxn(engine.ReadCommitted, func(txn *client.Txn) error {
+		rows, err := txn.Select("skus", storage.Eq{Col: "id", Val: int64(1)}, wire.LockNone)
+		if err != nil {
+			return err
+		}
+		qty = rows.Rows[0][2]
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if qty != int64(8) {
+		t.Fatalf("qty = %v, want 8", qty)
+	}
+}

@@ -24,6 +24,9 @@ type Request struct {
 	// reads from before the client's own writes.
 	ReadOnly bool
 	MinLSN   uint64
+	// OCC asks for engine.ModeOCC execution: optimistic snapshot reads with
+	// commit-time validation. Commit may fail with CodeOCCConflict.
+	OCC bool
 
 	Table string
 	Pred  storage.Pred
@@ -44,7 +47,7 @@ type Request struct {
 // Reset clears the request for reuse, keeping slice capacity.
 func (r *Request) Reset() {
 	r.Op, r.Iso, r.Lock = OpInvalid, 0, LockNone
-	r.ReadOnly, r.MinLSN = false, 0
+	r.ReadOnly, r.MinLSN, r.OCC = false, 0, false
 	r.Table, r.Pred = "", nil
 	r.Cols, r.Vals = r.Cols[:0], r.Vals[:0]
 	r.Cmd, r.Key, r.SVal, r.TTL = KVInvalid, "", "", 0
@@ -372,6 +375,7 @@ const (
 const (
 	beginReadOnly  uint8 = 1 << 0
 	beginHasMinLSN uint8 = 1 << 1
+	beginOCC       uint8 = 1 << 2
 )
 
 // AppendRequest encodes r into b (which should start empty but may carry
@@ -387,6 +391,9 @@ func AppendRequest(b []byte, r *Request) ([]byte, error) {
 		}
 		if r.MinLSN != 0 {
 			bf |= beginHasMinLSN
+		}
+		if r.OCC {
+			bf |= beginOCC
 		}
 		b = append(b, r.Iso, bf)
 		if bf&beginHasMinLSN != 0 {
@@ -461,6 +468,7 @@ func DecodeRequest(payload []byte, r *Request) error {
 		r.Iso = d.u8("isolation")
 		bf := d.u8("begin flags")
 		r.ReadOnly = bf&beginReadOnly != 0
+		r.OCC = bf&beginOCC != 0
 		if bf&beginHasMinLSN != 0 {
 			r.MinLSN = d.u64("min lsn")
 		}

@@ -201,7 +201,8 @@ func FuzzDecodeErrorFrame(f *testing.F) {
 		if sent := sentinelOf(we.Code); sent != nil && !errors.Is(rerr, sent) {
 			t.Fatalf("code %v does not unwrap to its sentinel %v", we.Code, sent)
 		}
-		wantRetry := we.Code == CodeDeadlock || we.Code == CodeSerialization || we.Code == CodeSaturated
+		wantRetry := we.Code == CodeDeadlock || we.Code == CodeSerialization ||
+			we.Code == CodeOCCConflict || we.Code == CodeSaturated
 		if IsRetryable(rerr) != wantRetry {
 			t.Fatalf("code %v retryable = %v, want %v", we.Code, IsRetryable(rerr), wantRetry)
 		}

@@ -168,6 +168,9 @@ const (
 	CodeNotLeader      // write sent to a follower; Msg carries the leader addr hint
 	CodeWrongPartition // statement touched a key this node's partition does not own
 	CodeStaleRead      // follower applied-LSN below the session's MinLSN floor
+	// CodeOCCConflict is an optimistic-mode commit validation failure
+	// (engine.ErrOCCConflict): retryable, like deadlock and serialization.
+	CodeOCCConflict
 )
 
 // String implements fmt.Stringer.
@@ -207,6 +210,8 @@ func (c Code) String() string {
 		return "wrong_partition"
 	case CodeStaleRead:
 		return "stale_read"
+	case CodeOCCConflict:
+		return "occ_conflict"
 	default:
 		return fmt.Sprintf("code(%d)", uint16(c))
 	}
@@ -222,6 +227,8 @@ func CodeOf(err error) Code {
 		return CodeDeadlock
 	case errors.Is(err, engine.ErrSerialization):
 		return CodeSerialization
+	case errors.Is(err, engine.ErrOCCConflict):
+		return CodeOCCConflict
 	case errors.Is(err, engine.ErrLockTimeout):
 		return CodeLockTimeout
 	case errors.Is(err, engine.ErrTxnDone):
@@ -244,6 +251,8 @@ func sentinelOf(c Code) error {
 		return engine.ErrDeadlock
 	case CodeSerialization:
 		return engine.ErrSerialization
+	case CodeOCCConflict:
+		return engine.ErrOCCConflict
 	case CodeLockTimeout:
 		return engine.ErrLockTimeout
 	case CodeTxnDone:
@@ -284,7 +293,7 @@ func (e *Error) Unwrap() error { return sentinelOf(e.Code) }
 // (retry after backoff, like HTTP 503).
 func (e *Error) Retryable() bool {
 	switch e.Code {
-	case CodeDeadlock, CodeSerialization, CodeSaturated:
+	case CodeDeadlock, CodeSerialization, CodeOCCConflict, CodeSaturated:
 		return true
 	default:
 		return false

@@ -34,6 +34,8 @@ func roundTripReq(t *testing.T, r *Request) *Request {
 func TestRequestRoundTrip(t *testing.T) {
 	cases := []Request{
 		{Op: OpBegin, Iso: uint8(engine.Serializable)},
+		{Op: OpBegin, Iso: uint8(engine.RepeatableRead), OCC: true},
+		{Op: OpBegin, ReadOnly: true, MinLSN: 99, OCC: true},
 		{Op: OpCommit},
 		{Op: OpRollback},
 		{Op: OpPing},
